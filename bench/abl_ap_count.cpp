@@ -1,0 +1,50 @@
+// ABL-APS — ablation: number of access points (3..8).
+//
+// The paper fixes four corner APs; this bench varies the deployment
+// density. Shape targets: errors fall monotonically (on average) as
+// APs are added; the geometric method needs >= 3 usable APs and gains
+// the most from the 4th; fingerprinting keeps improving past 4.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/geometric.hpp"
+#include "core/knn.hpp"
+#include "core/probabilistic.hpp"
+
+using namespace loctk;
+
+int main() {
+  bench::print_header("ABL-APS: access-point count sweep (3..8 APs)");
+  std::printf("%6s %-18s %10s %10s %10s\n", "APs", "locator", "rate(%)",
+              "mean(ft)", "p90(ft)");
+
+  for (int aps = 3; aps <= 8; ++aps) {
+    core::Testbed testbed(radio::make_paper_house_with_aps(aps));
+    const auto map = core::make_training_grid(
+        testbed.environment().footprint(), bench::kGridSpacingFt);
+    const auto db =
+        testbed.train(map, bench::kTrainScans, 8000 + static_cast<std::uint64_t>(aps));
+    const auto truths = core::make_scattered_test_points(
+        testbed.environment().footprint(), bench::kTestPoints);
+    const auto observations = testbed.observe(
+        truths, bench::kObserveScans, 8800 + static_cast<std::uint64_t>(aps));
+
+    std::vector<std::unique_ptr<core::Locator>> locators;
+    locators.push_back(std::make_unique<core::ProbabilisticLocator>(db));
+    locators.push_back(
+        std::make_unique<core::KnnLocator>(db, core::KnnConfig{.k = 3}));
+    locators.push_back(std::make_unique<core::GeometricLocator>(
+        db, testbed.environment()));
+
+    for (const auto& loc : locators) {
+      const auto r = core::evaluate(*loc, db, truths, observations);
+      std::printf("%6d %-18s %10.0f %10.1f %10.1f\n", aps,
+                  loc->name().c_str(), 100.0 * r.valid_estimation_rate(),
+                  r.mean_error_ft(), r.p90_error_ft());
+    }
+    bench::print_rule();
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+// ABL-FACTORS — the paper's future-work §6 item 1, literally:
+// "We will perform more experiments that control one factor each time
+// to explore a more predicable location model."
+//
+// The simulator makes the controlled-factor experiment the paper could
+// not easily run in a physical house trivial: hold everything fixed
+// and sweep exactly one of (a) the multipath bias amplitude, (b) the
+// wall attenuation, (c) the path-loss exponent. Each table shows how
+// the factor moves the two §5 approaches, answering "which unmodelled
+// factor hurts which method".
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/geometric.hpp"
+#include "core/probabilistic.hpp"
+
+using namespace loctk;
+
+namespace {
+
+struct Row {
+  double prob_rate = 0.0;
+  double prob_err = 0.0;
+  double geo_err = 0.0;
+};
+
+// Runs the paper protocol on a given environment/propagation setup,
+// averaged over `reruns` independent survey/test days.
+Row run_protocol(const radio::Environment& env,
+                 const radio::PropagationConfig& pc, std::uint64_t seed0,
+                 int reruns = 5) {
+  std::vector<double> rates, perr, gerr;
+  for (int r = 0; r < reruns; ++r) {
+    core::Testbed testbed(env, pc);
+    const auto map = core::make_training_grid(
+        testbed.environment().footprint(), bench::kGridSpacingFt);
+    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(r) * 101;
+    const auto db = testbed.train(map, bench::kTrainScans, seed + 1);
+    const auto truths = core::make_scattered_test_points(
+        testbed.environment().footprint(), bench::kTestPoints);
+    const auto obs =
+        testbed.observe(truths, bench::kObserveScans, seed + 2);
+
+    const core::ProbabilisticLocator prob(db);
+    const auto pr = core::evaluate(prob, db, truths, obs);
+    rates.push_back(100.0 * pr.valid_estimation_rate());
+    perr.push_back(pr.mean_error_ft());
+    const core::GeometricLocator geo(db, testbed.environment());
+    gerr.push_back(core::evaluate(geo, db, truths, obs).mean_error_ft());
+  }
+  return {bench::band_of(rates).mean, bench::band_of(perr).mean,
+          bench::band_of(gerr).mean};
+}
+
+void print_row(double factor, const Row& row) {
+  std::printf("  %10.1f %12.0f %14.1f %14.1f\n", factor, row.prob_rate,
+              row.prob_err, row.geo_err);
+}
+
+void print_table_header(const char* factor_name) {
+  bench::print_rule();
+  std::printf("  %10s %12s %14s %14s\n", factor_name, "prob rate(%)",
+              "prob mean(ft)", "geo mean(ft)");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "ABL-FACTORS: one factor controlled at a time (paper 6.1)");
+
+  // (a) Multipath bias amplitude — site-specific spatial structure
+  // finer than the survey pitch.
+  print_table_header("mp amp dB");
+  for (const double amp : {0.0, 2.0, 3.5, 5.0, 7.0}) {
+    radio::PropagationConfig pc;
+    pc.multipath_amplitude_db = amp;
+    print_row(amp, run_protocol(radio::make_paper_house(), pc,
+                                20000 + static_cast<std::uint64_t>(amp * 10)));
+  }
+  std::printf("  reading: multipath hurts BOTH methods. The geometric fit\n"
+              "  absorbs it as residual; the fingerprint method suffers\n"
+              "  because test points sit off-grid, where the bias field\n"
+              "  differs from the nearest trained signature — the cost of\n"
+              "  a 10-ft survey pitch against few-ft spatial structure.\n");
+
+  // (b) Wall attenuation — scale every wall's dB loss.
+  print_table_header("wall x");
+  for (const double scale : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+    radio::Environment env = radio::make_paper_house();
+    radio::Environment scaled(env.footprint());
+    for (const radio::Wall& w : env.walls()) {
+      radio::Wall sw = w;
+      sw.attenuation_db *= scale;
+      scaled.add_wall(sw);
+    }
+    for (const radio::AccessPoint& ap : env.access_points()) {
+      scaled.add_access_point(ap);
+    }
+    print_row(scale,
+              run_protocol(scaled, radio::PropagationConfig{},
+                           30000 + static_cast<std::uint64_t>(scale * 10)));
+  }
+  std::printf("  reading: wall strength is roughly neutral here — the\n"
+              "  extra room-level signature (helps fingerprints) and the\n"
+              "  extra distance-model bias (hurts ranging) offset across\n"
+              "  this sweep; only the geometric tail moves.\n");
+
+  // (c) Path-loss exponent — construction material / furniture proxy.
+  print_table_header("exponent n");
+  for (const double n : {2.0, 2.5, 3.0, 3.5, 4.0}) {
+    radio::Environment env = radio::make_paper_house();
+    radio::Environment adjusted(env.footprint());
+    for (const radio::Wall& w : env.walls()) adjusted.add_wall(w);
+    for (radio::AccessPoint ap : env.access_points()) {
+      ap.path_loss_exponent = n;
+      adjusted.add_access_point(ap);
+    }
+    print_row(n,
+              run_protocol(adjusted, radio::PropagationConfig{},
+                           40000 + static_cast<std::uint64_t>(n * 10)));
+  }
+  std::printf("  reading: shallow exponents (n=2, open space) make distant\n"
+              "  cells look alike and hurt everyone; accuracy improves\n"
+              "  steadily toward n~3.5 as the dB scale stretches, then\n"
+              "  saturates as weak APs start dropping out of scans.\n");
+
+  // (d) Body shadowing — the RADAR "user orientation" effect: the
+  // surveyor faced +x during training; what if the user faces the
+  // other way at locate time?
+  bench::print_rule();
+  std::printf("  %10s %12s %14s %12s %14s\n", "body dB", "1-head rate",
+              "1-head mean", "4-head rate", "4-head mean");
+  for (const double body : {0.0, 3.0, 5.0, 8.0}) {
+    radio::ChannelConfig channel;
+    channel.body_loss_db = body;
+    // Two survey protocols: fixed heading (+x) vs RADAR's four
+    // orientations per point; testing always faces -x (worst case for
+    // the fixed-heading survey).
+    std::vector<double> rates1, errs1, rates4, errs4;
+    for (std::uint64_t r = 0; r < 5; ++r) {
+      const std::uint64_t seed =
+          50000 + r * 17 + static_cast<std::uint64_t>(body);
+      core::Testbed testbed(radio::make_paper_house(),
+                            radio::PropagationConfig{}, channel);
+      const auto map = core::make_training_grid(
+          testbed.environment().footprint(), bench::kGridSpacingFt);
+      const auto truths = core::make_scattered_test_points(
+          testbed.environment().footprint(), bench::kTestPoints);
+
+      auto train_with = [&](const std::vector<double>& headings) {
+        radio::Scanner scanner = testbed.make_scanner(seed + 1);
+        wiscan::SurveyConfig survey;
+        survey.scans_per_location = bench::kTrainScans;
+        survey.headings = headings;
+        wiscan::SurveyCampaign campaign(scanner, survey);
+        return traindb::generate_database(campaign.run(map), map);
+      };
+      const auto db1 = train_with({});  // fixed heading 0
+      const auto db4 = train_with(
+          {0.0, 1.5707963, 3.14159265, 4.71238898});
+
+      radio::Scanner scanner = testbed.make_scanner(seed + 500);
+      scanner.set_heading(3.14159265358979);
+      std::vector<core::Observation> obs;
+      for (const geom::Vec2 p : truths) {
+        scanner.reset_session();
+        obs.push_back(core::Observation::from_scans(
+            scanner.collect(p, bench::kObserveScans)));
+      }
+      const core::ProbabilisticLocator p1(db1);
+      const auto r1 = core::evaluate(p1, db1, truths, obs);
+      rates1.push_back(100.0 * r1.valid_estimation_rate());
+      errs1.push_back(r1.mean_error_ft());
+      const core::ProbabilisticLocator p4(db4);
+      const auto r4 = core::evaluate(p4, db4, truths, obs);
+      rates4.push_back(100.0 * r4.valid_estimation_rate());
+      errs4.push_back(r4.mean_error_ft());
+    }
+    std::printf("  %10.0f %12.0f %14.1f %12.0f %14.1f\n", body,
+                bench::band_of(rates1).mean, bench::band_of(errs1).mean,
+                bench::band_of(rates4).mean, bench::band_of(errs4).mean);
+  }
+  std::printf("  reading: a survey/use heading mismatch degrades the\n"
+              "  fixed-heading fingerprint with the body loss (RADAR's\n"
+              "  user-orientation observation); surveying each point in\n"
+              "  four orientations (RADAR's own protocol) recovers most\n"
+              "  of the loss by averaging the asymmetry into the map.\n");
+  return 0;
+}

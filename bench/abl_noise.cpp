@@ -1,0 +1,83 @@
+// ABL-NOISE — ablation: shadowing noise sweep.
+//
+// The paper's conclusion names "the unstableness of the RF signal
+// strength" as the largest barrier (§6). This bench sweeps the
+// shadowing sigma (2..12 dB; indoor measurements sit around 3-5) and
+// shows how both approaches degrade. The working-phase dwell is short
+// (10 scans, not the paper's 90): long dwells average the noise away,
+// which is itself a finding the table demonstrates via the 90-scan
+// column. Shape targets: monotone degradation (on average) for both
+// approaches; the probabilistic method degrades more gracefully than
+// the geometric one (its sigma model absorbs noise; distance
+// inversion amplifies it exponentially).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/geometric.hpp"
+#include "core/probabilistic.hpp"
+
+using namespace loctk;
+
+namespace {
+
+struct Cell {
+  double rate = 0.0;
+  double err_short = 0.0;  // 10-scan dwell
+  double err_long = 0.0;   // 90-scan dwell
+  double geo_short = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "ABL-NOISE: shadowing sigma sweep (paper 6: RF unstableness)");
+  std::printf("%10s %12s %14s %14s %14s\n", "sigma(dB)", "prob rate(%)",
+              "prob mean(ft)", "prob mean(ft)", "geo mean(ft)");
+  std::printf("%10s %12s %14s %14s %14s\n", "", "10-scan", "10-scan dwell",
+              "90-scan dwell", "10-scan dwell");
+  bench::print_rule();
+
+  for (const double sigma : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) {
+    radio::ChannelConfig channel;
+    channel.shadowing_sigma_db = sigma;
+
+    std::vector<double> rates, errs_short, errs_long, geo_short;
+    for (std::uint64_t rerun = 0; rerun < 8; ++rerun) {
+      const std::uint64_t base =
+          9000 + rerun * 37 + static_cast<std::uint64_t>(sigma * 10.0);
+      core::Testbed testbed(radio::make_paper_house(),
+                            radio::PropagationConfig{}, channel);
+      const auto map = core::make_training_grid(
+          testbed.environment().footprint(), bench::kGridSpacingFt);
+      const auto db = testbed.train(map, bench::kTrainScans, base + 1);
+      const auto truths = core::make_scattered_test_points(
+          testbed.environment().footprint(), bench::kTestPoints);
+      const auto obs_short = testbed.observe(truths, 10, base + 2);
+      const auto obs_long = testbed.observe(truths, 90, base + 3);
+
+      const core::ProbabilisticLocator prob(db);
+      const auto rs = core::evaluate(prob, db, truths, obs_short);
+      const auto rl = core::evaluate(prob, db, truths, obs_long);
+      rates.push_back(100.0 * rs.valid_estimation_rate());
+      errs_short.push_back(rs.mean_error_ft());
+      errs_long.push_back(rl.mean_error_ft());
+
+      const core::GeometricLocator geo(db, testbed.environment());
+      geo_short.push_back(
+          core::evaluate(geo, db, truths, obs_short).mean_error_ft());
+    }
+    std::printf("%10.0f %12.0f %14.1f %14.1f %14.1f\n", sigma,
+                bench::band_of(rates).mean,
+                bench::band_of(errs_short).mean,
+                bench::band_of(errs_long).mean,
+                bench::band_of(geo_short).mean);
+  }
+  bench::print_rule();
+  std::printf("Reading: short dwells expose the channel noise directly;\n"
+              "the 90-scan dwell (paper protocol) averages most of it\n"
+              "away, which is why the paper could work at all at 4-5 dB\n"
+              "indoor sigma.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// ABL-TRACK — the paper's future-work §6 item 2: combining historical
+// locations with the current signal (Kalman smoothing) and a full
+// Bayesian filter (particle filter).
+//
+// Workload: a client walks a deterministic tour of the experiment
+// house at ~2 ft/s, taking a short scan burst each second. Each
+// tracker processes the identical observation stream. Shape targets:
+// per-step static ML error > Kalman-smoothed error; the particle
+// filter is competitive with or better than Kalman; both filters trim
+// the p90 tail hardest.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/hmm_tracker.hpp"
+#include "core/path.hpp"
+#include "core/probabilistic.hpp"
+#include "core/tracking.hpp"
+#include "stats/histogram.hpp"
+
+using namespace loctk;
+
+int main() {
+  bench::print_header("ABL-TRACK: static ML vs Kalman vs particle filter");
+
+  core::Testbed testbed(radio::make_paper_house());
+  const auto map = core::make_training_grid(
+      testbed.environment().footprint(), bench::kGridSpacingFt);
+  const auto db = testbed.train(map, bench::kTrainScans, 777);
+
+  const core::ProbabilisticLocator prob(db);
+  core::TrackedLocator kalman(prob);
+  core::ParticleFilterConfig pf_cfg;
+  pf_cfg.particle_count = 500;
+  pf_cfg.motion_sigma_ft = 2.5;
+  core::ParticleFilterTracker particle(
+      db, testbed.environment().footprint(), pf_cfg);
+  core::HmmTrackerConfig hmm_cfg;
+  hmm_cfg.step_sigma_ft = 4.0;
+  core::HmmTracker hmm(db, hmm_cfg);
+
+  radio::Scanner scanner = testbed.make_scanner(778);
+  const core::WaypointPath tour = core::paper_house_tour();
+  const int steps = 120;     // one full loop of the tour at 2 ft/s
+  const int scans_per_step = 3;  // short burst, unlike the 90-scan dwell
+
+  std::vector<double> e_static, e_kalman, e_particle, e_hmm;
+  for (int step = 0; step < steps; ++step) {
+    const geom::Vec2 truth = tour.position_at_time(step);
+    const core::Observation obs = core::Observation::from_scans(
+        scanner.collect(truth, scans_per_step));
+
+    const auto s = prob.locate(obs);
+    if (s.valid) e_static.push_back(geom::distance(s.position, truth));
+
+    const auto k = kalman.locate(obs);
+    if (k.valid && step >= 10) {
+      e_kalman.push_back(geom::distance(k.position, truth));
+    }
+    const geom::Vec2 p = particle.step(obs);
+    if (step >= 10) e_particle.push_back(geom::distance(p, truth));
+
+    const auto h = hmm.step(obs);
+    if (h.valid && step >= 10) {
+      e_hmm.push_back(geom::distance(h.position, truth));
+    }
+  }
+
+  auto row = [](const char* name, const std::vector<double>& errs) {
+    if (errs.empty()) {
+      std::printf("  %-22s (no valid steps)\n", name);
+      return;
+    }
+    std::printf("  %-22s %8.1f %8.1f %8.1f %8.1f\n", name,
+                bench::band_of(errs).mean, stats::median(errs),
+                stats::quantile(errs, 0.9),
+                *std::max_element(errs.begin(), errs.end()));
+  };
+  std::printf("tour: %d steps, %d scans/step (short bursts)\n", steps,
+              scans_per_step);
+  std::printf("  %-22s %8s %8s %8s %8s\n", "tracker", "mean", "median",
+              "p90", "max");
+  row("static ML (5.1)", e_static);
+  row("ML + Kalman", e_kalman);
+  row("particle filter", e_particle);
+  row("HMM over cells", e_hmm);
+  std::printf("\nShape target: both filters beat static per-step ML,\n"
+              "with the biggest wins in the p90/max tail.\n");
+  return 0;
+}

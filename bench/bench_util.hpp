@@ -1,0 +1,74 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses: the paper's standard
+// setup (50x40 house, 10-ft grid, 13 scattered test points, 90-scan
+// dwells) and small table-printing utilities.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "radio/environment.hpp"
+#include "traindb/database.hpp"
+
+namespace loctk::bench {
+
+// The paper's §5.1 experimental constants.
+inline constexpr int kTrainScans = 90;  // ~1.5 min at 1 scan/s
+inline constexpr int kObserveScans = 90;
+inline constexpr double kGridSpacingFt = 10.0;
+inline constexpr int kTestPoints = 13;
+
+struct PaperExperiment {
+  explicit PaperExperiment(std::uint64_t seed_base = 1,
+                           radio::ChannelConfig channel = {})
+      : testbed(radio::make_paper_house(), radio::PropagationConfig{},
+                channel),
+        training_map(core::make_training_grid(
+            testbed.environment().footprint(), kGridSpacingFt)),
+        db(testbed.train(training_map, kTrainScans, seed_base * 1000 + 1)),
+        truths(core::make_scattered_test_points(
+            testbed.environment().footprint(), kTestPoints)),
+        observations(
+            testbed.observe(truths, kObserveScans, seed_base * 1000 + 2)) {}
+
+  core::Testbed testbed;
+  wiscan::LocationMap training_map;
+  traindb::TrainingDatabase db;
+  std::vector<geom::Vec2> truths;
+  std::vector<core::Observation> observations;
+};
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+// Mean and sample stddev of a value list (for multi-seed bands).
+struct Band {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+inline Band band_of(const std::vector<double>& values) {
+  Band b;
+  if (values.empty()) return b;
+  for (const double v : values) b.mean += v;
+  b.mean /= static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (const double v : values) ss += (v - b.mean) * (v - b.mean);
+    b.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return b;
+}
+
+}  // namespace loctk::bench

@@ -1,0 +1,124 @@
+// EXT-PLACE — does principled AP placement beat the paper's corners?
+//
+// The paper puts the four APs "at the four corners of the experiment
+// house" without justification. The placement planner picks AP
+// positions that maximize the minimum pairwise signature separation;
+// this bench runs the full §5.1/§5.2 protocol on three deployments of
+// the same house — the paper's corners, the planner's choice, and a
+// deliberately bad clump — and reports end-to-end accuracy.
+//
+// Shape targets: planned >= corners >> clump for the *fingerprint*
+// metrics (the planner's objective is signature separability); the
+// geometric locator is indifferent-to-worse under asymmetric layouts
+// because its adjacent-ring pairing assumes a perimeter ring.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/geometric.hpp"
+#include "core/placement.hpp"
+#include "core/probabilistic.hpp"
+
+using namespace loctk;
+
+namespace {
+
+struct DeploymentReport {
+  double min_sep = 0.0;
+  double prob_rate = 0.0;
+  double prob_err = 0.0;
+  double geo_err = 0.0;
+};
+
+DeploymentReport evaluate_deployment(
+    const radio::Environment& site,
+    const std::vector<geom::Vec2>& ap_positions, std::uint64_t seed0) {
+  DeploymentReport rep;
+  rep.min_sep =
+      core::score_placement(site, ap_positions).min_separation_db;
+
+  std::vector<double> rates, perr, gerr;
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    core::Testbed testbed(core::with_aps(site, ap_positions));
+    const auto map = core::make_training_grid(
+        testbed.environment().footprint(), bench::kGridSpacingFt);
+    const auto db =
+        testbed.train(map, bench::kTrainScans, seed0 + r * 13 + 1);
+    const auto truths = core::make_scattered_test_points(
+        testbed.environment().footprint(), bench::kTestPoints);
+    const auto obs = testbed.observe(truths, bench::kObserveScans,
+                                     seed0 + r * 13 + 2);
+
+    const core::ProbabilisticLocator prob(db);
+    const auto pr = core::evaluate(prob, db, truths, obs);
+    rates.push_back(100.0 * pr.valid_estimation_rate());
+    perr.push_back(pr.mean_error_ft());
+    const core::GeometricLocator geo(db, testbed.environment());
+    gerr.push_back(core::evaluate(geo, db, truths, obs).mean_error_ft());
+  }
+  rep.prob_rate = bench::band_of(rates).mean;
+  rep.prob_err = bench::band_of(perr).mean;
+  rep.geo_err = bench::band_of(gerr).mean;
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "EXT-PLACE: AP placement planning vs the paper's corners");
+
+  // The bare site: the paper house's walls without its APs.
+  const radio::Environment house = radio::make_paper_house();
+  radio::Environment site(house.footprint());
+  for (const radio::Wall& w : house.walls()) site.add_wall(w);
+
+  // Deployment 1: the paper's corners.
+  std::vector<geom::Vec2> corners;
+  for (const radio::AccessPoint& ap : house.access_points()) {
+    corners.push_back(ap.position);
+  }
+
+  // Deployment 2: the planner's greedy pick from a lattice.
+  const auto candidates = core::candidate_lattice(site.footprint(), 6.0);
+  const core::PlacementResult plan =
+      core::plan_ap_placement(site, candidates, 4);
+  std::vector<geom::Vec2> planned;
+  for (const std::size_t i : plan.chosen) {
+    planned.push_back(candidates[i]);
+  }
+  std::printf("planner picked:");
+  for (const geom::Vec2 p : planned) {
+    std::printf(" (%.0f,%.0f)", p.x, p.y);
+  }
+  std::printf("  min-sep %.1f dB\n", plan.min_separation_db);
+
+  // Deployment 3: a clump near the center (worst case).
+  const std::vector<geom::Vec2> clump = {
+      {23.0, 19.0}, {27.0, 19.0}, {27.0, 21.0}, {23.0, 21.0}};
+
+  std::printf("\n  %-18s %10s %12s %14s %12s\n", "deployment",
+              "min-sep dB", "prob rate %", "prob mean ft", "geo mean ft");
+  struct Row {
+    const char* name;
+    const std::vector<geom::Vec2>* aps;
+    std::uint64_t seed;
+  };
+  const Row rows[] = {
+      {"paper corners", &corners, 51000},
+      {"planned", &planned, 52000},
+      {"center clump", &clump, 53000},
+  };
+  for (const Row& row : rows) {
+    const DeploymentReport rep =
+        evaluate_deployment(site, *row.aps, row.seed);
+    std::printf("  %-18s %10.1f %12.0f %14.1f %12.1f\n", row.name,
+                rep.min_sep, rep.prob_rate, rep.prob_err, rep.geo_err);
+  }
+  std::printf("\nShape targets: planned >= paper corners >> clump on the\n"
+              "fingerprint metrics; the separation score predicts that\n"
+              "ordering. The geometric column is layout-sensitive (its\n"
+              "adjacent-ring pairing assumes a perimeter ring), so the\n"
+              "planner's asymmetric picks can regress it.\n");
+  return 0;
+}

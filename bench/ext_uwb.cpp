@@ -1,0 +1,91 @@
+// EXT-UWB — the paper's future-work §6 item 3, end to end.
+//
+// "We consider using the Ultra Wide Band (UWB) technology ... a
+// practical solution to deal with signal strength uncertainty."
+// The claim behind the proposal: time-of-arrival ranging sidesteps
+// fading entirely, so a UWB deployment should reach foot-level
+// accuracy where RSSI methods sit at 5-15 ft — with *no training
+// phase at all*.
+//
+// This harness runs the paper's 13-test-point protocol three ways on
+// the identical site: RSSI probabilistic (5.1), RSSI geometric (5.2),
+// and UWB lateration, then sweeps the UWB ranging-round count (more
+// rounds average the timing noise).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/geometric.hpp"
+#include "core/probabilistic.hpp"
+#include "core/uwb_locator.hpp"
+#include "radio/uwb.hpp"
+#include "stats/histogram.hpp"
+
+using namespace loctk;
+
+int main() {
+  bench::print_header("EXT-UWB: UWB ranging vs RSSI approaches (paper 6.3)");
+
+  bench::PaperExperiment exp(/*seed_base=*/63);
+  const auto& env = exp.testbed.environment();
+
+  // RSSI baselines on the standard protocol.
+  const core::ProbabilisticLocator prob(exp.db);
+  const auto prob_r =
+      core::evaluate(prob, exp.db, exp.truths, exp.observations);
+  const core::GeometricLocator geo(exp.db, env);
+  const auto geo_r = core::evaluate(geo, exp.db, exp.truths,
+                                    exp.observations);
+
+  // UWB on the same truth points (anchors = the same four APs).
+  radio::UwbRanging uwb(env, {}, 6301);
+  const core::UwbLocator uwb_locator(env.footprint());
+
+  std::printf("  %-26s %10s %10s %10s %12s\n", "system", "mean(ft)",
+              "median(ft)", "p90(ft)", "training?");
+  auto row = [](const char* name, const std::vector<double>& errs,
+                const char* training) {
+    std::vector<double> sorted = errs;
+    std::sort(sorted.begin(), sorted.end());
+    std::printf("  %-26s %10.1f %10.1f %10.1f %12s\n", name,
+                bench::band_of(sorted).mean, stats::median(sorted),
+                stats::quantile(sorted, 0.9), training);
+  };
+  row("RSSI probabilistic (5.1)", prob_r.sorted_errors(), "90-scan grid");
+  row("RSSI geometric (5.2)", geo_r.sorted_errors(), "90-scan grid");
+
+  for (const int rounds : {1, 4, 10}) {
+    std::vector<double> errs;
+    for (const geom::Vec2 truth : exp.truths) {
+      const auto est =
+          uwb_locator.locate(uwb.measure_rounds(truth, rounds));
+      if (est) errs.push_back(geom::distance(*est, truth));
+    }
+    char name[48];
+    std::snprintf(name, sizeof(name), "UWB lateration (%d round%s)",
+                  rounds, rounds == 1 ? "" : "s");
+    row(name, errs, "none");
+  }
+
+  // NLOS stress: thicken the site with extra walls and re-run UWB.
+  bench::print_rule();
+  std::printf("NLOS stress (extra interior walls):\n");
+  radio::Environment dense = radio::make_paper_house();
+  for (double x = 10.0; x <= 40.0; x += 10.0) {
+    dense.add_wall({{{x, 5.0}, {x, 35.0}}, 5.0, "stress"});
+  }
+  radio::UwbRanging uwb_dense(dense, {}, 6302);
+  const core::UwbLocator locator_dense(dense.footprint());
+  std::vector<double> errs;
+  for (const geom::Vec2 truth : exp.truths) {
+    const auto est =
+        locator_dense.locate(uwb_dense.measure_rounds(truth, 10));
+    if (est) errs.push_back(geom::distance(*est, truth));
+  }
+  row("UWB, 4 extra walls (10 rd)", errs, "none");
+  std::printf("\nShape targets: UWB mean error ~1-3 ft, an order of\n"
+              "magnitude under the RSSI methods; degrades but stays\n"
+              "usable under heavy NLOS — matching the paper's rationale\n"
+              "for proposing it.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// coverage_map: visualize the radio landscape of a site.
+//
+//   $ ./coverage_map [output-dir]     (default ./coverage-out)
+//
+// Writes, for the paper's experiment house:
+//   coverage_<AP>.ppm   — per-AP mean-RSSI heat map (propagation truth)
+//   coverage_best.ppm   — strongest-AP power at every point
+//   radiomap_<AP>.ppm   — the *trained* radio map: the same field as
+//                         the toolkit knows it, IDW-interpolated from
+//                         the training database (compare against the
+//                         truth map to see what 12 survey points buy)
+//   likelihood.ppm      — the 5.1 likelihood surface for one test
+//                         observation (where the locator "thinks" the
+//                         client is)
+// This is the toolkit-expansion direction of the paper's §6 item 4.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pipeline.hpp"
+#include "core/signal_field.hpp"
+#include "floorplan/heatmap.hpp"
+#include "image/codec_bmp.hpp"
+
+using namespace loctk;
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  const fs::path out = argc > 1 ? argv[1] : "coverage-out";
+  fs::create_directories(out);
+
+  core::Testbed testbed(radio::make_paper_house());
+  const auto& env = testbed.environment();
+  const radio::Propagation& prop = testbed.propagation();
+
+  // Per-AP truth coverage.
+  for (std::size_t i = 0; i < env.access_points().size(); ++i) {
+    floorplan::HeatmapOptions opts;
+    opts.title = "coverage: AP " + env.access_points()[i].name +
+                 " mean RSSI (dBm)";
+    const image::Raster img = floorplan::render_field_heatmap(
+        env, [&](geom::Vec2 w) { return prop.mean_rssi_dbm(i, w); },
+        opts);
+    image::write_image(
+        out / ("coverage_" + env.access_points()[i].name + ".ppm"), img);
+  }
+
+  // Best-server map.
+  {
+    floorplan::HeatmapOptions opts;
+    opts.title = "coverage: strongest AP (dBm)";
+    const image::Raster img = floorplan::render_field_heatmap(
+        env,
+        [&](geom::Vec2 w) {
+          double best = -200.0;
+          for (std::size_t i = 0; i < env.access_points().size(); ++i) {
+            best = std::max(best, prop.mean_rssi_dbm(i, w));
+          }
+          return best;
+        },
+        opts);
+    image::write_image(out / "coverage_best.ppm", img);
+  }
+
+  // Trained radio map (what the toolkit actually knows).
+  const auto grid = core::make_training_grid(env.footprint(), 10.0);
+  const auto db = testbed.train(grid, 90, 31);
+  const core::SignalField field(db);
+  for (const auto& ap : env.access_points()) {
+    floorplan::HeatmapOptions opts;
+    opts.title = "trained radio map: AP " + ap.name + " (IDW of " +
+                 std::to_string(db.size()) + " survey points)";
+    const image::Raster img = floorplan::render_field_heatmap(
+        env,
+        [&](geom::Vec2 w) {
+          const auto s = field.sample(ap.bssid, w);
+          return s ? s->mean_dbm : -100.0;
+        },
+        opts);
+    image::write_image(out / ("radiomap_" + ap.name + ".ppm"), img);
+  }
+
+  // Likelihood surface for one observation.
+  {
+    const geom::Vec2 truth{33.0, 14.0};
+    const core::Observation obs = testbed.observe({truth}, 90, 32)[0];
+    floorplan::HeatmapOptions opts;
+    opts.lo_value = -60.0;  // log-likelihood range
+    opts.hi_value = -5.0;
+    opts.title = "5.1 log-likelihood surface, client at (33,14)";
+    const image::Raster img = floorplan::render_field_heatmap(
+        env,
+        [&](geom::Vec2 w) { return field.log_likelihood(obs, w); }, opts);
+    image::write_image(out / "likelihood.ppm", img);
+  }
+
+  std::printf("wrote %zu heat maps under %s/\n",
+              2 * env.access_points().size() + 2, out.string().c_str());
+  std::printf("compare coverage_<AP>.ppm (truth) with radiomap_<AP>.ppm\n"
+              "(what the 12-point survey reconstructs).\n");
+  return 0;
+}

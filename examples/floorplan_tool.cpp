@@ -1,0 +1,146 @@
+// floorplan_tool — the paper's Floor Plan Processor (§4.1) as a CLI.
+//
+// The paper's GUI offered six mouse-driven functions; this tool
+// performs the same six operations from a single command line (the
+// paper's components were themselves "invoked in a single-line Dos
+// command window"). Clicks become pixel coordinates on the command
+// line. The annotated plan round-trips through the `.fpa` sidecar.
+//
+//   floorplan_tool demo  <plan.ppm>                 render the paper house
+//   floorplan_tool new   <w> <h> <plan.ppm>         blank plan (1)
+//   floorplan_tool scale <plan.fpa> <x1 y1 x2 y2 feet>          (3)
+//   floorplan_tool origin <plan.fpa> <x y>                      (4)
+//   floorplan_tool add-ap <plan.fpa> <name> <x y>               (2)
+//   floorplan_tool add-place <plan.fpa> <name> <x y>            (5)
+//   floorplan_tool info  <plan.fpa>                 inspect everything
+//
+// Saving (6) happens automatically after every mutating command.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "floorplan/processor.hpp"
+#include "radio/environment.hpp"
+
+using namespace loctk;
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  floorplan_tool demo <plan.ppm>\n"
+               "  floorplan_tool new <width_px> <height_px> <plan.ppm>\n"
+               "  floorplan_tool scale <plan.fpa> <x1> <y1> <x2> <y2> <feet>\n"
+               "  floorplan_tool origin <plan.fpa> <x> <y>\n"
+               "  floorplan_tool add-ap <plan.fpa> <name> <x> <y>\n"
+               "  floorplan_tool add-place <plan.fpa> <name> <x> <y>\n"
+               "  floorplan_tool info <plan.fpa>\n");
+  return 2;
+}
+
+double num(const char* s) { return std::strtod(s, nullptr); }
+
+// Re-saves next to the sidecar, preserving the stored image name.
+void resave(const floorplan::FloorPlanProcessor& proc,
+            const fs::path& fpa) {
+  fs::path image = fpa;
+  image.replace_extension(".ppm");
+  proc.save(image);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+
+  try {
+    if (cmd == "demo") {
+      floorplan::FloorPlanProcessor proc(
+          floorplan::render_environment(radio::make_paper_house(), 10.0));
+      proc.save(argv[2]);
+      std::printf("wrote %s (+ sidecar %s)\n", argv[2],
+                  floorplan::annotation_path_for(argv[2]).string().c_str());
+      return 0;
+    }
+    if (cmd == "new") {
+      if (argc != 5) return usage();
+      floorplan::FloorPlanProcessor proc{floorplan::FloorPlan{
+          image::Raster(std::atoi(argv[2]), std::atoi(argv[3]))}};
+      proc.save(argv[4]);
+      std::printf("wrote blank %dx%d plan to %s\n", std::atoi(argv[2]),
+                  std::atoi(argv[3]), argv[4]);
+      return 0;
+    }
+
+    // Everything else loads an existing sidecar first.
+    floorplan::FloorPlanProcessor proc =
+        floorplan::FloorPlanProcessor::load(argv[2]);
+    const fs::path fpa = argv[2];
+
+    if (cmd == "scale") {
+      if (argc != 8) return usage();
+      proc.set_scale({num(argv[3]), num(argv[4])},
+                     {num(argv[5]), num(argv[6])}, num(argv[7]));
+      resave(proc, fpa);
+      std::printf("scale set: %.4f ft/px\n",
+                  *proc.plan().feet_per_pixel());
+    } else if (cmd == "origin") {
+      if (argc != 5) return usage();
+      proc.set_origin({num(argv[3]), num(argv[4])});
+      resave(proc, fpa);
+      std::printf("origin set at pixel (%.1f, %.1f)\n", num(argv[3]),
+                  num(argv[4]));
+    } else if (cmd == "add-ap") {
+      if (argc != 6) return usage();
+      proc.add_access_point(argv[3], {num(argv[4]), num(argv[5])});
+      resave(proc, fpa);
+      std::printf("added AP \"%s\"\n", argv[3]);
+    } else if (cmd == "add-place") {
+      if (argc != 6) return usage();
+      proc.add_location_name(argv[3], {num(argv[4]), num(argv[5])});
+      resave(proc, fpa);
+      std::printf("added place \"%s\"\n", argv[3]);
+    } else if (cmd == "info") {
+      const floorplan::FloorPlan& plan = proc.plan();
+      std::printf("image: %dx%d px\n", plan.raster().width(),
+                  plan.raster().height());
+      if (plan.feet_per_pixel()) {
+        std::printf("scale: %.4f ft/px\n", *plan.feet_per_pixel());
+      } else {
+        std::printf("scale: (unset)\n");
+      }
+      if (plan.origin_pixel()) {
+        std::printf("origin: pixel (%.1f, %.1f)\n", plan.origin_pixel()->x,
+                    plan.origin_pixel()->y);
+      } else {
+        std::printf("origin: (unset)\n");
+      }
+      std::printf("access points (%zu):\n", plan.access_points().size());
+      for (const auto& ap : plan.access_points()) {
+        std::printf("  %-12s px (%7.1f, %7.1f)", ap.name.c_str(),
+                    ap.pixel.x, ap.pixel.y);
+        if (plan.calibrated()) {
+          const auto w = plan.to_world(ap.pixel);
+          std::printf("   world (%6.1f, %6.1f) ft", w.x, w.y);
+        }
+        std::printf("\n");
+      }
+      std::printf("places (%zu):\n", plan.places().size());
+      for (const auto& pl : plan.places()) {
+        std::printf("  %-20s px (%7.1f, %7.1f)\n", pl.name.c_str(),
+                    pl.pixel.x, pl.pixel.y);
+      }
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

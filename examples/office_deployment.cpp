@@ -1,0 +1,103 @@
+// office_deployment: the deployment playbook for a bigger site.
+//
+//   $ ./office_deployment [output-dir]    (default ./office-out)
+//
+// Bringing a 120x80 ft office floor online with the toolkit:
+//  1. plan where to install 6 APs (placement planner, from walls and
+//     distance decay alone — nothing is deployed yet);
+//  2. install them (here: instantiate the environment) and render the
+//     predicted coverage map;
+//  3. survey a 10-ft grid and build the training database;
+//  4. evaluate against scattered test points and report both the
+//     fingerprint and fine-grid locators.
+// Everything a site engineer would look at lands in the output dir.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/evaluation.hpp"
+#include "core/grid_locator.hpp"
+#include "core/pipeline.hpp"
+#include "core/placement.hpp"
+#include "core/probabilistic.hpp"
+#include "floorplan/heatmap.hpp"
+#include "image/codec_bmp.hpp"
+#include "traindb/codec.hpp"
+
+using namespace loctk;
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  const fs::path out = argc > 1 ? argv[1] : "office-out";
+  fs::create_directories(out);
+
+  // The bare site: office walls, no APs yet.
+  const radio::Environment office = radio::make_office_floor(0);
+
+  // --- 1. plan the deployment ------------------------------------------
+  const auto candidates =
+      core::candidate_lattice(office.footprint(), 10.0, 4.0);
+  const core::PlacementResult plan =
+      core::plan_ap_placement(office, candidates, 6);
+  std::vector<geom::Vec2> ap_positions;
+  for (const std::size_t i : plan.chosen) {
+    ap_positions.push_back(candidates[i]);
+  }
+  std::printf("1. planned 6 APs (aliasing separation %.1f dB min / %.1f "
+              "dB mean):\n   ",
+              plan.min_separation_db, plan.mean_separation_db);
+  for (const geom::Vec2 p : ap_positions) {
+    std::printf(" (%.0f,%.0f)", p.x, p.y);
+  }
+  std::printf("\n");
+
+  // --- 2. install + predicted coverage ----------------------------------
+  core::Testbed testbed(core::with_aps(office, ap_positions));
+  const radio::Propagation& prop = testbed.propagation();
+  floorplan::HeatmapOptions hm;
+  hm.pixels_per_foot = 5.0;
+  hm.title = "office: strongest-AP coverage (planned deployment)";
+  const image::Raster coverage = floorplan::render_field_heatmap(
+      testbed.environment(),
+      [&](geom::Vec2 w) {
+        double best = -200.0;
+        for (std::size_t i = 0; i < ap_positions.size(); ++i) {
+          best = std::max(best, prop.mean_rssi_dbm(i, w));
+        }
+        return best;
+      },
+      hm);
+  image::write_image(out / "coverage.ppm", coverage);
+  std::printf("2. coverage.ppm (%dx%d)\n", coverage.width(),
+              coverage.height());
+
+  // --- 3. survey + training database -------------------------------------
+  const auto grid =
+      core::make_training_grid(testbed.environment().footprint(), 10.0);
+  const traindb::TrainingDatabase db = testbed.train(grid, 60, 7);
+  traindb::write_database(out / "office.ltdb", db);
+  std::printf("3. surveyed %zu points -> office.ltdb (%zu bytes)\n",
+              db.size(), fs::file_size(out / "office.ltdb"));
+
+  // --- 4. acceptance evaluation -----------------------------------------
+  const auto truths = core::make_scattered_test_points(
+      testbed.environment().footprint(), 25);
+  const auto observations = testbed.observe(truths, 30, 8);
+
+  const core::ProbabilisticLocator prob(db);
+  const auto pr = core::evaluate(prob, db, truths, observations);
+  core::GridLocatorConfig grid_cfg;
+  grid_cfg.grid_pitch_ft = 3.0;
+  const core::GridLocator fine(db, testbed.environment().footprint(),
+                               grid_cfg);
+  const auto fr = core::evaluate(fine, db, truths, observations);
+
+  std::printf("4. acceptance over %zu test points:\n", truths.size());
+  std::printf("   %-18s mean %5.1f ft   median %5.1f ft   p90 %5.1f ft\n",
+              prob.name().c_str(), pr.mean_error_ft(),
+              pr.median_error_ft(), pr.p90_error_ft());
+  std::printf("   %-18s mean %5.1f ft   median %5.1f ft   p90 %5.1f ft\n",
+              fine.name().c_str(), fr.mean_error_ft(),
+              fr.median_error_ft(), fr.p90_error_ft());
+  return 0;
+}

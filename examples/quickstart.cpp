@@ -1,0 +1,51 @@
+// Quickstart: train the toolkit on a simulated site and locate a
+// client — the paper's two-phase process in ~40 lines.
+//
+//   $ ./quickstart
+//
+// Phase 1 (training): survey named locations, build the training
+// database. Phase 2 (working): observe signal strength somewhere and
+// ask every locator where the client is.
+
+#include <cstdio>
+
+#include "core/evaluation.hpp"
+#include "core/geometric.hpp"
+#include "core/pipeline.hpp"
+#include "core/probabilistic.hpp"
+
+using namespace loctk;
+
+int main() {
+  // The simulated deployment: the paper's 50x40 ft house with four
+  // corner APs (swap in your own radio::Environment for other sites).
+  core::Testbed testbed(radio::make_paper_house());
+
+  // Phase 1 — train on a 10-ft survey grid, ~90 scans per point.
+  const wiscan::LocationMap grid =
+      core::make_training_grid(testbed.environment().footprint(), 10.0);
+  const traindb::TrainingDatabase db = testbed.train(grid, 90, /*seed=*/1);
+  std::printf("trained %zu points against %zu APs\n", db.size(),
+              db.bssid_universe().size());
+
+  // Phase 2 — the client stands at (17, 26) and scans for a while.
+  const geom::Vec2 truth{17.0, 26.0};
+  const core::Observation obs = testbed.observe({truth}, 90, /*seed=*/2)[0];
+
+  const core::ProbabilisticLocator probabilistic(db);
+  const core::GeometricLocator geometric(db, testbed.environment());
+  for (const core::Locator* locator :
+       {static_cast<const core::Locator*>(&probabilistic),
+        static_cast<const core::Locator*>(&geometric)}) {
+    const core::LocationEstimate est = locator->locate(obs);
+    std::printf("%-18s -> (%5.1f, %5.1f) ft", locator->name().c_str(),
+                est.position.x, est.position.y);
+    if (!est.location_name.empty()) {
+      std::printf("  cell \"%s\"", est.location_name.c_str());
+    }
+    std::printf("  error %.1f ft\n", geom::distance(est.position, truth));
+  }
+  std::printf("client actually stood at (%.1f, %.1f) ft\n", truth.x,
+              truth.y);
+  return 0;
+}

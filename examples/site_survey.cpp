@@ -1,0 +1,102 @@
+// site_survey: the full toolkit workflow on disk, end to end.
+//
+//   $ ./site_survey [output-dir]     (default ./survey-out)
+//
+// This is the paper's intro scenario — bringing a new building online:
+//  1. produce the floor plan and annotate it (Floor Plan Processor);
+//  2. walk the site collecting wi-scan files (the training survey);
+//  3. run the Training Database Generator over the files + location
+//     map, write the compressed .ltdb;
+//  4. locate test observations and render the composited evaluation
+//     image (Floor Plan Compositor).
+// Every intermediate artifact is a real file you can inspect.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "core/probabilistic.hpp"
+#include "floorplan/compositor.hpp"
+#include "floorplan/processor.hpp"
+#include "image/codec_bmp.hpp"
+#include "traindb/codec.hpp"
+#include "traindb/generator.hpp"
+#include "wiscan/survey.hpp"
+
+using namespace loctk;
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  const fs::path out = argc > 1 ? argv[1] : "survey-out";
+  fs::create_directories(out);
+  std::printf("writing artifacts under %s/\n", out.string().c_str());
+
+  // --- Step 1: the annotated floor plan --------------------------------
+  core::Testbed testbed(radio::make_paper_house());
+  floorplan::FloorPlan plan =
+      floorplan::render_environment(testbed.environment(), 10.0);
+  const wiscan::LocationMap grid =
+      core::make_training_grid(testbed.environment().footprint(), 10.0);
+  for (const auto& loc : grid.locations()) {
+    plan.add_place(loc.name, plan.to_pixel(loc.position));
+  }
+  floorplan::FloorPlanProcessor processor(std::move(plan));
+  processor.save(out / "house.ppm");
+  std::printf("1. floor plan: house.ppm + house.fpa (%zu APs, %zu places)\n",
+              processor.plan().access_points().size(),
+              processor.plan().places().size());
+
+  // --- Step 2: the training survey -> wi-scan files ---------------------
+  radio::Scanner scanner = testbed.make_scanner(2024);
+  wiscan::SurveyConfig survey_cfg;
+  survey_cfg.scans_per_location = 90;
+  wiscan::SurveyCampaign campaign(scanner, survey_cfg);
+  campaign.run_to_directory(grid, out / "scans");
+  grid.write(out / "house.locmap");
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(out / "scans")) {
+    files += e.is_regular_file();
+  }
+  std::printf("2. survey: %zu wi-scan files + house.locmap\n", files);
+
+  // --- Step 3: the Training Database Generator --------------------------
+  traindb::GeneratorReport report;
+  const traindb::TrainingDatabase db = traindb::generate_database_from_path(
+      out / "scans", out / "house.locmap", {}, &report);
+  traindb::write_database(out / "house.ltdb", db);
+  std::printf("3. training db: house.ltdb (%zu points, %zu bytes)\n",
+              db.size(), fs::file_size(out / "house.ltdb"));
+  if (!report.unmapped_locations.empty() ||
+      !report.unsurveyed_locations.empty()) {
+    std::printf("   WARNING: %zu unmapped, %zu unsurveyed locations\n",
+                report.unmapped_locations.size(),
+                report.unsurveyed_locations.size());
+  }
+
+  // --- Step 4: locate + composite ---------------------------------------
+  const auto truths = core::make_scattered_test_points(
+      testbed.environment().footprint(), 13);
+  const auto observations = testbed.observe(truths, 90, 2025);
+  const core::ProbabilisticLocator locator(db);
+  const auto result = core::evaluate(locator, db, truths, observations);
+
+  std::vector<floorplan::EvaluatedPoint> points;
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    if (!result.outcomes[i].estimate.valid) continue;
+    points.push_back({result.outcomes[i].truth,
+                      result.outcomes[i].estimate.position,
+                      "t" + std::to_string(i + 1)});
+  }
+  floorplan::CompositorOptions opts;
+  opts.title = "site survey: actual (+) vs estimated (x)";
+  const image::Raster img =
+      floorplan::composite_evaluation(processor.plan(), points, opts);
+  image::write_image(out / "evaluation.ppm", img);
+  image::write_image(out / "evaluation.bmp", img);
+  std::printf("4. evaluation.ppm/.bmp: %zu points, %.0f%% valid cells, "
+              "mean error %.1f ft\n",
+              points.size(), 100.0 * result.valid_estimation_rate(),
+              result.mean_error_ft());
+  return 0;
+}

@@ -1,0 +1,117 @@
+// traindb_tool — the paper's Training Database Generator (§4.3) as a
+// CLI, plus an inspector.
+//
+// "The Training Database Generator requires two pieces of
+// information: a collection of wi-scan files and a location map."
+// The collection argument is "a string representing either the name
+// of a directory containing the wi-scan files or a zip file" — here a
+// directory tree or a `.lar` archive.
+//
+//   traindb_tool generate <scans-dir | scans.lar> <map.locmap> <out.ltdb>
+//                [--keep-samples] [--min-samples N] [--site NAME]
+//   traindb_tool info <db.ltdb>
+//   traindb_tool pack <scans-dir> <out.lar>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "traindb/codec.hpp"
+#include "traindb/generator.hpp"
+#include "wiscan/archive.hpp"
+
+using namespace loctk;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  traindb_tool generate <scans-dir|scans.lar> <map.locmap> "
+      "<out.ltdb>\n"
+      "               [--keep-samples] [--min-samples N] [--site NAME]\n"
+      "  traindb_tool info <db.ltdb>\n"
+      "  traindb_tool pack <scans-dir> <out.lar>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+
+  try {
+    if (cmd == "generate") {
+      if (argc < 5) return usage();
+      traindb::GeneratorConfig cfg;
+      for (int i = 5; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--keep-samples") == 0) {
+          cfg.keep_samples = true;
+        } else if (std::strcmp(argv[i], "--min-samples") == 0 &&
+                   i + 1 < argc) {
+          cfg.min_samples_per_ap =
+              static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--site") == 0 && i + 1 < argc) {
+          cfg.site_name = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      traindb::GeneratorReport report;
+      const traindb::TrainingDatabase db =
+          traindb::generate_database_from_path(argv[2], argv[3], cfg,
+                                               &report);
+      traindb::write_database(argv[4], db);
+      std::printf("generated %s: %zu points, %zu BSSIDs\n", argv[4],
+                  db.size(), db.bssid_universe().size());
+      for (const auto& loc : report.unmapped_locations) {
+        std::printf("  warning: surveyed but not in map: %s\n",
+                    loc.c_str());
+      }
+      for (const auto& loc : report.unsurveyed_locations) {
+        std::printf("  warning: in map but never surveyed: %s\n",
+                    loc.c_str());
+      }
+      if (report.dropped_pairs > 0) {
+        std::printf("  note: dropped %zu sparse <point,AP> pairs "
+                    "(min-samples %u)\n",
+                    report.dropped_pairs, cfg.min_samples_per_ap);
+      }
+      return 0;
+    }
+
+    if (cmd == "info") {
+      const traindb::TrainingDatabase db = traindb::read_database(argv[2]);
+      std::printf("site: %s\n", db.site_name().c_str());
+      std::printf("points: %zu, BSSIDs: %zu, raw samples: %s\n", db.size(),
+                  db.bssid_universe().size(),
+                  db.has_samples() ? "yes" : "no");
+      std::printf("%-16s %10s %8s  per-AP mean dBm (sigma)\n", "location",
+                  "x,y (ft)", "APs");
+      for (const auto& tp : db.points()) {
+        std::printf("%-16s %5.1f,%4.1f %8zu ", tp.location.c_str(),
+                    tp.position.x, tp.position.y, tp.per_ap.size());
+        for (const auto& s : tp.per_ap) {
+          std::printf(" %.0f(%.1f)", s.mean_dbm, s.stddev_db);
+        }
+        std::printf("\n");
+      }
+      return 0;
+    }
+
+    if (cmd == "pack") {
+      if (argc != 4) return usage();
+      const wiscan::Archive ar = wiscan::Archive::pack_directory(argv[2]);
+      ar.write(argv[3]);
+      std::printf("packed %zu files into %s\n", ar.size(), argv[3]);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

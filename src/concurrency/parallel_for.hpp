@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file parallel_for.hpp
+/// Blocking data-parallel loops on top of ThreadPool.
+///
+/// `parallel_for` splits an index range into contiguous chunks — one
+/// per worker by default — mirroring an OpenMP `parallel for` with
+/// static scheduling. `parallel_reduce` runs a thread-local
+/// accumulator per chunk and merges the partials in order, so
+/// reductions whose merge is exact (e.g. `RunningStats::merge`) give
+/// run-to-run identical results regardless of thread count.
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "concurrency/thread_pool.hpp"
+
+namespace loctk::concurrency {
+
+/// Calls `body(i)` for every i in [begin, end) using `pool`.
+/// Exceptions from any chunk propagate to the caller (first chunk's
+/// exception wins). `grain` caps the minimum chunk size.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Body&& body, std::size_t grain = 1) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = std::max<std::size_t>(1, pool.thread_count());
+  const std::size_t chunk =
+      std::max(grain, (n + workers - 1) / workers);
+
+  std::vector<std::future<void>> futs;
+  futs.reserve((n + chunk - 1) / chunk);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futs.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Convenience overload using the default pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t grain = 1) {
+  parallel_for(default_pool(), begin, end, std::forward<Body>(body), grain);
+}
+
+/// Deterministic parallel reduction.
+///
+/// For each chunk, constructs `Acc acc = init;`, calls
+/// `accumulate(acc, i)` over the chunk, then merges the chunk partials
+/// left-to-right with `merge(total, partial)`. Returns the total.
+template <typename Acc, typename Accumulate, typename Merge>
+Acc parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                    Acc init, Accumulate&& accumulate, Merge&& merge,
+                    std::size_t grain = 1) {
+  if (begin >= end) return init;
+  const std::size_t n = end - begin;
+  const std::size_t workers = std::max<std::size_t>(1, pool.thread_count());
+  const std::size_t chunk = std::max(grain, (n + workers - 1) / workers);
+
+  std::vector<std::future<Acc>> futs;
+  futs.reserve((n + chunk - 1) / chunk);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futs.push_back(pool.submit([lo, hi, init, &accumulate]() {
+      Acc acc = init;
+      for (std::size_t i = lo; i < hi; ++i) accumulate(acc, i);
+      return acc;
+    }));
+  }
+  Acc total = init;
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      merge(total, f.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return total;
+}
+
+template <typename Acc, typename Accumulate, typename Merge>
+Acc parallel_reduce(std::size_t begin, std::size_t end, Acc init,
+                    Accumulate&& accumulate, Merge&& merge,
+                    std::size_t grain = 1) {
+  return parallel_reduce(default_pool(), begin, end, std::move(init),
+                         std::forward<Accumulate>(accumulate),
+                         std::forward<Merge>(merge), grain);
+}
+
+}  // namespace loctk::concurrency

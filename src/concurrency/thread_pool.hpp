@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A fixed-size worker pool with a shared task queue.
+///
+/// This is the shared-memory parallel substrate for the toolkit: the
+/// Training Database Generator parses wi-scan files on all cores, and
+/// the grid locators score candidate cells in parallel. The design
+/// follows the usual HPC guidance: threads are created once, work is
+/// submitted as value tasks, and shutdown joins everything (RAII — no
+/// detached threads, no leaked futures).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace loctk::concurrency {
+
+/// Fixed-size thread pool. Tasks run in FIFO order across workers.
+/// Destruction waits for already-queued tasks to finish.
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves with its result (or the
+  /// exception it threw).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Number of tasks waiting (excluding running ones); for tests.
+  std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// The process-wide default pool (lazily created, sized to the
+/// hardware). Library code that does not receive an explicit pool
+/// parallelizes on this one.
+ThreadPool& default_pool();
+
+}  // namespace loctk::concurrency

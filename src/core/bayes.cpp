@@ -1,0 +1,84 @@
+#include "core/bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace loctk::core {
+
+BayesGridLocator::BayesGridLocator(const traindb::TrainingDatabase& db,
+                                   BayesConfig config)
+    : likelihood_(db, config.likelihood), config_(config) {}
+
+Posterior BayesGridLocator::posterior(const Observation& obs) const {
+  return posterior(obs, {});
+}
+
+Posterior BayesGridLocator::posterior(
+    const Observation& obs, const std::vector<double>& prior) const {
+  const std::vector<ScoredPoint> scores = likelihood_.score_all(obs);
+  const std::size_t n = scores.size();
+
+  Posterior post;
+  post.probabilities.assign(n, 0.0);
+  if (n == 0) return post;
+
+  // Work in log space: log p_i = log prior_i + log like_i - logsumexp.
+  constexpr double kPriorFloor = 1e-9;
+  std::vector<double> log_weights(n);
+  double max_lw = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p =
+        prior.empty() ? 1.0 : std::max(prior[i], kPriorFloor);
+    log_weights[i] = scores[i].log_likelihood + std::log(p);
+    max_lw = std::max(max_lw, log_weights[i]);
+  }
+  if (max_lw == -std::numeric_limits<double>::infinity()) {
+    // Every point was vetoed: fall back to the (floored) prior alone.
+    for (std::size_t i = 0; i < n; ++i) {
+      log_weights[i] =
+          std::log(prior.empty() ? 1.0 : std::max(prior[i], kPriorFloor));
+      max_lw = std::max(max_lw, log_weights[i]);
+    }
+  }
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    post.probabilities[i] = std::exp(log_weights[i] - max_lw);
+    sum += post.probabilities[i];
+  }
+  geom::Vec2 mean;
+  double entropy = 0.0;
+  std::size_t map_index = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    post.probabilities[i] /= sum;
+    const double p = post.probabilities[i];
+    mean += scores[i].point->position * p;
+    if (p > 0.0) entropy -= p * std::log(p);
+    if (p > post.probabilities[map_index]) map_index = i;
+  }
+  post.mean_position = mean;
+  post.entropy = entropy;
+  post.map_index = map_index;
+  return post;
+}
+
+LocationEstimate BayesGridLocator::locate(const Observation& obs) const {
+  LocationEstimate est;
+  const auto& db = database();
+  if (obs.empty() || db.empty()) return est;
+
+  const Posterior post = posterior(obs);
+  if (post.probabilities.empty()) return est;
+
+  const traindb::TrainingPoint& map_point = db.points()[post.map_index];
+  est.valid = true;
+  est.position =
+      config_.use_posterior_mean ? post.mean_position : map_point.position;
+  est.location_name = map_point.location;
+  est.score = post.probabilities[post.map_index];
+  est.aps_used = static_cast<int>(obs.ap_count());
+  return est;
+}
+
+}  // namespace loctk::core

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file bayes.hpp
+/// Bayesian posterior over training points.
+///
+/// The paper's future-work §6 item 2 proposes "more powerful statistic
+/// tool, such as Bayesian-filter". This locator normalizes the §5.1
+/// per-point likelihoods into a posterior, supports a non-uniform
+/// prior (e.g. the previous time step's belief — the tracking layer
+/// feeds it back), and reports both the MAP cell and the posterior-
+/// weighted mean position (which, unlike the MAP point, can fall
+/// between training points).
+
+#include <vector>
+
+#include "core/locator.hpp"
+#include "core/probabilistic.hpp"
+
+namespace loctk::core {
+
+struct BayesConfig {
+  ProbabilisticConfig likelihood;
+  /// Report the posterior-mean position instead of the MAP training
+  /// point's position.
+  bool use_posterior_mean = true;
+};
+
+/// Posterior over the training points.
+struct Posterior {
+  /// Probabilities aligned with TrainingDatabase::points().
+  std::vector<double> probabilities;
+  /// MAP index (max probability, first on ties).
+  std::size_t map_index = 0;
+  /// Posterior-weighted mean position.
+  geom::Vec2 mean_position;
+  /// Entropy (nats) — a confidence diagnostic: log(N) when clueless,
+  /// 0 when certain.
+  double entropy = 0.0;
+};
+
+class BayesGridLocator : public Locator {
+ public:
+  explicit BayesGridLocator(const traindb::TrainingDatabase& db,
+                            BayesConfig config = {});
+
+  LocationEstimate locate(const Observation& obs) const override;
+  std::string name() const override { return "bayes-grid"; }
+
+  /// Full posterior with a uniform prior.
+  Posterior posterior(const Observation& obs) const;
+
+  /// Full posterior with an explicit prior (aligned with points(),
+  /// need not be normalized; zero-mass priors are floored so a bad
+  /// prior cannot permanently veto a cell).
+  Posterior posterior(const Observation& obs,
+                      const std::vector<double>& prior) const;
+
+  const traindb::TrainingDatabase& database() const {
+    return likelihood_.database();
+  }
+
+ private:
+  ProbabilisticLocator likelihood_;
+  BayesConfig config_;
+};
+
+}  // namespace loctk::core

@@ -1,0 +1,144 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/histogram.hpp"
+#include "stats/rng.hpp"
+
+namespace loctk::core {
+
+std::size_t EvaluationResult::valid_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(outcomes.begin(), outcomes.end(),
+                    [](const TestOutcome& o) { return o.estimate.valid; }));
+}
+
+double EvaluationResult::valid_estimation_rate() const {
+  if (outcomes.empty()) return 0.0;
+  const auto correct = std::count_if(
+      outcomes.begin(), outcomes.end(),
+      [](const TestOutcome& o) { return o.cell_correct; });
+  return static_cast<double>(correct) /
+         static_cast<double>(outcomes.size());
+}
+
+std::vector<double> EvaluationResult::sorted_errors() const {
+  std::vector<double> errs;
+  for (const TestOutcome& o : outcomes) {
+    if (o.estimate.valid) errs.push_back(o.error_ft);
+  }
+  std::sort(errs.begin(), errs.end());
+  return errs;
+}
+
+double EvaluationResult::mean_error_ft() const {
+  const std::vector<double> errs = sorted_errors();
+  if (errs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double e : errs) sum += e;
+  return sum / static_cast<double>(errs.size());
+}
+
+double EvaluationResult::median_error_ft() const {
+  const std::vector<double> errs = sorted_errors();
+  return errs.empty() ? 0.0 : stats::quantile(errs, 0.5);
+}
+
+double EvaluationResult::p90_error_ft() const {
+  const std::vector<double> errs = sorted_errors();
+  return errs.empty() ? 0.0 : stats::quantile(errs, 0.9);
+}
+
+double EvaluationResult::max_error_ft() const {
+  const std::vector<double> errs = sorted_errors();
+  return errs.empty() ? 0.0 : errs.back();
+}
+
+EvaluationResult evaluate(const Locator& locator,
+                          const traindb::TrainingDatabase& db,
+                          const std::vector<geom::Vec2>& truths,
+                          const std::vector<Observation>& observations) {
+  EvaluationResult result;
+  result.locator_name = locator.name();
+  const std::size_t n = std::min(truths.size(), observations.size());
+  result.outcomes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TestOutcome out;
+    out.truth = truths[i];
+    out.estimate = locator.locate(observations[i]);
+    if (out.estimate.valid) {
+      out.error_ft = geom::distance(out.truth, out.estimate.position);
+      if (!out.estimate.location_name.empty()) {
+        const traindb::TrainingPoint* oracle = db.nearest_point(out.truth);
+        out.cell_correct =
+            oracle && oracle->location == out.estimate.location_name;
+      }
+    }
+    result.outcomes.push_back(std::move(out));
+  }
+  return result;
+}
+
+std::vector<Observation> collect_observations(
+    radio::Scanner& scanner, const std::vector<geom::Vec2>& truths,
+    int scans_per_point) {
+  std::vector<Observation> obs;
+  obs.reserve(truths.size());
+  for (const geom::Vec2 p : truths) {
+    scanner.reset_session();
+    obs.push_back(
+        Observation::from_scans(scanner.collect(p, scans_per_point)));
+  }
+  return obs;
+}
+
+wiscan::LocationMap make_training_grid(const geom::Rect& footprint,
+                                       double spacing_ft) {
+  wiscan::LocationMap map;
+  // Grid points at multiples of the spacing, strictly inside the
+  // footprint (paper: "each training point (x, y) where x and y are
+  // product of 10 feet" within the 50x40 house).
+  const double x0 =
+      std::ceil(footprint.min.x / spacing_ft) * spacing_ft;
+  const double y0 =
+      std::ceil(footprint.min.y / spacing_ft) * spacing_ft;
+  for (double y = y0; y < footprint.max.y; y += spacing_ft) {
+    for (double x = x0; x < footprint.max.x; x += spacing_ft) {
+      if (x <= footprint.min.x || y <= footprint.min.y) continue;
+      const std::string name = "p" + std::to_string(static_cast<int>(x)) +
+                               "-" + std::to_string(static_cast<int>(y));
+      map.set(name, {x, y});
+    }
+  }
+  return map;
+}
+
+std::vector<geom::Vec2> make_scattered_test_points(
+    const geom::Rect& footprint, int count, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<geom::Vec2> points;
+  points.reserve(static_cast<std::size_t>(count));
+  const geom::Rect inner = footprint.inflated(-3.0);  // stay off walls
+  while (points.size() < static_cast<std::size_t>(count)) {
+    geom::Vec2 p{rng.uniform(inner.min.x, inner.max.x),
+                 rng.uniform(inner.min.y, inner.max.y)};
+    // Snap to half-foot resolution (surveyors stand on tape marks),
+    // then reject points too close to a previous pick.
+    p.x = std::round(p.x * 2.0) / 2.0;
+    p.y = std::round(p.y * 2.0) / 2.0;
+    // Keep test points off the common 5/10-ft training lattices so no
+    // observation is taken exactly at a surveyed point.
+    if (std::fmod(p.x, 5.0) == 0.0 && std::fmod(p.y, 5.0) == 0.0) {
+      continue;
+    }
+    const bool crowded =
+        std::any_of(points.begin(), points.end(), [&](geom::Vec2 q) {
+          return geom::distance(p, q) < 6.0;
+        });
+    if (!crowded) points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace loctk::core

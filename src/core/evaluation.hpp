@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file evaluation.hpp
+/// The evaluation harness behind every number in EXPERIMENTS.md.
+///
+/// Reproduces the paper's two metrics over a set of test observations:
+///
+///  * **valid-estimation rate** (§5.1): the fraction of observations
+///    for which a fingerprint locator returned the training point
+///    nearest to where the client actually stood ("60% observations
+///    end up with a valid estimation");
+///  * **average deviation** (§5.2): mean Euclidean distance between
+///    estimate and truth in feet, plus median/p90/max and the full
+///    error list for CDFs.
+///
+/// Also provides the paper's fixed experimental setup: the 13 test
+/// locations "scattered in the house" and the 10-ft training grid.
+
+#include <string>
+#include <vector>
+
+#include "core/locator.hpp"
+#include "geom/rect.hpp"
+#include "radio/scanner.hpp"
+#include "wiscan/location_map.hpp"
+
+namespace loctk::core {
+
+/// One evaluated observation.
+struct TestOutcome {
+  geom::Vec2 truth;
+  LocationEstimate estimate;
+  double error_ft = 0.0;
+  /// Fingerprint metric: locator returned the training point nearest
+  /// the truth (meaningless for coordinate locators; false there).
+  bool cell_correct = false;
+};
+
+/// Aggregate over a test set.
+struct EvaluationResult {
+  std::string locator_name;
+  std::vector<TestOutcome> outcomes;
+
+  std::size_t count() const { return outcomes.size(); }
+  std::size_t valid_count() const;
+  /// §5.1 metric: cell-correct / total.
+  double valid_estimation_rate() const;
+  /// §5.2 metric over valid estimates (ft).
+  double mean_error_ft() const;
+  double median_error_ft() const;
+  double p90_error_ft() const;
+  double max_error_ft() const;
+  /// Sorted error list (valid estimates only) for CDF plots.
+  std::vector<double> sorted_errors() const;
+};
+
+/// Evaluates one locator against observations captured at known truth
+/// positions. `db` supplies the nearest-training-point oracle for the
+/// cell-correct metric.
+EvaluationResult evaluate(const Locator& locator,
+                          const traindb::TrainingDatabase& db,
+                          const std::vector<geom::Vec2>& truths,
+                          const std::vector<Observation>& observations);
+
+/// Collects a working-phase observation at each truth point using
+/// `scanner` (`scans_per_point` passes each, fresh session per point).
+std::vector<Observation> collect_observations(
+    radio::Scanner& scanner, const std::vector<geom::Vec2>& truths,
+    int scans_per_point);
+
+/// The paper's training layout: grid points at multiples of
+/// `spacing_ft` strictly inside the footprint, named "px-y". With the
+/// 50x40 house and 10 ft this yields the 4x3 interior + boundary
+/// points the paper trained on.
+wiscan::LocationMap make_training_grid(const geom::Rect& footprint,
+                                       double spacing_ft = 10.0);
+
+/// The paper's 13 test locations "scattered in the house", chosen
+/// deterministically off-grid (no test point coincides with a
+/// training point).
+std::vector<geom::Vec2> make_scattered_test_points(
+    const geom::Rect& footprint, int count = 13,
+    std::uint64_t seed = 0x13B7);
+
+}  // namespace loctk::core

@@ -1,0 +1,89 @@
+#include "core/floor_selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "traindb/generator.hpp"
+#include "wiscan/survey.hpp"
+
+namespace loctk::core {
+
+FloorSelector::FloorSelector(
+    std::vector<const traindb::TrainingDatabase*> databases,
+    ProbabilisticConfig config) {
+  if (databases.empty()) {
+    throw std::invalid_argument("FloorSelector: no databases");
+  }
+  locators_.reserve(databases.size());
+  for (const traindb::TrainingDatabase* db : databases) {
+    if (db == nullptr) {
+      throw std::invalid_argument("FloorSelector: null database");
+    }
+    locators_.push_back(
+        std::make_unique<ProbabilisticLocator>(*db, config));
+  }
+}
+
+std::vector<double> FloorSelector::floor_scores(
+    const Observation& obs) const {
+  std::vector<double> scores;
+  scores.reserve(locators_.size());
+  for (const auto& locator : locators_) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const ScoredPoint& sp : locator->score_all(obs)) {
+      best = std::max(best, sp.log_likelihood);
+    }
+    scores.push_back(best);
+  }
+  return scores;
+}
+
+FloorEstimate FloorSelector::locate(const Observation& obs) const {
+  FloorEstimate out;
+  if (obs.empty()) return out;
+
+  const std::vector<double> scores = floor_scores(obs);
+  const auto best_it = std::max_element(scores.begin(), scores.end());
+  if (*best_it == -std::numeric_limits<double>::infinity()) return out;
+  const auto best =
+      static_cast<std::size_t>(std::distance(scores.begin(), best_it));
+
+  const LocationEstimate est = locators_[best]->locate(obs);
+  if (!est.valid) return out;
+
+  // Softmax confidence over the per-floor best scores.
+  double denom = 0.0;
+  for (const double s : scores) {
+    if (std::isfinite(s)) denom += std::exp(s - *best_it);
+  }
+  out.valid = true;
+  out.floor = best;
+  out.estimate = est;
+  out.floor_confidence = denom > 0.0 ? 1.0 / denom : 0.0;
+  return out;
+}
+
+std::vector<traindb::TrainingDatabase> train_building(
+    const radio::Building& building, const wiscan::LocationMap& map,
+    int scans_per_point, std::uint64_t seed,
+    const radio::ChannelConfig& channel) {
+  std::vector<traindb::TrainingDatabase> dbs;
+  dbs.reserve(building.floor_count());
+  for (std::size_t f = 0; f < building.floor_count(); ++f) {
+    const radio::FloorView view(building, f);
+    radio::Scanner scanner(view, channel,
+                           seed + f * 0x1009u + 1);
+    wiscan::SurveyConfig cfg;
+    cfg.scans_per_location = scans_per_point;
+    wiscan::SurveyCampaign campaign(scanner, cfg);
+    const wiscan::Collection collection = campaign.run(map);
+    traindb::GeneratorConfig gen;
+    gen.site_name = "floor-" + std::to_string(f);
+    dbs.push_back(traindb::generate_database(collection, map, gen));
+  }
+  return dbs;
+}
+
+}  // namespace loctk::core

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file floor_selector.hpp
+/// Floor determination + within-floor localization for buildings.
+///
+/// With one training database per floor (each surveyed through a
+/// `radio::FloorView`, so cross-floor APs appear in it with their
+/// slab-attenuated means), floor selection falls out of the paper's
+/// own machinery: the floor whose best training point explains the
+/// observation with the highest likelihood wins, and the winning
+/// floor's locator supplies the in-floor position.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/probabilistic.hpp"
+#include "radio/multifloor.hpp"
+#include "wiscan/location_map.hpp"
+
+namespace loctk::core {
+
+/// One multi-floor fix.
+struct FloorEstimate {
+  bool valid = false;
+  std::size_t floor = 0;
+  /// In-floor estimate from the winning floor's locator.
+  LocationEstimate estimate;
+  /// Softmax probability of the winning floor vs the others (1.0 when
+  /// there is only one floor).
+  double floor_confidence = 0.0;
+};
+
+/// Selects the floor by per-floor maximum likelihood.
+class FloorSelector {
+ public:
+  /// `databases[f]` is floor f's training database; all must outlive
+  /// the selector. Throws std::invalid_argument when empty.
+  explicit FloorSelector(
+      std::vector<const traindb::TrainingDatabase*> databases,
+      ProbabilisticConfig config = {});
+
+  /// Floor + position for one observation.
+  FloorEstimate locate(const Observation& obs) const;
+
+  /// Per-floor best log-likelihoods (diagnostics; aligned by floor).
+  std::vector<double> floor_scores(const Observation& obs) const;
+
+  std::size_t floor_count() const { return locators_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ProbabilisticLocator>> locators_;
+};
+
+/// Surveys every floor of `building` on `map` (the same grid per
+/// floor) and returns one training database per floor. Each floor's
+/// survey runs through a `FloorView`, so cross-floor APs land in the
+/// databases exactly as a real multi-floor survey would record them.
+std::vector<traindb::TrainingDatabase> train_building(
+    const radio::Building& building, const wiscan::LocationMap& map,
+    int scans_per_point, std::uint64_t seed,
+    const radio::ChannelConfig& channel = {});
+
+}  // namespace loctk::core

@@ -1,0 +1,184 @@
+#include "core/geometric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/polygon.hpp"
+
+namespace loctk::core {
+
+double FittedApModel::predict(double distance_ft) const {
+  return std::visit([&](const auto& m) { return m.predict(distance_ft); },
+                    model);
+}
+
+double FittedApModel::invert(double ss_dbm, double d_min,
+                             double d_max) const {
+  return std::visit(
+      [&](const auto& m) { return m.invert(ss_dbm, d_min, d_max); }, model);
+}
+
+double FittedApModel::r_squared() const {
+  return std::visit([](const auto& m) { return m.r_squared; }, model);
+}
+
+namespace {
+
+std::vector<FittedApModel> fit_models(const traindb::TrainingDatabase& db,
+                                      const radio::Environment& env,
+                                      const GeometricConfig& config) {
+  std::vector<FittedApModel> models;
+  for (const radio::AccessPoint& ap : env.access_points()) {
+    std::vector<double> distances;
+    std::vector<double> signals;
+    for (const traindb::TrainingPoint& tp : db.points()) {
+      const traindb::ApStatistics* s = tp.find(ap.bssid);
+      if (!s) continue;
+      distances.push_back(geom::distance(ap.position, tp.position));
+      signals.push_back(s->mean_dbm);
+    }
+    if (distances.size() < 3) continue;
+
+    FittedApModel fm;
+    fm.bssid = ap.bssid;
+    fm.position = ap.position;
+    bool ok = false;
+    switch (config.model) {
+      case SignalModel::kInverseSquare: {
+        const auto m = stats::fit_inverse_square(distances, signals);
+        if (m) {
+          fm.model = *m;
+          ok = true;
+        }
+        break;
+      }
+      case SignalModel::kLogDistance: {
+        const auto m = stats::fit_log_distance(distances, signals);
+        if (m) {
+          fm.model = *m;
+          ok = true;
+        }
+        break;
+      }
+      case SignalModel::kInversePower: {
+        const auto m = stats::fit_inverse_power(distances, signals);
+        if (m) {
+          fm.model = *m;
+          ok = true;
+        }
+        break;
+      }
+    }
+    if (ok) models.push_back(std::move(fm));
+  }
+  return models;
+}
+
+}  // namespace
+
+GeometricLocator::GeometricLocator(const traindb::TrainingDatabase& db,
+                                   const radio::Environment& env,
+                                   GeometricConfig config)
+    : config_(config), models_(fit_models(db, env, config)) {
+  if (models_.size() < 3) {
+    throw traindb::DatabaseError(
+        "GeometricLocator: fewer than 3 APs have enough training "
+        "coverage to fit a ranging model");
+  }
+}
+
+std::vector<geom::Circle> GeometricLocator::circles_for(
+    const Observation& obs) const {
+  std::vector<geom::Circle> circles;
+  circles.reserve(models_.size());
+  for (const FittedApModel& fm : models_) {
+    const auto observed = obs.mean_of(fm.bssid);
+    if (!observed || *observed < config_.min_usable_dbm) continue;
+    const double d = fm.invert(*observed, config_.min_distance_ft,
+                               config_.max_distance_ft);
+    circles.push_back({fm.position, d});
+  }
+  return circles;
+}
+
+LocationEstimate GeometricLocator::locate(const Observation& obs) const {
+  LocationEstimate est;
+  const std::vector<geom::Circle> circles = circles_for(obs);
+  if (circles.size() < 3) return est;
+
+  // Pairwise intersection points.
+  std::vector<geom::Vec2> pair_points;
+  if (config_.pairs == PairStrategy::kAdjacentRing) {
+    for (std::size_t i = 0; i < circles.size(); ++i) {
+      const std::size_t j = (i + 1) % circles.size();
+      pair_points.push_back(geom::circle_pair_point(circles[i], circles[j]));
+    }
+  } else {
+    for (std::size_t i = 0; i < circles.size(); ++i) {
+      for (std::size_t j = i + 1; j < circles.size(); ++j) {
+        pair_points.push_back(
+            geom::circle_pair_point(circles[i], circles[j]));
+      }
+    }
+  }
+  if (pair_points.empty()) return est;
+
+  geom::Vec2 p;
+  switch (config_.estimator) {
+    case PointEstimator::kComponentMedian:
+      p = geom::component_median(pair_points);
+      break;
+    case PointEstimator::kGeometricMedian:
+      p = geom::geometric_median(pair_points);
+      break;
+    case PointEstimator::kMean:
+      p = geom::mean_point(pair_points);
+      break;
+  }
+  if (!geom::is_finite(p)) return est;
+
+  // Confidence: negative RMS radial residual of the estimate.
+  std::vector<geom::RangeMeasurement> ranges;
+  ranges.reserve(circles.size());
+  for (const geom::Circle& c : circles) {
+    ranges.push_back({c.center, c.radius});
+  }
+  est.valid = true;
+  est.position = p;
+  est.score = -geom::range_rms_residual(ranges, p);
+  est.aps_used = static_cast<int>(circles.size());
+  return est;
+}
+
+LaterationLocator::LaterationLocator(const traindb::TrainingDatabase& db,
+                                     const radio::Environment& env,
+                                     GeometricConfig config)
+    : ranging_(db, env, config),
+      bounds_(env.footprint().inflated(10.0)) {}
+
+LocationEstimate LaterationLocator::locate(const Observation& obs) const {
+  LocationEstimate est;
+  const std::vector<geom::Circle> circles = ranging_.circles_for(obs);
+  if (circles.size() < 3) return est;
+
+  std::vector<geom::RangeMeasurement> ranges;
+  ranges.reserve(circles.size());
+  for (const geom::Circle& c : circles) {
+    ranges.push_back({c.center, c.radius});
+  }
+  const auto linear = geom::lateration_least_squares(ranges);
+  if (!linear) return est;
+  const geom::Vec2 refined = geom::lateration_gauss_newton(ranges, *linear);
+  if (!geom::is_finite(refined)) return est;
+
+  est.valid = true;
+  // Biased ranges can push the unconstrained solution far off the
+  // site; clamp to the mapped area (plus margin) like a deployed
+  // system would.
+  est.position = bounds_.clamp(refined);
+  est.score = -geom::range_rms_residual(ranges, refined);
+  est.aps_used = static_cast<int>(circles.size());
+  return est;
+}
+
+}  // namespace loctk::core

@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file geometric.hpp
+/// The paper's §5.2 geometric (multilateration) locator.
+///
+/// Phase 1 fits, per AP, an inverse-square signal model
+/// `ss = a/d² + b` by least squares over the training points (the
+/// paper's eq. 2 / Figure 4). Phase 2 converts
+/// the observed RSSI vector into distances, forms the circles
+/// (AP_i, d_i), intersects *adjacent* pairs — (A,B), (B,C), (C,D),
+/// (D,A) for four APs — and returns the median point of the pairwise
+/// intersection points P1..P4.
+///
+/// Knobs expose the paper's implicit design choices for ablation:
+/// which signal→distance model, which circle pairs, and which robust
+/// estimator combines the pair points.
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/locator.hpp"
+#include "geom/circle.hpp"
+#include "geom/lateration.hpp"
+#include "geom/rect.hpp"
+#include "radio/environment.hpp"
+#include "stats/regression.hpp"
+
+namespace loctk::core {
+
+/// Signal -> distance model choice.
+enum class SignalModel {
+  kInverseSquare,  ///< the paper's ss = a/d² + b
+  kLogDistance,    ///< RADAR-style ss = p0 − 10·n·log10(d)
+  kInversePower,   ///< ss = a/d^k + b with fitted exponent
+};
+
+/// Which circle pairs produce intersection points.
+enum class PairStrategy {
+  kAdjacentRing,  ///< the paper's (A,B),(B,C),...,(last,first)
+  kAllPairs,      ///< every unordered pair
+};
+
+/// How the pair points collapse into one estimate.
+enum class PointEstimator {
+  kComponentMedian,  ///< the paper's median point
+  kGeometricMedian,  ///< Weiszfeld
+  kMean,
+};
+
+struct GeometricConfig {
+  SignalModel model = SignalModel::kInverseSquare;
+  PairStrategy pairs = PairStrategy::kAdjacentRing;
+  PointEstimator estimator = PointEstimator::kComponentMedian;
+  /// Distance clamp when inverting the signal model (feet). The upper
+  /// clamp matters: a deep fade inverts to a near-infinite radius and
+  /// would drag the pairwise points off the map.
+  double min_distance_ft = 1.0;
+  double max_distance_ft = 150.0;
+  /// APs below this observed power are too unreliable to range on.
+  double min_usable_dbm = -95.0;
+};
+
+/// Per-AP fitted signal model (tagged by the config's choice).
+struct FittedApModel {
+  std::string bssid;
+  geom::Vec2 position;
+  std::variant<stats::InverseSquareModel, stats::LogDistanceModel,
+               stats::InversePowerModel>
+      model;
+
+  double predict(double distance_ft) const;
+  double invert(double ss_dbm, double d_min, double d_max) const;
+  /// R² of the fit on the training data.
+  double r_squared() const;
+};
+
+/// The §5.2 locator.
+class GeometricLocator : public Locator {
+ public:
+  /// Fits one model per AP from the training database; APs heard at
+  /// fewer than 3 training points are unusable and skipped. `env`
+  /// provides the AP positions (the database stores only signal
+  /// statistics). Throws DatabaseError when fewer than 3 APs are
+  /// fittable.
+  GeometricLocator(const traindb::TrainingDatabase& db,
+                   const radio::Environment& env,
+                   GeometricConfig config = {});
+
+  LocationEstimate locate(const Observation& obs) const override;
+  std::string name() const override { return "geometric"; }
+
+  /// The fitted per-AP models (for Figure 4 style reporting).
+  const std::vector<FittedApModel>& models() const { return models_; }
+
+  /// Ranging step alone: observed vector -> circles.
+  std::vector<geom::Circle> circles_for(const Observation& obs) const;
+
+  const GeometricConfig& config() const { return config_; }
+
+ private:
+  GeometricConfig config_;
+  std::vector<FittedApModel> models_;
+};
+
+/// Baseline: the same fitted ranging models feeding classic linear
+/// least-squares multilateration with Gauss-Newton refinement instead
+/// of the paper's pairwise-median construction. Estimates are clamped
+/// to the site footprint (plus a 10 ft margin): biased ranges can
+/// drive the unconstrained solution arbitrarily far off the map.
+class LaterationLocator : public Locator {
+ public:
+  LaterationLocator(const traindb::TrainingDatabase& db,
+                    const radio::Environment& env,
+                    GeometricConfig config = {});
+
+  LocationEstimate locate(const Observation& obs) const override;
+  std::string name() const override { return "lateration-ls"; }
+
+ private:
+  GeometricLocator ranging_;  // reuse its fitted models
+  geom::Rect bounds_;
+};
+
+}  // namespace loctk::core

@@ -1,0 +1,54 @@
+#include "core/grid_locator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "concurrency/parallel_for.hpp"
+
+namespace loctk::core {
+
+GridLocator::GridLocator(const traindb::TrainingDatabase& db,
+                         geom::Rect bounds, GridLocatorConfig config)
+    : field_(db, config.field), config_(config) {
+  const double pitch = std::max(0.25, config_.grid_pitch_ft);
+  for (double y = bounds.min.y; y <= bounds.max.y; y += pitch) {
+    for (double x = bounds.min.x; x <= bounds.max.x; x += pitch) {
+      cells_.push_back({x, y});
+    }
+  }
+}
+
+LocationEstimate GridLocator::locate(const Observation& obs) const {
+  LocationEstimate est;
+  if (obs.empty() || cells_.empty() || field_.database().empty()) {
+    return est;
+  }
+
+  std::vector<double> scores(cells_.size());
+  auto score_cell = [&](std::size_t i) {
+    scores[i] = field_.log_likelihood(obs, cells_[i]);
+  };
+  if (config_.parallel) {
+    concurrency::parallel_for(0, cells_.size(), score_cell,
+                              /*grain=*/64);
+  } else {
+    for (std::size_t i = 0; i < cells_.size(); ++i) score_cell(i);
+  }
+
+  const auto best = std::max_element(scores.begin(), scores.end());
+  if (*best == -std::numeric_limits<double>::infinity()) return est;
+  const auto idx =
+      static_cast<std::size_t>(std::distance(scores.begin(), best));
+
+  est.valid = true;
+  est.position = cells_[idx];
+  est.score = *best;
+  est.aps_used = static_cast<int>(obs.ap_count());
+  // Name the nearest surveyed place for the abstraction step.
+  if (const auto* tp = field_.database().nearest_point(est.position)) {
+    est.location_name = tp->location;
+  }
+  return est;
+}
+
+}  // namespace loctk::core

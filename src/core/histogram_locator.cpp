@@ -1,0 +1,94 @@
+#include "core/histogram_locator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace loctk::core {
+
+HistogramLocator::HistogramLocator(const traindb::TrainingDatabase& db,
+                                   HistogramLocatorConfig config)
+    : db_(&db), config_(config) {
+  if (!db.has_samples()) {
+    throw traindb::DatabaseError(
+        "HistogramLocator: database has no raw samples; regenerate with "
+        "keep_samples = true");
+  }
+  const auto bins = static_cast<std::size_t>(std::max(
+      1.0, std::ceil((config_.hi_dbm - config_.lo_dbm) /
+                     config_.bin_width_db)));
+  histograms_.reserve(db.size());
+  for (const traindb::TrainingPoint& p : db.points()) {
+    std::vector<stats::Histogram> per_ap;
+    per_ap.reserve(p.per_ap.size());
+    for (const traindb::ApStatistics& s : p.per_ap) {
+      stats::Histogram h(config_.lo_dbm, config_.hi_dbm, bins);
+      for (const std::int32_t centi : s.samples_centi_dbm) {
+        h.add(static_cast<double>(centi) / 100.0);
+      }
+      per_ap.push_back(std::move(h));
+    }
+    histograms_.push_back(std::move(per_ap));
+  }
+}
+
+double HistogramLocator::log_likelihood(const Observation& obs,
+                                        std::size_t point_index) const {
+  const traindb::TrainingPoint& point = db_->points().at(point_index);
+  const auto& hists = histograms_.at(point_index);
+
+  double total = 0.0;
+  for (std::size_t a = 0; a < point.per_ap.size(); ++a) {
+    const traindb::ApStatistics& s = point.per_ap[a];
+    const ObservedAp* oap = obs.find(s.bssid);
+    if (!oap) {
+      total += config_.missing_ap_log_penalty;
+      continue;
+    }
+    // Score every raw reading; fall back to the mean when the
+    // observation kept no raw values.
+    if (oap->samples_dbm.empty()) {
+      total += std::log(hists[a].probability(oap->mean_dbm, config_.alpha));
+    } else {
+      // Average the per-reading log-probabilities so a long dwell does
+      // not dominate the per-AP terms.
+      double ap_sum = 0.0;
+      for (const double v : oap->samples_dbm) {
+        ap_sum += std::log(hists[a].probability(v, config_.alpha));
+      }
+      total += ap_sum / static_cast<double>(oap->samples_dbm.size());
+    }
+  }
+  for (const ObservedAp& oap : obs.aps()) {
+    if (point.find(oap.bssid) == nullptr) {
+      total += config_.missing_ap_log_penalty;
+    }
+  }
+  return total;
+}
+
+LocationEstimate HistogramLocator::locate(const Observation& obs) const {
+  LocationEstimate est;
+  if (obs.empty() || db_->empty()) return est;
+
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < db_->size(); ++i) {
+    const double ll = log_likelihood(obs, i);
+    if (ll > best) {
+      best = ll;
+      best_idx = i;
+    }
+  }
+  if (best == -std::numeric_limits<double>::infinity()) return est;
+
+  const traindb::TrainingPoint& p = db_->points()[best_idx];
+  est.valid = true;
+  est.position = p.position;
+  est.location_name = p.location;
+  est.score = best;
+  est.aps_used = static_cast<int>(obs.ap_count());
+  return est;
+}
+
+}  // namespace loctk::core

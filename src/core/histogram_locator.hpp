@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file histogram_locator.hpp
+/// Distribution-aware fingerprint matching.
+///
+/// The paper's future-work §6 item 2: "Our new algorithm will
+/// consider the distribution of these values" rather than only the
+/// mean. This locator builds, per <training point, AP>, a histogram
+/// of the retained raw samples and scores an observation by the
+/// smoothed log-probability of each of its raw readings. It needs a
+/// database generated with `GeneratorConfig::keep_samples = true`.
+
+#include <vector>
+
+#include "core/locator.hpp"
+#include "stats/histogram.hpp"
+
+namespace loctk::core {
+
+struct HistogramLocatorConfig {
+  /// Histogram support (dBm) and bin width.
+  double lo_dbm = -100.0;
+  double hi_dbm = -10.0;
+  double bin_width_db = 2.0;
+  /// Laplace pseudo-count per bin.
+  double alpha = 0.5;
+  /// Log-penalty per AP present on only one side.
+  double missing_ap_log_penalty = -6.0;
+};
+
+class HistogramLocator : public Locator {
+ public:
+  /// Throws DatabaseError when `db` retains no raw samples.
+  explicit HistogramLocator(const traindb::TrainingDatabase& db,
+                            HistogramLocatorConfig config = {});
+
+  LocationEstimate locate(const Observation& obs) const override;
+  std::string name() const override { return "histogram"; }
+
+  /// Log-likelihood of the observation's raw readings at training
+  /// point index `point_index`.
+  double log_likelihood(const Observation& obs,
+                        std::size_t point_index) const;
+
+ private:
+  const traindb::TrainingDatabase* db_;  // non-owning
+  HistogramLocatorConfig config_;
+  /// histograms_[point][ap-slot] aligned with points()[i].per_ap.
+  std::vector<std::vector<stats::Histogram>> histograms_;
+};
+
+}  // namespace loctk::core

@@ -1,0 +1,108 @@
+#include "core/hmm_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace loctk::core {
+
+HmmTracker::HmmTracker(const traindb::TrainingDatabase& db,
+                       HmmTrackerConfig config)
+    : db_(&db), config_(config), emission_(db, config.likelihood) {
+  const std::size_t n = db.size();
+  transition_.assign(n * n, 0.0);
+  const double two_sigma2 =
+      2.0 * config_.step_sigma_ft * config_.step_sigma_ft;
+  const double mix = std::clamp(config_.uniform_mixing, 0.0, 1.0);
+  for (std::size_t from = 0; from < n; ++from) {
+    double row_sum = 0.0;
+    for (std::size_t to = 0; to < n; ++to) {
+      const double d2 = geom::distance2(db.points()[from].position,
+                                        db.points()[to].position);
+      const double w = std::exp(-d2 / two_sigma2);
+      transition_[from * n + to] = w;
+      row_sum += w;
+    }
+    // Normalize and blend in the uniform escape mass.
+    for (std::size_t to = 0; to < n; ++to) {
+      double& t = transition_[from * n + to];
+      t = (1.0 - mix) * (t / row_sum) + mix / static_cast<double>(n);
+    }
+  }
+  reset();
+}
+
+void HmmTracker::reset() {
+  const std::size_t n = db_->size();
+  belief_.assign(n, n ? 1.0 / static_cast<double>(n) : 0.0);
+  scratch_.assign(n, 0.0);
+}
+
+void HmmTracker::predict() {
+  const std::size_t n = belief_.size();
+  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  for (std::size_t from = 0; from < n; ++from) {
+    const double mass = belief_[from];
+    if (mass <= 0.0) continue;
+    const double* row = &transition_[from * n];
+    for (std::size_t to = 0; to < n; ++to) {
+      scratch_[to] += mass * row[to];
+    }
+  }
+  belief_.swap(scratch_);
+}
+
+double HmmTracker::entropy() const {
+  double h = 0.0;
+  for (const double p : belief_) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+LocationEstimate HmmTracker::step(const Observation& obs) {
+  LocationEstimate est;
+  const std::size_t n = belief_.size();
+  if (n == 0) return est;
+
+  predict();
+
+  if (!obs.empty()) {
+    // Update with the paper's eq. (1) emission, in log space against
+    // the max to avoid underflow.
+    const std::vector<ScoredPoint> scores = emission_.score_all(obs);
+    double max_ll = -std::numeric_limits<double>::infinity();
+    for (const ScoredPoint& sp : scores) {
+      max_ll = std::max(max_ll, sp.log_likelihood);
+    }
+    if (max_ll > -std::numeric_limits<double>::infinity()) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        belief_[i] *= std::exp(scores[i].log_likelihood - max_ll);
+        sum += belief_[i];
+      }
+      if (sum > 0.0) {
+        for (double& b : belief_) b /= sum;
+      } else {
+        reset();
+      }
+    }
+  }
+
+  // Report.
+  std::size_t map_idx = 0;
+  geom::Vec2 mean;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean += db_->points()[i].position * belief_[i];
+    if (belief_[i] > belief_[map_idx]) map_idx = i;
+  }
+  const traindb::TrainingPoint& map_point = db_->points()[map_idx];
+  est.valid = true;
+  est.position = config_.use_posterior_mean ? mean : map_point.position;
+  est.location_name = map_point.location;
+  est.score = belief_[map_idx];
+  est.aps_used = static_cast<int>(obs.ap_count());
+  return est;
+}
+
+}  // namespace loctk::core

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file hmm_tracker.hpp
+/// Discrete Bayesian (HMM) tracking over the training points.
+///
+/// The most literal reading of the paper's future-work item 2: "use
+/// the combination of the historical location value and the current
+/// signal strength value to derive the current location ... use more
+/// powerful statistic tool, such as Bayesian-filter." The hidden
+/// state is *which training cell* the client occupies; the transition
+/// model says the client walks a bounded distance between scans; the
+/// emission model is the paper's own eq. (1) likelihood. The forward
+/// recursion then fuses history with the current observation exactly
+/// as proposed.
+
+#include <vector>
+
+#include "core/bayes.hpp"
+#include "core/locator.hpp"
+#include "core/probabilistic.hpp"
+
+namespace loctk::core {
+
+struct HmmTrackerConfig {
+  ProbabilisticConfig likelihood;
+  /// Expected per-step movement (ft); transitions are Gaussian in the
+  /// distance between cell centers with this sigma.
+  double step_sigma_ft = 4.0;
+  /// Mass reserved for "teleport" transitions to any cell — keeps the
+  /// filter recoverable after it latches onto a wrong mode.
+  double uniform_mixing = 0.02;
+  /// Report the posterior-mean position instead of the MAP cell
+  /// center.
+  bool use_posterior_mean = true;
+};
+
+/// Forward-algorithm filter over the training-point grid.
+/// Stateful: call step() once per observation epoch.
+class HmmTracker {
+ public:
+  /// Precomputes the |cells|^2 transition matrix. `db` must outlive
+  /// the tracker.
+  explicit HmmTracker(const traindb::TrainingDatabase& db,
+                      HmmTrackerConfig config = {});
+
+  /// One predict-update cycle; returns the filtered estimate. An
+  /// empty observation performs predict-only (the belief diffuses).
+  LocationEstimate step(const Observation& obs);
+
+  /// Current belief over training points (aligned with points()).
+  const std::vector<double>& belief() const { return belief_; }
+
+  /// Belief entropy in nats (log |cells| when clueless).
+  double entropy() const;
+
+  /// Back to the uniform prior.
+  void reset();
+
+  const traindb::TrainingDatabase& database() const { return *db_; }
+
+ private:
+  void predict();
+
+  const traindb::TrainingDatabase* db_;  // non-owning
+  HmmTrackerConfig config_;
+  ProbabilisticLocator emission_;
+  /// Row-major transitions: transition_[from * n + to].
+  std::vector<double> transition_;
+  std::vector<double> belief_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace loctk::core

@@ -1,0 +1,76 @@
+#include "core/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace loctk::core {
+
+KnnLocator::KnnLocator(const traindb::TrainingDatabase& db, KnnConfig config)
+    : db_(&db), config_(config) {
+  config_.k = std::max(1, config_.k);
+}
+
+std::string KnnLocator::name() const {
+  return config_.k == 1 ? "nnss" : "knn-" + std::to_string(config_.k);
+}
+
+double KnnLocator::signal_distance(
+    const Observation& obs, const traindb::TrainingPoint& point) const {
+  const auto& universe = db_->bssid_universe();
+  double sum2 = 0.0;
+  for (const std::string& bssid : universe) {
+    const traindb::ApStatistics* trained = point.find(bssid);
+    const auto observed = obs.mean_of(bssid);
+    const double a = trained ? trained->mean_dbm : config_.missing_dbm;
+    const double b = observed.value_or(config_.missing_dbm);
+    sum2 += (a - b) * (a - b);
+  }
+  return std::sqrt(sum2);
+}
+
+LocationEstimate KnnLocator::locate(const Observation& obs) const {
+  LocationEstimate est;
+  if (obs.empty() || db_->empty()) return est;
+
+  struct Neighbor {
+    const traindb::TrainingPoint* point;
+    double distance;
+  };
+  std::vector<Neighbor> neighbors;
+  neighbors.reserve(db_->size());
+  for (const traindb::TrainingPoint& p : db_->points()) {
+    neighbors.push_back({&p, signal_distance(obs, p)});
+  }
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.k),
+                            neighbors.size());
+  std::partial_sort(neighbors.begin(),
+                    neighbors.begin() + static_cast<std::ptrdiff_t>(k),
+                    neighbors.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance;
+                    });
+
+  geom::Vec2 weighted;
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w =
+        config_.inverse_distance_weighting
+            ? 1.0 / (neighbors[i].distance + config_.weighting_epsilon)
+            : 1.0;
+    weighted += neighbors[i].point->position * w;
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0) return est;
+
+  est.valid = true;
+  est.position = weighted / weight_sum;
+  // The nearest neighbor names the cell even when k > 1 interpolates.
+  est.location_name = neighbors.front().point->location;
+  est.score = -neighbors.front().distance;
+  est.aps_used = static_cast<int>(obs.ap_count());
+  return est;
+}
+
+}  // namespace loctk::core

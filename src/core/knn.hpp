@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file knn.hpp
+/// Deterministic signal-space nearest-neighbor locators (RADAR).
+///
+/// The classic baseline the paper's probabilistic approach descends
+/// from: treat the mean-RSSI vector as a point in signal space and
+/// return the training point whose signature is Euclidean-closest
+/// (NNSS, Bahl & Padmanabhan 2000). The k-NN variant averages the k
+/// best training positions, optionally weighted by inverse distance,
+/// which can land *between* training points — something the paper's
+/// §5.1 locator cannot do.
+
+#include "core/locator.hpp"
+
+namespace loctk::core {
+
+struct KnnConfig {
+  int k = 1;
+  /// Weight neighbors by 1/(signal distance + epsilon) instead of
+  /// uniformly.
+  bool inverse_distance_weighting = true;
+  double weighting_epsilon = 1e-3;
+  /// Sentinel RSSI for APs missing on either side (dBm).
+  double missing_dbm = -100.0;
+};
+
+/// k-nearest-neighbor in signal space. k = 1 gives plain NNSS.
+class KnnLocator : public Locator {
+ public:
+  explicit KnnLocator(const traindb::TrainingDatabase& db,
+                      KnnConfig config = {});
+
+  LocationEstimate locate(const Observation& obs) const override;
+  std::string name() const override;
+
+  /// Euclidean distance in signal space between the observation and a
+  /// training point, over the database's BSSID universe.
+  double signal_distance(const Observation& obs,
+                         const traindb::TrainingPoint& point) const;
+
+  const KnnConfig& config() const { return config_; }
+
+ private:
+  const traindb::TrainingDatabase* db_;  // non-owning
+  KnnConfig config_;
+};
+
+}  // namespace loctk::core

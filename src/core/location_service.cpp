@@ -1,0 +1,76 @@
+#include "core/location_service.hpp"
+
+#include <algorithm>
+
+namespace loctk::core {
+
+LocationService::LocationService(const Locator& locator,
+                                 LocationServiceConfig config)
+    : locator_(&locator), config_(config), kalman_(config.kalman) {
+  config_.window_scans = std::max<std::size_t>(1, config_.window_scans);
+  config_.min_scans =
+      std::clamp<std::size_t>(config_.min_scans, 1, config_.window_scans);
+  config_.place_debounce = std::max(1, config_.place_debounce);
+}
+
+void LocationService::reset() {
+  window_.clear();
+  kalman_.reset();
+  fix_ = {};
+  candidate_place_.clear();
+  candidate_streak_ = 0;
+  announced_place_.clear();
+}
+
+ServiceFix LocationService::on_scan(const radio::ScanRecord& scan) {
+  window_.push_back(scan);
+  if (window_.size() > config_.window_scans) {
+    window_.erase(window_.begin());
+  }
+  fix_.window_fill = window_.size();
+
+  if (window_.size() < config_.min_scans) {
+    fix_.valid = false;
+    return fix_;
+  }
+
+  const Observation obs = Observation::from_scans(window_);
+  const LocationEstimate est = locator_->locate(obs);
+
+  if (est.valid) {
+    fix_.valid = true;
+    fix_.position = config_.kalman_smoothing ? kalman_.update(est.position)
+                                             : est.position;
+  } else if (config_.kalman_smoothing && kalman_.initialized()) {
+    // Coast through a bad window.
+    fix_.valid = true;
+    fix_.position = kalman_.predict();
+  } else {
+    fix_.valid = false;
+    return fix_;
+  }
+
+  // Debounced place resolution.
+  const std::string& place = est.location_name;
+  if (!place.empty()) {
+    if (place == candidate_place_) {
+      ++candidate_streak_;
+    } else {
+      candidate_place_ = place;
+      candidate_streak_ = 1;
+    }
+    if (candidate_streak_ >= config_.place_debounce &&
+        candidate_place_ != announced_place_) {
+      const std::string from = announced_place_;
+      announced_place_ = candidate_place_;
+      fix_.place = announced_place_;
+      for (const PlaceChangeCallback& cb : callbacks_) {
+        cb(from, announced_place_);
+      }
+    }
+  }
+  fix_.place = announced_place_;
+  return fix_;
+}
+
+}  // namespace loctk::core

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file location_service.hpp
+/// The live location service: the paper's §6 item 4 ("implement the
+/// new location service, and use the service in our other research
+/// projects related to pervasive computing").
+///
+/// Applications do not batch 90 scans and call locate() — they feed
+/// scans as the NIC produces them and ask "where is the client *now*,
+/// and which named place is that?" at any moment. `LocationService`
+/// owns that loop: a sliding window of recent scans becomes the
+/// current observation, a snapshot locator scores it, an optional
+/// Kalman layer smooths the track, and subscribers get callbacks when
+/// the resolved *place* changes (the paper's intro scenario: forward
+/// the incoming call to the recipient's current room).
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/locator.hpp"
+#include "core/tracking.hpp"
+#include "radio/scanner.hpp"
+
+namespace loctk::core {
+
+struct LocationServiceConfig {
+  /// Scans kept in the sliding window (the working-phase dwell; the
+  /// paper used ~90 for static tests, live tracking wants far less).
+  std::size_t window_scans = 8;
+  /// Minimum scans before the service reports anything.
+  std::size_t min_scans = 2;
+  /// Smooth the position stream with a constant-velocity Kalman
+  /// filter.
+  bool kalman_smoothing = true;
+  KalmanConfig kalman;
+  /// A place change is announced only after the new place has been
+  /// resolved this many consecutive updates (debounce against cell
+  /// flapping at room boundaries).
+  int place_debounce = 2;
+};
+
+/// Current service output.
+struct ServiceFix {
+  bool valid = false;
+  geom::Vec2 position;
+  /// Resolved named place (training-point / location-map name).
+  std::string place;
+  /// Scans currently in the window.
+  std::size_t window_fill = 0;
+};
+
+/// Stateful per-client localization session.
+class LocationService {
+ public:
+  /// `locator` must outlive the service.
+  LocationService(const Locator& locator,
+                  LocationServiceConfig config = {});
+
+  /// Feeds one scan; returns the updated fix.
+  ServiceFix on_scan(const radio::ScanRecord& scan);
+
+  /// The most recent fix without feeding anything.
+  const ServiceFix& current() const { return fix_; }
+
+  /// Registers a callback fired when the debounced place changes
+  /// (old place may be empty on the first resolution).
+  using PlaceChangeCallback =
+      std::function<void(const std::string& from, const std::string& to)>;
+  void on_place_change(PlaceChangeCallback cb) {
+    callbacks_.push_back(std::move(cb));
+  }
+
+  /// Forgets the window, track, and debounce state (client rejoined).
+  void reset();
+
+  const LocationServiceConfig& config() const { return config_; }
+
+ private:
+  const Locator* locator_;  // non-owning
+  LocationServiceConfig config_;
+  std::vector<radio::ScanRecord> window_;
+  KalmanTracker kalman_;
+  ServiceFix fix_;
+  std::string candidate_place_;
+  int candidate_streak_ = 0;
+  std::string announced_place_;
+  std::vector<PlaceChangeCallback> callbacks_;
+};
+
+}  // namespace loctk::core

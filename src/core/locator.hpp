@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file locator.hpp
+/// The common interface every localization algorithm implements.
+///
+/// The paper's two-phase structure (train, then locate) makes the
+/// approaches drop-in interchangeable: both §5.1 (probabilistic) and
+/// §5.2 (geometric) consume an `Observation` and produce a position —
+/// one snapped to a training point, one a free coordinate. The
+/// estimate carries both forms plus a confidence score so evaluation
+/// code and the Compositor treat all algorithms uniformly.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/observation.hpp"
+#include "geom/vec2.hpp"
+#include "traindb/database.hpp"
+
+namespace loctk::core {
+
+/// Result of a locate() call.
+struct LocationEstimate {
+  /// True when the locator produced any answer at all; the fields
+  /// below are meaningless when false (observation empty, no overlap
+  /// with the training universe, degenerate geometry...).
+  bool valid = false;
+
+  /// Estimated world position (feet).
+  geom::Vec2 position;
+
+  /// For fingerprint locators: the winning training-point location
+  /// name ("kitchen"); empty for coordinate-valued locators.
+  std::string location_name;
+
+  /// Algorithm-specific confidence. Fingerprint locators report the
+  /// winning log-likelihood; geometric locators report the negative
+  /// RMS circle residual. Only comparable within one algorithm.
+  double score = 0.0;
+
+  /// How many APs contributed to the estimate.
+  int aps_used = 0;
+};
+
+/// Abstract localization algorithm, trained at construction time.
+class Locator {
+ public:
+  virtual ~Locator() = default;
+
+  /// Estimates the client position for one observation.
+  virtual LocationEstimate locate(const Observation& obs) const = 0;
+
+  /// Short algorithm name for reports ("probabilistic-ml", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace loctk::core

@@ -1,0 +1,79 @@
+#include "core/path.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loctk::core {
+
+WaypointPath::WaypointPath(std::vector<geom::Vec2> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  cum_.reserve(waypoints_.size());
+  cum_.push_back(0.0);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    total_length_ += geom::distance(waypoints_[i - 1], waypoints_[i]);
+    cum_.push_back(total_length_);
+  }
+}
+
+std::pair<std::size_t, double> WaypointPath::locate_segment(
+    double distance) const {
+  // First waypoint whose cumulative length exceeds `distance`.
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), distance);
+  if (it == cum_.begin()) return {0, 0.0};
+  const auto idx = static_cast<std::size_t>(
+      std::distance(cum_.begin(), it)) - 1;
+  if (idx + 1 >= waypoints_.size()) {
+    return {waypoints_.size() - 1, 0.0};
+  }
+  return {idx, distance - cum_[idx]};
+}
+
+geom::Vec2 WaypointPath::position_at(double distance) const {
+  if (waypoints_.empty()) return {};
+  if (distance <= 0.0) return waypoints_.front();
+  if (distance >= total_length_) return waypoints_.back();
+  const auto [idx, offset] = locate_segment(distance);
+  if (idx + 1 >= waypoints_.size()) return waypoints_.back();
+  const double leg = geom::distance(waypoints_[idx], waypoints_[idx + 1]);
+  if (leg <= 0.0) return waypoints_[idx];
+  return geom::lerp(waypoints_[idx], waypoints_[idx + 1], offset / leg);
+}
+
+geom::Vec2 WaypointPath::heading_at(double distance) const {
+  if (waypoints_.size() < 2) return {};
+  const double d =
+      std::clamp(distance, 0.0, std::max(0.0, total_length_ - 1e-9));
+  const auto [idx, offset] = locate_segment(d);
+  (void)offset;
+  const std::size_t seg = std::min(idx, waypoints_.size() - 2);
+  return (waypoints_[seg + 1] - waypoints_[seg]).normalized();
+}
+
+WaypointPath paper_house_tour() {
+  return WaypointPath({
+      {8, 8},   {42, 8},  {42, 18}, {25, 18}, {25, 32},
+      {42, 32}, {8, 32},  {8, 8},
+  });
+}
+
+WaypointPath random_waypoint_path(const geom::Rect& area, int n,
+                                  stats::Rng& rng, double margin,
+                                  double min_leg) {
+  const geom::Rect inner = area.inflated(-margin);
+  std::vector<geom::Vec2> waypoints;
+  waypoints.reserve(static_cast<std::size_t>(std::max(0, n)));
+  int guard = 0;
+  while (static_cast<int>(waypoints.size()) < n && guard < n * 100) {
+    ++guard;
+    const geom::Vec2 p{rng.uniform(inner.min.x, inner.max.x),
+                       rng.uniform(inner.min.y, inner.max.y)};
+    if (!waypoints.empty() &&
+        geom::distance(waypoints.back(), p) < min_leg) {
+      continue;
+    }
+    waypoints.push_back(p);
+  }
+  return WaypointPath(std::move(waypoints));
+}
+
+}  // namespace loctk::core

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file path.hpp
+/// Client mobility paths for tracking workloads.
+///
+/// The tracking benches and demos need a ground-truth trajectory to
+/// walk: a piecewise-linear path through waypoints, sampled by
+/// distance walked. `WaypointPath` is that; `random_waypoint_path`
+/// generates the classic random-waypoint mobility model used
+/// throughout the localization literature to stress trackers.
+
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/vec2.hpp"
+#include "stats/rng.hpp"
+
+namespace loctk::core {
+
+/// A piecewise-linear path through ordered waypoints.
+class WaypointPath {
+ public:
+  WaypointPath() = default;
+  /// Requires at least one waypoint to be useful; a single waypoint
+  /// is a stationary "path".
+  explicit WaypointPath(std::vector<geom::Vec2> waypoints);
+
+  const std::vector<geom::Vec2>& waypoints() const { return waypoints_; }
+
+  /// Total walkable length (ft).
+  double length() const { return total_length_; }
+
+  /// Position after walking `distance` ft from the start; clamped to
+  /// the endpoints (no wrap).
+  geom::Vec2 position_at(double distance) const;
+
+  /// Walking direction (unit vector) at `distance`; {0,0} for a
+  /// stationary path.
+  geom::Vec2 heading_at(double distance) const;
+
+  /// Convenience: position after `t` seconds at `speed` ft/s.
+  geom::Vec2 position_at_time(double t, double speed_ft_s = 2.0) const {
+    return position_at(t * speed_ft_s);
+  }
+
+  bool empty() const { return waypoints_.empty(); }
+
+ private:
+  /// Segment index and interpolation offset for a walked distance.
+  std::pair<std::size_t, double> locate_segment(double distance) const;
+
+  std::vector<geom::Vec2> waypoints_;
+  /// Cumulative length up to waypoint i (cum_[0] == 0).
+  std::vector<double> cum_;
+  double total_length_ = 0.0;
+};
+
+/// The fixed perimeter-and-middle tour of the paper house used by the
+/// tracking bench and demos (deterministic; ~185 ft long).
+WaypointPath paper_house_tour();
+
+/// Random-waypoint mobility: `n` waypoints uniform in `area` (shrunk
+/// by `margin` from the walls), consecutive waypoints at least
+/// `min_leg` apart. Deterministic per RNG state.
+WaypointPath random_waypoint_path(const geom::Rect& area, int n,
+                                  stats::Rng& rng, double margin = 3.0,
+                                  double min_leg = 8.0);
+
+}  // namespace loctk::core

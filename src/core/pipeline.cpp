@@ -1,0 +1,23 @@
+#include "core/pipeline.hpp"
+
+namespace loctk::core {
+
+traindb::TrainingDatabase Testbed::train(
+    const wiscan::LocationMap& map, int scans, std::uint64_t seed,
+    const traindb::GeneratorConfig& config) const {
+  radio::Scanner scanner = make_scanner(seed);
+  wiscan::SurveyConfig survey_config;
+  survey_config.scans_per_location = scans;
+  wiscan::SurveyCampaign campaign(scanner, survey_config);
+  const wiscan::Collection collection = campaign.run(map);
+  return traindb::generate_database(collection, map, config);
+}
+
+std::vector<Observation> Testbed::observe(
+    const std::vector<geom::Vec2>& truths, int scans,
+    std::uint64_t seed) const {
+  radio::Scanner scanner = make_scanner(seed);
+  return collect_observations(scanner, truths, scans);
+}
+
+}  // namespace loctk::core

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// End-to-end wiring of the two-phase process (paper Figure 1).
+///
+/// `Testbed` owns a simulated site and hands out everything the
+/// paper's six steps need: Phase 1 (steps 1-4) — survey the training
+/// map into wi-scan data and generate the training database; Phase 2
+/// (steps 5-6) — collect working observations and locate. Examples
+/// and benches build on this instead of re-wiring the substrates.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/observation.hpp"
+#include "radio/environment.hpp"
+#include "radio/propagation.hpp"
+#include "radio/scanner.hpp"
+#include "traindb/generator.hpp"
+#include "wiscan/location_map.hpp"
+#include "wiscan/survey.hpp"
+
+namespace loctk::core {
+
+/// A simulated deployment: environment + propagation + channel knobs.
+/// Non-copyable/non-movable because scanners and locators keep
+/// pointers into it; create it first and let it outlive them.
+class Testbed {
+ public:
+  explicit Testbed(radio::Environment env,
+                   radio::PropagationConfig propagation_config = {},
+                   radio::ChannelConfig channel_config = {})
+      : env_(std::move(env)),
+        propagation_(env_, propagation_config),
+        channel_config_(channel_config) {}
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  const radio::Environment& environment() const { return env_; }
+  const radio::Propagation& propagation() const { return propagation_; }
+  const radio::ChannelConfig& channel_config() const {
+    return channel_config_;
+  }
+
+  /// A fresh receiver session.
+  radio::Scanner make_scanner(std::uint64_t seed) const {
+    return radio::Scanner(propagation_, channel_config_, seed);
+  }
+
+  /// Phase 1: survey `map` (`scans` passes per point, RNG `seed`) and
+  /// generate the training database through the real wi-scan file
+  /// representation (so the format code is always on the hot path).
+  traindb::TrainingDatabase train(
+      const wiscan::LocationMap& map, int scans, std::uint64_t seed,
+      const traindb::GeneratorConfig& config = {}) const;
+
+  /// Phase 2: one observation per truth point.
+  std::vector<Observation> observe(const std::vector<geom::Vec2>& truths,
+                                   int scans, std::uint64_t seed) const;
+
+ private:
+  radio::Environment env_;
+  radio::Propagation propagation_;
+  radio::ChannelConfig channel_config_;
+};
+
+}  // namespace loctk::core

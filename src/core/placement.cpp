@@ -1,0 +1,178 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace loctk::core {
+
+radio::Environment with_aps(const radio::Environment& site,
+                            const std::vector<geom::Vec2>& ap_positions) {
+  radio::Environment env(site.footprint());
+  for (const radio::Wall& w : site.walls()) env.add_wall(w);
+  for (std::size_t i = 0; i < ap_positions.size(); ++i) {
+    radio::AccessPoint ap;
+    ap.bssid = radio::synthetic_bssid(static_cast<int>(i));
+    ap.name = "AP" + std::to_string(i);
+    ap.position = ap_positions[i];
+    env.add_access_point(ap);
+  }
+  return env;
+}
+
+std::vector<geom::Vec2> candidate_lattice(const geom::Rect& footprint,
+                                          double pitch, double margin) {
+  std::vector<geom::Vec2> out;
+  const geom::Rect inner = footprint.inflated(-margin);
+  for (double y = inner.min.y; y <= inner.max.y + 1e-9; y += pitch) {
+    for (double x = inner.min.x; x <= inner.max.x + 1e-9; x += pitch) {
+      out.push_back({x, y});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Evaluation-grid cells for a site.
+std::vector<geom::Vec2> eval_cells(const geom::Rect& footprint,
+                                   double pitch) {
+  std::vector<geom::Vec2> cells;
+  for (double y = footprint.min.y + pitch / 2.0; y < footprint.max.y;
+       y += pitch) {
+    for (double x = footprint.min.x + pitch / 2.0; x < footprint.max.x;
+         x += pitch) {
+      cells.push_back({x, y});
+    }
+  }
+  return cells;
+}
+
+// Predicted mean RSSI of each candidate AP at each cell:
+// signal[ap][cell].
+std::vector<std::vector<double>> predict_signals(
+    const radio::Environment& site, const std::vector<geom::Vec2>& aps,
+    const std::vector<geom::Vec2>& cells,
+    const radio::PropagationConfig& pc) {
+  const radio::Environment env = with_aps(site, aps);
+  const radio::Propagation prop(env, pc);
+  std::vector<std::vector<double>> signal(
+      aps.size(), std::vector<double>(cells.size()));
+  for (std::size_t a = 0; a < aps.size(); ++a) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      signal[a][c] = prop.mean_rssi_dbm(a, cells[c]);
+    }
+  }
+  return signal;
+}
+
+struct SeparationStats {
+  double min_db = std::numeric_limits<double>::infinity();
+  double mean_db = 0.0;
+  double confusable = 0.0;
+};
+
+// Pairwise signature separation over the cells, restricted to the AP
+// subset `subset` (indices into `signal`) and to cell pairs at least
+// `min_pair_dist` apart (aliasing pairs, not neighbors).
+SeparationStats separation(const std::vector<std::vector<double>>& signal,
+                           const std::vector<std::size_t>& subset,
+                           const std::vector<geom::Vec2>& cells,
+                           double target_db, double min_pair_dist) {
+  SeparationStats st;
+  const std::size_t n_cells = cells.size();
+  const double min_d2 = min_pair_dist * min_pair_dist;
+  std::size_t pairs = 0, confusable = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    for (std::size_t j = i + 1; j < n_cells; ++j) {
+      if (geom::distance2(cells[i], cells[j]) < min_d2) continue;
+      double d2 = 0.0;
+      for (const std::size_t a : subset) {
+        const double diff = signal[a][i] - signal[a][j];
+        d2 += diff * diff;
+      }
+      const double d = std::sqrt(d2);
+      st.min_db = std::min(st.min_db, d);
+      sum += d;
+      if (d < target_db) ++confusable;
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    st.mean_db = sum / static_cast<double>(pairs);
+    st.confusable =
+        static_cast<double>(confusable) / static_cast<double>(pairs);
+  } else {
+    st.min_db = 0.0;
+  }
+  return st;
+}
+
+}  // namespace
+
+PlacementResult score_placement(const radio::Environment& site,
+                                const std::vector<geom::Vec2>& ap_positions,
+                                const PlacementConfig& config) {
+  const auto cells = eval_cells(site.footprint(), config.eval_pitch_ft);
+  const auto signal =
+      predict_signals(site, ap_positions, cells, config.propagation);
+  std::vector<std::size_t> all(ap_positions.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const SeparationStats st =
+      separation(signal, all, cells, config.separation_target_db,
+                 config.min_pair_distance_ft);
+  PlacementResult r;
+  r.chosen = all;
+  r.min_separation_db = st.min_db;
+  r.mean_separation_db = st.mean_db;
+  r.confusable_fraction = st.confusable;
+  return r;
+}
+
+PlacementResult plan_ap_placement(const radio::Environment& site,
+                                  const std::vector<geom::Vec2>& candidates,
+                                  std::size_t k,
+                                  const PlacementConfig& config) {
+  PlacementResult result;
+  if (candidates.empty() || k == 0) return result;
+  k = std::min(k, candidates.size());
+
+  const auto cells = eval_cells(site.footprint(), config.eval_pitch_ft);
+  const auto signal =
+      predict_signals(site, candidates, cells, config.propagation);
+
+  std::vector<std::size_t> chosen;
+  std::vector<bool> used(candidates.size(), false);
+  while (chosen.size() < k) {
+    std::size_t best = candidates.size();
+    SeparationStats best_st;
+    best_st.min_db = -1.0;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (used[c]) continue;
+      std::vector<std::size_t> trial = chosen;
+      trial.push_back(c);
+      const SeparationStats st =
+          separation(signal, trial, cells, config.separation_target_db,
+                     config.min_pair_distance_ft);
+      // Lexicographic: raise the bottleneck first, then the mean.
+      const bool better =
+          st.min_db > best_st.min_db + 1e-12 ||
+          (std::abs(st.min_db - best_st.min_db) <= 1e-12 &&
+           st.mean_db > best_st.mean_db);
+      if (best == candidates.size() || better) {
+        best = c;
+        best_st = st;
+      }
+    }
+    used[best] = true;
+    chosen.push_back(best);
+    result.min_separation_db = best_st.min_db;
+    result.mean_separation_db = best_st.mean_db;
+    result.confusable_fraction = best_st.confusable;
+  }
+  result.chosen = std::move(chosen);
+  return result;
+}
+
+}  // namespace loctk::core

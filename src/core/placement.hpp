@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file placement.hpp
+/// Access-point placement planning for fingerprint localization.
+///
+/// The paper deploys four APs "at the four corners of the experiment
+/// house" — a sensible guess, but a guess. This planner makes the
+/// choice principled: fingerprinting works when every pair of
+/// candidate cells has *distinguishable* signatures, so we pick the
+/// AP subset (greedy, from a candidate list) that maximizes the
+/// minimum pairwise signature separation over the evaluation grid,
+/// predicted by the propagation model. A toolkit-expansion feature in
+/// the spirit of §6 item 4.
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/vec2.hpp"
+#include "radio/environment.hpp"
+#include "radio/propagation.hpp"
+
+namespace loctk::core {
+
+struct PlacementConfig {
+  PlacementConfig() {
+    // Plan on *predictable* physics (distance decay + walls): the
+    // multipath realization of a not-yet-deployed AP cannot be known
+    // in advance, and including a simulated one would let the planner
+    // overfit to information no real deployment has.
+    propagation.multipath_amplitude_db = 0.0;
+  }
+
+  /// Pitch of the evaluation grid the separations are scored on (ft).
+  double eval_pitch_ft = 10.0;
+  /// Two cells are "confusable" when their signatures are closer than
+  /// this (dB, Euclidean over the chosen APs).
+  double separation_target_db = 6.0;
+  /// Only cell pairs at least this far apart (ft) count: neighbors
+  /// are always signal-close, and confusing them is a small error;
+  /// the planner targets *aliasing* — distant cells that look alike.
+  double min_pair_distance_ft = 15.0;
+  /// Propagation knobs used for prediction.
+  radio::PropagationConfig propagation;
+};
+
+/// One scored deployment.
+struct PlacementResult {
+  /// Indices into the candidate list, in pick order.
+  std::vector<std::size_t> chosen;
+  /// Minimum signature distance among counted (distant) cell pairs
+  /// (dB) — the aliasing bottleneck the greedy tries to raise.
+  double min_separation_db = 0.0;
+  /// Mean pairwise signature distance (dB).
+  double mean_separation_db = 0.0;
+  /// Fraction of cell pairs below the separation target.
+  double confusable_fraction = 0.0;
+};
+
+/// Scores a *given* deployment (AP positions) on `site`.
+PlacementResult score_placement(const radio::Environment& site,
+                                const std::vector<geom::Vec2>& ap_positions,
+                                const PlacementConfig& config = {});
+
+/// Greedily picks `k` positions from `candidates`: each step adds the
+/// candidate that most improves the (min, then mean) separation.
+/// `site` supplies footprint and walls; its own APs are ignored.
+PlacementResult plan_ap_placement(const radio::Environment& site,
+                                  const std::vector<geom::Vec2>& candidates,
+                                  std::size_t k,
+                                  const PlacementConfig& config = {});
+
+/// Builds an environment equal to `site`'s geometry with APs at the
+/// given positions (named AP0..APn-1) — ready for a Testbed.
+radio::Environment with_aps(const radio::Environment& site,
+                            const std::vector<geom::Vec2>& ap_positions);
+
+/// A default candidate lattice: points on a `pitch` grid inside the
+/// footprint, pulled `margin` ft off the walls.
+std::vector<geom::Vec2> candidate_lattice(const geom::Rect& footprint,
+                                          double pitch = 8.0,
+                                          double margin = 2.0);
+
+}  // namespace loctk::core

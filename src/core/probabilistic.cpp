@@ -1,0 +1,109 @@
+#include "core/probabilistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/gaussian.hpp"
+
+namespace loctk::core {
+
+ProbabilisticLocator::ProbabilisticLocator(
+    const traindb::TrainingDatabase& db, ProbabilisticConfig config)
+    : db_(&db), config_(config) {
+  // Pooled per-AP sigma: sample-count-weighted RMS of the per-point
+  // sigmas (i.e. pooled variance).
+  const auto& universe = db.bssid_universe();
+  pooled_sigma_.assign(universe.size(), config_.sigma_floor_db);
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    double var_sum = 0.0;
+    double weight = 0.0;
+    for (const traindb::TrainingPoint& tp : db.points()) {
+      if (const traindb::ApStatistics* s = tp.find(universe[i])) {
+        const double w = static_cast<double>(s->sample_count);
+        var_sum += w * s->stddev_db * s->stddev_db;
+        weight += w;
+      }
+    }
+    if (weight > 0.0) {
+      pooled_sigma_[i] = std::max(std::sqrt(var_sum / weight),
+                                  config_.sigma_floor_db);
+    }
+  }
+}
+
+double ProbabilisticLocator::pooled_sigma_db(const std::string& bssid) const {
+  const auto idx = db_->bssid_index(bssid);
+  if (!idx) return config_.sigma_floor_db;
+  return pooled_sigma_[*idx];
+}
+
+double ProbabilisticLocator::log_likelihood(
+    const Observation& obs, const traindb::TrainingPoint& point,
+    int* common_aps) const {
+  double total = 0.0;
+  int common = 0;
+
+  // APs trained at this point.
+  for (const traindb::ApStatistics& ap : point.per_ap) {
+    const auto observed = obs.mean_of(ap.bssid);
+    if (observed) {
+      stats::Gaussian g = ap.gaussian(config_.sigma_floor_db);
+      if (config_.use_pooled_sigma) {
+        g.sigma = pooled_sigma_db(ap.bssid);
+      }
+      total += g.log_pdf(*observed);
+      ++common;
+    } else {
+      total += config_.missing_ap_log_penalty;
+    }
+  }
+  // APs heard now but never trained here.
+  for (const ObservedAp& oap : obs.aps()) {
+    if (point.find(oap.bssid) == nullptr) {
+      total += config_.missing_ap_log_penalty;
+    }
+  }
+  if (common_aps) *common_aps = common;
+  return total;
+}
+
+std::vector<ScoredPoint> ProbabilisticLocator::score_all(
+    const Observation& obs) const {
+  std::vector<ScoredPoint> scores;
+  scores.reserve(db_->size());
+  for (const traindb::TrainingPoint& p : db_->points()) {
+    ScoredPoint sp;
+    sp.point = &p;
+    sp.log_likelihood = log_likelihood(obs, p, &sp.common_aps);
+    if (sp.common_aps < config_.min_common_aps) {
+      sp.log_likelihood = -std::numeric_limits<double>::infinity();
+    }
+    scores.push_back(sp);
+  }
+  return scores;
+}
+
+LocationEstimate ProbabilisticLocator::locate(const Observation& obs) const {
+  LocationEstimate est;
+  if (obs.empty() || db_->empty()) return est;
+
+  const std::vector<ScoredPoint> scores = score_all(obs);
+  const auto best = std::max_element(
+      scores.begin(), scores.end(),
+      [](const ScoredPoint& a, const ScoredPoint& b) {
+        return a.log_likelihood < b.log_likelihood;
+      });
+  if (best == scores.end() ||
+      best->log_likelihood == -std::numeric_limits<double>::infinity()) {
+    return est;
+  }
+  est.valid = true;
+  est.position = best->point->position;
+  est.location_name = best->point->location;
+  est.score = best->log_likelihood;
+  est.aps_used = best->common_aps;
+  return est;
+}
+
+}  // namespace loctk::core

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file probabilistic.hpp
+/// The paper's §5.1 probabilistic (maximum-likelihood) locator.
+///
+/// Training stored, per <training point, AP>, the mean and standard
+/// deviation of the RSSI samples. At working time the observed mean
+/// vector is scored against every training point with
+///
+///   value = Π_AP  exp(-(obs - mean)^2 / 2σ²) / sqrt(2πσ²)     (paper eq. 1)
+///
+/// and the arg-max training point is returned: "this approach does
+/// not return the coordinate values of the observed location, but
+/// returns the most approximate training location instead."
+///
+/// We evaluate the product in log space (same arg-max, no underflow)
+/// and expose the full per-point scores for the Bayes-grid and
+/// tracking layers.
+
+#include <vector>
+
+#include "core/locator.hpp"
+
+namespace loctk::core {
+
+/// Tuning knobs for the likelihood.
+struct ProbabilisticConfig {
+  /// Lower bound on σ (dB). A training pair whose samples never
+  /// varied would otherwise produce a delta-function that vetoes
+  /// everything.
+  double sigma_floor_db = 1.0;
+  /// Log-penalty applied per AP that is present on exactly one side
+  /// (heard now but not trained here, or vice versa). Encodes "this
+  /// AP's visibility disagrees" without zeroing the product.
+  double missing_ap_log_penalty = -6.0;
+  /// Points sharing fewer than this many APs with the observation are
+  /// skipped entirely.
+  int min_common_aps = 1;
+  /// Use one sigma per AP, pooled across all training points, instead
+  /// of each point's own sample sigma. The paper's formula uses the
+  /// per-point sigma; with ~90 samples that estimate is noisy enough
+  /// that its -log(sigma) term can flip near-ties toward whichever
+  /// cell happened to survey calm (a known fingerprinting pathology).
+  /// Pooling removes that term from the decision.
+  bool use_pooled_sigma = false;
+};
+
+/// One scored training point (for diagnostics and the Bayes layer).
+struct ScoredPoint {
+  const traindb::TrainingPoint* point = nullptr;
+  double log_likelihood = 0.0;
+  int common_aps = 0;
+};
+
+/// The §5.1 locator.
+class ProbabilisticLocator : public Locator {
+ public:
+  /// `db` must outlive the locator.
+  explicit ProbabilisticLocator(const traindb::TrainingDatabase& db,
+                                ProbabilisticConfig config = {});
+
+  LocationEstimate locate(const Observation& obs) const override;
+  std::string name() const override { return "probabilistic-ml"; }
+
+  /// Log-likelihood of `obs` against every training point, in
+  /// database order. Skipped points carry -infinity.
+  std::vector<ScoredPoint> score_all(const Observation& obs) const;
+
+  /// Log-likelihood of one observation at one training point.
+  double log_likelihood(const Observation& obs,
+                        const traindb::TrainingPoint& point,
+                        int* common_aps = nullptr) const;
+
+  const traindb::TrainingDatabase& database() const { return *db_; }
+  const ProbabilisticConfig& config() const { return config_; }
+
+  /// Pooled sigma for `bssid` (defined whether or not pooling is
+  /// enabled); falls back to the floor for unknown BSSIDs.
+  double pooled_sigma_db(const std::string& bssid) const;
+
+ private:
+  const traindb::TrainingDatabase* db_;  // non-owning
+  ProbabilisticConfig config_;
+  /// Aligned with db_->bssid_universe().
+  std::vector<double> pooled_sigma_;
+};
+
+}  // namespace loctk::core

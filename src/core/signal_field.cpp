@@ -1,0 +1,79 @@
+#include "core/signal_field.hpp"
+
+#include <cmath>
+
+#include "stats/gaussian.hpp"
+
+namespace loctk::core {
+
+SignalField::SignalField(const traindb::TrainingDatabase& db,
+                         SignalFieldConfig config)
+    : db_(&db), config_(config) {}
+
+std::optional<FieldSample> SignalField::sample(const std::string& bssid,
+                                               geom::Vec2 pos) const {
+  if (!db_->bssid_index(bssid).has_value()) return std::nullopt;
+  double w_sum = 0.0;
+  double mean_sum = 0.0;
+  double var_sum = 0.0;
+  double vis_sum = 0.0;
+  bool any = false;
+
+  const double max_d2 =
+      config_.max_influence_ft * config_.max_influence_ft;
+  for (const traindb::TrainingPoint& tp : db_->points()) {
+    const double d2 = geom::distance2(tp.position, pos);
+    if (d2 > max_d2) continue;
+
+    const traindb::ApStatistics* s = tp.find(bssid);
+    // A training point inside range that never heard the AP still
+    // weighs into visibility (with zero), so coverage edges are soft.
+    const double d = std::sqrt(d2);
+    if (d < 1e-6) {
+      // Exactly on a training point: return its stats verbatim.
+      if (!s) return FieldSample{0.0, config_.sigma_floor_db, 0.0};
+      return FieldSample{
+          s->mean_dbm,
+          std::max(s->stddev_db, config_.sigma_floor_db),
+          s->visibility()};
+    }
+    const double w = 1.0 / std::pow(d, config_.idw_power);
+    if (s) {
+      mean_sum += w * s->mean_dbm;
+      var_sum += w * s->stddev_db * s->stddev_db;
+      vis_sum += w * s->visibility();
+      w_sum += w;
+      any = true;
+    } else {
+      vis_sum += 0.0;
+      w_sum += w;
+    }
+  }
+  if (!any || w_sum <= 0.0) return std::nullopt;
+
+  FieldSample out;
+  out.mean_dbm = mean_sum / w_sum;
+  out.sigma_db =
+      std::max(std::sqrt(var_sum / w_sum), config_.sigma_floor_db);
+  out.visibility = vis_sum / w_sum;
+  return out;
+}
+
+double SignalField::log_likelihood(const Observation& obs,
+                                   geom::Vec2 pos) const {
+  double total = 0.0;
+  for (const std::string& bssid : db_->bssid_universe()) {
+    const auto field = sample(bssid, pos);
+    const auto observed = obs.mean_of(bssid);
+    if (field && observed && field->visibility > 0.05) {
+      const stats::Gaussian g{field->mean_dbm, field->sigma_db};
+      total += g.log_pdf(*observed);
+    } else if (static_cast<bool>(observed) !=
+               (field.has_value() && field->visibility > 0.5)) {
+      total += config_.missing_ap_log_penalty;
+    }
+  }
+  return total;
+}
+
+}  // namespace loctk::core

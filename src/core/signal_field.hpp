@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file signal_field.hpp
+/// Continuous interpolation of the trained signal map.
+///
+/// The training database knows mean/σ only at the surveyed points.
+/// Several extensions (the fine-grid locator, the particle filter)
+/// need a likelihood at *arbitrary* positions; this class provides it
+/// by inverse-distance-weighted (IDW) interpolation of the per-AP
+/// training statistics. IDW is the standard choice for sparse radio
+/// maps: exact at the training points, smooth in between, and with no
+/// parameters to fit.
+
+#include <optional>
+#include <vector>
+
+#include "core/observation.hpp"
+#include "geom/vec2.hpp"
+#include "traindb/database.hpp"
+
+namespace loctk::core {
+
+struct SignalFieldConfig {
+  /// IDW power (2 = inverse-square weights, the common default).
+  double idw_power = 2.0;
+  /// Training points farther than this contribute nothing (feet).
+  double max_influence_ft = 60.0;
+  /// σ regularization floor (dB).
+  double sigma_floor_db = 1.5;
+  /// Log-penalty per AP visible on one side only.
+  double missing_ap_log_penalty = -6.0;
+};
+
+/// Interpolated per-AP statistics at a query position.
+struct FieldSample {
+  double mean_dbm = 0.0;
+  double sigma_db = 0.0;
+  /// Interpolated visibility in [0,1]; below ~0.5 the AP is usually
+  /// not heard here.
+  double visibility = 0.0;
+};
+
+class SignalField {
+ public:
+  explicit SignalField(const traindb::TrainingDatabase& db,
+                       SignalFieldConfig config = {});
+
+  /// Interpolated statistics of AP `bssid` at `pos`; nullopt when the
+  /// AP is unknown or no training point is within influence range.
+  std::optional<FieldSample> sample(const std::string& bssid,
+                                    geom::Vec2 pos) const;
+
+  /// Log-likelihood of an observation's mean vector at `pos`,
+  /// Gaussian per AP, with missing-AP penalties — a continuous
+  /// analogue of ProbabilisticLocator::log_likelihood.
+  double log_likelihood(const Observation& obs, geom::Vec2 pos) const;
+
+  const traindb::TrainingDatabase& database() const { return *db_; }
+  const SignalFieldConfig& config() const { return config_; }
+
+ private:
+  const traindb::TrainingDatabase* db_;  // non-owning
+  SignalFieldConfig config_;
+};
+
+}  // namespace loctk::core

@@ -1,0 +1,117 @@
+#include "core/signal_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace loctk::core {
+
+namespace {
+
+// Max-heap ordering on distance2 so the worst current neighbor sits
+// at front() and is cheap to evict.
+bool heap_cmp(const IndexedNeighbor& a, const IndexedNeighbor& b) {
+  return a.distance2 < b.distance2;
+}
+
+}  // namespace
+
+SignalIndex::SignalIndex(const traindb::TrainingDatabase& db,
+                         double missing_dbm)
+    : db_(&db), missing_dbm_(missing_dbm),
+      dims_(db.bssid_universe().size()) {
+  points_.reserve(db.size());
+  signatures_.reserve(db.size() * dims_);
+  for (const traindb::TrainingPoint& tp : db.points()) {
+    points_.push_back(&tp);
+    const std::vector<double> sig =
+        tp.signature(db.bssid_universe(), missing_dbm_);
+    signatures_.insert(signatures_.end(), sig.begin(), sig.end());
+  }
+  if (!points_.empty() && dims_ > 0) {
+    std::vector<std::size_t> items(points_.size());
+    for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
+    nodes_.reserve(points_.size());
+    root_ = build(items, 0, items.size(), 0);
+  }
+}
+
+int SignalIndex::build(std::vector<std::size_t>& items, std::size_t lo,
+                       std::size_t hi, std::size_t depth) {
+  if (lo >= hi) return -1;
+  const std::size_t axis = depth % dims_;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(
+      items.begin() + static_cast<std::ptrdiff_t>(lo),
+      items.begin() + static_cast<std::ptrdiff_t>(mid),
+      items.begin() + static_cast<std::ptrdiff_t>(hi),
+      [&](std::size_t a, std::size_t b) {
+        return signatures_[a * dims_ + axis] <
+               signatures_[b * dims_ + axis];
+      });
+
+  Node node;
+  node.point = items[mid];
+  node.axis = axis;
+  const auto self = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  // Children recurse after the push so `self` stays stable.
+  const int left = build(items, lo, mid, depth + 1);
+  const int right = build(items, mid + 1, hi, depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+void SignalIndex::search(int node_idx, std::span<const double> query,
+                         std::vector<IndexedNeighbor>& heap,
+                         std::size_t k) const {
+  if (node_idx < 0) return;
+  const Node& node = nodes_[static_cast<std::size_t>(node_idx)];
+  const double* sig = &signatures_[node.point * dims_];
+
+  double d2 = 0.0;
+  for (std::size_t d = 0; d < dims_; ++d) {
+    const double diff = query[d] - sig[d];
+    d2 += diff * diff;
+  }
+  if (heap.size() < k) {
+    heap.push_back({points_[node.point], d2});
+    std::push_heap(heap.begin(), heap.end(), heap_cmp);
+  } else if (d2 < heap.front().distance2) {
+    std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+    heap.back() = {points_[node.point], d2};
+    std::push_heap(heap.begin(), heap.end(), heap_cmp);
+  }
+
+  const double delta = query[node.axis] - sig[node.axis];
+  const int near = delta <= 0.0 ? node.left : node.right;
+  const int far = delta <= 0.0 ? node.right : node.left;
+  search(near, query, heap, k);
+  // Prune the far side unless the splitting plane is closer than the
+  // current worst neighbor (or the heap is not yet full).
+  if (heap.size() < k || delta * delta < heap.front().distance2) {
+    search(far, query, heap, k);
+  }
+}
+
+std::vector<IndexedNeighbor> SignalIndex::nearest(
+    std::span<const double> signature, int k) const {
+  std::vector<IndexedNeighbor> heap;
+  if (root_ < 0 || k <= 0 || signature.size() != dims_) return heap;
+  const auto want =
+      std::min(static_cast<std::size_t>(k), points_.size());
+  heap.reserve(want + 1);
+  search(root_, signature, heap, want);
+  std::sort_heap(heap.begin(), heap.end(), heap_cmp);
+  return heap;
+}
+
+std::vector<IndexedNeighbor> SignalIndex::nearest(const Observation& obs,
+                                                  int k) const {
+  const std::vector<double> sig =
+      obs.signature(db_->bssid_universe(), missing_dbm_);
+  return nearest(sig, k);
+}
+
+}  // namespace loctk::core

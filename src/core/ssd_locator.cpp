@@ -1,0 +1,94 @@
+#include "core/ssd_locator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace loctk::core {
+
+SsdLocator::SsdLocator(const traindb::TrainingDatabase& db,
+                       SsdConfig config)
+    : db_(&db), config_(config) {
+  config_.k = std::max(1, config_.k);
+  config_.min_common_aps = std::max(1, config_.min_common_aps);
+}
+
+std::string SsdLocator::name() const {
+  return "ssd-knn-" + std::to_string(config_.k);
+}
+
+double SsdLocator::ssd_distance(
+    const Observation& obs, const traindb::TrainingPoint& point) const {
+  // Collect readings for APs present on both sides.
+  std::vector<double> o, t;
+  for (const traindb::ApStatistics& s : point.per_ap) {
+    if (const auto observed = obs.mean_of(s.bssid)) {
+      o.push_back(*observed);
+      t.push_back(s.mean_dbm);
+    }
+  }
+  if (static_cast<int>(o.size()) < config_.min_common_aps) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Remove each side's mean over the common subset: any constant
+  // device offset on the observation cancels exactly.
+  double mo = 0.0, mt = 0.0;
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    mo += o[i];
+    mt += t[i];
+  }
+  mo /= static_cast<double>(o.size());
+  mt /= static_cast<double>(t.size());
+  double sum2 = 0.0;
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    const double d = (o[i] - mo) - (t[i] - mt);
+    sum2 += d * d;
+  }
+  return std::sqrt(sum2);
+}
+
+LocationEstimate SsdLocator::locate(const Observation& obs) const {
+  LocationEstimate est;
+  if (obs.empty() || db_->empty()) return est;
+
+  struct Neighbor {
+    const traindb::TrainingPoint* point;
+    double distance;
+  };
+  std::vector<Neighbor> neighbors;
+  neighbors.reserve(db_->size());
+  for (const traindb::TrainingPoint& p : db_->points()) {
+    const double d = ssd_distance(obs, p);
+    if (std::isfinite(d)) neighbors.push_back({&p, d});
+  }
+  if (neighbors.empty()) return est;
+
+  const std::size_t k = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.k), neighbors.size());
+  std::partial_sort(neighbors.begin(),
+                    neighbors.begin() + static_cast<std::ptrdiff_t>(k),
+                    neighbors.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance;
+                    });
+
+  geom::Vec2 weighted;
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w =
+        config_.inverse_distance_weighting
+            ? 1.0 / (neighbors[i].distance + config_.weighting_epsilon)
+            : 1.0;
+    weighted += neighbors[i].point->position * w;
+    weight_sum += w;
+  }
+  est.valid = true;
+  est.position = weighted / weight_sum;
+  est.location_name = neighbors.front().point->location;
+  est.score = -neighbors.front().distance;
+  est.aps_used = static_cast<int>(obs.ap_count());
+  return est;
+}
+
+}  // namespace loctk::core

@@ -1,0 +1,189 @@
+#include "core/tracking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace loctk::core {
+
+/// --- Kalman ---------------------------------------------------------
+
+KalmanTracker::KalmanTracker(KalmanConfig config) : config_(config) {}
+
+void KalmanTracker::reset() {
+  ax_ = Axis{};
+  ay_ = Axis{};
+  initialized_ = false;
+}
+
+geom::Vec2 KalmanTracker::position() const { return {ax_.x, ay_.x}; }
+geom::Vec2 KalmanTracker::velocity() const { return {ax_.v, ay_.v}; }
+
+void KalmanTracker::predict_axis(Axis& a) const {
+  const double dt = config_.dt_s;
+  const double q = config_.accel_sigma * config_.accel_sigma;
+  // x' = x + v dt
+  a.x += a.v * dt;
+  // P' = F P F^T + Q, with F = [[1, dt], [0, 1]] and the standard
+  // white-acceleration Q.
+  const double p00 = a.p00 + dt * (a.p01 + a.p01) + dt * dt * a.p11 +
+                     q * dt * dt * dt * dt / 4.0;
+  const double p01 = a.p01 + dt * a.p11 + q * dt * dt * dt / 2.0;
+  const double p11 = a.p11 + q * dt * dt;
+  a.p00 = p00;
+  a.p01 = p01;
+  a.p11 = p11;
+}
+
+void KalmanTracker::update_axis(Axis& a, double z) const {
+  const double r =
+      config_.measurement_sigma_ft * config_.measurement_sigma_ft;
+  const double s = a.p00 + r;          // innovation variance
+  const double k0 = a.p00 / s;         // gain (position)
+  const double k1 = a.p01 / s;         // gain (velocity)
+  const double innov = z - a.x;
+  a.x += k0 * innov;
+  a.v += k1 * innov;
+  const double p00 = (1.0 - k0) * a.p00;
+  const double p01 = (1.0 - k0) * a.p01;
+  const double p11 = a.p11 - k1 * a.p01;
+  a.p00 = p00;
+  a.p01 = p01;
+  a.p11 = p11;
+}
+
+geom::Vec2 KalmanTracker::predict() {
+  if (!initialized_) return {};
+  predict_axis(ax_);
+  predict_axis(ay_);
+  return position();
+}
+
+geom::Vec2 KalmanTracker::update(geom::Vec2 measured) {
+  if (!initialized_) {
+    ax_.x = measured.x;
+    ay_.x = measured.y;
+    const double r =
+        config_.measurement_sigma_ft * config_.measurement_sigma_ft;
+    ax_.p00 = ay_.p00 = r;
+    ax_.p11 = ay_.p11 = 4.0;  // generous initial velocity uncertainty
+    initialized_ = true;
+    return measured;
+  }
+  predict_axis(ax_);
+  predict_axis(ay_);
+  update_axis(ax_, measured.x);
+  update_axis(ay_, measured.y);
+  return position();
+}
+
+LocationEstimate TrackedLocator::locate(const Observation& obs) const {
+  LocationEstimate est = base_->locate(obs);
+  if (est.valid) {
+    est.position = tracker_.update(est.position);
+  } else if (tracker_.initialized()) {
+    est.valid = true;
+    est.position = tracker_.predict();
+    est.location_name.clear();
+    est.score = 0.0;
+  }
+  return est;
+}
+
+/// --- Particle filter --------------------------------------------------
+
+ParticleFilterTracker::ParticleFilterTracker(
+    const traindb::TrainingDatabase& db, geom::Rect bounds,
+    ParticleFilterConfig config)
+    : field_(db, config.field), bounds_(bounds), config_(config),
+      rng_(config.seed) {
+  reset();
+}
+
+void ParticleFilterTracker::reset() {
+  const auto n = static_cast<std::size_t>(
+      std::max(1, config_.particle_count));
+  particles_.resize(n);
+  weights_.assign(n, 1.0 / static_cast<double>(n));
+  for (geom::Vec2& p : particles_) {
+    p = {rng_.uniform(bounds_.min.x, bounds_.max.x),
+         rng_.uniform(bounds_.min.y, bounds_.max.y)};
+  }
+}
+
+double ParticleFilterTracker::effective_sample_size() const {
+  double sum2 = 0.0;
+  for (const double w : weights_) sum2 += w * w;
+  return sum2 > 0.0 ? 1.0 / sum2 : 0.0;
+}
+
+geom::Vec2 ParticleFilterTracker::estimate() const {
+  geom::Vec2 mean;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    mean += particles_[i] * weights_[i];
+  }
+  return mean;
+}
+
+void ParticleFilterTracker::resample() {
+  // Systematic (low-variance) resampling.
+  const std::size_t n = particles_.size();
+  std::vector<geom::Vec2> next;
+  next.reserve(n);
+  const double step = 1.0 / static_cast<double>(n);
+  double u = rng_.uniform(0.0, step);
+  double cumulative = weights_[0];
+  std::size_t i = 0;
+  for (std::size_t m = 0; m < n; ++m) {
+    while (u > cumulative && i + 1 < n) {
+      ++i;
+      cumulative += weights_[i];
+    }
+    next.push_back(particles_[i]);
+    u += step;
+  }
+  particles_ = std::move(next);
+  weights_.assign(n, 1.0 / static_cast<double>(n));
+}
+
+geom::Vec2 ParticleFilterTracker::step(const Observation& obs) {
+  // Predict: random-walk motion, clamped to the site.
+  for (geom::Vec2& p : particles_) {
+    p.x += rng_.normal(0.0, config_.motion_sigma_ft);
+    p.y += rng_.normal(0.0, config_.motion_sigma_ft);
+    p = bounds_.clamp(p);
+  }
+
+  // Update: weight by the interpolated observation likelihood.
+  if (!obs.empty()) {
+    double max_ll = -std::numeric_limits<double>::infinity();
+    std::vector<double> lls(particles_.size());
+    for (std::size_t i = 0; i < particles_.size(); ++i) {
+      lls[i] = field_.log_likelihood(obs, particles_[i]);
+      max_ll = std::max(max_ll, lls[i]);
+    }
+    if (max_ll > -std::numeric_limits<double>::infinity()) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < particles_.size(); ++i) {
+        weights_[i] *= std::exp(lls[i] - max_ll);
+        sum += weights_[i];
+      }
+      if (sum > 0.0) {
+        for (double& w : weights_) w /= sum;
+      } else {
+        weights_.assign(weights_.size(),
+                        1.0 / static_cast<double>(weights_.size()));
+      }
+    }
+  }
+
+  if (effective_sample_size() <
+      config_.resample_threshold *
+          static_cast<double>(particles_.size())) {
+    resample();
+  }
+  return estimate();
+}
+
+}  // namespace loctk::core

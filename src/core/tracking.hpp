@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file tracking.hpp
+/// Sequential filtering of a moving client.
+///
+/// Paper §6 item 2: "We will borrow the idea of some client-tracking
+/// algorithm, which use the combination of the historical location
+/// value and the current signal strength value to derive the current
+/// location. Moreover, we will use more powerful statistic tool, such
+/// as Bayesian-filter." Two fulfillments:
+///
+///  * `KalmanTracker` — constant-velocity Kalman filter smoothing the
+///    position stream of any base `Locator`;
+///  * `ParticleFilterTracker` — a full Bayesian filter whose
+///    measurement model is the interpolated `SignalField`
+///    likelihood, with a random-walk motion model.
+
+#include <memory>
+#include <optional>
+
+#include "core/locator.hpp"
+#include "core/signal_field.hpp"
+#include "geom/rect.hpp"
+#include "stats/rng.hpp"
+
+namespace loctk::core {
+
+/// --- Kalman ---------------------------------------------------------
+
+struct KalmanConfig {
+  /// Process noise: std-dev of the unknown acceleration (ft/s²).
+  double accel_sigma = 1.5;
+  /// Measurement noise: std-dev of the base locator's error (ft).
+  double measurement_sigma_ft = 8.0;
+  /// Time between updates (s).
+  double dt_s = 1.0;
+};
+
+/// Constant-velocity Kalman filter over 2-D positions. State is
+/// (x, y, vx, vy); the two axes decouple, so the implementation runs
+/// two independent 2-state filters.
+class KalmanTracker {
+ public:
+  explicit KalmanTracker(KalmanConfig config = {});
+
+  /// Processes one raw position fix; returns the filtered position.
+  /// The first fix initializes the state verbatim.
+  geom::Vec2 update(geom::Vec2 measured);
+
+  /// Advances the motion model without a measurement (the base
+  /// locator returned invalid); returns the predicted position.
+  geom::Vec2 predict();
+
+  bool initialized() const { return initialized_; }
+  geom::Vec2 position() const;
+  geom::Vec2 velocity() const;
+  void reset();
+
+ private:
+  struct Axis {
+    double x = 0.0;   // position
+    double v = 0.0;   // velocity
+    double p00 = 1.0, p01 = 0.0, p11 = 1.0;  // covariance
+  };
+  void predict_axis(Axis& a) const;
+  void update_axis(Axis& a, double z) const;
+
+  KalmanConfig config_;
+  Axis ax_, ay_;
+  bool initialized_ = false;
+};
+
+/// Convenience: a Locator that pipes another locator through a
+/// KalmanTracker (stateful; call locate() once per time step).
+class TrackedLocator : public Locator {
+ public:
+  TrackedLocator(const Locator& base, KalmanConfig config = {})
+      : base_(&base), tracker_(config) {}
+
+  LocationEstimate locate(const Observation& obs) const override;
+  std::string name() const override { return base_->name() + "+kalman"; }
+
+  void reset() { tracker_.reset(); }
+
+ private:
+  const Locator* base_;  // non-owning
+  mutable KalmanTracker tracker_;
+};
+
+/// --- Particle filter --------------------------------------------------
+
+struct ParticleFilterConfig {
+  SignalFieldConfig field;
+  int particle_count = 400;
+  /// Random-walk motion std-dev per step (ft).
+  double motion_sigma_ft = 3.0;
+  /// Resample when the effective sample size falls below this
+  /// fraction of the particle count.
+  double resample_threshold = 0.5;
+  std::uint64_t seed = 0xFEEDFACE;
+};
+
+/// Bootstrap (sequential importance resampling) particle filter.
+class ParticleFilterTracker {
+ public:
+  /// Particles are confined to `bounds` (the site footprint).
+  ParticleFilterTracker(const traindb::TrainingDatabase& db,
+                        geom::Rect bounds,
+                        ParticleFilterConfig config = {});
+
+  /// One predict-update-estimate cycle; returns the weighted-mean
+  /// position.
+  geom::Vec2 step(const Observation& obs);
+
+  /// Weighted mean of the current particle cloud.
+  geom::Vec2 estimate() const;
+
+  /// Effective sample size of the current weights.
+  double effective_sample_size() const;
+
+  /// Scatter particles uniformly over the bounds again.
+  void reset();
+
+  int particle_count() const {
+    return static_cast<int>(particles_.size());
+  }
+
+ private:
+  void resample();
+
+  SignalField field_;
+  geom::Rect bounds_;
+  ParticleFilterConfig config_;
+  stats::Rng rng_;
+  std::vector<geom::Vec2> particles_;
+  std::vector<double> weights_;
+};
+
+}  // namespace loctk::core

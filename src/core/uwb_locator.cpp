@@ -1,0 +1,70 @@
+#include "core/uwb_locator.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace loctk::core {
+
+std::vector<geom::RangeMeasurement> UwbLocator::average_by_anchor(
+    const std::vector<radio::UwbRange>& ranges) {
+  struct Acc {
+    geom::Vec2 pos;
+    double sum = 0.0;
+    int count = 0;
+  };
+  std::map<std::string, Acc> by_anchor;
+  for (const radio::UwbRange& r : ranges) {
+    Acc& acc = by_anchor[r.anchor_id];
+    acc.pos = r.anchor_pos;
+    acc.sum += r.range_ft;
+    ++acc.count;
+  }
+  std::vector<geom::RangeMeasurement> out;
+  out.reserve(by_anchor.size());
+  for (const auto& [id, acc] : by_anchor) {
+    out.push_back({acc.pos, acc.sum / acc.count});
+  }
+  return out;
+}
+
+std::optional<geom::Vec2> UwbLocator::locate(
+    const std::vector<radio::UwbRange>& ranges) const {
+  std::vector<geom::RangeMeasurement> meas = average_by_anchor(ranges);
+  if (meas.size() < 3) return std::nullopt;
+
+  auto solve = [&](const std::vector<geom::RangeMeasurement>& m)
+      -> std::optional<geom::Vec2> {
+    const auto linear = geom::lateration_least_squares(m);
+    if (!linear) return std::nullopt;
+    const geom::Vec2 refined = geom::lateration_gauss_newton(m, *linear);
+    if (!geom::is_finite(refined)) return std::nullopt;
+    return refined;
+  };
+
+  std::optional<geom::Vec2> est = solve(meas);
+  if (!est) return std::nullopt;
+
+  // NLOS rejection: while the fit is poor and we can spare an anchor,
+  // drop the one with the largest (positive-leaning) residual.
+  while (meas.size() > 4 &&
+         geom::range_rms_residual(meas, *est) >
+             config_.outlier_rms_threshold_ft) {
+    std::size_t worst = 0;
+    double worst_abs = -1.0;
+    for (std::size_t i = 0; i < meas.size(); ++i) {
+      const double resid =
+          std::abs(geom::distance(*est, meas[i].anchor) - meas[i].distance);
+      if (resid > worst_abs) {
+        worst_abs = resid;
+        worst = i;
+      }
+    }
+    meas.erase(meas.begin() + static_cast<std::ptrdiff_t>(worst));
+    const auto retry = solve(meas);
+    if (!retry) break;
+    est = retry;
+  }
+  return bounds_.clamp(*est);
+}
+
+}  // namespace loctk::core

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file uwb_locator.hpp
+/// Position from UWB ranges: the paper's §6 item 3 end-to-end.
+///
+/// Unlike the RSSI locators, UWB needs no training phase at all — the
+/// ranges are distances already. The locator averages repeated rounds
+/// per anchor (timing noise is zero-mean), optionally de-weights NLOS
+/// suspects (ranges that disagree with the consensus), and solves by
+/// least squares + Gauss-Newton. This is the "most precise location
+/// estimation requirements" tier the paper reserves UWB for.
+
+#include <optional>
+#include <vector>
+
+#include "geom/lateration.hpp"
+#include "geom/rect.hpp"
+#include "radio/uwb.hpp"
+
+namespace loctk::core {
+
+struct UwbLocatorConfig {
+  /// Iteratively drop the worst-residual anchor while the RMS range
+  /// residual exceeds this (feet) and >= 4 anchors remain — a simple
+  /// NLOS rejection (NLOS bias is always positive and large).
+  double outlier_rms_threshold_ft = 2.0;
+  /// Clamp estimates to this margin beyond the site footprint.
+  double clamp_margin_ft = 10.0;
+};
+
+/// The UWB position solver.
+class UwbLocator {
+ public:
+  UwbLocator(geom::Rect site_footprint, UwbLocatorConfig config = {})
+      : bounds_(site_footprint.inflated(config.clamp_margin_ft)),
+        config_(config) {}
+
+  /// Position from one or more ranging rounds; nullopt when fewer
+  /// than 3 distinct anchors responded.
+  std::optional<geom::Vec2> locate(
+      const std::vector<radio::UwbRange>& ranges) const;
+
+  /// Exposed for tests: per-anchor averaged measurements after the
+  /// rounds are merged.
+  static std::vector<geom::RangeMeasurement> average_by_anchor(
+      const std::vector<radio::UwbRange>& ranges);
+
+ private:
+  geom::Rect bounds_;
+  UwbLocatorConfig config_;
+};
+
+}  // namespace loctk::core

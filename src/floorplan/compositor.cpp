@@ -1,0 +1,114 @@
+#include "floorplan/compositor.hpp"
+
+#include <cmath>
+
+#include "image/font.hpp"
+
+namespace loctk::floorplan {
+
+namespace {
+
+struct PxInt {
+  int x;
+  int y;
+};
+
+PxInt to_px_int(const FloorPlan& plan, geom::Vec2 w) {
+  const PixelPoint p = plan.to_pixel(w);
+  return {static_cast<int>(std::lround(p.x)),
+          static_cast<int>(std::lround(p.y))};
+}
+
+}  // namespace
+
+image::Raster Compositor::render(const std::vector<Mark>& marks) const {
+  if (!plan_->calibrated()) {
+    throw FloorPlanError("Compositor::render: floor plan not calibrated");
+  }
+  image::Raster img = plan_->raster();
+
+  // World grid.
+  if (options_.grid_spacing_ft > 0.0) {
+    const geom::Rect wb = plan_->world_bounds();
+    for (double x = std::ceil(wb.min.x / options_.grid_spacing_ft) *
+                    options_.grid_spacing_ft;
+         x <= wb.max.x; x += options_.grid_spacing_ft) {
+      const PxInt a = to_px_int(*plan_, {x, wb.min.y});
+      const PxInt b = to_px_int(*plan_, {x, wb.max.y});
+      image::draw_dashed_line(img, a.x, a.y, b.x, b.y,
+                              image::colors::kLightGray, 1, 5);
+    }
+    for (double y = std::ceil(wb.min.y / options_.grid_spacing_ft) *
+                    options_.grid_spacing_ft;
+         y <= wb.max.y; y += options_.grid_spacing_ft) {
+      const PxInt a = to_px_int(*plan_, {wb.min.x, y});
+      const PxInt b = to_px_int(*plan_, {wb.max.x, y});
+      image::draw_dashed_line(img, a.x, a.y, b.x, b.y,
+                              image::colors::kLightGray, 1, 5);
+    }
+  }
+
+  for (const Mark& m : marks) {
+    const PxInt p = to_px_int(*plan_, m.world);
+    image::draw_marker(img, p.x, p.y, m.shape, m.color,
+                       options_.marker_radius);
+    if (options_.draw_labels && !m.label.empty()) {
+      image::draw_text(img, p.x + options_.marker_radius + 3,
+                       p.y - options_.marker_radius - 2, m.label, m.color);
+    }
+  }
+
+  if (!options_.title.empty()) {
+    image::draw_text(img, 6, img.height() - image::kGlyphHeight - 4,
+                     options_.title, image::colors::kBlack);
+  }
+  return img;
+}
+
+void Compositor::draw_world_line(image::Raster& img, geom::Vec2 a,
+                                 geom::Vec2 b, image::Color color,
+                                 bool dashed) const {
+  const PxInt pa = to_px_int(*plan_, a);
+  const PxInt pb = to_px_int(*plan_, b);
+  if (dashed) {
+    image::draw_dashed_line(img, pa.x, pa.y, pb.x, pb.y, color);
+  } else {
+    image::draw_line(img, pa.x, pa.y, pb.x, pb.y, color);
+  }
+}
+
+image::Raster composite_evaluation(const FloorPlan& plan,
+                                   const std::vector<EvaluatedPoint>& points,
+                                   CompositorOptions options) {
+  std::vector<Mark> marks;
+  marks.reserve(points.size() * 2);
+  for (const EvaluatedPoint& ep : points) {
+    marks.push_back(
+        {ep.truth, image::MarkerShape::kCross, image::colors::kGreen,
+         options.draw_labels ? ep.label : std::string{}});
+    marks.push_back(
+        {ep.estimate, image::MarkerShape::kX, image::colors::kRed, {}});
+  }
+
+  Compositor comp(plan, options);
+  image::Raster img = comp.render(marks);
+  for (const EvaluatedPoint& ep : points) {
+    comp.draw_world_line(img, ep.truth, ep.estimate, image::colors::kGray,
+                         /*dashed=*/true);
+  }
+
+  if (options.draw_legend) {
+    // Small legend box: green cross = truth, red X = estimate.
+    image::fill_rect(img, 4, 4, 120, 28, image::colors::kWhite);
+    image::draw_rect(img, 4, 4, 120, 28, image::colors::kBlack);
+    image::draw_marker(img, 14, 12, image::MarkerShape::kCross,
+                       image::colors::kGreen, 4);
+    image::draw_text(img, 24, 9, "actual", image::colors::kBlack);
+    image::draw_marker(img, 14, 24, image::MarkerShape::kX,
+                       image::colors::kRed, 4);
+    image::draw_text(img, 24, 21, "estimate", image::colors::kBlack);
+  }
+  return img;
+}
+
+}  // namespace loctk::floorplan

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file compositor.hpp
+/// The Floor Plan Compositor: the paper's §4.2 component.
+///
+/// "The Floor Plan Compositor creates images from a floor plan and
+/// marks the image with locations out of user-given coordinate
+/// values. ... We can take a set of testing locations in a room, run
+/// the system, and use the Floor Plan Compositor to display all the
+/// testing locations and their corresponding estimated locations."
+///
+/// `Compositor` takes a calibrated `FloorPlan`, a list of world-space
+/// marks, and renders the annotated image; `composite_evaluation` is
+/// the paper's exact use case — true vs estimated test points joined
+/// by error whiskers.
+
+#include <string>
+#include <vector>
+
+#include "floorplan/floor_plan.hpp"
+#include "image/draw.hpp"
+#include "image/raster.hpp"
+
+namespace loctk::floorplan {
+
+/// One world-space mark to draw.
+struct Mark {
+  geom::Vec2 world;
+  image::MarkerShape shape = image::MarkerShape::kCross;
+  image::Color color = image::colors::kRed;
+  std::string label;  ///< optional text drawn next to the mark
+};
+
+/// Rendering options.
+struct CompositorOptions {
+  int marker_radius = 5;
+  bool draw_labels = true;
+  /// Light world-space grid every `grid_spacing_ft` feet (0 = off).
+  double grid_spacing_ft = 10.0;
+  /// Legend box in the top-left corner.
+  bool draw_legend = true;
+  std::string title;
+};
+
+/// Renders marks over a copy of the plan's raster.
+class Compositor {
+ public:
+  explicit Compositor(const FloorPlan& plan, CompositorOptions options = {})
+      : plan_(&plan), options_(std::move(options)) {}
+
+  /// Floor plan + grid + marks (+ legend/title). The plan must be
+  /// calibrated; throws FloorPlanError otherwise.
+  image::Raster render(const std::vector<Mark>& marks) const;
+
+  /// Draws a line between two world points (e.g. an error whisker or
+  /// a tracked path segment) onto an already-rendered image.
+  void draw_world_line(image::Raster& img, geom::Vec2 a, geom::Vec2 b,
+                       image::Color color, bool dashed = false) const;
+
+  const CompositorOptions& options() const { return options_; }
+
+ private:
+  const FloorPlan* plan_;  // non-owning
+  CompositorOptions options_;
+};
+
+/// One evaluated test point: where the client truly stood and where
+/// the locator put it.
+struct EvaluatedPoint {
+  geom::Vec2 truth;
+  geom::Vec2 estimate;
+  std::string label;
+};
+
+/// The paper's visual test harness: true locations as green crosses,
+/// estimates as red X's, dashed whiskers joining each pair.
+image::Raster composite_evaluation(const FloorPlan& plan,
+                                   const std::vector<EvaluatedPoint>& points,
+                                   CompositorOptions options = {});
+
+}  // namespace loctk::floorplan

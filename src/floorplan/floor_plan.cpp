@@ -1,0 +1,91 @@
+#include "floorplan/floor_plan.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace loctk::floorplan {
+
+void FloorPlan::set_scale_from_points(PixelPoint p1, PixelPoint p2,
+                                      double real_distance_ft) {
+  const double px_dist = std::hypot(p2.x - p1.x, p2.y - p1.y);
+  if (px_dist <= 0.0) {
+    throw FloorPlanError("set_scale_from_points: points coincide");
+  }
+  if (real_distance_ft <= 0.0) {
+    throw FloorPlanError("set_scale_from_points: distance must be > 0");
+  }
+  feet_per_pixel_ = real_distance_ft / px_dist;
+}
+
+void FloorPlan::set_feet_per_pixel(double fpp) {
+  if (fpp <= 0.0) {
+    throw FloorPlanError("set_feet_per_pixel: must be > 0");
+  }
+  feet_per_pixel_ = fpp;
+}
+
+geom::Vec2 FloorPlan::to_world(PixelPoint p) const {
+  if (!calibrated()) {
+    throw FloorPlanError("to_world: floor plan not calibrated");
+  }
+  const double fpp = *feet_per_pixel_;
+  // Raster y grows downward; world y grows upward.
+  return {(p.x - origin_->x) * fpp, (origin_->y - p.y) * fpp};
+}
+
+PixelPoint FloorPlan::to_pixel(geom::Vec2 w) const {
+  if (!calibrated()) {
+    throw FloorPlanError("to_pixel: floor plan not calibrated");
+  }
+  const double fpp = *feet_per_pixel_;
+  return {origin_->x + w.x / fpp, origin_->y - w.y / fpp};
+}
+
+geom::Rect FloorPlan::world_bounds() const {
+  if (raster_.empty()) return {};
+  const geom::Vec2 top_left = to_world({0.0, 0.0});
+  const geom::Vec2 bottom_right = to_world(
+      {static_cast<double>(raster_.width()),
+       static_cast<double>(raster_.height())});
+  return geom::Rect{top_left, bottom_right}.normalized();
+}
+
+void FloorPlan::add_access_point(std::string name, PixelPoint p) {
+  aps_.push_back({std::move(name), p});
+}
+
+std::optional<geom::Vec2> FloorPlan::access_point_world(
+    const std::string& name) const {
+  for (const PlacedAccessPoint& ap : aps_) {
+    if (ap.name == name) return to_world(ap.pixel);
+  }
+  return std::nullopt;
+}
+
+void FloorPlan::add_place(std::string name, PixelPoint p) {
+  places_.push_back({std::move(name), p});
+}
+
+std::optional<geom::Vec2> FloorPlan::place_world(
+    const std::string& name) const {
+  for (const NamedPlace& pl : places_) {
+    if (pl.name == name) return to_world(pl.pixel);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> FloorPlan::nearest_place(geom::Vec2 w) const {
+  if (places_.empty()) return std::nullopt;
+  const NamedPlace* best = nullptr;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const NamedPlace& pl : places_) {
+    const double d2 = geom::distance2(to_world(pl.pixel), w);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = &pl;
+    }
+  }
+  return best->name;
+}
+
+}  // namespace loctk::floorplan

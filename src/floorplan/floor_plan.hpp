@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file floor_plan.hpp
+/// The annotated floor plan: raster + scale + origin + markers.
+///
+/// This is the data model behind the paper's Floor Plan Processor
+/// (§4.1). A floor plan starts as a scanned raster image; the user
+/// then (1) places access points, (2) sets the scale from two clicked
+/// points and a real distance, (3) sets the point of origin, and
+/// (4) attaches location names to clicked points. All clicks are in
+/// *pixel* coordinates; the scale/origin pair defines the world frame
+/// (feet) the localization pipeline works in. World y grows upward
+/// while raster y grows downward, so the transform flips y.
+
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/vec2.hpp"
+#include "image/raster.hpp"
+
+namespace loctk::floorplan {
+
+/// A pixel coordinate (continuous; clicks may be fractional after
+/// zooming).
+struct PixelPoint {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const PixelPoint&, const PixelPoint&) = default;
+};
+
+/// An access point placed on the plan (paper §4.1 item 2).
+struct PlacedAccessPoint {
+  std::string name;
+  PixelPoint pixel;
+
+  friend bool operator==(const PlacedAccessPoint&,
+                         const PlacedAccessPoint&) = default;
+};
+
+/// A named location (paper §4.1 item 5), e.g. "room D22".
+struct NamedPlace {
+  std::string name;
+  PixelPoint pixel;
+
+  friend bool operator==(const NamedPlace&, const NamedPlace&) = default;
+};
+
+/// Error type for floor-plan operations performed out of order (e.g.
+/// converting to world coordinates before the scale is set).
+class FloorPlanError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The annotated floor plan.
+class FloorPlan {
+ public:
+  FloorPlan() = default;
+  explicit FloorPlan(image::Raster raster) : raster_(std::move(raster)) {}
+
+  const image::Raster& raster() const { return raster_; }
+  image::Raster& raster() { return raster_; }
+  void set_raster(image::Raster r) { raster_ = std::move(r); }
+
+  /// --- calibration -------------------------------------------------
+
+  /// Feet represented by one pixel; unset until calibrated.
+  std::optional<double> feet_per_pixel() const { return feet_per_pixel_; }
+
+  /// Calibrates the scale from two clicked pixels a known real
+  /// distance apart (paper §4.1 item 3). Throws FloorPlanError when
+  /// the points coincide or the distance is not positive.
+  void set_scale_from_points(PixelPoint p1, PixelPoint p2,
+                             double real_distance_ft);
+
+  /// Directly sets feet-per-pixel (> 0).
+  void set_feet_per_pixel(double fpp);
+
+  /// Pixel location of the world origin (paper §4.1 item 4).
+  std::optional<PixelPoint> origin_pixel() const { return origin_; }
+  void set_origin(PixelPoint p) { origin_ = p; }
+
+  /// True once both scale and origin are set.
+  bool calibrated() const {
+    return feet_per_pixel_.has_value() && origin_.has_value();
+  }
+
+  /// --- coordinate transforms (require calibrated()) ----------------
+
+  /// Pixel -> world feet. Throws FloorPlanError when uncalibrated.
+  geom::Vec2 to_world(PixelPoint p) const;
+
+  /// World feet -> pixel. Throws FloorPlanError when uncalibrated.
+  PixelPoint to_pixel(geom::Vec2 w) const;
+
+  /// World-space rectangle covered by the raster (uncalibrated ->
+  /// throws).
+  geom::Rect world_bounds() const;
+
+  /// --- annotations --------------------------------------------------
+
+  const std::vector<PlacedAccessPoint>& access_points() const {
+    return aps_;
+  }
+  void add_access_point(std::string name, PixelPoint p);
+  /// World position of AP `name`; nullopt if absent (throws when
+  /// uncalibrated).
+  std::optional<geom::Vec2> access_point_world(const std::string& name) const;
+
+  const std::vector<NamedPlace>& places() const { return places_; }
+  void add_place(std::string name, PixelPoint p);
+  std::optional<geom::Vec2> place_world(const std::string& name) const;
+
+  /// Name of the annotated place nearest to world point `w`
+  /// (the paper's abstraction step: coordinates -> "room D22").
+  std::optional<std::string> nearest_place(geom::Vec2 w) const;
+
+ private:
+  image::Raster raster_;
+  std::optional<double> feet_per_pixel_;
+  std::optional<PixelPoint> origin_;
+  std::vector<PlacedAccessPoint> aps_;
+  std::vector<NamedPlace> places_;
+};
+
+}  // namespace loctk::floorplan

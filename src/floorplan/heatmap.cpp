@@ -1,0 +1,118 @@
+#include "floorplan/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "floorplan/floor_plan.hpp"
+#include "floorplan/processor.hpp"
+#include "image/draw.hpp"
+#include "image/font.hpp"
+
+namespace loctk::floorplan {
+
+image::Color heat_color(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Piecewise-linear ramp over five stops.
+  struct Stop {
+    double t;
+    image::Color c;
+  };
+  static constexpr Stop stops[] = {
+      {0.00, {30, 60, 180}},    // deep blue
+      {0.25, {40, 170, 200}},   // cyan
+      {0.50, {60, 180, 90}},    // green
+      {0.75, {235, 200, 50}},   // yellow
+      {1.00, {210, 50, 40}},    // red
+  };
+  for (std::size_t i = 1; i < std::size(stops); ++i) {
+    if (t <= stops[i].t) {
+      const double span = stops[i].t - stops[i - 1].t;
+      const double f = span > 0.0 ? (t - stops[i - 1].t) / span : 0.0;
+      return stops[i - 1].c.blend(stops[i].c, f);
+    }
+  }
+  return stops[std::size(stops) - 1].c;
+}
+
+image::Raster render_field_heatmap(
+    const radio::Environment& env,
+    const std::function<double(geom::Vec2)>& field,
+    const HeatmapOptions& options) {
+  // Reuse the calibrated plan geometry so pixels <-> feet match the
+  // other renders exactly.
+  FloorPlan plan = render_environment(env, options.pixels_per_foot,
+                                      options.margin_px);
+  image::Raster img(plan.raster().width(), plan.raster().height(),
+                    image::colors::kWhite);
+
+  const geom::Rect fp = env.footprint();
+  const double span = options.hi_value - options.lo_value;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const geom::Vec2 w = plan.to_world(
+          {static_cast<double>(x) + 0.5, static_cast<double>(y) + 0.5});
+      if (!fp.contains(w)) continue;
+      const double v = field(w);
+      const double t = span != 0.0 ? (v - options.lo_value) / span : 0.0;
+      img.set_pixel(x, y, heat_color(t));
+    }
+  }
+
+  if (options.draw_walls) {
+    auto px = [&](geom::Vec2 w) { return plan.to_pixel(w); };
+    for (int i = 0; i < 4; ++i) {
+      const PixelPoint a = px(fp.corner(i));
+      const PixelPoint b = px(fp.corner((i + 1) % 4));
+      image::draw_thick_line(img, static_cast<int>(a.x),
+                             static_cast<int>(a.y), static_cast<int>(b.x),
+                             static_cast<int>(b.y), image::colors::kBlack,
+                             3);
+    }
+    for (const radio::Wall& wall : env.walls()) {
+      const PixelPoint a = px(wall.segment.a);
+      const PixelPoint b = px(wall.segment.b);
+      image::draw_thick_line(img, static_cast<int>(a.x),
+                             static_cast<int>(a.y), static_cast<int>(b.x),
+                             static_cast<int>(b.y),
+                             image::colors::kDarkGray, 2);
+    }
+  }
+  if (options.draw_aps) {
+    for (const radio::AccessPoint& ap : env.access_points()) {
+      const PixelPoint p = plan.to_pixel(ap.position);
+      image::draw_marker(img, static_cast<int>(p.x), static_cast<int>(p.y),
+                         image::MarkerShape::kTriangle,
+                         image::colors::kWhite, 5);
+      image::draw_text(img, static_cast<int>(p.x) + 7,
+                       static_cast<int>(p.y) - 3, ap.name,
+                       image::colors::kWhite);
+    }
+  }
+  if (options.draw_legend) {
+    // Vertical ramp strip in the right margin.
+    const int strip_w = 10;
+    const int x0 = img.width() - options.margin_px + 4;
+    const int y0 = options.margin_px;
+    const int y1 = img.height() - options.margin_px;
+    for (int y = y0; y < y1; ++y) {
+      const double t = 1.0 - static_cast<double>(y - y0) /
+                                 static_cast<double>(y1 - y0 - 1);
+      for (int x = x0; x < x0 + strip_w; ++x) {
+        img.set_pixel(x, y, heat_color(t));
+      }
+    }
+    image::draw_rect(img, x0, y0, strip_w, y1 - y0, image::colors::kBlack);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", options.hi_value);
+    image::draw_text(img, x0 - 14, y0 - 10, buf, image::colors::kBlack);
+    std::snprintf(buf, sizeof(buf), "%.0f", options.lo_value);
+    image::draw_text(img, x0 - 14, y1 + 3, buf, image::colors::kBlack);
+  }
+  if (!options.title.empty()) {
+    image::draw_text(img, 6, 6, options.title, image::colors::kBlack);
+  }
+  return img;
+}
+
+}  // namespace loctk::floorplan

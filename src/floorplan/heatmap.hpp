@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file heatmap.hpp
+/// Signal-coverage heat maps over the floor plan.
+///
+/// The paper's toolkit renders floor plans and marks; a natural
+/// expansion (§6 item 4: "we will expand our location toolkit") is
+/// visualizing the signal landscape itself — per-AP coverage from the
+/// propagation model, or the *trained* radio map interpolated from
+/// the database. The renderer is generic over any scalar field so
+/// both cases (and likelihood surfaces) use the same code path.
+
+#include <functional>
+#include <string>
+
+#include "geom/vec2.hpp"
+#include "image/raster.hpp"
+#include "radio/environment.hpp"
+
+namespace loctk::floorplan {
+
+/// Rendering options for scalar-field heat maps.
+struct HeatmapOptions {
+  /// Field values mapped onto the color ramp ends (dBm by default).
+  double lo_value = -90.0;
+  double hi_value = -30.0;
+  double pixels_per_foot = 8.0;
+  int margin_px = 24;
+  /// Overlay walls and the footprint outline.
+  bool draw_walls = true;
+  /// Draw AP markers.
+  bool draw_aps = true;
+  /// Color-ramp legend strip on the right edge.
+  bool draw_legend = true;
+  std::string title;
+};
+
+/// Perceptual-enough blue→cyan→green→yellow→red ramp; `t` in [0, 1]
+/// (clamped).
+image::Color heat_color(double t);
+
+/// Renders `field(world_point)` over the environment footprint.
+/// The field is sampled once per pixel.
+image::Raster render_field_heatmap(
+    const radio::Environment& env,
+    const std::function<double(geom::Vec2)>& field,
+    const HeatmapOptions& options = {});
+
+}  // namespace loctk::floorplan

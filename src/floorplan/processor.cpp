@@ -1,0 +1,203 @@
+#include "floorplan/processor.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "image/codec_bmp.hpp"
+#include "image/draw.hpp"
+#include "image/font.hpp"
+
+namespace loctk::floorplan {
+
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw FloorPlanError(what);
+}
+
+void write_quoted(std::ostream& os, const std::string& name) {
+  os << '"';
+  for (const char c : name) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+std::string read_quoted(std::istringstream& is, const std::string& what) {
+  is >> std::ws;
+  require(is.get() == '"', what + ": expected quoted name");
+  std::string name;
+  for (;;) {
+    const int c = is.get();
+    require(c != EOF, what + ": unterminated quoted name");
+    if (c == '\\') {
+      const int next = is.get();
+      require(next != EOF, what + ": dangling escape");
+      name.push_back(static_cast<char>(next));
+    } else if (c == '"') {
+      return name;
+    } else {
+      name.push_back(static_cast<char>(c));
+    }
+  }
+}
+
+}  // namespace
+
+void FloorPlanProcessor::load_image(const std::filesystem::path& path) {
+  plan_.set_raster(image::read_image(path));
+}
+
+void FloorPlanProcessor::add_access_point(const std::string& name,
+                                          PixelPoint click) {
+  plan_.add_access_point(name, click);
+}
+
+void FloorPlanProcessor::set_scale(PixelPoint click1, PixelPoint click2,
+                                   double real_distance_ft) {
+  plan_.set_scale_from_points(click1, click2, real_distance_ft);
+}
+
+void FloorPlanProcessor::set_origin(PixelPoint click) {
+  plan_.set_origin(click);
+}
+
+void FloorPlanProcessor::add_location_name(const std::string& name,
+                                           PixelPoint click) {
+  plan_.add_place(name, click);
+}
+
+std::filesystem::path annotation_path_for(
+    const std::filesystem::path& image_path) {
+  std::filesystem::path p = image_path;
+  p.replace_extension(".fpa");
+  return p;
+}
+
+void FloorPlanProcessor::save(const std::filesystem::path& image_path) const {
+  image::write_image(image_path, plan_.raster());
+
+  const std::filesystem::path sidecar = annotation_path_for(image_path);
+  std::ofstream os(sidecar);
+  require(os.good(), "save: cannot open " + sidecar.string());
+
+  os << "# floorplan-annotations v1\n";
+  os << "image=" << image_path.filename().string() << '\n';
+  if (plan_.feet_per_pixel()) {
+    os << "feet_per_pixel=" << *plan_.feet_per_pixel() << '\n';
+  }
+  if (plan_.origin_pixel()) {
+    os << "origin_px=" << plan_.origin_pixel()->x << ' '
+       << plan_.origin_pixel()->y << '\n';
+  }
+  for (const PlacedAccessPoint& ap : plan_.access_points()) {
+    os << "ap ";
+    write_quoted(os, ap.name);
+    os << ' ' << ap.pixel.x << ' ' << ap.pixel.y << '\n';
+  }
+  for (const NamedPlace& pl : plan_.places()) {
+    os << "place ";
+    write_quoted(os, pl.name);
+    os << ' ' << pl.pixel.x << ' ' << pl.pixel.y << '\n';
+  }
+  require(os.good(), "save: write failed for " + sidecar.string());
+}
+
+FloorPlanProcessor FloorPlanProcessor::load(
+    const std::filesystem::path& fpa_path) {
+  std::ifstream is(fpa_path);
+  require(is.good(), "load: cannot open " + fpa_path.string());
+
+  FloorPlanProcessor proc;
+  std::string line;
+  std::filesystem::path image_file;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+
+    if (line.rfind("image=", start) == start) {
+      image_file = line.substr(start + 6);
+    } else if (line.rfind("feet_per_pixel=", start) == start) {
+      proc.plan_.set_feet_per_pixel(std::stod(line.substr(start + 15)));
+    } else if (line.rfind("origin_px=", start) == start) {
+      std::istringstream vals(line.substr(start + 10));
+      PixelPoint p;
+      vals >> p.x >> p.y;
+      require(static_cast<bool>(vals), "load: bad origin_px line");
+      proc.plan_.set_origin(p);
+    } else if (line.rfind("ap ", start) == start) {
+      std::istringstream rest(line.substr(start + 3));
+      const std::string name = read_quoted(rest, "load: ap");
+      PixelPoint p;
+      rest >> p.x >> p.y;
+      require(static_cast<bool>(rest), "load: bad ap line");
+      proc.plan_.add_access_point(name, p);
+    } else if (line.rfind("place ", start) == start) {
+      std::istringstream rest(line.substr(start + 6));
+      const std::string name = read_quoted(rest, "load: place");
+      PixelPoint p;
+      rest >> p.x >> p.y;
+      require(static_cast<bool>(rest), "load: bad place line");
+      proc.plan_.add_place(name, p);
+    } else {
+      throw FloorPlanError("load: unrecognized line: " + line);
+    }
+  }
+  require(!image_file.empty(), "load: sidecar missing image= line");
+  proc.load_image(fpa_path.parent_path() / image_file);
+  return proc;
+}
+
+FloorPlan render_environment(const radio::Environment& env,
+                             double pixels_per_foot, int margin_px) {
+  const geom::Rect fp = env.footprint();
+  const int w =
+      static_cast<int>(fp.width() * pixels_per_foot) + 2 * margin_px;
+  const int h =
+      static_cast<int>(fp.height() * pixels_per_foot) + 2 * margin_px;
+
+  FloorPlan plan{image::Raster(w, h, image::colors::kWhite)};
+  plan.set_feet_per_pixel(1.0 / pixels_per_foot);
+  // Origin pixel: world (min.x, min.y) maps to the bottom-left of the
+  // drawing area (raster y is flipped).
+  plan.set_origin({static_cast<double>(margin_px) -
+                       fp.min.x * pixels_per_foot,
+                   static_cast<double>(h - margin_px) +
+                       fp.min.y * pixels_per_foot});
+
+  image::Raster& img = plan.raster();
+  auto px = [&](geom::Vec2 world) { return plan.to_pixel(world); };
+
+  // Footprint outline.
+  for (int i = 0; i < 4; ++i) {
+    const PixelPoint a = px(fp.corner(i));
+    const PixelPoint b = px(fp.corner((i + 1) % 4));
+    image::draw_thick_line(img, static_cast<int>(a.x), static_cast<int>(a.y),
+                           static_cast<int>(b.x), static_cast<int>(b.y),
+                           image::colors::kBlack, 3);
+  }
+  // Walls.
+  for (const radio::Wall& wall : env.walls()) {
+    const PixelPoint a = px(wall.segment.a);
+    const PixelPoint b = px(wall.segment.b);
+    image::draw_thick_line(img, static_cast<int>(a.x), static_cast<int>(a.y),
+                           static_cast<int>(b.x), static_cast<int>(b.y),
+                           image::colors::kDarkGray, 2);
+  }
+  // Access points with labels.
+  for (const radio::AccessPoint& ap : env.access_points()) {
+    const PixelPoint p = px(ap.position);
+    plan.add_access_point(ap.name, p);
+    image::draw_marker(img, static_cast<int>(p.x), static_cast<int>(p.y),
+                       image::MarkerShape::kTriangle, image::colors::kBlue,
+                       5);
+    image::draw_text(img, static_cast<int>(p.x) + 7,
+                     static_cast<int>(p.y) - 3, ap.name,
+                     image::colors::kBlue);
+  }
+  return plan;
+}
+
+}  // namespace loctk::floorplan

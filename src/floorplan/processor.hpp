@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file processor.hpp
+/// The Floor Plan Processor: the paper's §4.1 component, headless.
+///
+/// The paper's version is a Tk GUI whose six functions are (1) load a
+/// floor-plan image, (2) add access points by clicking, (3) set the
+/// scale from two clicks plus a real distance, (4) set the origin by
+/// clicking, (5) add location names by clicking, (6) save. Every one
+/// of those is a state mutation on `FloorPlan`; this class performs
+/// them from code or from a CLI (see `examples/floorplan_tool`), and
+/// adds save/load of the annotations as a text sidecar next to the
+/// image so a "saved floor plan" round-trips losslessly.
+///
+/// Sidecar format (`*.fpa`):
+///
+///     # floorplan-annotations v1
+///     image=house.ppm
+///     feet_per_pixel=0.125
+///     origin_px=40 360
+///     ap "A" 56 344
+///     place "kitchen" 300 120
+
+#include <filesystem>
+
+#include "floorplan/floor_plan.hpp"
+#include "radio/environment.hpp"
+
+namespace loctk::floorplan {
+
+/// Headless driver for the six Floor Plan Processor operations.
+class FloorPlanProcessor {
+ public:
+  FloorPlanProcessor() = default;
+  explicit FloorPlanProcessor(FloorPlan plan) : plan_(std::move(plan)) {}
+
+  FloorPlan& plan() { return plan_; }
+  const FloorPlan& plan() const { return plan_; }
+
+  /// (1) Load the floor-plan image (PPM/PGM/BMP — GIF substitution is
+  /// documented in DESIGN.md).
+  void load_image(const std::filesystem::path& path);
+
+  /// (2) Add an access point at a clicked pixel.
+  void add_access_point(const std::string& name, PixelPoint click);
+
+  /// (3) Set the scale: two clicked pixels plus the real distance.
+  void set_scale(PixelPoint click1, PixelPoint click2,
+                 double real_distance_ft);
+
+  /// (4) Set the point of origin.
+  void set_origin(PixelPoint click);
+
+  /// (5) Attach a location name to a clicked pixel.
+  void add_location_name(const std::string& name, PixelPoint click);
+
+  /// (6) Save: writes the image (by extension) and the `.fpa`
+  /// annotation sidecar derived from the image path.
+  void save(const std::filesystem::path& image_path) const;
+
+  /// Loads a plan saved by `save()`: reads the sidecar, then the image
+  /// it references (relative to the sidecar's directory).
+  static FloorPlanProcessor load(const std::filesystem::path& fpa_path);
+
+ private:
+  FloorPlan plan_;
+};
+
+/// Path of the annotation sidecar for an image path:
+/// "house.ppm" -> "house.fpa".
+std::filesystem::path annotation_path_for(
+    const std::filesystem::path& image_path);
+
+/// Renders a radio::Environment into a calibrated FloorPlan: walls as
+/// dark lines, footprint outline, APs placed and named, origin at the
+/// footprint's min corner. `pixels_per_foot` controls resolution.
+/// This is how the repo produces the "scanned blueprint" every example
+/// starts from.
+FloorPlan render_environment(const radio::Environment& env,
+                             double pixels_per_foot = 8.0,
+                             int margin_px = 24);
+
+}  // namespace loctk::floorplan

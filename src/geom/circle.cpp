@@ -1,0 +1,93 @@
+#include "geom/circle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loctk::geom {
+
+CircleIntersection intersect_circles(const Circle& a, const Circle& b,
+                                     double eps) {
+  CircleIntersection out;
+  const Vec2 d = b.center - a.center;
+  const double dist = d.norm();
+  if (dist <= eps) {
+    // Concentric (or identical) circles: no unique intersection.
+    out.count = 0;
+    out.p1 = midpoint(a.center, b.center);
+    out.p2 = out.p1;
+    return out;
+  }
+
+  const double r1 = std::max(a.radius, 0.0);
+  const double r2 = std::max(b.radius, 0.0);
+
+  // Distance from a.center to the radical line along the center line.
+  const double x = (dist * dist + r1 * r1 - r2 * r2) / (2.0 * dist);
+  const double h2 = r1 * r1 - x * x;
+
+  const Vec2 u = d / dist;
+  if (h2 < -eps * std::max(1.0, r1 * r1)) {
+    // Disjoint or nested: best-effort point between the rings.
+    out.count = 0;
+    out.p1 = circle_pair_point(a, b);
+    out.p2 = out.p1;
+    return out;
+  }
+
+  const Vec2 foot = a.center + u * x;
+  if (h2 <= eps * std::max(1.0, r1 * r1)) {
+    out.count = 1;
+    out.p1 = foot;
+    out.p2 = foot;
+    return out;
+  }
+
+  const double h = std::sqrt(h2);
+  const Vec2 n = u.perp();
+  out.count = 2;
+  out.p1 = foot + n * h;
+  out.p2 = foot - n * h;
+  return out;
+}
+
+Vec2 circle_pair_point(const Circle& a, const Circle& b) {
+  const Vec2 d = b.center - a.center;
+  const double dist = d.norm();
+  if (dist == 0.0) return a.center;
+  const Vec2 u = d / dist;
+
+  const double r1 = std::max(a.radius, 0.0);
+  const double r2 = std::max(b.radius, 0.0);
+
+  if (dist > r1 + r2) {
+    // Disjoint: split the gap between the two rings evenly.
+    const double t = r1 + (dist - r1 - r2) * 0.5;
+    return a.center + u * t;
+  }
+  if (dist < std::abs(r1 - r2)) {
+    // Nested: point between the rings on the far side of the inner one.
+    if (r1 > r2) {
+      const double t = dist + r2 + (r1 - r2 - dist) * 0.5;
+      return a.center + u * t;
+    }
+    const double t = -(r1 + (r2 - r1 - dist) * 0.5 - dist);
+    // Equivalent construction from b towards a, mirrored onto the
+    // center line; derive directly instead for clarity:
+    (void)t;
+    const double from_b = r1 + (r2 - r1 - dist) * 0.5;
+    return b.center - u * from_b;
+  }
+
+  // Overlapping: midpoint of the two true intersection points, which
+  // lies on the center line at the radical-line foot.
+  const double x = (dist * dist + r1 * r1 - r2 * r2) / (2.0 * dist);
+  return a.center + u * x;
+}
+
+std::pair<Vec2, Vec2> circle_pair_points(const Circle& a, const Circle& b) {
+  const CircleIntersection ix = intersect_circles(a, b);
+  if (ix.count == 2) return {ix.p1, ix.p2};
+  return {ix.p1, ix.p1};
+}
+
+}  // namespace loctk::geom

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file circle.hpp
+/// Circles and circle-circle intersection.
+///
+/// This is the geometric heart of the paper's §5.2 approach: each
+/// access point O_i with an estimated distance d_i defines the circle
+/// (O_i, d_i); the client lies near the intersections of those
+/// circles. Real RSSI-derived radii rarely intersect exactly, so the
+/// API also exposes the "best effort" intersection used by RADAR-style
+/// systems: when two circles are disjoint or nested, return the point
+/// on the line of centers that minimizes the sum of squared radial
+/// errors.
+
+#include <optional>
+#include <utility>
+
+#include "geom/vec2.hpp"
+
+namespace loctk::geom {
+
+/// A circle given by center and radius. Radius must be >= 0.
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  constexpr Circle() = default;
+  constexpr Circle(Vec2 c, double r) : center(c), radius(r) {}
+
+  friend constexpr bool operator==(const Circle&, const Circle&) = default;
+
+  bool contains(Vec2 p) const {
+    return distance2(p, center) <= radius * radius;
+  }
+};
+
+/// Result of intersecting two circles.
+struct CircleIntersection {
+  /// Number of true intersection points: 0, 1, or 2. When 0, `p1`
+  /// still holds the best-effort point (see `closest_approach`).
+  int count = 0;
+  Vec2 p1;  ///< First intersection (or best-effort point when count==0).
+  Vec2 p2;  ///< Second intersection (valid only when count == 2).
+};
+
+/// Exact circle-circle intersection. Degenerate inputs (concentric
+/// circles, zero radii) yield count == 0 with `p1` at the midpoint of
+/// the centers.
+CircleIntersection intersect_circles(const Circle& a, const Circle& b,
+                                     double eps = 1e-9);
+
+/// Best-effort single point for a circle pair, as used by the paper's
+/// geometric locator: a true intersection midpoint when the circles
+/// cross, otherwise the point between the rings on the line of
+/// centers. Always returns a finite point for distinct centers.
+Vec2 circle_pair_point(const Circle& a, const Circle& b);
+
+/// Both candidate points for a circle pair. When the circles truly
+/// intersect these are the two intersection points; otherwise both
+/// equal the best-effort point.
+std::pair<Vec2, Vec2> circle_pair_points(const Circle& a, const Circle& b);
+
+}  // namespace loctk::geom

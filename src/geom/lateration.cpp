@@ -1,0 +1,91 @@
+#include "geom/lateration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loctk::geom {
+
+std::optional<Vec2> lateration_least_squares(
+    const std::vector<RangeMeasurement>& ranges) {
+  const std::size_t n = ranges.size();
+  if (n < 3) return std::nullopt;
+
+  // Reference anchor: the last one. Each earlier anchor i yields
+  //   2 (a_i - a_n) . p = |a_i|^2 - |a_n|^2 - d_i^2 + d_n^2
+  const RangeMeasurement& ref = ranges.back();
+  double ata00 = 0.0, ata01 = 0.0, ata11 = 0.0;
+  double atb0 = 0.0, atb1 = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double ax = 2.0 * (ranges[i].anchor.x - ref.anchor.x);
+    const double ay = 2.0 * (ranges[i].anchor.y - ref.anchor.y);
+    const double b = ranges[i].anchor.norm2() - ref.anchor.norm2() -
+                     ranges[i].distance * ranges[i].distance +
+                     ref.distance * ref.distance;
+    ata00 += ax * ax;
+    ata01 += ax * ay;
+    ata11 += ay * ay;
+    atb0 += ax * b;
+    atb1 += ay * b;
+  }
+  const double det = ata00 * ata11 - ata01 * ata01;
+  const double scale = std::max({std::abs(ata00), std::abs(ata11), 1.0});
+  if (std::abs(det) < 1e-12 * scale * scale) return std::nullopt;
+  return Vec2{(atb0 * ata11 - atb1 * ata01) / det,
+              (atb1 * ata00 - atb0 * ata01) / det};
+}
+
+double range_rms_residual(const std::vector<RangeMeasurement>& ranges,
+                          Vec2 p) {
+  if (ranges.empty()) return 0.0;
+  double ss = 0.0;
+  for (const auto& r : ranges) {
+    const double e = distance(p, r.anchor) - r.distance;
+    ss += e * e;
+  }
+  return std::sqrt(ss / static_cast<double>(ranges.size()));
+}
+
+Vec2 lateration_gauss_newton(const std::vector<RangeMeasurement>& ranges,
+                             Vec2 initial, int max_iters, double tol) {
+  Vec2 p = initial;
+  Vec2 best = p;
+  double best_cost = range_rms_residual(ranges, p);
+
+  for (int it = 0; it < max_iters; ++it) {
+    // Normal equations J^T J dp = -J^T r with J_i = (p - a_i)/||p - a_i||.
+    double h00 = 0.0, h01 = 0.0, h11 = 0.0, g0 = 0.0, g1 = 0.0;
+    for (const auto& r : ranges) {
+      const Vec2 diff = p - r.anchor;
+      const double d = diff.norm();
+      if (d < 1e-12) continue;  // at an anchor: gradient undefined
+      const double res = d - r.distance;
+      const Vec2 j = diff / d;
+      h00 += j.x * j.x;
+      h01 += j.x * j.y;
+      h11 += j.y * j.y;
+      g0 += j.x * res;
+      g1 += j.y * res;
+    }
+    const double det = h00 * h11 - h01 * h01;
+    if (std::abs(det) < 1e-15) break;
+    const Vec2 dp{-(g0 * h11 - g1 * h01) / det,
+                  -(g1 * h00 - g0 * h01) / det};
+    p += dp;
+    const double cost = range_rms_residual(ranges, p);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = p;
+    }
+    if (dp.norm() < tol) break;
+  }
+  return best;
+}
+
+std::vector<Circle> to_circles(const std::vector<RangeMeasurement>& ranges) {
+  std::vector<Circle> out;
+  out.reserve(ranges.size());
+  for (const auto& r : ranges) out.push_back({r.anchor, r.distance});
+  return out;
+}
+
+}  // namespace loctk::geom

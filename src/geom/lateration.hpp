@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file lateration.hpp
+/// Multilateration: position from distances to known anchors.
+///
+/// The paper (§2.4, §5.2) determines position from >= 3 circles.
+/// Besides the paper's pairwise-intersection-median estimator (built
+/// in `loctk/core` from `circle.hpp` primitives), this header provides
+/// the classic linearized least-squares solver and an iterative
+/// Gauss-Newton refinement, used as baselines in the ablation benches.
+
+#include <optional>
+#include <vector>
+
+#include "geom/circle.hpp"
+#include "geom/vec2.hpp"
+
+namespace loctk::geom {
+
+/// One anchor (access point position) plus the measured distance.
+struct RangeMeasurement {
+  Vec2 anchor;
+  double distance = 0.0;
+};
+
+/// Linearized least-squares multilateration.
+///
+/// Subtracting the circle equation of the last anchor from the others
+/// yields a linear system `A p = b` solved via 2x2 normal equations.
+/// Requires >= 3 anchors, not all collinear; returns nullopt when the
+/// normal matrix is singular (collinear anchors).
+std::optional<Vec2> lateration_least_squares(
+    const std::vector<RangeMeasurement>& ranges);
+
+/// Gauss-Newton refinement of the nonlinear range residuals
+/// `||p - a_i|| - d_i`, starting from `initial` (typically the linear
+/// solution). Always returns the best iterate found.
+Vec2 lateration_gauss_newton(const std::vector<RangeMeasurement>& ranges,
+                             Vec2 initial, int max_iters = 32,
+                             double tol = 1e-9);
+
+/// Root-mean-square range residual of a candidate position — the
+/// objective minimized by `lateration_gauss_newton`.
+double range_rms_residual(const std::vector<RangeMeasurement>& ranges,
+                          Vec2 p);
+
+/// Convenience: build circles from range measurements.
+std::vector<Circle> to_circles(const std::vector<RangeMeasurement>& ranges);
+
+}  // namespace loctk::geom

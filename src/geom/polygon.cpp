@@ -1,0 +1,166 @@
+#include "geom/polygon.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "geom/segment.hpp"
+
+namespace loctk::geom {
+
+double Polygon::signed_area() const {
+  if (vertices_.size() < 3) return 0.0;
+  double twice = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2 a = vertices_[i];
+    const Vec2 b = vertices_[(i + 1) % vertices_.size()];
+    twice += a.cross(b);
+  }
+  return twice * 0.5;
+}
+
+double Polygon::area() const { return std::abs(signed_area()); }
+
+Vec2 Polygon::centroid() const {
+  if (vertices_.empty()) return {};
+  const double a = signed_area();
+  if (std::abs(a) < 1e-12) {
+    return mean_point(vertices_);
+  }
+  double cx = 0.0, cy = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2 p = vertices_[i];
+    const Vec2 q = vertices_[(i + 1) % vertices_.size()];
+    const double w = p.cross(q);
+    cx += (p.x + q.x) * w;
+    cy += (p.y + q.y) * w;
+  }
+  return {cx / (6.0 * a), cy / (6.0 * a)};
+}
+
+bool Polygon::contains(Vec2 p, double eps) const {
+  if (vertices_.size() < 3) return false;
+  // Boundary counts as inside.
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Segment edge{vertices_[i], vertices_[(i + 1) % vertices_.size()]};
+    if (on_segment(edge, p, eps)) return true;
+  }
+  // Even-odd ray cast towards +x.
+  bool inside = false;
+  for (std::size_t i = 0, j = vertices_.size() - 1; i < vertices_.size();
+       j = i++) {
+    const Vec2 a = vertices_[i];
+    const Vec2 b = vertices_[j];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (crosses) {
+      const double xint = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (p.x < xint) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+Rect Polygon::bounding_box() const {
+  if (vertices_.empty()) return {};
+  Rect box{vertices_.front(), vertices_.front()};
+  for (const Vec2 v : vertices_) box = box.expanded_to(v);
+  return box;
+}
+
+double Polygon::perimeter() const {
+  if (vertices_.size() < 2) return 0.0;
+  double len = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    len += distance(vertices_[i], vertices_[(i + 1) % vertices_.size()]);
+  }
+  return len;
+}
+
+Polygon convex_hull(std::vector<Vec2> pts) {
+  std::sort(pts.begin(), pts.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n < 3) return Polygon{std::move(pts)};
+
+  std::vector<Vec2> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower hull
+    while (k >= 2 &&
+           orientation(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  for (std::size_t i = n - 1, t = k + 1; i-- > 0;) {  // upper hull
+    while (k >= t &&
+           orientation(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // last point repeats the first
+  return Polygon{std::move(hull)};
+}
+
+Vec2 component_median(std::vector<Vec2> points) {
+  assert(!points.empty());
+  const std::size_t n = points.size();
+  const std::size_t mid = n / 2;
+
+  auto nth_coord = [&](auto proj) {
+    std::nth_element(points.begin(),
+                     points.begin() + static_cast<std::ptrdiff_t>(mid),
+                     points.end(), [&](Vec2 a, Vec2 b) {
+                       return proj(a) < proj(b);
+                     });
+    double hi = proj(points[mid]);
+    if (n % 2 == 0) {
+      const auto lo_it = std::max_element(
+          points.begin(), points.begin() + static_cast<std::ptrdiff_t>(mid),
+          [&](Vec2 a, Vec2 b) { return proj(a) < proj(b); });
+      return (hi + proj(*lo_it)) * 0.5;
+    }
+    return hi;
+  };
+
+  const double mx = nth_coord([](Vec2 v) { return v.x; });
+  const double my = nth_coord([](Vec2 v) { return v.y; });
+  return {mx, my};
+}
+
+Vec2 mean_point(const std::vector<Vec2>& points) {
+  assert(!points.empty());
+  Vec2 sum;
+  for (const Vec2 p : points) sum += p;
+  return sum / static_cast<double>(points.size());
+}
+
+Vec2 geometric_median(const std::vector<Vec2>& points, int max_iters,
+                      double tol) {
+  assert(!points.empty());
+  if (points.size() == 1) return points.front();
+  Vec2 x = mean_point(points);
+  for (int it = 0; it < max_iters; ++it) {
+    Vec2 num;
+    double den = 0.0;
+    bool at_sample = false;
+    for (const Vec2 p : points) {
+      const double d = distance(x, p);
+      if (d < tol) {
+        at_sample = true;
+        break;
+      }
+      num += p / d;
+      den += 1.0 / d;
+    }
+    if (at_sample || den == 0.0) break;
+    const Vec2 next = num / den;
+    if (distance(next, x) < tol) return next;
+    x = next;
+  }
+  return x;
+}
+
+}  // namespace loctk::geom

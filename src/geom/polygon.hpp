@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file polygon.hpp
+/// Simple polygons: point containment, area, convex hull.
+///
+/// Floor plans are not always rectangular; the environment model
+/// accepts an arbitrary simple-polygon footprint, and the evaluation
+/// harness uses the convex hull of training points to decide whether a
+/// test point is inside the surveyed area.
+
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/vec2.hpp"
+
+namespace loctk::geom {
+
+/// A simple polygon stored as its vertex loop (no repeated closing
+/// vertex). Orientation may be either way; `signed_area()` exposes it.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Vec2> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+  /// Signed area: positive for counter-clockwise vertex order.
+  double signed_area() const;
+
+  /// Absolute area.
+  double area() const;
+
+  /// Centroid (area-weighted); vertex mean for degenerate polygons.
+  Vec2 centroid() const;
+
+  /// Even-odd point-in-polygon test; boundary points count as inside.
+  bool contains(Vec2 p, double eps = 1e-9) const;
+
+  /// Axis-aligned bounding box; a zero Rect for the empty polygon.
+  Rect bounding_box() const;
+
+  /// Perimeter length.
+  double perimeter() const;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+/// Convex hull (Andrew monotone chain) in counter-clockwise order.
+/// Collinear points on the hull boundary are dropped. Inputs with
+/// fewer than 3 distinct points return what is available.
+Polygon convex_hull(std::vector<Vec2> points);
+
+/// Component-wise median of a point set: the paper's §5.2 estimator
+/// over the circle-pair intersection points P1..P4. For even counts
+/// each coordinate is the average of the two middle values.
+/// Precondition: `points` is non-empty.
+Vec2 component_median(std::vector<Vec2> points);
+
+/// Geometric median via Weiszfeld iteration — a robustness baseline
+/// against the paper's component-wise median. Returns the component
+/// median when iteration fails to move (e.g. a sample coincides with
+/// the current iterate).
+Vec2 geometric_median(const std::vector<Vec2>& points,
+                      int max_iters = 128, double tol = 1e-9);
+
+/// Arithmetic mean of a point set. Precondition: non-empty.
+Vec2 mean_point(const std::vector<Vec2>& points);
+
+}  // namespace loctk::geom

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file rect.hpp
+/// Axis-aligned rectangle in world coordinates (feet). Used for the
+/// experiment-house footprint (50 ft x 40 ft in the paper, §5.1) and
+/// for clamping estimates to the mapped area.
+
+#include <algorithm>
+
+#include "geom/vec2.hpp"
+
+namespace loctk::geom {
+
+/// Axis-aligned rectangle [min.x, max.x] x [min.y, max.y].
+/// Invariant: callers should keep min <= max component-wise; use
+/// `normalized()` to repair a rectangle built from arbitrary corners.
+struct Rect {
+  Vec2 min;
+  Vec2 max;
+
+  constexpr Rect() = default;
+  constexpr Rect(Vec2 min_, Vec2 max_) : min(min_), max(max_) {}
+
+  /// Rectangle from origin to (w, h).
+  static constexpr Rect sized(double w, double h) {
+    return {{0.0, 0.0}, {w, h}};
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  constexpr double width() const { return max.x - min.x; }
+  constexpr double height() const { return max.y - min.y; }
+  constexpr double area() const { return width() * height(); }
+  constexpr Vec2 center() const { return midpoint(min, max); }
+
+  /// True when `p` lies inside or on the boundary.
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// True when the two rectangles share any area or boundary.
+  constexpr bool intersects(const Rect& o) const {
+    return min.x <= o.max.x && max.x >= o.min.x &&
+           min.y <= o.max.y && max.y >= o.min.y;
+  }
+
+  /// Nearest point inside the rectangle to `p`.
+  constexpr Vec2 clamp(Vec2 p) const {
+    return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+  }
+
+  /// Smallest rectangle containing both this and `p`.
+  constexpr Rect expanded_to(Vec2 p) const {
+    return {{std::min(min.x, p.x), std::min(min.y, p.y)},
+            {std::max(max.x, p.x), std::max(max.y, p.y)}};
+  }
+
+  /// Rectangle grown by `m` on every side (shrunk when m < 0).
+  constexpr Rect inflated(double m) const {
+    return {{min.x - m, min.y - m}, {max.x + m, max.y + m}};
+  }
+
+  /// Rectangle with min/max swapped where needed so min <= max.
+  constexpr Rect normalized() const {
+    return {{std::min(min.x, max.x), std::min(min.y, max.y)},
+            {std::max(min.x, max.x), std::max(min.y, max.y)}};
+  }
+
+  /// The four corners in counter-clockwise order starting at min.
+  constexpr Vec2 corner(int i) const {
+    switch (i & 3) {
+      case 0: return min;
+      case 1: return {max.x, min.y};
+      case 2: return max;
+      default: return {min.x, max.y};
+    }
+  }
+};
+
+}  // namespace loctk::geom

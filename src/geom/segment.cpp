@@ -1,0 +1,79 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loctk::geom {
+
+bool on_segment(const Segment& s, Vec2 p, double eps) {
+  if (std::abs(orientation(s.a, s.b, p)) >
+      eps * std::max(1.0, s.length2())) {
+    return false;
+  }
+  return p.x >= std::min(s.a.x, s.b.x) - eps &&
+         p.x <= std::max(s.a.x, s.b.x) + eps &&
+         p.y >= std::min(s.a.y, s.b.y) - eps &&
+         p.y <= std::max(s.a.y, s.b.y) + eps;
+}
+
+namespace {
+
+// Sign of `v` with a dead zone of +-eps treated as zero.
+int sign_with_eps(double v, double eps) {
+  if (v > eps) return 1;
+  if (v < -eps) return -1;
+  return 0;
+}
+
+}  // namespace
+
+bool segments_intersect(const Segment& s1, const Segment& s2, double eps) {
+  const double d1 = orientation(s2.a, s2.b, s1.a);
+  const double d2 = orientation(s2.a, s2.b, s1.b);
+  const double d3 = orientation(s1.a, s1.b, s2.a);
+  const double d4 = orientation(s1.a, s1.b, s2.b);
+
+  const int o1 = sign_with_eps(d1, eps);
+  const int o2 = sign_with_eps(d2, eps);
+  const int o3 = sign_with_eps(d3, eps);
+  const int o4 = sign_with_eps(d4, eps);
+
+  if (o1 != o2 && o3 != o4 && o1 * o2 <= 0 && o3 * o4 <= 0) return true;
+
+  // Collinear cases: a zero orientation plus bounding-box overlap.
+  if (o1 == 0 && on_segment(s2, s1.a)) return true;
+  if (o2 == 0 && on_segment(s2, s1.b)) return true;
+  if (o3 == 0 && on_segment(s1, s2.a)) return true;
+  if (o4 == 0 && on_segment(s1, s2.b)) return true;
+  return false;
+}
+
+std::optional<Vec2> segment_intersection(const Segment& s1,
+                                         const Segment& s2, double eps) {
+  const Vec2 r = s1.direction();
+  const Vec2 s = s2.direction();
+  const double denom = r.cross(s);
+  if (std::abs(denom) <= eps) return std::nullopt;  // parallel/collinear
+
+  const Vec2 qp = s2.a - s1.a;
+  const double t = qp.cross(s) / denom;
+  const double u = qp.cross(r) / denom;
+  if (t < -eps || t > 1.0 + eps || u < -eps || u > 1.0 + eps) {
+    return std::nullopt;
+  }
+  return s1.point_at(std::clamp(t, 0.0, 1.0));
+}
+
+Vec2 closest_point_on_segment(Vec2 p, const Segment& s) {
+  const Vec2 d = s.direction();
+  const double len2 = d.norm2();
+  if (len2 == 0.0) return s.a;  // degenerate segment
+  const double t = std::clamp((p - s.a).dot(d) / len2, 0.0, 1.0);
+  return s.point_at(t);
+}
+
+double point_segment_distance(Vec2 p, const Segment& s) {
+  return distance(p, closest_point_on_segment(p, s));
+}
+
+}  // namespace loctk::geom

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file segment.hpp
+/// Line segments and segment intersection tests.
+///
+/// Segments model walls in the radio environment: the RADAR-style wall
+/// attenuation factor (WAF) needs the number of walls crossed by the
+/// straight line between an access point and the receiver, which is a
+/// sequence of segment-segment intersection tests.
+
+#include <optional>
+
+#include "geom/vec2.hpp"
+
+namespace loctk::geom {
+
+/// A directed line segment from `a` to `b`.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  constexpr Segment() = default;
+  constexpr Segment(Vec2 a_, Vec2 b_) : a(a_), b(b_) {}
+
+  friend constexpr bool operator==(const Segment&, const Segment&) = default;
+
+  double length() const { return distance(a, b); }
+  constexpr double length2() const { return distance2(a, b); }
+  constexpr Vec2 direction() const { return b - a; }
+  constexpr Vec2 point_at(double t) const { return lerp(a, b, t); }
+};
+
+/// Orientation of the triple (a, b, c): positive for counter-clockwise,
+/// negative for clockwise, ~0 for collinear.
+constexpr double orientation(Vec2 a, Vec2 b, Vec2 c) {
+  return (b - a).cross(c - a);
+}
+
+/// True when point `p` lies on segment `s` (within `eps`).
+bool on_segment(const Segment& s, Vec2 p, double eps = 1e-9);
+
+/// True when the two segments share at least one point (including
+/// touching endpoints and collinear overlap).
+bool segments_intersect(const Segment& s1, const Segment& s2,
+                        double eps = 1e-12);
+
+/// Proper intersection point of two non-parallel segments, if it lies
+/// within both; `nullopt` for parallel/collinear or disjoint segments.
+std::optional<Vec2> segment_intersection(const Segment& s1,
+                                         const Segment& s2,
+                                         double eps = 1e-12);
+
+/// Distance from point `p` to the closest point of segment `s`.
+double point_segment_distance(Vec2 p, const Segment& s);
+
+/// Closest point on segment `s` to `p`.
+Vec2 closest_point_on_segment(Vec2 p, const Segment& s);
+
+}  // namespace loctk::geom

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file vec2.hpp
+/// 2-D vector / point type used throughout the toolkit.
+///
+/// The paper's coordinate convention (§4.1) is a two-dimensional world
+/// frame measured in feet, with a user-chosen origin; we keep every
+/// world-space quantity in `double` feet and convert to pixels only at
+/// the floor-plan boundary (see `loctk/floorplan`).
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <limits>
+
+namespace loctk::geom {
+
+/// A 2-D point or displacement. Plain value type: cheap to copy,
+/// trivially relocatable, no invariants.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  friend constexpr bool operator==(const Vec2&, const Vec2&) = default;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+  constexpr Vec2& operator/=(double s) { x /= s; y /= s; return *this; }
+
+  /// Dot product.
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+
+  /// Z-component of the 3-D cross product; >0 when `o` is counter-
+  /// clockwise of `*this`.
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  constexpr double norm2() const { return x * x + y * y; }
+  double norm() const { return std::hypot(x, y); }
+
+  /// Unit vector in the same direction; returns {0,0} for the zero
+  /// vector rather than dividing by zero.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Perpendicular (rotated +90 degrees).
+  constexpr Vec2 perp() const { return {-y, x}; }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Squared Euclidean distance (avoids the sqrt for comparisons).
+constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// Linear interpolation: `t = 0` gives `a`, `t = 1` gives `b`.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Midpoint of the segment (a, b).
+constexpr Vec2 midpoint(Vec2 a, Vec2 b) {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+/// True when the two points are within `eps` of each other in both
+/// coordinates (component-wise, not Euclidean).
+inline bool almost_equal(Vec2 a, Vec2 b,
+                         double eps = 1e-9) {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
+}
+
+/// True when every component is finite.
+inline bool is_finite(Vec2 v) {
+  return std::isfinite(v.x) && std::isfinite(v.y);
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace loctk::geom

@@ -1,0 +1,177 @@
+#include "image/codec_bmp.hpp"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace loctk::image {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw CodecError(what);
+}
+
+void put_u16(std::ostream& os, std::uint16_t v) {
+  os.put(static_cast<char>(v & 0xff));
+  os.put(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) os.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint16_t get_u16(std::istream& is) {
+  std::array<unsigned char, 2> b{};
+  is.read(reinterpret_cast<char*>(b.data()), 2);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  std::array<unsigned char, 4> b{};
+  is.read(reinterpret_cast<char*>(b.data()), 4);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint32_t row_stride(int width) {
+  return (static_cast<std::uint32_t>(width) * 3u + 3u) & ~3u;
+}
+
+}  // namespace
+
+void write_bmp(std::ostream& os, const Raster& img) {
+  const std::uint32_t stride = row_stride(img.width());
+  const std::uint32_t pixel_bytes =
+      stride * static_cast<std::uint32_t>(img.height());
+  const std::uint32_t header_bytes = 14 + 40;
+
+  // BITMAPFILEHEADER
+  os.put('B');
+  os.put('M');
+  put_u32(os, header_bytes + pixel_bytes);
+  put_u16(os, 0);
+  put_u16(os, 0);
+  put_u32(os, header_bytes);
+  // BITMAPINFOHEADER
+  put_u32(os, 40);
+  put_u32(os, static_cast<std::uint32_t>(img.width()));
+  put_u32(os, static_cast<std::uint32_t>(img.height()));
+  put_u16(os, 1);   // planes
+  put_u16(os, 24);  // bpp
+  put_u32(os, 0);   // BI_RGB
+  put_u32(os, pixel_bytes);
+  put_u32(os, 2835);  // 72 dpi
+  put_u32(os, 2835);
+  put_u32(os, 0);
+  put_u32(os, 0);
+
+  const std::uint32_t pad = stride - static_cast<std::uint32_t>(img.width()) * 3u;
+  for (int y = img.height() - 1; y >= 0; --y) {  // bottom-up rows
+    for (int x = 0; x < img.width(); ++x) {
+      const Color c = img.at(x, y);
+      os.put(static_cast<char>(c.b));
+      os.put(static_cast<char>(c.g));
+      os.put(static_cast<char>(c.r));
+    }
+    for (std::uint32_t i = 0; i < pad; ++i) os.put('\0');
+  }
+}
+
+void write_bmp(const std::filesystem::path& path, const Raster& img) {
+  std::ofstream os(path, std::ios::binary);
+  require(os.good(), "write_bmp: cannot open output file");
+  write_bmp(os, img);
+  require(os.good(), "write_bmp: write failed");
+}
+
+Raster read_bmp(std::istream& is) {
+  require(is.get() == 'B' && is.get() == 'M', "read_bmp: bad signature");
+  (void)get_u32(is);  // file size
+  (void)get_u16(is);
+  (void)get_u16(is);
+  const std::uint32_t pixel_offset = get_u32(is);
+
+  const std::uint32_t info_size = get_u32(is);
+  require(info_size >= 40, "read_bmp: unsupported header");
+  const auto w = static_cast<std::int32_t>(get_u32(is));
+  const auto h = static_cast<std::int32_t>(get_u32(is));
+  require(w > 0 && w <= (1 << 20) && h != 0 && h > -(1 << 20) &&
+              h <= (1 << 20),
+          "read_bmp: bad dimensions");
+  const bool bottom_up = h > 0;
+  const std::int32_t abs_h = bottom_up ? h : -h;
+  require(get_u16(is) == 1, "read_bmp: bad plane count");
+  require(get_u16(is) == 24, "read_bmp: only 24bpp supported");
+  require(get_u32(is) == 0, "read_bmp: only BI_RGB supported");
+  // Bytes consumed so far: 14 (file header) + 20 (info fields read
+  // above). Skip the rest of the info header and any gap to the
+  // pixel array.
+  constexpr std::streamsize kConsumed = 14 + 20;
+  require(pixel_offset >= kConsumed, "read_bmp: bad pixel offset");
+  is.ignore(static_cast<std::streamsize>(pixel_offset) - kConsumed);
+  require(static_cast<bool>(is), "read_bmp: truncated header");
+
+  Raster img(w, abs_h);
+  const std::uint32_t stride = row_stride(w);
+  std::string row(stride, '\0');
+  for (std::int32_t i = 0; i < abs_h; ++i) {
+    is.read(row.data(), static_cast<std::streamsize>(stride));
+    require(static_cast<std::size_t>(is.gcount()) == stride,
+            "read_bmp: truncated pixel data");
+    const std::int32_t y = bottom_up ? abs_h - 1 - i : i;
+    for (std::int32_t x = 0; x < w; ++x) {
+      const auto k = static_cast<std::size_t>(x) * 3;
+      img.at(x, y) = {static_cast<std::uint8_t>(row[k + 2]),
+                      static_cast<std::uint8_t>(row[k + 1]),
+                      static_cast<std::uint8_t>(row[k])};
+    }
+  }
+  return img;
+}
+
+Raster read_bmp(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  require(is.good(), "read_bmp: cannot open input file");
+  return read_bmp(is);
+}
+
+std::string encode_bmp(const Raster& img) {
+  std::ostringstream os;
+  write_bmp(os, img);
+  return os.str();
+}
+
+Raster decode_bmp(const std::string& bytes) {
+  std::istringstream is(bytes);
+  return read_bmp(is);
+}
+
+void write_image(const std::filesystem::path& path, const Raster& img) {
+  const std::string ext = path.extension().string();
+  if (ext == ".ppm" || ext == ".pnm") {
+    write_ppm(path, img);
+  } else if (ext == ".pgm") {
+    write_pgm(path, img);
+  } else if (ext == ".bmp") {
+    write_bmp(path, img);
+  } else {
+    throw CodecError("write_image: unsupported extension " + ext);
+  }
+}
+
+Raster read_image(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  if (ext == ".ppm" || ext == ".pnm" || ext == ".pgm") {
+    return read_pnm(path);
+  }
+  if (ext == ".bmp") {
+    return read_bmp(path);
+  }
+  throw CodecError("read_image: unsupported extension " + ext);
+}
+
+}  // namespace loctk::image

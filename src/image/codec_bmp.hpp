@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file codec_bmp.hpp
+/// Windows BMP (24-bit uncompressed BITMAPINFOHEADER) encode/decode.
+///
+/// Provided so composited floor plans can be opened by any stock image
+/// viewer; the paper's toolkit was Windows-based (§4) and BMP is the
+/// zero-dependency Windows-native choice. Only the 24-bit BI_RGB
+/// flavor is implemented — enough for lossless round-trips.
+
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "image/codec_pnm.hpp"  // CodecError
+#include "image/raster.hpp"
+
+namespace loctk::image {
+
+void write_bmp(std::ostream& os, const Raster& img);
+void write_bmp(const std::filesystem::path& path, const Raster& img);
+
+/// Reads a 24-bit uncompressed BMP. Throws CodecError otherwise.
+Raster read_bmp(std::istream& is);
+Raster read_bmp(const std::filesystem::path& path);
+
+std::string encode_bmp(const Raster& img);
+Raster decode_bmp(const std::string& bytes);
+
+/// Dispatch on file extension: .ppm/.pgm/.pnm -> PNM, .bmp -> BMP.
+/// Throws CodecError for other extensions.
+void write_image(const std::filesystem::path& path, const Raster& img);
+Raster read_image(const std::filesystem::path& path);
+
+}  // namespace loctk::image

@@ -1,0 +1,156 @@
+#include "image/codec_pnm.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace loctk::image {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw CodecError(what);
+}
+
+// Reads the next header token, skipping whitespace and '#' comments.
+std::string next_token(std::istream& is) {
+  std::string tok;
+  for (;;) {
+    const int c = is.peek();
+    if (c == EOF) break;
+    if (std::isspace(c)) {
+      is.get();
+      continue;
+    }
+    if (c == '#') {
+      std::string line;
+      std::getline(is, line);
+      continue;
+    }
+    break;
+  }
+  is >> tok;
+  return tok;
+}
+
+int parse_positive_int(const std::string& tok, const char* what) {
+  try {
+    const long v = std::stol(tok);
+    require(v > 0 && v <= 1 << 20, what);
+    return static_cast<int>(v);
+  } catch (const CodecError&) {
+    throw;
+  } catch (...) {
+    throw CodecError(what);
+  }
+}
+
+}  // namespace
+
+void write_ppm(std::ostream& os, const Raster& img) {
+  os << "P6\n" << img.width() << ' ' << img.height() << "\n255\n";
+  for (const Color& c : img.data()) {
+    os.put(static_cast<char>(c.r));
+    os.put(static_cast<char>(c.g));
+    os.put(static_cast<char>(c.b));
+  }
+}
+
+void write_ppm(const std::filesystem::path& path, const Raster& img) {
+  std::ofstream os(path, std::ios::binary);
+  require(os.good(), "write_ppm: cannot open output file");
+  write_ppm(os, img);
+  require(os.good(), "write_ppm: write failed");
+}
+
+void write_pgm(std::ostream& os, const Raster& img) {
+  os << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  for (const Color& c : img.data()) os.put(static_cast<char>(c.luma()));
+}
+
+void write_pgm(const std::filesystem::path& path, const Raster& img) {
+  std::ofstream os(path, std::ios::binary);
+  require(os.good(), "write_pgm: cannot open output file");
+  write_pgm(os, img);
+  require(os.good(), "write_pgm: write failed");
+}
+
+Raster read_pnm(std::istream& is) {
+  const std::string magic = next_token(is);
+  require(magic == "P2" || magic == "P3" || magic == "P5" || magic == "P6",
+          "read_pnm: not a P2/P3/P5/P6 file");
+  const bool color = magic == "P3" || magic == "P6";
+  const bool binary = magic == "P5" || magic == "P6";
+
+  const int w = parse_positive_int(next_token(is), "read_pnm: bad width");
+  const int h = parse_positive_int(next_token(is), "read_pnm: bad height");
+  const int maxval =
+      parse_positive_int(next_token(is), "read_pnm: bad maxval");
+  require(maxval > 0 && maxval <= 255, "read_pnm: unsupported maxval");
+
+  Raster img(w, h);
+  const std::size_t samples = static_cast<std::size_t>(w) *
+                              static_cast<std::size_t>(h) * (color ? 3u : 1u);
+
+  auto scale = [maxval](int v) {
+    return static_cast<std::uint8_t>(v * 255 / maxval);
+  };
+
+  if (binary) {
+    require(is.get() != EOF || samples == 0,
+            "read_pnm: truncated header");  // single whitespace consumed by >>
+    // The `>>` above leaves exactly one whitespace before the payload,
+    // which `is.get()` just consumed if present; rewind if it wasn't
+    // whitespace. Simpler: we already consumed it. Read raw bytes now.
+    std::string buf(samples, '\0');
+    is.read(buf.data(), static_cast<std::streamsize>(samples));
+    require(static_cast<std::size_t>(is.gcount()) == samples,
+            "read_pnm: truncated pixel data");
+    std::size_t k = 0;
+    for (Color& c : img.data()) {
+      if (color) {
+        c.r = scale(static_cast<std::uint8_t>(buf[k++]));
+        c.g = scale(static_cast<std::uint8_t>(buf[k++]));
+        c.b = scale(static_cast<std::uint8_t>(buf[k++]));
+      } else {
+        const std::uint8_t g = scale(static_cast<std::uint8_t>(buf[k++]));
+        c = {g, g, g};
+      }
+    }
+  } else {
+    for (Color& c : img.data()) {
+      int r = 0, g = 0, b = 0;
+      if (color) {
+        is >> r >> g >> b;
+      } else {
+        is >> r;
+        g = b = r;
+      }
+      require(static_cast<bool>(is), "read_pnm: truncated ASCII data");
+      require(r >= 0 && r <= maxval && g >= 0 && g <= maxval && b >= 0 &&
+                  b <= maxval,
+              "read_pnm: sample out of range");
+      c = {scale(r), scale(g), scale(b)};
+    }
+  }
+  return img;
+}
+
+Raster read_pnm(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  require(is.good(), "read_pnm: cannot open input file");
+  return read_pnm(is);
+}
+
+std::string encode_ppm(const Raster& img) {
+  std::ostringstream os;
+  write_ppm(os, img);
+  return os.str();
+}
+
+Raster decode_pnm(const std::string& bytes) {
+  std::istringstream is(bytes);
+  return read_pnm(is);
+}
+
+}  // namespace loctk::image

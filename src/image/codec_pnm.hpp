@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file codec_pnm.hpp
+/// Portable aNyMap (PPM / PGM) encode and decode.
+///
+/// PNM is the toolkit's native floor-plan interchange format, standing
+/// in for the paper's GIF scans (GIF's LZW layer adds nothing the
+/// localization pipeline exercises; PNM is lossless and universally
+/// viewable). Both binary (P5/P6) and ASCII (P2/P3) variants are read;
+/// writing always uses the binary variants.
+
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "image/raster.hpp"
+
+namespace loctk::image {
+
+/// Error type for malformed image files.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes `img` as binary PPM (P6).
+void write_ppm(std::ostream& os, const Raster& img);
+void write_ppm(const std::filesystem::path& path, const Raster& img);
+
+/// Writes the luma channel as binary PGM (P5).
+void write_pgm(std::ostream& os, const Raster& img);
+void write_pgm(const std::filesystem::path& path, const Raster& img);
+
+/// Reads any of P2/P3/P5/P6; PGM pixels are replicated to gray RGB.
+/// Throws CodecError on malformed input.
+Raster read_pnm(std::istream& is);
+Raster read_pnm(const std::filesystem::path& path);
+
+/// Encode to an in-memory string (binary PPM). Round-trips exactly
+/// through `read_pnm`.
+std::string encode_ppm(const Raster& img);
+Raster decode_pnm(const std::string& bytes);
+
+}  // namespace loctk::image

@@ -1,0 +1,170 @@
+#include "image/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace loctk::image {
+
+void draw_line(Raster& img, int x0, int y0, int x1, int y1, Color c) {
+  int dx = std::abs(x1 - x0);
+  int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  for (;;) {
+    img.set_pixel(x0, y0, c);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void draw_thick_line(Raster& img, int x0, int y0, int x1, int y1, Color c,
+                     int t) {
+  if (t <= 1) {
+    draw_line(img, x0, y0, x1, y1, c);
+    return;
+  }
+  const int half = t / 2;
+  // Offset parallel lines along the minor axis; for short fat lines
+  // also stamp disks at the endpoints so joints look solid.
+  const bool steep = std::abs(y1 - y0) > std::abs(x1 - x0);
+  for (int o = -half; o <= half; ++o) {
+    if (steep) {
+      draw_line(img, x0 + o, y0, x1 + o, y1, c);
+    } else {
+      draw_line(img, x0, y0 + o, x1, y1 + o, c);
+    }
+  }
+  fill_circle(img, x0, y0, half, c);
+  fill_circle(img, x1, y1, half, c);
+}
+
+void draw_dashed_line(Raster& img, int x0, int y0, int x1, int y1, Color c,
+                      int on, int off) {
+  on = std::max(1, on);
+  off = std::max(0, off);
+  const int period = on + off;
+  int dx = std::abs(x1 - x0);
+  int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  int step = 0;
+  for (;;) {
+    if (step % period < on) img.set_pixel(x0, y0, c);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+    ++step;
+  }
+}
+
+void draw_rect(Raster& img, int x, int y, int w, int h, Color c) {
+  if (w <= 0 || h <= 0) return;
+  draw_line(img, x, y, x + w - 1, y, c);
+  draw_line(img, x, y + h - 1, x + w - 1, y + h - 1, c);
+  draw_line(img, x, y, x, y + h - 1, c);
+  draw_line(img, x + w - 1, y, x + w - 1, y + h - 1, c);
+}
+
+void fill_rect(Raster& img, int x, int y, int w, int h, Color c) {
+  const int x0 = std::max(0, x);
+  const int y0 = std::max(0, y);
+  const int x1 = std::min(img.width(), x + w);
+  const int y1 = std::min(img.height(), y + h);
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) img.at(xx, yy) = c;
+  }
+}
+
+void draw_circle(Raster& img, int cx, int cy, int radius, Color c) {
+  if (radius < 0) return;
+  int x = radius;
+  int y = 0;
+  int err = 1 - radius;
+  while (x >= y) {
+    img.set_pixel(cx + x, cy + y, c);
+    img.set_pixel(cx + y, cy + x, c);
+    img.set_pixel(cx - y, cy + x, c);
+    img.set_pixel(cx - x, cy + y, c);
+    img.set_pixel(cx - x, cy - y, c);
+    img.set_pixel(cx - y, cy - x, c);
+    img.set_pixel(cx + y, cy - x, c);
+    img.set_pixel(cx + x, cy - y, c);
+    ++y;
+    if (err < 0) {
+      err += 2 * y + 1;
+    } else {
+      --x;
+      err += 2 * (y - x) + 1;
+    }
+  }
+}
+
+void fill_circle(Raster& img, int cx, int cy, int radius, Color c) {
+  if (radius < 0) return;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    const int span =
+        static_cast<int>(std::sqrt(static_cast<double>(radius * radius) -
+                                   static_cast<double>(dy * dy)));
+    for (int dx = -span; dx <= span; ++dx) {
+      img.set_pixel(cx + dx, cy + dy, c);
+    }
+  }
+}
+
+void draw_marker(Raster& img, int cx, int cy, MarkerShape shape, Color c,
+                 int r) {
+  r = std::max(1, r);
+  switch (shape) {
+    case MarkerShape::kCross:
+      draw_line(img, cx - r, cy, cx + r, cy, c);
+      draw_line(img, cx, cy - r, cx, cy + r, c);
+      break;
+    case MarkerShape::kX:
+      draw_line(img, cx - r, cy - r, cx + r, cy + r, c);
+      draw_line(img, cx - r, cy + r, cx + r, cy - r, c);
+      break;
+    case MarkerShape::kSquare:
+      draw_rect(img, cx - r, cy - r, 2 * r + 1, 2 * r + 1, c);
+      break;
+    case MarkerShape::kFilledSquare:
+      fill_rect(img, cx - r, cy - r, 2 * r + 1, 2 * r + 1, c);
+      break;
+    case MarkerShape::kDiamond:
+      draw_line(img, cx - r, cy, cx, cy - r, c);
+      draw_line(img, cx, cy - r, cx + r, cy, c);
+      draw_line(img, cx + r, cy, cx, cy + r, c);
+      draw_line(img, cx, cy + r, cx - r, cy, c);
+      break;
+    case MarkerShape::kCircle:
+      draw_circle(img, cx, cy, r, c);
+      break;
+    case MarkerShape::kDot:
+      fill_circle(img, cx, cy, r, c);
+      break;
+    case MarkerShape::kTriangle:
+      draw_line(img, cx, cy - r, cx + r, cy + r, c);
+      draw_line(img, cx + r, cy + r, cx - r, cy + r, c);
+      draw_line(img, cx - r, cy + r, cx, cy - r, c);
+      break;
+  }
+}
+
+}  // namespace loctk::image

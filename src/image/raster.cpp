@@ -1,0 +1,81 @@
+#include "image/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace loctk::image {
+
+Color Color::blend(Color other, double t) const {
+  t = std::clamp(t, 0.0, 1.0);
+  auto mix = [t](std::uint8_t from, std::uint8_t to) {
+    return static_cast<std::uint8_t>(
+        std::lround(static_cast<double>(from) * (1.0 - t) +
+                    static_cast<double>(to) * t));
+  };
+  return {mix(r, other.r), mix(g, other.g), mix(b, other.b)};
+}
+
+Raster::Raster(int width, int height, Color fill_color)
+    : width_(std::max(0, width)), height_(std::max(0, height)),
+      data_(static_cast<std::size_t>(width_) *
+                static_cast<std::size_t>(height_),
+            fill_color) {}
+
+Color& Raster::at(int x, int y) {
+  if (!in_bounds(x, y)) throw std::out_of_range("Raster::at");
+  return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(x)];
+}
+
+const Color& Raster::at(int x, int y) const {
+  if (!in_bounds(x, y)) throw std::out_of_range("Raster::at");
+  return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(x)];
+}
+
+Color Raster::pixel(int x, int y, Color fallback) const {
+  return in_bounds(x, y) ? at(x, y) : fallback;
+}
+
+void Raster::set_pixel(int x, int y, Color c) {
+  if (in_bounds(x, y)) at(x, y) = c;
+}
+
+void Raster::blend_pixel(int x, int y, Color c, double t) {
+  if (in_bounds(x, y)) at(x, y) = at(x, y).blend(c, t);
+}
+
+void Raster::fill(Color c) { std::fill(data_.begin(), data_.end(), c); }
+
+std::size_t Raster::count_pixels(Color c) const {
+  return static_cast<std::size_t>(
+      std::count(data_.begin(), data_.end(), c));
+}
+
+Raster Raster::crop(int x, int y, int w, int h) const {
+  const int x0 = std::clamp(x, 0, width_);
+  const int y0 = std::clamp(y, 0, height_);
+  const int x1 = std::clamp(x + w, x0, width_);
+  const int y1 = std::clamp(y + h, y0, height_);
+  Raster out(x1 - x0, y1 - y0);
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) {
+      out.at(xx - x0, yy - y0) = at(xx, yy);
+    }
+  }
+  return out;
+}
+
+Raster Raster::scaled_up(int factor) const {
+  if (factor <= 1) return *this;
+  Raster out(width_ * factor, height_ * factor);
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      out.at(x, y) = at(x / factor, y / factor);
+    }
+  }
+  return out;
+}
+
+}  // namespace loctk::image

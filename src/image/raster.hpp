@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file raster.hpp
+/// In-memory RGB8 raster image.
+///
+/// This replaces the paper's reliance on GIF floor-plan scans (§4.1):
+/// the Floor Plan Processor and Compositor operate on this raster and
+/// read/write lossless PNM or BMP files (see codec headers). Pixel
+/// (0,0) is the top-left corner, x grows right, y grows down — the
+/// usual raster convention; world-coordinate mapping (origin, scale)
+/// lives in `loctk/floorplan`.
+
+#include <cstdint>
+#include <vector>
+
+namespace loctk::image {
+
+/// An 8-bit-per-channel RGB color.
+struct Color {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend constexpr bool operator==(const Color&, const Color&) = default;
+
+  /// Luma (Rec.601), for grayscale export.
+  constexpr std::uint8_t luma() const {
+    return static_cast<std::uint8_t>((299 * r + 587 * g + 114 * b) / 1000);
+  }
+
+  /// Linear blend towards `other`; t = 0 keeps *this, t = 1 gives other.
+  Color blend(Color other, double t) const;
+};
+
+/// Common palette used by the toolkit renders.
+namespace colors {
+inline constexpr Color kBlack{0, 0, 0};
+inline constexpr Color kWhite{255, 255, 255};
+inline constexpr Color kRed{220, 38, 38};
+inline constexpr Color kGreen{22, 163, 74};
+inline constexpr Color kBlue{37, 99, 235};
+inline constexpr Color kOrange{234, 121, 22};
+inline constexpr Color kPurple{147, 51, 234};
+inline constexpr Color kGray{128, 128, 128};
+inline constexpr Color kLightGray{211, 211, 211};
+inline constexpr Color kDarkGray{64, 64, 64};
+inline constexpr Color kYellow{234, 179, 8};
+inline constexpr Color kCyan{8, 145, 178};
+}  // namespace colors
+
+/// Row-major RGB8 image. All accessors bounds-check in debug builds;
+/// `at()` additionally throws in release builds, while `pixel()` /
+/// `set_pixel()` silently ignore out-of-range coordinates so drawing
+/// code can clip for free.
+class Raster {
+ public:
+  Raster() = default;
+
+  /// Creates a width x height image filled with `fill`.
+  Raster(int width, int height, Color fill = colors::kWhite);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  /// Checked access; throws std::out_of_range.
+  Color& at(int x, int y);
+  const Color& at(int x, int y) const;
+
+  /// Clipped read: out-of-bounds returns `fallback`.
+  Color pixel(int x, int y, Color fallback = colors::kWhite) const;
+
+  /// Clipped write: out-of-bounds is a no-op.
+  void set_pixel(int x, int y, Color c);
+
+  /// Alpha-blended clipped write (t = 1 fully covers).
+  void blend_pixel(int x, int y, Color c, double t);
+
+  void fill(Color c);
+
+  /// Number of pixels exactly equal to `c` (testing aid).
+  std::size_t count_pixels(Color c) const;
+
+  /// A deep sub-image copy; the rectangle is clipped to bounds.
+  Raster crop(int x, int y, int w, int h) const;
+
+  /// Nearest-neighbor scaled copy. `factor` >= 1.
+  Raster scaled_up(int factor) const;
+
+  const std::vector<Color>& data() const { return data_; }
+  std::vector<Color>& data() { return data_; }
+
+  friend bool operator==(const Raster&, const Raster&) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Color> data_;
+};
+
+}  // namespace loctk::image

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file access_point.hpp
+/// An 802.11b access point as the localization signal source.
+///
+/// The paper's infrastructure (§3) is ordinary 802.11b APs already
+/// deployed in the building; the client only observes their BSSID and
+/// received signal strength. Positions are in world feet.
+
+#include <string>
+
+#include "geom/vec2.hpp"
+
+namespace loctk::radio {
+
+/// Static description of one access point.
+struct AccessPoint {
+  /// MAC-format identifier, the key observed in wi-scan records.
+  std::string bssid;
+  /// Short human name ("A".."D" in the paper's experiment house).
+  std::string name;
+  /// Transmitter position in world feet.
+  geom::Vec2 position;
+  /// Mean received power (dBm) at the reference distance d0 = 1 ft.
+  double tx_power_dbm = -28.0;
+  /// Path-loss exponent around this transmitter; typical indoor
+  /// values are 2.0 .. 4.0 (free space is 2.0).
+  double path_loss_exponent = 3.0;
+  /// 802.11b channel (cosmetic; recorded in wi-scan files).
+  int channel = 6;
+
+  friend bool operator==(const AccessPoint&, const AccessPoint&) = default;
+};
+
+/// Canonical BSSID for the i-th synthetic AP: 00:17:AB:00:00:ii.
+std::string synthetic_bssid(int index);
+
+}  // namespace loctk::radio

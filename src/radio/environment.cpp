@@ -1,0 +1,157 @@
+#include "radio/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace loctk::radio {
+
+std::string synthetic_bssid(int index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "00:17:AB:00:00:%02X",
+                static_cast<unsigned>(index) & 0xffu);
+  return buf;
+}
+
+const AccessPoint* Environment::find_by_bssid(const std::string& bssid) const {
+  const auto it = std::find_if(
+      aps_.begin(), aps_.end(),
+      [&](const AccessPoint& ap) { return ap.bssid == bssid; });
+  return it == aps_.end() ? nullptr : &*it;
+}
+
+const AccessPoint* Environment::find_by_name(const std::string& name) const {
+  const auto it =
+      std::find_if(aps_.begin(), aps_.end(),
+                   [&](const AccessPoint& ap) { return ap.name == name; });
+  return it == aps_.end() ? nullptr : &*it;
+}
+
+int Environment::walls_crossed(geom::Vec2 a, geom::Vec2 b) const {
+  const geom::Segment path{a, b};
+  int count = 0;
+  for (const Wall& w : walls_) {
+    if (geom::segments_intersect(path, w.segment)) ++count;
+  }
+  return count;
+}
+
+double Environment::wall_attenuation_db(geom::Vec2 a, geom::Vec2 b,
+                                        double cap_db) const {
+  const geom::Segment path{a, b};
+  double total = 0.0;
+  for (const Wall& w : walls_) {
+    if (geom::segments_intersect(path, w.segment)) {
+      total += w.attenuation_db;
+    }
+  }
+  return std::min(total, cap_db);
+}
+
+namespace {
+
+AccessPoint make_ap(int index, std::string name, geom::Vec2 pos) {
+  AccessPoint ap;
+  ap.bssid = synthetic_bssid(index);
+  ap.name = std::move(name);
+  ap.position = pos;
+  ap.tx_power_dbm = -28.0;
+  ap.path_loss_exponent = 3.0;
+  ap.channel = 1 + (index * 5) % 11;  // spread over 1/6/11-style plan
+  return ap;
+}
+
+void add_interior_walls(Environment& env) {
+  // A plausible single-family layout for the 50x40 footprint:
+  // two bedrooms along the top, living room bottom-left, kitchen
+  // bottom-right, hallway in between. Doorways are the gaps.
+  auto wall = [&](double x0, double y0, double x1, double y1,
+                  double att = 3.0) {
+    env.add_wall({{{x0, y0}, {x1, y1}}, att, "drywall"});
+  };
+  // Horizontal partition at y = 22 (leaving door gaps).
+  wall(0, 22, 14, 22);
+  wall(20, 22, 33, 22);
+  wall(39, 22, 50, 22);
+  // Vertical wall between the two bedrooms, door near the hallway.
+  wall(25, 28, 25, 40);
+  // Living / kitchen divider, door gap in the middle.
+  wall(30, 0, 30, 9);
+  wall(30, 15, 30, 22);
+  // Closet nook in the top-left bedroom.
+  wall(0, 34, 6, 34);
+  wall(6, 34, 6, 40);
+}
+
+void add_perimeter(Environment& env, double att = 10.0) {
+  const geom::Rect fp = env.footprint();
+  const auto c0 = fp.corner(0);
+  const auto c1 = fp.corner(1);
+  const auto c2 = fp.corner(2);
+  const auto c3 = fp.corner(3);
+  env.add_wall({{c0, c1}, att, "brick"});
+  env.add_wall({{c1, c2}, att, "brick"});
+  env.add_wall({{c2, c3}, att, "brick"});
+  env.add_wall({{c3, c0}, att, "brick"});
+}
+
+}  // namespace
+
+Environment make_paper_house() { return make_paper_house_with_aps(4); }
+
+Environment make_paper_house_with_aps(int ap_count) {
+  ap_count = std::clamp(ap_count, 1, 12);
+  Environment env(geom::Rect::sized(50.0, 40.0));
+  add_interior_walls(env);
+
+  // Candidate AP spots: the four corners first (the paper's layout),
+  // then wall midpoints and the center — each pulled inside so that a
+  // receiver can never be at distance zero.
+  const geom::Vec2 spots[] = {
+      {2, 2},  {48, 2},  {48, 38}, {2, 38},   // corners A..D
+      {25, 2}, {48, 20}, {25, 38}, {2, 20},   // wall midpoints
+      {25, 20},                               // center
+      {12, 2}, {38, 38}, {12, 38},            // extras
+  };
+  const char* names = "ABCDEFGHIJKL";
+  for (int i = 0; i < ap_count; ++i) {
+    env.add_access_point(
+        make_ap(i, std::string(1, names[i]), spots[i]));
+  }
+  return env;
+}
+
+Environment make_office_floor(int ap_count) {
+  ap_count = std::clamp(ap_count, 1, 16);
+  Environment env(geom::Rect::sized(120.0, 80.0));
+  add_perimeter(env, 12.0);
+
+  // Double-loaded corridor: offices on both sides of a hallway at
+  // y in [36, 44]; office partitions every 15 ft with door gaps.
+  auto wall = [&](double x0, double y0, double x1, double y1) {
+    env.add_wall({{{x0, y0}, {x1, y1}}, 4.0, "partition"});
+  };
+  for (double y : {36.0, 44.0}) {
+    for (double x = 0.0; x < 120.0; x += 20.0) {
+      wall(x, y, x + 16.0, y);  // 4 ft door gap per bay
+    }
+  }
+  for (double x = 15.0; x < 120.0; x += 15.0) {
+    wall(x, 0, x, 30);
+    wall(x, 50, x, 80);
+  }
+
+  for (int i = 0; i < ap_count; ++i) {
+    // Zig-zag down the corridor.
+    const double t = ap_count > 1
+                         ? static_cast<double>(i) /
+                               static_cast<double>(ap_count - 1)
+                         : 0.5;
+    const double x = 8.0 + t * 104.0;
+    const double y = (i % 2 == 0) ? 38.0 : 42.0;
+    env.add_access_point(make_ap(i, "AP" + std::to_string(i), {x, y}));
+  }
+  return env;
+}
+
+}  // namespace loctk::radio

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file environment.hpp
+/// The physical site: footprint, walls, and deployed access points.
+///
+/// This is the substitute for the paper's experiment house (§5.1):
+/// a 50 ft x 40 ft dwelling with four APs (A, B, C, D) at the
+/// corners. Walls matter because RF attenuates through them — the
+/// RADAR wall-attenuation factor (WAF) — which is a large part of why
+/// a pure distance model mispredicts and fingerprinting wins.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/segment.hpp"
+#include "geom/vec2.hpp"
+#include "radio/access_point.hpp"
+
+namespace loctk::radio {
+
+/// A wall segment with its RF attenuation.
+struct Wall {
+  geom::Segment segment;
+  /// Signal loss when the direct path crosses this wall, in dB.
+  /// RADAR measured ~3.1 dB for office partitions; masonry is higher.
+  double attenuation_db = 3.0;
+  std::string material = "drywall";
+
+  friend bool operator==(const Wall&, const Wall&) = default;
+};
+
+/// Site model: bounding footprint, wall list, AP list.
+class Environment {
+ public:
+  Environment() = default;
+  explicit Environment(geom::Rect footprint) : footprint_(footprint) {}
+
+  const geom::Rect& footprint() const { return footprint_; }
+  void set_footprint(geom::Rect r) { footprint_ = r; }
+
+  const std::vector<Wall>& walls() const { return walls_; }
+  void add_wall(Wall w) { walls_.push_back(std::move(w)); }
+
+  const std::vector<AccessPoint>& access_points() const { return aps_; }
+  void add_access_point(AccessPoint ap) { aps_.push_back(std::move(ap)); }
+
+  /// AP lookup by BSSID; nullptr when absent.
+  const AccessPoint* find_by_bssid(const std::string& bssid) const;
+  /// AP lookup by short name; nullptr when absent.
+  const AccessPoint* find_by_name(const std::string& name) const;
+
+  /// Number of walls the open segment (a, b) crosses. Endpoints
+  /// sitting exactly on a wall count as crossing it.
+  int walls_crossed(geom::Vec2 a, geom::Vec2 b) const;
+
+  /// Total attenuation (dB) of the walls crossed by (a, b), capped at
+  /// `cap_db` — beyond a few walls diffraction dominates and extra
+  /// walls stop adding loss (RADAR models the same saturation).
+  double wall_attenuation_db(geom::Vec2 a, geom::Vec2 b,
+                             double cap_db = 15.0) const;
+
+ private:
+  geom::Rect footprint_;
+  std::vector<Wall> walls_;
+  std::vector<AccessPoint> aps_;
+};
+
+/// The paper's experiment house: 50 ft x 40 ft footprint, origin at
+/// one corner, four APs named A..D at the corners (pulled 2 ft inside
+/// so no training point is at distance zero), and a handful of
+/// interior walls forming rooms and a hallway.
+Environment make_paper_house();
+
+/// Same footprint and walls but with `ap_count` access points placed
+/// around the perimeter (used by the AP-count ablation). `ap_count`
+/// in [1, 12].
+Environment make_paper_house_with_aps(int ap_count);
+
+/// A larger synthetic office floor (120 ft x 80 ft, perimeter +
+/// corridor walls, `ap_count` APs) for scaling benches.
+Environment make_office_floor(int ap_count = 6);
+
+}  // namespace loctk::radio

@@ -1,0 +1,82 @@
+#include "radio/multifloor.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace loctk::radio {
+
+void Building::add_floor(Environment env) {
+  // BSSIDs must be building-unique or fingerprints are ambiguous.
+  std::set<std::string> seen;
+  for (const auto& floor : floors_) {
+    for (const AccessPoint& ap : floor->access_points()) {
+      seen.insert(ap.bssid);
+    }
+  }
+  for (const AccessPoint& ap : env.access_points()) {
+    if (!seen.insert(ap.bssid).second) {
+      throw std::invalid_argument(
+          "Building::add_floor: duplicate BSSID across floors: " +
+          ap.bssid);
+    }
+  }
+
+  floors_.push_back(std::make_unique<Environment>(std::move(env)));
+  // Propagation per floor; vary the multipath seed per floor so the
+  // stacked copies do not share bias fields.
+  PropagationConfig pc = propagation_config_;
+  pc.multipath_seed += floors_.size() * 0x9e37;
+  props_.push_back(std::make_unique<Propagation>(*floors_.back(), pc));
+
+  const std::size_t f = floors_.size() - 1;
+  for (std::size_t i = 0; i < floors_.back()->access_points().size();
+       ++i) {
+    flat_.emplace_back(f, i);
+  }
+}
+
+std::size_t Building::total_ap_count() const { return flat_.size(); }
+
+std::size_t Building::ap_floor(std::size_t i) const {
+  return flat_.at(i).first;
+}
+
+const AccessPoint& FloorView::ap(std::size_t i) const {
+  const auto [f, idx] = building_->flat_.at(i);
+  return building_->floors_[f]->access_points()[idx];
+}
+
+double FloorView::mean_rssi_dbm(std::size_t i, geom::Vec2 rx) const {
+  const auto [f, idx] = building_->flat_.at(i);
+  // Same-floor physics from that floor's propagation; cross-floor
+  // paths additionally lose one slab per floor crossed. Wall effects
+  // of intermediate floors are ignored (the slab dominates).
+  const double same_floor =
+      building_->props_[f]->mean_rssi_dbm(idx, rx);
+  const double crossings = std::abs(static_cast<double>(f) -
+                                    static_cast<double>(rx_floor_));
+  return same_floor - crossings * building_->floor_attenuation_db_;
+}
+
+std::unique_ptr<Building> make_office_building(
+    int floors, double floor_attenuation_db) {
+  auto building = std::make_unique<Building>(floor_attenuation_db);
+  int global_ap = 0;
+  for (int f = 0; f < floors; ++f) {
+    Environment floor = make_paper_house();
+    // Re-identify the APs so BSSIDs are building-unique and names
+    // carry the floor.
+    Environment renamed(floor.footprint());
+    for (const Wall& w : floor.walls()) renamed.add_wall(w);
+    for (AccessPoint ap : floor.access_points()) {
+      ap.bssid = synthetic_bssid(global_ap++);
+      ap.name = "F" + std::to_string(f) + ap.name;
+      renamed.add_access_point(std::move(ap));
+    }
+    building->add_floor(std::move(renamed));
+  }
+  return building;
+}
+
+}  // namespace loctk::radio

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file multifloor.hpp
+/// Multi-floor buildings: the deployment shape real toolkits meet.
+///
+/// The paper's experiment house is a single floor, but the systems it
+/// surveys (and any campus deployment) span floors: a receiver hears
+/// APs from adjacent floors through the slab, attenuated by roughly
+/// 15-25 dB per concrete floor. We model a building as a stack of
+/// `Environment`s sharing a footprint; `FloorView` exposes the mean
+/// field a receiver standing on one floor experiences — every AP in
+/// the building, with `|Δfloor| ×` slab attenuation added — as an
+/// `RssiModel`, so the ordinary `Scanner` works unchanged.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "radio/environment.hpp"
+#include "radio/propagation.hpp"
+#include "radio/rssi_model.hpp"
+
+namespace loctk::radio {
+
+/// A stack of floors. Floors are indexed bottom-up from 0.
+class Building {
+ public:
+  /// `floor_attenuation_db` is the slab loss per floor crossed.
+  explicit Building(double floor_attenuation_db = 18.0,
+                    PropagationConfig propagation_config = {})
+      : floor_attenuation_db_(floor_attenuation_db),
+        propagation_config_(propagation_config) {}
+
+  Building(const Building&) = delete;
+  Building& operator=(const Building&) = delete;
+
+  /// Adds a floor (bottom-up). AP BSSIDs must be unique across the
+  /// whole building (throws std::invalid_argument otherwise).
+  void add_floor(Environment env);
+
+  std::size_t floor_count() const { return floors_.size(); }
+  const Environment& floor(std::size_t f) const { return *floors_.at(f); }
+  double floor_attenuation_db() const { return floor_attenuation_db_; }
+
+  /// Total APs across all floors.
+  std::size_t total_ap_count() const;
+
+  /// Floor index of the building-wide AP #`i` (flattened bottom-up).
+  std::size_t ap_floor(std::size_t i) const;
+
+  /// Propagation model of floor `f` (same-floor physics).
+  const Propagation& propagation(std::size_t f) const {
+    return *props_.at(f);
+  }
+
+ private:
+  friend class FloorView;
+  double floor_attenuation_db_;
+  PropagationConfig propagation_config_;
+  // unique_ptr keeps Environment addresses stable for Propagation.
+  std::vector<std::unique_ptr<Environment>> floors_;
+  std::vector<std::unique_ptr<Propagation>> props_;
+  /// Flattened (floor, index-within-floor) per building-wide AP.
+  std::vector<std::pair<std::size_t, std::size_t>> flat_;
+};
+
+/// The mean field seen by a receiver standing on floor `rx_floor`:
+/// all APs in the building, cross-floor ones attenuated per slab.
+class FloorView : public RssiModel {
+ public:
+  FloorView(const Building& building, std::size_t rx_floor)
+      : building_(&building), rx_floor_(rx_floor) {}
+
+  std::size_t ap_count() const override {
+    return building_->total_ap_count();
+  }
+  const AccessPoint& ap(std::size_t i) const override;
+  double mean_rssi_dbm(std::size_t i, geom::Vec2 rx) const override;
+
+  std::size_t rx_floor() const { return rx_floor_; }
+
+ private:
+  const Building* building_;  // non-owning
+  std::size_t rx_floor_;
+};
+
+/// A canonical test building: `floors` copies of the paper house
+/// stacked up, each with 4 corner APs carrying globally unique BSSIDs
+/// (names "F<floor><letter>", e.g. "F2C").
+std::unique_ptr<Building> make_office_building(
+    int floors = 3, double floor_attenuation_db = 18.0);
+
+}  // namespace loctk::radio

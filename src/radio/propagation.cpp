@@ -1,0 +1,67 @@
+#include "radio/propagation.hpp"
+
+#include <cmath>
+
+#include "stats/gaussian.hpp"
+#include "stats/rng.hpp"
+
+namespace loctk::radio {
+
+MultipathField::MultipathField(std::uint64_t seed, int ap_index,
+                               double amplitude_db, int components)
+    : amplitude_(amplitude_db) {
+  stats::Rng rng(seed);
+  stats::Rng local = rng.fork(static_cast<std::uint64_t>(ap_index) + 1);
+  waves_.reserve(static_cast<std::size_t>(components));
+  for (int i = 0; i < components; ++i) {
+    const double wavelength = local.uniform(4.0, 25.0);  // feet
+    const double heading = local.uniform(0.0, stats::kTwoPi);
+    const double k = stats::kTwoPi / wavelength;
+    Wave w;
+    w.k = {k * std::cos(heading), k * std::sin(heading)};
+    w.phase = local.uniform(0.0, stats::kTwoPi);
+    // Divide so the sum's peak is ~amplitude_db regardless of count.
+    w.amp = amplitude_db / std::sqrt(static_cast<double>(components));
+    waves_.push_back(w);
+  }
+}
+
+double MultipathField::bias_db(geom::Vec2 pos) const {
+  double total = 0.0;
+  for (const Wave& w : waves_) {
+    total += w.amp * std::sin(w.k.dot(pos) + w.phase);
+  }
+  return total;
+}
+
+Propagation::Propagation(const Environment& env, PropagationConfig config)
+    : env_(&env), config_(config) {
+  fields_.reserve(env.access_points().size());
+  for (std::size_t i = 0; i < env.access_points().size(); ++i) {
+    fields_.emplace_back(config_.multipath_seed, static_cast<int>(i),
+                         config_.multipath_amplitude_db);
+  }
+}
+
+double Propagation::free_space_rssi_dbm(std::size_t ap_index,
+                                        geom::Vec2 rx) const {
+  const AccessPoint& ap = env_->access_points().at(ap_index);
+  const double d = std::max(geom::distance(ap.position, rx),
+                            config_.reference_distance_ft);
+  return ap.tx_power_dbm -
+         10.0 * ap.path_loss_exponent *
+             std::log10(d / config_.reference_distance_ft);
+}
+
+double Propagation::mean_rssi_dbm(std::size_t ap_index, geom::Vec2 rx) const {
+  const AccessPoint& ap = env_->access_points().at(ap_index);
+  double rssi = free_space_rssi_dbm(ap_index, rx);
+  rssi -= env_->wall_attenuation_db(ap.position, rx,
+                                    config_.wall_attenuation_cap_db);
+  if (config_.multipath_amplitude_db > 0.0) {
+    rssi += fields_[ap_index].bias_db(rx);
+  }
+  return rssi;
+}
+
+}  // namespace loctk::radio

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file propagation.hpp
+/// Deterministic mean-RSSI prediction: the simulator's ground truth.
+///
+/// mean_rssi = p0 − 10·n·log10(d/d0) − WAF(walls) + multipath(pos)
+///
+/// The first two terms are the standard log-distance path-loss model;
+/// WAF is the RADAR-style wall attenuation; the multipath term is a
+/// smooth, static, AP-specific spatial bias field modelling the
+/// reflection/scattering structure of the site (paper §6 item 1 lists
+/// exactly these unmodelled factors). The field is what separates
+/// fingerprinting from pure distance inversion in reality, so the
+/// substitute testbed must include it for the paper's comparison to
+/// come out the right way.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "radio/access_point.hpp"
+#include "radio/environment.hpp"
+#include "radio/rssi_model.hpp"
+
+namespace loctk::radio {
+
+/// Static spatial bias field: a small sum of random plane waves,
+/// deterministic in (seed, AP index). Smooth on the scale of a few
+/// feet, zero-mean over large areas, amplitude ~amplitude_db.
+class MultipathField {
+ public:
+  /// `components` plane waves with wavelengths 4..25 ft.
+  MultipathField(std::uint64_t seed, int ap_index, double amplitude_db,
+                 int components = 6);
+
+  /// Bias in dB at a world position.
+  double bias_db(geom::Vec2 pos) const;
+
+  double amplitude_db() const { return amplitude_; }
+
+ private:
+  struct Wave {
+    geom::Vec2 k;   // spatial frequency (radians per foot)
+    double phase;
+    double amp;
+  };
+  std::vector<Wave> waves_;
+  double amplitude_;
+};
+
+/// Knobs of the deterministic part of the channel.
+struct PropagationConfig {
+  double reference_distance_ft = 1.0;  ///< d0
+  double wall_attenuation_cap_db = 15.0;
+  /// Peak amplitude of the per-AP multipath bias field (0 disables).
+  double multipath_amplitude_db = 3.5;
+  /// Seed for the multipath fields (site-specific, not per-run).
+  std::uint64_t multipath_seed = 0xA0B1C2D3;
+};
+
+/// Precomputed mean-RSSI predictor for one environment.
+class Propagation : public RssiModel {
+ public:
+  /// `env` is borrowed and must outlive the Propagation.
+  Propagation(const Environment& env, PropagationConfig config = {});
+  /// Binding a temporary environment would dangle immediately.
+  Propagation(Environment&&, PropagationConfig = {}) = delete;
+
+  /// RssiModel interface.
+  std::size_t ap_count() const override {
+    return env_->access_points().size();
+  }
+  const AccessPoint& ap(std::size_t i) const override {
+    return env_->access_points().at(i);
+  }
+  /// Mean received power (dBm) from AP #`ap_index` at `rx`.
+  double mean_rssi_dbm(std::size_t ap_index, geom::Vec2 rx) const override;
+
+  /// Distance-only part (no walls, no multipath): what a perfect
+  /// inverse model could recover.
+  double free_space_rssi_dbm(std::size_t ap_index, geom::Vec2 rx) const;
+
+  const Environment& environment() const { return *env_; }
+  const PropagationConfig& config() const { return config_; }
+
+ private:
+  const Environment* env_;  // non-owning; environment outlives this
+  PropagationConfig config_;
+  std::vector<MultipathField> fields_;
+};
+
+}  // namespace loctk::radio

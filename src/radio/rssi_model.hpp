@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file rssi_model.hpp
+/// The abstract mean-RSSI field a scanner samples from.
+///
+/// `Scanner` needs, per access point: identity (BSSID/channel) and
+/// the deterministic mean received power at a position. Single-floor
+/// sites implement this with `Propagation`; multi-floor buildings
+/// with `FloorView` (which adds inter-floor attenuation). Everything
+/// stochastic (shadowing, fading, dropouts) stays in the scanner.
+
+#include <cstddef>
+
+#include "geom/vec2.hpp"
+#include "radio/access_point.hpp"
+
+namespace loctk::radio {
+
+/// Deterministic per-AP mean signal field.
+class RssiModel {
+ public:
+  virtual ~RssiModel() = default;
+
+  /// Number of access points audible anywhere in this model.
+  virtual std::size_t ap_count() const = 0;
+
+  /// Static description of AP `i` (i < ap_count()).
+  virtual const AccessPoint& ap(std::size_t i) const = 0;
+
+  /// Mean received power (dBm) from AP `i` at receiver position `rx`.
+  virtual double mean_rssi_dbm(std::size_t i, geom::Vec2 rx) const = 0;
+};
+
+}  // namespace loctk::radio

@@ -1,0 +1,84 @@
+#include "radio/scanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loctk::radio {
+
+std::optional<double> ScanRecord::rssi_of(const std::string& bssid) const {
+  const auto it = std::find_if(
+      samples.begin(), samples.end(),
+      [&](const ScanSample& s) { return s.bssid == bssid; });
+  if (it == samples.end()) return std::nullopt;
+  return it->rssi_dbm;
+}
+
+Scanner::Scanner(const RssiModel& model, ChannelConfig config,
+                 std::uint64_t seed)
+    : model_(&model), config_(config), rng_(seed) {
+  reset_session();
+}
+
+void Scanner::reset_session() {
+  shadowing_.clear();
+  const std::size_t n_aps = model_->ap_count();
+  shadowing_.reserve(n_aps);
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    shadowing_.emplace_back(config_.shadowing_sigma_db,
+                            config_.shadowing_rho, rng_);
+  }
+  clock_s_ = 0.0;
+}
+
+ScanRecord Scanner::scan_at(geom::Vec2 pos) {
+  ScanRecord record;
+  record.timestamp_s = clock_s_;
+  const std::size_t n_aps = model_->ap_count();
+  record.samples.reserve(n_aps);
+
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    const AccessPoint& ap = model_->ap(i);
+    const double mean = model_->mean_rssi_dbm(i, pos);
+    const double shadow = shadowing_[i].next(rng_);
+    const double fast = rng_.normal(0.0, config_.fast_fading_sigma_db);
+    double rssi = mean + shadow + fast + config_.device_offset_db;
+
+    if (config_.body_loss_db > 0.0) {
+      // Loss ramps from 0 (facing the AP) to the full body loss (AP
+      // directly behind): (1 - cos(angle)) / 2.
+      const geom::Vec2 to_ap = ap.position - pos;
+      if (to_ap.norm2() > 0.0) {
+        const double ap_bearing = std::atan2(to_ap.y, to_ap.x);
+        const double rel = ap_bearing - heading_rad_;
+        rssi -= config_.body_loss_db * (1.0 - std::cos(rel)) * 0.5;
+      }
+    }
+
+    // Dropout: probability of hearing the AP ramps from 1 to 0 as the
+    // *instantaneous* power falls through the sensitivity window.
+    const double margin = rssi - config_.sensitivity_dbm;
+    double p_heard = 1.0;
+    if (config_.dropout_softness_db > 0.0) {
+      p_heard = std::clamp(
+          0.5 + margin / (2.0 * config_.dropout_softness_db), 0.0, 1.0);
+    } else if (margin < 0.0) {
+      p_heard = 0.0;
+    }
+    if (!rng_.bernoulli(p_heard)) continue;
+
+    if (config_.quantize_dbm) rssi = std::round(rssi);
+    record.samples.push_back({ap.bssid, rssi, ap.channel});
+  }
+
+  clock_s_ += config_.scan_interval_s;
+  return record;
+}
+
+std::vector<ScanRecord> Scanner::collect(geom::Vec2 pos, int n) {
+  std::vector<ScanRecord> out;
+  out.reserve(static_cast<std::size_t>(std::max(0, n)));
+  for (int i = 0; i < n; ++i) out.push_back(scan_at(pos));
+  return out;
+}
+
+}  // namespace loctk::radio

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file scanner.hpp
+/// The client-side NIC substitute: noisy, quantized, lossy RSSI scans.
+///
+/// The paper's working phase (§3, Figure 1 steps 5-6) starts with "the
+/// system sensed the RF signal strength" via a third-party sniffer.
+/// `Scanner` reproduces what such a sniffer reports at a position:
+/// per-AP integer dBm readings, corrupted by temporally-correlated
+/// shadowing (people moving, doors), fast fading, receiver
+/// quantization, and dropouts of weak APs — the "unstableness" the
+/// paper calls its largest barrier (§6).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "radio/environment.hpp"
+#include "radio/propagation.hpp"
+#include "radio/rssi_model.hpp"
+#include "stats/rng.hpp"
+
+namespace loctk::radio {
+
+/// Stochastic channel knobs.
+struct ChannelConfig {
+  /// Slow (shadowing) noise: std-dev in dB and lag-1 correlation
+  /// between consecutive scans. RADAR-era measurements put sigma
+  /// around 3-5 dB indoors.
+  double shadowing_sigma_db = 4.0;
+  double shadowing_rho = 0.85;
+  /// Fast per-sample fading std-dev in dB (uncorrelated).
+  double fast_fading_sigma_db = 1.5;
+  /// Below this mean power the AP starts dropping out of scans.
+  double sensitivity_dbm = -90.0;
+  /// Width (dB) of the ramp from always-heard to never-heard.
+  double dropout_softness_db = 4.0;
+  /// Round reported values to whole dBm like real NIC drivers.
+  bool quantize_dbm = true;
+  /// Seconds between consecutive scan records.
+  double scan_interval_s = 1.0;
+  /// Constant reporting offset of this device's NIC/driver (dB).
+  /// Real hardware disagrees by several dB on the same channel; a
+  /// database trained with one device and queried with another sees
+  /// every reading shifted by the difference (the device-heterogeneity
+  /// problem SSD fingerprinting addresses).
+  double device_offset_db = 0.0;
+  /// Peak body-shadowing loss (dB) when the user's body sits between
+  /// the device and the AP (the RADAR "user orientation" effect,
+  /// ~5 dB on 2.4 GHz). 0 disables; the loss ramps with the angle
+  /// between the user's heading and the AP direction, maximal when
+  /// the AP is directly behind the user.
+  double body_loss_db = 0.0;
+};
+
+/// One AP reading within a scan.
+struct ScanSample {
+  std::string bssid;
+  double rssi_dbm = 0.0;
+  int channel = 0;
+};
+
+/// One scan: everything heard at an instant.
+struct ScanRecord {
+  double timestamp_s = 0.0;
+  std::vector<ScanSample> samples;
+
+  /// Reading for `bssid`, or nullopt if that AP dropped out.
+  std::optional<double> rssi_of(const std::string& bssid) const;
+};
+
+/// Simulated wireless scanner. One instance models one receiver
+/// session; per-AP shadowing state persists across scans (that is the
+/// temporal correlation) until `reset_session()`.
+class Scanner {
+ public:
+  Scanner(const RssiModel& model, ChannelConfig config,
+          std::uint64_t seed);
+
+  /// One scan at `pos`; advances the session clock by the scan
+  /// interval.
+  ScanRecord scan_at(geom::Vec2 pos);
+
+  /// `n` consecutive scans at a fixed position (the paper's training
+  /// collection: ~1.5 minutes of samples per point, §6 item 2).
+  std::vector<ScanRecord> collect(geom::Vec2 pos, int n);
+
+  /// New shadowing states and clock reset (a fresh visit to the
+  /// site). The underlying RNG keeps advancing, so successive
+  /// sessions differ.
+  void reset_session();
+
+  /// Direction the user is facing (radians, world frame; 0 = +x).
+  /// Only matters when `body_loss_db > 0`.
+  void set_heading(double radians) { heading_rad_ = radians; }
+  double heading() const { return heading_rad_; }
+
+  double clock_s() const { return clock_s_; }
+  const ChannelConfig& config() const { return config_; }
+  const RssiModel& model() const { return *model_; }
+
+ private:
+  const RssiModel* model_;  // non-owning
+  ChannelConfig config_;
+  stats::Rng rng_;
+  std::vector<stats::Ar1Process> shadowing_;  // one per AP
+  double clock_s_ = 0.0;
+  double heading_rad_ = 0.0;
+};
+
+}  // namespace loctk::radio

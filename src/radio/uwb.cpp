@@ -1,0 +1,49 @@
+#include "radio/uwb.hpp"
+
+#include <algorithm>
+
+namespace loctk::radio {
+
+UwbRanging::UwbRanging(const Environment& env, UwbConfig config,
+                       std::uint64_t seed)
+    : env_(&env), config_(config), rng_(seed) {}
+
+std::vector<UwbRange> UwbRanging::measure(geom::Vec2 pos) {
+  std::vector<UwbRange> out;
+  out.reserve(env_->access_points().size());
+  for (const AccessPoint& ap : env_->access_points()) {
+    const double true_dist = geom::distance(ap.position, pos);
+    if (true_dist > config_.max_range_ft) continue;
+    if (!rng_.bernoulli(config_.detection_probability)) continue;
+
+    const int walls = env_->walls_crossed(ap.position, pos);
+    const bool nlos = walls > 0;
+    double range = true_dist;
+    double sigma = config_.range_noise_sigma_ft;
+    if (nlos) {
+      // NLOS: the first detectable path is longer; bias grows with
+      // the obstruction count and its magnitude jitters.
+      const double bias =
+          config_.nlos_bias_per_wall_ft * static_cast<double>(walls);
+      range += std::abs(rng_.normal(bias, bias * 0.5));
+      sigma *= config_.nlos_noise_factor;
+    }
+    range += rng_.normal(0.0, sigma);
+    range = std::max(0.0, range);
+
+    out.push_back({ap.bssid, ap.position, range, nlos});
+  }
+  return out;
+}
+
+std::vector<UwbRange> UwbRanging::measure_rounds(geom::Vec2 pos,
+                                                 int rounds) {
+  std::vector<UwbRange> out;
+  for (int r = 0; r < std::max(0, rounds); ++r) {
+    const std::vector<UwbRange> round = measure(pos);
+    out.insert(out.end(), round.begin(), round.end());
+  }
+  return out;
+}
+
+}  // namespace loctk::radio

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file gaussian.hpp
+/// Univariate Gaussian density utilities.
+///
+/// The paper's probabilistic locator (§5.1) scores an observation `o`
+/// against a trained <mean, sigma> pair with
+///
+///   value = exp(-(o - mean)^2 / (2 sigma^2)) / sqrt(2 pi sigma^2)
+///
+/// and multiplies the per-AP values. We expose both that exact formula
+/// and its log form (sums instead of products — mandatory once the AP
+/// count or sample count grows, or the product underflows).
+
+#include <cmath>
+
+namespace loctk::stats {
+
+inline constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// A fitted univariate Gaussian. `sigma` must be > 0 for the density
+/// functions; use `regularized()` to impose a floor on degenerate fits
+/// (all training samples identical gives sigma == 0).
+struct Gaussian {
+  double mean = 0.0;
+  double sigma = 1.0;
+
+  friend constexpr bool operator==(const Gaussian&, const Gaussian&) = default;
+
+  /// Density at x — exactly the paper's formula (1).
+  double pdf(double x) const {
+    const double z = (x - mean) / sigma;
+    return std::exp(-0.5 * z * z) / std::sqrt(kTwoPi * sigma * sigma);
+  }
+
+  /// log pdf(x); numerically safe for tiny densities.
+  double log_pdf(double x) const {
+    const double z = (x - mean) / sigma;
+    return -0.5 * z * z - 0.5 * std::log(kTwoPi * sigma * sigma);
+  }
+
+  /// Cumulative distribution function.
+  double cdf(double x) const {
+    return 0.5 * std::erfc(-(x - mean) / (sigma * std::sqrt(2.0)));
+  }
+
+  /// Standardized residual (z-score) of x.
+  double z_score(double x) const { return (x - mean) / sigma; }
+
+  /// Same mean with sigma clamped from below by `floor`. Training
+  /// points whose samples never varied would otherwise produce a
+  /// delta-function likelihood that vetoes every observation.
+  Gaussian regularized(double floor) const {
+    return {mean, sigma < floor ? floor : sigma};
+  }
+};
+
+/// Standard normal pdf.
+double normal_pdf(double z);
+
+/// Standard normal cdf.
+double normal_cdf(double z);
+
+/// Inverse standard normal cdf (Acklam's rational approximation,
+/// |error| < 1.2e-8 over (0, 1)). Out-of-range p returns +-infinity.
+double normal_quantile(double p);
+
+}  // namespace loctk::stats

@@ -1,0 +1,81 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace loctk::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(bins >= 1);
+  assert(lo < hi);
+}
+
+void Histogram::add(double x) { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::uint64_t n) {
+  if (std::isnan(x)) return;
+  if (x < lo_) {
+    underflow_ += n;
+  } else if (x >= hi_) {
+    overflow_ += n;
+  } else {
+    counts_[bin_index(x)] += n;
+  }
+  total_ += n;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * width_;
+}
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+double Histogram::bin_center(std::size_t bin) const {
+  return bin_lo(bin) + width_ * 0.5;
+}
+
+std::size_t Histogram::bin_index(double x) const {
+  assert(x >= lo_ && x < hi_);
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(idx, counts_.size() - 1);  // guard FP edge at hi
+}
+
+double Histogram::mass(std::size_t bin) const {
+  return total_ ? static_cast<double>(counts_.at(bin)) /
+                      static_cast<double>(total_)
+                : 0.0;
+}
+
+double Histogram::probability(double x, double alpha) const {
+  const double denom = static_cast<double>(total_) +
+                       alpha * static_cast<double>(counts_.size());
+  if (denom <= 0.0) return 0.0;
+  double count = 0.0;
+  if (x >= lo_ && x < hi_) {
+    count = static_cast<double>(counts_[bin_index(x)]);
+  }
+  return (count + alpha) / denom;
+}
+
+std::size_t Histogram::mode_bin() const {
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return static_cast<std::size_t>(std::distance(counts_.begin(), it));
+}
+
+double quantile(std::vector<double> values, double q) {
+  assert(!values.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double h = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - std::floor(h);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+double median(std::vector<double> values) {
+  return quantile(std::move(values), 0.5);
+}
+
+}  // namespace loctk::stats

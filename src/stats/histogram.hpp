@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-bin histograms and empirical quantiles.
+///
+/// The paper's future-work item 2 proposes using the *distribution* of
+/// the RSSI samples rather than only their mean; the histogram locator
+/// in `loctk/core` builds on this type. The evaluation harness also
+/// uses `quantile()` for error CDFs (median / 90th-percentile error).
+
+#include <cstdint>
+#include <vector>
+
+namespace loctk::stats {
+
+/// A histogram over [lo, hi) with `bins` equal-width bins plus
+/// underflow/overflow counters. Doubles NaN are ignored.
+class Histogram {
+ public:
+  /// Precondition: bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_n(double x, std::uint64_t n);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Inclusive lower edge of a bin.
+  double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of a bin.
+  double bin_hi(std::size_t bin) const;
+  /// Center of a bin.
+  double bin_center(std::size_t bin) const;
+
+  /// Index of the bin containing x, ignoring under/overflow;
+  /// x must be within [lo, hi).
+  std::size_t bin_index(double x) const;
+
+  /// Probability mass of a bin: count / total (0 when empty). Under-
+  /// and overflow mass is included in the denominator.
+  double mass(std::size_t bin) const;
+
+  /// Smoothed probability of observing `x` with Laplace pseudo-count
+  /// `alpha` per bin — never returns 0, which keeps product-of-
+  /// probability locators from vetoing on unseen values.
+  double probability(double x, double alpha = 1.0) const;
+
+  /// Bin index with the highest count (first on ties); 0 when empty.
+  std::size_t mode_bin() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Empirical quantile of a sample set with linear interpolation
+/// (the "R-7" rule used by NumPy's default). `q` in [0, 1].
+/// Precondition: `values` non-empty.
+double quantile(std::vector<double> values, double q);
+
+/// Median shorthand.
+double median(std::vector<double> values);
+
+}  // namespace loctk::stats

@@ -1,0 +1,197 @@
+#include "stats/regression.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace loctk::stats {
+
+namespace {
+
+// Means of x and y over n points.
+struct Moments {
+  double mx = 0.0, my = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  std::size_t n = 0;
+};
+
+Moments moments(std::span<const double> x, std::span<const double> y) {
+  Moments m;
+  m.n = std::min(x.size(), y.size());
+  if (m.n == 0) return m;
+  for (std::size_t i = 0; i < m.n; ++i) {
+    m.mx += x[i];
+    m.my += y[i];
+  }
+  m.mx /= static_cast<double>(m.n);
+  m.my /= static_cast<double>(m.n);
+  for (std::size_t i = 0; i < m.n; ++i) {
+    const double dx = x[i] - m.mx;
+    const double dy = y[i] - m.my;
+    m.sxx += dx * dx;
+    m.sxy += dx * dy;
+    m.syy += dy * dy;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::optional<LinearFit> linear_fit(std::span<const double> x,
+                                    std::span<const double> y) {
+  const Moments m = moments(x, y);
+  if (m.n < 2 || m.sxx <= 0.0) return std::nullopt;
+  LinearFit fit;
+  fit.n = m.n;
+  fit.slope = m.sxy / m.sxx;
+  fit.intercept = m.my - fit.slope * m.mx;
+  fit.r_squared =
+      m.syy > 0.0 ? (m.sxy * m.sxy) / (m.sxx * m.syy) : 1.0;
+  return fit;
+}
+
+double r_squared(std::span<const double> y, std::span<const double> y_hat) {
+  const std::size_t n = std::min(y.size(), y_hat.size());
+  if (n == 0) return 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) my += y[i];
+  my /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ss_res += (y[i] - y_hat[i]) * (y[i] - y_hat[i]);
+    ss_tot += (y[i] - my) * (y[i] - my);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double InverseSquareModel::invert(double ss, double d_min,
+                                  double d_max) const {
+  // ss = a/d^2 + b  =>  d = sqrt(a / (ss - b)).
+  const double denom = ss - b;
+  // For dBm readings `a` is positive (signal is higher near the AP
+  // and decays toward the asymptote b); inverted or percentage
+  // scales flip the sign. Either way the quotient must be > 0.
+  const double q = a / denom;
+  if (!(denom != 0.0) || !(q > 0.0) || !std::isfinite(q)) return d_max;
+  return std::clamp(std::sqrt(q), d_min, d_max);
+}
+
+std::optional<InverseSquareModel> fit_inverse_square(
+    std::span<const double> distance, std::span<const double> signal) {
+  const std::size_t n = std::min(distance.size(), signal.size());
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(n);
+  y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (distance[i] > 0.0) {
+      x.push_back(1.0 / (distance[i] * distance[i]));
+      y.push_back(signal[i]);
+    }
+  }
+  const auto lin = linear_fit(x, y);
+  if (!lin) return std::nullopt;
+  InverseSquareModel m;
+  m.a = lin->slope;
+  m.b = lin->intercept;
+  m.r_squared = lin->r_squared;
+  return m;
+}
+
+double LogDistanceModel::predict(double d) const {
+  return p0 - 10.0 * n * std::log10(std::max(d, 1e-9) / d0);
+}
+
+double LogDistanceModel::invert(double ss, double d_min, double d_max) const {
+  if (n == 0.0) return d_max;
+  const double d = d0 * std::pow(10.0, (p0 - ss) / (10.0 * n));
+  if (!std::isfinite(d)) return d_max;
+  return std::clamp(d, d_min, d_max);
+}
+
+std::optional<LogDistanceModel> fit_log_distance(
+    std::span<const double> distance, std::span<const double> signal,
+    double d0) {
+  const std::size_t n = std::min(distance.size(), signal.size());
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(n);
+  y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (distance[i] > 0.0) {
+      x.push_back(std::log10(distance[i] / d0));
+      y.push_back(signal[i]);
+    }
+  }
+  const auto lin = linear_fit(x, y);
+  if (!lin) return std::nullopt;
+  LogDistanceModel m;
+  m.d0 = d0;
+  m.n = -lin->slope / 10.0;
+  m.p0 = lin->intercept;
+  m.r_squared = lin->r_squared;
+  return m;
+}
+
+double InversePowerModel::predict(double d) const {
+  return a / std::pow(std::max(d, 1e-9), k) + b;
+}
+
+double InversePowerModel::invert(double ss, double d_min,
+                                 double d_max) const {
+  const double denom = ss - b;
+  const double q = a / denom;
+  if (!(denom != 0.0) || !(q > 0.0) || !std::isfinite(q) || k == 0.0) {
+    return d_max;
+  }
+  return std::clamp(std::pow(q, 1.0 / k), d_min, d_max);
+}
+
+std::optional<InversePowerModel> fit_inverse_power(
+    std::span<const double> distance, std::span<const double> signal,
+    double k_lo, double k_hi, int grid) {
+  assert(grid >= 2);
+  const std::size_t n = std::min(distance.size(), signal.size());
+  std::vector<double> d;
+  std::vector<double> y;
+  d.reserve(n);
+  y.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (distance[i] > 0.0) {
+      d.push_back(distance[i]);
+      y.push_back(signal[i]);
+    }
+  }
+  if (d.size() < 3) return std::nullopt;
+
+  // Grid search over k with an inner closed-form solve for (a, b):
+  // robust, derivative-free, and fast enough at calibration time.
+  std::optional<InversePowerModel> best;
+  double best_rss = std::numeric_limits<double>::infinity();
+  std::vector<double> x(d.size());
+  for (int g = 0; g < grid; ++g) {
+    const double k = k_lo + (k_hi - k_lo) * static_cast<double>(g) /
+                                static_cast<double>(grid - 1);
+    for (std::size_t i = 0; i < d.size(); ++i) x[i] = std::pow(d[i], -k);
+    const auto lin = linear_fit(x, y);
+    if (!lin) continue;
+    double rss = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const double e = y[i] - (lin->slope * x[i] + lin->intercept);
+      rss += e * e;
+    }
+    if (rss < best_rss) {
+      best_rss = rss;
+      InversePowerModel m;
+      m.a = lin->slope;
+      m.b = lin->intercept;
+      m.k = k;
+      m.r_squared = lin->r_squared;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace loctk::stats

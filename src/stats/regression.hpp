@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file regression.hpp
+/// Least-squares model fitting for the distance <-> signal-strength
+/// relationship.
+///
+/// The paper's geometric approach (§5.2) fits, per access point, an
+/// inverse-square model  ss = a / d^2 + b  by least squares (their
+/// eq. 2 / Figure 4; the coefficient's sign follows the sniffer's
+/// signal-strength units — positive for dBm). Because the model is
+/// linear in (a, b) once x = 1/d^2, this is ordinary linear
+/// regression on transformed inputs. We also provide the log-distance
+/// path-loss fit used by RADAR and a generic inverse-power fit where
+/// the exponent itself is estimated.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace loctk::stats {
+
+/// Result of a simple linear regression  y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination in [0,1]
+  std::size_t n = 0;       ///< number of points used
+};
+
+/// Ordinary least squares on (x, y) pairs. Requires >= 2 points with
+/// non-zero x variance; otherwise nullopt.
+std::optional<LinearFit> linear_fit(std::span<const double> x,
+                                    std::span<const double> y);
+
+/// The paper's model:  ss = a / d^2 + b.
+struct InverseSquareModel {
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;
+
+  /// Predicted signal strength at distance d (> 0).
+  double predict(double d) const { return a / (d * d) + b; }
+
+  /// Inverse: distance that would produce signal strength `ss`.
+  /// Clamped to [d_min, d_max]; values of `ss` on the wrong side of
+  /// the asymptote `b` map to d_max (signal too weak to invert).
+  double invert(double ss, double d_min = 1.0, double d_max = 1e4) const;
+};
+
+/// Fit  ss = a / d^2 + b  by least squares on x = 1/d^2.
+/// Distances must be > 0. Requires >= 2 distinct distances.
+std::optional<InverseSquareModel> fit_inverse_square(
+    std::span<const double> distance, std::span<const double> signal);
+
+/// Log-distance path-loss model:  ss = p0 - 10 n log10(d / d0).
+/// This is the standard RF propagation model (used by RADAR) and the
+/// ground truth of our simulator; fitting it from survey data is the
+/// calibration baseline against the paper's inverse-square choice.
+struct LogDistanceModel {
+  double p0 = -40.0;  ///< signal strength at the reference distance
+  double n = 2.0;     ///< path-loss exponent
+  double d0 = 1.0;    ///< reference distance (feet)
+  double r_squared = 0.0;
+
+  double predict(double d) const;
+  /// Distance that would produce signal strength `ss`, clamped to
+  /// [d_min, d_max].
+  double invert(double ss, double d_min = 0.1, double d_max = 1e4) const;
+};
+
+/// Fit p0 and n (d0 fixed) by least squares on log10(d).
+std::optional<LogDistanceModel> fit_log_distance(
+    std::span<const double> distance, std::span<const double> signal,
+    double d0 = 1.0);
+
+/// Generic inverse-power model  ss = a / d^k + b  with the exponent k
+/// estimated too (Gauss-Newton over k with the inner linear solve for
+/// a, b). Used by the ablation bench on model choice.
+struct InversePowerModel {
+  double a = 0.0;
+  double b = 0.0;
+  double k = 2.0;
+  double r_squared = 0.0;
+
+  double predict(double d) const;
+  double invert(double ss, double d_min = 1.0, double d_max = 1e4) const;
+};
+
+std::optional<InversePowerModel> fit_inverse_power(
+    std::span<const double> distance, std::span<const double> signal,
+    double k_lo = 0.5, double k_hi = 6.0, int grid = 56);
+
+/// R^2 of arbitrary predictions vs observations.
+double r_squared(std::span<const double> y, std::span<const double> y_hat);
+
+}  // namespace loctk::stats

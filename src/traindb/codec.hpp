@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file codec.hpp
+/// Binary serialization of the training database, with compression.
+///
+/// The paper motivates training databases by their being "compressed,
+/// which makes them easier to move and transmit over a network, and
+/// they can be loaded into memory more quickly than reading multiple
+/// wi-scan files line by line" (§4.3). The codec delivers both
+/// properties without external dependencies:
+///
+///  * strings and counts are LEB128 varints;
+///  * raw sample streams (centi-dBm integers) are delta-encoded, then
+///    run-length encoded as (zigzag-varint delta, varint run) pairs —
+///    quantized RSSI repeats a lot, so runs are long;
+///  * floating-point statistics are stored as raw IEEE doubles for
+///    exact round-trips.
+///
+/// Layout: "LTDB" magic, u16 version, site name, BSSID table, then
+/// points referencing BSSIDs by table index.
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "traindb/database.hpp"
+
+namespace loctk::traindb {
+
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// --- primitive layer (exposed for unit tests) -----------------------
+
+/// Appends a LEB128 varint.
+void put_varint(std::string& out, std::uint64_t v);
+
+/// Reads a LEB128 varint at `pos`, advancing it. Throws CodecError on
+/// truncation or overlong encodings (> 10 bytes).
+std::uint64_t get_varint(std::string_view in, std::size_t& pos);
+
+/// Zigzag mapping for signed values.
+std::uint64_t zigzag_encode(std::int64_t v);
+std::int64_t zigzag_decode(std::uint64_t v);
+
+/// Delta + RLE compression of an integer stream.
+void put_i32_stream(std::string& out, std::span<const std::int32_t> values);
+std::vector<std::int32_t> get_i32_stream(std::string_view in,
+                                         std::size_t& pos);
+
+/// --- database layer --------------------------------------------------
+
+/// Serializes to bytes. Round-trips exactly: decode(encode(db)) == db.
+std::string encode_database(const TrainingDatabase& db);
+
+/// Parses bytes produced by encode_database. Throws CodecError on
+/// corruption.
+TrainingDatabase decode_database(std::string_view bytes);
+
+/// File convenience. The conventional extension is `.ltdb`.
+void write_database(const std::filesystem::path& path,
+                    const TrainingDatabase& db);
+TrainingDatabase read_database(const std::filesystem::path& path);
+
+}  // namespace loctk::traindb

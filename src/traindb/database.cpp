@@ -1,0 +1,91 @@
+#include "traindb/database.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace loctk::traindb {
+
+const ApStatistics* TrainingPoint::find(const std::string& bssid) const {
+  const auto it = std::find_if(
+      per_ap.begin(), per_ap.end(),
+      [&](const ApStatistics& s) { return s.bssid == bssid; });
+  return it == per_ap.end() ? nullptr : &*it;
+}
+
+std::vector<double> TrainingPoint::signature(
+    const std::vector<std::string>& universe, double missing_dbm) const {
+  std::vector<double> out;
+  out.reserve(universe.size());
+  for (const std::string& bssid : universe) {
+    const ApStatistics* s = find(bssid);
+    out.push_back(s ? s->mean_dbm : missing_dbm);
+  }
+  return out;
+}
+
+void TrainingDatabase::add_point(TrainingPoint point) {
+  if (find(point.location) != nullptr) {
+    throw DatabaseError("TrainingDatabase: duplicate location: " +
+                        point.location);
+  }
+  std::sort(point.per_ap.begin(), point.per_ap.end(),
+            [](const ApStatistics& a, const ApStatistics& b) {
+              return a.bssid < b.bssid;
+            });
+  for (const ApStatistics& s : point.per_ap) {
+    const auto it =
+        std::lower_bound(universe_.begin(), universe_.end(), s.bssid);
+    if (it == universe_.end() || *it != s.bssid) {
+      universe_.insert(it, s.bssid);
+    }
+  }
+  points_.push_back(std::move(point));
+}
+
+std::optional<std::size_t> TrainingDatabase::bssid_index(
+    const std::string& bssid) const {
+  const auto it =
+      std::lower_bound(universe_.begin(), universe_.end(), bssid);
+  if (it == universe_.end() || *it != bssid) return std::nullopt;
+  return static_cast<std::size_t>(std::distance(universe_.begin(), it));
+}
+
+const TrainingPoint* TrainingDatabase::find(
+    const std::string& location) const {
+  const auto it = std::find_if(
+      points_.begin(), points_.end(),
+      [&](const TrainingPoint& p) { return p.location == location; });
+  return it == points_.end() ? nullptr : &*it;
+}
+
+const TrainingPoint* TrainingDatabase::nearest_point(geom::Vec2 p) const {
+  const TrainingPoint* best = nullptr;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const TrainingPoint& tp : points_) {
+    const double d2 = geom::distance2(tp.position, p);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = &tp;
+    }
+  }
+  return best;
+}
+
+bool TrainingDatabase::has_samples() const {
+  return std::any_of(points_.begin(), points_.end(), [](const auto& tp) {
+    return std::any_of(
+        tp.per_ap.begin(), tp.per_ap.end(),
+        [](const ApStatistics& s) { return !s.samples_centi_dbm.empty(); });
+  });
+}
+
+void TrainingDatabase::strip_samples() {
+  for (TrainingPoint& tp : points_) {
+    for (ApStatistics& s : tp.per_ap) {
+      s.samples_centi_dbm.clear();
+      s.samples_centi_dbm.shrink_to_fit();
+    }
+  }
+}
+
+}  // namespace loctk::traindb

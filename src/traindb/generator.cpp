@@ -1,0 +1,154 @@
+#include "traindb/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/running_stats.hpp"
+
+namespace loctk::traindb {
+
+TrainingPoint build_training_point(const wiscan::WiScanFile& file,
+                                   geom::Vec2 position,
+                                   const GeneratorConfig& config,
+                                   std::size_t* dropped_pairs) {
+  TrainingPoint point;
+  point.location = file.location;
+  point.position = position;
+
+  const std::size_t scans = file.scan_count();
+
+  // Group readings per BSSID, preserving capture order of samples.
+  std::map<std::string, std::vector<double>> by_bssid;
+  for (const wiscan::WiScanEntry& e : file.entries) {
+    by_bssid[e.bssid].push_back(e.rssi_dbm);
+  }
+
+  for (auto& [bssid, readings] : by_bssid) {
+    if (readings.size() < config.min_samples_per_ap) {
+      if (dropped_pairs) ++*dropped_pairs;
+      continue;
+    }
+    stats::RunningStats rs;
+    for (const double r : readings) rs.add(r);
+
+    ApStatistics ap;
+    ap.bssid = bssid;
+    ap.mean_dbm = rs.mean();
+    ap.stddev_db = rs.stddev();
+    ap.sample_count = static_cast<std::uint32_t>(readings.size());
+    ap.scan_count = static_cast<std::uint32_t>(scans);
+    ap.min_dbm = rs.min();
+    ap.max_dbm = rs.max();
+    if (config.keep_samples) {
+      ap.samples_centi_dbm.reserve(readings.size());
+      for (const double r : readings) {
+        ap.samples_centi_dbm.push_back(
+            static_cast<std::int32_t>(std::lround(r * 100.0)));
+      }
+    }
+    point.per_ap.push_back(std::move(ap));
+  }
+  return point;
+}
+
+namespace {
+
+// Shared front half: resolve positions, record mismatches, and return
+// the indices of collection files that have map entries.
+std::vector<std::size_t> plan_points(const wiscan::Collection& collection,
+                                     const wiscan::LocationMap& map,
+                                     GeneratorReport* report) {
+  std::vector<std::size_t> usable;
+  for (std::size_t i = 0; i < collection.files.size(); ++i) {
+    if (map.find(collection.files[i].location)) {
+      usable.push_back(i);
+    } else if (report) {
+      report->unmapped_locations.push_back(collection.files[i].location);
+    }
+  }
+  if (report) {
+    for (const wiscan::NamedLocation& loc : map.locations()) {
+      if (collection.find(loc.name) == nullptr) {
+        report->unsurveyed_locations.push_back(loc.name);
+      }
+    }
+  }
+  return usable;
+}
+
+TrainingDatabase assemble(const wiscan::Collection& collection,
+                          const wiscan::LocationMap& map,
+                          const GeneratorConfig& config,
+                          std::vector<TrainingPoint> built,
+                          std::size_t dropped, GeneratorReport* report) {
+  (void)collection;
+  (void)map;
+  TrainingDatabase db;
+  db.set_site_name(config.site_name);
+  for (TrainingPoint& p : built) db.add_point(std::move(p));
+  if (report) {
+    report->dropped_pairs += dropped;
+    report->points_built = db.size();
+  }
+  return db;
+}
+
+}  // namespace
+
+TrainingDatabase generate_database(const wiscan::Collection& collection,
+                                   const wiscan::LocationMap& map,
+                                   const GeneratorConfig& config,
+                                   GeneratorReport* report) {
+  const std::vector<std::size_t> usable =
+      plan_points(collection, map, report);
+  std::vector<TrainingPoint> built;
+  built.reserve(usable.size());
+  std::size_t dropped = 0;
+  for (const std::size_t i : usable) {
+    const wiscan::WiScanFile& f = collection.files[i];
+    built.push_back(
+        build_training_point(f, *map.find(f.location), config, &dropped));
+  }
+  return assemble(collection, map, config, std::move(built), dropped,
+                  report);
+}
+
+TrainingDatabase generate_database_parallel(
+    const wiscan::Collection& collection, const wiscan::LocationMap& map,
+    concurrency::ThreadPool& pool, const GeneratorConfig& config,
+    GeneratorReport* report) {
+  const std::vector<std::size_t> usable =
+      plan_points(collection, map, report);
+
+  std::vector<TrainingPoint> built(usable.size());
+  std::vector<std::size_t> dropped_per(usable.size(), 0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(usable.size());
+  for (std::size_t k = 0; k < usable.size(); ++k) {
+    futures.push_back(pool.submit([&, k] {
+      const wiscan::WiScanFile& f = collection.files[usable[k]];
+      built[k] = build_training_point(f, *map.find(f.location), config,
+                                      &dropped_per[k]);
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  std::size_t dropped = 0;
+  for (const std::size_t d : dropped_per) dropped += d;
+  return assemble(collection, map, config, std::move(built), dropped,
+                  report);
+}
+
+TrainingDatabase generate_database_from_path(
+    const std::filesystem::path& collection_source,
+    const std::filesystem::path& location_map_file,
+    const GeneratorConfig& config, GeneratorReport* report) {
+  const wiscan::Collection collection =
+      wiscan::load_collection(collection_source);
+  const wiscan::LocationMap map =
+      wiscan::LocationMap::read(location_map_file);
+  return generate_database(collection, map, config, report);
+}
+
+}  // namespace loctk::traindb

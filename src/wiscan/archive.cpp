@@ -1,0 +1,157 @@
+#include "wiscan/archive.hpp"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace loctk::wiscan {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'A', 'R', '1'};
+// Caps protect against allocating on garbage length fields.
+constexpr std::uint64_t kMaxEntries = 1 << 20;
+constexpr std::uint64_t kMaxNameLen = 4096;
+constexpr std::uint64_t kMaxDataLen = 1ull << 32;
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) os.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  std::array<unsigned char, 8> b{};
+  is.read(reinterpret_cast<char*>(b.data()), 8);
+  if (is.gcount() != 8) throw ArchiveError("archive: truncated integer");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void Archive::validate_path(const std::string& path) {
+  if (path.empty()) throw ArchiveError("archive: empty entry path");
+  if (path.front() == '/') throw ArchiveError("archive: absolute entry path");
+  // Reject "." and ".." components.
+  std::istringstream ss(path);
+  std::string part;
+  while (std::getline(ss, part, '/')) {
+    if (part.empty() || part == "." || part == "..") {
+      throw ArchiveError("archive: unsafe entry path: " + path);
+    }
+  }
+}
+
+void Archive::add(const std::string& path, std::string bytes) {
+  validate_path(path);
+  entries_[path] = std::move(bytes);
+}
+
+bool Archive::contains(const std::string& path) const {
+  return entries_.count(path) > 0;
+}
+
+const std::string& Archive::bytes(const std::string& path) const {
+  const auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    throw ArchiveError("archive: no such entry: " + path);
+  }
+  return it->second;
+}
+
+void Archive::write(std::ostream& os) const {
+  os.write(kMagic, 4);
+  put_u64(os, entries_.size());
+  for (const auto& [name, data] : entries_) {
+    put_u64(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    put_u64(os, data.size());
+    os.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+}
+
+void Archive::write(const std::filesystem::path& file) const {
+  std::ofstream os(file, std::ios::binary);
+  if (!os.good()) {
+    throw ArchiveError("archive: cannot open " + file.string());
+  }
+  write(os);
+  if (!os.good()) {
+    throw ArchiveError("archive: write failed for " + file.string());
+  }
+}
+
+Archive Archive::read(std::istream& is) {
+  std::array<char, 4> magic{};
+  is.read(magic.data(), 4);
+  if (is.gcount() != 4 || !std::equal(magic.begin(), magic.end(), kMagic)) {
+    throw ArchiveError("archive: bad magic");
+  }
+  const std::uint64_t count = get_u64(is);
+  if (count > kMaxEntries) throw ArchiveError("archive: too many entries");
+
+  Archive ar;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t name_len = get_u64(is);
+    if (name_len == 0 || name_len > kMaxNameLen) {
+      throw ArchiveError("archive: bad name length");
+    }
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (static_cast<std::uint64_t>(is.gcount()) != name_len) {
+      throw ArchiveError("archive: truncated name");
+    }
+    const std::uint64_t data_len = get_u64(is);
+    if (data_len > kMaxDataLen) throw ArchiveError("archive: bad data length");
+    std::string data(data_len, '\0');
+    is.read(data.data(), static_cast<std::streamsize>(data_len));
+    if (static_cast<std::uint64_t>(is.gcount()) != data_len) {
+      throw ArchiveError("archive: truncated data");
+    }
+    ar.add(name, std::move(data));
+  }
+  return ar;
+}
+
+Archive Archive::read(const std::filesystem::path& file) {
+  std::ifstream is(file, std::ios::binary);
+  if (!is.good()) {
+    throw ArchiveError("archive: cannot open " + file.string());
+  }
+  return read(is);
+}
+
+Archive Archive::pack_directory(const std::filesystem::path& dir) {
+  Archive ar;
+  if (!std::filesystem::is_directory(dir)) {
+    throw ArchiveError("archive: not a directory: " + dir.string());
+  }
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream is(entry.path(), std::ios::binary);
+    if (!is.good()) {
+      throw ArchiveError("archive: cannot read " + entry.path().string());
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    ar.add(entry.path().lexically_relative(dir).generic_string(),
+           buf.str());
+  }
+  return ar;
+}
+
+void Archive::unpack_to(const std::filesystem::path& dir) const {
+  for (const auto& [name, data] : entries_) {
+    const std::filesystem::path out = dir / name;
+    std::filesystem::create_directories(out.parent_path());
+    std::ofstream os(out, std::ios::binary);
+    if (!os.good()) {
+      throw ArchiveError("archive: cannot write " + out.string());
+    }
+    os.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+}
+
+}  // namespace loctk::wiscan

@@ -1,0 +1,69 @@
+#include "wiscan/collection.hpp"
+
+#include <algorithm>
+
+namespace loctk::wiscan {
+
+const WiScanFile* Collection::find(const std::string& location) const {
+  const auto it = std::find_if(
+      files.begin(), files.end(),
+      [&](const WiScanFile& f) { return f.location == location; });
+  return it == files.end() ? nullptr : &*it;
+}
+
+std::size_t Collection::total_entries() const {
+  std::size_t n = 0;
+  for (const WiScanFile& f : files) n += f.entries.size();
+  return n;
+}
+
+namespace {
+
+void sort_collection(Collection& c) {
+  std::sort(c.files.begin(), c.files.end(),
+            [](const WiScanFile& a, const WiScanFile& b) {
+              return a.location < b.location;
+            });
+}
+
+bool has_wiscan_extension(const std::string& name) {
+  static constexpr std::string_view kExt = ".wiscan";
+  return name.size() > kExt.size() &&
+         name.compare(name.size() - kExt.size(), kExt.size(), kExt) == 0;
+}
+
+}  // namespace
+
+Collection load_collection(const Archive& archive) {
+  Collection c;
+  for (const auto& [name, bytes] : archive.entries()) {
+    if (!has_wiscan_extension(name)) continue;
+    const std::filesystem::path p(name);
+    c.files.push_back(
+        decode_wiscan(bytes, sanitize_location_name(p.stem().string())));
+  }
+  sort_collection(c);
+  return c;
+}
+
+Collection load_collection(const std::filesystem::path& source) {
+  if (std::filesystem::is_directory(source)) {
+    Collection c;
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(source)) {
+      if (!entry.is_regular_file()) continue;
+      if (!has_wiscan_extension(entry.path().filename().string())) continue;
+      c.files.push_back(read_wiscan(entry.path()));
+    }
+    sort_collection(c);
+    return c;
+  }
+  if (std::filesystem::is_regular_file(source) &&
+      source.extension() == ".lar") {
+    return load_collection(Archive::read(source));
+  }
+  throw FormatError("load_collection: '" + source.string() +
+                    "' is neither a directory nor a .lar archive");
+}
+
+}  // namespace loctk::wiscan

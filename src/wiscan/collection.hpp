@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file collection.hpp
+/// Loading whole wi-scan collections.
+///
+/// The paper §4.3: the collection "is passed to the Training Database
+/// Generator as a string representing either the name of a directory
+/// containing the wi-scan files or a zip file containing the wi-scan
+/// files", and the generator "must correctly deal with ... directory
+/// structure and file format". We accept a directory tree (searched
+/// recursively for `*.wiscan`) or a `.lar` archive, and label each
+/// file by its `# location:` header or, failing that, its file stem.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "wiscan/archive.hpp"
+#include "wiscan/format.hpp"
+#include "wiscan/record.hpp"
+
+namespace loctk::wiscan {
+
+/// A loaded collection: one WiScanFile per survey location, sorted by
+/// location name for deterministic downstream processing.
+struct Collection {
+  std::vector<WiScanFile> files;
+
+  /// Pointer into `files` for `location`, or nullptr.
+  const WiScanFile* find(const std::string& location) const;
+
+  std::size_t total_entries() const;
+};
+
+/// Loads from a directory tree (recursive, `*.wiscan` files only) or
+/// from a `.lar` archive file — dispatch on what `source` points at,
+/// mirroring the paper's string-argument interface. Throws
+/// FormatError / ArchiveError on malformed content, and FormatError
+/// when `source` is neither a directory nor a `.lar` file.
+Collection load_collection(const std::filesystem::path& source);
+
+/// Loads from an in-memory archive (entries whose names end in
+/// `.wiscan`).
+Collection load_collection(const Archive& archive);
+
+}  // namespace loctk::wiscan

@@ -1,0 +1,149 @@
+#include "wiscan/location_map.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace loctk::wiscan {
+
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw LocationMapError(what);
+}
+
+// Writes a name, quoting when it contains whitespace or quotes.
+void write_name(std::ostream& os, const std::string& name) {
+  const bool needs_quotes =
+      name.find_first_of(" \t\"") != std::string::npos || name.empty();
+  if (!needs_quotes) {
+    os << name;
+    return;
+  }
+  os << '"';
+  for (const char c : name) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+// Reads a possibly-quoted name starting at `pos`; advances pos past it.
+std::string read_name(const std::string& line, std::size_t& pos,
+                      std::size_t line_no) {
+  require(pos < line.size(), "location-map: line " +
+                                 std::to_string(line_no) + ": missing name");
+  if (line[pos] != '"') {
+    const auto end = line.find_first_of(" \t", pos);
+    const std::string name =
+        line.substr(pos, end == std::string::npos ? end : end - pos);
+    pos = end == std::string::npos ? line.size() : end;
+    return name;
+  }
+  ++pos;  // opening quote
+  std::string name;
+  while (pos < line.size()) {
+    const char c = line[pos++];
+    if (c == '\\' && pos < line.size()) {
+      name.push_back(line[pos++]);
+    } else if (c == '"') {
+      return name;
+    } else {
+      name.push_back(c);
+    }
+  }
+  throw LocationMapError("location-map: line " + std::to_string(line_no) +
+                         ": unterminated quoted name");
+}
+
+}  // namespace
+
+void LocationMap::add(const std::string& name, geom::Vec2 position) {
+  require(!contains(name), "location-map: duplicate name: " + name);
+  entries_.push_back({name, position});
+}
+
+void LocationMap::set(const std::string& name, geom::Vec2 position) {
+  for (NamedLocation& e : entries_) {
+    if (e.name == name) {
+      e.position = position;
+      return;
+    }
+  }
+  entries_.push_back({name, position});
+}
+
+bool LocationMap::contains(const std::string& name) const {
+  return find(name).has_value();
+}
+
+std::optional<geom::Vec2> LocationMap::find(const std::string& name) const {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const NamedLocation& e) { return e.name == name; });
+  if (it == entries_.end()) return std::nullopt;
+  return it->position;
+}
+
+std::optional<std::string> LocationMap::nearest(geom::Vec2 p) const {
+  if (entries_.empty()) return std::nullopt;
+  const NamedLocation* best = nullptr;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const NamedLocation& e : entries_) {
+    const double d2 = geom::distance2(e.position, p);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = &e;
+    }
+  }
+  return best->name;
+}
+
+void LocationMap::write(std::ostream& os) const {
+  os << "# location-map v1\n";
+  for (const NamedLocation& e : entries_) {
+    write_name(os, e.name);
+    os << '\t' << e.position.x << '\t' << e.position.y << '\n';
+  }
+}
+
+void LocationMap::write(const std::filesystem::path& path) const {
+  std::ofstream os(path);
+  require(os.good(), "location-map: cannot open " + path.string());
+  write(os);
+  require(os.good(), "location-map: write failed for " + path.string());
+}
+
+LocationMap LocationMap::read(std::istream& is) {
+  LocationMap map;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+
+    std::size_t pos = start;
+    const std::string name = read_name(line, pos, line_no);
+    require(!name.empty(), "location-map: line " + std::to_string(line_no) +
+                               ": empty name");
+    std::istringstream coords(line.substr(pos));
+    double x = 0.0, y = 0.0;
+    coords >> x >> y;
+    require(static_cast<bool>(coords),
+            "location-map: line " + std::to_string(line_no) +
+                ": expected two coordinates after name");
+    map.set(name, {x, y});
+  }
+  return map;
+}
+
+LocationMap LocationMap::read(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  require(is.good(), "location-map: cannot open " + path.string());
+  return read(is);
+}
+
+}  // namespace loctk::wiscan

@@ -1,0 +1,48 @@
+#include "wiscan/record.hpp"
+
+#include <algorithm>
+
+namespace loctk::wiscan {
+
+std::size_t WiScanFile::scan_count() const {
+  std::size_t count = 0;
+  double last = -1.0;
+  bool first = true;
+  for (const WiScanEntry& e : entries) {
+    if (first || e.timestamp_s != last) {
+      ++count;
+      last = e.timestamp_s;
+      first = false;
+    }
+  }
+  return count;
+}
+
+std::vector<std::string> WiScanFile::bssids() const {
+  std::vector<std::string> out;
+  for (const WiScanEntry& e : entries) {
+    if (std::find(out.begin(), out.end(), e.bssid) == out.end()) {
+      out.push_back(e.bssid);
+    }
+  }
+  return out;
+}
+
+std::vector<WiScanEntry> entries_from_scans(
+    const std::vector<radio::ScanRecord>& scans, const std::string& ssid) {
+  std::vector<WiScanEntry> out;
+  for (const radio::ScanRecord& scan : scans) {
+    for (const radio::ScanSample& s : scan.samples) {
+      WiScanEntry e;
+      e.timestamp_s = scan.timestamp_s;
+      e.bssid = s.bssid;
+      e.ssid = ssid;
+      e.channel = s.channel;
+      e.rssi_dbm = s.rssi_dbm;
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace loctk::wiscan

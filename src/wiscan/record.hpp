@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file record.hpp
+/// In-memory representation of wi-scan data.
+///
+/// A *wi-scan file* (paper §4.3) is the raw capture of one survey
+/// stop: every row is one AP heard in one scan pass, tagged with the
+/// pass timestamp. A collection of such files — one per named
+/// location — plus a location map is the input to the Training
+/// Database Generator.
+
+#include <string>
+#include <vector>
+
+#include "radio/scanner.hpp"
+
+namespace loctk::wiscan {
+
+/// One row of a wi-scan file: one AP heard during one scan pass.
+struct WiScanEntry {
+  double timestamp_s = 0.0;
+  std::string bssid;
+  std::string ssid;
+  int channel = 0;
+  /// Received signal strength, dBm (negative; stronger is closer to 0).
+  double rssi_dbm = 0.0;
+
+  friend bool operator==(const WiScanEntry&, const WiScanEntry&) = default;
+};
+
+/// A parsed wi-scan file: the location label it was captured at plus
+/// all rows in capture order.
+struct WiScanFile {
+  /// Survey location name, e.g. "room-d22" (paper §4.1 item 5).
+  std::string location;
+  std::vector<WiScanEntry> entries;
+
+  /// Number of distinct scan passes (distinct timestamps, in order).
+  std::size_t scan_count() const;
+
+  /// Distinct BSSIDs heard, in first-heard order.
+  std::vector<std::string> bssids() const;
+
+  friend bool operator==(const WiScanFile&, const WiScanFile&) = default;
+};
+
+/// Flattens simulator scan records into wi-scan entries. `ssid_prefix`
+/// labels the network name column ("loctk" -> ssid "loctk").
+std::vector<WiScanEntry> entries_from_scans(
+    const std::vector<radio::ScanRecord>& scans,
+    const std::string& ssid = "loctk");
+
+}  // namespace loctk::wiscan

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file survey.hpp
+/// The training-phase field work, simulated.
+///
+/// Phase 1 of the paper (§3, §5.1): visit a set of named locations,
+/// stand there for ~1.5 minutes collecting scans, save one wi-scan
+/// file per location. `SurveyCampaign` drives a `radio::Scanner` over
+/// a `LocationMap` and produces the collection — either in memory, as
+/// files in a directory, or packed into a `.lar` archive — exactly
+/// the inputs the Training Database Generator expects.
+
+#include <filesystem>
+#include <vector>
+
+#include "radio/scanner.hpp"
+#include "wiscan/archive.hpp"
+#include "wiscan/collection.hpp"
+#include "wiscan/location_map.hpp"
+#include "wiscan/record.hpp"
+
+namespace loctk::wiscan {
+
+/// Survey parameters.
+struct SurveyConfig {
+  /// Scan passes captured per location. The paper collects 1.5 min of
+  /// data (§6 item 2); at ~1 scan/s that is ~90 passes.
+  int scans_per_location = 90;
+  /// Network name stamped into the wi-scan rows.
+  std::string ssid = "loctk";
+  /// Start a fresh fading session at each location (walking there
+  /// takes long enough for the channel to decorrelate).
+  bool reset_session_per_location = true;
+  /// Surveyor headings (radians) rotated through at each location —
+  /// RADAR's protocol surveyed every point facing four directions so
+  /// body shadowing averages into the fingerprint. Empty leaves the
+  /// scanner's current heading untouched (only matters when the
+  /// channel's body_loss_db > 0).
+  std::vector<double> headings;
+};
+
+/// Runs the campaign over every entry of `map`, in map order.
+class SurveyCampaign {
+ public:
+  SurveyCampaign(radio::Scanner& scanner, SurveyConfig config = {})
+      : scanner_(&scanner), config_(config) {}
+
+  /// Collect for one location.
+  WiScanFile survey_location(const NamedLocation& loc);
+
+  /// Collect for every location in the map.
+  Collection run(const LocationMap& map);
+
+  /// Collect and write one `<sanitized-name>.wiscan` file per
+  /// location into `dir` (created if needed). Returns the collection.
+  Collection run_to_directory(const LocationMap& map,
+                              const std::filesystem::path& dir);
+
+  /// Collect and pack into an archive.
+  Archive run_to_archive(const LocationMap& map);
+
+  const SurveyConfig& config() const { return config_; }
+
+ private:
+  radio::Scanner* scanner_;  // non-owning
+  SurveyConfig config_;
+};
+
+}  // namespace loctk::wiscan

@@ -1,0 +1,137 @@
+// Unit tests for the Floor Plan Compositor (paper §4.2): rendering
+// marks, error whiskers, grids, and legends onto a floor plan.
+
+#include "floorplan/compositor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "floorplan/processor.hpp"
+#include "radio/environment.hpp"
+
+namespace loctk::floorplan {
+namespace {
+
+FloorPlan small_plan() {
+  FloorPlan plan{image::Raster(120, 100, image::colors::kWhite)};
+  plan.set_feet_per_pixel(0.5);
+  plan.set_origin({10.0, 90.0});
+  return plan;
+}
+
+TEST(Compositor, RenderRequiresCalibration) {
+  FloorPlan plan{image::Raster(50, 50)};
+  const Compositor comp(plan);
+  EXPECT_THROW(comp.render({}), FloorPlanError);
+}
+
+TEST(Compositor, MarksArePainted) {
+  const FloorPlan plan = small_plan();
+  CompositorOptions opts;
+  opts.grid_spacing_ft = 0.0;  // isolate the marks
+  opts.draw_legend = false;
+  const Compositor comp(plan, opts);
+
+  const std::vector<Mark> marks = {
+      {{10.0, 10.0}, image::MarkerShape::kDot, image::colors::kRed, ""},
+  };
+  const image::Raster img = comp.render(marks);
+  EXPECT_GT(img.count_pixels(image::colors::kRed), 10u);
+  // Mark is centered at pixel (origin + 20, origin - 20) = (30, 70).
+  EXPECT_EQ(img.at(30, 70), image::colors::kRed);
+}
+
+TEST(Compositor, LabelsDrawnWhenEnabled) {
+  const FloorPlan plan = small_plan();
+  CompositorOptions with;
+  with.grid_spacing_ft = 0.0;
+  with.draw_labels = true;
+  CompositorOptions without = with;
+  without.draw_labels = false;
+
+  const std::vector<Mark> marks = {
+      {{20.0, 20.0}, image::MarkerShape::kCross, image::colors::kBlue,
+       "kitchen"},
+  };
+  const auto img_with = Compositor(plan, with).render(marks);
+  const auto img_without = Compositor(plan, without).render(marks);
+  EXPECT_GT(img_with.count_pixels(image::colors::kBlue),
+            img_without.count_pixels(image::colors::kBlue));
+}
+
+TEST(Compositor, GridLinesDrawn) {
+  const FloorPlan plan = small_plan();
+  CompositorOptions grid_on;
+  grid_on.grid_spacing_ft = 10.0;
+  CompositorOptions grid_off;
+  grid_off.grid_spacing_ft = 0.0;
+  const auto with = Compositor(plan, grid_on).render({});
+  const auto without = Compositor(plan, grid_off).render({});
+  EXPECT_GT(with.count_pixels(image::colors::kLightGray),
+            without.count_pixels(image::colors::kLightGray));
+}
+
+TEST(Compositor, TitleRendered) {
+  const FloorPlan plan = small_plan();
+  CompositorOptions opts;
+  opts.grid_spacing_ft = 0.0;
+  opts.title = "fig 3";
+  const auto img = Compositor(plan, opts).render({});
+  EXPECT_GT(img.count_pixels(image::colors::kBlack), 10u);
+}
+
+TEST(Compositor, WorldLineSolidAndDashed) {
+  const FloorPlan plan = small_plan();
+  const Compositor comp(plan);
+  image::Raster img(120, 100, image::colors::kWhite);
+  comp.draw_world_line(img, {0.0, 0.0}, {40.0, 0.0},
+                       image::colors::kGreen, false);
+  const auto solid = img.count_pixels(image::colors::kGreen);
+  image::Raster img2(120, 100, image::colors::kWhite);
+  comp.draw_world_line(img2, {0.0, 0.0}, {40.0, 0.0},
+                       image::colors::kGreen, true);
+  const auto dashed = img2.count_pixels(image::colors::kGreen);
+  EXPECT_GT(solid, 0u);
+  EXPECT_GT(dashed, 0u);
+  EXPECT_LT(dashed, solid);
+}
+
+TEST(CompositeEvaluation, TruthEstimateWhiskersAndLegend) {
+  const FloorPlan plan = small_plan();
+  const std::vector<EvaluatedPoint> points = {
+      {{10.0, 10.0}, {20.0, 15.0}, "t1"},
+      {{30.0, 25.0}, {31.0, 25.0}, "t2"},
+  };
+  const image::Raster img = composite_evaluation(plan, points);
+  // Truth crosses in green, estimates in red, whiskers in gray.
+  EXPECT_GT(img.count_pixels(image::colors::kGreen), 5u);
+  EXPECT_GT(img.count_pixels(image::colors::kRed), 5u);
+  EXPECT_GT(img.count_pixels(image::colors::kGray), 5u);
+}
+
+TEST(CompositeEvaluation, MarksOutsideRasterClipSafely) {
+  const FloorPlan plan = small_plan();
+  const std::vector<EvaluatedPoint> points = {
+      {{500.0, 500.0}, {-100.0, -100.0}, "far"},
+  };
+  EXPECT_NO_THROW(composite_evaluation(plan, points));
+}
+
+TEST(CompositeEvaluation, OverPaperHouseRender) {
+  // The full Figure-3 pipeline: render the paper house, composite the
+  // 13 test points onto it.
+  const radio::Environment env = radio::make_paper_house();
+  const FloorPlan plan = render_environment(env);
+  std::vector<EvaluatedPoint> pts;
+  for (int i = 0; i < 13; ++i) {
+    const double x = 5.0 + (i % 5) * 9.0;
+    const double y = 5.0 + (i / 5) * 12.0;
+    pts.push_back({{x, y}, {x + 3.0, y - 2.0}, "p" + std::to_string(i)});
+  }
+  const image::Raster img = composite_evaluation(plan, pts);
+  EXPECT_EQ(img.width(), plan.raster().width());
+  EXPECT_GT(img.count_pixels(image::colors::kGreen), 26u);
+  EXPECT_GT(img.count_pixels(image::colors::kRed), 26u);
+}
+
+}  // namespace
+}  // namespace loctk::floorplan

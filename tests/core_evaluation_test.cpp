@@ -1,0 +1,143 @@
+// Unit tests for the evaluation harness (valid-estimation rate,
+// error statistics) and the paper's experimental layout helpers.
+
+#include "core/evaluation.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/knn.hpp"
+#include "core/probabilistic.hpp"
+#include "test_fixtures.hpp"
+
+namespace loctk::core {
+namespace {
+
+using testing::fixture_observation;
+using testing::make_fixture_db;
+
+TEST(MakeTrainingGrid, PaperLayoutInteriorPoints) {
+  // The paper's 50x40 house with 10-ft products strictly inside:
+  // x in {10..40}, y in {10..30} -> 4 x 3 = 12 points.
+  const auto map =
+      make_training_grid(geom::Rect::sized(50.0, 40.0), 10.0);
+  EXPECT_EQ(map.size(), 12u);
+  EXPECT_TRUE(map.contains("p10-10"));
+  EXPECT_TRUE(map.contains("p40-30"));
+  EXPECT_FALSE(map.contains("p0-0"));
+  EXPECT_FALSE(map.contains("p50-40"));
+  EXPECT_EQ(*map.find("p20-30"), geom::Vec2(20.0, 30.0));
+}
+
+TEST(MakeTrainingGrid, FinerSpacing) {
+  const auto map = make_training_grid(geom::Rect::sized(50.0, 40.0), 5.0);
+  // x in {5..45} (9), y in {5..35} (7).
+  EXPECT_EQ(map.size(), 63u);
+}
+
+TEST(MakeScatteredTestPoints, ThirteenInsideAndSpread) {
+  const geom::Rect house = geom::Rect::sized(50.0, 40.0);
+  const auto pts = make_scattered_test_points(house, 13);
+  EXPECT_EQ(pts.size(), 13u);
+  std::set<std::pair<double, double>> unique;
+  for (const geom::Vec2 p : pts) {
+    EXPECT_TRUE(house.contains(p));
+    unique.insert({p.x, p.y});
+    // Off the 10-ft training grid (paper: test points are scattered,
+    // not at training locations).
+    const bool on_grid = std::fmod(p.x, 10.0) == 0.0 &&
+                         std::fmod(p.y, 10.0) == 0.0;
+    EXPECT_FALSE(on_grid);
+  }
+  EXPECT_EQ(unique.size(), 13u);
+  // Deterministic for a seed.
+  EXPECT_EQ(make_scattered_test_points(house, 13), pts);
+  EXPECT_NE(make_scattered_test_points(house, 13, 999), pts);
+}
+
+TEST(Evaluate, PerfectObservationsScoreFullMarks) {
+  const auto db = make_fixture_db();
+  const ProbabilisticLocator locator(db);
+  std::vector<geom::Vec2> truths;
+  std::vector<Observation> observations;
+  for (const auto& tp : db.points()) {
+    truths.push_back(tp.position);
+    observations.push_back(fixture_observation(tp.position));
+  }
+  const EvaluationResult r = evaluate(locator, db, truths, observations);
+  EXPECT_EQ(r.locator_name, "probabilistic-ml");
+  EXPECT_EQ(r.count(), db.size());
+  EXPECT_EQ(r.valid_count(), db.size());
+  EXPECT_DOUBLE_EQ(r.valid_estimation_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_error_ft(), 0.0);
+  EXPECT_DOUBLE_EQ(r.max_error_ft(), 0.0);
+}
+
+TEST(Evaluate, ErrorStatisticsComputed) {
+  const auto db = make_fixture_db();
+  const KnnLocator locator(db, {.k = 1});
+  // Off-grid truths: NNSS snaps to cells, so errors are the snap
+  // distances.
+  const std::vector<geom::Vec2> truths = {{12.0, 10.0}, {20.0, 24.0}};
+  std::vector<Observation> obs;
+  for (const auto t : truths) obs.push_back(fixture_observation(t));
+  const EvaluationResult r = evaluate(locator, db, truths, obs);
+  ASSERT_EQ(r.count(), 2u);
+  EXPECT_NEAR(r.outcomes[0].error_ft, 2.0, 1e-9);
+  EXPECT_NEAR(r.outcomes[1].error_ft, 4.0, 1e-9);
+  EXPECT_NEAR(r.mean_error_ft(), 3.0, 1e-9);
+  EXPECT_NEAR(r.median_error_ft(), 3.0, 1e-9);
+  EXPECT_NEAR(r.max_error_ft(), 4.0, 1e-9);
+  const auto sorted = r.sorted_errors();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_LE(sorted[0], sorted[1]);
+}
+
+TEST(Evaluate, CellCorrectUsesNearestOracle) {
+  const auto db = make_fixture_db();
+  const ProbabilisticLocator locator(db);
+  // Truth near (10,10): correct cell is g10-10.
+  const std::vector<geom::Vec2> truths = {{11.0, 9.0}};
+  const std::vector<Observation> obs = {fixture_observation({11.0, 9.0})};
+  const EvaluationResult r = evaluate(locator, db, truths, obs);
+  ASSERT_EQ(r.count(), 1u);
+  EXPECT_TRUE(r.outcomes[0].cell_correct);
+  EXPECT_DOUBLE_EQ(r.valid_estimation_rate(), 1.0);
+}
+
+TEST(Evaluate, InvalidEstimatesCounted) {
+  const auto db = make_fixture_db();
+  const ProbabilisticLocator locator(db);
+  const std::vector<geom::Vec2> truths = {{10.0, 10.0}, {20.0, 20.0}};
+  // Second observation is empty -> invalid.
+  const std::vector<Observation> obs = {fixture_observation({10.0, 10.0}),
+                                        Observation{}};
+  const EvaluationResult r = evaluate(locator, db, truths, obs);
+  EXPECT_EQ(r.count(), 2u);
+  EXPECT_EQ(r.valid_count(), 1u);
+  EXPECT_DOUBLE_EQ(r.valid_estimation_rate(), 0.5);
+  // Error stats only cover valid estimates.
+  EXPECT_DOUBLE_EQ(r.mean_error_ft(), 0.0);
+}
+
+TEST(Evaluate, MismatchedLengthsTruncate) {
+  const auto db = make_fixture_db();
+  const ProbabilisticLocator locator(db);
+  const std::vector<geom::Vec2> truths = {{10.0, 10.0}, {20.0, 20.0}};
+  const std::vector<Observation> obs = {fixture_observation({10.0, 10.0})};
+  EXPECT_EQ(evaluate(locator, db, truths, obs).count(), 1u);
+}
+
+TEST(EvaluationResult, EmptyIsSafe) {
+  EvaluationResult r;
+  EXPECT_DOUBLE_EQ(r.valid_estimation_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_error_ft(), 0.0);
+  EXPECT_DOUBLE_EQ(r.median_error_ft(), 0.0);
+  EXPECT_DOUBLE_EQ(r.p90_error_ft(), 0.0);
+  EXPECT_DOUBLE_EQ(r.max_error_ft(), 0.0);
+  EXPECT_TRUE(r.sorted_errors().empty());
+}
+
+}  // namespace
+}  // namespace loctk::core

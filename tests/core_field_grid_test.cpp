@@ -1,0 +1,148 @@
+// Unit tests for the interpolated signal field and the fine-grid
+// maximum-likelihood locator built on it.
+
+#include "core/grid_locator.hpp"
+#include "core/signal_field.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.hpp"
+
+namespace loctk::core {
+namespace {
+
+using testing::fixture_bssids;
+using testing::fixture_mean_rssi;
+using testing::fixture_observation;
+using testing::make_fixture_db;
+
+TEST(SignalField, ExactAtTrainingPoints) {
+  const auto db = make_fixture_db();
+  const SignalField field(db);
+  for (const traindb::TrainingPoint& tp : db.points()) {
+    for (const std::string& bssid : fixture_bssids()) {
+      const auto s = field.sample(bssid, tp.position);
+      ASSERT_TRUE(s.has_value());
+      EXPECT_NEAR(s->mean_dbm, tp.find(bssid)->mean_dbm, 1e-9);
+      EXPECT_NEAR(s->visibility, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(SignalField, InterpolatesBetweenPoints) {
+  const auto db = make_fixture_db();
+  const SignalField field(db);
+  // Midway between (10,10) and (20,10): value between the two means.
+  const auto s = field.sample(fixture_bssids()[0], {15.0, 10.0});
+  ASSERT_TRUE(s.has_value());
+  const double m1 = fixture_mean_rssi(0, {10.0, 10.0});
+  const double m2 = fixture_mean_rssi(0, {20.0, 10.0});
+  EXPECT_GT(s->mean_dbm, std::min(m1, m2) - 0.5);
+  EXPECT_LT(s->mean_dbm, std::max(m1, m2) + 0.5);
+}
+
+TEST(SignalField, UnknownApOrOutOfRange) {
+  const auto db = make_fixture_db();
+  SignalFieldConfig cfg;
+  cfg.max_influence_ft = 5.0;
+  const SignalField field(db, cfg);
+  EXPECT_FALSE(field.sample("nope", {10.0, 10.0}).has_value());
+  // Far outside the surveyed square: no training point in range.
+  EXPECT_FALSE(
+      field.sample(fixture_bssids()[0], {500.0, 500.0}).has_value());
+}
+
+TEST(SignalField, SigmaFloorApplied) {
+  const auto db = make_fixture_db(10.0, 0.0);  // zero training sigma
+  SignalFieldConfig cfg;
+  cfg.sigma_floor_db = 2.5;
+  const SignalField field(db, cfg);
+  const auto s = field.sample(fixture_bssids()[0], {13.0, 17.0});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GE(s->sigma_db, 2.5);
+}
+
+TEST(SignalField, LogLikelihoodPeaksNearTruth) {
+  const auto db = make_fixture_db();
+  const SignalField field(db);
+  const geom::Vec2 truth{22.0, 18.0};
+  const Observation obs = fixture_observation(truth);
+  const double at_truth = field.log_likelihood(obs, truth);
+  for (const geom::Vec2 other :
+       {geom::Vec2{5.0, 5.0}, geom::Vec2{35.0, 35.0}, geom::Vec2{5.0, 35.0}}) {
+    EXPECT_GT(at_truth, field.log_likelihood(obs, other))
+        << other.x << "," << other.y;
+  }
+}
+
+TEST(GridLocator, FinerThanSurveyGrid) {
+  const auto db = make_fixture_db();  // 10 ft survey pitch
+  GridLocatorConfig cfg;
+  cfg.grid_pitch_ft = 2.0;
+  const GridLocator locator(db, geom::Rect::sized(40.0, 40.0), cfg);
+  EXPECT_EQ(locator.name(), "grid-ml");
+  EXPECT_GT(locator.cell_count(), 400u);  // 21x21 at 2 ft
+
+  // Truth off the survey grid: the estimate resolves to within the
+  // candidate pitch rather than the 10 ft survey pitch.
+  const geom::Vec2 truth{16.0, 24.0};
+  const LocationEstimate est = locator.locate(fixture_observation(truth));
+  ASSERT_TRUE(est.valid);
+  EXPECT_LT(geom::distance(est.position, truth), 6.0);
+  EXPECT_FALSE(est.location_name.empty());
+}
+
+TEST(GridLocator, SerialAndParallelAgree) {
+  const auto db = make_fixture_db();
+  GridLocatorConfig par;
+  par.grid_pitch_ft = 4.0;
+  par.parallel = true;
+  GridLocatorConfig ser = par;
+  ser.parallel = false;
+  const GridLocator parallel(db, geom::Rect::sized(40.0, 40.0), par);
+  const GridLocator serial(db, geom::Rect::sized(40.0, 40.0), ser);
+
+  for (const geom::Vec2 truth :
+       {geom::Vec2{7.0, 31.0}, geom::Vec2{20.0, 20.0}}) {
+    const Observation obs = fixture_observation(truth);
+    const LocationEstimate a = parallel.locate(obs);
+    const LocationEstimate b = serial.locate(obs);
+    ASSERT_TRUE(a.valid);
+    ASSERT_TRUE(b.valid);
+    EXPECT_EQ(a.position, b.position);
+    EXPECT_DOUBLE_EQ(a.score, b.score);
+  }
+}
+
+TEST(GridLocator, EmptyInputsInvalid) {
+  const auto db = make_fixture_db();
+  const GridLocator locator(db, geom::Rect::sized(40.0, 40.0));
+  EXPECT_FALSE(locator.locate(Observation{}).valid);
+
+  traindb::TrainingDatabase empty;
+  const GridLocator on_empty(empty, geom::Rect::sized(40.0, 40.0));
+  EXPECT_FALSE(on_empty.locate(fixture_observation({5, 5})).valid);
+}
+
+// Property sweep: grid estimates are never worse than one survey cell
+// away on noiseless observations.
+class GridSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridSweep, WithinOneSurveyCell) {
+  const int i = GetParam();
+  const auto db = make_fixture_db();
+  GridLocatorConfig cfg;
+  cfg.grid_pitch_ft = 2.0;
+  const GridLocator locator(db, geom::Rect::sized(40.0, 40.0), cfg);
+  const geom::Vec2 truth{4.0 + (i % 4) * 9.0, 3.0 + (i / 4) * 11.0};
+  const LocationEstimate est = locator.locate(fixture_observation(truth));
+  ASSERT_TRUE(est.valid);
+  EXPECT_LT(geom::distance(est.position, truth), 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Truths, GridSweep, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace loctk::core

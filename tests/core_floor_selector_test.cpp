@@ -1,0 +1,125 @@
+// Unit tests for multi-floor training and floor selection.
+
+#include "core/floor_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+
+namespace loctk::core {
+namespace {
+
+struct BuildingFixture {
+  BuildingFixture()
+      : building(radio::make_office_building(3, 18.0)),
+        map(make_training_grid(building->floor(0).footprint(), 10.0)),
+        dbs(train_building(*building, map, 40, 9000)) {}
+
+  std::unique_ptr<radio::Building> building;
+  wiscan::LocationMap map;
+  std::vector<traindb::TrainingDatabase> dbs;
+};
+
+std::vector<const traindb::TrainingDatabase*> ptrs(
+    const std::vector<traindb::TrainingDatabase>& dbs) {
+  std::vector<const traindb::TrainingDatabase*> out;
+  for (const auto& db : dbs) out.push_back(&db);
+  return out;
+}
+
+TEST(TrainBuilding, OneDatabasePerFloorWithCrossFloorAps) {
+  const BuildingFixture fx;
+  ASSERT_EQ(fx.dbs.size(), 3u);
+  for (std::size_t f = 0; f < 3; ++f) {
+    EXPECT_EQ(fx.dbs[f].size(), 12u) << f;
+    EXPECT_EQ(fx.dbs[f].site_name(), "floor-" + std::to_string(f));
+    // Same-floor APs always trained; adjacent-floor APs usually heard
+    // somewhere too (slab 18 dB leaves them above sensitivity near
+    // their own corner).
+    EXPECT_GE(fx.dbs[f].bssid_universe().size(), 4u);
+  }
+  // Floor-1 surveys should hear more total APs than floor-0 or 2 (two
+  // adjacent floors instead of one).
+  EXPECT_GE(fx.dbs[1].bssid_universe().size(),
+            fx.dbs[0].bssid_universe().size());
+}
+
+TEST(FloorSelector, RejectsBadConstruction) {
+  EXPECT_THROW(FloorSelector({}), std::invalid_argument);
+  EXPECT_THROW(FloorSelector({nullptr}), std::invalid_argument);
+}
+
+TEST(FloorSelector, PicksTheRightFloor) {
+  const BuildingFixture fx;
+  const FloorSelector selector(ptrs(fx.dbs));
+  EXPECT_EQ(selector.floor_count(), 3u);
+
+  int correct = 0, total = 0;
+  for (std::size_t truth_floor = 0; truth_floor < 3; ++truth_floor) {
+    const radio::FloorView view(*fx.building, truth_floor);
+    radio::Scanner scanner(view, radio::ChannelConfig{},
+                           7000 + truth_floor);
+    for (const geom::Vec2 pos :
+         {geom::Vec2{12.0, 12.0}, geom::Vec2{25.0, 20.0},
+          geom::Vec2{40.0, 30.0}}) {
+      scanner.reset_session();
+      const Observation obs =
+          Observation::from_scans(scanner.collect(pos, 30));
+      const FloorEstimate est = selector.locate(obs);
+      ASSERT_TRUE(est.valid);
+      correct += est.floor == truth_floor;
+      ++total;
+      // In-floor estimate still lands in the right neighborhood.
+      EXPECT_LT(geom::distance(est.estimate.position, pos), 20.0);
+    }
+  }
+  // 18 dB slabs make floors very separable.
+  EXPECT_GE(correct, total - 1) << correct << "/" << total;
+}
+
+TEST(FloorSelector, ConfidenceDropsWithThinSlabs) {
+  // Same building geometry, nearly transparent floors: selection gets
+  // less confident.
+  const auto thick = radio::make_office_building(2, 24.0);
+  const auto thin = radio::make_office_building(2, 4.0);
+
+  auto confidence_of = [](const radio::Building& b) {
+    const auto map =
+        make_training_grid(b.floor(0).footprint(), 10.0);
+    const auto dbs = train_building(b, map, 30, 4242);
+    std::vector<const traindb::TrainingDatabase*> p;
+    for (const auto& db : dbs) p.push_back(&db);
+    const FloorSelector sel(p);
+    const radio::FloorView view(b, 0);
+    radio::Scanner scanner(view, radio::ChannelConfig{}, 99);
+    const Observation obs =
+        Observation::from_scans(scanner.collect({25.0, 20.0}, 30));
+    const FloorEstimate est = sel.locate(obs);
+    return est.valid ? est.floor_confidence : 0.0;
+  };
+
+  EXPECT_GT(confidence_of(*thick), confidence_of(*thin));
+}
+
+TEST(FloorSelector, EmptyObservationInvalid) {
+  const BuildingFixture fx;
+  const FloorSelector selector(ptrs(fx.dbs));
+  EXPECT_FALSE(selector.locate(Observation{}).valid);
+}
+
+TEST(FloorSelector, FloorScoresAlignedAndFinite) {
+  const BuildingFixture fx;
+  const FloorSelector selector(ptrs(fx.dbs));
+  const radio::FloorView view(*fx.building, 2);
+  radio::Scanner scanner(view, radio::ChannelConfig{}, 1);
+  const Observation obs =
+      Observation::from_scans(scanner.collect({20.0, 20.0}, 20));
+  const auto scores = selector.floor_scores(obs);
+  ASSERT_EQ(scores.size(), 3u);
+  // The true floor's score is the maximum.
+  EXPECT_GE(scores[2], scores[0]);
+  EXPECT_GE(scores[2], scores[1]);
+}
+
+}  // namespace
+}  // namespace loctk::core

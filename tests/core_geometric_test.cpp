@@ -1,0 +1,227 @@
+// Unit tests for the paper's §5.2 geometric locator and the
+// least-squares lateration baseline.
+
+#include "core/geometric.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "radio/environment.hpp"
+#include "test_fixtures.hpp"
+
+namespace loctk::core {
+namespace {
+
+using testing::fixture_ap_positions;
+using testing::fixture_bssids;
+using testing::fixture_mean_rssi;
+using testing::fixture_observation;
+using testing::make_fixture_db;
+
+// Environment matching the analytic fixture (AP positions only; the
+// locator reads signal models from the database).
+radio::Environment fixture_env() {
+  radio::Environment env(geom::Rect::sized(40.0, 40.0));
+  for (std::size_t i = 0; i < fixture_bssids().size(); ++i) {
+    radio::AccessPoint ap;
+    ap.bssid = fixture_bssids()[i];
+    ap.name = std::string(1, static_cast<char>('A' + i));
+    ap.position = fixture_ap_positions()[i];
+    env.add_access_point(ap);
+  }
+  return env;
+}
+
+TEST(Geometric, FitsOneModelPerAp) {
+  const auto db = make_fixture_db();
+  const GeometricLocator locator(db, fixture_env());
+  ASSERT_EQ(locator.models().size(), 4u);
+  for (const FittedApModel& m : locator.models()) {
+    // The analytic law is log-distance; the inverse-square fit won't
+    // be perfect but must capture the decreasing trend.
+    EXPECT_GT(m.r_squared(), 0.6) << m.bssid;
+    EXPECT_GT(m.predict(5.0), m.predict(40.0)) << m.bssid;
+  }
+}
+
+TEST(Geometric, LogDistanceModelFitsFixtureExactly) {
+  const auto db = make_fixture_db();
+  GeometricConfig cfg;
+  cfg.model = SignalModel::kLogDistance;
+  const GeometricLocator locator(db, fixture_env(), cfg);
+  for (const FittedApModel& m : locator.models()) {
+    EXPECT_GT(m.r_squared(), 0.999) << m.bssid;
+    // Ranging on the exact law inverts distances correctly.
+    EXPECT_NEAR(m.invert(fixture_mean_rssi(0, {0, 0}), 1.0, 300.0), 1.0,
+                0.3);
+  }
+}
+
+TEST(Geometric, CirclesForObservation) {
+  const auto db = make_fixture_db();
+  GeometricConfig cfg;
+  cfg.model = SignalModel::kLogDistance;
+  const GeometricLocator locator(db, fixture_env(), cfg);
+  const geom::Vec2 truth{20.0, 10.0};
+  const auto circles = locator.circles_for(fixture_observation(truth));
+  ASSERT_EQ(circles.size(), 4u);
+  for (std::size_t i = 0; i < circles.size(); ++i) {
+    EXPECT_NEAR(circles[i].radius,
+                geom::distance(fixture_ap_positions()[i], truth), 1.5)
+        << i;
+  }
+}
+
+TEST(Geometric, LocatesAccuratelyOnExactModel) {
+  const auto db = make_fixture_db();
+  GeometricConfig cfg;
+  cfg.model = SignalModel::kLogDistance;
+  const GeometricLocator locator(db, fixture_env(), cfg);
+  for (const geom::Vec2 truth :
+       {geom::Vec2{20, 20}, geom::Vec2{10, 25}, geom::Vec2{30, 8}}) {
+    const LocationEstimate est = locator.locate(fixture_observation(truth));
+    ASSERT_TRUE(est.valid);
+    EXPECT_LT(geom::distance(est.position, truth), 3.0)
+        << truth.x << "," << truth.y;
+    EXPECT_EQ(est.aps_used, 4);
+    EXPECT_TRUE(est.location_name.empty());  // coordinate method
+  }
+}
+
+TEST(Geometric, PairStrategiesAndEstimators) {
+  const auto db = make_fixture_db();
+  for (const PairStrategy pairs :
+       {PairStrategy::kAdjacentRing, PairStrategy::kAllPairs}) {
+    for (const PointEstimator est :
+         {PointEstimator::kComponentMedian, PointEstimator::kGeometricMedian,
+          PointEstimator::kMean}) {
+      GeometricConfig cfg;
+      cfg.model = SignalModel::kLogDistance;
+      cfg.pairs = pairs;
+      cfg.estimator = est;
+      const GeometricLocator locator(db, fixture_env(), cfg);
+      const geom::Vec2 truth{15.0, 22.0};
+      const LocationEstimate result =
+          locator.locate(fixture_observation(truth));
+      ASSERT_TRUE(result.valid);
+      EXPECT_LT(geom::distance(result.position, truth), 5.0)
+          << static_cast<int>(pairs) << "/" << static_cast<int>(est);
+    }
+  }
+}
+
+TEST(Geometric, RequiresThreeUsableAps) {
+  // Database with only 2 APs trained.
+  traindb::TrainingDatabase db;
+  for (double x = 0.0; x <= 40.0; x += 10.0) {
+    traindb::TrainingPoint p;
+    p.location = "p" + std::to_string(static_cast<int>(x));
+    p.position = {x, 0.0};
+    for (std::size_t a = 0; a < 2; ++a) {
+      traindb::ApStatistics s;
+      s.bssid = fixture_bssids()[a];
+      s.mean_dbm = fixture_mean_rssi(a, p.position);
+      s.stddev_db = 2.0;
+      s.sample_count = 10;
+      s.scan_count = 10;
+      p.per_ap.push_back(std::move(s));
+    }
+    db.add_point(std::move(p));
+  }
+  EXPECT_THROW(GeometricLocator(db, fixture_env()),
+               traindb::DatabaseError);
+}
+
+TEST(Geometric, TooFewAudibleApsAtLocateTime) {
+  const auto db = make_fixture_db();
+  GeometricConfig cfg;
+  cfg.model = SignalModel::kLogDistance;
+  const GeometricLocator locator(db, fixture_env(), cfg);
+  // Observation hears only two APs.
+  std::vector<radio::ScanRecord> scans(1);
+  for (std::size_t a = 0; a < 2; ++a) {
+    scans[0].samples.push_back(
+        {fixture_bssids()[a], fixture_mean_rssi(a, {20, 20}), 1});
+  }
+  EXPECT_FALSE(locator.locate(Observation::from_scans(scans)).valid);
+}
+
+TEST(Geometric, MinUsableDbmFiltersWeakAps) {
+  const auto db = make_fixture_db();
+  GeometricConfig cfg;
+  cfg.model = SignalModel::kLogDistance;
+  cfg.min_usable_dbm = -30.0;  // absurdly strict: everything filtered
+  const GeometricLocator locator(db, fixture_env(), cfg);
+  EXPECT_FALSE(locator.locate(fixture_observation({20, 20})).valid);
+}
+
+TEST(Lateration, BaselineLocatesOnExactModel) {
+  const auto db = make_fixture_db();
+  GeometricConfig cfg;
+  cfg.model = SignalModel::kLogDistance;
+  const LaterationLocator locator(db, fixture_env(), cfg);
+  EXPECT_EQ(locator.name(), "lateration-ls");
+  const geom::Vec2 truth{25.0, 15.0};
+  const LocationEstimate est = locator.locate(fixture_observation(truth));
+  ASSERT_TRUE(est.valid);
+  EXPECT_LT(geom::distance(est.position, truth), 3.0);
+}
+
+TEST(Geometric, BiasedObservationDegradesGracefully) {
+  const auto db = make_fixture_db();
+  GeometricConfig cfg;
+  cfg.model = SignalModel::kLogDistance;
+  const GeometricLocator locator(db, fixture_env(), cfg);
+  // A uniform +6 dB bias shrinks all distances; the median stays
+  // inside the hull of APs and remains finite.
+  const LocationEstimate est =
+      locator.locate(fixture_observation({20.0, 20.0}, +6.0));
+  ASSERT_TRUE(est.valid);
+  EXPECT_TRUE(geom::is_finite(est.position));
+  EXPECT_LT(geom::distance(est.position, {20.0, 20.0}), 20.0);
+}
+
+// Property sweep: with one AP's reading wildly corrupted, the §5.2
+// median estimator keeps the error bounded at several positions (the
+// robustness rationale for choosing the median over the mean).
+class RobustnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RobustnessSweep, MedianBoundedUnderSingleApCorruption) {
+  const int i = GetParam();
+  const auto db = make_fixture_db();
+  GeometricConfig cfg;
+  cfg.model = SignalModel::kLogDistance;
+  cfg.pairs = PairStrategy::kAllPairs;
+  const GeometricLocator locator(db, fixture_env(), cfg);
+
+  const geom::Vec2 truth{8.0 + (i % 4) * 8.0, 6.0 + (i / 4) * 9.0};
+  std::vector<radio::ScanRecord> scans(1);
+  for (std::size_t a = 0; a < fixture_bssids().size(); ++a) {
+    double rssi = fixture_mean_rssi(a, truth);
+    if (a == static_cast<std::size_t>(i) % 4) rssi -= 15.0;  // corrupted AP
+    scans[0].samples.push_back({fixture_bssids()[a], rssi, 1});
+  }
+  const Observation obs = Observation::from_scans(scans);
+  const LocationEstimate med_est = locator.locate(obs);
+  ASSERT_TRUE(med_est.valid);
+  EXPECT_TRUE(geom::is_finite(med_est.position));
+
+  // The median must not be (much) worse than the mean estimator on
+  // the same corrupted input — the §5.2 robustness rationale.
+  GeometricConfig mean_cfg = cfg;
+  mean_cfg.estimator = PointEstimator::kMean;
+  const GeometricLocator mean_locator(db, fixture_env(), mean_cfg);
+  const LocationEstimate mean_est = mean_locator.locate(obs);
+  ASSERT_TRUE(mean_est.valid);
+  EXPECT_LE(geom::distance(med_est.position, truth),
+            geom::distance(mean_est.position, truth) + 5.0);
+  // And it stays on (or very near) the site.
+  EXPECT_LT(geom::distance(med_est.position, truth), 45.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corruptions, RobustnessSweep,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace loctk::core

@@ -1,0 +1,237 @@
+// Unit tests for the HMM cell tracker (paper §6 item 2, literal
+// Bayesian filter over training points) and the UWB ranging stack
+// (paper §6 item 3).
+
+#include "core/hmm_tracker.hpp"
+#include "core/uwb_locator.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "radio/environment.hpp"
+#include "test_fixtures.hpp"
+
+namespace loctk::core {
+namespace {
+
+using testing::fixture_observation;
+using testing::make_fixture_db;
+
+TEST(HmmTracker, StartsUniformAndNormalized) {
+  const auto db = make_fixture_db();
+  HmmTracker hmm(db);
+  const auto& b = hmm.belief();
+  ASSERT_EQ(b.size(), db.size());
+  for (const double p : b) {
+    EXPECT_NEAR(p, 1.0 / static_cast<double>(db.size()), 1e-12);
+  }
+  EXPECT_NEAR(hmm.entropy(), std::log(static_cast<double>(db.size())),
+              1e-9);
+}
+
+TEST(HmmTracker, ConvergesOnRepeatedObservation) {
+  const auto db = make_fixture_db();
+  HmmTracker hmm(db);
+  const geom::Vec2 truth{20.0, 20.0};
+  LocationEstimate est;
+  for (int i = 0; i < 8; ++i) est = hmm.step(fixture_observation(truth));
+  ASSERT_TRUE(est.valid);
+  EXPECT_EQ(est.location_name, "g20-20");
+  EXPECT_LT(geom::distance(est.position, truth), 4.0);
+  // Confident: entropy way below uniform.
+  EXPECT_LT(hmm.entropy(),
+            0.5 * std::log(static_cast<double>(db.size())));
+}
+
+TEST(HmmTracker, BeliefStaysNormalized) {
+  const auto db = make_fixture_db();
+  HmmTracker hmm(db);
+  for (int i = 0; i < 5; ++i) {
+    hmm.step(fixture_observation({10.0 + i, 10.0}));
+    const double total = std::accumulate(hmm.belief().begin(),
+                                         hmm.belief().end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(HmmTracker, TransitionModelResistsTeleports) {
+  const auto db = make_fixture_db();
+  HmmTrackerConfig cfg;
+  cfg.step_sigma_ft = 3.0;  // client walks a few feet per step
+  // Flatten the emission (noiseless fixture observations are otherwise
+  // so peaked that any single reading overwhelms the motion prior —
+  // the correct Bayesian behaviour, but not what this test probes).
+  cfg.likelihood.sigma_floor_db = 16.0;
+  HmmTracker hmm(db, cfg);
+  // Converge at one corner.
+  for (int i = 0; i < 8; ++i) hmm.step(fixture_observation({0.0, 0.0}));
+  // A single observation from the far corner must not fully teleport
+  // the posterior-mean estimate there.
+  const LocationEstimate est = hmm.step(fixture_observation({40.0, 40.0}));
+  ASSERT_TRUE(est.valid);
+  EXPECT_GT(geom::distance(est.position, {40.0, 40.0}), 8.0);
+  // But a sustained move wins.
+  LocationEstimate late;
+  for (int i = 0; i < 25; ++i) {
+    late = hmm.step(fixture_observation({40.0, 40.0}));
+  }
+  EXPECT_LT(geom::distance(late.position, {40.0, 40.0}), 8.0);
+}
+
+TEST(HmmTracker, EmptyObservationDiffusesOnly) {
+  const auto db = make_fixture_db();
+  HmmTracker hmm(db);
+  for (int i = 0; i < 6; ++i) hmm.step(fixture_observation({20.0, 20.0}));
+  const double before = hmm.entropy();
+  const LocationEstimate est = hmm.step(Observation{});
+  EXPECT_TRUE(est.valid);       // the prior still answers
+  EXPECT_GT(hmm.entropy(), before);  // belief spread out
+}
+
+TEST(HmmTracker, ResetRestoresUniform) {
+  const auto db = make_fixture_db();
+  HmmTracker hmm(db);
+  hmm.step(fixture_observation({10.0, 10.0}));
+  hmm.reset();
+  EXPECT_NEAR(hmm.entropy(), std::log(static_cast<double>(db.size())),
+              1e-9);
+}
+
+TEST(HmmTracker, TracksAWalkBetterLateThanEarly) {
+  const auto db = make_fixture_db();
+  HmmTracker hmm(db);
+  double early = 0.0, late = 0.0;
+  for (int step = 0; step <= 20; ++step) {
+    const geom::Vec2 truth{2.0 * step, 20.0};
+    const LocationEstimate est = hmm.step(fixture_observation(truth));
+    ASSERT_TRUE(est.valid);
+    const double err = geom::distance(est.position, truth);
+    (step < 3 ? early : late) += err;
+  }
+  EXPECT_LT(late / 18.0, early / 3.0 + 5.0);
+}
+
+/// --- UWB --------------------------------------------------------------
+
+TEST(UwbRanging, LosRangesAreTight) {
+  radio::Environment env(geom::Rect::sized(50.0, 40.0));
+  for (int i = 0; i < 4; ++i) {
+    radio::AccessPoint ap;
+    ap.bssid = radio::synthetic_bssid(i);
+    ap.name = std::string(1, static_cast<char>('A' + i));
+    ap.position = {i < 2 ? 2.0 : 48.0, (i % 3 == 0) ? 2.0 : 38.0};
+    env.add_access_point(ap);
+  }
+  radio::UwbRanging uwb(env, {}, 99);
+  const geom::Vec2 pos{25.0, 20.0};
+  double worst = 0.0;
+  for (int round = 0; round < 50; ++round) {
+    for (const radio::UwbRange& r : uwb.measure(pos)) {
+      EXPECT_FALSE(r.nlos);  // no walls in this env
+      worst = std::max(worst,
+                       std::abs(r.range_ft -
+                                geom::distance(r.anchor_pos, pos)));
+    }
+  }
+  EXPECT_LT(worst, 3.0);  // ~4 sigma of 0.5 ft noise, bar flakiness
+}
+
+TEST(UwbRanging, NlosBiasIsPositive) {
+  radio::Environment env(geom::Rect::sized(50.0, 40.0));
+  radio::AccessPoint ap;
+  ap.bssid = radio::synthetic_bssid(0);
+  ap.name = "A";
+  ap.position = {2.0, 20.0};
+  env.add_access_point(ap);
+  env.add_wall({{{25.0, 0.0}, {25.0, 40.0}}, 6.0, "wall"});
+
+  radio::UwbRanging uwb(env, {}, 7);
+  const geom::Vec2 pos{48.0, 20.0};  // behind the wall
+  double mean_err = 0.0;
+  int n = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (const radio::UwbRange& r : uwb.measure(pos)) {
+      EXPECT_TRUE(r.nlos);
+      mean_err += r.range_ft - geom::distance(ap.position, pos);
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 100);
+  EXPECT_GT(mean_err / n, 0.5);  // systematically long
+}
+
+TEST(UwbRanging, RespectsMaxRangeAndDetection) {
+  radio::Environment env(geom::Rect::sized(300.0, 10.0));
+  radio::AccessPoint ap;
+  ap.bssid = radio::synthetic_bssid(0);
+  ap.position = {0.0, 5.0};
+  env.add_access_point(ap);
+
+  radio::UwbConfig cfg;
+  cfg.max_range_ft = 100.0;
+  radio::UwbRanging uwb(env, cfg, 11);
+  EXPECT_TRUE(uwb.measure({250.0, 5.0}).empty());  // out of range
+  // In range: detection probability applies, so most rounds respond.
+  int heard = 0;
+  for (int i = 0; i < 100; ++i) heard += !uwb.measure({50.0, 5.0}).empty();
+  EXPECT_GT(heard, 85);
+}
+
+TEST(UwbLocator, AveragesRoundsByAnchor) {
+  std::vector<radio::UwbRange> ranges = {
+      {"a", {0.0, 0.0}, 10.0, false},
+      {"a", {0.0, 0.0}, 12.0, false},
+      {"b", {40.0, 0.0}, 30.0, false},
+  };
+  const auto meas = UwbLocator::average_by_anchor(ranges);
+  ASSERT_EQ(meas.size(), 2u);
+  EXPECT_DOUBLE_EQ(meas[0].distance, 11.0);
+  EXPECT_DOUBLE_EQ(meas[1].distance, 30.0);
+}
+
+TEST(UwbLocator, SubFootAccuracyInTheHouse) {
+  const radio::Environment env = radio::make_paper_house();
+  radio::UwbRanging uwb(env, {}, 55);
+  const UwbLocator locator(env.footprint());
+
+  double total = 0.0;
+  const std::vector<geom::Vec2> truths = {
+      {25.0, 20.0}, {10.0, 10.0}, {40.0, 30.0}, {15.0, 28.0}};
+  for (const geom::Vec2 truth : truths) {
+    const auto est = locator.locate(uwb.measure_rounds(truth, 10));
+    ASSERT_TRUE(est.has_value());
+    total += geom::distance(*est, truth);
+  }
+  // UWB is the high-precision tier: mean error a couple of feet even
+  // with NLOS walls (vs ~13 ft for RSSI-geometric).
+  EXPECT_LT(total / static_cast<double>(truths.size()), 3.0);
+}
+
+TEST(UwbLocator, TooFewAnchorsReturnsNullopt) {
+  const UwbLocator locator(geom::Rect::sized(50.0, 40.0));
+  EXPECT_FALSE(locator.locate({}).has_value());
+  EXPECT_FALSE(locator
+                   .locate({{"a", {0, 0}, 5.0, false},
+                            {"b", {10, 0}, 5.0, false}})
+                   .has_value());
+}
+
+TEST(UwbLocator, ClampsToSiteBounds) {
+  const UwbLocator locator(geom::Rect::sized(50.0, 40.0));
+  // Consistent ranges to a point far outside the site.
+  const geom::Vec2 outside{200.0, 20.0};
+  std::vector<radio::UwbRange> ranges;
+  const geom::Vec2 anchors[] = {{2, 2}, {48, 2}, {48, 38}, {2, 38}};
+  for (int i = 0; i < 4; ++i) {
+    ranges.push_back({radio::synthetic_bssid(i), anchors[i],
+                      geom::distance(anchors[i], outside), false});
+  }
+  const auto est = locator.locate(ranges);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_LE(est->x, 60.0 + 1e-9);  // clamped to footprint + 10 ft margin
+}
+
+}  // namespace
+}  // namespace loctk::core

@@ -1,0 +1,146 @@
+// Unit tests for the live LocationService (sliding window, Kalman
+// coasting, debounced place-change callbacks).
+
+#include "core/location_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/probabilistic.hpp"
+#include "test_fixtures.hpp"
+
+namespace loctk::core {
+namespace {
+
+using testing::fixture_bssids;
+using testing::fixture_mean_rssi;
+using testing::make_fixture_db;
+
+radio::ScanRecord scan_at(geom::Vec2 pos, double t = 0.0) {
+  radio::ScanRecord rec;
+  rec.timestamp_s = t;
+  for (std::size_t a = 0; a < fixture_bssids().size(); ++a) {
+    rec.samples.push_back(
+        {fixture_bssids()[a], fixture_mean_rssi(a, pos), 1});
+  }
+  return rec;
+}
+
+radio::ScanRecord empty_scan(double t = 0.0) {
+  radio::ScanRecord rec;
+  rec.timestamp_s = t;
+  return rec;
+}
+
+struct Fixture {
+  Fixture() : db(make_fixture_db()), locator(db) {}
+  traindb::TrainingDatabase db;
+  ProbabilisticLocator locator;
+};
+
+TEST(LocationService, NoFixBeforeMinScans) {
+  Fixture f;
+  LocationServiceConfig cfg;
+  cfg.min_scans = 3;
+  LocationService svc(f.locator, cfg);
+  EXPECT_FALSE(svc.on_scan(scan_at({10, 10})).valid);
+  EXPECT_FALSE(svc.on_scan(scan_at({10, 10})).valid);
+  const ServiceFix fix = svc.on_scan(scan_at({10, 10}));
+  EXPECT_TRUE(fix.valid);
+  EXPECT_EQ(fix.window_fill, 3u);
+}
+
+TEST(LocationService, ConvergesToThePlace) {
+  Fixture f;
+  LocationService svc(f.locator);
+  ServiceFix fix;
+  for (int i = 0; i < 10; ++i) fix = svc.on_scan(scan_at({20, 20}));
+  ASSERT_TRUE(fix.valid);
+  EXPECT_EQ(fix.place, "g20-20");
+  EXPECT_LT(geom::distance(fix.position, {20.0, 20.0}), 5.0);
+}
+
+TEST(LocationService, WindowSlides) {
+  Fixture f;
+  LocationServiceConfig cfg;
+  cfg.window_scans = 4;
+  cfg.kalman_smoothing = false;
+  cfg.place_debounce = 1;
+  LocationService svc(f.locator, cfg);
+  // Fill the window at one corner, then move: after `window_scans`
+  // scans at the new spot the old data has fully slid out.
+  for (int i = 0; i < 6; ++i) svc.on_scan(scan_at({0, 0}));
+  ServiceFix fix;
+  for (int i = 0; i < 4; ++i) fix = svc.on_scan(scan_at({40, 40}));
+  ASSERT_TRUE(fix.valid);
+  EXPECT_EQ(fix.place, "g40-40");
+  EXPECT_EQ(fix.window_fill, 4u);
+}
+
+TEST(LocationService, PlaceChangeCallbackDebounced) {
+  Fixture f;
+  LocationServiceConfig cfg;
+  cfg.window_scans = 2;
+  cfg.min_scans = 1;
+  cfg.place_debounce = 3;
+  cfg.kalman_smoothing = false;
+  LocationService svc(f.locator, cfg);
+
+  std::vector<std::pair<std::string, std::string>> changes;
+  svc.on_place_change([&](const std::string& from, const std::string& to) {
+    changes.emplace_back(from, to);
+  });
+
+  for (int i = 0; i < 5; ++i) svc.on_scan(scan_at({0, 0}));
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].first, "");
+  EXPECT_EQ(changes[0].second, "g0-0");
+
+  // One stray scan from elsewhere: debounce absorbs it.
+  svc.on_scan(scan_at({40, 40}));
+  EXPECT_EQ(changes.size(), 1u);
+  // window is 2: feed enough scans for the window to be fully at the
+  // new location for 3 consecutive resolutions.
+  for (int i = 0; i < 6; ++i) svc.on_scan(scan_at({40, 40}));
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[1].first, "g0-0");
+  EXPECT_EQ(changes[1].second, "g40-40");
+}
+
+TEST(LocationService, CoastsThroughEmptyScans) {
+  Fixture f;
+  LocationServiceConfig cfg;
+  cfg.window_scans = 2;
+  cfg.min_scans = 1;
+  LocationService svc(f.locator, cfg);
+  for (int i = 0; i < 5; ++i) svc.on_scan(scan_at({20, 20}));
+  // Radio silence: the window drains to empty scans, the locator
+  // fails, but the Kalman layer keeps answering near the last fix.
+  ServiceFix fix;
+  for (int i = 0; i < 3; ++i) fix = svc.on_scan(empty_scan());
+  EXPECT_TRUE(fix.valid);
+  EXPECT_LT(geom::distance(fix.position, {20.0, 20.0}), 6.0);
+}
+
+TEST(LocationService, NoKalmanNoCoasting) {
+  Fixture f;
+  LocationServiceConfig cfg;
+  cfg.window_scans = 1;
+  cfg.min_scans = 1;
+  cfg.kalman_smoothing = false;
+  LocationService svc(f.locator, cfg);
+  EXPECT_TRUE(svc.on_scan(scan_at({20, 20})).valid);
+  EXPECT_FALSE(svc.on_scan(empty_scan()).valid);
+}
+
+TEST(LocationService, ResetForgetsEverything) {
+  Fixture f;
+  LocationService svc(f.locator);
+  for (int i = 0; i < 5; ++i) svc.on_scan(scan_at({20, 20}));
+  svc.reset();
+  EXPECT_FALSE(svc.current().valid);
+  EXPECT_TRUE(svc.current().place.empty());
+  EXPECT_EQ(svc.current().window_fill, 0u);
+}
+
+}  // namespace
+}  // namespace loctk::core

@@ -1,0 +1,94 @@
+// Unit tests for mobility paths.
+
+#include "core/path.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace loctk::core {
+namespace {
+
+TEST(WaypointPath, EmptyAndSingle) {
+  const WaypointPath empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.length(), 0.0);
+  EXPECT_EQ(empty.position_at(5.0), geom::Vec2());
+
+  const WaypointPath still({{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(still.length(), 0.0);
+  EXPECT_EQ(still.position_at(0.0), geom::Vec2(3.0, 4.0));
+  EXPECT_EQ(still.position_at(100.0), geom::Vec2(3.0, 4.0));
+  EXPECT_EQ(still.heading_at(0.0), geom::Vec2());
+}
+
+TEST(WaypointPath, LengthAndInterpolation) {
+  const WaypointPath path({{0, 0}, {10, 0}, {10, 5}});
+  EXPECT_DOUBLE_EQ(path.length(), 15.0);
+  EXPECT_EQ(path.position_at(0.0), geom::Vec2(0, 0));
+  EXPECT_EQ(path.position_at(5.0), geom::Vec2(5, 0));
+  EXPECT_EQ(path.position_at(10.0), geom::Vec2(10, 0));
+  EXPECT_EQ(path.position_at(12.5), geom::Vec2(10, 2.5));
+  EXPECT_EQ(path.position_at(15.0), geom::Vec2(10, 5));
+  // Clamping beyond the ends.
+  EXPECT_EQ(path.position_at(-3.0), geom::Vec2(0, 0));
+  EXPECT_EQ(path.position_at(99.0), geom::Vec2(10, 5));
+}
+
+TEST(WaypointPath, HeadingFollowsSegments) {
+  const WaypointPath path({{0, 0}, {10, 0}, {10, 5}});
+  EXPECT_TRUE(geom::almost_equal(path.heading_at(3.0), {1, 0}));
+  EXPECT_TRUE(geom::almost_equal(path.heading_at(12.0), {0, 1}));
+  // At (and beyond) the end: last segment's direction.
+  EXPECT_TRUE(geom::almost_equal(path.heading_at(15.0), {0, 1}));
+  EXPECT_TRUE(geom::almost_equal(path.heading_at(100.0), {0, 1}));
+}
+
+TEST(WaypointPath, TimeConvenience) {
+  const WaypointPath path({{0, 0}, {10, 0}});
+  EXPECT_EQ(path.position_at_time(2.0, 2.0), geom::Vec2(4, 0));
+  EXPECT_EQ(path.position_at_time(1.0), geom::Vec2(2, 0));  // 2 ft/s
+}
+
+TEST(WaypointPath, DuplicateWaypointsAreSafe) {
+  const WaypointPath path({{0, 0}, {0, 0}, {4, 0}});
+  EXPECT_DOUBLE_EQ(path.length(), 4.0);
+  EXPECT_EQ(path.position_at(2.0), geom::Vec2(2, 0));
+}
+
+TEST(PaperHouseTour, ClosedLoopInsideHouse) {
+  const WaypointPath tour = paper_house_tour();
+  EXPECT_GT(tour.length(), 100.0);
+  EXPECT_EQ(tour.waypoints().front(), tour.waypoints().back());
+  const geom::Rect house = geom::Rect::sized(50.0, 40.0);
+  for (double d = 0.0; d <= tour.length(); d += 2.5) {
+    EXPECT_TRUE(house.contains(tour.position_at(d))) << d;
+  }
+}
+
+TEST(RandomWaypoint, RespectsAreaAndLegConstraints) {
+  stats::Rng rng(2026);
+  const geom::Rect area = geom::Rect::sized(50.0, 40.0);
+  const WaypointPath path = random_waypoint_path(area, 12, rng, 3.0, 8.0);
+  ASSERT_EQ(path.waypoints().size(), 12u);
+  const geom::Rect inner = area.inflated(-3.0 + 1e-9);
+  for (std::size_t i = 0; i < path.waypoints().size(); ++i) {
+    EXPECT_TRUE(inner.contains(path.waypoints()[i])) << i;
+    if (i > 0) {
+      EXPECT_GE(geom::distance(path.waypoints()[i - 1],
+                               path.waypoints()[i]),
+                8.0 - 1e-9);
+    }
+  }
+}
+
+TEST(RandomWaypoint, DeterministicPerRngState) {
+  stats::Rng a(7), b(7);
+  const geom::Rect area = geom::Rect::sized(30.0, 30.0);
+  const WaypointPath pa = random_waypoint_path(area, 6, a);
+  const WaypointPath pb = random_waypoint_path(area, 6, b);
+  EXPECT_EQ(pa.waypoints(), pb.waypoints());
+}
+
+}  // namespace
+}  // namespace loctk::core

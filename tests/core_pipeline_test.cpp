@@ -1,0 +1,86 @@
+// Unit tests for the Testbed pipeline wiring (train/observe facades).
+
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traindb/generator.hpp"
+#include "wiscan/survey.hpp"
+
+namespace loctk::core {
+namespace {
+
+TEST(Testbed, TrainIsDeterministicPerSeed) {
+  Testbed tb(radio::make_paper_house());
+  const auto map = make_training_grid(tb.environment().footprint(), 10.0);
+  const auto a = tb.train(map, 20, 42);
+  const auto b = tb.train(map, 20, 42);
+  EXPECT_EQ(a, b);
+  const auto c = tb.train(map, 20, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Testbed, TrainMatchesManualSurveyPlusGenerator) {
+  // Testbed::train must be exactly the documented composition:
+  // survey -> collection -> generate_database.
+  Testbed tb(radio::make_paper_house());
+  const auto map = make_training_grid(tb.environment().footprint(), 10.0);
+  const auto via_testbed = tb.train(map, 15, 77);
+
+  radio::Scanner scanner = tb.make_scanner(77);
+  wiscan::SurveyConfig cfg;
+  cfg.scans_per_location = 15;
+  wiscan::SurveyCampaign campaign(scanner, cfg);
+  const auto manual =
+      traindb::generate_database(campaign.run(map), map);
+  EXPECT_EQ(via_testbed, manual);
+}
+
+TEST(Testbed, TrainForwardsGeneratorConfig) {
+  Testbed tb(radio::make_paper_house());
+  const auto map = make_training_grid(tb.environment().footprint(), 10.0);
+  traindb::GeneratorConfig cfg;
+  cfg.keep_samples = true;
+  cfg.site_name = "cfg-check";
+  const auto db = tb.train(map, 10, 5, cfg);
+  EXPECT_TRUE(db.has_samples());
+  EXPECT_EQ(db.site_name(), "cfg-check");
+}
+
+TEST(Testbed, ObserveShapesAndSessions) {
+  Testbed tb(radio::make_paper_house());
+  const std::vector<geom::Vec2> truths = {{10.0, 10.0}, {30.0, 25.0}};
+  const auto obs = tb.observe(truths, 12, 9);
+  ASSERT_EQ(obs.size(), 2u);
+  for (const Observation& o : obs) {
+    EXPECT_FALSE(o.empty());
+    for (const ObservedAp& ap : o.aps()) {
+      EXPECT_LE(ap.sample_count, 12u);
+      EXPECT_GE(ap.sample_count, 1u);
+    }
+  }
+  // Zero points / zero scans degrade gracefully.
+  EXPECT_TRUE(tb.observe({}, 12, 9).empty());
+  const auto empty_scans = tb.observe(truths, 0, 9);
+  ASSERT_EQ(empty_scans.size(), 2u);
+  EXPECT_TRUE(empty_scans[0].empty());
+}
+
+TEST(Testbed, ChannelConfigIsHonored) {
+  radio::ChannelConfig quiet;
+  quiet.shadowing_sigma_db = 0.0;
+  quiet.fast_fading_sigma_db = 0.0;
+  quiet.quantize_dbm = false;
+  quiet.sensitivity_dbm = -150.0;
+  quiet.dropout_softness_db = 0.0;
+  Testbed tb(radio::make_paper_house(), radio::PropagationConfig{},
+             quiet);
+  // With a noiseless channel, repeated observations are identical
+  // even across different seeds.
+  const auto a = tb.observe({{20.0, 20.0}}, 5, 1)[0];
+  const auto b = tb.observe({{20.0, 20.0}}, 5, 999)[0];
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace loctk::core

@@ -1,0 +1,104 @@
+// Unit tests for the AP placement planner.
+
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace loctk::core {
+namespace {
+
+radio::Environment bare_site() {
+  return radio::Environment(geom::Rect::sized(40.0, 40.0));
+}
+
+TEST(CandidateLattice, CoversInteriorWithMargin) {
+  const auto cands =
+      candidate_lattice(geom::Rect::sized(40.0, 40.0), 10.0, 2.0);
+  EXPECT_FALSE(cands.empty());
+  for (const geom::Vec2 c : cands) {
+    EXPECT_GE(c.x, 2.0);
+    EXPECT_LE(c.x, 38.0);
+    EXPECT_GE(c.y, 2.0);
+    EXPECT_LE(c.y, 38.0);
+  }
+  // 2..38 at pitch 10 -> {2,12,22,32} per axis.
+  EXPECT_EQ(cands.size(), 16u);
+}
+
+TEST(WithAps, BuildsNamedDeployment) {
+  radio::Environment site = bare_site();
+  site.add_wall({{{20.0, 0.0}, {20.0, 40.0}}, 4.0, "w"});
+  const radio::Environment env =
+      with_aps(site, {{5.0, 5.0}, {35.0, 35.0}});
+  EXPECT_EQ(env.access_points().size(), 2u);
+  EXPECT_EQ(env.access_points()[0].name, "AP0");
+  EXPECT_EQ(env.walls().size(), 1u);
+  EXPECT_EQ(env.footprint(), site.footprint());
+  // BSSIDs distinct.
+  EXPECT_NE(env.access_points()[0].bssid, env.access_points()[1].bssid);
+}
+
+TEST(ScorePlacement, SpreadBeatsClump) {
+  const radio::Environment site = bare_site();
+  PlacementConfig cfg;
+  cfg.propagation.multipath_amplitude_db = 0.0;  // deterministic physics
+  const PlacementResult spread = score_placement(
+      site, {{2.0, 2.0}, {38.0, 2.0}, {38.0, 38.0}, {2.0, 38.0}}, cfg);
+  const PlacementResult clump = score_placement(
+      site, {{18.0, 18.0}, {20.0, 18.0}, {20.0, 20.0}, {18.0, 20.0}},
+      cfg);
+  EXPECT_GT(spread.min_separation_db, clump.min_separation_db);
+  EXPECT_GT(spread.mean_separation_db, clump.mean_separation_db);
+  EXPECT_LE(spread.confusable_fraction, clump.confusable_fraction);
+}
+
+TEST(PlanPlacement, PicksDistinctCandidatesAndImproves) {
+  const radio::Environment site = bare_site();
+  PlacementConfig cfg;
+  cfg.propagation.multipath_amplitude_db = 0.0;
+  const auto cands = candidate_lattice(site.footprint(), 12.0, 2.0);
+  const PlacementResult plan = plan_ap_placement(site, cands, 4, cfg);
+
+  ASSERT_EQ(plan.chosen.size(), 4u);
+  const std::set<std::size_t> unique(plan.chosen.begin(),
+                                     plan.chosen.end());
+  EXPECT_EQ(unique.size(), 4u);
+  EXPECT_GT(plan.min_separation_db, 0.0);
+
+  // The greedy plan should beat (or match) a deliberately bad clump
+  // of the same size built from lattice points.
+  std::vector<geom::Vec2> clump(cands.begin(), cands.begin() + 4);
+  const PlacementResult bad = score_placement(
+      site, clump, cfg);
+  EXPECT_GE(plan.min_separation_db, bad.min_separation_db - 1e-9);
+}
+
+TEST(PlanPlacement, MonotoneInK) {
+  // More APs never reduce the bottleneck separation (greedy keeps the
+  // earlier picks).
+  const radio::Environment site = bare_site();
+  PlacementConfig cfg;
+  cfg.propagation.multipath_amplitude_db = 0.0;
+  const auto cands = candidate_lattice(site.footprint(), 15.0, 3.0);
+  double prev = -1.0;
+  for (const std::size_t k : {2u, 3u, 4u}) {
+    const PlacementResult plan = plan_ap_placement(site, cands, k, cfg);
+    EXPECT_GE(plan.min_separation_db, prev - 1e-9) << "k=" << k;
+    prev = plan.min_separation_db;
+  }
+}
+
+TEST(PlanPlacement, EdgeCases) {
+  const radio::Environment site = bare_site();
+  EXPECT_TRUE(plan_ap_placement(site, {}, 4).chosen.empty());
+  EXPECT_TRUE(plan_ap_placement(site, {{1.0, 1.0}}, 0).chosen.empty());
+  // k larger than the candidate set clamps.
+  const auto plan = plan_ap_placement(site, {{1.0, 1.0}, {30.0, 30.0}}, 9);
+  EXPECT_EQ(plan.chosen.size(), 2u);
+}
+
+}  // namespace
+}  // namespace loctk::core

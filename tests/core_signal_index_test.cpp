@@ -1,0 +1,129 @@
+// Unit + property tests for the k-d signal index: must return exactly
+// what the brute-force scan returns, for every k and many queries.
+
+#include "core/signal_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+#include "test_fixtures.hpp"
+
+namespace loctk::core {
+namespace {
+
+using testing::fixture_observation;
+using testing::make_fixture_db;
+
+// Reference: brute-force k nearest by signature distance.
+std::vector<IndexedNeighbor> brute_force(
+    const traindb::TrainingDatabase& db, std::span<const double> sig,
+    int k, double missing) {
+  std::vector<IndexedNeighbor> all;
+  for (const traindb::TrainingPoint& tp : db.points()) {
+    const auto tsig = tp.signature(db.bssid_universe(), missing);
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < tsig.size(); ++d) {
+      const double diff = sig[d] - tsig[d];
+      d2 += diff * diff;
+    }
+    all.push_back({&tp, d2});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const IndexedNeighbor& a, const IndexedNeighbor& b) {
+              return a.distance2 < b.distance2;
+            });
+  if (static_cast<int>(all.size()) > k) {
+    all.resize(static_cast<std::size_t>(k));
+  }
+  return all;
+}
+
+TEST(SignalIndex, BuildShape) {
+  const auto db = make_fixture_db();
+  const SignalIndex index(db);
+  EXPECT_EQ(index.size(), db.size());
+  EXPECT_EQ(index.dimensions(), db.bssid_universe().size());
+}
+
+TEST(SignalIndex, NearestAtTrainingPointIsItself) {
+  const auto db = make_fixture_db();
+  const SignalIndex index(db);
+  for (const traindb::TrainingPoint& tp : db.points()) {
+    const auto result = index.nearest(fixture_observation(tp.position), 1);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0].point->location, tp.location);
+    EXPECT_NEAR(result[0].distance2, 0.0, 1e-9);
+  }
+}
+
+TEST(SignalIndex, SortedAscending) {
+  const auto db = make_fixture_db();
+  const SignalIndex index(db);
+  const auto result = index.nearest(fixture_observation({17.0, 23.0}), 8);
+  ASSERT_EQ(result.size(), 8u);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_GE(result[i].distance2, result[i - 1].distance2);
+  }
+}
+
+TEST(SignalIndex, KClampsAndEdgeCases) {
+  const auto db = make_fixture_db(20.0);  // 3x3 grid
+  const SignalIndex index(db);
+  EXPECT_EQ(index.nearest(fixture_observation({20, 20}), 100).size(), 9u);
+  EXPECT_TRUE(index.nearest(fixture_observation({20, 20}), 0).empty());
+  // Wrong-length signature rejected.
+  const std::vector<double> bad(2, -60.0);
+  EXPECT_TRUE(index.nearest(bad, 3).empty());
+
+  traindb::TrainingDatabase empty;
+  const SignalIndex empty_index(empty);
+  EXPECT_TRUE(
+      empty_index.nearest(std::vector<double>{}, 3).empty());
+}
+
+// Property: index == brute force for random queries, all k.
+class IndexEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexEquivalence, MatchesBruteForce) {
+  const int k = GetParam();
+  const auto db = make_fixture_db(5.0);  // 9x9 = 81 points
+  const double missing = -100.0;
+  const SignalIndex index(db, missing);
+
+  stats::Rng rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> query(db.bssid_universe().size());
+    for (double& v : query) v = rng.uniform(-95.0, -30.0);
+
+    const auto fast = index.nearest(query, k);
+    const auto slow = brute_force(db, query, k, missing);
+    ASSERT_EQ(fast.size(), slow.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      // Distances must agree; points may differ only on exact ties.
+      EXPECT_NEAR(fast[i].distance2, slow[i].distance2, 1e-9)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, IndexEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 9, 20, 81));
+
+TEST(SignalIndex, ObservationQueryUsesUniverseOrder) {
+  const auto db = make_fixture_db();
+  const SignalIndex index(db);
+  const Observation obs = fixture_observation({10.0, 20.0});
+  const auto via_obs = index.nearest(obs, 3);
+  const auto via_sig =
+      index.nearest(obs.signature(db.bssid_universe(), -100.0), 3);
+  ASSERT_EQ(via_obs.size(), via_sig.size());
+  for (std::size_t i = 0; i < via_obs.size(); ++i) {
+    EXPECT_EQ(via_obs[i].point, via_sig[i].point);
+  }
+}
+
+}  // namespace
+}  // namespace loctk::core

@@ -1,0 +1,191 @@
+// Unit tests for the Kalman and particle-filter trackers (the paper's
+// future-work §6 item 2: history + Bayesian filtering).
+
+#include "core/tracking.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/probabilistic.hpp"
+#include "stats/rng.hpp"
+#include "test_fixtures.hpp"
+
+namespace loctk::core {
+namespace {
+
+using testing::fixture_observation;
+using testing::make_fixture_db;
+
+TEST(Kalman, FirstUpdateInitializesVerbatim) {
+  KalmanTracker kf;
+  EXPECT_FALSE(kf.initialized());
+  const geom::Vec2 out = kf.update({10.0, 20.0});
+  EXPECT_TRUE(kf.initialized());
+  EXPECT_EQ(out, geom::Vec2(10.0, 20.0));
+  EXPECT_EQ(kf.position(), geom::Vec2(10.0, 20.0));
+  EXPECT_EQ(kf.velocity(), geom::Vec2(0.0, 0.0));
+}
+
+TEST(Kalman, ConvergesOnStaticTarget) {
+  KalmanConfig cfg;
+  cfg.measurement_sigma_ft = 5.0;
+  KalmanTracker kf(cfg);
+  stats::Rng rng(5);
+  const geom::Vec2 truth{25.0, 15.0};
+  geom::Vec2 last;
+  for (int i = 0; i < 60; ++i) {
+    last = kf.update({truth.x + rng.normal(0.0, 5.0),
+                      truth.y + rng.normal(0.0, 5.0)});
+  }
+  EXPECT_LT(geom::distance(last, truth), 3.0);
+  EXPECT_LT(kf.velocity().norm(), 1.0);
+}
+
+TEST(Kalman, SmoothsNoisyMeasurementsOfMovingTarget) {
+  // Constant-velocity target; filtered RMS error must beat raw RMS.
+  KalmanConfig cfg;
+  cfg.measurement_sigma_ft = 6.0;
+  cfg.accel_sigma = 0.5;
+  KalmanTracker kf(cfg);
+  stats::Rng rng(7);
+  double raw_se = 0.0, filt_se = 0.0;
+  int n = 0;
+  for (int step = 0; step < 200; ++step) {
+    const geom::Vec2 truth{5.0 + 0.5 * step, 10.0 + 0.25 * step};
+    const geom::Vec2 meas{truth.x + rng.normal(0.0, 6.0),
+                          truth.y + rng.normal(0.0, 6.0)};
+    const geom::Vec2 filt = kf.update(meas);
+    if (step >= 20) {  // after burn-in
+      raw_se += geom::distance2(meas, truth);
+      filt_se += geom::distance2(filt, truth);
+      ++n;
+    }
+  }
+  EXPECT_LT(std::sqrt(filt_se / n), 0.7 * std::sqrt(raw_se / n));
+}
+
+TEST(Kalman, PredictCoastsAlongVelocity) {
+  KalmanConfig cfg;
+  cfg.dt_s = 1.0;
+  KalmanTracker kf(cfg);
+  // Feed a clean constant-velocity track to learn the velocity.
+  for (int i = 0; i <= 30; ++i) {
+    kf.update({static_cast<double>(i), 0.0});
+  }
+  const geom::Vec2 before = kf.position();
+  const geom::Vec2 coasted = kf.predict();
+  EXPECT_GT(coasted.x, before.x + 0.5);  // kept moving in +x
+  EXPECT_NEAR(coasted.y, 0.0, 0.5);
+}
+
+TEST(Kalman, PredictBeforeInitIsNoop) {
+  KalmanTracker kf;
+  EXPECT_EQ(kf.predict(), geom::Vec2());
+  EXPECT_FALSE(kf.initialized());
+}
+
+TEST(Kalman, ResetClearsState) {
+  KalmanTracker kf;
+  kf.update({5.0, 5.0});
+  kf.reset();
+  EXPECT_FALSE(kf.initialized());
+  EXPECT_EQ(kf.update({1.0, 2.0}), geom::Vec2(1.0, 2.0));
+}
+
+TEST(TrackedLocator, WrapsBaseAndCoastsThroughDropouts) {
+  const auto db = make_fixture_db();
+  const ProbabilisticLocator base(db);
+  TrackedLocator tracked(base);
+  EXPECT_EQ(tracked.name(), "probabilistic-ml+kalman");
+
+  // Warm up with valid observations near (20, 20).
+  LocationEstimate est;
+  for (int i = 0; i < 10; ++i) {
+    est = tracked.locate(fixture_observation({20.0, 20.0}));
+    ASSERT_TRUE(est.valid);
+  }
+  // Dropout: empty observation, the base fails but the tracker coasts.
+  est = tracked.locate(Observation{});
+  EXPECT_TRUE(est.valid);
+  EXPECT_LT(geom::distance(est.position, {20.0, 20.0}), 8.0);
+}
+
+TEST(ParticleFilter, ConvergesOnStaticClient) {
+  const auto db = make_fixture_db();
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 300;
+  cfg.motion_sigma_ft = 2.0;
+  ParticleFilterTracker pf(db, geom::Rect::sized(40.0, 40.0), cfg);
+  EXPECT_EQ(pf.particle_count(), 300);
+
+  const geom::Vec2 truth{12.0, 28.0};
+  geom::Vec2 est;
+  for (int i = 0; i < 20; ++i) {
+    est = pf.step(fixture_observation(truth));
+  }
+  EXPECT_LT(geom::distance(est, truth), 5.0);
+}
+
+TEST(ParticleFilter, TracksAMovingClient) {
+  const auto db = make_fixture_db();
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 400;
+  cfg.motion_sigma_ft = 2.5;
+  ParticleFilterTracker pf(db, geom::Rect::sized(40.0, 40.0), cfg);
+
+  // Walk along y = 20 from x = 5 to x = 35; after convergence the
+  // estimate should stay within a few feet of the walker.
+  double worst_late_error = 0.0;
+  for (int step = 0; step <= 30; ++step) {
+    const geom::Vec2 truth{5.0 + step, 20.0};
+    const geom::Vec2 est = pf.step(fixture_observation(truth));
+    if (step >= 10) {
+      worst_late_error =
+          std::max(worst_late_error, geom::distance(est, truth));
+    }
+  }
+  EXPECT_LT(worst_late_error, 8.0);
+}
+
+TEST(ParticleFilter, EffectiveSampleSizeAndReset) {
+  const auto db = make_fixture_db();
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 100;
+  ParticleFilterTracker pf(db, geom::Rect::sized(40.0, 40.0), cfg);
+  // Uniform weights: ESS == N.
+  EXPECT_NEAR(pf.effective_sample_size(), 100.0, 1e-9);
+  pf.step(fixture_observation({20.0, 20.0}));
+  EXPECT_GT(pf.effective_sample_size(), 1.0);
+  pf.reset();
+  EXPECT_NEAR(pf.effective_sample_size(), 100.0, 1e-9);
+}
+
+TEST(ParticleFilter, EmptyObservationOnlyDiffuses) {
+  const auto db = make_fixture_db();
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 200;
+  ParticleFilterTracker pf(db, geom::Rect::sized(40.0, 40.0), cfg);
+  // Converge first.
+  for (int i = 0; i < 10; ++i) pf.step(fixture_observation({20.0, 20.0}));
+  const geom::Vec2 before = pf.estimate();
+  pf.step(Observation{});  // no measurement
+  // Estimate drifts only slightly (motion noise), never jumps.
+  EXPECT_LT(geom::distance(pf.estimate(), before), 5.0);
+}
+
+TEST(ParticleFilter, DeterministicForSeed) {
+  const auto db = make_fixture_db();
+  ParticleFilterConfig cfg;
+  cfg.seed = 1234;
+  ParticleFilterTracker a(db, geom::Rect::sized(40.0, 40.0), cfg);
+  ParticleFilterTracker b(db, geom::Rect::sized(40.0, 40.0), cfg);
+  for (int i = 0; i < 5; ++i) {
+    const geom::Vec2 ea = a.step(fixture_observation({10.0, 10.0}));
+    const geom::Vec2 eb = b.step(fixture_observation({10.0, 10.0}));
+    EXPECT_EQ(ea, eb);
+  }
+}
+
+}  // namespace
+}  // namespace loctk::core

@@ -1,0 +1,97 @@
+// Unit tests for the coverage heat-map renderer.
+
+#include "floorplan/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "floorplan/processor.hpp"
+#include "radio/propagation.hpp"
+
+namespace loctk::floorplan {
+namespace {
+
+TEST(HeatColor, RampEndsAndMonotoneRedness) {
+  const image::Color cold = heat_color(0.0);
+  const image::Color hot = heat_color(1.0);
+  EXPECT_GT(cold.b, cold.r);  // blue end
+  EXPECT_GT(hot.r, hot.b);    // red end
+  // Clamping.
+  EXPECT_EQ(heat_color(-1.0), cold);
+  EXPECT_EQ(heat_color(2.0), hot);
+  // Red channel grows (not strictly, but ends apart).
+  EXPECT_GT(hot.r, cold.r);
+}
+
+TEST(HeatColor, ContinuousAtStops) {
+  for (const double t : {0.25, 0.5, 0.75}) {
+    const image::Color before = heat_color(t - 1e-6);
+    const image::Color at = heat_color(t);
+    EXPECT_NEAR(before.r, at.r, 2);
+    EXPECT_NEAR(before.g, at.g, 2);
+    EXPECT_NEAR(before.b, at.b, 2);
+  }
+}
+
+TEST(RenderFieldHeatmap, GradientFieldPaintsRamp) {
+  radio::Environment env(geom::Rect::sized(40.0, 30.0));
+  HeatmapOptions opts;
+  opts.lo_value = 0.0;
+  opts.hi_value = 40.0;
+  opts.pixels_per_foot = 4.0;
+  opts.draw_legend = false;
+  opts.draw_aps = false;
+  opts.draw_walls = false;
+  const image::Raster img = render_field_heatmap(
+      env, [](geom::Vec2 w) { return w.x; }, opts);
+
+  // Left edge of the footprint is cold (blue-ish), right edge hot.
+  const image::Color left = img.at(opts.margin_px + 4, img.height() / 2);
+  const image::Color right =
+      img.at(img.width() - opts.margin_px - 4, img.height() / 2);
+  EXPECT_GT(left.b, left.r);
+  EXPECT_GT(right.r, right.b);
+  // Margins stay white.
+  EXPECT_EQ(img.at(2, 2), image::colors::kWhite);
+}
+
+TEST(RenderFieldHeatmap, DecorationsAppear) {
+  const radio::Environment env = radio::make_paper_house();
+  const radio::Propagation prop(env);
+  HeatmapOptions opts;
+  opts.title = "AP A coverage";
+  const image::Raster img = render_field_heatmap(
+      env, [&](geom::Vec2 w) { return prop.mean_rssi_dbm(0, w); }, opts);
+
+  // Walls drawn in dark gray, AP labels/markers in white, title and
+  // legend frame in black.
+  EXPECT_GT(img.count_pixels(image::colors::kDarkGray), 50u);
+  EXPECT_GT(img.count_pixels(image::colors::kWhite), 100u);
+  EXPECT_GT(img.count_pixels(image::colors::kBlack), 50u);
+}
+
+TEST(RenderFieldHeatmap, StrongestNearTheAp) {
+  const radio::Environment env = radio::make_paper_house();
+  const radio::Propagation prop(env);
+  HeatmapOptions opts;
+  opts.draw_aps = false;
+  opts.draw_walls = false;
+  opts.draw_legend = false;
+  const image::Raster img = render_field_heatmap(
+      env, [&](geom::Vec2 w) { return prop.mean_rssi_dbm(0, w); }, opts);
+
+  // Pixel near AP A (world ~(2,2)) should be much redder than the
+  // far corner (world ~(48,38)).
+  FloorPlan plan = render_environment(env, opts.pixels_per_foot,
+                                      opts.margin_px);
+  const PixelPoint near_ap = plan.to_pixel({4.0, 4.0});
+  const PixelPoint far = plan.to_pixel({46.0, 36.0});
+  const image::Color c_near = img.at(static_cast<int>(near_ap.x),
+                                     static_cast<int>(near_ap.y));
+  const image::Color c_far =
+      img.at(static_cast<int>(far.x), static_cast<int>(far.y));
+  EXPECT_GT(static_cast<int>(c_near.r) - c_near.b,
+            static_cast<int>(c_far.r) - c_far.b);
+}
+
+}  // namespace
+}  // namespace loctk::floorplan

@@ -1,0 +1,192 @@
+// Unit tests for the FloorPlan model and the Floor Plan Processor's
+// six operations (paper §4.1).
+
+#include "floorplan/floor_plan.hpp"
+#include "floorplan/processor.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "image/codec_bmp.hpp"
+#include "radio/environment.hpp"
+
+namespace loctk::floorplan {
+namespace {
+
+namespace fs = std::filesystem;
+
+FloorPlan calibrated_plan() {
+  FloorPlan plan{image::Raster(200, 100)};
+  plan.set_feet_per_pixel(0.5);      // 2 px per foot
+  plan.set_origin({10.0, 90.0});     // origin near the bottom-left
+  return plan;
+}
+
+TEST(FloorPlan, ScaleFromTwoClicks) {
+  FloorPlan plan{image::Raster(100, 100)};
+  EXPECT_FALSE(plan.calibrated());
+  // Clicks 50 px apart representing 25 ft -> 0.5 ft per px.
+  plan.set_scale_from_points({10.0, 10.0}, {60.0, 10.0}, 25.0);
+  ASSERT_TRUE(plan.feet_per_pixel().has_value());
+  EXPECT_DOUBLE_EQ(*plan.feet_per_pixel(), 0.5);
+  EXPECT_FALSE(plan.calibrated());  // origin still missing
+  plan.set_origin({0.0, 99.0});
+  EXPECT_TRUE(plan.calibrated());
+}
+
+TEST(FloorPlan, ScaleErrors) {
+  FloorPlan plan{image::Raster(10, 10)};
+  EXPECT_THROW(plan.set_scale_from_points({5, 5}, {5, 5}, 10.0),
+               FloorPlanError);
+  EXPECT_THROW(plan.set_scale_from_points({0, 0}, {5, 0}, 0.0),
+               FloorPlanError);
+  EXPECT_THROW(plan.set_scale_from_points({0, 0}, {5, 0}, -2.0),
+               FloorPlanError);
+  EXPECT_THROW(plan.set_feet_per_pixel(0.0), FloorPlanError);
+}
+
+TEST(FloorPlan, WorldPixelRoundTripWithYFlip) {
+  const FloorPlan plan = calibrated_plan();
+  // The origin pixel maps to world (0, 0).
+  const geom::Vec2 w0 = plan.to_world({10.0, 90.0});
+  EXPECT_TRUE(geom::almost_equal(w0, {0.0, 0.0}));
+  // One pixel up in the raster = +0.5 ft in world y.
+  const geom::Vec2 up = plan.to_world({10.0, 89.0});
+  EXPECT_TRUE(geom::almost_equal(up, {0.0, 0.5}));
+  // Round trip.
+  const geom::Vec2 w{12.25, 7.5};
+  const PixelPoint p = plan.to_pixel(w);
+  EXPECT_TRUE(geom::almost_equal(plan.to_world(p), w, 1e-12));
+}
+
+TEST(FloorPlan, UncalibratedTransformsThrow) {
+  FloorPlan plan{image::Raster(10, 10)};
+  EXPECT_THROW(plan.to_world({0.0, 0.0}), FloorPlanError);
+  EXPECT_THROW(plan.to_pixel({0.0, 0.0}), FloorPlanError);
+  plan.set_feet_per_pixel(1.0);
+  EXPECT_THROW(plan.to_world({0.0, 0.0}), FloorPlanError);  // no origin
+}
+
+TEST(FloorPlan, WorldBounds) {
+  const FloorPlan plan = calibrated_plan();
+  const geom::Rect wb = plan.world_bounds();
+  // 200 px x 100 px at 0.5 ft/px = 100 ft x 50 ft, origin at (10,90).
+  EXPECT_DOUBLE_EQ(wb.width(), 100.0);
+  EXPECT_DOUBLE_EQ(wb.height(), 50.0);
+  EXPECT_DOUBLE_EQ(wb.min.x, -5.0);   // 10 px left of origin
+  EXPECT_DOUBLE_EQ(wb.max.y, 45.0);   // 90 px above origin
+}
+
+TEST(FloorPlan, AccessPointsAndPlaces) {
+  FloorPlan plan = calibrated_plan();
+  plan.add_access_point("A", {10.0, 90.0});
+  plan.add_place("kitchen", {30.0, 90.0});  // 10 ft east of origin
+  ASSERT_TRUE(plan.access_point_world("A").has_value());
+  EXPECT_TRUE(geom::almost_equal(*plan.access_point_world("A"), {0, 0}));
+  EXPECT_TRUE(
+      geom::almost_equal(*plan.place_world("kitchen"), {10.0, 0.0}));
+  EXPECT_FALSE(plan.access_point_world("Z").has_value());
+  EXPECT_FALSE(plan.place_world("attic").has_value());
+}
+
+TEST(FloorPlan, NearestPlaceAbstraction) {
+  FloorPlan plan = calibrated_plan();
+  EXPECT_FALSE(plan.nearest_place({0.0, 0.0}).has_value());
+  plan.add_place("west", {20.0, 90.0});   // world (5, 0)
+  plan.add_place("east", {90.0, 90.0});   // world (40, 0)
+  EXPECT_EQ(*plan.nearest_place({6.0, 1.0}), "west");
+  EXPECT_EQ(*plan.nearest_place({39.0, 0.0}), "east");
+}
+
+TEST(Processor, SixOperationsAndSaveLoadRoundTrip) {
+  const auto dir = fs::temp_directory_path() / "loctk_fpa";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  FloorPlanProcessor proc{FloorPlan{image::Raster(120, 80)}};
+  proc.set_scale({0.0, 0.0}, {100.0, 0.0}, 50.0);  // (3)
+  proc.set_origin({10.0, 70.0});                    // (4)
+  proc.add_access_point("A", {12.0, 68.0});         // (2)
+  proc.add_access_point("B", {110.0, 68.0});
+  proc.add_location_name("Room D22", {60.0, 30.0});  // (5)
+  proc.add_location_name("Center of Hallway", {60.0, 50.0});
+  proc.save(dir / "house.ppm");                     // (6)
+
+  EXPECT_TRUE(fs::exists(dir / "house.ppm"));
+  EXPECT_TRUE(fs::exists(dir / "house.fpa"));
+
+  const FloorPlanProcessor back =
+      FloorPlanProcessor::load(dir / "house.fpa");  // (1) + sidecar
+  const FloorPlan& plan = back.plan();
+  EXPECT_EQ(plan.raster().width(), 120);
+  ASSERT_TRUE(plan.calibrated());
+  EXPECT_DOUBLE_EQ(*plan.feet_per_pixel(), 0.5);
+  ASSERT_EQ(plan.access_points().size(), 2u);
+  EXPECT_EQ(plan.access_points()[0].name, "A");
+  EXPECT_EQ(plan.access_points()[0].pixel, PixelPoint(12.0, 68.0));
+  ASSERT_EQ(plan.places().size(), 2u);
+  EXPECT_EQ(plan.places()[0].name, "Room D22");
+  EXPECT_EQ(plan.places()[1].name, "Center of Hallway");
+  fs::remove_all(dir);
+}
+
+TEST(Processor, SaveBmpVariant) {
+  const auto dir = fs::temp_directory_path() / "loctk_fpa_bmp";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  FloorPlanProcessor proc{FloorPlan{image::Raster(16, 16)}};
+  proc.save(dir / "p.bmp");
+  EXPECT_TRUE(fs::exists(dir / "p.fpa"));
+  const auto back = FloorPlanProcessor::load(dir / "p.fpa");
+  EXPECT_EQ(back.plan().raster().width(), 16);
+  fs::remove_all(dir);
+}
+
+TEST(Processor, LoadErrors) {
+  const auto dir = fs::temp_directory_path() / "loctk_fpa_err";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  EXPECT_THROW(FloorPlanProcessor::load(dir / "missing.fpa"),
+               FloorPlanError);
+  {
+    std::ofstream(dir / "bad.fpa") << "garbage line here\n";
+  }
+  EXPECT_THROW(FloorPlanProcessor::load(dir / "bad.fpa"),
+               FloorPlanError);
+  {
+    std::ofstream(dir / "noimg.fpa") << "# floorplan-annotations v1\n";
+  }
+  EXPECT_THROW(FloorPlanProcessor::load(dir / "noimg.fpa"),
+               FloorPlanError);
+  fs::remove_all(dir);
+}
+
+TEST(AnnotationPath, DerivedFromImagePath) {
+  EXPECT_EQ(annotation_path_for("dir/house.ppm"),
+            fs::path("dir/house.fpa"));
+  EXPECT_EQ(annotation_path_for("plan.bmp"), fs::path("plan.fpa"));
+}
+
+TEST(RenderEnvironment, ProducesCalibratedAnnotatedPlan) {
+  const radio::Environment env = radio::make_paper_house();
+  const FloorPlan plan = render_environment(env, 8.0, 24);
+  ASSERT_TRUE(plan.calibrated());
+  // 50x40 ft at 8 px/ft plus 24 px margins.
+  EXPECT_EQ(plan.raster().width(), 50 * 8 + 48);
+  EXPECT_EQ(plan.raster().height(), 40 * 8 + 48);
+  // All four APs placed, and their world positions round-trip.
+  ASSERT_EQ(plan.access_points().size(), 4u);
+  for (const radio::AccessPoint& ap : env.access_points()) {
+    const auto world = plan.access_point_world(ap.name);
+    ASSERT_TRUE(world.has_value()) << ap.name;
+    EXPECT_TRUE(geom::almost_equal(*world, ap.position, 0.51))
+        << ap.name;  // within a pixel's worth of feet
+  }
+  // Walls painted: the raster is not blank.
+  EXPECT_GT(plan.raster().count_pixels(image::colors::kDarkGray), 50u);
+}
+
+}  // namespace
+}  // namespace loctk::floorplan

@@ -1,0 +1,137 @@
+// Unit tests for circle intersection — the §5.2 geometric locator's
+// core primitive. Real RSSI-derived circles are often disjoint or
+// nested, so the best-effort fallbacks get as much coverage as the
+// happy path.
+
+#include "geom/circle.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace loctk::geom {
+namespace {
+
+TEST(Circle, Contains) {
+  const Circle c{{0.0, 0.0}, 5.0};
+  EXPECT_TRUE(c.contains({3.0, 4.0}));   // on the ring
+  EXPECT_TRUE(c.contains({1.0, 1.0}));
+  EXPECT_FALSE(c.contains({4.0, 4.0}));
+}
+
+TEST(IntersectCircles, TwoPoints) {
+  // Unit-radius circles centered 1 apart: intersections at
+  // x = 0.5, y = +-sqrt(3)/2.
+  const Circle a{{0.0, 0.0}, 1.0};
+  const Circle b{{1.0, 0.0}, 1.0};
+  const CircleIntersection ix = intersect_circles(a, b);
+  ASSERT_EQ(ix.count, 2);
+  const double h = std::sqrt(3.0) / 2.0;
+  // Both orderings acceptable; sort by y.
+  const Vec2 hi = ix.p1.y > ix.p2.y ? ix.p1 : ix.p2;
+  const Vec2 lo = ix.p1.y > ix.p2.y ? ix.p2 : ix.p1;
+  EXPECT_TRUE(almost_equal(hi, {0.5, h}, 1e-9));
+  EXPECT_TRUE(almost_equal(lo, {0.5, -h}, 1e-9));
+}
+
+TEST(IntersectCircles, TangentExternal) {
+  const Circle a{{0.0, 0.0}, 2.0};
+  const Circle b{{5.0, 0.0}, 3.0};
+  const CircleIntersection ix = intersect_circles(a, b);
+  ASSERT_EQ(ix.count, 1);
+  EXPECT_TRUE(almost_equal(ix.p1, {2.0, 0.0}, 1e-6));
+}
+
+TEST(IntersectCircles, TangentInternal) {
+  const Circle a{{0.0, 0.0}, 5.0};
+  const Circle b{{2.0, 0.0}, 3.0};
+  const CircleIntersection ix = intersect_circles(a, b);
+  ASSERT_EQ(ix.count, 1);
+  EXPECT_TRUE(almost_equal(ix.p1, {5.0, 0.0}, 1e-6));
+}
+
+TEST(IntersectCircles, DisjointBestEffortBetweenRings) {
+  const Circle a{{0.0, 0.0}, 1.0};
+  const Circle b{{10.0, 0.0}, 2.0};
+  const CircleIntersection ix = intersect_circles(a, b);
+  EXPECT_EQ(ix.count, 0);
+  // Gap spans x in [1, 8]; midpoint of the gap is 4.5.
+  EXPECT_TRUE(almost_equal(ix.p1, {4.5, 0.0}, 1e-9));
+}
+
+TEST(IntersectCircles, NestedBestEffortBetweenRings) {
+  const Circle outer{{0.0, 0.0}, 10.0};
+  const Circle inner{{1.0, 0.0}, 2.0};
+  const Vec2 p = circle_pair_point(outer, inner);
+  // Inner ring's far point from origin along +x: x = 3; outer ring at
+  // x = 10; halfway between the rings: x = 6.5, y = 0.
+  EXPECT_TRUE(almost_equal(p, {6.5, 0.0}, 1e-9));
+  // And the point sits inside the outer, outside the inner.
+  EXPECT_TRUE(outer.contains(p));
+  EXPECT_FALSE(inner.contains(p));
+}
+
+TEST(IntersectCircles, ConcentricReturnsMidpoint) {
+  const Circle a{{2.0, 3.0}, 1.0};
+  const Circle b{{2.0, 3.0}, 4.0};
+  const CircleIntersection ix = intersect_circles(a, b);
+  EXPECT_EQ(ix.count, 0);
+  EXPECT_TRUE(almost_equal(ix.p1, {2.0, 3.0}));
+}
+
+TEST(CirclePairPoint, OverlappingIsChordMidpoint) {
+  const Circle a{{0.0, 0.0}, 1.0};
+  const Circle b{{1.0, 0.0}, 1.0};
+  const Vec2 p = circle_pair_point(a, b);
+  EXPECT_TRUE(almost_equal(p, {0.5, 0.0}, 1e-9));
+}
+
+TEST(CirclePairPoints, MatchesIntersectionWhenCrossing) {
+  const Circle a{{0.0, 0.0}, 5.0};
+  const Circle b{{6.0, 0.0}, 5.0};
+  const auto [p1, p2] = circle_pair_points(a, b);
+  EXPECT_NE(p1, p2);
+  EXPECT_NEAR(distance(p1, a.center), 5.0, 1e-9);
+  EXPECT_NEAR(distance(p1, b.center), 5.0, 1e-9);
+  EXPECT_NEAR(distance(p2, a.center), 5.0, 1e-9);
+  EXPECT_NEAR(distance(p2, b.center), 5.0, 1e-9);
+}
+
+TEST(CirclePairPoint, ZeroRadiusPair) {
+  const Circle a{{0.0, 0.0}, 0.0};
+  const Circle b{{4.0, 0.0}, 0.0};
+  // Two points (degenerate circles): halfway between them.
+  EXPECT_TRUE(almost_equal(circle_pair_point(a, b), {2.0, 0.0}));
+}
+
+// Property sweep: intersection points returned with count == 2 lie on
+// both rings; count == 0 best-effort points are finite and between
+// the centers' line.
+class CirclePairSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CirclePairSweep, InvariantsHold) {
+  const int i = GetParam();
+  const double d = 0.5 + 0.9 * i;            // center separation
+  const double r1 = 1.0 + (i % 5);           // radii vary
+  const double r2 = 0.5 + (i % 7) * 0.75;
+  const Circle a{{0.0, 0.0}, r1};
+  const Circle b{{d, 0.0}, r2};
+  const CircleIntersection ix = intersect_circles(a, b);
+  if (ix.count == 2) {
+    for (const Vec2 p : {ix.p1, ix.p2}) {
+      EXPECT_NEAR(distance(p, a.center), r1, 1e-7);
+      EXPECT_NEAR(distance(p, b.center), r2, 1e-7);
+    }
+  } else {
+    EXPECT_TRUE(is_finite(ix.p1));
+    // Best-effort point is on the segment between ring extremes,
+    // hence within max(r1, r2) + d of both centers.
+    EXPECT_LE(distance(ix.p1, a.center), r1 + r2 + d + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CirclePairSweep,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace loctk::geom

@@ -1,0 +1,123 @@
+// Unit tests for least-squares multilateration and Gauss-Newton
+// refinement (the §2.4 baseline the paper contrasts with §5.2).
+
+#include "geom/lateration.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace loctk::geom {
+namespace {
+
+std::vector<RangeMeasurement> exact_ranges(
+    Vec2 truth, const std::vector<Vec2>& anchors) {
+  std::vector<RangeMeasurement> out;
+  for (const Vec2 a : anchors) out.push_back({a, distance(truth, a)});
+  return out;
+}
+
+TEST(LaterationLs, ExactRangesRecoverPosition) {
+  const Vec2 truth{12.0, 7.0};
+  const auto ranges =
+      exact_ranges(truth, {{0, 0}, {50, 0}, {50, 40}, {0, 40}});
+  const auto est = lateration_least_squares(ranges);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_TRUE(almost_equal(*est, truth, 1e-9));
+}
+
+TEST(LaterationLs, ThreeAnchorsMinimum) {
+  const Vec2 truth{3.0, 4.0};
+  const auto ranges = exact_ranges(truth, {{0, 0}, {10, 0}, {0, 10}});
+  const auto est = lateration_least_squares(ranges);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_TRUE(almost_equal(*est, truth, 1e-9));
+}
+
+TEST(LaterationLs, TooFewAnchorsReturnsNullopt) {
+  const Vec2 truth{3.0, 4.0};
+  EXPECT_FALSE(
+      lateration_least_squares(exact_ranges(truth, {{0, 0}, {10, 0}}))
+          .has_value());
+  EXPECT_FALSE(lateration_least_squares({}).has_value());
+}
+
+TEST(LaterationLs, CollinearAnchorsDegenerate) {
+  const Vec2 truth{5.0, 5.0};
+  const auto ranges =
+      exact_ranges(truth, {{0, 0}, {5, 0}, {10, 0}, {20, 0}});
+  // Anchors on a line cannot resolve the mirror ambiguity; the 2x2
+  // normal system is singular.
+  EXPECT_FALSE(lateration_least_squares(ranges).has_value());
+}
+
+TEST(GaussNewton, RefinesNoisyLinearSolution) {
+  const Vec2 truth{23.0, 17.0};
+  auto ranges = exact_ranges(truth, {{0, 0}, {50, 0}, {50, 40}, {0, 40}});
+  // Corrupt the ranges with +-10% biases.
+  ranges[0].distance *= 1.10;
+  ranges[1].distance *= 0.92;
+  ranges[2].distance *= 1.05;
+  ranges[3].distance *= 0.95;
+
+  const auto linear = lateration_least_squares(ranges);
+  ASSERT_TRUE(linear.has_value());
+  const Vec2 refined = lateration_gauss_newton(ranges, *linear);
+  // The refinement must not be worse than its start in residual.
+  EXPECT_LE(range_rms_residual(ranges, refined),
+            range_rms_residual(ranges, *linear) + 1e-12);
+  // And should still land in the right neighborhood.
+  EXPECT_LT(distance(refined, truth), 6.0);
+}
+
+TEST(GaussNewton, ExactRangesConvergeTight) {
+  const Vec2 truth{30.0, 10.0};
+  const auto ranges =
+      exact_ranges(truth, {{0, 0}, {50, 0}, {25, 40}});
+  const Vec2 est = lateration_gauss_newton(ranges, {25.0, 20.0});
+  EXPECT_TRUE(almost_equal(est, truth, 1e-6));
+}
+
+TEST(GaussNewton, StartingAtAnchorDoesNotExplode) {
+  const Vec2 truth{5.0, 5.0};
+  const auto ranges = exact_ranges(truth, {{0, 0}, {10, 0}, {0, 10}});
+  const Vec2 est = lateration_gauss_newton(ranges, {0.0, 0.0});
+  EXPECT_TRUE(is_finite(est));
+}
+
+TEST(RangeRmsResidual, ZeroAtTruthPositiveElsewhere) {
+  const Vec2 truth{1.0, 2.0};
+  const auto ranges = exact_ranges(truth, {{0, 0}, {10, 0}, {0, 10}});
+  EXPECT_NEAR(range_rms_residual(ranges, truth), 0.0, 1e-12);
+  EXPECT_GT(range_rms_residual(ranges, {5.0, 5.0}), 0.1);
+  EXPECT_EQ(range_rms_residual({}, {0.0, 0.0}), 0.0);
+}
+
+TEST(ToCircles, Converts) {
+  const auto circles =
+      to_circles({{{1.0, 2.0}, 3.0}, {{4.0, 5.0}, 6.0}});
+  ASSERT_EQ(circles.size(), 2u);
+  EXPECT_EQ(circles[0], Circle({1.0, 2.0}, 3.0));
+  EXPECT_EQ(circles[1], Circle({4.0, 5.0}, 6.0));
+}
+
+// Property sweep: exact recovery across positions in the paper house
+// footprint with the paper AP layout.
+class ExactRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactRecovery, AnywhereInHouse) {
+  const int i = GetParam();
+  const Vec2 truth{5.0 + (i % 6) * 8.0, 4.0 + (i / 6) * 7.0};
+  const auto ranges =
+      exact_ranges(truth, {{2, 2}, {48, 2}, {48, 38}, {2, 38}});
+  const auto linear = lateration_least_squares(ranges);
+  ASSERT_TRUE(linear.has_value());
+  EXPECT_TRUE(almost_equal(*linear, truth, 1e-7));
+  const Vec2 refined = lateration_gauss_newton(ranges, *linear);
+  EXPECT_TRUE(almost_equal(refined, truth, 1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(HouseGrid, ExactRecovery, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace loctk::geom

@@ -1,0 +1,143 @@
+// Unit tests for polygons, convex hull, and the point estimators used
+// by the geometric locator (§5.2's "median point P of P1..P4").
+
+#include "geom/polygon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace loctk::geom {
+namespace {
+
+Polygon unit_square() {
+  return Polygon{{{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}}};
+}
+
+TEST(Polygon, AreaAndOrientation) {
+  EXPECT_DOUBLE_EQ(unit_square().signed_area(), 1.0);  // CCW
+  Polygon cw{{{0.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {1.0, 0.0}}};
+  EXPECT_DOUBLE_EQ(cw.signed_area(), -1.0);
+  EXPECT_DOUBLE_EQ(cw.area(), 1.0);
+}
+
+TEST(Polygon, Centroid) {
+  EXPECT_TRUE(almost_equal(unit_square().centroid(), {0.5, 0.5}));
+  // L-shape: centroid known by decomposition into two rectangles.
+  Polygon ell{{{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}}};
+  // Rect A [0,2]x[0,1] area 2 centroid (1, .5); rect B [0,1]x[1,2]
+  // area 1 centroid (.5, 1.5) -> total ( (2*1 + 1*.5)/3, (2*.5+1*1.5)/3 ).
+  EXPECT_TRUE(almost_equal(ell.centroid(), {2.5 / 3.0, 2.5 / 3.0}, 1e-9));
+}
+
+TEST(Polygon, ContainsInteriorBoundaryExterior) {
+  const Polygon sq = unit_square();
+  EXPECT_TRUE(sq.contains({0.5, 0.5}));
+  EXPECT_TRUE(sq.contains({0.0, 0.5}));   // edge
+  EXPECT_TRUE(sq.contains({1.0, 1.0}));   // corner
+  EXPECT_FALSE(sq.contains({1.5, 0.5}));
+  EXPECT_FALSE(sq.contains({-0.1, 0.5}));
+}
+
+TEST(Polygon, ContainsNonConvex) {
+  // U-shape: the notch is outside.
+  Polygon u{{{0, 0}, {3, 0}, {3, 3}, {2, 3}, {2, 1}, {1, 1}, {1, 3},
+             {0, 3}}};
+  EXPECT_TRUE(u.contains({0.5, 2.0}));
+  EXPECT_TRUE(u.contains({2.5, 2.0}));
+  EXPECT_FALSE(u.contains({1.5, 2.0}));  // inside the notch
+  EXPECT_TRUE(u.contains({1.5, 0.5}));   // base of the U
+}
+
+TEST(Polygon, BoundingBoxAndPerimeter) {
+  const Polygon sq = unit_square();
+  EXPECT_EQ(sq.bounding_box(), Rect({0.0, 0.0}, {1.0, 1.0}));
+  EXPECT_DOUBLE_EQ(sq.perimeter(), 4.0);
+  EXPECT_TRUE(Polygon{}.empty());
+  EXPECT_DOUBLE_EQ(Polygon{}.perimeter(), 0.0);
+}
+
+TEST(ConvexHull, DropsInteriorAndCollinear) {
+  const Polygon hull = convex_hull({{0, 0},
+                                    {4, 0},
+                                    {4, 4},
+                                    {0, 4},
+                                    {2, 2},    // interior
+                                    {2, 0},    // collinear on an edge
+                                    {0, 2}});  // collinear on an edge
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_DOUBLE_EQ(hull.area(), 16.0);
+  EXPECT_GT(hull.signed_area(), 0.0);  // CCW order
+}
+
+TEST(ConvexHull, SmallInputs) {
+  EXPECT_EQ(convex_hull({}).size(), 0u);
+  EXPECT_EQ(convex_hull({{1, 1}}).size(), 1u);
+  EXPECT_EQ(convex_hull({{1, 1}, {2, 2}}).size(), 2u);
+  // Duplicates collapse.
+  EXPECT_EQ(convex_hull({{1, 1}, {1, 1}, {1, 1}}).size(), 1u);
+}
+
+TEST(ComponentMedian, OddCountPicksMiddle) {
+  const Vec2 m = component_median({{0, 0}, {1, 10}, {2, 5}});
+  EXPECT_EQ(m, Vec2(1.0, 5.0));
+}
+
+TEST(ComponentMedian, EvenCountAveragesMiddles) {
+  const Vec2 m = component_median({{0, 0}, {1, 2}, {2, 4}, {3, 6}});
+  EXPECT_EQ(m, Vec2(1.5, 3.0));
+}
+
+TEST(ComponentMedian, RobustToOneOutlier) {
+  // The paper's reason for the median: one bad circle pair should not
+  // drag the estimate.
+  const Vec2 m =
+      component_median({{10, 10}, {11, 9}, {9, 11}, {500, -500}});
+  EXPECT_NEAR(m.x, 10.5, 1e-9);
+  EXPECT_NEAR(m.y, 9.5, 1e-9);
+}
+
+TEST(GeometricMedian, CoincidesForSymmetricCloud) {
+  const std::vector<Vec2> cross = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  EXPECT_TRUE(almost_equal(geometric_median(cross), {0.0, 0.0}, 1e-6));
+}
+
+TEST(GeometricMedian, SinglePointAndOutlierRobustness) {
+  EXPECT_EQ(geometric_median({{3, 4}}), Vec2(3.0, 4.0));
+  const Vec2 gm = geometric_median({{0, 0}, {0, 1}, {1, 0}, {100, 100}});
+  // Geometric median stays near the cluster, unlike the mean.
+  EXPECT_LT(gm.norm(), 2.0);
+  EXPECT_GT(mean_point({{0, 0}, {0, 1}, {1, 0}, {100, 100}}).norm(), 30.0);
+}
+
+TEST(MeanPoint, Average) {
+  EXPECT_EQ(mean_point({{0, 0}, {2, 4}}), Vec2(1.0, 2.0));
+}
+
+// Property: component median minimizes the sum of |dx| + |dy| over
+// the sample (L1 optimality), compared against sample points.
+class MedianSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MedianSweep, L1OptimalVsSamples) {
+  const int i = GetParam();
+  std::vector<Vec2> pts;
+  for (int k = 0; k < 5 + i % 4; ++k) {
+    pts.push_back({std::cos(k * 2.1 + i) * 10.0,
+                   std::sin(k * 1.7 + i * 0.5) * 10.0});
+  }
+  const Vec2 med = component_median(pts);
+  auto l1_cost = [&](Vec2 q) {
+    double c = 0.0;
+    for (const Vec2 p : pts) {
+      c += std::abs(p.x - q.x) + std::abs(p.y - q.y);
+    }
+    return c;
+  };
+  const double med_cost = l1_cost(med);
+  for (const Vec2 p : pts) {
+    EXPECT_LE(med_cost, l1_cost(p) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clouds, MedianSweep, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace loctk::geom

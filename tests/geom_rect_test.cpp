@@ -1,0 +1,92 @@
+// Unit tests for the axis-aligned rectangle type (site footprints).
+
+#include "geom/rect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace loctk::geom {
+namespace {
+
+TEST(Rect, SizedAndAccessors) {
+  const Rect r = Rect::sized(50.0, 40.0);
+  EXPECT_EQ(r.min, Vec2(0.0, 0.0));
+  EXPECT_EQ(r.max, Vec2(50.0, 40.0));
+  EXPECT_DOUBLE_EQ(r.width(), 50.0);
+  EXPECT_DOUBLE_EQ(r.height(), 40.0);
+  EXPECT_DOUBLE_EQ(r.area(), 2000.0);
+  EXPECT_EQ(r.center(), Vec2(25.0, 20.0));
+}
+
+TEST(Rect, ContainsBoundaryInclusive) {
+  const Rect r{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_TRUE(r.contains({5.0, 5.0}));
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains({10.0, 10.0}));
+  EXPECT_TRUE(r.contains({10.0, 0.0}));
+  EXPECT_FALSE(r.contains({10.1, 5.0}));
+  EXPECT_FALSE(r.contains({-0.1, 5.0}));
+}
+
+TEST(Rect, Intersects) {
+  const Rect a{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_TRUE(a.intersects({{5.0, 5.0}, {15.0, 15.0}}));
+  EXPECT_TRUE(a.intersects({{10.0, 0.0}, {20.0, 10.0}}));  // shared edge
+  EXPECT_FALSE(a.intersects({{11.0, 0.0}, {20.0, 10.0}}));
+  EXPECT_TRUE(a.intersects({{2.0, 2.0}, {3.0, 3.0}}));  // containment
+}
+
+TEST(Rect, ClampProjectsToNearestInterior) {
+  const Rect r{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_EQ(r.clamp({5.0, 5.0}), Vec2(5.0, 5.0));
+  EXPECT_EQ(r.clamp({-3.0, 5.0}), Vec2(0.0, 5.0));
+  EXPECT_EQ(r.clamp({20.0, 20.0}), Vec2(10.0, 10.0));
+  EXPECT_EQ(r.clamp({5.0, -7.0}), Vec2(5.0, 0.0));
+}
+
+TEST(Rect, ExpandedTo) {
+  Rect r{{0.0, 0.0}, {1.0, 1.0}};
+  r = r.expanded_to({5.0, -2.0});
+  EXPECT_EQ(r.min, Vec2(0.0, -2.0));
+  EXPECT_EQ(r.max, Vec2(5.0, 1.0));
+  // Interior point changes nothing.
+  EXPECT_EQ(r.expanded_to({1.0, 0.0}), r);
+}
+
+TEST(Rect, InflatedBothWays) {
+  const Rect r{{10.0, 10.0}, {20.0, 20.0}};
+  const Rect grown = r.inflated(2.0);
+  EXPECT_EQ(grown.min, Vec2(8.0, 8.0));
+  EXPECT_EQ(grown.max, Vec2(22.0, 22.0));
+  const Rect shrunk = r.inflated(-3.0);
+  EXPECT_EQ(shrunk.min, Vec2(13.0, 13.0));
+  EXPECT_EQ(shrunk.max, Vec2(17.0, 17.0));
+}
+
+TEST(Rect, NormalizedRepairsSwappedCorners) {
+  const Rect swapped{{10.0, 2.0}, {0.0, 8.0}};
+  const Rect fixed = swapped.normalized();
+  EXPECT_EQ(fixed.min, Vec2(0.0, 2.0));
+  EXPECT_EQ(fixed.max, Vec2(10.0, 8.0));
+  // Already-normal rect unchanged.
+  EXPECT_EQ(fixed.normalized(), fixed);
+}
+
+TEST(Rect, CornersCcwOrder) {
+  const Rect r{{0.0, 0.0}, {4.0, 3.0}};
+  EXPECT_EQ(r.corner(0), Vec2(0.0, 0.0));
+  EXPECT_EQ(r.corner(1), Vec2(4.0, 0.0));
+  EXPECT_EQ(r.corner(2), Vec2(4.0, 3.0));
+  EXPECT_EQ(r.corner(3), Vec2(0.0, 3.0));
+  // Index wraps modulo 4.
+  EXPECT_EQ(r.corner(4), r.corner(0));
+  EXPECT_EQ(r.corner(7), r.corner(3));
+}
+
+TEST(Rect, DefaultIsEmptyAtOrigin) {
+  const Rect r;
+  EXPECT_DOUBLE_EQ(r.area(), 0.0);
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace loctk::geom

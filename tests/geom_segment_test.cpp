@@ -1,0 +1,140 @@
+// Unit tests for segment predicates — these back the wall-crossing
+// counts in the radio environment, so the edge cases matter.
+
+#include "geom/segment.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace loctk::geom {
+namespace {
+
+TEST(Segment, LengthAndDirection) {
+  const Segment s{{0.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+  EXPECT_DOUBLE_EQ(s.length2(), 25.0);
+  EXPECT_EQ(s.direction(), Vec2(3.0, 4.0));
+  EXPECT_EQ(s.point_at(0.5), Vec2(1.5, 2.0));
+}
+
+TEST(Orientation, Signs) {
+  EXPECT_GT(orientation({0, 0}, {1, 0}, {1, 1}), 0.0);  // CCW
+  EXPECT_LT(orientation({0, 0}, {1, 0}, {1, -1}), 0.0);  // CW
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {2, 0}), 0.0);   // collinear
+}
+
+TEST(OnSegment, InteriorEndpointsOutside) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_TRUE(on_segment(s, {5.0, 0.0}));
+  EXPECT_TRUE(on_segment(s, {0.0, 0.0}));
+  EXPECT_TRUE(on_segment(s, {10.0, 0.0}));
+  EXPECT_FALSE(on_segment(s, {11.0, 0.0}));   // past the end
+  EXPECT_FALSE(on_segment(s, {5.0, 0.001}));  // off the line
+}
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  const Segment a{{0.0, 0.0}, {10.0, 10.0}};
+  const Segment b{{0.0, 10.0}, {10.0, 0.0}};
+  EXPECT_TRUE(segments_intersect(a, b));
+}
+
+TEST(SegmentsIntersect, DisjointParallel) {
+  const Segment a{{0.0, 0.0}, {10.0, 0.0}};
+  const Segment b{{0.0, 1.0}, {10.0, 1.0}};
+  EXPECT_FALSE(segments_intersect(a, b));
+}
+
+TEST(SegmentsIntersect, TouchingEndpointCounts) {
+  const Segment a{{0.0, 0.0}, {5.0, 5.0}};
+  const Segment b{{5.0, 5.0}, {10.0, 0.0}};
+  EXPECT_TRUE(segments_intersect(a, b));
+}
+
+TEST(SegmentsIntersect, TShapeTouch) {
+  const Segment a{{0.0, 0.0}, {10.0, 0.0}};
+  const Segment b{{5.0, 0.0}, {5.0, 5.0}};
+  EXPECT_TRUE(segments_intersect(a, b));
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+  const Segment a{{0.0, 0.0}, {10.0, 0.0}};
+  const Segment b{{5.0, 0.0}, {15.0, 0.0}};
+  EXPECT_TRUE(segments_intersect(a, b));
+}
+
+TEST(SegmentsIntersect, CollinearDisjoint) {
+  const Segment a{{0.0, 0.0}, {4.0, 0.0}};
+  const Segment b{{5.0, 0.0}, {9.0, 0.0}};
+  EXPECT_FALSE(segments_intersect(a, b));
+}
+
+TEST(SegmentsIntersect, AlmostTouchingMisses) {
+  const Segment a{{0.0, 0.0}, {10.0, 0.0}};
+  const Segment b{{5.0, 0.01}, {5.0, 5.0}};
+  EXPECT_FALSE(segments_intersect(a, b));
+}
+
+TEST(SegmentIntersection, CrossingPoint) {
+  const Segment a{{0.0, 0.0}, {10.0, 10.0}};
+  const Segment b{{0.0, 10.0}, {10.0, 0.0}};
+  const auto p = segment_intersection(a, b);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(almost_equal(*p, {5.0, 5.0}));
+}
+
+TEST(SegmentIntersection, ParallelReturnsNullopt) {
+  const Segment a{{0.0, 0.0}, {10.0, 0.0}};
+  const Segment b{{0.0, 1.0}, {10.0, 1.0}};
+  EXPECT_FALSE(segment_intersection(a, b).has_value());
+}
+
+TEST(SegmentIntersection, NonOverlappingLinesCross) {
+  // The infinite lines cross at (5, 5), outside both segments.
+  const Segment a{{0.0, 0.0}, {2.0, 2.0}};
+  const Segment b{{10.0, 0.0}, {6.0, 4.0}};
+  EXPECT_FALSE(segment_intersection(a, b).has_value());
+}
+
+TEST(ClosestPoint, ProjectsAndClamps) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_EQ(closest_point_on_segment({5.0, 3.0}, s), Vec2(5.0, 0.0));
+  EXPECT_EQ(closest_point_on_segment({-2.0, 3.0}, s), Vec2(0.0, 0.0));
+  EXPECT_EQ(closest_point_on_segment({14.0, -1.0}, s), Vec2(10.0, 0.0));
+}
+
+TEST(ClosestPoint, DegenerateSegment) {
+  const Segment s{{3.0, 3.0}, {3.0, 3.0}};
+  EXPECT_EQ(closest_point_on_segment({0.0, 0.0}, s), Vec2(3.0, 3.0));
+  EXPECT_DOUBLE_EQ(point_segment_distance({0.0, 3.0}, s), 3.0);
+}
+
+TEST(PointSegmentDistance, Values) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5.0, 4.0}, s), 4.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({13.0, 4.0}, s), 5.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({7.0, 0.0}, s), 0.0);
+}
+
+// Property: for crossing segments, the reported intersection lies on
+// both segments.
+class CrossingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossingSweep, IntersectionLiesOnBoth) {
+  const int i = GetParam();
+  const double angle = 0.1 + 0.12 * i;
+  // A spoke through (5,5) against a fixed horizontal bar.
+  const Segment bar{{0.0, 5.0}, {10.0, 5.0}};
+  const Vec2 dir{std::cos(angle), std::sin(angle)};
+  const Segment spoke{Vec2{5.0, 5.0} - dir * 6.0, Vec2{5.0, 5.0} + dir * 6.0};
+  ASSERT_TRUE(segments_intersect(bar, spoke));
+  const auto p = segment_intersection(bar, spoke);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(on_segment(bar, *p, 1e-7));
+  EXPECT_TRUE(on_segment(spoke, *p, 1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, CrossingSweep, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace loctk::geom

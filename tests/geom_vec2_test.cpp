@@ -1,0 +1,133 @@
+// Unit tests for loctk::geom::Vec2 and the free point helpers.
+
+#include "geom/vec2.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace loctk::geom {
+namespace {
+
+TEST(Vec2, DefaultIsOrigin) {
+  const Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, ArithmeticOperators) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+  v /= 4.0;
+  EXPECT_EQ(v, Vec2(1.0, 1.5));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 0.0};
+  const Vec2 b{0.0, 1.0};
+  EXPECT_EQ(a.dot(b), 0.0);
+  EXPECT_EQ(a.cross(b), 1.0);   // b is CCW of a
+  EXPECT_EQ(b.cross(a), -1.0);  // a is CW of b
+  EXPECT_EQ(a.dot(a), 1.0);
+}
+
+TEST(Vec2, NormAndNormalize) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  const Vec2 u = v.normalized();
+  EXPECT_DOUBLE_EQ(u.norm(), 1.0);
+  EXPECT_DOUBLE_EQ(u.x, 0.6);
+  EXPECT_DOUBLE_EQ(u.y, 0.8);
+}
+
+TEST(Vec2, NormalizeZeroVectorIsZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, PerpIsCcwRotation) {
+  const Vec2 v{1.0, 0.0};
+  EXPECT_EQ(v.perp(), Vec2(0.0, 1.0));
+  EXPECT_EQ(v.perp().perp(), -v);
+  // perp is orthogonal for any vector.
+  const Vec2 w{3.7, -2.2};
+  EXPECT_DOUBLE_EQ(w.dot(w.perp()), 0.0);
+}
+
+TEST(Vec2, DistanceHelpers) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{6.0, 8.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 10.0);
+  EXPECT_DOUBLE_EQ(distance2(a, b), 100.0);
+}
+
+TEST(Vec2, LerpEndpointsAndMidpoint) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, -20.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), midpoint(a, b));
+  EXPECT_EQ(midpoint(a, b), Vec2(5.0, -10.0));
+}
+
+TEST(Vec2, AlmostEqualTolerance) {
+  const Vec2 a{1.0, 2.0};
+  EXPECT_TRUE(almost_equal(a, {1.0 + 1e-12, 2.0 - 1e-12}));
+  EXPECT_FALSE(almost_equal(a, {1.0 + 1e-6, 2.0}));
+  EXPECT_TRUE(almost_equal(a, {1.01, 2.0}, 0.05));
+}
+
+TEST(Vec2, IsFinite) {
+  EXPECT_TRUE(is_finite({1.0, 2.0}));
+  EXPECT_FALSE(is_finite({std::nan(""), 0.0}));
+  EXPECT_FALSE(is_finite({0.0, INFINITY}));
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream os;
+  os << Vec2{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+// Property sweep: |a+b| <= |a| + |b| (triangle inequality) over a
+// deterministic lattice of vectors.
+class Vec2Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Vec2Property, TriangleInequality) {
+  const int i = GetParam();
+  const Vec2 a{std::cos(i * 0.7) * i, std::sin(i * 1.3) * (i % 7)};
+  const Vec2 b{std::sin(i * 0.31) * 3.0, std::cos(i * 0.17) * (i % 5)};
+  EXPECT_LE((a + b).norm(), a.norm() + b.norm() + 1e-12);
+}
+
+TEST_P(Vec2Property, DotCrossPythagoras) {
+  // dot^2 + cross^2 == |a|^2 |b|^2.
+  const int i = GetParam();
+  const Vec2 a{1.0 + i * 0.5, -2.0 + i * 0.25};
+  const Vec2 b{3.0 - i * 0.125, 0.5 * i};
+  const double lhs = a.dot(b) * a.dot(b) + a.cross(b) * a.cross(b);
+  const double rhs = a.norm2() * b.norm2();
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, rhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lattice, Vec2Property, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace loctk::geom

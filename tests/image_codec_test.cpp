@@ -1,0 +1,163 @@
+// Unit tests for the PNM and BMP codecs (the GIF substitution).
+
+#include "image/codec_bmp.hpp"
+#include "image/codec_pnm.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace loctk::image {
+namespace {
+
+Raster test_image() {
+  Raster img(7, 5, colors::kWhite);
+  img.set_pixel(0, 0, colors::kRed);
+  img.set_pixel(6, 4, colors::kBlue);
+  img.set_pixel(3, 2, Color{1, 2, 3});
+  return img;
+}
+
+TEST(Ppm, RoundTripExact) {
+  const Raster img = test_image();
+  EXPECT_EQ(decode_pnm(encode_ppm(img)), img);
+}
+
+TEST(Ppm, HeaderFormat) {
+  const std::string bytes = encode_ppm(Raster(3, 2));
+  EXPECT_EQ(bytes.substr(0, 11), "P6\n3 2\n255\n");
+  EXPECT_EQ(bytes.size(), 11u + 3u * 2u * 3u);
+}
+
+TEST(Pgm, WritesLuma) {
+  Raster img(2, 1);
+  img.set_pixel(0, 0, colors::kWhite);
+  img.set_pixel(1, 0, colors::kBlack);
+  std::ostringstream os;
+  write_pgm(os, img);
+  const std::string bytes = os.str();
+  EXPECT_EQ(bytes.substr(0, 3), "P5\n");
+  EXPECT_EQ(static_cast<unsigned char>(bytes[bytes.size() - 2]), 255u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes.back()), 0u);
+}
+
+TEST(Pnm, ReadsAsciiP3) {
+  const std::string text =
+      "P3\n# a comment\n2 1\n255\n255 0 0   0 0 255\n";
+  const Raster img = decode_pnm(text);
+  EXPECT_EQ(img.width(), 2);
+  EXPECT_EQ(img.height(), 1);
+  EXPECT_EQ(img.at(0, 0), Color(255, 0, 0));
+  EXPECT_EQ(img.at(1, 0), Color(0, 0, 255));
+}
+
+TEST(Pnm, ReadsAsciiP2Grayscale) {
+  const std::string text = "P2\n2 2\n255\n0 128\n255 64\n";
+  const Raster img = decode_pnm(text);
+  EXPECT_EQ(img.at(0, 0), Color(0, 0, 0));
+  EXPECT_EQ(img.at(1, 0), Color(128, 128, 128));
+  EXPECT_EQ(img.at(0, 1), Color(255, 255, 255));
+}
+
+TEST(Pnm, ScalesNonstandardMaxval) {
+  const std::string text = "P3\n1 1\n15\n15 0 5\n";
+  const Raster img = decode_pnm(text);
+  EXPECT_EQ(img.at(0, 0).r, 255);
+  EXPECT_EQ(img.at(0, 0).g, 0);
+  EXPECT_EQ(img.at(0, 0).b, 85);  // 5 * 255 / 15
+}
+
+TEST(Pnm, CommentsInsideHeader) {
+  const std::string text =
+      "P3\n#c1\n 2 #c2\n 1\n# c3\n255\n1 2 3 4 5 6\n";
+  const Raster img = decode_pnm(text);
+  EXPECT_EQ(img.width(), 2);
+  EXPECT_EQ(img.at(1, 0), Color(4, 5, 6));
+}
+
+TEST(Pnm, MalformedInputsThrow) {
+  EXPECT_THROW(decode_pnm("JUNK"), CodecError);
+  EXPECT_THROW(decode_pnm("P6\n0 5\n255\n"), CodecError);       // w = 0
+  EXPECT_THROW(decode_pnm("P6\n-3 5\n255\n"), CodecError);      // negative
+  EXPECT_THROW(decode_pnm("P6\n2 2\n70000\n"), CodecError);     // maxval
+  EXPECT_THROW(decode_pnm("P6\n2 2\n255\nxx"), CodecError);     // truncated
+  EXPECT_THROW(decode_pnm("P3\n1 1\n255\n1 2"), CodecError);    // short
+  EXPECT_THROW(decode_pnm("P3\n1 1\n255\n1 2 999\n"), CodecError);
+}
+
+TEST(Bmp, RoundTripExact) {
+  const Raster img = test_image();  // width 7 exercises row padding
+  EXPECT_EQ(decode_bmp(encode_bmp(img)), img);
+}
+
+TEST(Bmp, RoundTripUnpaddedWidth) {
+  Raster img(4, 3, colors::kGreen);
+  img.set_pixel(2, 1, colors::kPurple);
+  EXPECT_EQ(decode_bmp(encode_bmp(img)), img);
+}
+
+TEST(Bmp, SignatureAndSize) {
+  const std::string bytes = encode_bmp(Raster(2, 2));
+  EXPECT_EQ(bytes[0], 'B');
+  EXPECT_EQ(bytes[1], 'M');
+  // 54 header + 2 rows of 8 padded bytes.
+  EXPECT_EQ(bytes.size(), 54u + 16u);
+}
+
+TEST(Bmp, MalformedInputsThrow) {
+  EXPECT_THROW(decode_bmp("XY"), CodecError);
+  std::string bytes = encode_bmp(Raster(2, 2));
+  bytes.resize(bytes.size() - 5);  // truncate pixels
+  EXPECT_THROW(decode_bmp(bytes), CodecError);
+}
+
+TEST(FileIo, WriteReadRoundTripThroughDisk) {
+  const auto dir = std::filesystem::temp_directory_path() / "loctk_codec";
+  std::filesystem::create_directories(dir);
+  const Raster img = test_image();
+
+  for (const char* name : {"t.ppm", "t.pgm", "t.bmp"}) {
+    const auto path = dir / name;
+    write_image(path, img);
+    const Raster back = read_image(path);
+    EXPECT_EQ(back.width(), img.width()) << name;
+    EXPECT_EQ(back.height(), img.height()) << name;
+    if (path.extension() != ".pgm") {
+      EXPECT_EQ(back, img) << name;  // color formats are lossless
+    }
+  }
+  EXPECT_THROW(write_image(dir / "t.gif", img), CodecError);
+  EXPECT_THROW(read_image(dir / "t.gif"), CodecError);
+  EXPECT_THROW(read_image(dir / "missing.ppm"), CodecError);
+  std::filesystem::remove_all(dir);
+}
+
+// Property sweep: PPM and BMP round-trip exactly for a grid of sizes,
+// including widths that hit every BMP padding case.
+class SizeSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SizeSweep, BothCodecsRoundTrip) {
+  const auto [w, h] = GetParam();
+  Raster img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.set_pixel(x, y,
+                    Color{static_cast<std::uint8_t>((x * 37 + y) & 0xff),
+                          static_cast<std::uint8_t>((y * 11 + x) & 0xff),
+                          static_cast<std::uint8_t>((x ^ y) & 0xff)});
+    }
+  }
+  EXPECT_EQ(decode_pnm(encode_ppm(img)), img);
+  EXPECT_EQ(decode_bmp(encode_bmp(img)), img);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SizeSweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 3}, std::pair{3, 2},
+                      std::pair{4, 4}, std::pair{5, 1}, std::pair{6, 7},
+                      std::pair{7, 6}, std::pair{16, 16},
+                      std::pair{33, 9}));
+
+}  // namespace
+}  // namespace loctk::image

@@ -1,0 +1,153 @@
+// Unit tests for the drawing primitives the Compositor builds on.
+
+#include "image/draw.hpp"
+
+#include <gtest/gtest.h>
+
+namespace loctk::image {
+namespace {
+
+TEST(DrawLine, HorizontalVerticalDiagonal) {
+  Raster img(10, 10);
+  draw_line(img, 0, 5, 9, 5, colors::kBlack);
+  EXPECT_EQ(img.count_pixels(colors::kBlack), 10u);
+
+  img.fill(colors::kWhite);
+  draw_line(img, 3, 0, 3, 9, colors::kBlack);
+  EXPECT_EQ(img.count_pixels(colors::kBlack), 10u);
+
+  img.fill(colors::kWhite);
+  draw_line(img, 0, 0, 9, 9, colors::kBlack);
+  EXPECT_EQ(img.count_pixels(colors::kBlack), 10u);
+  EXPECT_EQ(img.at(4, 4), colors::kBlack);
+}
+
+TEST(DrawLine, SinglePixelAndReversedEndpoints) {
+  Raster img(5, 5);
+  draw_line(img, 2, 2, 2, 2, colors::kRed);
+  EXPECT_EQ(img.count_pixels(colors::kRed), 1u);
+
+  Raster a(8, 8), b(8, 8);
+  draw_line(a, 1, 2, 6, 5, colors::kBlack);
+  draw_line(b, 6, 5, 1, 2, colors::kBlack);
+  EXPECT_EQ(a, b);  // direction-independent
+}
+
+TEST(DrawLine, ClipsOffCanvas) {
+  Raster img(5, 5);
+  draw_line(img, -10, -10, 20, 20, colors::kBlack);
+  // The in-bounds diagonal got painted, nothing crashed.
+  EXPECT_EQ(img.at(2, 2), colors::kBlack);
+}
+
+TEST(DrawThickLine, WidthGrows) {
+  Raster thin(20, 20), thick(20, 20);
+  draw_line(thin, 2, 10, 17, 10, colors::kBlack);
+  draw_thick_line(thick, 2, 10, 17, 10, colors::kBlack, 5);
+  EXPECT_GT(thick.count_pixels(colors::kBlack),
+            3u * thin.count_pixels(colors::kBlack));
+  // Thickness 1 equals plain line.
+  Raster t1(20, 20);
+  draw_thick_line(t1, 2, 10, 17, 10, colors::kBlack, 1);
+  EXPECT_EQ(t1, thin);
+}
+
+TEST(DrawDashedLine, PaintsFewerPixelsThanSolid) {
+  Raster solid(30, 30), dashed(30, 30);
+  draw_line(solid, 0, 15, 29, 15, colors::kBlack);
+  draw_dashed_line(dashed, 0, 15, 29, 15, colors::kBlack, 3, 3);
+  const auto s = solid.count_pixels(colors::kBlack);
+  const auto d = dashed.count_pixels(colors::kBlack);
+  EXPECT_LT(d, s);
+  EXPECT_NEAR(static_cast<double>(d), static_cast<double>(s) / 2.0, 3.0);
+}
+
+TEST(DrawRect, OutlineAndFill) {
+  Raster img(10, 10);
+  draw_rect(img, 2, 3, 5, 4, colors::kBlack);
+  // Perimeter of a 5x4 rectangle: 2*5 + 2*4 - 4 corners = 14.
+  EXPECT_EQ(img.count_pixels(colors::kBlack), 14u);
+  EXPECT_EQ(img.at(2, 3), colors::kBlack);
+  EXPECT_EQ(img.at(6, 6), colors::kBlack);
+  EXPECT_EQ(img.at(4, 5), colors::kWhite);  // interior untouched
+
+  img.fill(colors::kWhite);
+  fill_rect(img, 2, 3, 5, 4, colors::kRed);
+  EXPECT_EQ(img.count_pixels(colors::kRed), 20u);
+}
+
+TEST(FillRect, ClipsAndIgnoresDegenerate) {
+  Raster img(4, 4);
+  fill_rect(img, 2, 2, 100, 100, colors::kBlue);
+  EXPECT_EQ(img.count_pixels(colors::kBlue), 4u);
+  fill_rect(img, 0, 0, 0, 5, colors::kRed);
+  EXPECT_EQ(img.count_pixels(colors::kRed), 0u);
+  draw_rect(img, 0, 0, 0, 5, colors::kRed);
+  EXPECT_EQ(img.count_pixels(colors::kRed), 0u);
+}
+
+TEST(DrawCircle, SymmetricAndOnRadius) {
+  Raster img(21, 21);
+  draw_circle(img, 10, 10, 8, colors::kBlack);
+  // Cardinal points painted.
+  EXPECT_EQ(img.at(18, 10), colors::kBlack);
+  EXPECT_EQ(img.at(2, 10), colors::kBlack);
+  EXPECT_EQ(img.at(10, 18), colors::kBlack);
+  EXPECT_EQ(img.at(10, 2), colors::kBlack);
+  // Center not painted.
+  EXPECT_EQ(img.at(10, 10), colors::kWhite);
+  // 4-fold symmetry.
+  for (int y = 0; y < 21; ++y) {
+    for (int x = 0; x < 21; ++x) {
+      EXPECT_EQ(img.at(x, y) == colors::kBlack,
+                img.at(20 - x, y) == colors::kBlack);
+      EXPECT_EQ(img.at(x, y) == colors::kBlack,
+                img.at(x, 20 - y) == colors::kBlack);
+    }
+  }
+}
+
+TEST(FillCircle, AreaApproximatesPiR2) {
+  Raster img(41, 41);
+  fill_circle(img, 20, 20, 10, colors::kBlack);
+  const double area = static_cast<double>(img.count_pixels(colors::kBlack));
+  EXPECT_NEAR(area, 3.14159 * 100.0, 25.0);
+  EXPECT_EQ(img.at(20, 20), colors::kBlack);
+}
+
+TEST(Circles, NegativeRadiusIgnored) {
+  Raster img(10, 10);
+  draw_circle(img, 5, 5, -1, colors::kBlack);
+  fill_circle(img, 5, 5, -1, colors::kBlack);
+  EXPECT_EQ(img.count_pixels(colors::kBlack), 0u);
+  // Radius zero paints exactly the center.
+  fill_circle(img, 5, 5, 0, colors::kBlack);
+  EXPECT_EQ(img.count_pixels(colors::kBlack), 1u);
+}
+
+// Every marker shape paints something, centered pixels differ by
+// shape, and all clip safely at the border.
+class MarkerSweep : public ::testing::TestWithParam<MarkerShape> {};
+
+TEST_P(MarkerSweep, PaintsAndClips) {
+  const MarkerShape shape = GetParam();
+  Raster img(21, 21);
+  draw_marker(img, 10, 10, shape, colors::kRed, 4);
+  EXPECT_GT(img.count_pixels(colors::kRed), 4u);
+
+  // At the corner: clips without crashing.
+  Raster corner(21, 21);
+  draw_marker(corner, 0, 0, shape, colors::kRed, 4);
+  draw_marker(corner, 20, 20, shape, colors::kRed, 4);
+  EXPECT_GT(corner.count_pixels(colors::kRed), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MarkerSweep,
+    ::testing::Values(MarkerShape::kCross, MarkerShape::kX,
+                      MarkerShape::kSquare, MarkerShape::kFilledSquare,
+                      MarkerShape::kDiamond, MarkerShape::kCircle,
+                      MarkerShape::kDot, MarkerShape::kTriangle));
+
+}  // namespace
+}  // namespace loctk::image

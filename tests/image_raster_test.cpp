@@ -1,0 +1,113 @@
+// Unit tests for the raster image type.
+
+#include "image/raster.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace loctk::image {
+namespace {
+
+TEST(Color, LumaWeights) {
+  EXPECT_EQ(colors::kWhite.luma(), 255);
+  EXPECT_EQ(colors::kBlack.luma(), 0);
+  // Green dominates the luma weighting.
+  EXPECT_GT(Color(0, 255, 0).luma(), Color(255, 0, 0).luma());
+  EXPECT_GT(Color(255, 0, 0).luma(), Color(0, 0, 255).luma());
+}
+
+TEST(Color, BlendEndpointsAndMidpoint) {
+  const Color a{0, 0, 0};
+  const Color b{200, 100, 50};
+  EXPECT_EQ(a.blend(b, 0.0), a);
+  EXPECT_EQ(a.blend(b, 1.0), b);
+  const Color mid = a.blend(b, 0.5);
+  EXPECT_EQ(mid, Color(100, 50, 25));
+  // t clamps.
+  EXPECT_EQ(a.blend(b, 2.0), b);
+  EXPECT_EQ(a.blend(b, -1.0), a);
+}
+
+TEST(Raster, ConstructionAndFill) {
+  Raster img(10, 5, colors::kRed);
+  EXPECT_EQ(img.width(), 10);
+  EXPECT_EQ(img.height(), 5);
+  EXPECT_FALSE(img.empty());
+  EXPECT_EQ(img.count_pixels(colors::kRed), 50u);
+  img.fill(colors::kBlue);
+  EXPECT_EQ(img.count_pixels(colors::kBlue), 50u);
+}
+
+TEST(Raster, EmptyStates) {
+  EXPECT_TRUE(Raster{}.empty());
+  EXPECT_TRUE(Raster(0, 10).empty());
+  EXPECT_TRUE(Raster(-3, 10).empty());  // negative clamps to zero
+}
+
+TEST(Raster, AtThrowsOutOfRange) {
+  Raster img(4, 4);
+  EXPECT_NO_THROW(img.at(3, 3));
+  EXPECT_THROW(img.at(4, 0), std::out_of_range);
+  EXPECT_THROW(img.at(0, 4), std::out_of_range);
+  EXPECT_THROW(img.at(-1, 0), std::out_of_range);
+}
+
+TEST(Raster, ClippedAccessors) {
+  Raster img(4, 4, colors::kWhite);
+  img.set_pixel(100, 100, colors::kRed);  // silently ignored
+  EXPECT_EQ(img.count_pixels(colors::kRed), 0u);
+  EXPECT_EQ(img.pixel(100, 100, colors::kCyan), colors::kCyan);
+  img.set_pixel(1, 1, colors::kGreen);
+  EXPECT_EQ(img.pixel(1, 1), colors::kGreen);
+}
+
+TEST(Raster, BlendPixel) {
+  Raster img(2, 2, colors::kBlack);
+  img.blend_pixel(0, 0, colors::kWhite, 0.5);
+  const Color c = img.at(0, 0);
+  EXPECT_NEAR(c.r, 128, 1);
+  img.blend_pixel(50, 50, colors::kWhite, 0.5);  // clipped, no throw
+}
+
+TEST(Raster, CropClipsToBounds) {
+  Raster img(10, 10, colors::kWhite);
+  img.set_pixel(5, 5, colors::kRed);
+  const Raster sub = img.crop(4, 4, 3, 3);
+  EXPECT_EQ(sub.width(), 3);
+  EXPECT_EQ(sub.height(), 3);
+  EXPECT_EQ(sub.at(1, 1), colors::kRed);
+
+  // Crop extending past the edge clips.
+  const Raster edge = img.crop(8, 8, 10, 10);
+  EXPECT_EQ(edge.width(), 2);
+  EXPECT_EQ(edge.height(), 2);
+
+  // Fully outside: empty.
+  EXPECT_TRUE(img.crop(20, 20, 5, 5).empty());
+}
+
+TEST(Raster, ScaledUp) {
+  Raster img(2, 1, colors::kWhite);
+  img.set_pixel(1, 0, colors::kBlack);
+  const Raster big = img.scaled_up(3);
+  EXPECT_EQ(big.width(), 6);
+  EXPECT_EQ(big.height(), 3);
+  EXPECT_EQ(big.at(0, 0), colors::kWhite);
+  EXPECT_EQ(big.at(5, 2), colors::kBlack);
+  EXPECT_EQ(big.count_pixels(colors::kBlack), 9u);
+  // Factor 1 and below: identity.
+  EXPECT_EQ(img.scaled_up(1), img);
+  EXPECT_EQ(img.scaled_up(0), img);
+}
+
+TEST(Raster, EqualityIsDeep) {
+  Raster a(3, 3, colors::kWhite);
+  Raster b(3, 3, colors::kWhite);
+  EXPECT_EQ(a, b);
+  b.set_pixel(1, 1, colors::kRed);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace loctk::image

@@ -1,0 +1,172 @@
+// End-to-end integration tests: the full paper pipeline (Figure 1) on
+// the simulated experiment house, through the real file formats.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "core/geometric.hpp"
+#include "core/knn.hpp"
+#include "core/pipeline.hpp"
+#include "core/probabilistic.hpp"
+#include "floorplan/compositor.hpp"
+#include "floorplan/processor.hpp"
+#include "image/codec_bmp.hpp"
+#include "traindb/codec.hpp"
+#include "traindb/generator.hpp"
+#include "wiscan/survey.hpp"
+
+namespace loctk {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PaperPipeline : public ::testing::Test {
+ protected:
+  PaperPipeline() : testbed_(radio::make_paper_house()) {}
+
+  core::Testbed testbed_;
+};
+
+TEST_F(PaperPipeline, Phase1SurveyThroughFilesToDatabase) {
+  const auto dir = fs::temp_directory_path() / "loctk_integration_p1";
+  fs::remove_all(dir);
+
+  // Steps 1-3: survey the 10-ft training grid into wi-scan files.
+  const auto map =
+      core::make_training_grid(testbed_.environment().footprint(), 10.0);
+  radio::Scanner scanner = testbed_.make_scanner(101);
+  wiscan::SurveyConfig survey_cfg;
+  survey_cfg.scans_per_location = 30;
+  wiscan::SurveyCampaign campaign(scanner, survey_cfg);
+  campaign.run_to_directory(map, dir / "scans");
+  map.write(dir / "house.locmap");
+
+  // Step 4: the Training Database Generator, from the file system.
+  traindb::GeneratorReport report;
+  const traindb::TrainingDatabase db = traindb::generate_database_from_path(
+      dir / "scans", dir / "house.locmap", {}, &report);
+  EXPECT_EQ(db.size(), 12u);  // interior 10-ft grid of the 50x40 house
+  EXPECT_TRUE(report.unmapped_locations.empty());
+  EXPECT_EQ(db.bssid_universe().size(), 4u);
+
+  // Every <point, AP> pair carries plausible statistics.
+  for (const auto& tp : db.points()) {
+    for (const auto& s : tp.per_ap) {
+      EXPECT_LT(s.mean_dbm, -20.0);
+      EXPECT_GT(s.mean_dbm, -95.0);
+      EXPECT_GT(s.stddev_db, 0.5);   // the channel is noisy
+      EXPECT_LT(s.stddev_db, 12.0);
+    }
+  }
+
+  // The compressed database round-trips through disk.
+  traindb::write_database(dir / "house.ltdb", db);
+  EXPECT_EQ(traindb::read_database(dir / "house.ltdb"), db);
+  fs::remove_all(dir);
+}
+
+TEST_F(PaperPipeline, Phase2LocalizationAccuracyBands) {
+  const auto map =
+      core::make_training_grid(testbed_.environment().footprint(), 10.0);
+  const traindb::TrainingDatabase db = testbed_.train(map, 60, 202);
+  const auto truths = core::make_scattered_test_points(
+      testbed_.environment().footprint(), 13);
+  const auto observations = testbed_.observe(truths, 60, 303);
+
+  // Probabilistic (§5.1): most estimates land in the correct cell and
+  // mean error stays within a couple of grid cells.
+  const core::ProbabilisticLocator prob(db);
+  const auto prob_result = core::evaluate(prob, db, truths, observations);
+  EXPECT_EQ(prob_result.count(), 13u);
+  EXPECT_EQ(prob_result.valid_count(), 13u);
+  EXPECT_GE(prob_result.valid_estimation_rate(), 0.4);
+  EXPECT_LT(prob_result.mean_error_ft(), 15.0);
+
+  // Geometric (§5.2): coarser, but the paper-band ~10-20 ft.
+  const core::GeometricLocator geo(db, testbed_.environment());
+  const auto geo_result = core::evaluate(geo, db, truths, observations);
+  EXPECT_EQ(geo_result.valid_count(), 13u);
+  EXPECT_LT(geo_result.mean_error_ft(), 25.0);
+  EXPECT_GT(geo_result.mean_error_ft(), 3.0);
+
+  // Fingerprinting beats naive ranging on this site (the reason
+  // RADAR-style systems exist).
+  EXPECT_LE(prob_result.mean_error_ft(),
+            geo_result.mean_error_ft() + 2.0);
+}
+
+TEST_F(PaperPipeline, ObservationsReproducibleBySeed) {
+  const auto truths = core::make_scattered_test_points(
+      testbed_.environment().footprint(), 3);
+  const auto a = testbed_.observe(truths, 10, 42);
+  const auto b = testbed_.observe(truths, 10, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  const auto c = testbed_.observe(truths, 10, 43);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST_F(PaperPipeline, CompositorRendersEvaluation) {
+  const auto dir = fs::temp_directory_path() / "loctk_integration_fig3";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const auto map =
+      core::make_training_grid(testbed_.environment().footprint(), 10.0);
+  const traindb::TrainingDatabase db = testbed_.train(map, 20, 404);
+  const auto truths = core::make_scattered_test_points(
+      testbed_.environment().footprint(), 5);
+  const auto observations = testbed_.observe(truths, 20, 505);
+  const core::ProbabilisticLocator prob(db);
+
+  std::vector<floorplan::EvaluatedPoint> points;
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    const auto est = prob.locate(observations[i]);
+    ASSERT_TRUE(est.valid);
+    points.push_back({truths[i], est.position, "t" + std::to_string(i)});
+  }
+  const floorplan::FloorPlan plan =
+      floorplan::render_environment(testbed_.environment());
+  const image::Raster img = floorplan::composite_evaluation(plan, points);
+  image::write_image(dir / "fig3.ppm", img);
+
+  const image::Raster back = image::read_image(dir / "fig3.ppm");
+  EXPECT_EQ(back, img);
+  EXPECT_GT(img.count_pixels(image::colors::kGreen), 10u);
+  EXPECT_GT(img.count_pixels(image::colors::kRed), 10u);
+  fs::remove_all(dir);
+}
+
+TEST_F(PaperPipeline, ArchiveSurveyPathMatchesDirectoryPath) {
+  const auto dir = fs::temp_directory_path() / "loctk_integration_lar";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  wiscan::LocationMap map;
+  map.add("a", {10.0, 10.0});
+  map.add("b", {30.0, 20.0});
+  map.write(dir / "m.locmap");
+
+  radio::Scanner s1 = testbed_.make_scanner(777);
+  wiscan::SurveyConfig cfg;
+  cfg.scans_per_location = 10;
+  wiscan::SurveyCampaign c1(s1, cfg);
+  c1.run_to_directory(map, dir / "scans");
+
+  radio::Scanner s2 = testbed_.make_scanner(777);
+  wiscan::SurveyCampaign c2(s2, cfg);
+  const wiscan::Archive ar = c2.run_to_archive(map);
+  ar.write(dir / "scans.lar");
+
+  const auto db_dir = traindb::generate_database_from_path(
+      dir / "scans", dir / "m.locmap");
+  const auto db_lar = traindb::generate_database_from_path(
+      dir / "scans.lar", dir / "m.locmap");
+  EXPECT_EQ(db_dir, db_lar);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace loctk

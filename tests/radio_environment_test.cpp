@@ -1,0 +1,108 @@
+// Unit tests for the site model: wall crossing counts and the built-in
+// environments (the paper's 50x40 ft experiment house).
+
+#include "radio/environment.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace loctk::radio {
+namespace {
+
+TEST(SyntheticBssid, FormatAndUniqueness) {
+  EXPECT_EQ(synthetic_bssid(0), "00:17:AB:00:00:00");
+  EXPECT_EQ(synthetic_bssid(15), "00:17:AB:00:00:0F");
+  EXPECT_EQ(synthetic_bssid(255), "00:17:AB:00:00:FF");
+  std::set<std::string> ids;
+  for (int i = 0; i < 64; ++i) ids.insert(synthetic_bssid(i));
+  EXPECT_EQ(ids.size(), 64u);
+}
+
+TEST(Environment, LookupByBssidAndName) {
+  const Environment env = make_paper_house();
+  ASSERT_EQ(env.access_points().size(), 4u);
+  const AccessPoint* a = env.find_by_name("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(env.find_by_bssid(a->bssid), a);
+  EXPECT_EQ(env.find_by_name("Z"), nullptr);
+  EXPECT_EQ(env.find_by_bssid("de:ad:be:ef:00:00"), nullptr);
+}
+
+TEST(Environment, WallsCrossedCounts) {
+  Environment env(geom::Rect::sized(10.0, 10.0));
+  env.add_wall({{{5.0, 0.0}, {5.0, 10.0}}, 3.0, "test"});
+  env.add_wall({{{0.0, 5.0}, {10.0, 5.0}}, 4.0, "test"});
+
+  // Horizontal path through the vertical wall only.
+  EXPECT_EQ(env.walls_crossed({1.0, 2.0}, {9.0, 2.0}), 1);
+  // Diagonal through both.
+  EXPECT_EQ(env.walls_crossed({1.0, 1.0}, {9.0, 9.0}), 2);
+  // Short path crossing nothing.
+  EXPECT_EQ(env.walls_crossed({1.0, 1.0}, {2.0, 2.0}), 0);
+}
+
+TEST(Environment, WallAttenuationSumsAndCaps) {
+  Environment env(geom::Rect::sized(10.0, 10.0));
+  env.add_wall({{{2.0, 0.0}, {2.0, 10.0}}, 6.0, "w1"});
+  env.add_wall({{{4.0, 0.0}, {4.0, 10.0}}, 6.0, "w2"});
+  env.add_wall({{{6.0, 0.0}, {6.0, 10.0}}, 6.0, "w3"});
+
+  EXPECT_DOUBLE_EQ(env.wall_attenuation_db({0.0, 5.0}, {3.0, 5.0}), 6.0);
+  EXPECT_DOUBLE_EQ(env.wall_attenuation_db({0.0, 5.0}, {5.0, 5.0}), 12.0);
+  // Three walls would be 18 dB; the cap kicks in.
+  EXPECT_DOUBLE_EQ(env.wall_attenuation_db({0.0, 5.0}, {7.0, 5.0}, 15.0),
+                   15.0);
+  EXPECT_DOUBLE_EQ(env.wall_attenuation_db({0.0, 5.0}, {7.0, 5.0}, 100.0),
+                   18.0);
+}
+
+TEST(PaperHouse, MatchesPaperGeometry) {
+  const Environment env = make_paper_house();
+  EXPECT_EQ(env.footprint(), geom::Rect::sized(50.0, 40.0));
+  ASSERT_EQ(env.access_points().size(), 4u);
+  // APs named A..D near the four corners.
+  for (const char* n : {"A", "B", "C", "D"}) {
+    ASSERT_NE(env.find_by_name(n), nullptr) << n;
+  }
+  EXPECT_LT(geom::distance(env.find_by_name("A")->position, {0, 0}), 4.0);
+  EXPECT_LT(geom::distance(env.find_by_name("B")->position, {50, 0}), 4.0);
+  EXPECT_LT(geom::distance(env.find_by_name("C")->position, {50, 40}), 4.0);
+  EXPECT_LT(geom::distance(env.find_by_name("D")->position, {0, 40}), 4.0);
+  // Interior walls exist.
+  EXPECT_GT(env.walls().size(), 3u);
+}
+
+TEST(PaperHouse, ApCountVariantClamps) {
+  EXPECT_EQ(make_paper_house_with_aps(1).access_points().size(), 1u);
+  EXPECT_EQ(make_paper_house_with_aps(8).access_points().size(), 8u);
+  EXPECT_EQ(make_paper_house_with_aps(0).access_points().size(), 1u);
+  EXPECT_EQ(make_paper_house_with_aps(99).access_points().size(), 12u);
+  // BSSIDs unique across the variant.
+  const Environment env = make_paper_house_with_aps(12);
+  std::set<std::string> ids;
+  for (const AccessPoint& ap : env.access_points()) ids.insert(ap.bssid);
+  EXPECT_EQ(ids.size(), 12u);
+}
+
+TEST(PaperHouse, ApsInsideFootprint) {
+  const Environment env = make_paper_house_with_aps(12);
+  for (const AccessPoint& ap : env.access_points()) {
+    EXPECT_TRUE(env.footprint().contains(ap.position)) << ap.name;
+  }
+}
+
+TEST(OfficeFloor, BuildsWithPerimeterAndAps) {
+  const Environment env = make_office_floor(6);
+  EXPECT_EQ(env.footprint(), geom::Rect::sized(120.0, 80.0));
+  EXPECT_EQ(env.access_points().size(), 6u);
+  EXPECT_GT(env.walls().size(), 10u);
+  for (const AccessPoint& ap : env.access_points()) {
+    EXPECT_TRUE(env.footprint().contains(ap.position));
+  }
+  // A cross-building path crosses several walls.
+  EXPECT_GT(env.walls_crossed({5.0, 5.0}, {115.0, 75.0}), 2);
+}
+
+}  // namespace
+}  // namespace loctk::radio

@@ -1,0 +1,108 @@
+// Unit tests for the multi-floor building model.
+
+#include "radio/multifloor.hpp"
+
+#include <set>
+
+#include "radio/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace loctk::radio {
+namespace {
+
+TEST(Building, MakeOfficeBuildingShape) {
+  const auto building = make_office_building(3);
+  EXPECT_EQ(building->floor_count(), 3u);
+  EXPECT_EQ(building->total_ap_count(), 12u);
+  EXPECT_DOUBLE_EQ(building->floor_attenuation_db(), 18.0);
+  // Floor names carry the floor index.
+  EXPECT_EQ(building->floor(0).access_points()[0].name, "F0A");
+  EXPECT_EQ(building->floor(2).access_points()[3].name, "F2D");
+  // AP -> floor mapping is bottom-up in blocks of 4.
+  EXPECT_EQ(building->ap_floor(0), 0u);
+  EXPECT_EQ(building->ap_floor(5), 1u);
+  EXPECT_EQ(building->ap_floor(11), 2u);
+}
+
+TEST(Building, BssidsUniqueAcrossFloors) {
+  const auto building = make_office_building(4);
+  std::set<std::string> ids;
+  for (std::size_t f = 0; f < building->floor_count(); ++f) {
+    for (const AccessPoint& ap : building->floor(f).access_points()) {
+      EXPECT_TRUE(ids.insert(ap.bssid).second) << ap.bssid;
+    }
+  }
+  EXPECT_EQ(ids.size(), 16u);
+}
+
+TEST(Building, DuplicateBssidRejected) {
+  Building building;
+  Environment f0(geom::Rect::sized(10.0, 10.0));
+  AccessPoint ap;
+  ap.bssid = "aa:aa";
+  ap.position = {5.0, 5.0};
+  f0.add_access_point(ap);
+  building.add_floor(std::move(f0));
+
+  Environment f1(geom::Rect::sized(10.0, 10.0));
+  f1.add_access_point(ap);  // same BSSID
+  EXPECT_THROW(building.add_floor(std::move(f1)),
+               std::invalid_argument);
+}
+
+TEST(FloorView, SameFloorMatchesPropagation) {
+  const auto building = make_office_building(2);
+  const FloorView view(*building, 0);
+  const geom::Vec2 pos{20.0, 20.0};
+  for (std::size_t i = 0; i < 4; ++i) {  // floor-0 APs
+    EXPECT_DOUBLE_EQ(view.mean_rssi_dbm(i, pos),
+                     building->propagation(0).mean_rssi_dbm(i, pos));
+  }
+}
+
+TEST(FloorView, CrossFloorLosesSlabAttenuation) {
+  const auto building = make_office_building(3, 18.0);
+  const geom::Vec2 pos{25.0, 20.0};
+  const FloorView on_f0(*building, 0);
+  // AP 4..7 live on floor 1, AP 8..11 on floor 2.
+  const double same =
+      building->propagation(1).mean_rssi_dbm(0, pos);
+  EXPECT_NEAR(on_f0.mean_rssi_dbm(4, pos), same - 18.0, 1e-12);
+  const double two_up =
+      building->propagation(2).mean_rssi_dbm(0, pos);
+  EXPECT_NEAR(on_f0.mean_rssi_dbm(8, pos), two_up - 36.0, 1e-12);
+}
+
+TEST(FloorView, ApAccessorFlattens) {
+  const auto building = make_office_building(2);
+  const FloorView view(*building, 1);
+  EXPECT_EQ(view.ap_count(), 8u);
+  EXPECT_EQ(view.ap(0).name, "F0A");
+  EXPECT_EQ(view.ap(7).name, "F1D");
+}
+
+TEST(FloorView, ScannerHearsOwnFloorLouder) {
+  const auto building = make_office_building(2, 20.0);
+  const FloorView on_f1(*building, 1);
+  ChannelConfig quiet;
+  quiet.shadowing_sigma_db = 0.0;
+  quiet.fast_fading_sigma_db = 0.0;
+  quiet.quantize_dbm = false;
+  quiet.sensitivity_dbm = -150.0;
+  quiet.dropout_softness_db = 0.0;
+  Scanner scanner(on_f1, quiet, 5);
+  const ScanRecord rec = scanner.scan_at({25.0, 20.0});
+  ASSERT_EQ(rec.samples.size(), 8u);
+  // Strongest same-position AP on floor 1 beats its floor-0 twin by
+  // exactly the slab (same geometry, different multipath -> compare
+  // the mean gap loosely).
+  const auto f0a = rec.rssi_of(building->floor(0).access_points()[0].bssid);
+  const auto f1a = rec.rssi_of(building->floor(1).access_points()[0].bssid);
+  ASSERT_TRUE(f0a.has_value());
+  ASSERT_TRUE(f1a.has_value());
+  EXPECT_GT(*f1a, *f0a + 10.0);  // 20 dB slab minus multipath jitter
+}
+
+}  // namespace
+}  // namespace loctk::radio

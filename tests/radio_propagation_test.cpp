@@ -1,0 +1,155 @@
+// Unit tests for the deterministic propagation model (the simulator's
+// ground truth for mean RSSI).
+
+#include "radio/propagation.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace loctk::radio {
+namespace {
+
+Environment bare_room() {
+  Environment env(geom::Rect::sized(50.0, 40.0));
+  AccessPoint ap;
+  ap.bssid = synthetic_bssid(0);
+  ap.name = "A";
+  ap.position = {0.0, 0.0};
+  ap.tx_power_dbm = -28.0;
+  ap.path_loss_exponent = 3.0;
+  env.add_access_point(ap);
+  return env;
+}
+
+PropagationConfig no_multipath() {
+  PropagationConfig c;
+  c.multipath_amplitude_db = 0.0;
+  return c;
+}
+
+TEST(Propagation, FreeSpaceFollowsLogDistance) {
+  const Environment env = bare_room();
+  const Propagation prop(env, no_multipath());
+  // At d0 = 1 ft the mean equals tx power.
+  EXPECT_NEAR(prop.free_space_rssi_dbm(0, {1.0, 0.0}), -28.0, 1e-12);
+  // Every doubling of distance costs 10*n*log10(2) ~ 9.03 dB at n=3.
+  const double at2 = prop.free_space_rssi_dbm(0, {2.0, 0.0});
+  const double at4 = prop.free_space_rssi_dbm(0, {4.0, 0.0});
+  EXPECT_NEAR(at2 - at4, 30.0 * std::log10(2.0), 1e-9);
+  EXPECT_NEAR(-28.0 - at2, 30.0 * std::log10(2.0), 1e-9);
+}
+
+TEST(Propagation, InsideReferenceDistanceClamps) {
+  const Environment env = bare_room();
+  const Propagation prop(env, no_multipath());
+  EXPECT_DOUBLE_EQ(prop.free_space_rssi_dbm(0, {0.0, 0.0}),
+                   prop.free_space_rssi_dbm(0, {0.5, 0.0}));
+}
+
+TEST(Propagation, MonotoneDecayWithDistance) {
+  const Environment env = bare_room();
+  const Propagation prop(env, no_multipath());
+  double prev = 0.0;
+  bool first = true;
+  for (double d = 1.0; d <= 60.0; d += 1.0) {
+    const double rssi = prop.mean_rssi_dbm(0, {d, 0.0});
+    if (!first) EXPECT_LT(rssi, prev) << "d=" << d;
+    prev = rssi;
+    first = false;
+  }
+}
+
+TEST(Propagation, WallsSubtractAttenuation) {
+  Environment env = bare_room();
+  env.add_wall({{{5.0, -10.0}, {5.0, 10.0}}, 7.0, "test"});
+  const Propagation with_wall(env, no_multipath());
+  const Environment plain = bare_room();
+  const Propagation without(plain, no_multipath());
+  const geom::Vec2 behind{10.0, 0.0};
+  EXPECT_NEAR(without.mean_rssi_dbm(0, behind) -
+                  with_wall.mean_rssi_dbm(0, behind),
+              7.0, 1e-9);
+  // In front of the wall: identical.
+  const geom::Vec2 in_front{3.0, 0.0};
+  EXPECT_NEAR(with_wall.mean_rssi_dbm(0, in_front),
+              without.mean_rssi_dbm(0, in_front), 1e-9);
+}
+
+TEST(Propagation, WallCapLimitsTotalLoss) {
+  Environment env = bare_room();
+  for (int i = 0; i < 6; ++i) {
+    const double x = 3.0 + i;
+    env.add_wall({{{x, -10.0}, {x, 10.0}}, 5.0, "test"});
+  }
+  PropagationConfig cfg = no_multipath();
+  cfg.wall_attenuation_cap_db = 12.0;
+  const Propagation prop(env, cfg);
+  const Environment plain = bare_room();
+  const Propagation free(plain, no_multipath());
+  const geom::Vec2 far{20.0, 0.0};
+  EXPECT_NEAR(free.mean_rssi_dbm(0, far) - prop.mean_rssi_dbm(0, far),
+              12.0, 1e-9);
+}
+
+TEST(MultipathField, DeterministicAndBounded) {
+  const MultipathField f1(1234, 0, 3.5);
+  const MultipathField f2(1234, 0, 3.5);
+  const MultipathField other_ap(1234, 1, 3.5);
+  double max_abs = 0.0;
+  bool differs = false;
+  for (double x = 0.0; x < 50.0; x += 2.5) {
+    for (double y = 0.0; y < 40.0; y += 2.5) {
+      const double b1 = f1.bias_db({x, y});
+      EXPECT_DOUBLE_EQ(b1, f2.bias_db({x, y}));
+      if (std::abs(b1 - other_ap.bias_db({x, y})) > 1e-9) differs = true;
+      max_abs = std::max(max_abs, std::abs(b1));
+    }
+  }
+  EXPECT_TRUE(differs);  // per-AP fields decorrelate
+  EXPECT_GT(max_abs, 0.5);                 // field is not flat
+  EXPECT_LE(max_abs, 3.5 * std::sqrt(6.0) + 1e-9);  // bounded by sum
+}
+
+TEST(MultipathField, SmoothOnSubFootScale) {
+  const MultipathField f(99, 0, 3.5);
+  // Max gradient of sum of sines with |k| <= 2pi/4 and total amp A is
+  // bounded; adjacent samples 0.1 ft apart must stay close.
+  for (double x = 0.0; x < 20.0; x += 1.7) {
+    const double a = f.bias_db({x, 10.0});
+    const double b = f.bias_db({x + 0.1, 10.0});
+    EXPECT_LT(std::abs(a - b), 1.5);
+  }
+}
+
+TEST(Propagation, MultipathBiasAppliedToMean) {
+  const Environment env = bare_room();
+  PropagationConfig with = no_multipath();
+  with.multipath_amplitude_db = 3.5;
+  const Propagation biased(env, with);
+  const Propagation flat(env, no_multipath());
+  // Somewhere the two must differ (bias is nonzero almost everywhere).
+  double max_diff = 0.0;
+  for (double x = 2.0; x < 50.0; x += 3.0) {
+    max_diff = std::max(max_diff,
+                        std::abs(biased.mean_rssi_dbm(0, {x, 7.0}) -
+                                 flat.mean_rssi_dbm(0, {x, 7.0})));
+  }
+  EXPECT_GT(max_diff, 1.0);
+}
+
+TEST(Propagation, PerApFieldsIndependent) {
+  const Environment env = make_paper_house();
+  const Propagation prop(env);
+  // Two APs at symmetric positions should still disagree because
+  // their multipath fields differ.
+  const geom::Vec2 center{25.0, 20.0};
+  const double a = prop.mean_rssi_dbm(0, center);
+  const double b = prop.mean_rssi_dbm(1, center);
+  // Same distance to center from corners A/B modulo walls; fields
+  // almost surely split them.
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace loctk::radio

@@ -1,0 +1,217 @@
+// Unit tests for the simulated wireless scanner (the client NIC).
+
+#include "radio/scanner.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/running_stats.hpp"
+
+namespace loctk::radio {
+namespace {
+
+struct Fixture {
+  Environment env = make_paper_house();
+  PropagationConfig pc;
+  Propagation prop{env, pc};
+};
+
+ChannelConfig quiet_channel() {
+  ChannelConfig c;
+  c.shadowing_sigma_db = 0.0;
+  c.fast_fading_sigma_db = 0.0;
+  c.quantize_dbm = false;
+  c.dropout_softness_db = 0.0;
+  c.sensitivity_dbm = -150.0;  // hear everything
+  return c;
+}
+
+TEST(Scanner, QuietChannelReportsExactMeans) {
+  Fixture f;
+  Scanner scanner(f.prop, quiet_channel(), 1);
+  const geom::Vec2 pos{20.0, 20.0};
+  const ScanRecord rec = scanner.scan_at(pos);
+  ASSERT_EQ(rec.samples.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto rssi = rec.rssi_of(f.env.access_points()[i].bssid);
+    ASSERT_TRUE(rssi.has_value());
+    EXPECT_NEAR(*rssi, f.prop.mean_rssi_dbm(i, pos), 1e-9);
+  }
+}
+
+TEST(Scanner, DeterministicForSeed) {
+  Fixture f;
+  ChannelConfig cc;  // default noisy channel
+  Scanner s1(f.prop, cc, 42);
+  Scanner s2(f.prop, cc, 42);
+  for (int i = 0; i < 10; ++i) {
+    const ScanRecord a = s1.scan_at({10.0, 10.0});
+    const ScanRecord b = s2.scan_at({10.0, 10.0});
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t k = 0; k < a.samples.size(); ++k) {
+      EXPECT_EQ(a.samples[k].bssid, b.samples[k].bssid);
+      EXPECT_DOUBLE_EQ(a.samples[k].rssi_dbm, b.samples[k].rssi_dbm);
+    }
+  }
+}
+
+TEST(Scanner, ClockAdvancesByInterval) {
+  Fixture f;
+  ChannelConfig cc;
+  cc.scan_interval_s = 2.5;
+  Scanner scanner(f.prop, cc, 7);
+  EXPECT_DOUBLE_EQ(scanner.clock_s(), 0.0);
+  const ScanRecord r0 = scanner.scan_at({5.0, 5.0});
+  EXPECT_DOUBLE_EQ(r0.timestamp_s, 0.0);
+  const ScanRecord r1 = scanner.scan_at({5.0, 5.0});
+  EXPECT_DOUBLE_EQ(r1.timestamp_s, 2.5);
+  scanner.reset_session();
+  EXPECT_DOUBLE_EQ(scanner.clock_s(), 0.0);
+}
+
+TEST(Scanner, QuantizationYieldsWholeDbm) {
+  Fixture f;
+  ChannelConfig cc;
+  cc.quantize_dbm = true;
+  Scanner scanner(f.prop, cc, 11);
+  for (const ScanRecord& rec : scanner.collect({12.0, 9.0}, 20)) {
+    for (const ScanSample& s : rec.samples) {
+      EXPECT_DOUBLE_EQ(s.rssi_dbm, std::round(s.rssi_dbm));
+    }
+  }
+}
+
+TEST(Scanner, SampleMeanTracksGroundTruth) {
+  Fixture f;
+  ChannelConfig cc;
+  cc.sensitivity_dbm = -200.0;  // no dropouts to bias the mean
+  Scanner scanner(f.prop, cc, 13);
+  const geom::Vec2 pos{30.0, 15.0};
+  stats::RunningStats rs;
+  const std::string bssid = f.env.access_points()[0].bssid;
+  // Many sessions to average out the correlated shadowing.
+  for (int session = 0; session < 60; ++session) {
+    scanner.reset_session();
+    for (const ScanRecord& rec : scanner.collect(pos, 10)) {
+      if (const auto r = rec.rssi_of(bssid)) rs.add(*r);
+    }
+  }
+  EXPECT_NEAR(rs.mean(), f.prop.mean_rssi_dbm(0, pos), 1.0);
+  EXPECT_GT(rs.stddev(), 2.0);  // noise is actually present
+}
+
+TEST(Scanner, WeakApsDropOut) {
+  Fixture f;
+  ChannelConfig cc;
+  cc.sensitivity_dbm = -60.0;  // absurdly deaf receiver
+  cc.dropout_softness_db = 2.0;
+  Scanner scanner(f.prop, cc, 17);
+  // Far corner: AP C (at 48,38) is close; AP A (at 2,2) is ~60 ft and
+  // far below this sensitivity.
+  int heard_a = 0, heard_c = 0;
+  const std::string a = f.env.find_by_name("A")->bssid;
+  const std::string c = f.env.find_by_name("C")->bssid;
+  for (int i = 0; i < 50; ++i) {
+    const ScanRecord rec = scanner.scan_at({46.0, 36.0});
+    heard_a += rec.rssi_of(a).has_value();
+    heard_c += rec.rssi_of(c).has_value();
+  }
+  EXPECT_LT(heard_a, 10);
+  EXPECT_GT(heard_c, 40);
+}
+
+TEST(Scanner, HardCutoffWithZeroSoftness) {
+  Fixture f;
+  ChannelConfig cc = quiet_channel();
+  cc.sensitivity_dbm = -50.0;  // only very close APs audible
+  Scanner scanner(f.prop, cc, 19);
+  const ScanRecord rec = scanner.scan_at({25.0, 20.0});  // center
+  // Center of the house is > 20 ft from every corner AP; with n=3
+  // the strongest mean is below -50 dBm, so nothing is heard.
+  EXPECT_TRUE(rec.samples.empty());
+}
+
+TEST(Scanner, TemporalCorrelationOfShadowing) {
+  Fixture f;
+  ChannelConfig cc;
+  cc.fast_fading_sigma_db = 0.0;  // isolate the AR(1) component
+  cc.quantize_dbm = false;
+  cc.sensitivity_dbm = -200.0;
+  cc.shadowing_sigma_db = 4.0;
+  cc.shadowing_rho = 0.9;
+  Scanner scanner(f.prop, cc, 23);
+  const std::string bssid = f.env.access_points()[0].bssid;
+  const geom::Vec2 pos{20.0, 20.0};
+  const double mean = f.prop.mean_rssi_dbm(0, pos);
+
+  double prev = 0.0;
+  bool first = true;
+  double sum_xy = 0.0, sum_xx = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto r = scanner.scan_at(pos).rssi_of(bssid);
+    ASSERT_TRUE(r.has_value());
+    const double dev = *r - mean;
+    if (!first) {
+      sum_xy += prev * dev;
+      sum_xx += prev * prev;
+    }
+    prev = dev;
+    first = false;
+  }
+  EXPECT_NEAR(sum_xy / sum_xx, 0.9, 0.05);
+}
+
+TEST(Scanner, BodyShadowingDependsOnHeading) {
+  Fixture f;
+  ChannelConfig cc = quiet_channel();
+  cc.body_loss_db = 5.0;
+  Scanner scanner(f.prop, cc, 31);
+  // Stand mid-house; AP A is to the south-west (bearing ~225 deg).
+  const geom::Vec2 pos{25.0, 20.0};
+  const AccessPoint* a = f.env.find_by_name("A");
+  const geom::Vec2 to_a = a->position - pos;
+  const double bearing = std::atan2(to_a.y, to_a.x);
+
+  scanner.set_heading(bearing);  // facing the AP: no loss
+  const auto facing = scanner.scan_at(pos).rssi_of(a->bssid);
+  scanner.set_heading(bearing + 3.14159265358979);  // AP behind
+  const auto behind = scanner.scan_at(pos).rssi_of(a->bssid);
+  ASSERT_TRUE(facing.has_value());
+  ASSERT_TRUE(behind.has_value());
+  EXPECT_NEAR(*facing - *behind, 5.0, 1e-6);
+
+  // Perpendicular: half the loss.
+  scanner.set_heading(bearing + 3.14159265358979 / 2.0);
+  const auto side = scanner.scan_at(pos).rssi_of(a->bssid);
+  EXPECT_NEAR(*facing - *side, 2.5, 1e-6);
+}
+
+TEST(Scanner, BodyShadowingOffByDefault) {
+  Fixture f;
+  Scanner a(f.prop, quiet_channel(), 33);
+  Scanner b(f.prop, quiet_channel(), 33);
+  b.set_heading(2.0);  // irrelevant when body_loss_db == 0
+  const auto ra = a.scan_at({10.0, 10.0});
+  const auto rb = b.scan_at({10.0, 10.0});
+  ASSERT_EQ(ra.samples.size(), rb.samples.size());
+  for (std::size_t i = 0; i < ra.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.samples[i].rssi_dbm, rb.samples[i].rssi_dbm);
+  }
+}
+
+TEST(ScanRecord, RssiOfMissing) {
+  const ScanRecord rec;
+  EXPECT_FALSE(rec.rssi_of("nope").has_value());
+}
+
+TEST(Scanner, CollectCountAndNonNegative) {
+  Fixture f;
+  Scanner scanner(f.prop, ChannelConfig{}, 29);
+  EXPECT_EQ(scanner.collect({5.0, 5.0}, 7).size(), 7u);
+  EXPECT_TRUE(scanner.collect({5.0, 5.0}, 0).empty());
+  EXPECT_TRUE(scanner.collect({5.0, 5.0}, -3).empty());
+}
+
+}  // namespace
+}  // namespace loctk::radio

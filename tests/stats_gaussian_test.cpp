@@ -1,0 +1,112 @@
+// Unit tests for the Gaussian density used by the paper's equation (1).
+
+#include "stats/gaussian.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace loctk::stats {
+namespace {
+
+TEST(Gaussian, PdfPeakAndSymmetry) {
+  const Gaussian g{0.0, 1.0};
+  EXPECT_NEAR(g.pdf(0.0), 1.0 / std::sqrt(kTwoPi), 1e-12);
+  EXPECT_DOUBLE_EQ(g.pdf(1.5), g.pdf(-1.5));
+  EXPECT_GT(g.pdf(0.0), g.pdf(0.5));
+}
+
+TEST(Gaussian, PdfMatchesPaperFormula) {
+  // Paper equation (1) evaluated literally.
+  const Gaussian g{-60.0, 4.0};
+  const double obs = -55.0;
+  const double sigma2 = 4.0 * 4.0;
+  const double expected = std::exp(-(obs - -60.0) * (obs - -60.0) /
+                                   (2.0 * sigma2)) /
+                          std::sqrt(kTwoPi * sigma2);
+  EXPECT_NEAR(g.pdf(obs), expected, 1e-15);
+}
+
+TEST(Gaussian, LogPdfConsistentWithPdf) {
+  const Gaussian g{-60.0, 3.0};
+  for (const double x : {-70.0, -60.0, -50.0, -40.0}) {
+    EXPECT_NEAR(g.log_pdf(x), std::log(g.pdf(x)), 1e-12);
+  }
+}
+
+TEST(Gaussian, LogPdfSurvivesWherePdfUnderflows) {
+  const Gaussian g{0.0, 1.0};
+  EXPECT_EQ(g.pdf(60.0), 0.0);  // underflows
+  EXPECT_LT(g.log_pdf(60.0), -1700.0);
+  EXPECT_TRUE(std::isfinite(g.log_pdf(60.0)));
+}
+
+TEST(Gaussian, CdfKnownValues) {
+  const Gaussian g{0.0, 1.0};
+  EXPECT_NEAR(g.cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(g.cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(g.cdf(-1.96), 0.025, 1e-3);
+  const Gaussian shifted{10.0, 2.0};
+  EXPECT_NEAR(shifted.cdf(10.0), 0.5, 1e-12);
+}
+
+TEST(Gaussian, ZScore) {
+  const Gaussian g{-60.0, 4.0};
+  EXPECT_DOUBLE_EQ(g.z_score(-52.0), 2.0);
+  EXPECT_DOUBLE_EQ(g.z_score(-60.0), 0.0);
+}
+
+TEST(Gaussian, RegularizedFloorsSigma) {
+  const Gaussian g{-60.0, 0.0};
+  const Gaussian r = g.regularized(1.0);
+  EXPECT_DOUBLE_EQ(r.sigma, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean, -60.0);
+  // Wide sigma untouched.
+  const Gaussian wide{0.0, 5.0};
+  EXPECT_DOUBLE_EQ(wide.regularized(1.0).sigma, 5.0);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99,
+                         0.999}) {
+    const double z = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(z), p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, Extremes) {
+  EXPECT_TRUE(std::isinf(normal_quantile(0.0)));
+  EXPECT_LT(normal_quantile(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(normal_quantile(1.0)));
+  EXPECT_GT(normal_quantile(1.0), 0.0);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+}
+
+TEST(NormalPdfCdf, StandardValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0) - normal_cdf(-1.0), 0.6827, 1e-4);
+}
+
+// Property: pdf integrates to ~1 (trapezoid over +-8 sigma) for a
+// sweep of (mean, sigma) pairs.
+class PdfIntegral : public ::testing::TestWithParam<int> {};
+
+TEST_P(PdfIntegral, MassIsOne) {
+  const int i = GetParam();
+  const Gaussian g{-80.0 + i * 7.0, 0.5 + 0.4 * i};
+  const double lo = g.mean - 8.0 * g.sigma;
+  const double hi = g.mean + 8.0 * g.sigma;
+  const int n = 4000;
+  double sum = 0.0;
+  const double h = (hi - lo) / n;
+  for (int k = 0; k <= n; ++k) {
+    const double w = (k == 0 || k == n) ? 0.5 : 1.0;
+    sum += w * g.pdf(lo + k * h);
+  }
+  EXPECT_NEAR(sum * h, 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(MeanSigmaGrid, PdfIntegral, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace loctk::stats

@@ -1,0 +1,119 @@
+// Unit tests for histograms and empirical quantiles.
+
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace loctk::stats {
+namespace {
+
+TEST(Histogram, BinEdgesAndIndices) {
+  Histogram h(-100.0, -20.0, 40);  // 2 dB bins
+  EXPECT_EQ(h.bin_count(), 40u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -100.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), -98.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), -99.0);
+  EXPECT_EQ(h.bin_index(-100.0), 0u);
+  EXPECT_EQ(h.bin_index(-98.0), 1u);
+  EXPECT_EQ(h.bin_index(-20.000001), 39u);
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(0.9);
+  h.add(5.0);
+  h.add(-1.0);   // underflow
+  h.add(10.0);   // hi edge is exclusive -> overflow
+  h.add(15.0);   // overflow
+  h.add(std::nan(""));  // ignored entirely
+
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, AddNWeights) {
+  Histogram h(0.0, 10.0, 5);
+  h.add_n(1.0, 7);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, MassSumsToOne) {
+  Histogram h(0.0, 10.0, 5);
+  for (int i = 0; i < 50; ++i) h.add(static_cast<double>(i % 10));
+  double mass = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) mass += h.mass(b);
+  EXPECT_NEAR(mass, 1.0, 1e-12);  // no out-of-range samples here
+}
+
+TEST(Histogram, ProbabilityNeverZeroWithLaplace) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(1.0);
+  EXPECT_GT(h.probability(9.5, 1.0), 0.0);  // unseen bin
+  EXPECT_GT(h.probability(1.0, 1.0), h.probability(9.5, 1.0));
+  // Out-of-support values get the pure pseudo-count mass.
+  EXPECT_GT(h.probability(42.0, 1.0), 0.0);
+}
+
+TEST(Histogram, ProbabilityEmptyHistogram) {
+  Histogram h(0.0, 10.0, 10);
+  // No samples: every bin has the same smoothed probability 1/bins.
+  EXPECT_NEAR(h.probability(5.0, 1.0), 0.1, 1e-12);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.5);
+  h.add(3.6);
+  h.add(7.0);
+  EXPECT_EQ(h.mode_bin(), 3u);
+}
+
+TEST(Quantile, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+}
+
+TEST(Quantile, EndpointsAndInterpolation) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 25.0);
+  // R-7: h = q*(n-1); q=0.25 -> h=0.75 -> 10 + 0.75*10.
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 17.5);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.5), 2.0);
+}
+
+// Property: quantile is monotone in q.
+class QuantileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotone, NonDecreasingInQ) {
+  const int i = GetParam();
+  std::vector<double> v;
+  for (int k = 0; k < 30; ++k) {
+    v.push_back(std::sin(k * 0.9 + i) * 50.0);
+  }
+  double prev = quantile(v, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(v, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, QuantileMonotone, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace loctk::stats

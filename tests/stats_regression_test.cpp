@@ -1,0 +1,172 @@
+// Unit tests for the signal-distance model fits: the paper's
+// inverse-square regression (§5.2, Figure 4) and the RADAR-style
+// log-distance alternative.
+
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace loctk::stats {
+namespace {
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0};  // y = 2x + 1
+  const auto fit = linear_fit(x, y);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit->n, 4u);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_FALSE(linear_fit({}, {}).has_value());
+  EXPECT_FALSE(linear_fit(std::vector<double>{1.0},
+                          std::vector<double>{2.0})
+                   .has_value());
+  // Zero x variance.
+  EXPECT_FALSE(linear_fit(std::vector<double>{2.0, 2.0, 2.0},
+                          std::vector<double>{1.0, 2.0, 3.0})
+                   .has_value());
+}
+
+TEST(LinearFit, NoisyRSquaredBelowOne) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6};
+  const std::vector<double> y{2.1, 3.9, 6.3, 7.8, 10.4, 11.7};
+  const auto fit = linear_fit(x, y);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_GT(fit->r_squared, 0.98);
+  EXPECT_LT(fit->r_squared, 1.0);
+}
+
+TEST(InverseSquare, RecoverExactModel) {
+  // The paper's Figure 4 shape: ss = a/d^2 + b with a large negative a.
+  const InverseSquareModel truth{-4541.8, -31.0, 0.0};
+  std::vector<double> d, ss;
+  for (double dist = 10.0; dist <= 60.0; dist += 5.0) {
+    d.push_back(dist);
+    ss.push_back(truth.predict(dist));
+  }
+  const auto fit = fit_inverse_square(d, ss);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->a, truth.a, 1e-6);
+  EXPECT_NEAR(fit->b, truth.b, 1e-9);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(InverseSquare, InvertRoundTrips) {
+  const InverseSquareModel m{-4541.8, -31.0, 1.0};
+  for (const double d : {5.0, 10.0, 25.0, 60.0}) {
+    EXPECT_NEAR(m.invert(m.predict(d)), d, 1e-9) << d;
+  }
+}
+
+TEST(InverseSquare, InvertClampsAndRejectsBadSides) {
+  const InverseSquareModel m{-4541.8, -31.0, 1.0};
+  // Stronger than the asymptote allows: denominator flips sign.
+  EXPECT_DOUBLE_EQ(m.invert(-20.0, 1.0, 300.0), 300.0);
+  // Exactly the asymptote.
+  EXPECT_DOUBLE_EQ(m.invert(-31.0, 1.0, 300.0), 300.0);
+  // Extremely strong: clamps at min.
+  EXPECT_DOUBLE_EQ(m.invert(-4000.0, 2.0, 300.0), 2.0);
+}
+
+TEST(InverseSquare, IgnoresNonPositiveDistances) {
+  std::vector<double> d{-1.0, 0.0, 10.0, 20.0, 30.0};
+  const InverseSquareModel truth{-2000.0, -35.0, 0.0};
+  std::vector<double> ss;
+  for (const double dist : d) {
+    ss.push_back(dist > 0.0 ? truth.predict(dist) : 12345.0);
+  }
+  const auto fit = fit_inverse_square(d, ss);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->a, truth.a, 1e-6);
+}
+
+TEST(LogDistance, RecoverExactModel) {
+  const LogDistanceModel truth{-28.0, 3.0, 1.0, 0.0};
+  std::vector<double> d, ss;
+  for (double dist = 2.0; dist <= 64.0; dist *= 2.0) {
+    d.push_back(dist);
+    ss.push_back(truth.predict(dist));
+  }
+  const auto fit = fit_log_distance(d, ss);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->p0, truth.p0, 1e-9);
+  EXPECT_NEAR(fit->n, truth.n, 1e-9);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(LogDistance, PredictInvertRoundTrip) {
+  const LogDistanceModel m{-28.0, 3.2, 1.0, 1.0};
+  for (const double d : {1.0, 7.0, 33.0, 100.0}) {
+    EXPECT_NEAR(m.invert(m.predict(d)), d, 1e-9) << d;
+  }
+  // Clamping.
+  EXPECT_DOUBLE_EQ(m.invert(-500.0, 0.1, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(m.invert(20.0, 0.1, 50.0), 0.1);
+}
+
+TEST(InversePower, RecoversExponent) {
+  // ss = a / d^2.7 + b.
+  const double a = -900.0, b = -38.0, k = 2.7;
+  std::vector<double> d, ss;
+  for (double dist = 4.0; dist <= 64.0; dist += 4.0) {
+    d.push_back(dist);
+    ss.push_back(a / std::pow(dist, k) + b);
+  }
+  const auto fit = fit_inverse_power(d, ss, 0.5, 6.0, 112);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->k, k, 0.06);  // grid resolution
+  EXPECT_GT(fit->r_squared, 0.999);
+  // Round trip through the fitted model stays close.
+  for (const double dist : d) {
+    EXPECT_NEAR(fit->invert(fit->predict(dist)), dist, 0.5);
+  }
+}
+
+TEST(InversePower, TooFewPoints) {
+  EXPECT_FALSE(fit_inverse_power(std::vector<double>{1.0, 2.0},
+                                 std::vector<double>{-40.0, -50.0})
+                   .has_value());
+}
+
+TEST(RSquared, PerfectAndPoor) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+  const std::vector<double> flat{2.0, 2.0, 2.0};
+  EXPECT_LT(r_squared(y, flat), 0.01);
+  // Constant y with exact predictions: conventionally 1.
+  EXPECT_DOUBLE_EQ(r_squared(flat, flat), 1.0);
+}
+
+// Property sweep: the inverse-square fit degrades gracefully with
+// noise — R^2 decreases but coefficient signs stay correct.
+class NoisyFitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoisyFitSweep, SignsSurviveNoise) {
+  const int i = GetParam();
+  const InverseSquareModel truth{-4541.8, -31.0, 0.0};
+  std::vector<double> d, ss;
+  for (double dist = 8.0; dist <= 64.0; dist += 4.0) {
+    d.push_back(dist);
+    // Deterministic pseudo-noise, amplitude grows with the sweep index.
+    const double noise =
+        std::sin(dist * 1.7 + i) * 0.6 * static_cast<double>(i);
+    ss.push_back(truth.predict(dist) + noise);
+  }
+  const auto fit = fit_inverse_square(d, ss);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LT(fit->a, 0.0);   // signal decreases with distance
+  EXPECT_LT(fit->b, 0.0);   // far-field asymptote is weak
+  if (i == 0) EXPECT_NEAR(fit->r_squared, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, NoisyFitSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace loctk::stats

@@ -1,0 +1,131 @@
+// Unit tests for the Welford accumulator that backs every
+// <training point, AP> mean/sigma pair in the training database.
+
+#include "stats/running_stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace loctk::stats {
+namespace {
+
+TEST(RunningStats, EmptyState) {
+  const RunningStats rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.sample_variance(), 0.0);
+  EXPECT_TRUE(std::isinf(rs.min()));
+  EXPECT_TRUE(std::isinf(rs.max()));
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats rs;
+  rs.add(-55.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), -55.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.sample_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -55.0);
+  EXPECT_DOUBLE_EQ(rs.max(), -55.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats rs;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    rs.add(v);
+  }
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 4.0);  // classic textbook set
+  EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.sample_variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  // Naive sum-of-squares loses these; Welford keeps them.
+  RunningStats rs;
+  const double offset = 1e9;
+  for (const double v : {offset + 1.0, offset + 2.0, offset + 3.0}) {
+    rs.add(v);
+  }
+  EXPECT_NEAR(rs.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(rs.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(std::sin(i * 0.37) * 10.0 - 60.0);
+  }
+  RunningStats whole;
+  for (const double v : values) whole.add(v);
+
+  RunningStats left, right;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 37 ? left : right).add(values[i]);
+  }
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats b;
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats c;
+  c.merge(a);  // empty lhs: copies
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(c.min(), 1.0);
+}
+
+// Property sweep: merging in K chunks equals sequential for any K.
+class MergeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeSweep, ChunkedMergeIsExact) {
+  const int chunks = GetParam();
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(std::cos(i * 0.11) * 7.0 + (i % 13));
+  }
+  RunningStats whole;
+  for (const double v : values) whole.add(v);
+
+  RunningStats merged;
+  const std::size_t per =
+      (values.size() + static_cast<std::size_t>(chunks) - 1) /
+      static_cast<std::size_t>(chunks);
+  for (std::size_t lo = 0; lo < values.size(); lo += per) {
+    RunningStats part;
+    for (std::size_t i = lo; i < std::min(values.size(), lo + per); ++i) {
+      part.add(values[i]);
+    }
+    merged.merge(part);
+  }
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(merged.stddev(), whole.stddev(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkCounts, MergeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 100, 500));
+
+}  // namespace
+}  // namespace loctk::stats

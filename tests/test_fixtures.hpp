@@ -1,0 +1,90 @@
+#pragma once
+
+// Shared fixtures for the core-algorithm tests: a small analytic
+// radio model whose likelihood structure is predictable by hand, plus
+// helpers to build databases/observations from it.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/observation.hpp"
+#include "geom/vec2.hpp"
+#include "traindb/database.hpp"
+
+namespace loctk::testing {
+
+// Four synthetic "APs" at the corners of a 40x40 area with an exact
+// log-distance law (no noise, no walls). Everything downstream of the
+// training database sees only numbers, so this tiny analytic model
+// exercises the locators deterministically.
+inline const std::vector<std::string>& fixture_bssids() {
+  static const std::vector<std::string> ids = {
+      "fx:00", "fx:01", "fx:02", "fx:03"};
+  return ids;
+}
+
+inline const std::vector<geom::Vec2>& fixture_ap_positions() {
+  static const std::vector<geom::Vec2> pos = {
+      {0.0, 0.0}, {40.0, 0.0}, {40.0, 40.0}, {0.0, 40.0}};
+  return pos;
+}
+
+inline double fixture_mean_rssi(std::size_t ap, geom::Vec2 p) {
+  const double d =
+      std::max(1.0, geom::distance(fixture_ap_positions()[ap], p));
+  return -30.0 - 25.0 * std::log10(d);
+}
+
+// Training database on a grid with the analytic means and a fixed
+// sigma. `spacing` defaults to 10 ft over [0, 40]^2.
+inline traindb::TrainingDatabase make_fixture_db(double spacing = 10.0,
+                                                 double sigma = 2.0,
+                                                 bool keep_samples = false) {
+  traindb::TrainingDatabase db;
+  db.set_site_name("fixture");
+  for (double y = 0.0; y <= 40.0; y += spacing) {
+    for (double x = 0.0; x <= 40.0; x += spacing) {
+      traindb::TrainingPoint p;
+      p.location = "g" + std::to_string(static_cast<int>(x)) + "-" +
+                   std::to_string(static_cast<int>(y));
+      p.position = {x, y};
+      for (std::size_t a = 0; a < fixture_bssids().size(); ++a) {
+        traindb::ApStatistics s;
+        s.bssid = fixture_bssids()[a];
+        s.mean_dbm = fixture_mean_rssi(a, p.position);
+        s.stddev_db = sigma;
+        s.sample_count = 90;
+        s.scan_count = 90;
+        s.min_dbm = s.mean_dbm - 3.0 * sigma;
+        s.max_dbm = s.mean_dbm + 3.0 * sigma;
+        if (keep_samples) {
+          // Deterministic triangular spread around the mean.
+          for (int k = 0; k < 30; ++k) {
+            const double off = ((k % 7) - 3) * sigma / 2.0;
+            s.samples_centi_dbm.push_back(static_cast<std::int32_t>(
+                std::lround((s.mean_dbm + off) * 100.0)));
+          }
+        }
+        p.per_ap.push_back(std::move(s));
+      }
+      db.add_point(std::move(p));
+    }
+  }
+  return db;
+}
+
+// Observation carrying the exact analytic means at `p` (optionally
+// offset), i.e. a noiseless working-phase reading.
+inline core::Observation fixture_observation(geom::Vec2 p,
+                                             double offset_db = 0.0) {
+  std::vector<radio::ScanRecord> scans(1);
+  scans[0].timestamp_s = 0.0;
+  for (std::size_t a = 0; a < fixture_bssids().size(); ++a) {
+    scans[0].samples.push_back(
+        {fixture_bssids()[a], fixture_mean_rssi(a, p) + offset_db, 1});
+  }
+  return core::Observation::from_scans(scans);
+}
+
+}  // namespace loctk::testing

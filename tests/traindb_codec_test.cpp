@@ -1,0 +1,184 @@
+// Unit tests for the training-database binary codec: varint/zigzag
+// primitives, the delta+RLE sample stream, and full round trips.
+
+#include "traindb/codec.hpp"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace loctk::traindb {
+namespace {
+
+TEST(Varint, RoundTripBoundaries) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+        0xffffffffull, 0xffffffffffffffffull}) {
+    std::string buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buf, pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, EncodedSizes) {
+  auto size_of = [](std::uint64_t v) {
+    std::string buf;
+    put_varint(buf, v);
+    return buf.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(16383), 2u);
+  EXPECT_EQ(size_of(16384), 3u);
+  EXPECT_EQ(size_of(~0ull), 10u);
+}
+
+TEST(Varint, TruncatedThrows) {
+  std::string buf;
+  put_varint(buf, 300);  // two bytes
+  buf.resize(1);
+  std::size_t pos = 0;
+  EXPECT_THROW(get_varint(buf, pos), CodecError);
+  // Overlong: 11 continuation bytes.
+  std::string overlong(11, '\x80');
+  pos = 0;
+  EXPECT_THROW(get_varint(overlong, pos), CodecError);
+}
+
+TEST(ZigZag, MapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+        std::int64_t{1000}, std::int64_t{-1000},
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min()}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+  }
+}
+
+TEST(I32Stream, RoundTripVariety) {
+  const std::vector<std::vector<std::int32_t>> cases = {
+      {},
+      {0},
+      {-5500},
+      {-5500, -5500, -5500, -5500},             // pure run
+      {-5500, -5400, -5300, -5200},             // constant delta run
+      {-5500, -5600, -5400, -5600, -5500},      // jitter
+      {INT32_MIN, 0, INT32_MAX},
+  };
+  for (const auto& values : cases) {
+    std::string buf;
+    put_i32_stream(buf, values);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_i32_stream(buf, pos), values);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(I32Stream, CompressesQuantizedRssiWell) {
+  // Quantized whole-dBm readings: long runs of repeated values.
+  std::vector<std::int32_t> samples;
+  for (int i = 0; i < 900; ++i) {
+    samples.push_back(-5500 - (i / 100) * 100);  // steps every 100
+  }
+  std::string buf;
+  put_i32_stream(buf, samples);
+  // Raw would be 3600 bytes; delta+RLE squeezes the steps.
+  EXPECT_LT(buf.size(), 100u);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_i32_stream(buf, pos), samples);
+}
+
+TEST(I32Stream, CorruptRunLengthThrows) {
+  std::string buf;
+  put_varint(buf, 5);                  // claim 5 values
+  put_varint(buf, zigzag_encode(-1));  // delta
+  put_varint(buf, 9);                  // run longer than the claim
+  std::size_t pos = 0;
+  EXPECT_THROW(get_i32_stream(buf, pos), CodecError);
+}
+
+TrainingDatabase sample_db(bool with_samples) {
+  TrainingDatabase db;
+  db.set_site_name("experiment-house");
+  for (int i = 0; i < 6; ++i) {
+    TrainingPoint p;
+    p.location = "p" + std::to_string(i);
+    p.position = {i * 10.0, (i % 2) * 10.0};
+    for (int a = 0; a < 4; ++a) {
+      ApStatistics s;
+      s.bssid = "00:17:AB:00:00:0" + std::to_string(a);
+      s.mean_dbm = -45.0 - i * 3.0 - a * 2.0;
+      s.stddev_db = 3.25 + a * 0.5;
+      s.sample_count = 90;
+      s.scan_count = 90;
+      s.min_dbm = s.mean_dbm - 9.0;
+      s.max_dbm = s.mean_dbm + 8.0;
+      if (with_samples) {
+        for (int k = 0; k < 90; ++k) {
+          s.samples_centi_dbm.push_back(
+              static_cast<std::int32_t>(s.mean_dbm * 100.0) +
+              ((k * 37) % 700) - 350);
+        }
+      }
+      p.per_ap.push_back(std::move(s));
+    }
+    db.add_point(std::move(p));
+  }
+  return db;
+}
+
+TEST(DatabaseCodec, RoundTripStatsOnly) {
+  const TrainingDatabase db = sample_db(false);
+  EXPECT_EQ(decode_database(encode_database(db)), db);
+}
+
+TEST(DatabaseCodec, RoundTripWithSamples) {
+  const TrainingDatabase db = sample_db(true);
+  EXPECT_EQ(decode_database(encode_database(db)), db);
+}
+
+TEST(DatabaseCodec, EmptyDatabase) {
+  TrainingDatabase db;
+  db.set_site_name("");
+  EXPECT_EQ(decode_database(encode_database(db)), db);
+}
+
+TEST(DatabaseCodec, CorruptionDetected) {
+  const std::string good = encode_database(sample_db(false));
+  EXPECT_THROW(decode_database("XXXX" + good.substr(4)), CodecError);
+  EXPECT_THROW(decode_database(good.substr(0, good.size() / 2)),
+               CodecError);
+  EXPECT_THROW(decode_database(good + "trailing"), CodecError);
+  // Wrong version.
+  std::string bad_version = good;
+  bad_version[4] = 99;
+  EXPECT_THROW(decode_database(bad_version), CodecError);
+}
+
+TEST(DatabaseCodec, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "loctk_ltdb";
+  fs::create_directories(dir);
+  const TrainingDatabase db = sample_db(true);
+  write_database(dir / "house.ltdb", db);
+  EXPECT_EQ(read_database(dir / "house.ltdb"), db);
+  EXPECT_THROW(read_database(dir / "missing.ltdb"), CodecError);
+  fs::remove_all(dir);
+}
+
+TEST(DatabaseCodec, StatsOnlyIsCompact) {
+  // The paper's claim: the training database is smaller than the raw
+  // capture. Stats-only for 6 points x 4 APs must be well under 2 KB.
+  const std::string bytes = encode_database(sample_db(false));
+  EXPECT_LT(bytes.size(), 2048u);
+}
+
+}  // namespace
+}  // namespace loctk::traindb

@@ -1,0 +1,115 @@
+// Unit tests for the in-memory training database.
+
+#include "traindb/database.hpp"
+
+#include <gtest/gtest.h>
+
+namespace loctk::traindb {
+namespace {
+
+ApStatistics make_stats(const std::string& bssid, double mean,
+                        double sigma, std::uint32_t samples = 90,
+                        std::uint32_t scans = 90) {
+  ApStatistics s;
+  s.bssid = bssid;
+  s.mean_dbm = mean;
+  s.stddev_db = sigma;
+  s.sample_count = samples;
+  s.scan_count = scans;
+  s.min_dbm = mean - 2.0 * sigma;
+  s.max_dbm = mean + 2.0 * sigma;
+  return s;
+}
+
+TrainingPoint make_point(const std::string& name, geom::Vec2 pos,
+                         std::vector<ApStatistics> aps) {
+  TrainingPoint p;
+  p.location = name;
+  p.position = pos;
+  p.per_ap = std::move(aps);
+  return p;
+}
+
+TEST(ApStatistics, VisibilityAndGaussian) {
+  ApStatistics s = make_stats("aa", -60.0, 0.2, 45, 90);
+  EXPECT_DOUBLE_EQ(s.visibility(), 0.5);
+  EXPECT_DOUBLE_EQ(s.gaussian(1.0).sigma, 1.0);  // floored
+  EXPECT_DOUBLE_EQ(s.gaussian(0.1).sigma, 0.2);
+  s.scan_count = 0;
+  EXPECT_DOUBLE_EQ(s.visibility(), 0.0);
+}
+
+TEST(TrainingPoint, FindAndSignature) {
+  const TrainingPoint p = make_point(
+      "k", {1.0, 2.0},
+      {make_stats("aa", -50.0, 2.0), make_stats("bb", -70.0, 3.0)});
+  ASSERT_NE(p.find("aa"), nullptr);
+  EXPECT_EQ(p.find("cc"), nullptr);
+  const auto sig = p.signature({"aa", "bb", "cc"}, -100.0);
+  ASSERT_EQ(sig.size(), 3u);
+  EXPECT_DOUBLE_EQ(sig[0], -50.0);
+  EXPECT_DOUBLE_EQ(sig[1], -70.0);
+  EXPECT_DOUBLE_EQ(sig[2], -100.0);
+}
+
+TEST(TrainingDatabase, AddSortsApsAndBuildsUniverse) {
+  TrainingDatabase db;
+  db.add_point(make_point("p1", {0, 0},
+                          {make_stats("zz", -60, 2), make_stats("aa", -50, 2)}));
+  db.add_point(make_point("p2", {10, 0}, {make_stats("mm", -55, 2)}));
+
+  // Universe sorted and deduplicated.
+  const auto& u = db.bssid_universe();
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_EQ(u[0], "aa");
+  EXPECT_EQ(u[1], "mm");
+  EXPECT_EQ(u[2], "zz");
+  // per_ap sorted inside the point.
+  EXPECT_EQ(db.points()[0].per_ap[0].bssid, "aa");
+  EXPECT_EQ(db.points()[0].per_ap[1].bssid, "zz");
+  // Index lookup.
+  EXPECT_EQ(*db.bssid_index("mm"), 1u);
+  EXPECT_FALSE(db.bssid_index("nope").has_value());
+}
+
+TEST(TrainingDatabase, DuplicateLocationRejected) {
+  TrainingDatabase db;
+  db.add_point(make_point("p1", {0, 0}, {}));
+  EXPECT_THROW(db.add_point(make_point("p1", {5, 5}, {})),
+               DatabaseError);
+}
+
+TEST(TrainingDatabase, FindAndNearest) {
+  TrainingDatabase db;
+  EXPECT_EQ(db.nearest_point({0, 0}), nullptr);
+  db.add_point(make_point("sw", {0, 0}, {}));
+  db.add_point(make_point("ne", {50, 40}, {}));
+  EXPECT_EQ(db.find("sw"), &db.points()[0]);
+  EXPECT_EQ(db.find("missing"), nullptr);
+  EXPECT_EQ(db.nearest_point({5, 5})->location, "sw");
+  EXPECT_EQ(db.nearest_point({45, 35})->location, "ne");
+}
+
+TEST(TrainingDatabase, SampleManagement) {
+  TrainingDatabase db;
+  ApStatistics with_samples = make_stats("aa", -50, 2);
+  with_samples.samples_centi_dbm = {-5000, -5100, -4900};
+  db.add_point(make_point("p", {0, 0}, {with_samples}));
+  EXPECT_TRUE(db.has_samples());
+  db.strip_samples();
+  EXPECT_FALSE(db.has_samples());
+  // Stats survive the strip.
+  EXPECT_DOUBLE_EQ(db.points()[0].per_ap[0].mean_dbm, -50.0);
+}
+
+TEST(TrainingDatabase, SiteNameAndEquality) {
+  TrainingDatabase a, b;
+  a.set_site_name("house");
+  b.set_site_name("house");
+  EXPECT_EQ(a, b);
+  b.add_point(make_point("p", {0, 0}, {}));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace loctk::traindb
