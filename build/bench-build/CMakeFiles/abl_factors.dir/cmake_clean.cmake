@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_factors"
+  "../bench/abl_factors.pdb"
+  "CMakeFiles/abl_factors.dir/abl_factors.cpp.o"
+  "CMakeFiles/abl_factors.dir/abl_factors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

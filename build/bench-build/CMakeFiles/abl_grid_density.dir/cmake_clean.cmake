@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_grid_density"
+  "../bench/abl_grid_density.pdb"
+  "CMakeFiles/abl_grid_density.dir/abl_grid_density.cpp.o"
+  "CMakeFiles/abl_grid_density.dir/abl_grid_density.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_grid_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

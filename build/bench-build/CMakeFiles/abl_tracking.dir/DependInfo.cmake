@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_tracking.cpp" "bench-build/CMakeFiles/abl_tracking.dir/abl_tracking.cpp.o" "gcc" "bench-build/CMakeFiles/abl_tracking.dir/abl_tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/floorplan/CMakeFiles/loctk_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/loctk_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/loctk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traindb/CMakeFiles/loctk_traindb.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/loctk_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/wiscan/CMakeFiles/loctk_wiscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/loctk_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/loctk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/loctk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

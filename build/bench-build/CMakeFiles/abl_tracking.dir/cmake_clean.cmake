@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_tracking"
+  "../bench/abl_tracking.pdb"
+  "CMakeFiles/abl_tracking.dir/abl_tracking.cpp.o"
+  "CMakeFiles/abl_tracking.dir/abl_tracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

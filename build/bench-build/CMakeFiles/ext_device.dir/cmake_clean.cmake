@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_device"
+  "../bench/ext_device.pdb"
+  "CMakeFiles/ext_device.dir/ext_device.cpp.o"
+  "CMakeFiles/ext_device.dir/ext_device.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

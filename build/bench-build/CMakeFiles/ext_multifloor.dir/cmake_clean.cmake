@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multifloor"
+  "../bench/ext_multifloor.pdb"
+  "CMakeFiles/ext_multifloor.dir/ext_multifloor.cpp.o"
+  "CMakeFiles/ext_multifloor.dir/ext_multifloor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multifloor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_uwb"
+  "../bench/ext_uwb.pdb"
+  "CMakeFiles/ext_uwb.dir/ext_uwb.cpp.o"
+  "CMakeFiles/ext_uwb.dir/ext_uwb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_uwb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

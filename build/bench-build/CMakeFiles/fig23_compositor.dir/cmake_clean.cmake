@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig23_compositor"
+  "../bench/fig23_compositor.pdb"
+  "CMakeFiles/fig23_compositor.dir/fig23_compositor.cpp.o"
+  "CMakeFiles/fig23_compositor.dir/fig23_compositor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_compositor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

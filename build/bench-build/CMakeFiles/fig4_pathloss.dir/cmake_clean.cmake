@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_pathloss"
+  "../bench/fig4_pathloss.pdb"
+  "CMakeFiles/fig4_pathloss.dir/fig4_pathloss.cpp.o"
+  "CMakeFiles/fig4_pathloss.dir/fig4_pathloss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pathloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

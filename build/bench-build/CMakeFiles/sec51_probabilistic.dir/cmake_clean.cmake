@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec51_probabilistic"
+  "../bench/sec51_probabilistic.pdb"
+  "CMakeFiles/sec51_probabilistic.dir/sec51_probabilistic.cpp.o"
+  "CMakeFiles/sec51_probabilistic.dir/sec51_probabilistic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_probabilistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec52_geometric"
+  "../bench/sec52_geometric.pdb"
+  "CMakeFiles/sec52_geometric.dir/sec52_geometric.cpp.o"
+  "CMakeFiles/sec52_geometric.dir/sec52_geometric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_geometric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

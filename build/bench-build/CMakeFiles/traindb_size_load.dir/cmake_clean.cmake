@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/traindb_size_load"
+  "../bench/traindb_size_load.pdb"
+  "CMakeFiles/traindb_size_load.dir/traindb_size_load.cpp.o"
+  "CMakeFiles/traindb_size_load.dir/traindb_size_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traindb_size_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for traindb_size_load.
+# This may be replaced when dependencies are built.

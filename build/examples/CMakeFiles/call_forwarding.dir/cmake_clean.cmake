@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_forwarding.dir/call_forwarding.cpp.o"
+  "CMakeFiles/call_forwarding.dir/call_forwarding.cpp.o.d"
+  "call_forwarding"
+  "call_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compositor_tool.dir/compositor_tool.cpp.o"
+  "CMakeFiles/compositor_tool.dir/compositor_tool.cpp.o.d"
+  "compositor_tool"
+  "compositor_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compositor_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_tool.dir/floorplan_tool.cpp.o"
+  "CMakeFiles/floorplan_tool.dir/floorplan_tool.cpp.o.d"
+  "floorplan_tool"
+  "floorplan_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

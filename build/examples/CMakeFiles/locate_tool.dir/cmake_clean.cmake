@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locate_tool.dir/locate_tool.cpp.o"
+  "CMakeFiles/locate_tool.dir/locate_tool.cpp.o.d"
+  "locate_tool"
+  "locate_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locate_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_deployment.dir/office_deployment.cpp.o"
+  "CMakeFiles/office_deployment.dir/office_deployment.cpp.o.d"
+  "office_deployment"
+  "office_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

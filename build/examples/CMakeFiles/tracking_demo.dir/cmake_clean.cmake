@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracking_demo.dir/tracking_demo.cpp.o"
+  "CMakeFiles/tracking_demo.dir/tracking_demo.cpp.o.d"
+  "tracking_demo"
+  "tracking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

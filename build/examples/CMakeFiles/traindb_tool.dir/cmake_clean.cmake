@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traindb_tool.dir/traindb_tool.cpp.o"
+  "CMakeFiles/traindb_tool.dir/traindb_tool.cpp.o.d"
+  "traindb_tool"
+  "traindb_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traindb_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loctk_concurrency.dir/thread_pool.cpp.o"
+  "CMakeFiles/loctk_concurrency.dir/thread_pool.cpp.o.d"
+  "libloctk_concurrency.a"
+  "libloctk_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loctk_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

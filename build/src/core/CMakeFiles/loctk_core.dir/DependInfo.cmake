@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bayes.cpp" "src/core/CMakeFiles/loctk_core.dir/bayes.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/bayes.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/loctk_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/floor_selector.cpp" "src/core/CMakeFiles/loctk_core.dir/floor_selector.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/floor_selector.cpp.o.d"
+  "/root/repo/src/core/geometric.cpp" "src/core/CMakeFiles/loctk_core.dir/geometric.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/geometric.cpp.o.d"
+  "/root/repo/src/core/grid_locator.cpp" "src/core/CMakeFiles/loctk_core.dir/grid_locator.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/grid_locator.cpp.o.d"
+  "/root/repo/src/core/histogram_locator.cpp" "src/core/CMakeFiles/loctk_core.dir/histogram_locator.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/histogram_locator.cpp.o.d"
+  "/root/repo/src/core/hmm_tracker.cpp" "src/core/CMakeFiles/loctk_core.dir/hmm_tracker.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/hmm_tracker.cpp.o.d"
+  "/root/repo/src/core/knn.cpp" "src/core/CMakeFiles/loctk_core.dir/knn.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/knn.cpp.o.d"
+  "/root/repo/src/core/location_service.cpp" "src/core/CMakeFiles/loctk_core.dir/location_service.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/location_service.cpp.o.d"
+  "/root/repo/src/core/observation.cpp" "src/core/CMakeFiles/loctk_core.dir/observation.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/observation.cpp.o.d"
+  "/root/repo/src/core/path.cpp" "src/core/CMakeFiles/loctk_core.dir/path.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/path.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/loctk_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/loctk_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/probabilistic.cpp" "src/core/CMakeFiles/loctk_core.dir/probabilistic.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/probabilistic.cpp.o.d"
+  "/root/repo/src/core/signal_field.cpp" "src/core/CMakeFiles/loctk_core.dir/signal_field.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/signal_field.cpp.o.d"
+  "/root/repo/src/core/signal_index.cpp" "src/core/CMakeFiles/loctk_core.dir/signal_index.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/signal_index.cpp.o.d"
+  "/root/repo/src/core/ssd_locator.cpp" "src/core/CMakeFiles/loctk_core.dir/ssd_locator.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/ssd_locator.cpp.o.d"
+  "/root/repo/src/core/tracking.cpp" "src/core/CMakeFiles/loctk_core.dir/tracking.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/tracking.cpp.o.d"
+  "/root/repo/src/core/uwb_locator.cpp" "src/core/CMakeFiles/loctk_core.dir/uwb_locator.cpp.o" "gcc" "src/core/CMakeFiles/loctk_core.dir/uwb_locator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traindb/CMakeFiles/loctk_traindb.dir/DependInfo.cmake"
+  "/root/repo/build/src/wiscan/CMakeFiles/loctk_wiscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/loctk_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/loctk_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/loctk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/loctk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

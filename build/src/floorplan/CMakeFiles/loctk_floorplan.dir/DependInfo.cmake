@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/floorplan/compositor.cpp" "src/floorplan/CMakeFiles/loctk_floorplan.dir/compositor.cpp.o" "gcc" "src/floorplan/CMakeFiles/loctk_floorplan.dir/compositor.cpp.o.d"
+  "/root/repo/src/floorplan/floor_plan.cpp" "src/floorplan/CMakeFiles/loctk_floorplan.dir/floor_plan.cpp.o" "gcc" "src/floorplan/CMakeFiles/loctk_floorplan.dir/floor_plan.cpp.o.d"
+  "/root/repo/src/floorplan/heatmap.cpp" "src/floorplan/CMakeFiles/loctk_floorplan.dir/heatmap.cpp.o" "gcc" "src/floorplan/CMakeFiles/loctk_floorplan.dir/heatmap.cpp.o.d"
+  "/root/repo/src/floorplan/processor.cpp" "src/floorplan/CMakeFiles/loctk_floorplan.dir/processor.cpp.o" "gcc" "src/floorplan/CMakeFiles/loctk_floorplan.dir/processor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/loctk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/loctk_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/loctk_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/loctk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loctk_floorplan.dir/compositor.cpp.o"
+  "CMakeFiles/loctk_floorplan.dir/compositor.cpp.o.d"
+  "CMakeFiles/loctk_floorplan.dir/floor_plan.cpp.o"
+  "CMakeFiles/loctk_floorplan.dir/floor_plan.cpp.o.d"
+  "CMakeFiles/loctk_floorplan.dir/heatmap.cpp.o"
+  "CMakeFiles/loctk_floorplan.dir/heatmap.cpp.o.d"
+  "CMakeFiles/loctk_floorplan.dir/processor.cpp.o"
+  "CMakeFiles/loctk_floorplan.dir/processor.cpp.o.d"
+  "libloctk_floorplan.a"
+  "libloctk_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loctk_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

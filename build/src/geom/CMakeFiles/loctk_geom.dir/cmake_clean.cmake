@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loctk_geom.dir/circle.cpp.o"
+  "CMakeFiles/loctk_geom.dir/circle.cpp.o.d"
+  "CMakeFiles/loctk_geom.dir/lateration.cpp.o"
+  "CMakeFiles/loctk_geom.dir/lateration.cpp.o.d"
+  "CMakeFiles/loctk_geom.dir/polygon.cpp.o"
+  "CMakeFiles/loctk_geom.dir/polygon.cpp.o.d"
+  "CMakeFiles/loctk_geom.dir/segment.cpp.o"
+  "CMakeFiles/loctk_geom.dir/segment.cpp.o.d"
+  "CMakeFiles/loctk_geom.dir/vec2.cpp.o"
+  "CMakeFiles/loctk_geom.dir/vec2.cpp.o.d"
+  "libloctk_geom.a"
+  "libloctk_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loctk_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

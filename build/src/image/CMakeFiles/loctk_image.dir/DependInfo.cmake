@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/codec_bmp.cpp" "src/image/CMakeFiles/loctk_image.dir/codec_bmp.cpp.o" "gcc" "src/image/CMakeFiles/loctk_image.dir/codec_bmp.cpp.o.d"
+  "/root/repo/src/image/codec_pnm.cpp" "src/image/CMakeFiles/loctk_image.dir/codec_pnm.cpp.o" "gcc" "src/image/CMakeFiles/loctk_image.dir/codec_pnm.cpp.o.d"
+  "/root/repo/src/image/draw.cpp" "src/image/CMakeFiles/loctk_image.dir/draw.cpp.o" "gcc" "src/image/CMakeFiles/loctk_image.dir/draw.cpp.o.d"
+  "/root/repo/src/image/font.cpp" "src/image/CMakeFiles/loctk_image.dir/font.cpp.o" "gcc" "src/image/CMakeFiles/loctk_image.dir/font.cpp.o.d"
+  "/root/repo/src/image/raster.cpp" "src/image/CMakeFiles/loctk_image.dir/raster.cpp.o" "gcc" "src/image/CMakeFiles/loctk_image.dir/raster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

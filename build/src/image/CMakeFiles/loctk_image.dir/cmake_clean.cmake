@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loctk_image.dir/codec_bmp.cpp.o"
+  "CMakeFiles/loctk_image.dir/codec_bmp.cpp.o.d"
+  "CMakeFiles/loctk_image.dir/codec_pnm.cpp.o"
+  "CMakeFiles/loctk_image.dir/codec_pnm.cpp.o.d"
+  "CMakeFiles/loctk_image.dir/draw.cpp.o"
+  "CMakeFiles/loctk_image.dir/draw.cpp.o.d"
+  "CMakeFiles/loctk_image.dir/font.cpp.o"
+  "CMakeFiles/loctk_image.dir/font.cpp.o.d"
+  "CMakeFiles/loctk_image.dir/raster.cpp.o"
+  "CMakeFiles/loctk_image.dir/raster.cpp.o.d"
+  "libloctk_image.a"
+  "libloctk_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loctk_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/environment.cpp" "src/radio/CMakeFiles/loctk_radio.dir/environment.cpp.o" "gcc" "src/radio/CMakeFiles/loctk_radio.dir/environment.cpp.o.d"
+  "/root/repo/src/radio/multifloor.cpp" "src/radio/CMakeFiles/loctk_radio.dir/multifloor.cpp.o" "gcc" "src/radio/CMakeFiles/loctk_radio.dir/multifloor.cpp.o.d"
+  "/root/repo/src/radio/propagation.cpp" "src/radio/CMakeFiles/loctk_radio.dir/propagation.cpp.o" "gcc" "src/radio/CMakeFiles/loctk_radio.dir/propagation.cpp.o.d"
+  "/root/repo/src/radio/scanner.cpp" "src/radio/CMakeFiles/loctk_radio.dir/scanner.cpp.o" "gcc" "src/radio/CMakeFiles/loctk_radio.dir/scanner.cpp.o.d"
+  "/root/repo/src/radio/uwb.cpp" "src/radio/CMakeFiles/loctk_radio.dir/uwb.cpp.o" "gcc" "src/radio/CMakeFiles/loctk_radio.dir/uwb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/loctk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/loctk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loctk_radio.dir/environment.cpp.o"
+  "CMakeFiles/loctk_radio.dir/environment.cpp.o.d"
+  "CMakeFiles/loctk_radio.dir/multifloor.cpp.o"
+  "CMakeFiles/loctk_radio.dir/multifloor.cpp.o.d"
+  "CMakeFiles/loctk_radio.dir/propagation.cpp.o"
+  "CMakeFiles/loctk_radio.dir/propagation.cpp.o.d"
+  "CMakeFiles/loctk_radio.dir/scanner.cpp.o"
+  "CMakeFiles/loctk_radio.dir/scanner.cpp.o.d"
+  "CMakeFiles/loctk_radio.dir/uwb.cpp.o"
+  "CMakeFiles/loctk_radio.dir/uwb.cpp.o.d"
+  "libloctk_radio.a"
+  "libloctk_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loctk_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

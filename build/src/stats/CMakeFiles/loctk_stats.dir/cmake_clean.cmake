@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loctk_stats.dir/gaussian.cpp.o"
+  "CMakeFiles/loctk_stats.dir/gaussian.cpp.o.d"
+  "CMakeFiles/loctk_stats.dir/histogram.cpp.o"
+  "CMakeFiles/loctk_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/loctk_stats.dir/regression.cpp.o"
+  "CMakeFiles/loctk_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/loctk_stats.dir/running_stats.cpp.o"
+  "CMakeFiles/loctk_stats.dir/running_stats.cpp.o.d"
+  "libloctk_stats.a"
+  "libloctk_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loctk_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traindb/codec.cpp" "src/traindb/CMakeFiles/loctk_traindb.dir/codec.cpp.o" "gcc" "src/traindb/CMakeFiles/loctk_traindb.dir/codec.cpp.o.d"
+  "/root/repo/src/traindb/database.cpp" "src/traindb/CMakeFiles/loctk_traindb.dir/database.cpp.o" "gcc" "src/traindb/CMakeFiles/loctk_traindb.dir/database.cpp.o.d"
+  "/root/repo/src/traindb/generator.cpp" "src/traindb/CMakeFiles/loctk_traindb.dir/generator.cpp.o" "gcc" "src/traindb/CMakeFiles/loctk_traindb.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wiscan/CMakeFiles/loctk_wiscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/loctk_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/loctk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/loctk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/loctk_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loctk_traindb.dir/codec.cpp.o"
+  "CMakeFiles/loctk_traindb.dir/codec.cpp.o.d"
+  "CMakeFiles/loctk_traindb.dir/database.cpp.o"
+  "CMakeFiles/loctk_traindb.dir/database.cpp.o.d"
+  "CMakeFiles/loctk_traindb.dir/generator.cpp.o"
+  "CMakeFiles/loctk_traindb.dir/generator.cpp.o.d"
+  "libloctk_traindb.a"
+  "libloctk_traindb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loctk_traindb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

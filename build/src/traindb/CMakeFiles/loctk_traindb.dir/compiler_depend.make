@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for loctk_traindb.
+# This may be replaced when dependencies are built.

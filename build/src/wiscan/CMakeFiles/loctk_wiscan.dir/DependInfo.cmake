@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wiscan/archive.cpp" "src/wiscan/CMakeFiles/loctk_wiscan.dir/archive.cpp.o" "gcc" "src/wiscan/CMakeFiles/loctk_wiscan.dir/archive.cpp.o.d"
+  "/root/repo/src/wiscan/collection.cpp" "src/wiscan/CMakeFiles/loctk_wiscan.dir/collection.cpp.o" "gcc" "src/wiscan/CMakeFiles/loctk_wiscan.dir/collection.cpp.o.d"
+  "/root/repo/src/wiscan/format.cpp" "src/wiscan/CMakeFiles/loctk_wiscan.dir/format.cpp.o" "gcc" "src/wiscan/CMakeFiles/loctk_wiscan.dir/format.cpp.o.d"
+  "/root/repo/src/wiscan/location_map.cpp" "src/wiscan/CMakeFiles/loctk_wiscan.dir/location_map.cpp.o" "gcc" "src/wiscan/CMakeFiles/loctk_wiscan.dir/location_map.cpp.o.d"
+  "/root/repo/src/wiscan/record.cpp" "src/wiscan/CMakeFiles/loctk_wiscan.dir/record.cpp.o" "gcc" "src/wiscan/CMakeFiles/loctk_wiscan.dir/record.cpp.o.d"
+  "/root/repo/src/wiscan/survey.cpp" "src/wiscan/CMakeFiles/loctk_wiscan.dir/survey.cpp.o" "gcc" "src/wiscan/CMakeFiles/loctk_wiscan.dir/survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/radio/CMakeFiles/loctk_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/loctk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/loctk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loctk_wiscan.dir/archive.cpp.o"
+  "CMakeFiles/loctk_wiscan.dir/archive.cpp.o.d"
+  "CMakeFiles/loctk_wiscan.dir/collection.cpp.o"
+  "CMakeFiles/loctk_wiscan.dir/collection.cpp.o.d"
+  "CMakeFiles/loctk_wiscan.dir/format.cpp.o"
+  "CMakeFiles/loctk_wiscan.dir/format.cpp.o.d"
+  "CMakeFiles/loctk_wiscan.dir/location_map.cpp.o"
+  "CMakeFiles/loctk_wiscan.dir/location_map.cpp.o.d"
+  "CMakeFiles/loctk_wiscan.dir/record.cpp.o"
+  "CMakeFiles/loctk_wiscan.dir/record.cpp.o.d"
+  "CMakeFiles/loctk_wiscan.dir/survey.cpp.o"
+  "CMakeFiles/loctk_wiscan.dir/survey.cpp.o.d"
+  "libloctk_wiscan.a"
+  "libloctk_wiscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loctk_wiscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_evaluation_test.cpp" "tests/CMakeFiles/core_tests.dir/core_evaluation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_evaluation_test.cpp.o.d"
+  "/root/repo/tests/core_field_grid_test.cpp" "tests/CMakeFiles/core_tests.dir/core_field_grid_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_field_grid_test.cpp.o.d"
+  "/root/repo/tests/core_floor_selector_test.cpp" "tests/CMakeFiles/core_tests.dir/core_floor_selector_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_floor_selector_test.cpp.o.d"
+  "/root/repo/tests/core_geometric_test.cpp" "tests/CMakeFiles/core_tests.dir/core_geometric_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_geometric_test.cpp.o.d"
+  "/root/repo/tests/core_hmm_uwb_test.cpp" "tests/CMakeFiles/core_tests.dir/core_hmm_uwb_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_hmm_uwb_test.cpp.o.d"
+  "/root/repo/tests/core_knn_bayes_test.cpp" "tests/CMakeFiles/core_tests.dir/core_knn_bayes_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_knn_bayes_test.cpp.o.d"
+  "/root/repo/tests/core_location_service_test.cpp" "tests/CMakeFiles/core_tests.dir/core_location_service_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_location_service_test.cpp.o.d"
+  "/root/repo/tests/core_observation_test.cpp" "tests/CMakeFiles/core_tests.dir/core_observation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_observation_test.cpp.o.d"
+  "/root/repo/tests/core_path_test.cpp" "tests/CMakeFiles/core_tests.dir/core_path_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_path_test.cpp.o.d"
+  "/root/repo/tests/core_pipeline_test.cpp" "tests/CMakeFiles/core_tests.dir/core_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_pipeline_test.cpp.o.d"
+  "/root/repo/tests/core_placement_test.cpp" "tests/CMakeFiles/core_tests.dir/core_placement_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_placement_test.cpp.o.d"
+  "/root/repo/tests/core_probabilistic_test.cpp" "tests/CMakeFiles/core_tests.dir/core_probabilistic_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_probabilistic_test.cpp.o.d"
+  "/root/repo/tests/core_signal_index_test.cpp" "tests/CMakeFiles/core_tests.dir/core_signal_index_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_signal_index_test.cpp.o.d"
+  "/root/repo/tests/core_ssd_test.cpp" "tests/CMakeFiles/core_tests.dir/core_ssd_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_ssd_test.cpp.o.d"
+  "/root/repo/tests/core_tracking_test.cpp" "tests/CMakeFiles/core_tests.dir/core_tracking_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_tracking_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/floorplan/CMakeFiles/loctk_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/loctk_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/loctk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traindb/CMakeFiles/loctk_traindb.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/loctk_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/wiscan/CMakeFiles/loctk_wiscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/loctk_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/loctk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/loctk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_tests.dir/compositor_test.cpp.o"
+  "CMakeFiles/floorplan_tests.dir/compositor_test.cpp.o.d"
+  "CMakeFiles/floorplan_tests.dir/floorplan_heatmap_test.cpp.o"
+  "CMakeFiles/floorplan_tests.dir/floorplan_heatmap_test.cpp.o.d"
+  "CMakeFiles/floorplan_tests.dir/floorplan_test.cpp.o"
+  "CMakeFiles/floorplan_tests.dir/floorplan_test.cpp.o.d"
+  "floorplan_tests"
+  "floorplan_tests.pdb"
+  "floorplan_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

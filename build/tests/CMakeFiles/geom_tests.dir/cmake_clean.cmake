@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_tests.dir/geom_circle_test.cpp.o"
+  "CMakeFiles/geom_tests.dir/geom_circle_test.cpp.o.d"
+  "CMakeFiles/geom_tests.dir/geom_lateration_test.cpp.o"
+  "CMakeFiles/geom_tests.dir/geom_lateration_test.cpp.o.d"
+  "CMakeFiles/geom_tests.dir/geom_polygon_test.cpp.o"
+  "CMakeFiles/geom_tests.dir/geom_polygon_test.cpp.o.d"
+  "CMakeFiles/geom_tests.dir/geom_rect_test.cpp.o"
+  "CMakeFiles/geom_tests.dir/geom_rect_test.cpp.o.d"
+  "CMakeFiles/geom_tests.dir/geom_segment_test.cpp.o"
+  "CMakeFiles/geom_tests.dir/geom_segment_test.cpp.o.d"
+  "CMakeFiles/geom_tests.dir/geom_vec2_test.cpp.o"
+  "CMakeFiles/geom_tests.dir/geom_vec2_test.cpp.o.d"
+  "geom_tests"
+  "geom_tests.pdb"
+  "geom_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

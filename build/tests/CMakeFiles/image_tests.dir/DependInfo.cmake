@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/image_codec_test.cpp" "tests/CMakeFiles/image_tests.dir/image_codec_test.cpp.o" "gcc" "tests/CMakeFiles/image_tests.dir/image_codec_test.cpp.o.d"
+  "/root/repo/tests/image_draw_test.cpp" "tests/CMakeFiles/image_tests.dir/image_draw_test.cpp.o" "gcc" "tests/CMakeFiles/image_tests.dir/image_draw_test.cpp.o.d"
+  "/root/repo/tests/image_font_test.cpp" "tests/CMakeFiles/image_tests.dir/image_font_test.cpp.o" "gcc" "tests/CMakeFiles/image_tests.dir/image_font_test.cpp.o.d"
+  "/root/repo/tests/image_raster_test.cpp" "tests/CMakeFiles/image_tests.dir/image_raster_test.cpp.o" "gcc" "tests/CMakeFiles/image_tests.dir/image_raster_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/floorplan/CMakeFiles/loctk_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/loctk_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/loctk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traindb/CMakeFiles/loctk_traindb.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/loctk_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/wiscan/CMakeFiles/loctk_wiscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/loctk_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/loctk_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/loctk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

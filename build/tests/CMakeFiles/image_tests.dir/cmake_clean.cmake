@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_tests.dir/image_codec_test.cpp.o"
+  "CMakeFiles/image_tests.dir/image_codec_test.cpp.o.d"
+  "CMakeFiles/image_tests.dir/image_draw_test.cpp.o"
+  "CMakeFiles/image_tests.dir/image_draw_test.cpp.o.d"
+  "CMakeFiles/image_tests.dir/image_font_test.cpp.o"
+  "CMakeFiles/image_tests.dir/image_font_test.cpp.o.d"
+  "CMakeFiles/image_tests.dir/image_raster_test.cpp.o"
+  "CMakeFiles/image_tests.dir/image_raster_test.cpp.o.d"
+  "image_tests"
+  "image_tests.pdb"
+  "image_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_tests.dir/radio_environment_test.cpp.o"
+  "CMakeFiles/radio_tests.dir/radio_environment_test.cpp.o.d"
+  "CMakeFiles/radio_tests.dir/radio_multifloor_test.cpp.o"
+  "CMakeFiles/radio_tests.dir/radio_multifloor_test.cpp.o.d"
+  "CMakeFiles/radio_tests.dir/radio_propagation_test.cpp.o"
+  "CMakeFiles/radio_tests.dir/radio_propagation_test.cpp.o.d"
+  "CMakeFiles/radio_tests.dir/radio_scanner_test.cpp.o"
+  "CMakeFiles/radio_tests.dir/radio_scanner_test.cpp.o.d"
+  "radio_tests"
+  "radio_tests.pdb"
+  "radio_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

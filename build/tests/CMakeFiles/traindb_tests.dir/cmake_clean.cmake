@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traindb_tests.dir/traindb_codec_test.cpp.o"
+  "CMakeFiles/traindb_tests.dir/traindb_codec_test.cpp.o.d"
+  "CMakeFiles/traindb_tests.dir/traindb_database_test.cpp.o"
+  "CMakeFiles/traindb_tests.dir/traindb_database_test.cpp.o.d"
+  "CMakeFiles/traindb_tests.dir/traindb_generator_test.cpp.o"
+  "CMakeFiles/traindb_tests.dir/traindb_generator_test.cpp.o.d"
+  "traindb_tests"
+  "traindb_tests.pdb"
+  "traindb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traindb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

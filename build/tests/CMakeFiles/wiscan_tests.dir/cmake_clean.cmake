@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiscan_tests.dir/wiscan_archive_test.cpp.o"
+  "CMakeFiles/wiscan_tests.dir/wiscan_archive_test.cpp.o.d"
+  "CMakeFiles/wiscan_tests.dir/wiscan_collection_test.cpp.o"
+  "CMakeFiles/wiscan_tests.dir/wiscan_collection_test.cpp.o.d"
+  "CMakeFiles/wiscan_tests.dir/wiscan_format_test.cpp.o"
+  "CMakeFiles/wiscan_tests.dir/wiscan_format_test.cpp.o.d"
+  "CMakeFiles/wiscan_tests.dir/wiscan_location_map_test.cpp.o"
+  "CMakeFiles/wiscan_tests.dir/wiscan_location_map_test.cpp.o.d"
+  "wiscan_tests"
+  "wiscan_tests.pdb"
+  "wiscan_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiscan_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

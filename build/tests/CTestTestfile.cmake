@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/geom_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_tests[1]_include.cmake")
+include("/root/repo/build/tests/image_tests[1]_include.cmake")
+include("/root/repo/build/tests/radio_tests[1]_include.cmake")
+include("/root/repo/build/tests/wiscan_tests[1]_include.cmake")
+include("/root/repo/build/tests/floorplan_tests[1]_include.cmake")
+include("/root/repo/build/tests/traindb_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
