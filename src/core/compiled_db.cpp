@@ -1,0 +1,75 @@
+#include "core/compiled_db.hpp"
+
+#include <algorithm>
+
+namespace loctk::core {
+
+CompiledDatabase::CompiledDatabase(const traindb::TrainingDatabase& db)
+    : db_(&db),
+      points_(db.size()),
+      universe_(db.bssid_universe().size()) {
+  const std::size_t cells = points_ * universe_;
+  mean_.assign(cells, 0.0);
+  stddev_.assign(cells, 0.0);
+  mask_.assign(cells, 0.0);
+  weight_.assign(cells, 0.0);
+  trained_count_.assign(points_, 0);
+
+  const auto& universe = db.bssid_universe();
+  for (std::size_t p = 0; p < points_; ++p) {
+    const traindb::TrainingPoint& tp = db.points()[p];
+    const std::size_t base = p * universe_;
+    // per_ap and the universe are both sorted by BSSID: one merge
+    // interns the whole row.
+    std::size_t j = 0;
+    for (const traindb::ApStatistics& s : tp.per_ap) {
+      while (j < universe_ && universe[j] < s.bssid) ++j;
+      if (j == universe_ || universe[j] != s.bssid) continue;
+      mean_[base + j] = s.mean_dbm;
+      stddev_[base + j] = s.stddev_db;
+      mask_[base + j] = 1.0;
+      weight_[base + j] = static_cast<double>(s.sample_count);
+      ++j;
+    }
+    int count = 0;
+    for (std::size_t u = 0; u < universe_; ++u) {
+      count += mask_[base + u] != 0.0;
+    }
+    trained_count_[p] = count;
+  }
+}
+
+std::optional<std::uint32_t> CompiledDatabase::slot_of(
+    const std::string& bssid) const {
+  const auto idx = db_->bssid_index(bssid);
+  if (!idx) return std::nullopt;
+  return static_cast<std::uint32_t>(*idx);
+}
+
+CompiledObservation CompiledDatabase::compile_observation(
+    const Observation& obs) const {
+  CompiledObservation q;
+  q.mean_dbm.assign(universe_, 0.0);
+  q.present.assign(universe_, 0.0);
+  q.total_aps = obs.ap_count();
+  q.slots.reserve(obs.ap_count());
+  q.slot_aps.reserve(obs.ap_count());
+
+  const auto& universe = db_->bssid_universe();
+  std::size_t j = 0;
+  for (const ObservedAp& ap : obs.aps()) {
+    while (j < universe_ && universe[j] < ap.bssid) ++j;
+    if (j < universe_ && universe[j] == ap.bssid) {
+      q.mean_dbm[j] = ap.mean_dbm;
+      q.present[j] = 1.0;
+      q.slots.push_back(static_cast<std::uint32_t>(j));
+      q.slot_aps.push_back(&ap);
+      ++j;
+    } else {
+      ++q.outside_universe;
+    }
+  }
+  return q;
+}
+
+}  // namespace loctk::core

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file compiled_db.hpp
+/// Dense, cache-friendly compilation of a TrainingDatabase.
+///
+/// Every fingerprint locator's inner loop walks <training point, AP>
+/// pairs. The string-keyed form (`TrainingPoint::find`,
+/// `Observation::mean_of`) pays a BSSID comparison per pair, which is
+/// fine for the paper's 12-point house but dominates once the radio
+/// map grows to campus scale. `CompiledDatabase` interns the BSSID
+/// universe to integer slots once and lays the per-pair statistics out
+/// as row-major `points x universe` structure-of-arrays matrices, so
+/// scoring kernels become flat, branch-light loops over doubles.
+///
+/// The compiled form is a *view plus derived data*: it keeps a
+/// non-owning pointer to the source database (which must outlive it)
+/// and all dense matrices. Locators share one compilation through
+/// `std::shared_ptr<const CompiledDatabase>`.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/observation.hpp"
+#include "traindb/database.hpp"
+
+namespace loctk::core {
+
+/// An Observation lowered onto a compiled universe: dense mean vector,
+/// presence mask, and the list of occupied slots. Produced by
+/// `CompiledDatabase::compile`; valid only against the database that
+/// compiled it, and only while the source Observation is alive (it
+/// keeps per-slot pointers for sample-level scoring).
+struct CompiledObservation {
+  /// Mean dBm per universe slot; 0.0 where the AP was not heard (the
+  /// presence mask gates every use, so the fill value never leaks).
+  std::vector<double> mean_dbm;
+  /// 1.0 where the slot was heard, 0.0 otherwise — kept as doubles so
+  /// kernels can multiply instead of branch.
+  std::vector<double> present;
+  /// Occupied slot ids, ascending (== BSSID order).
+  std::vector<std::uint32_t> slots;
+  /// Source aggregate per occupied slot, aligned with `slots`.
+  std::vector<const ObservedAp*> slot_aps;
+  /// Observed APs whose BSSID is not in the training universe. They
+  /// can never match any training point, so locators fold them into
+  /// the missing-AP penalty as a per-observation constant.
+  int outside_universe = 0;
+  /// Total APs in the source observation.
+  std::size_t total_aps = 0;
+
+  /// Occupied slots inside the universe.
+  int in_universe() const { return static_cast<int>(slots.size()); }
+  bool empty() const { return total_aps == 0; }
+};
+
+/// Dense structure-of-arrays form of a TrainingDatabase.
+class CompiledDatabase {
+ public:
+  /// `db` must outlive the compiled form.
+  explicit CompiledDatabase(const traindb::TrainingDatabase& db);
+
+  /// Shared-ownership convenience so several locators reuse one
+  /// compilation.
+  static std::shared_ptr<const CompiledDatabase> compile(
+      const traindb::TrainingDatabase& db) {
+    return std::make_shared<const CompiledDatabase>(db);
+  }
+
+  const traindb::TrainingDatabase& database() const { return *db_; }
+  std::size_t point_count() const { return points_; }
+  std::size_t universe_size() const { return universe_; }
+  bool empty() const { return points_ == 0; }
+
+  /// Universe slot of `bssid` (the interned id); nullopt when unknown.
+  std::optional<std::uint32_t> slot_of(const std::string& bssid) const;
+
+  /// Lowers an observation onto this universe in one sorted merge.
+  CompiledObservation compile_observation(const Observation& obs) const;
+
+  /// Row-major accessors; each row has `universe_size()` doubles.
+  const double* mean_row(std::size_t point) const {
+    return mean_.data() + point * universe_;
+  }
+  const double* stddev_row(std::size_t point) const {
+    return stddev_.data() + point * universe_;
+  }
+  /// Presence as a 1.0/0.0 multiplicative mask.
+  const double* mask_row(std::size_t point) const {
+    return mask_.data() + point * universe_;
+  }
+  /// Sample counts as doubles (0 where absent) — pooled-variance
+  /// weights.
+  const double* weight_row(std::size_t point) const {
+    return weight_.data() + point * universe_;
+  }
+
+  /// APs trained at `point` (row popcount).
+  int trained_count(std::size_t point) const {
+    return trained_count_[point];
+  }
+
+  const traindb::TrainingPoint& point(std::size_t i) const {
+    return db_->points()[i];
+  }
+
+ private:
+  const traindb::TrainingDatabase* db_;  // non-owning
+  std::size_t points_ = 0;
+  std::size_t universe_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+  std::vector<double> mask_;
+  std::vector<double> weight_;
+  std::vector<int> trained_count_;
+};
+
+}  // namespace loctk::core

@@ -8,13 +8,19 @@ namespace loctk::core {
 
 HistogramLocator::HistogramLocator(const traindb::TrainingDatabase& db,
                                    HistogramLocatorConfig config)
-    : db_(&db), config_(config) {
+    : HistogramLocator(CompiledDatabase::compile(db), config) {}
+
+HistogramLocator::HistogramLocator(
+    std::shared_ptr<const CompiledDatabase> compiled,
+    HistogramLocatorConfig config)
+    : compiled_(std::move(compiled)), config_(config) {
+  const traindb::TrainingDatabase& db = compiled_->database();
   if (!db.has_samples()) {
     throw traindb::DatabaseError(
         "HistogramLocator: database has no raw samples; regenerate with "
         "keep_samples = true");
   }
-  const auto bins = static_cast<std::size_t>(std::max(
+  bins_ = static_cast<std::size_t>(std::max(
       1.0, std::ceil((config_.hi_dbm - config_.lo_dbm) /
                      config_.bin_width_db)));
   histograms_.reserve(db.size());
@@ -22,7 +28,7 @@ HistogramLocator::HistogramLocator(const traindb::TrainingDatabase& db,
     std::vector<stats::Histogram> per_ap;
     per_ap.reserve(p.per_ap.size());
     for (const traindb::ApStatistics& s : p.per_ap) {
-      stats::Histogram h(config_.lo_dbm, config_.hi_dbm, bins);
+      stats::Histogram h(config_.lo_dbm, config_.hi_dbm, bins_);
       for (const std::int32_t centi : s.samples_centi_dbm) {
         h.add(static_cast<double>(centi) / 100.0);
       }
@@ -30,11 +36,70 @@ HistogramLocator::HistogramLocator(const traindb::TrainingDatabase& db,
     }
     histograms_.push_back(std::move(per_ap));
   }
+
+  // Flatten every histogram into a dense log-probability row over its
+  // universe slot, so scoring is table lookups instead of per-sample
+  // smoothing arithmetic.
+  const std::size_t universe = compiled_->universe_size();
+  const std::size_t row = bins_ + 1;
+  tables_.assign(compiled_->point_count() * universe * row, 0.0);
+  for (std::size_t p = 0; p < compiled_->point_count(); ++p) {
+    const traindb::TrainingPoint& tp = db.points()[p];
+    for (std::size_t a = 0; a < tp.per_ap.size(); ++a) {
+      const auto slot = compiled_->slot_of(tp.per_ap[a].bssid);
+      if (!slot) continue;
+      const stats::Histogram& h = histograms_[p][a];
+      double* cells = tables_.data() + (p * universe + *slot) * row;
+      const double denom =
+          static_cast<double>(h.total()) +
+          config_.alpha * static_cast<double>(bins_);
+      for (std::size_t b = 0; b < bins_; ++b) {
+        cells[b] = std::log(
+            (static_cast<double>(h.count(b)) + config_.alpha) / denom);
+      }
+      cells[bins_] = std::log(config_.alpha / denom);
+    }
+  }
+}
+
+std::size_t HistogramLocator::bin_of(double x) const {
+  if (!(x >= config_.lo_dbm && x < config_.hi_dbm)) return bins_;
+  const double width =
+      (config_.hi_dbm - config_.lo_dbm) / static_cast<double>(bins_);
+  const auto idx =
+      static_cast<std::size_t>((x - config_.lo_dbm) / width);
+  return std::min(idx, bins_ - 1);  // guard FP edge at hi
+}
+
+std::vector<HistogramLocator::SlotBins> HistogramLocator::compile_query(
+    const CompiledObservation& q) const {
+  std::vector<SlotBins> out;
+  out.reserve(q.slots.size());
+  std::vector<double> counts(bins_ + 1);
+  for (std::size_t i = 0; i < q.slots.size(); ++i) {
+    const ObservedAp& ap = *q.slot_aps[i];
+    SlotBins sb;
+    sb.slot = q.slots[i];
+    std::fill(counts.begin(), counts.end(), 0.0);
+    if (ap.samples_dbm.empty()) {
+      counts[bin_of(ap.mean_dbm)] = 1.0;
+      sb.inv_n = 1.0;
+    } else {
+      for (const double v : ap.samples_dbm) counts[bin_of(v)] += 1.0;
+      sb.inv_n = 1.0 / static_cast<double>(ap.samples_dbm.size());
+    }
+    for (std::uint32_t b = 0; b <= bins_; ++b) {
+      if (counts[b] != 0.0) sb.bins.emplace_back(b, counts[b]);
+    }
+    out.push_back(std::move(sb));
+  }
+  return out;
 }
 
 double HistogramLocator::log_likelihood(const Observation& obs,
                                         std::size_t point_index) const {
-  const traindb::TrainingPoint& point = db_->points().at(point_index);
+  const traindb::TrainingPoint& point =
+      compiled_->database().points().at(point_index);
   const auto& hists = histograms_.at(point_index);
 
   double total = 0.0;
@@ -69,20 +134,43 @@ double HistogramLocator::log_likelihood(const Observation& obs,
 
 LocationEstimate HistogramLocator::locate(const Observation& obs) const {
   LocationEstimate est;
-  if (obs.empty() || db_->empty()) return est;
+  if (obs.empty() || compiled_->empty()) return est;
+
+  const std::size_t universe = compiled_->universe_size();
+  const std::size_t row = bins_ + 1;
+  const CompiledObservation q = compiled_->compile_observation(obs);
+  const std::vector<SlotBins> query = compile_query(q);
 
   double best = -std::numeric_limits<double>::infinity();
   std::size_t best_idx = 0;
-  for (std::size_t i = 0; i < db_->size(); ++i) {
-    const double ll = log_likelihood(obs, i);
-    if (ll > best) {
-      best = ll;
-      best_idx = i;
+  for (std::size_t p = 0; p < compiled_->point_count(); ++p) {
+    const double* mask = compiled_->mask_row(p);
+    const double* point_tables = tables_.data() + p * universe * row;
+    double total = 0.0;
+    int common = 0;
+    for (const SlotBins& sb : query) {
+      if (mask[sb.slot] == 0.0) continue;
+      const double* cells = point_tables + sb.slot * row;
+      double ap_sum = 0.0;
+      for (const auto& [bin, count] : sb.bins) {
+        ap_sum += count * cells[bin];
+      }
+      total += ap_sum * sb.inv_n;
+      ++common;
+    }
+    // Penalties: trained-but-unheard plus heard-but-untrained (inside
+    // or outside the trained universe).
+    const int penalties = compiled_->trained_count(p) + q.in_universe() +
+                          q.outside_universe - 2 * common;
+    total += config_.missing_ap_log_penalty * static_cast<double>(penalties);
+    if (total > best) {
+      best = total;
+      best_idx = p;
     }
   }
   if (best == -std::numeric_limits<double>::infinity()) return est;
 
-  const traindb::TrainingPoint& p = db_->points()[best_idx];
+  const traindb::TrainingPoint& p = compiled_->point(best_idx);
   est.valid = true;
   est.position = p.position;
   est.location_name = p.location;

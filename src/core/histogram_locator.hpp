@@ -9,9 +9,18 @@
 /// of the retained raw samples and scores an observation by the
 /// smoothed log-probability of each of its raw readings. It needs a
 /// database generated with `GeneratorConfig::keep_samples = true`.
+///
+/// locate() scores through a compiled table: every <point, universe
+/// slot> histogram is flattened to a per-bin log-probability row and
+/// the observation's readings are reduced to per-slot bin counts, so
+/// the hot loop is integer-indexed table lookups with no string
+/// compares or per-sample log() calls. The per-index
+/// `log_likelihood()` keeps the readable string-keyed reference form.
 
+#include <cstdint>
 #include <vector>
 
+#include "core/compiled_db.hpp"
 #include "core/locator.hpp"
 #include "stats/histogram.hpp"
 
@@ -34,19 +43,41 @@ class HistogramLocator : public Locator {
   explicit HistogramLocator(const traindb::TrainingDatabase& db,
                             HistogramLocatorConfig config = {});
 
+  /// Shares an existing compilation of `db`.
+  explicit HistogramLocator(
+      std::shared_ptr<const CompiledDatabase> compiled,
+      HistogramLocatorConfig config = {});
+
   LocationEstimate locate(const Observation& obs) const override;
   std::string name() const override { return "histogram"; }
 
   /// Log-likelihood of the observation's raw readings at training
-  /// point index `point_index`.
+  /// point index `point_index` (string-keyed reference form).
   double log_likelihood(const Observation& obs,
                         std::size_t point_index) const;
 
  private:
-  const traindb::TrainingDatabase* db_;  // non-owning
+  /// One observed slot reduced to bin counts for table scoring.
+  struct SlotBins {
+    std::uint32_t slot = 0;
+    /// (bin, count) pairs; bin == bins_ is the out-of-range cell.
+    std::vector<std::pair<std::uint32_t, double>> bins;
+    /// 1 / number of raw readings (1.0 for a mean-only slot).
+    double inv_n = 1.0;
+  };
+
+  std::size_t bin_of(double x) const;
+  std::vector<SlotBins> compile_query(const CompiledObservation& q) const;
+
+  std::shared_ptr<const CompiledDatabase> compiled_;
   HistogramLocatorConfig config_;
+  std::size_t bins_ = 0;
   /// histograms_[point][ap-slot] aligned with points()[i].per_ap.
   std::vector<std::vector<stats::Histogram>> histograms_;
+  /// Row-major point x universe x (bins_ + 1) log-probability table;
+  /// the trailing cell of each row is the out-of-range probability.
+  /// Rows for untrained slots are never read (presence-mask gated).
+  std::vector<double> tables_;
 };
 
 }  // namespace loctk::core

@@ -7,8 +7,23 @@
 namespace loctk::core {
 
 KnnLocator::KnnLocator(const traindb::TrainingDatabase& db, KnnConfig config)
-    : db_(&db), config_(config) {
+    : KnnLocator(CompiledDatabase::compile(db), config) {}
+
+KnnLocator::KnnLocator(std::shared_ptr<const CompiledDatabase> compiled,
+                       KnnConfig config)
+    : compiled_(std::move(compiled)), config_(config) {
   config_.k = std::max(1, config_.k);
+  const std::size_t points = compiled_->point_count();
+  const std::size_t universe = compiled_->universe_size();
+  filled_.resize(points * universe);
+  for (std::size_t p = 0; p < points; ++p) {
+    const double* mean = compiled_->mean_row(p);
+    const double* mask = compiled_->mask_row(p);
+    double* row = filled_.data() + p * universe;
+    for (std::size_t u = 0; u < universe; ++u) {
+      row[u] = mask[u] != 0.0 ? mean[u] : config_.missing_dbm;
+    }
+  }
 }
 
 std::string KnnLocator::name() const {
@@ -17,7 +32,7 @@ std::string KnnLocator::name() const {
 
 double KnnLocator::signal_distance(
     const Observation& obs, const traindb::TrainingPoint& point) const {
-  const auto& universe = db_->bssid_universe();
+  const auto& universe = compiled_->database().bssid_universe();
   double sum2 = 0.0;
   for (const std::string& bssid : universe) {
     const traindb::ApStatistics* trained = point.find(bssid);
@@ -31,16 +46,31 @@ double KnnLocator::signal_distance(
 
 LocationEstimate KnnLocator::locate(const Observation& obs) const {
   LocationEstimate est;
-  if (obs.empty() || db_->empty()) return est;
+  if (obs.empty() || compiled_->empty()) return est;
+
+  const std::size_t points = compiled_->point_count();
+  const std::size_t universe = compiled_->universe_size();
+  const CompiledObservation cq = compiled_->compile_observation(obs);
+  std::vector<double> query(universe);
+  for (std::size_t u = 0; u < universe; ++u) {
+    query[u] =
+        cq.present[u] != 0.0 ? cq.mean_dbm[u] : config_.missing_dbm;
+  }
 
   struct Neighbor {
     const traindb::TrainingPoint* point;
     double distance;
   };
   std::vector<Neighbor> neighbors;
-  neighbors.reserve(db_->size());
-  for (const traindb::TrainingPoint& p : db_->points()) {
-    neighbors.push_back({&p, signal_distance(obs, p)});
+  neighbors.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    const double* row = filled_.data() + p * universe;
+    double sum2 = 0.0;
+    for (std::size_t u = 0; u < universe; ++u) {
+      const double d = row[u] - query[u];
+      sum2 += d * d;
+    }
+    neighbors.push_back({&compiled_->point(p), std::sqrt(sum2)});
   }
   const std::size_t k =
       std::min<std::size_t>(static_cast<std::size_t>(config_.k),

@@ -11,6 +11,7 @@
 /// which can land *between* training points — something the paper's
 /// §5.1 locator cannot do.
 
+#include "core/compiled_db.hpp"
 #include "core/locator.hpp"
 
 namespace loctk::core {
@@ -26,24 +27,37 @@ struct KnnConfig {
 };
 
 /// k-nearest-neighbor in signal space. k = 1 gives plain NNSS.
+///
+/// locate() runs over a dense `points x universe` signature matrix
+/// with missing APs pre-filled, so the inner loop is a plain squared
+/// distance between double vectors; `signal_distance` keeps the
+/// string-keyed reference form.
 class KnnLocator : public Locator {
  public:
   explicit KnnLocator(const traindb::TrainingDatabase& db,
+                      KnnConfig config = {});
+
+  /// Shares an existing compilation.
+  explicit KnnLocator(std::shared_ptr<const CompiledDatabase> compiled,
                       KnnConfig config = {});
 
   LocationEstimate locate(const Observation& obs) const override;
   std::string name() const override;
 
   /// Euclidean distance in signal space between the observation and a
-  /// training point, over the database's BSSID universe.
+  /// training point, over the database's BSSID universe (reference
+  /// implementation; locate() uses the compiled kernel).
   double signal_distance(const Observation& obs,
                          const traindb::TrainingPoint& point) const;
 
   const KnnConfig& config() const { return config_; }
 
  private:
-  const traindb::TrainingDatabase* db_;  // non-owning
+  std::shared_ptr<const CompiledDatabase> compiled_;
   KnnConfig config_;
+  /// Row-major points x universe mean signatures with `missing_dbm`
+  /// filled at untrained slots.
+  std::vector<double> filled_;
 };
 
 }  // namespace loctk::core

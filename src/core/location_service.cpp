@@ -13,6 +13,12 @@ LocationService::LocationService(const Locator& locator,
   config_.place_debounce = std::max(1, config_.place_debounce);
 }
 
+std::vector<LocationEstimate> LocationService::locate_batch(
+    std::span<const Observation> observations,
+    concurrency::ThreadPool* pool) const {
+  return locator_->locate_batch(observations, pool);
+}
+
 void LocationService::reset() {
   window_.clear();
   kalman_.reset();

@@ -62,6 +62,16 @@ class LocationService {
   /// Feeds one scan; returns the updated fix.
   ServiceFix on_scan(const radio::ScanRecord& scan);
 
+  /// Bulk entry point: scores a batch of independent, already-windowed
+  /// observations (e.g. one per connected client) through this
+  /// service's locator. With `pool`, the batch is chunked across the
+  /// workers via `concurrency::parallel_for`. Stateless with respect
+  /// to the scan window / Kalman track — per-client smoothing still
+  /// goes through on_scan().
+  std::vector<LocationEstimate> locate_batch(
+      std::span<const Observation> observations,
+      concurrency::ThreadPool* pool = nullptr) const;
+
   /// The most recent fix without feeding anything.
   const ServiceFix& current() const { return fix_; }
 

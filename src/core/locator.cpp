@@ -1,0 +1,19 @@
+#include "core/locator.hpp"
+
+#include "concurrency/parallel_for.hpp"
+
+namespace loctk::core {
+
+std::vector<LocationEstimate> Locator::locate_batch(
+    std::span<const Observation> obs, concurrency::ThreadPool* pool) const {
+  std::vector<LocationEstimate> out(obs.size());
+  auto body = [&](std::size_t i) { out[i] = locate(obs[i]); };
+  if (pool && obs.size() > 1) {
+    concurrency::parallel_for(*pool, 0, obs.size(), body);
+  } else {
+    for (std::size_t i = 0; i < obs.size(); ++i) body(i);
+  }
+  return out;
+}
+
+}  // namespace loctk::core

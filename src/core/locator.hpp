@@ -12,11 +12,17 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/observation.hpp"
 #include "geom/vec2.hpp"
 #include "traindb/database.hpp"
+
+namespace loctk::concurrency {
+class ThreadPool;
+}
 
 namespace loctk::core {
 
@@ -50,6 +56,17 @@ class Locator {
 
   /// Estimates the client position for one observation.
   virtual LocationEstimate locate(const Observation& obs) const = 0;
+
+  /// Scores a batch of independent observations (many concurrent
+  /// clients, or a replayed capture). With a pool, the batch is
+  /// chunked across its workers via `concurrency::parallel_for`;
+  /// results are index-aligned with `obs` and identical to calling
+  /// locate() per element. locate() is const and training state is
+  /// immutable after construction, so the default implementation is
+  /// safe for every locator.
+  virtual std::vector<LocationEstimate> locate_batch(
+      std::span<const Observation> obs,
+      concurrency::ThreadPool* pool = nullptr) const;
 
   /// Short algorithm name for reports ("probabilistic-ml", ...).
   virtual std::string name() const = 0;

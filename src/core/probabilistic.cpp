@@ -4,78 +4,152 @@
 #include <cmath>
 #include <limits>
 
+#include "concurrency/parallel_for.hpp"
 #include "stats/gaussian.hpp"
 
 namespace loctk::core {
 
 ProbabilisticLocator::ProbabilisticLocator(
     const traindb::TrainingDatabase& db, ProbabilisticConfig config)
-    : db_(&db), config_(config) {
+    : ProbabilisticLocator(CompiledDatabase::compile(db), config) {}
+
+ProbabilisticLocator::ProbabilisticLocator(
+    std::shared_ptr<const CompiledDatabase> compiled,
+    ProbabilisticConfig config)
+    : compiled_(std::move(compiled)), config_(config) {
+  build_kernel_tables();
+}
+
+void ProbabilisticLocator::build_kernel_tables() {
+  const std::size_t points = compiled_->point_count();
+  const std::size_t universe = compiled_->universe_size();
+
   // Pooled per-AP sigma: sample-count-weighted RMS of the per-point
-  // sigmas (i.e. pooled variance).
-  const auto& universe = db.bssid_universe();
-  pooled_sigma_.assign(universe.size(), config_.sigma_floor_db);
-  for (std::size_t i = 0; i < universe.size(); ++i) {
-    double var_sum = 0.0;
-    double weight = 0.0;
-    for (const traindb::TrainingPoint& tp : db.points()) {
-      if (const traindb::ApStatistics* s = tp.find(universe[i])) {
-        const double w = static_cast<double>(s->sample_count);
-        var_sum += w * s->stddev_db * s->stddev_db;
-        weight += w;
-      }
+  // sigmas (i.e. pooled variance), in one pass over the dense rows.
+  pooled_sigma_.assign(universe, config_.sigma_floor_db);
+  std::vector<double> var_sum(universe, 0.0);
+  std::vector<double> weight(universe, 0.0);
+  for (std::size_t p = 0; p < points; ++p) {
+    const double* sd = compiled_->stddev_row(p);
+    const double* w = compiled_->weight_row(p);
+    for (std::size_t u = 0; u < universe; ++u) {
+      var_sum[u] += w[u] * sd[u] * sd[u];
+      weight[u] += w[u];
     }
-    if (weight > 0.0) {
-      pooled_sigma_[i] = std::max(std::sqrt(var_sum / weight),
+  }
+  for (std::size_t u = 0; u < universe; ++u) {
+    if (weight[u] > 0.0) {
+      pooled_sigma_[u] = std::max(std::sqrt(var_sum[u] / weight[u]),
                                   config_.sigma_floor_db);
+    }
+  }
+
+  // Per-cell Gaussian constants. Untrained slots get exact zeros so
+  // the branchless kernel's masked terms stay finite.
+  log_norm_.assign(points * universe, 0.0);
+  inv_two_var_.assign(points * universe, 0.0);
+  for (std::size_t p = 0; p < points; ++p) {
+    const double* sd = compiled_->stddev_row(p);
+    const double* mask = compiled_->mask_row(p);
+    const std::size_t base = p * universe;
+    for (std::size_t u = 0; u < universe; ++u) {
+      if (mask[u] == 0.0) continue;
+      const double sigma =
+          config_.use_pooled_sigma
+              ? pooled_sigma_[u]
+              : std::max(sd[u], config_.sigma_floor_db);
+      log_norm_[base + u] = -0.5 * std::log(stats::kTwoPi * sigma * sigma);
+      inv_two_var_[base + u] = 0.5 / (sigma * sigma);
     }
   }
 }
 
 double ProbabilisticLocator::pooled_sigma_db(const std::string& bssid) const {
-  const auto idx = db_->bssid_index(bssid);
-  if (!idx) return config_.sigma_floor_db;
-  return pooled_sigma_[*idx];
+  const auto slot = compiled_->slot_of(bssid);
+  if (!slot) return config_.sigma_floor_db;
+  return pooled_sigma_[*slot];
 }
 
 double ProbabilisticLocator::log_likelihood(
     const Observation& obs, const traindb::TrainingPoint& point,
-    int* common_aps) const {
+    int* common_aps, int* penalized_aps) const {
   double total = 0.0;
   int common = 0;
+  int penalized = 0;
 
-  // APs trained at this point.
-  for (const traindb::ApStatistics& ap : point.per_ap) {
-    const auto observed = obs.mean_of(ap.bssid);
-    if (observed) {
-      stats::Gaussian g = ap.gaussian(config_.sigma_floor_db);
-      if (config_.use_pooled_sigma) {
-        g.sigma = pooled_sigma_db(ap.bssid);
-      }
-      total += g.log_pdf(*observed);
-      ++common;
+  // Both sides are sorted by BSSID: a single merge visits every AP
+  // present on either side exactly once.
+  const auto& trained = point.per_ap;
+  const auto& observed = obs.aps();
+  std::size_t t = 0, o = 0;
+  while (t < trained.size() || o < observed.size()) {
+    int cmp;
+    if (t == trained.size()) {
+      cmp = 1;
+    } else if (o == observed.size()) {
+      cmp = -1;
     } else {
-      total += config_.missing_ap_log_penalty;
+      cmp = trained[t].bssid.compare(observed[o].bssid);
+      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
     }
-  }
-  // APs heard now but never trained here.
-  for (const ObservedAp& oap : obs.aps()) {
-    if (point.find(oap.bssid) == nullptr) {
+    if (cmp == 0) {
+      stats::Gaussian g = trained[t].gaussian(config_.sigma_floor_db);
+      if (config_.use_pooled_sigma) {
+        g.sigma = pooled_sigma_db(trained[t].bssid);
+      }
+      total += g.log_pdf(observed[o].mean_dbm);
+      ++common;
+      ++t;
+      ++o;
+    } else {
+      // Trained-but-unheard or heard-but-untrained: either way the
+      // AP's visibility disagrees.
       total += config_.missing_ap_log_penalty;
+      ++penalized;
+      cmp < 0 ? ++t : ++o;
     }
   }
   if (common_aps) *common_aps = common;
+  if (penalized_aps) *penalized_aps = penalized;
   return total;
+}
+
+double ProbabilisticLocator::score_point(std::size_t point,
+                                         const CompiledObservation& q,
+                                         int* common_aps) const {
+  const std::size_t universe = compiled_->universe_size();
+  const double* mean = compiled_->mean_row(point);
+  const double* mask = compiled_->mask_row(point);
+  const double* log_norm = log_norm_.data() + point * universe;
+  const double* inv_two_var = inv_two_var_.data() + point * universe;
+
+  double gauss = 0.0;
+  double common = 0.0;
+  for (std::size_t u = 0; u < universe; ++u) {
+    const double both = mask[u] * q.present[u];
+    const double d = q.mean_dbm[u] - mean[u];
+    gauss += both * (log_norm[u] - d * d * inv_two_var[u]);
+    common += both;
+  }
+  const int common_i = static_cast<int>(common);
+  // Penalties = trained-only + observed-only (inside or outside the
+  // trained universe).
+  const int penalties = compiled_->trained_count(point) + q.in_universe() +
+                        q.outside_universe - 2 * common_i;
+  if (common_aps) *common_aps = common_i;
+  return gauss +
+         config_.missing_ap_log_penalty * static_cast<double>(penalties);
 }
 
 std::vector<ScoredPoint> ProbabilisticLocator::score_all(
     const Observation& obs) const {
+  const CompiledObservation q = compiled_->compile_observation(obs);
   std::vector<ScoredPoint> scores;
-  scores.reserve(db_->size());
-  for (const traindb::TrainingPoint& p : db_->points()) {
+  scores.reserve(compiled_->point_count());
+  for (std::size_t p = 0; p < compiled_->point_count(); ++p) {
     ScoredPoint sp;
-    sp.point = &p;
-    sp.log_likelihood = log_likelihood(obs, p, &sp.common_aps);
+    sp.point = &compiled_->point(p);
+    sp.log_likelihood = score_point(p, q, &sp.common_aps);
     if (sp.common_aps < config_.min_common_aps) {
       sp.log_likelihood = -std::numeric_limits<double>::infinity();
     }
@@ -84,9 +158,21 @@ std::vector<ScoredPoint> ProbabilisticLocator::score_all(
   return scores;
 }
 
+std::vector<std::vector<ScoredPoint>> ProbabilisticLocator::score_batch(
+    std::span<const Observation> obs, concurrency::ThreadPool* pool) const {
+  std::vector<std::vector<ScoredPoint>> out(obs.size());
+  auto body = [&](std::size_t i) { out[i] = score_all(obs[i]); };
+  if (pool && obs.size() > 1) {
+    concurrency::parallel_for(*pool, 0, obs.size(), body);
+  } else {
+    for (std::size_t i = 0; i < obs.size(); ++i) body(i);
+  }
+  return out;
+}
+
 LocationEstimate ProbabilisticLocator::locate(const Observation& obs) const {
   LocationEstimate est;
-  if (obs.empty() || db_->empty()) return est;
+  if (obs.empty() || compiled_->empty()) return est;
 
   const std::vector<ScoredPoint> scores = score_all(obs);
   const auto best = std::max_element(

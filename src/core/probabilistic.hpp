@@ -15,10 +15,16 @@
 ///
 /// We evaluate the product in log space (same arg-max, no underflow)
 /// and expose the full per-point scores for the Bayes-grid and
-/// tracking layers.
+/// tracking layers. The bulk paths (`score_all`, `locate`,
+/// `score_batch`) run a dense kernel over `CompiledDatabase` matrices;
+/// the per-point `log_likelihood` keeps the string-keyed form as the
+/// readable reference implementation (the equivalence is pinned by
+/// tests/core_compiled_db_test.cpp).
 
+#include <span>
 #include <vector>
 
+#include "core/compiled_db.hpp"
 #include "core/locator.hpp"
 
 namespace loctk::core {
@@ -55,9 +61,17 @@ struct ScoredPoint {
 /// The §5.1 locator.
 class ProbabilisticLocator : public Locator {
  public:
-  /// `db` must outlive the locator.
+  /// `db` must outlive the locator. Compiles the database privately;
+  /// prefer the shared-compilation overload when several locators sit
+  /// on the same database.
   explicit ProbabilisticLocator(const traindb::TrainingDatabase& db,
                                 ProbabilisticConfig config = {});
+
+  /// Shares an existing compilation (the underlying database must
+  /// outlive the locator).
+  explicit ProbabilisticLocator(
+      std::shared_ptr<const CompiledDatabase> compiled,
+      ProbabilisticConfig config = {});
 
   LocationEstimate locate(const Observation& obs) const override;
   std::string name() const override { return "probabilistic-ml"; }
@@ -66,12 +80,26 @@ class ProbabilisticLocator : public Locator {
   /// database order. Skipped points carry -infinity.
   std::vector<ScoredPoint> score_all(const Observation& obs) const;
 
-  /// Log-likelihood of one observation at one training point.
+  /// score_all for a batch of observations; with a pool the batch is
+  /// chunked across workers. Results are index-aligned with `obs`.
+  std::vector<std::vector<ScoredPoint>> score_batch(
+      std::span<const Observation> obs,
+      concurrency::ThreadPool* pool = nullptr) const;
+
+  /// Log-likelihood of one observation at one training point —
+  /// the string-keyed reference implementation (a sorted two-pointer
+  /// merge over the observation and the point's per-AP list).
+  /// `penalized_aps`, when given, receives the number of missing-AP
+  /// penalty terms applied.
   double log_likelihood(const Observation& obs,
                         const traindb::TrainingPoint& point,
-                        int* common_aps = nullptr) const;
+                        int* common_aps = nullptr,
+                        int* penalized_aps = nullptr) const;
 
-  const traindb::TrainingDatabase& database() const { return *db_; }
+  const traindb::TrainingDatabase& database() const {
+    return compiled_->database();
+  }
+  const CompiledDatabase& compiled() const { return *compiled_; }
   const ProbabilisticConfig& config() const { return config_; }
 
   /// Pooled sigma for `bssid` (defined whether or not pooling is
@@ -79,10 +107,19 @@ class ProbabilisticLocator : public Locator {
   double pooled_sigma_db(const std::string& bssid) const;
 
  private:
-  const traindb::TrainingDatabase* db_;  // non-owning
+  void build_kernel_tables();
+  /// Dense likelihood of a compiled observation at one row.
+  double score_point(std::size_t point, const CompiledObservation& q,
+                     int* common_aps) const;
+
+  std::shared_ptr<const CompiledDatabase> compiled_;
   ProbabilisticConfig config_;
-  /// Aligned with db_->bssid_universe().
+  /// Aligned with database().bssid_universe().
   std::vector<double> pooled_sigma_;
+  /// Row-major points x universe Gaussian constants, 0 at untrained
+  /// slots:  log_pdf(x) = log_norm - (x - mean)² · inv_two_var.
+  std::vector<double> log_norm_;
+  std::vector<double> inv_two_var_;
 };
 
 }  // namespace loctk::core

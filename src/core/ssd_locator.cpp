@@ -9,7 +9,11 @@ namespace loctk::core {
 
 SsdLocator::SsdLocator(const traindb::TrainingDatabase& db,
                        SsdConfig config)
-    : db_(&db), config_(config) {
+    : SsdLocator(CompiledDatabase::compile(db), config) {}
+
+SsdLocator::SsdLocator(std::shared_ptr<const CompiledDatabase> compiled,
+                       SsdConfig config)
+    : compiled_(std::move(compiled)), config_(config) {
   config_.k = std::max(1, config_.k);
   config_.min_common_aps = std::max(1, config_.min_common_aps);
 }
@@ -50,17 +54,40 @@ double SsdLocator::ssd_distance(
 
 LocationEstimate SsdLocator::locate(const Observation& obs) const {
   LocationEstimate est;
-  if (obs.empty() || db_->empty()) return est;
+  if (obs.empty() || compiled_->empty()) return est;
+
+  const std::size_t points = compiled_->point_count();
+  const std::size_t universe = compiled_->universe_size();
+  const CompiledObservation q = compiled_->compile_observation(obs);
 
   struct Neighbor {
     const traindb::TrainingPoint* point;
     double distance;
   };
   std::vector<Neighbor> neighbors;
-  neighbors.reserve(db_->size());
-  for (const traindb::TrainingPoint& p : db_->points()) {
-    const double d = ssd_distance(obs, p);
-    if (std::isfinite(d)) neighbors.push_back({&p, d});
+  neighbors.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    const double* mean = compiled_->mean_row(p);
+    const double* mask = compiled_->mask_row(p);
+    // Pass 1: size and per-side sums of the common subset.
+    double n = 0.0, sum_o = 0.0, sum_t = 0.0;
+    for (std::size_t u = 0; u < universe; ++u) {
+      const double m = mask[u] * q.present[u];
+      n += m;
+      sum_o += m * q.mean_dbm[u];
+      sum_t += m * mean[u];
+    }
+    if (static_cast<int>(n) < config_.min_common_aps) continue;
+    const double mo = sum_o / n;
+    const double mt = sum_t / n;
+    // Pass 2: squared distance between the mean-centered signatures.
+    double sum2 = 0.0;
+    for (std::size_t u = 0; u < universe; ++u) {
+      const double m = mask[u] * q.present[u];
+      const double d = (q.mean_dbm[u] - mo) - (mean[u] - mt);
+      sum2 += m * d * d;
+    }
+    neighbors.push_back({&compiled_->point(p), std::sqrt(sum2)});
   }
   if (neighbors.empty()) return est;
 

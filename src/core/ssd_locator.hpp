@@ -16,6 +16,7 @@
 /// device offset it is invariant by construction (see the tests and
 /// `bench/ext_device`).
 
+#include "core/compiled_db.hpp"
 #include "core/locator.hpp"
 
 namespace loctk::core {
@@ -38,18 +39,24 @@ class SsdLocator : public Locator {
   explicit SsdLocator(const traindb::TrainingDatabase& db,
                       SsdConfig config = {});
 
+  /// Shares an existing compilation.
+  explicit SsdLocator(std::shared_ptr<const CompiledDatabase> compiled,
+                      SsdConfig config = {});
+
   LocationEstimate locate(const Observation& obs) const override;
   std::string name() const override;
 
   /// Offset-invariant distance between the observation and a training
   /// point; +infinity when they share fewer than min_common_aps APs.
+  /// Reference implementation; locate() runs the same arithmetic as a
+  /// masked dense kernel over the compiled matrices.
   double ssd_distance(const Observation& obs,
                       const traindb::TrainingPoint& point) const;
 
   const SsdConfig& config() const { return config_; }
 
  private:
-  const traindb::TrainingDatabase* db_;  // non-owning
+  std::shared_ptr<const CompiledDatabase> compiled_;
   SsdConfig config_;
 };
 

@@ -6,10 +6,13 @@
 namespace loctk::traindb {
 
 const ApStatistics* TrainingPoint::find(const std::string& bssid) const {
-  const auto it = std::find_if(
-      per_ap.begin(), per_ap.end(),
-      [&](const ApStatistics& s) { return s.bssid == bssid; });
-  return it == per_ap.end() ? nullptr : &*it;
+  // per_ap is sorted by BSSID (add_point enforces it).
+  const auto it = std::lower_bound(
+      per_ap.begin(), per_ap.end(), bssid,
+      [](const ApStatistics& s, const std::string& b) {
+        return s.bssid < b;
+      });
+  return it == per_ap.end() || it->bssid != bssid ? nullptr : &*it;
 }
 
 std::vector<double> TrainingPoint::signature(

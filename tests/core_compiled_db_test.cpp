@@ -1,0 +1,377 @@
+// Equivalence tests for the compiled scoring engine: the dense
+// kernels behind score_all()/locate() must reproduce the string-keyed
+// reference implementations (log_likelihood, signal_distance,
+// ssd_distance) bit-for-bit up to FP reassociation (|Δ| < 1e-9),
+// across randomized databases and observations with varying AP
+// overlap, rogue APs, and the min_common_aps cutoff path.
+
+#include "core/compiled_db.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "concurrency/thread_pool.hpp"
+#include "core/histogram_locator.hpp"
+#include "core/knn.hpp"
+#include "core/location_service.hpp"
+#include "core/probabilistic.hpp"
+#include "core/ssd_locator.hpp"
+#include "stats/rng.hpp"
+#include "test_fixtures.hpp"
+
+namespace loctk::core {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+std::string bssid_name(int i) {
+  return "aa:bb:" + std::to_string(i / 10) + std::to_string(i % 10);
+}
+
+// Random database: `universe_n` BSSIDs, each point trains a random
+// subset, with raw samples retained for the histogram locator.
+traindb::TrainingDatabase random_db(stats::Rng& rng, int points_n,
+                                    int universe_n) {
+  traindb::TrainingDatabase db;
+  for (int p = 0; p < points_n; ++p) {
+    traindb::TrainingPoint tp;
+    tp.location = "pt" + std::to_string(p);
+    tp.position = {rng.uniform(0.0, 120.0), rng.uniform(0.0, 80.0)};
+    for (int a = 0; a < universe_n; ++a) {
+      // Keep at least one AP per point so add_point always has a row.
+      if (a > 0 && rng.bernoulli(0.35)) continue;
+      traindb::ApStatistics s;
+      s.bssid = bssid_name(a);
+      s.mean_dbm = rng.uniform(-95.0, -35.0);
+      s.stddev_db = rng.uniform(0.0, 6.0);
+      s.scan_count = 90;
+      s.sample_count =
+          static_cast<std::uint32_t>(rng.uniform_int(1, 90));
+      const int samples = static_cast<int>(rng.uniform_int(3, 12));
+      for (int k = 0; k < samples; ++k) {
+        s.samples_centi_dbm.push_back(static_cast<std::int32_t>(
+            std::lround(rng.uniform(-110.0, -20.0) * 100.0)));
+      }
+      tp.per_ap.push_back(std::move(s));
+    }
+    db.add_point(std::move(tp));
+  }
+  return db;
+}
+
+// Random observation: a subset of the universe plus a few rogue APs
+// never trained anywhere, multiple raw readings per AP.
+Observation random_obs(stats::Rng& rng, int universe_n) {
+  std::vector<radio::ScanRecord> scans(1);
+  for (int a = 0; a < universe_n; ++a) {
+    if (rng.bernoulli(0.4)) continue;
+    const int readings = static_cast<int>(rng.uniform_int(1, 5));
+    for (int k = 0; k < readings; ++k) {
+      scans[0].samples.push_back(
+          {bssid_name(a), rng.uniform(-105.0, -25.0), 1});
+    }
+  }
+  const int rogues = static_cast<int>(rng.uniform_int(0, 2));
+  for (int r = 0; r < rogues; ++r) {
+    scans[0].samples.push_back(
+        {"rogue:" + std::to_string(r), rng.uniform(-90.0, -40.0), 1});
+  }
+  return Observation::from_scans(scans);
+}
+
+TEST(CompiledDatabase, InternsUniverseAndRows) {
+  const auto db = testing::make_fixture_db();
+  const CompiledDatabase cdb(db);
+  ASSERT_EQ(cdb.point_count(), db.size());
+  ASSERT_EQ(cdb.universe_size(), db.bssid_universe().size());
+  for (std::size_t p = 0; p < db.size(); ++p) {
+    const traindb::TrainingPoint& tp = db.points()[p];
+    EXPECT_EQ(cdb.trained_count(p), static_cast<int>(tp.per_ap.size()));
+    for (const traindb::ApStatistics& s : tp.per_ap) {
+      const auto slot = cdb.slot_of(s.bssid);
+      ASSERT_TRUE(slot.has_value());
+      EXPECT_EQ(cdb.mean_row(p)[*slot], s.mean_dbm);
+      EXPECT_EQ(cdb.stddev_row(p)[*slot], s.stddev_db);
+      EXPECT_EQ(cdb.mask_row(p)[*slot], 1.0);
+    }
+  }
+  EXPECT_FALSE(cdb.slot_of("nope").has_value());
+}
+
+TEST(CompiledDatabase, CompileObservationSplitsUniverseAndRogues) {
+  const auto db = testing::make_fixture_db();
+  const CompiledDatabase cdb(db);
+  std::vector<radio::ScanRecord> scans(1);
+  scans[0].samples.push_back({testing::fixture_bssids()[1], -55.0, 1});
+  scans[0].samples.push_back({"zz:rogue", -60.0, 1});
+  const Observation obs = Observation::from_scans(scans);
+  const CompiledObservation q = cdb.compile_observation(obs);
+  EXPECT_EQ(q.total_aps, 2u);
+  EXPECT_EQ(q.in_universe(), 1);
+  EXPECT_EQ(q.outside_universe, 1);
+  ASSERT_EQ(q.slots.size(), 1u);
+  EXPECT_EQ(q.present[q.slots[0]], 1.0);
+  EXPECT_EQ(q.mean_dbm[q.slots[0]], -55.0);
+}
+
+TEST(CompiledEquivalence, ProbabilisticScoreAllMatchesReference) {
+  stats::Rng rng(7001);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int universe_n = static_cast<int>(rng.uniform_int(3, 10));
+    const auto db =
+        random_db(rng, static_cast<int>(rng.uniform_int(4, 30)), universe_n);
+    ProbabilisticConfig cfg;
+    cfg.min_common_aps = static_cast<int>(rng.uniform_int(1, 3));
+    cfg.use_pooled_sigma = rng.bernoulli(0.5);
+    const ProbabilisticLocator locator(db, cfg);
+    for (int o = 0; o < 4; ++o) {
+      const Observation obs = random_obs(rng, universe_n);
+      const auto scores = locator.score_all(obs);
+      ASSERT_EQ(scores.size(), db.size());
+      for (std::size_t p = 0; p < db.size(); ++p) {
+        int common = 0;
+        const double ref =
+            locator.log_likelihood(obs, db.points()[p], &common);
+        EXPECT_EQ(scores[p].common_aps, common);
+        if (common < cfg.min_common_aps) {
+          EXPECT_EQ(scores[p].log_likelihood,
+                    -std::numeric_limits<double>::infinity());
+        } else {
+          EXPECT_NEAR(scores[p].log_likelihood, ref, kTol)
+              << "trial " << trial << " point " << p;
+        }
+      }
+      // The argmax must agree up to reference-path ties.
+      const LocationEstimate est = locator.locate(obs);
+      double best_ref = -std::numeric_limits<double>::infinity();
+      for (std::size_t p = 0; p < db.size(); ++p) {
+        int common = 0;
+        const double ref =
+            locator.log_likelihood(obs, db.points()[p], &common);
+        if (common >= cfg.min_common_aps) best_ref = std::max(best_ref, ref);
+      }
+      if (!est.valid) {
+        EXPECT_EQ(best_ref, -std::numeric_limits<double>::infinity());
+      } else {
+        EXPECT_NEAR(est.score, best_ref, kTol);
+      }
+    }
+  }
+}
+
+TEST(CompiledEquivalence, KnnLocateMatchesReferenceDistances) {
+  stats::Rng rng(7002);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int universe_n = static_cast<int>(rng.uniform_int(3, 10));
+    const auto db =
+        random_db(rng, static_cast<int>(rng.uniform_int(4, 30)), universe_n);
+    KnnConfig cfg;
+    cfg.k = static_cast<int>(rng.uniform_int(1, 5));
+    const KnnLocator locator(db, cfg);
+    const Observation obs = random_obs(rng, universe_n);
+    if (obs.empty()) continue;
+
+    // Reference: brute-force neighbor list through signal_distance.
+    struct Neighbor {
+      const traindb::TrainingPoint* point;
+      double distance;
+    };
+    std::vector<Neighbor> ref;
+    for (const traindb::TrainingPoint& p : db.points()) {
+      ref.push_back({&p, locator.signal_distance(obs, p)});
+    }
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const Neighbor& a, const Neighbor& b) {
+                       return a.distance < b.distance;
+                     });
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(cfg.k), ref.size());
+    geom::Vec2 weighted;
+    double wsum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double w = 1.0 / (ref[i].distance + cfg.weighting_epsilon);
+      weighted += ref[i].point->position * w;
+      wsum += w;
+    }
+    const LocationEstimate est = locator.locate(obs);
+    ASSERT_TRUE(est.valid);
+    EXPECT_NEAR(est.score, -ref.front().distance, kTol) << trial;
+    EXPECT_NEAR(est.position.x, (weighted / wsum).x, 1e-6) << trial;
+    EXPECT_NEAR(est.position.y, (weighted / wsum).y, 1e-6) << trial;
+  }
+}
+
+TEST(CompiledEquivalence, SsdLocateMatchesReferenceIncludingCutoff) {
+  stats::Rng rng(7003);
+  int cutoff_seen = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const int universe_n = static_cast<int>(rng.uniform_int(3, 10));
+    const auto db =
+        random_db(rng, static_cast<int>(rng.uniform_int(4, 25)), universe_n);
+    SsdConfig cfg;
+    cfg.min_common_aps = static_cast<int>(rng.uniform_int(2, 4));
+    const SsdLocator locator(db, cfg);
+    const Observation obs = random_obs(rng, universe_n);
+    if (obs.empty()) continue;
+
+    std::vector<double> ref;
+    for (const traindb::TrainingPoint& p : db.points()) {
+      ref.push_back(locator.ssd_distance(obs, p));
+    }
+    const double best_ref = *std::min_element(ref.begin(), ref.end());
+    const LocationEstimate est = locator.locate(obs);
+    if (!std::isfinite(best_ref)) {
+      EXPECT_FALSE(est.valid) << trial;
+      ++cutoff_seen;
+    } else {
+      ASSERT_TRUE(est.valid) << trial;
+      EXPECT_NEAR(est.score, -best_ref, kTol) << trial;
+    }
+  }
+  // The randomized corpus must actually exercise the cutoff path.
+  EXPECT_GT(cutoff_seen, 0);
+}
+
+TEST(CompiledEquivalence, HistogramLocateMatchesReference) {
+  stats::Rng rng(7004);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int universe_n = static_cast<int>(rng.uniform_int(3, 8));
+    const auto db =
+        random_db(rng, static_cast<int>(rng.uniform_int(4, 15)), universe_n);
+    const HistogramLocator locator(db);
+    const Observation obs = random_obs(rng, universe_n);
+    if (obs.empty()) continue;
+
+    double best_ref = -std::numeric_limits<double>::infinity();
+    std::size_t best_idx = 0;
+    for (std::size_t p = 0; p < db.size(); ++p) {
+      const double ll = locator.log_likelihood(obs, p);
+      if (ll > best_ref) {
+        best_ref = ll;
+        best_idx = p;
+      }
+    }
+    const LocationEstimate est = locator.locate(obs);
+    ASSERT_TRUE(est.valid) << trial;
+    EXPECT_NEAR(est.score, best_ref, kTol) << trial;
+    EXPECT_EQ(est.location_name, db.points()[best_idx].location) << trial;
+  }
+}
+
+// Satellite regression: the missing-AP penalty is applied once per AP
+// present on exactly one side — never double-counted by the merge.
+TEST(CompiledEquivalence, LogLikelihoodPenaltyCountPinned) {
+  traindb::TrainingDatabase db;
+  traindb::TrainingPoint tp;
+  tp.location = "only";
+  for (const char* b : {"ap:a", "ap:b", "ap:c"}) {
+    traindb::ApStatistics s;
+    s.bssid = b;
+    s.mean_dbm = -60.0;
+    s.stddev_db = 2.0;
+    s.sample_count = 90;
+    s.scan_count = 90;
+    tp.per_ap.push_back(std::move(s));
+  }
+  db.add_point(std::move(tp));
+
+  // Observed: b, c, d, e -> common = {b, c}; penalized = a (trained
+  // only) + d, e (observed only) = 3.
+  std::vector<radio::ScanRecord> scans(1);
+  for (const char* b : {"ap:b", "ap:c", "ap:d", "ap:e"}) {
+    scans[0].samples.push_back({b, -58.0, 1});
+  }
+  const Observation obs = Observation::from_scans(scans);
+
+  const ProbabilisticLocator locator(db);
+  int common = 0, penalized = 0;
+  const double ll =
+      locator.log_likelihood(obs, db.points()[0], &common, &penalized);
+  EXPECT_EQ(common, 2);
+  EXPECT_EQ(penalized, 3);
+
+  // Fully disjoint sides: every AP on both lists is penalized.
+  std::vector<radio::ScanRecord> disjoint(1);
+  disjoint[0].samples.push_back({"zz:1", -50.0, 1});
+  const Observation dobs = Observation::from_scans(disjoint);
+  const double dll =
+      locator.log_likelihood(dobs, db.points()[0], &common, &penalized);
+  EXPECT_EQ(common, 0);
+  EXPECT_EQ(penalized, 4);
+  EXPECT_NEAR(dll, 4 * locator.config().missing_ap_log_penalty, kTol);
+
+  // The compiled kernel applies the same penalty count.
+  const auto scores = locator.score_all(obs);
+  EXPECT_NEAR(scores[0].log_likelihood, ll, kTol);
+}
+
+TEST(CompiledBatch, LocateBatchMatchesSerialAndParallel) {
+  const auto db = testing::make_fixture_db();
+  const auto compiled = CompiledDatabase::compile(db);
+  const ProbabilisticLocator locator(compiled);
+  std::vector<Observation> batch;
+  stats::Rng rng(7005);
+  for (int i = 0; i < 24; ++i) {
+    batch.push_back(testing::fixture_observation(
+        {rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0)}));
+  }
+  const auto serial = locator.locate_batch(batch);
+  ASSERT_EQ(serial.size(), batch.size());
+  concurrency::ThreadPool pool(4);
+  const auto parallel = locator.locate_batch(batch, &pool);
+  ASSERT_EQ(parallel.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const LocationEstimate one = locator.locate(batch[i]);
+    EXPECT_EQ(serial[i].location_name, one.location_name) << i;
+    EXPECT_EQ(serial[i].score, one.score) << i;
+    EXPECT_EQ(parallel[i].location_name, one.location_name) << i;
+    EXPECT_EQ(parallel[i].score, one.score) << i;
+  }
+
+  const auto per_point = locator.score_batch(batch, &pool);
+  ASSERT_EQ(per_point.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto direct = locator.score_all(batch[i]);
+    ASSERT_EQ(per_point[i].size(), direct.size());
+    for (std::size_t p = 0; p < direct.size(); ++p) {
+      EXPECT_EQ(per_point[i][p].log_likelihood, direct[p].log_likelihood);
+    }
+  }
+}
+
+TEST(CompiledBatch, LocationServiceBatchEntryPoint) {
+  const auto db = testing::make_fixture_db();
+  const KnnLocator locator(db, KnnConfig{.k = 3});
+  const LocationService service(locator);
+  std::vector<Observation> batch;
+  for (const traindb::TrainingPoint& tp : db.points()) {
+    batch.push_back(testing::fixture_observation(tp.position));
+  }
+  concurrency::ThreadPool pool(4);
+  const auto fixes = service.locate_batch(batch, &pool);
+  ASSERT_EQ(fixes.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(fixes[i].valid);
+    EXPECT_EQ(fixes[i].location_name, db.points()[i].location);
+  }
+}
+
+// Several locators sharing one compilation must behave identically to
+// locators that compiled privately.
+TEST(CompiledBatch, SharedCompilationIsEquivalent) {
+  const auto db = testing::make_fixture_db();
+  const auto shared = CompiledDatabase::compile(db);
+  const ProbabilisticLocator a(db), b(shared);
+  const KnnLocator ka(db), kb(shared);
+  const Observation obs = testing::fixture_observation({17.0, 23.0});
+  EXPECT_EQ(a.locate(obs).score, b.locate(obs).score);
+  EXPECT_EQ(ka.locate(obs).score, kb.locate(obs).score);
+}
+
+}  // namespace
+}  // namespace loctk::core
