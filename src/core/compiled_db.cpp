@@ -2,12 +2,25 @@
 
 #include <algorithm>
 
+#include "traindb/codec.hpp"
+
 namespace loctk::core {
 
 CompiledDatabase::CompiledDatabase(const traindb::TrainingDatabase& db)
-    : db_(&db),
-      points_(db.size()),
-      universe_(db.bssid_universe().size()) {
+    : db_(&db) {
+  build_matrices();
+}
+
+CompiledDatabase::CompiledDatabase(traindb::TrainingDatabase&& db)
+    : owned_(std::make_shared<const traindb::TrainingDatabase>(
+          std::move(db))),
+      db_(owned_.get()) {
+  build_matrices();
+}
+
+void CompiledDatabase::build_matrices() {
+  points_ = db_->size();
+  universe_ = db_->bssid_universe().size();
   const std::size_t cells = points_ * universe_;
   mean_.assign(cells, 0.0);
   stddev_.assign(cells, 0.0);
@@ -15,9 +28,9 @@ CompiledDatabase::CompiledDatabase(const traindb::TrainingDatabase& db)
   weight_.assign(cells, 0.0);
   trained_count_.assign(points_, 0);
 
-  const auto& universe = db.bssid_universe();
+  const auto& universe = db_->bssid_universe();
   for (std::size_t p = 0; p < points_; ++p) {
-    const traindb::TrainingPoint& tp = db.points()[p];
+    const traindb::TrainingPoint& tp = db_->points()[p];
     const std::size_t base = p * universe_;
     // per_ap and the universe are both sorted by BSSID: one merge
     // interns the whole row.
@@ -70,6 +83,23 @@ CompiledObservation CompiledDatabase::compile_observation(
     }
   }
   return q;
+}
+
+std::shared_ptr<const CompiledDatabase> compile_collection(
+    const wiscan::Collection& collection, const wiscan::LocationMap& map,
+    const traindb::GeneratorConfig& config,
+    traindb::GeneratorReport* report, concurrency::ThreadPool* pool) {
+  traindb::TrainingDatabase db =
+      pool != nullptr
+          ? traindb::generate_database_parallel(collection, map, *pool,
+                                                config, report)
+          : traindb::generate_database(collection, map, config, report);
+  return CompiledDatabase::compile_owned(std::move(db));
+}
+
+std::shared_ptr<const CompiledDatabase> load_compiled_database(
+    const std::filesystem::path& path) {
+  return CompiledDatabase::compile_owned(traindb::read_database(path));
 }
 
 }  // namespace loctk::core

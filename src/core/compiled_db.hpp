@@ -18,12 +18,14 @@
 /// `std::shared_ptr<const CompiledDatabase>`.
 
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/observation.hpp"
 #include "traindb/database.hpp"
+#include "traindb/generator.hpp"
 
 namespace loctk::core {
 
@@ -61,11 +63,22 @@ class CompiledDatabase {
   /// `db` must outlive the compiled form.
   explicit CompiledDatabase(const traindb::TrainingDatabase& db);
 
+  /// Owning form: moves `db` in, so the compiled database is
+  /// self-contained — the serve path keeps no string-keyed database
+  /// alive anywhere else.
+  explicit CompiledDatabase(traindb::TrainingDatabase&& db);
+
   /// Shared-ownership convenience so several locators reuse one
   /// compilation.
   static std::shared_ptr<const CompiledDatabase> compile(
       const traindb::TrainingDatabase& db) {
     return std::make_shared<const CompiledDatabase>(db);
+  }
+
+  /// Shared-ownership owning compilation.
+  static std::shared_ptr<const CompiledDatabase> compile_owned(
+      traindb::TrainingDatabase db) {
+    return std::make_shared<const CompiledDatabase>(std::move(db));
   }
 
   const traindb::TrainingDatabase& database() const { return *db_; }
@@ -106,6 +119,10 @@ class CompiledDatabase {
   }
 
  private:
+  void build_matrices();
+
+  /// Set only by the owning constructor; db_ then points into it.
+  std::shared_ptr<const traindb::TrainingDatabase> owned_;
   const traindb::TrainingDatabase* db_;  // non-owning
   std::size_t points_ = 0;
   std::size_t universe_ = 0;
@@ -115,5 +132,24 @@ class CompiledDatabase {
   std::vector<double> weight_;
   std::vector<int> trained_count_;
 };
+
+/// Direct ingest-to-serve build: aggregates a wi-scan collection into
+/// training points (fanned out over `pool` when given), interns the
+/// BSSID universe in one bulk pass, and compiles the dense matrices —
+/// the string-keyed TrainingDatabase exists only as the owned
+/// interior of the result, never as a separately managed intermediate.
+/// Exactly equivalent to generate_database(...) + compile(...).
+std::shared_ptr<const CompiledDatabase> compile_collection(
+    const wiscan::Collection& collection, const wiscan::LocationMap& map,
+    const traindb::GeneratorConfig& config = {},
+    traindb::GeneratorReport* report = nullptr,
+    concurrency::ThreadPool* pool = nullptr);
+
+/// Serve-path bootstrap: maps a `.ltdb` file read-only, decodes it
+/// out of the mapped buffer, and compiles — one call from cold disk
+/// to scoring-ready matrices. Throws traindb::CodecError on
+/// missing/corrupt input.
+std::shared_ptr<const CompiledDatabase> load_compiled_database(
+    const std::filesystem::path& path);
 
 }  // namespace loctk::core

@@ -13,6 +13,12 @@ LocationService::LocationService(const Locator& locator,
   config_.place_debounce = std::max(1, config_.place_debounce);
 }
 
+LocationService::LocationService(std::shared_ptr<const Locator> locator,
+                                 LocationServiceConfig config)
+    : LocationService(*locator, config) {
+  owned_locator_ = std::move(locator);
+}
+
 std::vector<LocationEstimate> LocationService::locate_batch(
     std::span<const Observation> observations,
     concurrency::ThreadPool* pool) const {

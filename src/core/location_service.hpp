@@ -59,6 +59,13 @@ class LocationService {
   LocationService(const Locator& locator,
                   LocationServiceConfig config = {});
 
+  /// Owning form for the direct ingest-to-serve path: the service
+  /// shares ownership of the locator, so a caller can build
+  /// `load_compiled_database` → locator → service and let the service
+  /// be the only live handle.
+  LocationService(std::shared_ptr<const Locator> locator,
+                  LocationServiceConfig config = {});
+
   /// Feeds one scan; returns the updated fix.
   ServiceFix on_scan(const radio::ScanRecord& scan);
 
@@ -89,6 +96,8 @@ class LocationService {
   const LocationServiceConfig& config() const { return config_; }
 
  private:
+  /// Set only by the owning constructor; locator_ then points into it.
+  std::shared_ptr<const Locator> owned_locator_;
   const Locator* locator_;  // non-owning
   LocationServiceConfig config_;
   std::vector<radio::ScanRecord> window_;

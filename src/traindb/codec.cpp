@@ -1,8 +1,10 @@
 #include "traindb/codec.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <fstream>
-#include <sstream>
+
+#include "wiscan/scan_buffer.hpp"
 
 namespace loctk::traindb {
 
@@ -235,11 +237,39 @@ void write_database(const std::filesystem::path& path,
 }
 
 TrainingDatabase read_database(const std::filesystem::path& path) {
+  try {
+    const wiscan::FileBuffer buffer(path);
+    return decode_database(buffer.view());
+  } catch (const wiscan::BufferError&) {
+    throw CodecError("codec: cannot open input file");
+  }
+}
+
+DatabaseFileInfo probe_database(const std::filesystem::path& path) {
   std::ifstream is(path, std::ios::binary);
   require(is.good(), "codec: cannot open input file");
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  return decode_database(buf.str());
+  is.seekg(0, std::ios::end);
+  const std::streamoff end = is.tellg();
+  require(end >= 0, "codec: cannot size input file");
+  is.seekg(0, std::ios::beg);
+
+  // One read covers magic, version, flags, and the site-name string
+  // (varint length + bytes, capped far below the chunk size).
+  char chunk[512];
+  is.read(chunk, sizeof chunk);
+  const std::string_view head(chunk, static_cast<std::size_t>(is.gcount()));
+  require(head.size() >= 4 && std::equal(kMagic, kMagic + 4, head.begin()),
+          "codec: bad magic");
+  std::size_t pos = 4;
+  DatabaseFileInfo info;
+  info.version = get_u16(head, pos);
+  require(info.version == kVersion, "codec: unsupported version");
+  info.flags = get_u16(head, pos);
+  const std::uint64_t name_len = get_varint(head, pos);
+  require(name_len <= head.size() - pos, "codec: site name overruns header");
+  info.site_name = std::string(head.substr(pos, name_len));
+  info.file_bytes = static_cast<std::uint64_t>(end);
+  return info;
 }
 
 }  // namespace loctk::traindb

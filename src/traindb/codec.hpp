@@ -63,8 +63,28 @@ std::string encode_database(const TrainingDatabase& db);
 TrainingDatabase decode_database(std::string_view bytes);
 
 /// File convenience. The conventional extension is `.ltdb`.
+/// read_database maps the file read-only and decodes straight out of
+/// the mapped buffer — no full-file string copy on the load path.
 void write_database(const std::filesystem::path& path,
                     const TrainingDatabase& db);
 TrainingDatabase read_database(const std::filesystem::path& path);
+
+/// What a `.ltdb` file claims to hold, read with one fixed-size
+/// header read plus a seek — no payload is touched. Useful for
+/// routing/validation before committing to a full decode.
+struct DatabaseFileInfo {
+  std::uint16_t version = 0;
+  /// Bit 0: the database retains raw sample streams.
+  std::uint16_t flags = 0;
+  std::string site_name;
+  /// Total file size in bytes.
+  std::uint64_t file_bytes = 0;
+
+  bool has_samples() const { return (flags & 1) != 0; }
+};
+
+/// Reads the header of `path`. Throws CodecError when the file is
+/// missing, truncated, or not an LTDB v1 file.
+DatabaseFileInfo probe_database(const std::filesystem::path& path);
 
 }  // namespace loctk::traindb

@@ -26,6 +26,40 @@ std::vector<double> TrainingPoint::signature(
   return out;
 }
 
+TrainingDatabase TrainingDatabase::from_points(
+    std::vector<TrainingPoint> points, std::string site_name) {
+  TrainingDatabase db;
+  db.site_name_ = std::move(site_name);
+
+  std::vector<std::string> universe;
+  std::vector<const std::string*> names;
+  names.reserve(points.size());
+  for (TrainingPoint& point : points) {
+    std::sort(point.per_ap.begin(), point.per_ap.end(),
+              [](const ApStatistics& a, const ApStatistics& b) {
+                return a.bssid < b.bssid;
+              });
+    for (const ApStatistics& s : point.per_ap) universe.push_back(s.bssid);
+    names.push_back(&point.location);
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+
+  std::sort(names.begin(), names.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  const auto dup = std::adjacent_find(
+      names.begin(), names.end(),
+      [](const std::string* a, const std::string* b) { return *a == *b; });
+  if (dup != names.end()) {
+    throw DatabaseError("TrainingDatabase: duplicate location: " + **dup);
+  }
+
+  db.universe_ = std::move(universe);
+  db.points_ = std::move(points);
+  return db;
+}
+
 void TrainingDatabase::add_point(TrainingPoint point) {
   if (find(point.location) != nullptr) {
     throw DatabaseError("TrainingDatabase: duplicate location: " +

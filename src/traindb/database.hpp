@@ -31,6 +31,15 @@ class TrainingDatabase {
   /// The per-AP list is sorted by BSSID and the universe updated.
   void add_point(TrainingPoint point);
 
+  /// Bulk constructor: equivalent to add_point() in order, but interns
+  /// the BSSID universe with one sort+unique pass instead of a sorted
+  /// insertion per <point, AP> pair. This is the ingest path — the
+  /// parallel generator builds all points first and assembles the
+  /// database in one shot. Throws DatabaseError on duplicate location
+  /// names.
+  static TrainingDatabase from_points(std::vector<TrainingPoint> points,
+                                      std::string site_name = {});
+
   const std::vector<TrainingPoint>& points() const { return points_; }
   std::size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }

@@ -61,11 +61,17 @@ TrainingDatabase generate_database_parallel(
 
 /// End-to-end convenience mirroring the paper's CLI contract: a
 /// string naming either a wi-scan directory or a `.lar` archive, plus
-/// a location-map file.
+/// a location-map file. This path streams rows straight into
+/// per-BSSID sample buckets (no intermediate Collection), producing a
+/// database byte-identical to `generate_database(load_collection(...))`.
+/// With `pool`, per-file aggregation fans out across its workers into
+/// index-aligned slots; the result is byte-identical to the serial
+/// path.
 TrainingDatabase generate_database_from_path(
     const std::filesystem::path& collection_source,
     const std::filesystem::path& location_map_file,
-    const GeneratorConfig& config = {}, GeneratorReport* report = nullptr);
+    const GeneratorConfig& config = {}, GeneratorReport* report = nullptr,
+    concurrency::ThreadPool* pool = nullptr);
 
 /// Aggregates one wi-scan file into one training point (exposed for
 /// tests). `position` is the surveyed world position.

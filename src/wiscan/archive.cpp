@@ -1,9 +1,10 @@
 #include "wiscan/archive.hpp"
 
-#include <array>
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
-#include <sstream>
+
+#include "wiscan/scan_buffer.hpp"
 
 namespace loctk::wiscan {
 
@@ -19,13 +20,35 @@ void put_u64(std::ostream& os, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) os.put(static_cast<char>((v >> (8 * i)) & 0xff));
 }
 
-std::uint64_t get_u64(std::istream& is) {
-  std::array<unsigned char, 8> b{};
-  is.read(reinterpret_cast<char*>(b.data()), 8);
-  if (is.gcount() != 8) throw ArchiveError("archive: truncated integer");
+std::uint64_t get_u64(std::string_view in, std::size_t& pos) {
+  if (pos + 8 > in.size()) throw ArchiveError("archive: truncated integer");
   std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+             in[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos += 8;
   return v;
+}
+
+std::string_view get_bytes(std::string_view in, std::size_t& pos,
+                           std::uint64_t len, const char* what) {
+  if (len > in.size() - pos) throw ArchiveError(what);
+  const std::string_view out = in.substr(pos, len);
+  pos += len;
+  return out;
+}
+
+// Drains an already-open stream (compatibility adapter; the path
+// overload goes through FileBuffer).
+std::string slurp(std::istream& is) {
+  std::string text;
+  char chunk[4096];
+  while (is.read(chunk, sizeof chunk) || is.gcount() > 0) {
+    text.append(chunk, static_cast<std::size_t>(is.gcount()));
+  }
+  return text;
 }
 
 }  // namespace
@@ -33,13 +56,19 @@ std::uint64_t get_u64(std::istream& is) {
 void Archive::validate_path(const std::string& path) {
   if (path.empty()) throw ArchiveError("archive: empty entry path");
   if (path.front() == '/') throw ArchiveError("archive: absolute entry path");
-  // Reject "." and ".." components.
-  std::istringstream ss(path);
-  std::string part;
-  while (std::getline(ss, part, '/')) {
+  // Reject empty, "." and ".." components.
+  const std::string_view sv(path);
+  std::size_t start = 0;
+  while (start <= sv.size()) {
+    const std::size_t slash = sv.find('/', start);
+    const std::string_view part =
+        sv.substr(start, slash == std::string_view::npos ? slash
+                                                         : slash - start);
     if (part.empty() || part == "." || part == "..") {
       throw ArchiveError("archive: unsafe entry path: " + path);
     }
+    if (slash == std::string_view::npos) break;
+    start = slash + 1;
   }
 }
 
@@ -82,44 +111,42 @@ void Archive::write(const std::filesystem::path& file) const {
   }
 }
 
-Archive Archive::read(std::istream& is) {
-  std::array<char, 4> magic{};
-  is.read(magic.data(), 4);
-  if (is.gcount() != 4 || !std::equal(magic.begin(), magic.end(), kMagic)) {
+Archive Archive::read_bytes(std::string_view bytes) {
+  std::size_t pos = 0;
+  if (bytes.size() < 4 ||
+      !std::equal(kMagic, kMagic + 4, bytes.begin())) {
     throw ArchiveError("archive: bad magic");
   }
-  const std::uint64_t count = get_u64(is);
+  pos = 4;
+  const std::uint64_t count = get_u64(bytes, pos);
   if (count > kMaxEntries) throw ArchiveError("archive: too many entries");
 
   Archive ar;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t name_len = get_u64(is);
+    const std::uint64_t name_len = get_u64(bytes, pos);
     if (name_len == 0 || name_len > kMaxNameLen) {
       throw ArchiveError("archive: bad name length");
     }
-    std::string name(name_len, '\0');
-    is.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (static_cast<std::uint64_t>(is.gcount()) != name_len) {
-      throw ArchiveError("archive: truncated name");
-    }
-    const std::uint64_t data_len = get_u64(is);
+    const std::string_view name =
+        get_bytes(bytes, pos, name_len, "archive: truncated name");
+    const std::uint64_t data_len = get_u64(bytes, pos);
     if (data_len > kMaxDataLen) throw ArchiveError("archive: bad data length");
-    std::string data(data_len, '\0');
-    is.read(data.data(), static_cast<std::streamsize>(data_len));
-    if (static_cast<std::uint64_t>(is.gcount()) != data_len) {
-      throw ArchiveError("archive: truncated data");
-    }
-    ar.add(name, std::move(data));
+    const std::string_view data =
+        get_bytes(bytes, pos, data_len, "archive: truncated data");
+    ar.add(std::string(name), std::string(data));
   }
   return ar;
 }
 
+Archive Archive::read(std::istream& is) { return read_bytes(slurp(is)); }
+
 Archive Archive::read(const std::filesystem::path& file) {
-  std::ifstream is(file, std::ios::binary);
-  if (!is.good()) {
-    throw ArchiveError("archive: cannot open " + file.string());
+  try {
+    const FileBuffer buffer(file);
+    return read_bytes(buffer.view());
+  } catch (const BufferError& e) {
+    throw ArchiveError("archive: " + std::string(e.what()));
   }
-  return read(is);
 }
 
 Archive Archive::pack_directory(const std::filesystem::path& dir) {
@@ -130,14 +157,12 @@ Archive Archive::pack_directory(const std::filesystem::path& dir) {
   for (const auto& entry :
        std::filesystem::recursive_directory_iterator(dir)) {
     if (!entry.is_regular_file()) continue;
-    std::ifstream is(entry.path(), std::ios::binary);
-    if (!is.good()) {
-      throw ArchiveError("archive: cannot read " + entry.path().string());
+    try {
+      ar.add(entry.path().lexically_relative(dir).generic_string(),
+             read_file_bytes(entry.path()));
+    } catch (const BufferError& e) {
+      throw ArchiveError("archive: " + std::string(e.what()));
     }
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    ar.add(entry.path().lexically_relative(dir).generic_string(),
-           buf.str());
   }
   return ar;
 }

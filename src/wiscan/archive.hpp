@@ -27,6 +27,7 @@
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace loctk::wiscan {
 
@@ -50,11 +51,15 @@ class Archive {
     return entries_;
   }
 
-  /// Serialization.
+  /// Serialization. The file overload maps the archive read-only and
+  /// parses entries straight out of the buffer (one copy per entry,
+  /// into the owning map); the istream overload is a compatibility
+  /// adapter that drains the stream first.
   void write(std::ostream& os) const;
   void write(const std::filesystem::path& file) const;
   static Archive read(std::istream& is);
   static Archive read(const std::filesystem::path& file);
+  static Archive read_bytes(std::string_view bytes);
 
   /// Packs every regular file under `dir` (recursively; paths stored
   /// relative to `dir`, '/'-separated).

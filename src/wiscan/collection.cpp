@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "concurrency/parallel_for.hpp"
+#include "wiscan/scan_buffer.hpp"
+
 namespace loctk::wiscan {
 
 const WiScanFile* Collection::find(const std::string& location) const {
@@ -19,11 +22,14 @@ std::size_t Collection::total_entries() const {
 
 namespace {
 
+// Work-list order is fixed before any parsing starts and ties in the
+// final by-location sort are broken by work-list index, so serial and
+// parallel loads produce identical collections.
 void sort_collection(Collection& c) {
-  std::sort(c.files.begin(), c.files.end(),
-            [](const WiScanFile& a, const WiScanFile& b) {
-              return a.location < b.location;
-            });
+  std::stable_sort(c.files.begin(), c.files.end(),
+                   [](const WiScanFile& a, const WiScanFile& b) {
+                     return a.location < b.location;
+                   });
 }
 
 bool has_wiscan_extension(const std::string& name) {
@@ -32,35 +38,73 @@ bool has_wiscan_extension(const std::string& name) {
          name.compare(name.size() - kExt.size(), kExt.size(), kExt) == 0;
 }
 
+// Parses `count` work items into index-aligned slots, serially or
+// chunked across `pool`.
+template <typename ParseItem>
+std::vector<WiScanFile> parse_work_list(std::size_t count,
+                                        concurrency::ThreadPool* pool,
+                                        const ParseItem& parse_item) {
+  std::vector<WiScanFile> parsed(count);
+  if (pool != nullptr && count > 1) {
+    concurrency::parallel_for(*pool, 0, count,
+                              [&](std::size_t i) { parsed[i] = parse_item(i); });
+  } else {
+    for (std::size_t i = 0; i < count; ++i) parsed[i] = parse_item(i);
+  }
+  return parsed;
+}
+
 }  // namespace
 
-Collection load_collection(const Archive& archive) {
-  Collection c;
-  for (const auto& [name, bytes] : archive.entries()) {
-    if (!has_wiscan_extension(name)) continue;
-    const std::filesystem::path p(name);
-    c.files.push_back(
-        decode_wiscan(bytes, sanitize_location_name(p.stem().string())));
+Collection load_collection(const Archive& archive,
+                           concurrency::ThreadPool* pool) {
+  std::vector<const std::pair<const std::string, std::string>*> work;
+  for (const auto& entry : archive.entries()) {
+    if (has_wiscan_extension(entry.first)) work.push_back(&entry);
   }
+  Collection c;
+  c.files = parse_work_list(work.size(), pool, [&](std::size_t i) {
+    const auto& [name, bytes] = *work[i];
+    return parse_wiscan_buffer(
+        bytes, sanitize_location_name(std::filesystem::path(name)
+                                          .stem()
+                                          .string()));
+  });
   sort_collection(c);
   return c;
 }
 
-Collection load_collection(const std::filesystem::path& source) {
+Collection load_collection(const std::filesystem::path& source,
+                           concurrency::ThreadPool* pool) {
   if (std::filesystem::is_directory(source)) {
-    Collection c;
+    std::vector<std::filesystem::path> work;
     for (const auto& entry :
          std::filesystem::recursive_directory_iterator(source)) {
       if (!entry.is_regular_file()) continue;
       if (!has_wiscan_extension(entry.path().filename().string())) continue;
-      c.files.push_back(read_wiscan(entry.path()));
+      work.push_back(entry.path());
     }
+    // Directory iteration order is filesystem-dependent; sort so the
+    // work list (and therefore the loaded collection) is stable.
+    std::sort(work.begin(), work.end());
+
+    Collection c;
+    c.files = parse_work_list(work.size(), pool, [&](std::size_t i) {
+      try {
+        const FileBuffer buffer(work[i]);
+        return parse_wiscan_buffer(
+            buffer.view(),
+            sanitize_location_name(work[i].stem().string()));
+      } catch (const BufferError& e) {
+        throw FormatError("load_collection: " + std::string(e.what()));
+      }
+    });
     sort_collection(c);
     return c;
   }
   if (std::filesystem::is_regular_file(source) &&
       source.extension() == ".lar") {
-    return load_collection(Archive::read(source));
+    return load_collection(Archive::read(source), pool);
   }
   throw FormatError("load_collection: '" + source.string() +
                     "' is neither a directory nor a .lar archive");

@@ -19,6 +19,10 @@
 #include "wiscan/format.hpp"
 #include "wiscan/record.hpp"
 
+namespace loctk::concurrency {
+class ThreadPool;
+}
+
 namespace loctk::wiscan {
 
 /// A loaded collection: one WiScanFile per survey location, sorted by
@@ -37,10 +41,18 @@ struct Collection {
 /// mirroring the paper's string-argument interface. Throws
 /// FormatError / ArchiveError on malformed content, and FormatError
 /// when `source` is neither a directory nor a `.lar` file.
-Collection load_collection(const std::filesystem::path& source);
+///
+/// With `pool`, the files are parsed in parallel across its workers.
+/// The work list is fixed up front (paths sorted lexicographically,
+/// archive entries in map order) and every worker writes into its own
+/// index slot, so the loaded collection is byte-identical to the
+/// serial path regardless of thread count or completion order.
+Collection load_collection(const std::filesystem::path& source,
+                           concurrency::ThreadPool* pool = nullptr);
 
 /// Loads from an in-memory archive (entries whose names end in
 /// `.wiscan`).
-Collection load_collection(const Archive& archive);
+Collection load_collection(const Archive& archive,
+                           concurrency::ThreadPool* pool = nullptr);
 
 }  // namespace loctk::wiscan

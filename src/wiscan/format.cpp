@@ -1,9 +1,10 @@
 #include "wiscan/format.hpp"
 
 #include <cctype>
-#include <charconv>
 #include <fstream>
 #include <sstream>
+
+#include "wiscan/scan_buffer.hpp"
 
 namespace loctk::wiscan {
 
@@ -13,32 +14,16 @@ void require(bool ok, const std::string& what) {
   if (!ok) throw FormatError(what);
 }
 
-double parse_double(const std::string& text, const std::string& what) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(text, &used);
-    require(used == text.size(), what + ": trailing junk in '" + text + "'");
-    return v;
-  } catch (const FormatError&) {
-    throw;
-  } catch (...) {
-    throw FormatError(what + ": not a number: '" + text + "'");
+// Drains an already-open stream into one string (the istream entry
+// points are compatibility adapters; the path overloads go through
+// FileBuffer and never touch a stream).
+std::string slurp(std::istream& is) {
+  std::string text;
+  char chunk[4096];
+  while (is.read(chunk, sizeof chunk) || is.gcount() > 0) {
+    text.append(chunk, static_cast<std::size_t>(is.gcount()));
   }
-}
-
-int parse_int(const std::string& text, const std::string& what) {
-  const double v = parse_double(text, what);
-  return static_cast<int>(v);
-}
-
-// Splits "key=value" at the first '='; returns false for plain words.
-bool split_kv(const std::string& token, std::string& key,
-              std::string& value) {
-  const auto eq = token.find('=');
-  if (eq == std::string::npos || eq == 0) return false;
-  key = token.substr(0, eq);
-  value = token.substr(eq + 1);
-  return true;
+  return text;
 }
 
 }  // namespace
@@ -64,77 +49,17 @@ void write_wiscan(const std::filesystem::path& path, const WiScanFile& file) {
 
 WiScanFile read_wiscan(std::istream& is,
                        const std::string& fallback_location) {
-  WiScanFile file;
-  file.location = fallback_location;
-
-  std::string line;
-  double last_time = 0.0;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    // Strip trailing CR from files written on Windows (the paper's
-    // toolkit environment).
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-
-    // Comments: may carry the location header.
-    const auto first_nonspace = line.find_first_not_of(" \t");
-    if (first_nonspace == std::string::npos) continue;
-    if (line[first_nonspace] == '#') {
-      static constexpr std::string_view kLocTag = "location:";
-      const auto pos = line.find(kLocTag);
-      if (pos != std::string::npos) {
-        std::string loc = line.substr(pos + kLocTag.size());
-        const auto begin = loc.find_first_not_of(" \t");
-        if (begin != std::string::npos) {
-          const auto end = loc.find_last_not_of(" \t");
-          file.location = loc.substr(begin, end - begin + 1);
-        }
-      }
-      continue;
-    }
-
-    WiScanEntry entry;
-    entry.timestamp_s = last_time;
-    bool have_bssid = false;
-    bool have_rssi = false;
-
-    std::istringstream tokens(line);
-    std::string token;
-    while (tokens >> token) {
-      std::string key, value;
-      if (!split_kv(token, key, value)) {
-        throw FormatError("read_wiscan: line " + std::to_string(line_no) +
-                          ": expected key=value, got '" + token + "'");
-      }
-      if (key == "time") {
-        entry.timestamp_s = parse_double(value, "read_wiscan: time");
-      } else if (key == "bssid") {
-        entry.bssid = value;
-        have_bssid = true;
-      } else if (key == "ssid") {
-        entry.ssid = value;
-      } else if (key == "channel") {
-        entry.channel = parse_int(value, "read_wiscan: channel");
-      } else if (key == "rssi") {
-        entry.rssi_dbm = parse_double(value, "read_wiscan: rssi");
-        have_rssi = true;
-      }
-      // Unknown keys: ignored deliberately.
-    }
-    require(have_bssid, "read_wiscan: line " + std::to_string(line_no) +
-                            ": missing bssid");
-    require(have_rssi, "read_wiscan: line " + std::to_string(line_no) +
-                           ": missing rssi");
-    last_time = entry.timestamp_s;
-    file.entries.push_back(std::move(entry));
-  }
-  return file;
+  return parse_wiscan_buffer(slurp(is), fallback_location);
 }
 
 WiScanFile read_wiscan(const std::filesystem::path& path) {
-  std::ifstream is(path);
-  require(is.good(), "read_wiscan: cannot open " + path.string());
-  return read_wiscan(is, sanitize_location_name(path.stem().string()));
+  try {
+    const FileBuffer buffer(path);
+    return parse_wiscan_buffer(
+        buffer.view(), sanitize_location_name(path.stem().string()));
+  } catch (const BufferError& e) {
+    throw FormatError("read_wiscan: " + std::string(e.what()));
+  }
 }
 
 std::string encode_wiscan(const WiScanFile& file) {
@@ -145,8 +70,7 @@ std::string encode_wiscan(const WiScanFile& file) {
 
 WiScanFile decode_wiscan(const std::string& text,
                          const std::string& fallback_location) {
-  std::istringstream is(text);
-  return read_wiscan(is, fallback_location);
+  return parse_wiscan_buffer(text, fallback_location);
 }
 
 std::string sanitize_location_name(const std::string& name) {

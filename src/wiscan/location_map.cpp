@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <fstream>
 #include <limits>
-#include <sstream>
+
+#include "wiscan/scan_buffer.hpp"
 
 namespace loctk::wiscan {
 
@@ -29,32 +30,15 @@ void write_name(std::ostream& os, const std::string& name) {
   os << '"';
 }
 
-// Reads a possibly-quoted name starting at `pos`; advances pos past it.
-std::string read_name(const std::string& line, std::size_t& pos,
-                      std::size_t line_no) {
-  require(pos < line.size(), "location-map: line " +
-                                 std::to_string(line_no) + ": missing name");
-  if (line[pos] != '"') {
-    const auto end = line.find_first_of(" \t", pos);
-    const std::string name =
-        line.substr(pos, end == std::string::npos ? end : end - pos);
-    pos = end == std::string::npos ? line.size() : end;
-    return name;
+// Drains an already-open stream (compatibility adapter; the path
+// overload goes through FileBuffer).
+std::string slurp(std::istream& is) {
+  std::string text;
+  char chunk[4096];
+  while (is.read(chunk, sizeof chunk) || is.gcount() > 0) {
+    text.append(chunk, static_cast<std::size_t>(is.gcount()));
   }
-  ++pos;  // opening quote
-  std::string name;
-  while (pos < line.size()) {
-    const char c = line[pos++];
-    if (c == '\\' && pos < line.size()) {
-      name.push_back(line[pos++]);
-    } else if (c == '"') {
-      return name;
-    } else {
-      name.push_back(c);
-    }
-  }
-  throw LocationMapError("location-map: line " + std::to_string(line_no) +
-                         ": unterminated quoted name");
+  return text;
 }
 
 }  // namespace
@@ -116,34 +100,16 @@ void LocationMap::write(const std::filesystem::path& path) const {
 }
 
 LocationMap LocationMap::read(std::istream& is) {
-  LocationMap map;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    const auto start = line.find_first_not_of(" \t");
-    if (start == std::string::npos || line[start] == '#') continue;
-
-    std::size_t pos = start;
-    const std::string name = read_name(line, pos, line_no);
-    require(!name.empty(), "location-map: line " + std::to_string(line_no) +
-                               ": empty name");
-    std::istringstream coords(line.substr(pos));
-    double x = 0.0, y = 0.0;
-    coords >> x >> y;
-    require(static_cast<bool>(coords),
-            "location-map: line " + std::to_string(line_no) +
-                ": expected two coordinates after name");
-    map.set(name, {x, y});
-  }
-  return map;
+  return parse_location_map_buffer(slurp(is));
 }
 
 LocationMap LocationMap::read(const std::filesystem::path& path) {
-  std::ifstream is(path);
-  require(is.good(), "location-map: cannot open " + path.string());
-  return read(is);
+  try {
+    const FileBuffer buffer(path);
+    return parse_location_map_buffer(buffer.view());
+  } catch (const BufferError& e) {
+    throw LocationMapError("location-map: " + std::string(e.what()));
+  }
 }
 
 }  // namespace loctk::wiscan

@@ -1,0 +1,246 @@
+// Unit tests for the zero-copy ingest substrate: whole-file buffers,
+// string_view number parsing, line scanning, and the malformed-input
+// diagnostics of the buffer-oriented parsers.
+
+#include "wiscan/scan_buffer.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "wiscan/archive.hpp"
+#include "wiscan/format.hpp"
+
+namespace loctk::wiscan {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Runs `fn` and returns the thrown exception's message ("" when
+// nothing was thrown) so tests can pin diagnostics.
+template <typename Ex, typename Fn>
+std::string message_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Ex& e) {
+    return e.what();
+  }
+  return {};
+}
+
+class ScanBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest may run the cases concurrently.
+    dir_ = fs::temp_directory_path() /
+           (std::string("loctk_scan_buffer_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path write_file(const std::string& name, const std::string& content) {
+    const fs::path p = dir_ / name;
+    std::ofstream(p, std::ios::binary) << content;
+    return p;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ScanBufferTest, ReadFileBytesRoundTrips) {
+  const std::string content = std::string("hello\0world", 11) +
+                              "\nbinary \xff bytes";
+  const fs::path p = write_file("blob.bin", content);
+  EXPECT_EQ(read_file_bytes(p), content);
+}
+
+TEST_F(ScanBufferTest, ReadFileBytesMissingFileThrows) {
+  EXPECT_THROW(read_file_bytes(dir_ / "missing.bin"), BufferError);
+}
+
+TEST_F(ScanBufferTest, FileBufferViewsWholeFile) {
+  const std::string content = "line one\nline two\n";
+  const fs::path p = write_file("scan.wiscan", content);
+  const FileBuffer buffer(p);
+  EXPECT_EQ(buffer.view(), content);
+  EXPECT_EQ(buffer.size(), content.size());
+}
+
+TEST_F(ScanBufferTest, FileBufferEmptyFileIsEmptyView) {
+  const fs::path p = write_file("empty.wiscan", "");
+  const FileBuffer buffer(p);
+  EXPECT_TRUE(buffer.view().empty());
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST_F(ScanBufferTest, FileBufferMissingFileThrows) {
+  EXPECT_THROW(FileBuffer(dir_ / "missing.wiscan"), BufferError);
+}
+
+TEST(ParseNumber, AcceptsUsualForms) {
+  EXPECT_EQ(parse_number("42"), 42.0);
+  EXPECT_EQ(parse_number("-61.5"), -61.5);
+  EXPECT_EQ(parse_number("+3"), 3.0);  // stod parity
+  EXPECT_EQ(parse_number("1e3"), 1000.0);
+  EXPECT_EQ(parse_number(".5"), 0.5);
+}
+
+TEST(ParseNumber, RejectsMalformedTokens) {
+  EXPECT_EQ(parse_number(""), std::nullopt);
+  EXPECT_EQ(parse_number("abc"), std::nullopt);
+  EXPECT_EQ(parse_number("1.5x"), std::nullopt);  // trailing garbage
+  EXPECT_EQ(parse_number("+-5"), std::nullopt);
+  EXPECT_EQ(parse_number("--5"), std::nullopt);
+  EXPECT_EQ(parse_number(" 1"), std::nullopt);  // no leading space
+  EXPECT_EQ(parse_number("12,5"), std::nullopt);  // never locale-dependent
+}
+
+TEST(LineScannerTest, SplitsStripsAndCounts) {
+  LineScanner lines("first\r\nsecond\nlast without newline");
+  auto l = lines.next();
+  ASSERT_TRUE(l);
+  EXPECT_EQ(*l, "first");  // '\r' stripped
+  EXPECT_EQ(lines.line_number(), 1u);
+  l = lines.next();
+  ASSERT_TRUE(l);
+  EXPECT_EQ(*l, "second");
+  l = lines.next();
+  ASSERT_TRUE(l);
+  EXPECT_EQ(*l, "last without newline");
+  EXPECT_EQ(lines.line_number(), 3u);
+  EXPECT_FALSE(lines.next());
+}
+
+TEST(LineScannerTest, EmptyInputYieldsNothing) {
+  LineScanner lines("");
+  EXPECT_FALSE(lines.next());
+}
+
+// --- wi-scan malformed-row diagnostics ------------------------------
+
+TEST(WiScanBuffer, TruncatedRowReportsMissingRssi) {
+  const std::string msg = message_of<FormatError>(
+      [] { parse_wiscan_buffer("bssid=aa rssi=-50\nbssid=bb\n"); });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("missing rssi"), std::string::npos) << msg;
+}
+
+TEST(WiScanBuffer, RowWithoutBssidReportsIt) {
+  const std::string msg = message_of<FormatError>(
+      [] { parse_wiscan_buffer("rssi=-50\n"); });
+  EXPECT_NE(msg.find("missing bssid"), std::string::npos) << msg;
+}
+
+TEST(WiScanBuffer, NonNumericRssiReportsLineAndToken) {
+  const std::string msg = message_of<FormatError>([] {
+    parse_wiscan_buffer("# header\nbssid=aa rssi=strong\n");
+  });
+  EXPECT_NE(msg.find("not a number"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'strong'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(WiScanBuffer, NonNumericTimeAndChannelThrow) {
+  EXPECT_THROW(parse_wiscan_buffer("time=noon bssid=aa rssi=-50\n"),
+               FormatError);
+  EXPECT_THROW(parse_wiscan_buffer("bssid=aa rssi=-50 channel=six\n"),
+               FormatError);
+}
+
+TEST(WiScanBuffer, BareTokenReportsExpectedKeyValue) {
+  const std::string msg = message_of<FormatError>(
+      [] { parse_wiscan_buffer("bssid=aa rssi=-50 garbage\n"); });
+  EXPECT_NE(msg.find("expected key=value"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'garbage'"), std::string::npos) << msg;
+}
+
+TEST(WiScanBuffer, CrlfAndNoTrailingNewlineParse) {
+  const WiScanFile f = parse_wiscan_buffer(
+      "# location: lab\r\nbssid=aa rssi=-50\r\nbssid=bb rssi=-60");
+  EXPECT_EQ(f.location, "lab");
+  ASSERT_EQ(f.entries.size(), 2u);
+  EXPECT_EQ(f.entries[0].bssid, "aa");
+  EXPECT_EQ(f.entries[1].rssi_dbm, -60.0);
+}
+
+TEST(WiScanBuffer, MatchesIstreamAdapter) {
+  const std::string text =
+      "# wi-scan v1\n# location: kitchen\n"
+      "time=0.5 bssid=aa ssid=net channel=6 rssi=-54\n"
+      "bssid=bb rssi=-61\n";
+  EXPECT_EQ(parse_wiscan_buffer(text), decode_wiscan(text));
+}
+
+// --- location-map malformed-row diagnostics -------------------------
+
+TEST(LocationMapBuffer, ParsesQuotedNamesAndComments) {
+  const LocationMap map = parse_location_map_buffer(
+      "# location-map v1\r\n"
+      "kitchen 42.0 8.5\r\n"
+      "\"Room D22\" 10.0 30.0\n");
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.locations()[1].name, "Room D22");
+  EXPECT_EQ(map.locations()[1].position.x, 10.0);
+}
+
+TEST(LocationMapBuffer, TruncatedRowReportsMissingCoordinates) {
+  const std::string msg = message_of<LocationMapError>(
+      [] { parse_location_map_buffer("kitchen 42.0\n"); });
+  EXPECT_NE(msg.find("expected two coordinates"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+}
+
+TEST(LocationMapBuffer, NonNumericCoordinateThrows) {
+  EXPECT_THROW(parse_location_map_buffer("kitchen north 8.5\n"),
+               LocationMapError);
+}
+
+TEST(LocationMapBuffer, TrailingGarbageIsRejectedNotSilentlyDropped) {
+  const std::string msg = message_of<LocationMapError>([] {
+    parse_location_map_buffer("hall 1.0 2.0\nkitchen 42.0 8.5 9.9\n");
+  });
+  EXPECT_NE(msg.find("trailing garbage"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'9.9'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(LocationMapBuffer, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_location_map_buffer("\"Room D22 10.0 30.0\n"),
+               LocationMapError);
+}
+
+// --- archive byte-level parsing -------------------------------------
+
+TEST(ArchiveBytes, ReadBytesMatchesStreamRead) {
+  Archive ar;
+  ar.add("a.wiscan", "bssid=aa rssi=-50\n");
+  ar.add("sub/b.wiscan", std::string("\x00\x01\x02", 3));
+  std::ostringstream os;
+  ar.write(os);
+  const Archive parsed = Archive::read_bytes(os.str());
+  EXPECT_EQ(parsed.entries(), ar.entries());
+}
+
+TEST(ArchiveBytes, CorruptContainersThrow) {
+  EXPECT_THROW(Archive::read_bytes("NOPE"), ArchiveError);
+  EXPECT_THROW(Archive::read_bytes(""), ArchiveError);
+  Archive ar;
+  ar.add("a.wiscan", "bssid=aa rssi=-50\n");
+  std::ostringstream os;
+  ar.write(os);
+  const std::string bytes = os.str();
+  // Truncation anywhere inside the entry table must throw, never read
+  // out of bounds.
+  for (const std::size_t cut : {bytes.size() - 1, bytes.size() / 2,
+                                std::size_t{5}}) {
+    EXPECT_THROW(Archive::read_bytes(bytes.substr(0, cut)), ArchiveError);
+  }
+}
+
+}  // namespace
+}  // namespace loctk::wiscan
