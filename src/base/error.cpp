@@ -1,0 +1,38 @@
+#include "base/error.hpp"
+
+namespace loctk {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kIo:
+      return "io";
+    case ErrorCode::kParse:
+      return "parse";
+    case ErrorCode::kCorrupt:
+      return "corrupt";
+    case ErrorCode::kDegenerate:
+      return "degenerate";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = "[";
+  out += error_code_name(code_);
+  out += "] ";
+  out += message_;
+  if (!context_.empty()) {
+    out += " (";
+    for (std::size_t i = 0; i < context_.size(); ++i) {
+      if (i > 0) out += "; ";
+      out += "while ";
+      out += context_[i];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace loctk

@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file error.hpp
+/// The toolkit-wide structured error taxonomy.
+///
+/// The substrate libraries each grew a typed exception (FormatError,
+/// CodecError, ArchiveError, ...) which is right for in-module control
+/// flow but leaves callers that compose modules — the training
+/// pipeline, the live location service — pattern-matching on five
+/// unrelated hierarchies. `loctk::Error` is the common currency those
+/// entry points speak instead: a small closed code enum (what *kind*
+/// of failure), a human message (what exactly), and a context chain
+/// (where in the pipeline it surfaced). `Result<T>` carries either a
+/// value or an Error without unwinding, so batch drivers can quarantine
+/// one bad input and keep going. The throwing per-module APIs remain;
+/// the `try_*` entry points adapt them into this taxonomy.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace loctk {
+
+/// Closed failure taxonomy. Codes classify *recovery strategy*, not
+/// module: retry/propagate (kIo), reject the input (kParse/kCorrupt),
+/// degrade the answer (kDegenerate), file a bug (kInternal).
+enum class ErrorCode {
+  /// The environment failed us: open/stat/read/map/write errors.
+  kIo,
+  /// Text input violated a format grammar (wi-scan, location map).
+  kParse,
+  /// Binary input failed structural validation (codec, archive).
+  kCorrupt,
+  /// The computation has no meaningful answer for this input (empty
+  /// observation, all-unknown BSSIDs, < 3 usable ranging circles).
+  kDegenerate,
+  /// A supposedly-impossible state; indicates a toolkit bug.
+  kInternal,
+};
+
+/// Short stable name ("io", "parse", ...), for logs and tests.
+std::string_view error_code_name(ErrorCode code);
+
+/// One structured failure: code + message + outward context chain.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Context frames, innermost first (the order they were attached
+  /// while the error propagated outward).
+  const std::vector<std::string>& context() const { return context_; }
+
+  /// Attaches one context frame ("decoding 'site.ltdb'"). Chainable
+  /// in both value and reference positions.
+  Error& with_context(std::string frame) & {
+    context_.push_back(std::move(frame));
+    return *this;
+  }
+  Error&& with_context(std::string frame) && {
+    context_.push_back(std::move(frame));
+    return std::move(*this);
+  }
+
+  /// "[corrupt] codec: bad magic (while decoding 'a.ltdb'; while
+  /// loading site)".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+  std::vector<std::string> context_;
+};
+
+/// Value-or-Error sum type (std::expected is C++23; the toolkit is
+/// C++20). Construction is implicit from either alternative so
+/// `return Error{...}` and `return value` both read naturally.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: ok().
+  T& value() & { return std::get<0>(v_); }
+  const T& value() const& { return std::get<0>(v_); }
+  T&& value() && { return std::get<0>(std::move(v_)); }
+
+  /// Precondition: !ok().
+  Error& error() & { return std::get<1>(v_); }
+  const Error& error() const& { return std::get<1>(v_); }
+  Error&& error() && { return std::get<1>(std::move(v_)); }
+
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+  /// Attaches context to the error alternative; no-op on success.
+  /// Keeps pipeline code linear: `return try_x().with_context("...")`.
+  Result&& with_context(std::string frame) && {
+    if (!ok()) std::get<1>(v_).with_context(std::move(frame));
+    return std::move(*this);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Error-or-nothing form for side-effecting entry points.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : err_(std::move(error)) {}
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: !ok().
+  Error& error() & { return *err_; }
+  const Error& error() const& { return *err_; }
+
+  Result&& with_context(std::string frame) && {
+    if (err_) err_->with_context(std::move(frame));
+    return std::move(*this);
+  }
+
+ private:
+  std::optional<Error> err_;
+};
+
+}  // namespace loctk

@@ -1,0 +1,88 @@
+#include "base/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace loctk {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const FaultInjectorConfig& config) {
+  std::lock_guard lock(mutex_);
+  config_ = config;
+  stats_ = {};
+  // splitmix64 seeding so nearby seeds give unrelated streams.
+  rng_state_ = config.seed + 0x9e3779b97f4a7c15ull;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::next_u64() {
+  // splitmix64: tiny, full-period, and independent of loctk_stats so
+  // the base layer stays dependency-free.
+  std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+// Uniform [0, 1) from the top 53 bits.
+double to_unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultInjector::should_fail_io() {
+  if (!armed()) return false;
+  std::lock_guard lock(mutex_);
+  ++stats_.calls;
+  if (config_.io_failure_probability <= 0.0) return false;
+  if (to_unit(next_u64()) >= config_.io_failure_probability) return false;
+  ++stats_.vetoed_opens;
+  return true;
+}
+
+bool FaultInjector::corrupt(std::string& bytes) {
+  if (!armed() || bytes.empty()) return false;
+  std::lock_guard lock(mutex_);
+  bool mutated = false;
+  if (config_.truncate_probability > 0.0 &&
+      to_unit(next_u64()) < config_.truncate_probability) {
+    bytes.resize(static_cast<std::size_t>(next_u64() % bytes.size()));
+    ++stats_.truncations;
+    mutated = true;
+  }
+  if (!bytes.empty() && config_.bitflip_probability > 0.0 &&
+      to_unit(next_u64()) < config_.bitflip_probability) {
+    const int flips =
+        1 + static_cast<int>(next_u64() %
+                             static_cast<std::uint64_t>(
+                                 std::max(1, config_.max_bitflips)));
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t pos =
+          static_cast<std::size_t>(next_u64() % bytes.size());
+      bytes[pos] = static_cast<char>(
+          static_cast<unsigned char>(bytes[pos]) ^
+          static_cast<unsigned char>(1u << (next_u64() % 8)));
+      ++stats_.bitflips;
+    }
+    mutated = true;
+  }
+  return mutated;
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace loctk

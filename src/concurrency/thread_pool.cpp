@@ -28,6 +28,19 @@ std::size_t ThreadPool::pending() const {
   return queue_.size();
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::set_error_callback(ErrorCallback cb) {
+  std::lock_guard lock(mutex_);
+  error_callback_ = std::move(cb);
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -41,7 +54,27 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // submit()'s packaged_task wrapper captures exceptions into the
+    // future; anything that reaches here (post() tasks, or a wrapper
+    // that itself threw) would escape the thread entry point and call
+    // std::terminate. Capture it instead and keep the worker alive.
+    try {
+      task();
+    } catch (...) {
+      uncaught_errors_.fetch_add(1, std::memory_order_relaxed);
+      ErrorCallback cb;
+      {
+        std::lock_guard lock(mutex_);
+        cb = error_callback_;
+      }
+      if (cb) {
+        try {
+          cb(std::current_exception());
+        } catch (...) {
+          // A throwing error callback must not kill the worker either.
+        }
+      }
+    }
   }
 }
 

@@ -10,9 +10,11 @@
 /// submitted as value tasks, and shutdown joins everything (RAII — no
 /// detached threads, no leaked futures).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -53,6 +55,24 @@ class ThreadPool {
     return fut;
   }
 
+  /// Fire-and-forget enqueue: no future, no packaged_task wrapper. If
+  /// the task throws, the exception is routed to the error callback
+  /// (set_error_callback) instead of terminating the worker — the pool
+  /// survives and later tasks still run.
+  void post(std::function<void()> task);
+
+  /// Called (from the worker thread) with the exception of any task
+  /// that threw without a future to capture it. Replaces the previous
+  /// callback; pass nullptr to restore the default (count and drop).
+  using ErrorCallback = std::function<void(std::exception_ptr)>;
+  void set_error_callback(ErrorCallback cb);
+
+  /// Tasks whose exceptions reached the worker loop (i.e. were not
+  /// captured into a future). Includes ones forwarded to the callback.
+  std::size_t uncaught_task_errors() const {
+    return uncaught_errors_.load(std::memory_order_relaxed);
+  }
+
   /// Number of tasks waiting (excluding running ones); for tests.
   std::size_t pending() const;
 
@@ -63,6 +83,8 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  ErrorCallback error_callback_;
+  std::atomic<std::size_t> uncaught_errors_{0};
   bool stop_ = false;
 };
 

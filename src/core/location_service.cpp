@@ -1,6 +1,7 @@
 #include "core/location_service.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace loctk::core {
 
@@ -25,6 +26,11 @@ std::vector<LocationEstimate> LocationService::locate_batch(
   return locator_->locate_batch(observations, pool);
 }
 
+Result<LocationEstimate> LocationService::try_locate(
+    const Observation& obs) const {
+  return locator_->try_locate(obs);
+}
+
 void LocationService::reset() {
   window_.clear();
   kalman_.reset();
@@ -35,11 +41,22 @@ void LocationService::reset() {
 }
 
 ServiceFix LocationService::on_scan(const radio::ScanRecord& scan) {
-  window_.push_back(scan);
+  // A NIC driver glitch or hostile replay can hand us inf/nan dBm;
+  // once inside the window it would poison every mean the locator
+  // sees until the window drains. Drop such samples at the door.
+  radio::ScanRecord clean = scan;
+  std::erase_if(clean.samples, [this](const radio::ScanSample& s) {
+    const bool bad = !std::isfinite(s.rssi_dbm);
+    if (bad) ++rejected_samples_;
+    return bad;
+  });
+
+  window_.push_back(std::move(clean));
   if (window_.size() > config_.window_scans) {
     window_.erase(window_.begin());
   }
   fix_.window_fill = window_.size();
+  fix_.degraded_reason.clear();
 
   if (window_.size() < config_.min_scans) {
     fix_.valid = false;
@@ -47,18 +64,22 @@ ServiceFix LocationService::on_scan(const radio::ScanRecord& scan) {
   }
 
   const Observation obs = Observation::from_scans(window_);
-  const LocationEstimate est = locator_->locate(obs);
+  const Result<LocationEstimate> result = locator_->try_locate(obs);
+  const LocationEstimate est =
+      result.ok() ? result.value() : LocationEstimate{};
 
   if (est.valid) {
     fix_.valid = true;
     fix_.position = config_.kalman_smoothing ? kalman_.update(est.position)
                                              : est.position;
   } else if (config_.kalman_smoothing && kalman_.initialized()) {
-    // Coast through a bad window.
+    // Coast through a bad window, reporting why the fix is degraded.
     fix_.valid = true;
     fix_.position = kalman_.predict();
+    fix_.degraded_reason = result.error().to_string();
   } else {
     fix_.valid = false;
+    fix_.degraded_reason = result.error().to_string();
     return fix_;
   }
 

@@ -50,6 +50,13 @@ struct ServiceFix {
   std::string place;
   /// Scans currently in the window.
   std::size_t window_fill = 0;
+  /// Non-empty when the fix is running degraded: the locator had no
+  /// answer for the current window and the position (if valid) is a
+  /// Kalman coast rather than a fresh measurement. The text is the
+  /// structured `loctk::Error` behind the degradation.
+  std::string degraded_reason;
+
+  bool degraded() const { return !degraded_reason.empty(); }
 };
 
 /// Stateful per-client localization session.
@@ -66,8 +73,21 @@ class LocationService {
   LocationService(std::shared_ptr<const Locator> locator,
                   LocationServiceConfig config = {});
 
-  /// Feeds one scan; returns the updated fix.
+  /// Feeds one scan; returns the updated fix. Hostile input degrades
+  /// instead of corrupting state: non-finite RSSI samples are dropped
+  /// before they reach the window (counted in rejected_samples()), and
+  /// a window the locator cannot answer coasts on the Kalman track
+  /// with `fix.degraded_reason` set.
   ServiceFix on_scan(const radio::ScanRecord& scan);
+
+  /// One-shot taxonomy-speaking localization of an already-windowed
+  /// observation through this service's locator; degenerate inputs
+  /// come back as typed kDegenerate errors (see Locator::try_locate).
+  /// Stateless with respect to the scan window / Kalman track.
+  Result<LocationEstimate> try_locate(const Observation& obs) const;
+
+  /// Non-finite samples dropped by on_scan() so far.
+  std::size_t rejected_samples() const { return rejected_samples_; }
 
   /// Bulk entry point: scores a batch of independent, already-windowed
   /// observations (e.g. one per connected client) through this
@@ -104,6 +124,7 @@ class LocationService {
   KalmanTracker kalman_;
   ServiceFix fix_;
   std::string candidate_place_;
+  std::size_t rejected_samples_ = 0;
   int candidate_streak_ = 0;
   std::string announced_place_;
   std::vector<PlaceChangeCallback> callbacks_;

@@ -4,6 +4,35 @@
 
 namespace loctk::core {
 
+Result<LocationEstimate> Locator::try_locate(const Observation& obs) const {
+  if (obs.empty()) {
+    return Error(ErrorCode::kDegenerate, "empty observation")
+        .with_context("locating with " + name());
+  }
+  if (!obs.is_finite()) {
+    return Error(ErrorCode::kDegenerate,
+                 "observation contains non-finite dBm values")
+        .with_context("locating with " + name());
+  }
+  LocationEstimate est;
+  try {
+    est = locate(obs);
+  } catch (const std::exception& e) {
+    return Error(ErrorCode::kInternal, e.what())
+        .with_context("locating with " + name());
+  }
+  if (!est.valid) {
+    // The observation was well-formed but the algorithm has no
+    // answer: all-unknown BSSIDs, < min_common_aps overlap, or fewer
+    // usable ranging circles than the geometry needs.
+    return Error(ErrorCode::kDegenerate,
+                 "no usable estimate (observation shares too little "
+                 "with the training data)")
+        .with_context("locating with " + name());
+  }
+  return est;
+}
+
 std::vector<LocationEstimate> Locator::locate_batch(
     std::span<const Observation> obs, concurrency::ThreadPool* pool) const {
   std::vector<LocationEstimate> out(obs.size());

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "base/error.hpp"
 #include "core/observation.hpp"
 #include "geom/vec2.hpp"
 #include "traindb/database.hpp"
@@ -56,6 +57,16 @@ class Locator {
 
   /// Estimates the client position for one observation.
   virtual LocationEstimate locate(const Observation& obs) const = 0;
+
+  /// Taxonomy-speaking locate: instead of the ambiguous
+  /// `valid = false`, degenerate inputs come back as a typed
+  /// `loctk::Error` saying *why* there is no answer — kDegenerate for
+  /// an empty observation, non-finite dBm, no overlap with the trained
+  /// universe, or too few usable ranging circles; kInternal if the
+  /// algorithm itself threw. Implemented once on top of the virtual
+  /// locate(), so every locator (and every future one) gets the same
+  /// degraded-mode contract for free.
+  Result<LocationEstimate> try_locate(const Observation& obs) const;
 
   /// Scores a batch of independent observations (many concurrent
   /// clients, or a replayed capture). With a pool, the batch is

@@ -1,6 +1,7 @@
 #include "core/observation.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 namespace loctk::core {
@@ -50,6 +51,16 @@ Observation Observation::from_entries(
   Observation obs;
   obs.aps_ = to_aps(grouped);
   return obs;
+}
+
+bool Observation::is_finite() const {
+  for (const ObservedAp& ap : aps_) {
+    if (!std::isfinite(ap.mean_dbm)) return false;
+    for (const double s : ap.samples_dbm) {
+      if (!std::isfinite(s)) return false;
+    }
+  }
+  return true;
 }
 
 const ObservedAp* Observation::find(const std::string& bssid) const {

@@ -47,6 +47,12 @@ class Observation {
   std::size_t ap_count() const { return aps_.size(); }
   bool empty() const { return aps_.empty(); }
 
+  /// True when every per-AP mean and raw sample is a finite dBm value
+  /// — the precondition for Gaussian/Welford math downstream. Scans
+  /// built from parsed wi-scan rows always satisfy it (the row layer
+  /// rejects non-finite rssi); hand-built observations may not.
+  bool is_finite() const;
+
   /// Aggregate for `bssid`; nullptr when that AP was never heard.
   const ObservedAp* find(const std::string& bssid) const;
 

@@ -82,6 +82,12 @@ std::uint64_t get_varint(std::string_view in, std::size_t& pos) {
   for (int i = 0; i < 10; ++i) {
     require(pos < in.size(), "codec: truncated varint");
     const auto byte = static_cast<unsigned char>(in[pos++]);
+    // Byte 10 starts at shift 63: only its low bit fits a u64. A
+    // larger payload would shift value bits past bit 63 — silently
+    // dropped at best, UB if the shift ever exceeded 63 — so reject
+    // oversized encodings outright instead of decoding them mod 2^64.
+    require(shift < 63 || (byte & 0x7f) <= 1,
+            "codec: varint overflows 64 bits");
     v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) return v;
     shift += 7;
@@ -242,6 +248,31 @@ TrainingDatabase read_database(const std::filesystem::path& path) {
     return decode_database(buffer.view());
   } catch (const wiscan::BufferError&) {
     throw CodecError("codec: cannot open input file");
+  }
+}
+
+Result<TrainingDatabase> try_decode_database(std::string_view bytes) {
+  try {
+    return decode_database(bytes);
+  } catch (const CodecError& e) {
+    return Error(ErrorCode::kCorrupt, e.what());
+  } catch (const DatabaseError& e) {
+    // A mutation can decode into structurally invalid points (e.g.
+    // duplicate location names); still corruption, not a toolkit bug.
+    return Error(ErrorCode::kCorrupt, e.what());
+  } catch (const std::exception& e) {
+    return Error(ErrorCode::kInternal, e.what());
+  }
+}
+
+Result<TrainingDatabase> try_read_database(
+    const std::filesystem::path& path) {
+  try {
+    const wiscan::FileBuffer buffer(path);
+    return try_decode_database(buffer.view())
+        .with_context("reading '" + path.string() + "'");
+  } catch (const wiscan::BufferError& e) {
+    return Error(ErrorCode::kIo, e.what());
   }
 }
 

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "base/error.hpp"
 #include "traindb/database.hpp"
 
 namespace loctk::traindb {
@@ -86,5 +87,14 @@ struct DatabaseFileInfo {
 /// Reads the header of `path`. Throws CodecError when the file is
 /// missing, truncated, or not an LTDB v1 file.
 DatabaseFileInfo probe_database(const std::filesystem::path& path);
+
+/// --- structured-error adapters ---------------------------------------
+/// The taxonomy-speaking forms of the decode entry points: corruption
+/// and structural violations come back as `loctk::Error` (kCorrupt)
+/// and I/O failures as kIo, instead of unwinding. Batch drivers use
+/// these to quarantine one bad database without aborting the rest.
+
+Result<TrainingDatabase> try_decode_database(std::string_view bytes);
+Result<TrainingDatabase> try_read_database(const std::filesystem::path& path);
 
 }  // namespace loctk::traindb

@@ -329,6 +329,12 @@ TrainingDatabase generate_database_from_path(
   // bytes.
   std::optional<wiscan::Archive> archive;
   std::vector<FileAggregate> aggregates;
+  // Per-work-list-index failure slots (quarantine mode only): workers
+  // record errors under their own index so scheduling cannot reorder
+  // the diagnostics, and failed slots are dropped before the sort —
+  // exactly the pipeline a clean run over the surviving files sees.
+  std::vector<std::optional<Error>> failed;
+  std::vector<std::string> sources;
 
   if (std::filesystem::is_directory(collection_source)) {
     std::vector<std::filesystem::path> work;
@@ -344,6 +350,9 @@ TrainingDatabase generate_database_from_path(
     // work list (and therefore the output) is stable.
     std::sort(work.begin(), work.end());
 
+    failed.resize(work.size());
+    sources.reserve(work.size());
+    for (const auto& p : work) sources.push_back(p.string());
     aggregates = aggregate_work_list(work.size(), pool, [&](std::size_t i) {
       try {
         auto buffer = std::make_unique<wiscan::FileBuffer>(work[i]);
@@ -353,8 +362,20 @@ TrainingDatabase generate_database_from_path(
         aggregate.buffer = std::move(buffer);
         return aggregate;
       } catch (const wiscan::BufferError& e) {
+        if (config.quarantine_corrupt_files) {
+          failed[i] = Error(ErrorCode::kIo, e.what())
+                          .with_context("reading '" + sources[i] + "'");
+          return FileAggregate{};
+        }
         throw wiscan::FormatError("load_collection: " +
                                   std::string(e.what()));
+      } catch (const wiscan::FormatError& e) {
+        if (config.quarantine_corrupt_files) {
+          failed[i] = Error(ErrorCode::kParse, e.what())
+                          .with_context("parsing '" + sources[i] + "'");
+          return FileAggregate{};
+        }
+        throw;
       }
     });
   } else if (std::filesystem::is_regular_file(collection_source) &&
@@ -364,16 +385,47 @@ TrainingDatabase generate_database_from_path(
     for (const auto& entry : archive->entries()) {
       if (has_wiscan_extension_name(entry.first)) work.push_back(&entry);
     }
+    failed.resize(work.size());
+    sources.reserve(work.size());
+    for (const auto* entry : work) sources.push_back(entry->first);
     aggregates = aggregate_work_list(work.size(), pool, [&](std::size_t i) {
       const auto& [name, bytes] = *work[i];
-      return aggregate_buffer(
-          bytes, wiscan::sanitize_location_name(
-                     std::filesystem::path(name).stem().string()));
+      try {
+        return aggregate_buffer(
+            bytes, wiscan::sanitize_location_name(
+                       std::filesystem::path(name).stem().string()));
+      } catch (const wiscan::FormatError& e) {
+        if (config.quarantine_corrupt_files) {
+          failed[i] =
+              Error(ErrorCode::kParse, e.what())
+                  .with_context("parsing archive entry '" + name + "'");
+          return FileAggregate{};
+        }
+        throw;
+      }
     });
   } else {
     throw wiscan::FormatError("load_collection: '" +
                               collection_source.string() +
                               "' is neither a directory nor a .lar archive");
+  }
+
+  // Drop quarantined slots (work-list order) before any downstream
+  // step observes the aggregates.
+  if (config.quarantine_corrupt_files) {
+    std::vector<FileAggregate> kept;
+    kept.reserve(aggregates.size());
+    for (std::size_t i = 0; i < aggregates.size(); ++i) {
+      if (failed[i]) {
+        if (report) {
+          report->quarantined.push_back(
+              {sources[i], std::move(*failed[i])});
+        }
+      } else {
+        kept.push_back(std::move(aggregates[i]));
+      }
+    }
+    aggregates = std::move(kept);
   }
 
   // Read after the collection so error precedence matches the old
@@ -408,6 +460,36 @@ TrainingDatabase generate_database_from_path(
     }
   }
   return assemble(config, std::move(built), dropped, report);
+}
+
+Result<TrainingDatabase> try_generate_database_from_path(
+    const std::filesystem::path& collection_source,
+    const std::filesystem::path& location_map_file,
+    const GeneratorConfig& config, GeneratorReport* report,
+    concurrency::ThreadPool* pool) {
+  try {
+    TrainingDatabase db = generate_database_from_path(
+        collection_source, location_map_file, config, report, pool);
+    if (db.size() == 0) {
+      return Error(ErrorCode::kDegenerate,
+                   "generator: no surveyed location matched the map")
+          .with_context("building database from '" +
+                        collection_source.string() + "'");
+    }
+    return db;
+  } catch (const wiscan::BufferError& e) {
+    return Error(ErrorCode::kIo, e.what());
+  } catch (const wiscan::ArchiveError& e) {
+    return Error(ErrorCode::kCorrupt, e.what());
+  } catch (const wiscan::LocationMapError& e) {
+    return Error(ErrorCode::kParse, e.what());
+  } catch (const wiscan::FormatError& e) {
+    return Error(ErrorCode::kParse, e.what());
+  } catch (const DatabaseError& e) {
+    return Error(ErrorCode::kCorrupt, e.what());
+  } catch (const std::exception& e) {
+    return Error(ErrorCode::kInternal, e.what());
+  }
 }
 
 }  // namespace loctk::traindb

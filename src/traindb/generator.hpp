@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "base/error.hpp"
 #include "concurrency/thread_pool.hpp"
 #include "traindb/database.hpp"
 #include "wiscan/collection.hpp"
@@ -32,6 +33,13 @@ struct GeneratorConfig {
   std::uint32_t min_samples_per_ap = 3;
   /// Site label stored in the database.
   std::string site_name = "unnamed-site";
+  /// When set, `generate_database_from_path` skips wi-scan files that
+  /// fail to read or parse — recording a structured diagnostic in
+  /// `GeneratorReport::quarantined` — instead of aborting the batch.
+  /// The surviving files produce output byte-identical to a clean run
+  /// without the bad files. Whole-batch failures (bad source path,
+  /// unreadable archive, bad location map) still throw.
+  bool quarantine_corrupt_files = false;
 };
 
 /// What happened during generation.
@@ -40,6 +48,9 @@ struct GeneratorReport {
   std::vector<std::string> unmapped_locations;
   /// Location-map entries with no wi-scan file.
   std::vector<std::string> unsurveyed_locations;
+  /// Corrupt/unreadable inputs skipped under
+  /// `GeneratorConfig::quarantine_corrupt_files` (work-list order).
+  std::vector<wiscan::QuarantinedFile> quarantined;
   /// <point, AP> pairs dropped by min_samples_per_ap.
   std::size_t dropped_pairs = 0;
   std::size_t points_built = 0;
@@ -68,6 +79,18 @@ TrainingDatabase generate_database_parallel(
 /// index-aligned slots; the result is byte-identical to the serial
 /// path.
 TrainingDatabase generate_database_from_path(
+    const std::filesystem::path& collection_source,
+    const std::filesystem::path& location_map_file,
+    const GeneratorConfig& config = {}, GeneratorReport* report = nullptr,
+    concurrency::ThreadPool* pool = nullptr);
+
+/// Structured-error form of `generate_database_from_path`: instead of
+/// unwinding, whole-batch failures come back as a `loctk::Error` —
+/// kIo (unreadable source), kParse (malformed wi-scan / location-map
+/// text), kCorrupt (bad archive), kDegenerate (an empty database: no
+/// usable surveyed+mapped location at all). Per-file failures follow
+/// `GeneratorConfig::quarantine_corrupt_files` as usual.
+Result<TrainingDatabase> try_generate_database_from_path(
     const std::filesystem::path& collection_source,
     const std::filesystem::path& location_map_file,
     const GeneratorConfig& config = {}, GeneratorReport* report = nullptr,

@@ -1,6 +1,7 @@
 #include "wiscan/collection.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "concurrency/parallel_for.hpp"
 #include "wiscan/scan_buffer.hpp"
@@ -54,28 +55,78 @@ std::vector<WiScanFile> parse_work_list(std::size_t count,
   return parsed;
 }
 
+// Quarantining variant: each slot either parses or records a
+// structured error under its work-list index (so worker scheduling
+// cannot reorder diagnostics); failed slots are dropped before the
+// by-location sort, leaving exactly the collection a clean run over
+// the surviving files would build.
+template <typename TryParseItem, typename SourceName>
+std::vector<WiScanFile> parse_work_list_quarantined(
+    std::size_t count, concurrency::ThreadPool* pool,
+    const TryParseItem& try_parse_item, const SourceName& source_name,
+    LoadReport& report) {
+  std::vector<std::optional<Error>> errors(count);
+  std::vector<WiScanFile> parsed =
+      parse_work_list(count, pool, [&](std::size_t i) {
+        Result<WiScanFile> r = try_parse_item(i);
+        if (r.ok()) return std::move(r).value();
+        errors[i] = std::move(r).error();
+        return WiScanFile{};
+      });
+  std::vector<WiScanFile> kept;
+  kept.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (errors[i]) {
+      report.quarantined.push_back(
+          {source_name(i), std::move(*errors[i])});
+    } else {
+      kept.push_back(std::move(parsed[i]));
+    }
+  }
+  report.files_loaded += kept.size();
+  return kept;
+}
+
 }  // namespace
 
 Collection load_collection(const Archive& archive,
-                           concurrency::ThreadPool* pool) {
+                           concurrency::ThreadPool* pool,
+                           LoadReport* report) {
   std::vector<const std::pair<const std::string, std::string>*> work;
   for (const auto& entry : archive.entries()) {
     if (has_wiscan_extension(entry.first)) work.push_back(&entry);
   }
-  Collection c;
-  c.files = parse_work_list(work.size(), pool, [&](std::size_t i) {
+  const auto parse = [&](std::size_t i) {
     const auto& [name, bytes] = *work[i];
     return parse_wiscan_buffer(
         bytes, sanitize_location_name(std::filesystem::path(name)
                                           .stem()
                                           .string()));
-  });
+  };
+  Collection c;
+  if (report != nullptr) {
+    c.files = parse_work_list_quarantined(
+        work.size(), pool,
+        [&](std::size_t i) -> Result<WiScanFile> {
+          try {
+            return parse(i);
+          } catch (const FormatError& e) {
+            return Error(ErrorCode::kParse, e.what())
+                .with_context("parsing archive entry '" + work[i]->first +
+                              "'");
+          }
+        },
+        [&](std::size_t i) { return work[i]->first; }, *report);
+  } else {
+    c.files = parse_work_list(work.size(), pool, parse);
+  }
   sort_collection(c);
   return c;
 }
 
 Collection load_collection(const std::filesystem::path& source,
-                           concurrency::ThreadPool* pool) {
+                           concurrency::ThreadPool* pool,
+                           LoadReport* report) {
   if (std::filesystem::is_directory(source)) {
     std::vector<std::filesystem::path> work;
     for (const auto& entry :
@@ -88,8 +139,7 @@ Collection load_collection(const std::filesystem::path& source,
     // work list (and therefore the loaded collection) is stable.
     std::sort(work.begin(), work.end());
 
-    Collection c;
-    c.files = parse_work_list(work.size(), pool, [&](std::size_t i) {
+    const auto parse = [&](std::size_t i) {
       try {
         const FileBuffer buffer(work[i]);
         return parse_wiscan_buffer(
@@ -98,13 +148,35 @@ Collection load_collection(const std::filesystem::path& source,
       } catch (const BufferError& e) {
         throw FormatError("load_collection: " + std::string(e.what()));
       }
-    });
+    };
+    Collection c;
+    if (report != nullptr) {
+      c.files = parse_work_list_quarantined(
+          work.size(), pool,
+          [&](std::size_t i) -> Result<WiScanFile> {
+            try {
+              const FileBuffer buffer(work[i]);
+              return parse_wiscan_buffer(
+                  buffer.view(),
+                  sanitize_location_name(work[i].stem().string()));
+            } catch (const BufferError& e) {
+              return Error(ErrorCode::kIo, e.what())
+                  .with_context("reading '" + work[i].string() + "'");
+            } catch (const FormatError& e) {
+              return Error(ErrorCode::kParse, e.what())
+                  .with_context("parsing '" + work[i].string() + "'");
+            }
+          },
+          [&](std::size_t i) { return work[i].string(); }, *report);
+    } else {
+      c.files = parse_work_list(work.size(), pool, parse);
+    }
     sort_collection(c);
     return c;
   }
   if (std::filesystem::is_regular_file(source) &&
       source.extension() == ".lar") {
-    return load_collection(Archive::read(source), pool);
+    return load_collection(Archive::read(source), pool, report);
   }
   throw FormatError("load_collection: '" + source.string() +
                     "' is neither a directory nor a .lar archive");

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "base/error.hpp"
 #include "wiscan/archive.hpp"
 #include "wiscan/format.hpp"
 #include "wiscan/record.hpp"
@@ -36,6 +37,21 @@ struct Collection {
   std::size_t total_entries() const;
 };
 
+/// One input skipped by a quarantining load: which source (file path
+/// or archive entry name) and the structured reason.
+struct QuarantinedFile {
+  std::string source;
+  Error error;
+};
+
+/// Outcome bookkeeping for a quarantining load.
+struct LoadReport {
+  /// Inputs skipped (work-list order: sorted paths / map entry order).
+  std::vector<QuarantinedFile> quarantined;
+  /// Inputs that parsed and made it into the collection.
+  std::size_t files_loaded = 0;
+};
+
 /// Loads from a directory tree (recursive, `*.wiscan` files only) or
 /// from a `.lar` archive file — dispatch on what `source` points at,
 /// mirroring the paper's string-argument interface. Throws
@@ -47,12 +63,21 @@ struct Collection {
 /// archive entries in map order) and every worker writes into its own
 /// index slot, so the loaded collection is byte-identical to the
 /// serial path regardless of thread count or completion order.
+///
+/// With `report`, per-file failures (unreadable file, malformed rows)
+/// are *quarantined*: the bad file is skipped, a structured diagnostic
+/// lands in `report->quarantined`, and the rest of the batch loads
+/// deterministically — identical to a clean run over the surviving
+/// files. Whole-batch failures (bad source path, unreadable archive)
+/// still throw. Without `report`, the first failure throws as before.
 Collection load_collection(const std::filesystem::path& source,
-                           concurrency::ThreadPool* pool = nullptr);
+                           concurrency::ThreadPool* pool = nullptr,
+                           LoadReport* report = nullptr);
 
 /// Loads from an in-memory archive (entries whose names end in
 /// `.wiscan`).
 Collection load_collection(const Archive& archive,
-                           concurrency::ThreadPool* pool = nullptr);
+                           concurrency::ThreadPool* pool = nullptr,
+                           LoadReport* report = nullptr);
 
 }  // namespace loctk::wiscan

@@ -1,10 +1,12 @@
 #include "wiscan/scan_buffer.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 
+#include "base/fault_injector.hpp"
 #include "wiscan/format.hpp"
 
 #if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
@@ -18,6 +20,10 @@
 namespace loctk::wiscan {
 
 std::string read_file_bytes(const std::filesystem::path& path) {
+  if (FaultInjector::instance().should_fail_io()) {
+    throw BufferError("read_file_bytes: injected I/O failure on " +
+                      path.string());
+  }
   std::ifstream is(path, std::ios::binary);
   if (!is.good()) {
     throw BufferError("read_file_bytes: cannot open " + path.string());
@@ -34,11 +40,19 @@ std::string read_file_bytes(const std::filesystem::path& path) {
   if (static_cast<std::streamoff>(is.gcount()) != end) {
     throw BufferError("read_file_bytes: short read on " + path.string());
   }
+  FaultInjector::instance().corrupt(bytes);
   return bytes;
 }
 
 FileBuffer::FileBuffer(const std::filesystem::path& path) {
 #if LOCTK_HAVE_MMAP
+  // Injection needs mutable bytes (truncation, bit flips) and a veto
+  // point; a read-only shared mapping offers neither, so an armed
+  // injector routes every buffer through the heap path.
+  if (FaultInjector::instance().armed()) {
+    heap_ = read_file_bytes(path);
+    return;
+  }
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     throw BufferError("FileBuffer: cannot open " + path.string());
@@ -348,6 +362,14 @@ void scan_wiscan_buffer(std::string_view text, WiScanRowSink& sink) {
       } else if (token.starts_with("rssi=")) {
         out.rssi_dbm =
             require_number(token.substr(5), "read_wiscan: rssi", line_no);
+        // parse_number accepts "inf"/"nan" spellings (from_chars does);
+        // a non-finite dBm would flow into Welford accumulation and
+        // Gaussian sigma math downstream, so reject it at the row.
+        if (!std::isfinite(out.rssi_dbm)) {
+          throw FormatError("read_wiscan: rssi not finite: '" +
+                            std::string(token.substr(5)) + "' (line " +
+                            std::to_string(line_no) + ")");
+        }
         have_rssi = true;
       } else {
         const auto eq = token.find('=');
@@ -483,6 +505,35 @@ LocationMap parse_location_map_buffer(std::string_view text) {
     map.set(name, {xy[0], xy[1]});
   }
   return map;
+}
+
+Result<std::string> try_read_file_bytes(const std::filesystem::path& path) {
+  try {
+    return read_file_bytes(path);
+  } catch (const BufferError& e) {
+    return Error(ErrorCode::kIo, e.what());
+  }
+}
+
+Result<WiScanFile> try_parse_wiscan_buffer(std::string_view text,
+                                           std::string_view fallback_location) {
+  try {
+    return parse_wiscan_buffer(text, fallback_location);
+  } catch (const FormatError& e) {
+    return Error(ErrorCode::kParse, e.what());
+  } catch (const std::exception& e) {
+    return Error(ErrorCode::kInternal, e.what());
+  }
+}
+
+Result<LocationMap> try_parse_location_map_buffer(std::string_view text) {
+  try {
+    return parse_location_map_buffer(text);
+  } catch (const LocationMapError& e) {
+    return Error(ErrorCode::kParse, e.what());
+  } catch (const std::exception& e) {
+    return Error(ErrorCode::kInternal, e.what());
+  }
 }
 
 }  // namespace loctk::wiscan

@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 
+#include "base/error.hpp"
 #include "wiscan/location_map.hpp"
 #include "wiscan/record.hpp"
 
@@ -132,5 +133,15 @@ WiScanFile parse_wiscan_buffer(std::string_view text,
 /// the two coordinates with a line diagnostic. Throws
 /// LocationMapError.
 LocationMap parse_location_map_buffer(std::string_view text);
+
+/// --- structured-error adapters ---------------------------------------
+/// Taxonomy-speaking forms of the ingest entry points: I/O failures
+/// come back as `loctk::Error` kIo and malformed text as kParse, so
+/// batch loaders can quarantine one bad file and keep parsing.
+
+Result<std::string> try_read_file_bytes(const std::filesystem::path& path);
+Result<WiScanFile> try_parse_wiscan_buffer(
+    std::string_view text, std::string_view fallback_location = {});
+Result<LocationMap> try_parse_location_map_buffer(std::string_view text);
 
 }  // namespace loctk::wiscan

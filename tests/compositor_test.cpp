@@ -95,6 +95,43 @@ TEST(Compositor, WorldLineSolidAndDashed) {
   EXPECT_LT(dashed, solid);
 }
 
+TEST(Compositor, CornerAndOffCanvasMarkersClipSafely) {
+  // Markers whose glyphs straddle the raster edge exercise set_pixel's
+  // clipping on every side; fully off-canvas markers must be no-ops.
+  // Under ASan this pins "no out-of-bounds writes", not just "no
+  // throw". small_plan(): 120x100 px, 0.5 ft/px, origin pixel (10,90)
+  // — so world (-5, 45) lands exactly on pixel (0, 0).
+  const FloorPlan plan = small_plan();
+  CompositorOptions opts;
+  opts.draw_legend = true;
+  opts.draw_labels = true;
+  const Compositor comp(plan, opts);
+
+  std::vector<Mark> marks;
+  const geom::Vec2 corners[] = {
+      {-5.0, 45.0}, {54.5, 45.0}, {-5.0, -4.5}, {54.5, -4.5}};
+  const image::MarkerShape shapes[] = {
+      image::MarkerShape::kDot, image::MarkerShape::kCross,
+      image::MarkerShape::kSquare, image::MarkerShape::kDot};
+  for (int i = 0; i < 4; ++i) {
+    marks.push_back({corners[i], shapes[i], image::colors::kRed,
+                     "c" + std::to_string(i)});
+  }
+  marks.push_back({{1000.0, 1000.0}, image::MarkerShape::kCross,
+                   image::colors::kBlue, "far"});
+  marks.push_back({{-1000.0, -1000.0}, image::MarkerShape::kSquare,
+                   image::colors::kBlue, "far2"});
+
+  image::Raster img(1, 1);
+  ASSERT_NO_THROW(img = comp.render(marks));
+  EXPECT_EQ(img.width(), 120);
+  EXPECT_EQ(img.height(), 100);
+  // The corner markers are clipped, not culled: part of each glyph
+  // survives, while the off-canvas blue markers paint nothing.
+  EXPECT_GT(img.count_pixels(image::colors::kRed), 4u);
+  EXPECT_EQ(img.count_pixels(image::colors::kBlue), 0u);
+}
+
 TEST(CompositeEvaluation, TruthEstimateWhiskersAndLegend) {
   const FloorPlan plan = small_plan();
   const std::vector<EvaluatedPoint> points = {

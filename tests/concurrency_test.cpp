@@ -7,8 +7,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -144,6 +146,65 @@ TEST(DefaultPool, SingletonWorks) {
   auto f = default_pool().submit([] { return 7; });
   EXPECT_EQ(f.get(), 7);
   EXPECT_GE(default_pool().thread_count(), 1u);
+}
+
+// Regression: a throwing fire-and-forget task must not take the
+// worker thread (and with it the whole process) down. Before post()
+// grew a worker-side catch, the exception escaped worker_loop and
+// std::terminate'd.
+TEST(ThreadPool, PostedThrowingTaskDoesNotKillThePool) {
+  ThreadPool pool(2);
+  pool.post([] { throw std::runtime_error("fire and forget boom"); });
+  // The pool must still run tasks afterwards — both post()ed...
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.post([&] { ran.fetch_add(1); });
+  }
+  // ...and submit()ed (the future also proves the workers are alive).
+  EXPECT_EQ(pool.submit([] { return 41 + 1; }).get(), 42);
+  while (ran.load() < 8) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(pool.uncaught_task_errors(), 1u);
+}
+
+TEST(ThreadPool, ErrorCallbackSeesTheEscapedException) {
+  ThreadPool pool(1);
+  std::promise<std::string> seen;
+  pool.set_error_callback([&](std::exception_ptr ep) {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const std::exception& e) {
+      seen.set_value(e.what());
+    }
+  });
+  pool.post([] { throw std::runtime_error("reported boom"); });
+  EXPECT_EQ(seen.get_future().get(), "reported boom");
+  EXPECT_EQ(pool.uncaught_task_errors(), 1u);
+}
+
+TEST(ThreadPool, ThrowingErrorCallbackIsContained) {
+  ThreadPool pool(1);
+  pool.set_error_callback(
+      [](std::exception_ptr) { throw std::runtime_error("meta boom"); });
+  pool.post([] { throw std::runtime_error("boom"); });
+  // Neither the task's nor the callback's exception may kill the
+  // worker; the pool still answers.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+  EXPECT_EQ(pool.uncaught_task_errors(), 1u);
+}
+
+TEST(ThreadPool, SubmitStillCapturesIntoTheFuture) {
+  // submit() exceptions belong to the caller via the future; they are
+  // not "uncaught" and must not hit the error callback.
+  ThreadPool pool(1);
+  std::atomic<int> callback_hits{0};
+  pool.set_error_callback(
+      [&](std::exception_ptr) { callback_hits.fetch_add(1); });
+  auto f = pool.submit([]() -> int { throw std::runtime_error("mine"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_EQ(pool.uncaught_task_errors(), 0u);
+  EXPECT_EQ(callback_hits.load(), 0);
 }
 
 // Property sweep: parallel_for result independent of thread count.

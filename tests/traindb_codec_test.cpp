@@ -48,6 +48,26 @@ TEST(Varint, TruncatedThrows) {
   EXPECT_THROW(get_varint(overlong, pos), CodecError);
 }
 
+TEST(Varint, OversizedTenthByteThrows) {
+  // Ten bytes is the legal maximum, but the tenth byte sits at shift
+  // 63 and may only contribute its low bit. Anything more encodes a
+  // value > 2^64-1 and must be rejected, not silently wrapped.
+  for (const char tenth : {'\x02', '\x7f', '\x03'}) {
+    std::string buf(9, '\x80');
+    buf.push_back(tenth);
+    std::size_t pos = 0;
+    EXPECT_THROW(get_varint(buf, pos), CodecError)
+        << "tenth byte " << static_cast<int>(tenth);
+  }
+  // The canonical max-u64 encoding (tenth byte == 1) still decodes.
+  std::string max_enc;
+  put_varint(max_enc, ~0ull);
+  ASSERT_EQ(max_enc.size(), 10u);
+  EXPECT_EQ(static_cast<unsigned char>(max_enc.back()), 1u);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_varint(max_enc, pos), ~0ull);
+}
+
 TEST(ZigZag, MapsSmallMagnitudesToSmallCodes) {
   EXPECT_EQ(zigzag_encode(0), 0u);
   EXPECT_EQ(zigzag_encode(-1), 1u);

@@ -145,6 +145,20 @@ TEST(WiScanBuffer, NonNumericRssiReportsLineAndToken) {
   EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
 }
 
+TEST(WiScanBuffer, NonFiniteRssiIsRejectedWithLineDiagnostic) {
+  // from_chars/strtod happily accept "inf" and "nan"; a non-finite
+  // dBm would poison every downstream mean, so the row layer rejects
+  // it like any other malformed token.
+  const std::string msg = message_of<FormatError>([] {
+    parse_wiscan_buffer("bssid=aa rssi=-50\nbssid=bb rssi=nan\n");
+  });
+  EXPECT_NE(msg.find("not finite"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_THROW(parse_wiscan_buffer("bssid=aa rssi=inf\n"), FormatError);
+  EXPECT_THROW(parse_wiscan_buffer("bssid=aa rssi=-inf\n"), FormatError);
+  EXPECT_THROW(parse_wiscan_buffer("bssid=aa rssi=1e999\n"), FormatError);
+}
+
 TEST(WiScanBuffer, NonNumericTimeAndChannelThrow) {
   EXPECT_THROW(parse_wiscan_buffer("time=noon bssid=aa rssi=-50\n"),
                FormatError);
