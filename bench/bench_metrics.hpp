@@ -1,0 +1,44 @@
+#pragma once
+
+// Shared epilogue for the perf benches: after google-benchmark runs,
+// dump the process metrics snapshot (locate latency, ingest counters,
+// pool gauges) as JSON to <bench>.metrics.json in the working
+// directory, so perf CI can archive and sanity-check observability
+// output alongside the benchmark JSON itself.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "base/metrics.hpp"
+
+namespace loctk::bench {
+
+inline void write_metrics_snapshot(const std::string& bench_name) {
+  const metrics::MetricsSnapshot snap =
+      metrics::MetricsRegistry::global().snapshot();
+  const std::string path = bench_name + ".metrics.json";
+  std::ofstream os(path, std::ios::binary);
+  snap.write_json(os);
+  os << "\n";
+  std::fprintf(stderr,
+               "metrics snapshot (%zu counters, %zu gauges, "
+               "%zu histograms) -> %s\n",
+               snap.counters.size(), snap.gauges.size(),
+               snap.histograms.size(), path.c_str());
+}
+
+}  // namespace loctk::bench
+
+/// BENCHMARK_MAIN() with the snapshot epilogue appended.
+#define LOCTK_BENCHMARK_MAIN_WITH_METRICS(bench_name)              \
+  int main(int argc, char** argv) {                                \
+    ::benchmark::Initialize(&argc, argv);                          \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {    \
+      return 1;                                                    \
+    }                                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                         \
+    ::benchmark::Shutdown();                                       \
+    ::loctk::bench::write_metrics_snapshot(bench_name);            \
+    return 0;                                                      \
+  }

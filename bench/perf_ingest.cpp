@@ -24,8 +24,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "concurrency/thread_pool.hpp"
 #include "core/compiled_db.hpp"
+#include "core/observation.hpp"
+#include "core/probabilistic.hpp"
 #include "stats/running_stats.hpp"
 #include "traindb/codec.hpp"
 #include "traindb/generator.hpp"
@@ -413,6 +416,29 @@ void BM_ProbeDatabase(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeDatabase)->Unit(benchmark::kMicrosecond);
 
+// --- serve: the ingested database answering queries ------------------
+// Closes the pipeline the rest of this file feeds: every surveyed
+// room's own rows, re-read as an observation, located against the
+// generated database. Also the bench's source of locate.* metrics for
+// the snapshot below.
+void BM_ServeLocate_Batch(benchmark::State& state) {
+  const IngestCorpus& c = corpus();
+  const traindb::TrainingDatabase db = traindb::read_database(c.ltdb_stats);
+  const core::ProbabilisticLocator locator(db);
+  const wiscan::Collection collection =
+      wiscan::load_collection(c.dir / "scans");
+  std::vector<core::Observation> batch;
+  batch.reserve(collection.files.size());
+  for (const wiscan::WiScanFile& f : collection.files) {
+    batch.push_back(core::Observation::from_entries(f.entries));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locator.locate_batch(batch));
+  }
+  state.counters["obs"] = static_cast<double>(batch.size());
+}
+BENCHMARK(BM_ServeLocate_Batch)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+LOCTK_BENCHMARK_MAIN_WITH_METRICS("perf_ingest")

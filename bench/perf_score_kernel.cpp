@@ -14,6 +14,7 @@
 
 #include <cmath>
 
+#include "bench_metrics.hpp"
 #include "bench_util.hpp"
 #include "concurrency/thread_pool.hpp"
 #include "core/compiled_db.hpp"
@@ -225,4 +226,4 @@ BENCHMARK(BM_CompileDatabase)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LOCTK_BENCHMARK_MAIN_WITH_METRICS("perf_score_kernel")

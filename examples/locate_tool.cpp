@@ -3,9 +3,11 @@
 // wi-scan file recorded wherever the client is standing), and print
 // where each fingerprint algorithm puts the client.
 //
-//   locate_tool <db.ltdb> <observation.wiscan> [--alg ALG]
+//   locate_tool <db.ltdb> <observation.wiscan> [--alg ALG] [--stats]
 //
 // ALG: all (default) | prob | nnss | knn | bayes
+// --stats dumps the process metrics snapshot (locate latency, counts)
+// to stderr after the estimates.
 //
 // Geometric ranging is not offered here because the database carries
 // only signal statistics, not AP positions; use the library API with
@@ -17,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "base/metrics.hpp"
 #include "core/bayes.hpp"
 #include "core/knn.hpp"
 #include "core/observation.hpp"
@@ -31,7 +34,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: locate_tool <db.ltdb> <observation.wiscan> "
-               "[--alg all|prob|nnss|knn|bayes]\n");
+               "[--alg all|prob|nnss|knn|bayes] [--stats]\n");
   return 2;
 }
 
@@ -40,9 +43,12 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   std::string alg = "all";
+  bool stats = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--alg") == 0 && i + 1 < argc) {
       alg = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
     } else {
       return usage();
     }
@@ -77,18 +83,28 @@ int main(int argc, char** argv) {
     if (locators.empty()) return usage();
 
     for (const auto& locator : locators) {
-      const core::LocationEstimate est = locator->locate(obs);
-      if (!est.valid) {
-        std::printf("%-18s -> no estimate (insufficient overlap)\n",
-                    locator->name().c_str());
+      // try_locate is the instrumented entry point (locate.* metrics)
+      // and distinguishes degenerate observations from real failures.
+      const Result<core::LocationEstimate> result = locator->try_locate(obs);
+      if (!result.ok()) {
+        std::printf("%-18s -> no estimate (%s)\n", locator->name().c_str(),
+                    result.error().message().c_str());
         continue;
       }
+      const core::LocationEstimate& est = result.value();
       std::printf("%-18s -> (%6.1f, %6.1f) ft", locator->name().c_str(),
                   est.position.x, est.position.y);
       if (!est.location_name.empty()) {
         std::printf("  place \"%s\"", est.location_name.c_str());
       }
       std::printf("  (score %.2f, %d APs)\n", est.score, est.aps_used);
+    }
+    if (stats) {
+      std::fprintf(stderr, "%s",
+                   metrics::MetricsRegistry::global()
+                       .snapshot()
+                       .to_text()
+                       .c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

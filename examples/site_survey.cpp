@@ -1,6 +1,11 @@
 // site_survey: the full toolkit workflow on disk, end to end.
 //
-//   $ ./site_survey [output-dir]     (default ./survey-out)
+//   $ ./site_survey [output-dir] [--stats]   (default ./survey-out)
+//
+// --stats dumps the process metrics snapshot to stderr at the end —
+// each pipeline step runs under a TraceSpan, so the snapshot shows
+// where the wall time went (trace.survey.*) next to the ingest and
+// locate counters.
 //
 // This is the paper's intro scenario — bringing a new building online:
 //  1. produce the floor plan and annotate it (Floor Plan Processor);
@@ -12,8 +17,11 @@
 // Every intermediate artifact is a real file you can inspect.
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <optional>
 
+#include "base/metrics.hpp"
 #include "core/evaluation.hpp"
 #include "core/pipeline.hpp"
 #include "core/probabilistic.hpp"
@@ -28,11 +36,21 @@ using namespace loctk;
 namespace fs = std::filesystem;
 
 int main(int argc, char** argv) {
-  const fs::path out = argc > 1 ? argv[1] : "survey-out";
+  fs::path out = "survey-out";
+  bool stats = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else {
+      out = argv[i];
+    }
+  }
   fs::create_directories(out);
   std::printf("writing artifacts under %s/\n", out.string().c_str());
 
   // --- Step 1: the annotated floor plan --------------------------------
+  std::optional<metrics::TraceSpan> span;
+  span.emplace("survey.floorplan");
   core::Testbed testbed(radio::make_paper_house());
   floorplan::FloorPlan plan =
       floorplan::render_environment(testbed.environment(), 10.0);
@@ -48,6 +66,7 @@ int main(int argc, char** argv) {
               processor.plan().places().size());
 
   // --- Step 2: the training survey -> wi-scan files ---------------------
+  span.emplace("survey.collect");
   radio::Scanner scanner = testbed.make_scanner(2024);
   wiscan::SurveyConfig survey_cfg;
   survey_cfg.scans_per_location = 90;
@@ -61,6 +80,7 @@ int main(int argc, char** argv) {
   std::printf("2. survey: %zu wi-scan files + house.locmap\n", files);
 
   // --- Step 3: the Training Database Generator --------------------------
+  span.emplace("survey.traindb");
   traindb::GeneratorReport report;
   const traindb::TrainingDatabase db = traindb::generate_database_from_path(
       out / "scans", out / "house.locmap", {}, &report);
@@ -75,6 +95,7 @@ int main(int argc, char** argv) {
   }
 
   // --- Step 4: locate + composite ---------------------------------------
+  span.emplace("survey.evaluate");
   const auto truths = core::make_scattered_test_points(
       testbed.environment().footprint(), 13);
   const auto observations = testbed.observe(truths, 90, 2025);
@@ -98,5 +119,14 @@ int main(int argc, char** argv) {
               "mean error %.1f ft\n",
               points.size(), 100.0 * result.valid_estimation_rate(),
               result.mean_error_ft());
+  span.reset();  // close the last span before snapshotting
+
+  if (stats) {
+    std::fprintf(stderr, "%s",
+                 metrics::MetricsRegistry::global()
+                     .snapshot()
+                     .to_text()
+                     .c_str());
+  }
   return 0;
 }

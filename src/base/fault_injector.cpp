@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "base/metrics.hpp"
+
 namespace loctk {
+
+namespace {
+
+// Injected-fault counts by kind, process-wide. FaultInjectorStats stays
+// the per-arm() source of truth for tests; these feed the shared
+// metrics snapshot so chaos runs show up next to pipeline counters.
+metrics::Counter& io_veto_counter() {
+  static metrics::Counter& c = metrics::counter("fault.injected.io_veto");
+  return c;
+}
+metrics::Counter& truncate_counter() {
+  static metrics::Counter& c = metrics::counter("fault.injected.truncate");
+  return c;
+}
+metrics::Counter& bitflip_counter() {
+  static metrics::Counter& c = metrics::counter("fault.injected.bitflip");
+  return c;
+}
+
+}  // namespace
 
 FaultInjector& FaultInjector::instance() {
   static FaultInjector injector;
@@ -48,6 +70,7 @@ bool FaultInjector::should_fail_io() {
   if (config_.io_failure_probability <= 0.0) return false;
   if (to_unit(next_u64()) >= config_.io_failure_probability) return false;
   ++stats_.vetoed_opens;
+  io_veto_counter().increment();
   return true;
 }
 
@@ -59,6 +82,7 @@ bool FaultInjector::corrupt(std::string& bytes) {
       to_unit(next_u64()) < config_.truncate_probability) {
     bytes.resize(static_cast<std::size_t>(next_u64() % bytes.size()));
     ++stats_.truncations;
+    truncate_counter().increment();
     mutated = true;
   }
   if (!bytes.empty() && config_.bitflip_probability > 0.0 &&
@@ -74,6 +98,7 @@ bool FaultInjector::corrupt(std::string& bytes) {
           static_cast<unsigned char>(bytes[pos]) ^
           static_cast<unsigned char>(1u << (next_u64() % 8)));
       ++stats_.bitflips;
+      bitflip_counter().increment();
     }
     mutated = true;
   }

@@ -1,0 +1,274 @@
+#pragma once
+
+/// \file metrics.hpp
+/// The toolkit-wide observability layer.
+///
+/// RADAR-style deployments report per-stage timing and error CDFs as
+/// first-class outputs; after the compiled kernels, parallel ingest,
+/// and fault quarantine the toolkit could *do* the work fast but could
+/// not *say* what it did — how many scans were rejected, where ingest
+/// time went, what p99 locate latency looks like. `MetricsRegistry`
+/// answers those questions from the running system:
+///
+///  * `Counter`    — monotonic lock-free event count (files parsed,
+///                   degraded fixes, injected faults);
+///  * `Gauge`      — last-written instantaneous value (queue depth,
+///                   Kalman innovation magnitude);
+///  * `HistogramMetric` — a distribution with sharded atomic bins
+///                   (latencies, sizes); bin geometry and snapshot
+///                   materialization reuse `stats::Histogram`;
+///  * `ScopedTimer` / `TraceSpan` — RAII monotonic-clock timing into a
+///                   histogram (plus a call counter for spans).
+///
+/// Instrumented code pays one relaxed atomic RMW per event on the hot
+/// path; name lookup happens once per call site through a
+/// function-local `static Counter& c = metrics::counter("...")`.
+/// `MetricsRegistry::global()` is immortal (never destroyed) so worker
+/// threads draining during process exit can still record safely.
+///
+/// Snapshots (`registry.snapshot()`) are plain data: deterministic
+/// (names sorted), exportable as aligned text (`to_text`) or JSON
+/// (`write_json` / `to_json`). `examples/locate_tool --stats`,
+/// `examples/site_survey --stats`, and both perf benches emit them;
+/// docs/OBSERVABILITY.md specifies the naming scheme and formats.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace loctk::metrics {
+
+/// Monotonic event counter. All operations are lock-free relaxed
+/// atomics; cross-counter ordering is not guaranteed (snapshots are
+/// statistically, not transactionally, consistent).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bin layout of a `HistogramMetric`. The default is the latency
+/// layout: log10(seconds) from 100 ns to 100 s, six bins per decade,
+/// which keeps one layout serving everything from a sub-microsecond
+/// kernel to a multi-second ingest without tuning per call site.
+struct HistogramOptions {
+  /// Domain bounds. With `log_scale`, these are log10 of the recorded
+  /// value (the default [-7, 2] spans 1e-7 s .. 1e2 s).
+  double lo = -7.0;
+  double hi = 2.0;
+  std::size_t bins = 54;
+  /// Record log10(value) instead of the value itself (values <= 0
+  /// clamp to the underflow bin). Quantile estimates are reported back
+  /// in natural units either way.
+  bool log_scale = true;
+  /// Unit label for exports ("s", "ft", "bytes").
+  std::string unit = "s";
+};
+
+/// Summary of one histogram at snapshot time.
+struct HistogramSnapshot {
+  std::string name;
+  HistogramOptions options;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty.
+  double max = 0.0;
+  /// Merged bins in the (possibly log10) domain, under/overflow
+  /// included — a plain `stats::Histogram` so downstream code can
+  /// reuse mass()/mode_bin()/probability().
+  stats::Histogram bins{0.0, 1.0, 1};
+
+  double mean() const {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Quantile estimate in natural units, interpolated within the
+  /// containing bin. Returns 0 when empty.
+  double quantile(double q) const;
+};
+
+/// A concurrent histogram: `kShards` independent arrays of atomic bin
+/// counters (threads hash to a shard, so concurrent recorders do not
+/// contend on the same cache lines), merged at snapshot time into a
+/// `stats::Histogram`. Bin geometry is delegated to an embedded
+/// `stats::Histogram` so edge math exists in exactly one place.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(HistogramOptions options = {});
+
+  /// Records one value (natural units; log10 applied internally when
+  /// configured). Lock-free.
+  void record(double value) { record_n(value, 1); }
+
+  /// Records `n` occurrences of `value` — the batch form used when a
+  /// caller times N homogeneous operations with one clock pair.
+  void record_n(double value, std::uint64_t n);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot(std::string name) const;
+  void reset();
+
+  const HistogramOptions& options() const { return options_; }
+
+  static constexpr std::size_t kShards = 8;
+
+ private:
+  struct Shard {
+    /// bins + 2 slots: [0] underflow, [1..bins] bins, [bins+1] overflow.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
+  };
+
+  HistogramOptions options_;
+  stats::Histogram edges_;  ///< counts unused; bin geometry only.
+  Shard shards_[kShards];
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// One full registry snapshot: plain sorted data, safe to copy around
+/// and compare.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Aligned human-readable table (one metric per line).
+  std::string to_text() const;
+  /// JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}; stable key order, non-zero bins only.
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+};
+
+/// Named metric registry. Lookup/registration takes a mutex; the
+/// returned references are stable for the registry's lifetime, so call
+/// sites resolve once and then touch only atomics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation point
+  /// reports to. Intentionally leaked: safe to use from any thread at
+  /// any point of process shutdown.
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `options` apply only on first registration of `name`.
+  HistogramMetric& histogram(std::string_view name,
+                             const HistogramOptions& options = {});
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric's value; registered objects (and outstanding
+  /// references to them) stay valid. For tests and tools.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+      histograms_;
+};
+
+/// Global-registry shorthands for instrumentation sites:
+///   static metrics::Counter& c = metrics::counter("ingest.files");
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+HistogramMetric& histogram(std::string_view name,
+                           const HistogramOptions& options = {});
+
+/// RAII monotonic-clock timer: records elapsed seconds into `hist` on
+/// destruction (once per `weight` homogeneous operations — a batch of
+/// 64 locates records 64 samples of elapsed/64 each).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HistogramMetric& hist, std::uint64_t weight = 1)
+      : hist_(&hist), weight_(weight),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (hist_ && weight_ > 0) {
+      const double per_op =
+          elapsed_s() / static_cast<double>(weight_);
+      hist_->record_n(per_op, weight_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  /// Re-weights the pending record (e.g. once the batch size is known).
+  void set_weight(std::uint64_t weight) { weight_ = weight; }
+  /// Drops the pending record.
+  void cancel() { hist_ = nullptr; }
+
+ private:
+  HistogramMetric* hist_;
+  std::uint64_t weight_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Named RAII span against the global registry: duration lands in the
+/// `trace.<name>.seconds` histogram and `trace.<name>.calls` counts
+/// entries. For pipeline stages ("ingest", "evaluate") rather than
+/// per-event hot paths — the name lookup happens per construction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan() = default;  // timer_ records on destruction
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  double elapsed_s() const { return timer_.elapsed_s(); }
+
+ private:
+  ScopedTimer timer_;
+};
+
+}  // namespace loctk::metrics

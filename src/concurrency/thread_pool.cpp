@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "base/metrics.hpp"
+
 namespace loctk::concurrency {
+
+namespace {
+
+// Aggregated across every pool in the process (pools are cheap and
+// plural; per-pool breakdown would need labeled metrics). queue_depth
+// is last-write-wins, sampled at each enqueue/dequeue.
+metrics::Counter& tasks_executed_counter() {
+  static metrics::Counter& c = metrics::counter("threadpool.tasks_executed");
+  return c;
+}
+metrics::Counter& uncaught_errors_counter() {
+  static metrics::Counter& c =
+      metrics::counter("threadpool.uncaught_task_errors");
+  return c;
+}
+metrics::Gauge& queue_depth_gauge() {
+  static metrics::Gauge& g = metrics::gauge("threadpool.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -32,6 +55,7 @@ void ThreadPool::post(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -53,6 +77,7 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
     }
     // submit()'s packaged_task wrapper captures exceptions into the
     // future; anything that reaches here (post() tasks, or a wrapper
@@ -60,8 +85,11 @@ void ThreadPool::worker_loop() {
     // std::terminate. Capture it instead and keep the worker alive.
     try {
       task();
+      tasks_executed_counter().increment();
     } catch (...) {
+      tasks_executed_counter().increment();
       uncaught_errors_.fetch_add(1, std::memory_order_relaxed);
+      uncaught_errors_counter().increment();
       ErrorCallback cb;
       {
         std::lock_guard lock(mutex_);

@@ -47,11 +47,7 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      queue_.emplace_back([task]() { (*task)(); });
-    }
-    cv_.notify_one();
+    post([task]() { (*task)(); });
     return fut;
   }
 

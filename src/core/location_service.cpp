@@ -3,7 +3,32 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/metrics.hpp"
+
 namespace loctk::core {
+
+namespace {
+
+metrics::Counter& scans_counter() {
+  static metrics::Counter& c = metrics::counter("service.scans");
+  return c;
+}
+metrics::Counter& rejected_samples_counter() {
+  static metrics::Counter& c =
+      metrics::counter("service.rejected_samples");
+  return c;
+}
+metrics::Counter& degraded_fixes_counter() {
+  static metrics::Counter& c = metrics::counter("service.degraded_fixes");
+  return c;
+}
+metrics::Gauge& innovation_gauge() {
+  static metrics::Gauge& g =
+      metrics::gauge("service.kalman.innovation_ft");
+  return g;
+}
+
+}  // namespace
 
 LocationService::LocationService(const Locator& locator,
                                  LocationServiceConfig config)
@@ -44,10 +69,14 @@ ServiceFix LocationService::on_scan(const radio::ScanRecord& scan) {
   // A NIC driver glitch or hostile replay can hand us inf/nan dBm;
   // once inside the window it would poison every mean the locator
   // sees until the window drains. Drop such samples at the door.
+  scans_counter().increment();
   radio::ScanRecord clean = scan;
   std::erase_if(clean.samples, [this](const radio::ScanSample& s) {
     const bool bad = !std::isfinite(s.rssi_dbm);
-    if (bad) ++rejected_samples_;
+    if (bad) {
+      ++rejected_samples_;
+      rejected_samples_counter().increment();
+    }
     return bad;
   });
 
@@ -70,13 +99,21 @@ ServiceFix LocationService::on_scan(const radio::ScanRecord& scan) {
 
   if (est.valid) {
     fix_.valid = true;
-    fix_.position = config_.kalman_smoothing ? kalman_.update(est.position)
-                                             : est.position;
+    if (config_.kalman_smoothing) {
+      // Step the filter by the real inter-scan interval; a missing or
+      // rewound timestamp falls back to the configured dt inside the
+      // tracker.
+      fix_.position = kalman_.update_at(est.position, scan.timestamp_s);
+      innovation_gauge().set(kalman_.last_innovation_ft());
+    } else {
+      fix_.position = est.position;
+    }
   } else if (config_.kalman_smoothing && kalman_.initialized()) {
     // Coast through a bad window, reporting why the fix is degraded.
     fix_.valid = true;
-    fix_.position = kalman_.predict();
+    fix_.position = kalman_.predict_at(scan.timestamp_s);
     fix_.degraded_reason = result.error().to_string();
+    degraded_fixes_counter().increment();
   } else {
     fix_.valid = false;
     fix_.degraded_reason = result.error().to_string();

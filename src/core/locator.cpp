@@ -1,15 +1,54 @@
 #include "core/locator.hpp"
 
+#include "base/metrics.hpp"
 #include "concurrency/parallel_for.hpp"
 
 namespace loctk::core {
 
+namespace {
+
+// Shared across every Locator implementation: the non-virtual entry
+// points (try_locate / locate_batch) are the choke points, so counters
+// here see all production traffic regardless of algorithm.
+metrics::Counter& locate_calls() {
+  static metrics::Counter& c = metrics::counter("locate.calls");
+  return c;
+}
+metrics::Counter& locate_degenerate() {
+  static metrics::Counter& c = metrics::counter("locate.degenerate");
+  return c;
+}
+metrics::Counter& locate_errors() {
+  static metrics::Counter& c = metrics::counter("locate.errors");
+  return c;
+}
+metrics::HistogramMetric& locate_latency() {
+  static metrics::HistogramMetric& h =
+      metrics::histogram("locate.latency.seconds");
+  return h;
+}
+metrics::Counter& batch_calls() {
+  static metrics::Counter& c = metrics::counter("locate.batch.calls");
+  return c;
+}
+metrics::Counter& batch_observations() {
+  static metrics::Counter& c =
+      metrics::counter("locate.batch.observations");
+  return c;
+}
+
+}  // namespace
+
 Result<LocationEstimate> Locator::try_locate(const Observation& obs) const {
+  locate_calls().increment();
+  metrics::ScopedTimer timer(locate_latency());
   if (obs.empty()) {
+    locate_degenerate().increment();
     return Error(ErrorCode::kDegenerate, "empty observation")
         .with_context("locating with " + name());
   }
   if (!obs.is_finite()) {
+    locate_degenerate().increment();
     return Error(ErrorCode::kDegenerate,
                  "observation contains non-finite dBm values")
         .with_context("locating with " + name());
@@ -18,6 +57,7 @@ Result<LocationEstimate> Locator::try_locate(const Observation& obs) const {
   try {
     est = locate(obs);
   } catch (const std::exception& e) {
+    locate_errors().increment();
     return Error(ErrorCode::kInternal, e.what())
         .with_context("locating with " + name());
   }
@@ -25,6 +65,7 @@ Result<LocationEstimate> Locator::try_locate(const Observation& obs) const {
     // The observation was well-formed but the algorithm has no
     // answer: all-unknown BSSIDs, < min_common_aps overlap, or fewer
     // usable ranging circles than the geometry needs.
+    locate_degenerate().increment();
     return Error(ErrorCode::kDegenerate,
                  "no usable estimate (observation shares too little "
                  "with the training data)")
@@ -35,8 +76,18 @@ Result<LocationEstimate> Locator::try_locate(const Observation& obs) const {
 
 std::vector<LocationEstimate> Locator::locate_batch(
     std::span<const Observation> obs, concurrency::ThreadPool* pool) const {
+  batch_calls().increment();
+  batch_observations().add(obs.size());
+  locate_calls().add(obs.size());
+  // One timer for the whole batch, weighted so the latency histogram
+  // sees the per-observation mean n times. Per-item timers inside the
+  // parallel body would measure contention, not locate cost.
+  metrics::ScopedTimer timer(locate_latency(), obs.size());
   std::vector<LocationEstimate> out(obs.size());
-  auto body = [&](std::size_t i) { out[i] = locate(obs[i]); };
+  auto body = [&](std::size_t i) {
+    out[i] = locate(obs[i]);
+    if (!out[i].valid) locate_degenerate().increment();
+  };
   if (pool && obs.size() > 1) {
     concurrency::parallel_for(*pool, 0, obs.size(), body);
   } else {

@@ -4,10 +4,30 @@
 #include <cmath>
 #include <limits>
 
+#include "base/metrics.hpp"
 #include "concurrency/parallel_for.hpp"
 #include "stats/gaussian.hpp"
 
 namespace loctk::core {
+
+namespace {
+
+metrics::Counter& score_batch_calls() {
+  static metrics::Counter& c = metrics::counter("score.batch.calls");
+  return c;
+}
+metrics::Counter& score_batch_observations() {
+  static metrics::Counter& c =
+      metrics::counter("score.batch.observations");
+  return c;
+}
+metrics::HistogramMetric& score_latency() {
+  static metrics::HistogramMetric& h =
+      metrics::histogram("score.latency.seconds");
+  return h;
+}
+
+}  // namespace
 
 ProbabilisticLocator::ProbabilisticLocator(
     const traindb::TrainingDatabase& db, ProbabilisticConfig config)
@@ -160,6 +180,9 @@ std::vector<ScoredPoint> ProbabilisticLocator::score_all(
 
 std::vector<std::vector<ScoredPoint>> ProbabilisticLocator::score_batch(
     std::span<const Observation> obs, concurrency::ThreadPool* pool) const {
+  score_batch_calls().increment();
+  score_batch_observations().add(obs.size());
+  metrics::ScopedTimer timer(score_latency(), obs.size());
   std::vector<std::vector<ScoredPoint>> out(obs.size());
   auto body = [&](std::size_t i) { out[i] = score_all(obs[i]); };
   if (pool && obs.size() > 1) {

@@ -15,13 +15,38 @@ void KalmanTracker::reset() {
   ax_ = Axis{};
   ay_ = Axis{};
   initialized_ = false;
+  last_innovation_ft_ = 0.0;
+  last_time_.reset();
 }
 
 geom::Vec2 KalmanTracker::position() const { return {ax_.x, ay_.x}; }
 geom::Vec2 KalmanTracker::velocity() const { return {ax_.v, ay_.v}; }
 
-void KalmanTracker::predict_axis(Axis& a) const {
-  const double dt = config_.dt_s;
+KalmanTracker::AxisCovariance KalmanTracker::covariance_x() const {
+  return {ax_.p00, ax_.p01, ax_.p11};
+}
+KalmanTracker::AxisCovariance KalmanTracker::covariance_y() const {
+  return {ay_.p00, ay_.p01, ay_.p11};
+}
+
+double KalmanTracker::sanitize_dt(double dt_s) const {
+  return (std::isfinite(dt_s) && dt_s > 0.0) ? dt_s : config_.dt_s;
+}
+
+double KalmanTracker::dt_from_timestamp(double t_s) {
+  if (!std::isfinite(t_s)) return config_.dt_s;
+  if (!last_time_) {
+    last_time_ = t_s;
+    return config_.dt_s;
+  }
+  const double dt = t_s - *last_time_;
+  // A stalled or rewound clock gives the fallback step but still
+  // re-anchors, so one bad timestamp cannot poison every later dt.
+  last_time_ = t_s;
+  return sanitize_dt(dt);
+}
+
+void KalmanTracker::predict_axis(Axis& a, double dt) const {
   const double q = config_.accel_sigma * config_.accel_sigma;
   // x' = x + v dt
   a.x += a.v * dt;
@@ -53,14 +78,25 @@ void KalmanTracker::update_axis(Axis& a, double z) const {
   a.p11 = p11;
 }
 
-geom::Vec2 KalmanTracker::predict() {
+geom::Vec2 KalmanTracker::predict() { return predict(config_.dt_s); }
+
+geom::Vec2 KalmanTracker::predict(double dt_s) {
   if (!initialized_) return {};
-  predict_axis(ax_);
-  predict_axis(ay_);
+  const double dt = sanitize_dt(dt_s);
+  predict_axis(ax_, dt);
+  predict_axis(ay_, dt);
   return position();
 }
 
+geom::Vec2 KalmanTracker::predict_at(double t_s) {
+  return predict(dt_from_timestamp(t_s));
+}
+
 geom::Vec2 KalmanTracker::update(geom::Vec2 measured) {
+  return update(measured, config_.dt_s);
+}
+
+geom::Vec2 KalmanTracker::update(geom::Vec2 measured, double dt_s) {
   if (!initialized_) {
     ax_.x = measured.x;
     ay_.x = measured.y;
@@ -71,11 +107,17 @@ geom::Vec2 KalmanTracker::update(geom::Vec2 measured) {
     initialized_ = true;
     return measured;
   }
-  predict_axis(ax_);
-  predict_axis(ay_);
+  const double dt = sanitize_dt(dt_s);
+  predict_axis(ax_, dt);
+  predict_axis(ay_, dt);
+  last_innovation_ft_ = geom::distance(position(), measured);
   update_axis(ax_, measured.x);
   update_axis(ay_, measured.y);
   return position();
+}
+
+geom::Vec2 KalmanTracker::update_at(geom::Vec2 measured, double t_s) {
+  return update(measured, dt_from_timestamp(t_s));
 }
 
 LocationEstimate TrackedLocator::locate(const Observation& obs) const {

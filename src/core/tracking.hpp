@@ -32,7 +32,12 @@ struct KalmanConfig {
   double accel_sigma = 1.5;
   /// Measurement noise: std-dev of the base locator's error (ft).
   double measurement_sigma_ft = 8.0;
-  /// Time between updates (s).
+  /// Default time between updates (s) — the fallback step used by the
+  /// dt-less update()/predict() and whenever a caller-supplied dt is
+  /// rejected (non-positive or non-finite). Real 802.11 scan streams
+  /// are irregular; prefer the explicit-dt / timestamped entry points
+  /// so covariance propagation weights the velocity model by the
+  /// actual spacing.
   double dt_s = 1.0;
 };
 
@@ -44,16 +49,46 @@ class KalmanTracker {
   explicit KalmanTracker(KalmanConfig config = {});
 
   /// Processes one raw position fix; returns the filtered position.
-  /// The first fix initializes the state verbatim.
+  /// The first fix initializes the state verbatim. The dt-less form
+  /// uses `config.dt_s`; the explicit form propagates the motion model
+  /// by `dt_s` seconds (rejected — i.e. replaced by `config.dt_s` —
+  /// when non-positive or non-finite).
   geom::Vec2 update(geom::Vec2 measured);
+  geom::Vec2 update(geom::Vec2 measured, double dt_s);
+
+  /// Timestamped form: the step is derived from the previous
+  /// timestamped call's clock (`t_s - last_t`); the first call (or a
+  /// non-increasing / non-finite timestamp) falls back to
+  /// `config.dt_s`. This is what a live scan feed should use — 802.11
+  /// scan spacing is irregular, and a fixed dt mis-weights the
+  /// velocity model across gaps.
+  geom::Vec2 update_at(geom::Vec2 measured, double t_s);
 
   /// Advances the motion model without a measurement (the base
   /// locator returned invalid); returns the predicted position.
+  /// Same dt semantics as update().
   geom::Vec2 predict();
+  geom::Vec2 predict(double dt_s);
+  geom::Vec2 predict_at(double t_s);
 
   bool initialized() const { return initialized_; }
   geom::Vec2 position() const;
   geom::Vec2 velocity() const;
+
+  /// Magnitude (ft) of the most recent measurement innovation — the
+  /// distance between the predicted and measured position at the last
+  /// update(). 0 before the second update. Exported by
+  /// LocationService as the `service.kalman.innovation_ft` gauge.
+  double last_innovation_ft() const { return last_innovation_ft_; }
+
+  /// One axis' covariance (position var, position-velocity cov,
+  /// velocity var) — observable uncertainty for tests and metrics.
+  struct AxisCovariance {
+    double p00 = 0.0, p01 = 0.0, p11 = 0.0;
+  };
+  AxisCovariance covariance_x() const;
+  AxisCovariance covariance_y() const;
+
   void reset();
 
  private:
@@ -62,12 +97,19 @@ class KalmanTracker {
     double v = 0.0;   // velocity
     double p00 = 1.0, p01 = 0.0, p11 = 1.0;  // covariance
   };
-  void predict_axis(Axis& a) const;
+  /// config.dt_s when dt_s is non-positive or non-finite.
+  double sanitize_dt(double dt_s) const;
+  /// dt from a wall-clock timestamp against last_time_ (fallback
+  /// config.dt_s), advancing last_time_ for monotone inputs.
+  double dt_from_timestamp(double t_s);
+  void predict_axis(Axis& a, double dt_s) const;
   void update_axis(Axis& a, double z) const;
 
   KalmanConfig config_;
   Axis ax_, ay_;
   bool initialized_ = false;
+  double last_innovation_ft_ = 0.0;
+  std::optional<double> last_time_;
 };
 
 /// Convenience: a Locator that pipes another locator through a

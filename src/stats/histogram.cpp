@@ -3,14 +3,23 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 namespace loctk::stats {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
       counts_(bins, 0) {
-  assert(bins >= 1);
-  assert(lo < hi);
+  // Hard errors, not asserts: a 0-bin or inverted-range histogram
+  // poisons every subsequent index computation, and release builds
+  // (the default) strip asserts.
+  if (bins < 1) {
+    throw std::invalid_argument("Histogram: bins must be >= 1");
+  }
+  if (!(lo < hi)) {
+    throw std::invalid_argument("Histogram: requires lo < hi");
+  }
 }
 
 void Histogram::add(double x) { add_n(x, 1); }
@@ -36,7 +45,11 @@ double Histogram::bin_center(std::size_t bin) const {
 }
 
 std::size_t Histogram::bin_index(double x) const {
-  assert(x >= lo_ && x < hi_);
+  // Clamp before the size_t cast: for x < lo the quotient is negative
+  // and casting a negative double to size_t is UB (not merely a wrong
+  // bin), which NDEBUG builds used to reach via probability()/count()
+  // lookups with arbitrary x.
+  if (!(x > lo_)) return 0;  // under-range and NaN both land here
   const auto idx = static_cast<std::size_t>((x - lo_) / width_);
   return std::min(idx, counts_.size() - 1);  // guard FP edge at hi
 }
@@ -64,7 +77,17 @@ std::size_t Histogram::mode_bin() const {
 }
 
 double quantile(std::vector<double> values, double q) {
-  assert(!values.empty());
+  assert(!values.empty());  // caller bug; kept for debug builds
+  // NaN has no place in an order statistic: it breaks std::sort's
+  // strict-weak-ordering contract (unspecified results), so drop such
+  // elements before sorting.
+  std::erase_if(values, [](double v) { return std::isnan(v); });
+  if (values.empty()) {
+    // Release builds reach here for empty input too; the seed's
+    // values.size() - 1 underflowed to SIZE_MAX and indexed off the
+    // end of an empty vector.
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   q = std::clamp(q, 0.0, 1.0);
   std::sort(values.begin(), values.end());
   const double h = q * static_cast<double>(values.size() - 1);

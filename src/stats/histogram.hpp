@@ -17,7 +17,9 @@ namespace loctk::stats {
 /// underflow/overflow counters. Doubles NaN are ignored.
 class Histogram {
  public:
-  /// Precondition: bins >= 1 and lo < hi.
+  /// Throws std::invalid_argument unless bins >= 1 and lo < hi (a hard
+  /// error in every build mode: a zero-bin histogram would make every
+  /// later index computation undefined, release included).
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
@@ -39,8 +41,11 @@ class Histogram {
   /// Center of a bin.
   double bin_center(std::size_t bin) const;
 
-  /// Index of the bin containing x, ignoring under/overflow;
-  /// x must be within [lo, hi).
+  /// Index of the bin containing x. Out-of-range x clamps to the
+  /// nearest bin (under-range -> 0, over-range -> bins-1; NaN -> 0):
+  /// the public count/density lookups reach this with arbitrary x, so
+  /// the mapping must stay defined when release builds strip asserts
+  /// (a negative-double-to-size_t cast is UB, not just a wrong bin).
   std::size_t bin_index(double x) const;
 
   /// Probability mass of a bin: count / total (0 when empty). Under-
@@ -67,7 +72,10 @@ class Histogram {
 
 /// Empirical quantile of a sample set with linear interpolation
 /// (the "R-7" rule used by NumPy's default). `q` in [0, 1].
-/// Precondition: `values` non-empty.
+/// NaN elements are filtered out (they have no order, and feeding
+/// them to std::sort violates its strict-weak-ordering contract);
+/// returns NaN when no finite-ordered samples remain. Debug builds
+/// still assert on an empty input to flag the caller bug early.
 double quantile(std::vector<double> values, double q);
 
 /// Median shorthand.

@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "base/metrics.hpp"
 #include "concurrency/parallel_for.hpp"
 #include "stats/running_stats.hpp"
 #include "wiscan/archive.hpp"
@@ -15,6 +16,27 @@
 namespace loctk::traindb {
 
 namespace {
+
+metrics::Counter& generate_files_counter() {
+  static metrics::Counter& c =
+      metrics::counter("traindb.generate.files_parsed");
+  return c;
+}
+metrics::Counter& generate_quarantined_counter() {
+  static metrics::Counter& c =
+      metrics::counter("traindb.generate.files_quarantined");
+  return c;
+}
+metrics::Counter& generate_points_counter() {
+  static metrics::Counter& c =
+      metrics::counter("traindb.generate.points_built");
+  return c;
+}
+metrics::HistogramMetric& generate_seconds_histogram() {
+  static metrics::HistogramMetric& h =
+      metrics::histogram("traindb.generate.seconds");
+  return h;
+}
 
 constexpr std::size_t kNoBucket = static_cast<std::size_t>(-1);
 
@@ -325,6 +347,7 @@ TrainingDatabase generate_database_from_path(
     const std::filesystem::path& location_map_file,
     const GeneratorConfig& config, GeneratorReport* report,
     concurrency::ThreadPool* pool) {
+  metrics::ScopedTimer timer(generate_seconds_histogram());
   // Must outlive the aggregates: archive-member bucket keys view its
   // bytes.
   std::optional<wiscan::Archive> archive;
@@ -459,6 +482,9 @@ TrainingDatabase generate_database_from_path(
       if (!surveyed) report->unsurveyed_locations.push_back(loc.name);
     }
   }
+  generate_files_counter().add(aggregates.size());
+  generate_quarantined_counter().add(failed.size() - aggregates.size());
+  generate_points_counter().add(built.size());
   return assemble(config, std::move(built), dropped, report);
 }
 

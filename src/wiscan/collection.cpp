@@ -3,10 +3,51 @@
 #include <algorithm>
 #include <optional>
 
+#include "base/metrics.hpp"
 #include "concurrency/parallel_for.hpp"
 #include "wiscan/scan_buffer.hpp"
 
 namespace loctk::wiscan {
+
+namespace {
+
+metrics::Counter& files_loaded_counter() {
+  static metrics::Counter& c = metrics::counter("ingest.files_loaded");
+  return c;
+}
+metrics::Counter& files_quarantined_counter() {
+  static metrics::Counter& c =
+      metrics::counter("ingest.files_quarantined");
+  return c;
+}
+metrics::Counter& bytes_read_counter() {
+  static metrics::Counter& c = metrics::counter("ingest.bytes_read");
+  return c;
+}
+metrics::HistogramMetric& load_seconds_histogram() {
+  static metrics::HistogramMetric& h =
+      metrics::histogram("ingest.load_collection.seconds");
+  return h;
+}
+metrics::Gauge& bytes_per_s_gauge() {
+  static metrics::Gauge& g = metrics::gauge("ingest.bytes_per_s");
+  return g;
+}
+
+// Shared epilogue for both load paths: attributes this call's file and
+// byte totals, and derives throughput from the caller's wall time (the
+// duration histogram itself is fed by the caller's ScopedTimer).
+void record_load(std::size_t attempted, std::size_t kept,
+                 std::uint64_t bytes, double elapsed_s) {
+  files_loaded_counter().add(kept);
+  files_quarantined_counter().add(attempted - kept);
+  bytes_read_counter().add(bytes);
+  if (elapsed_s > 0.0) {
+    bytes_per_s_gauge().set(static_cast<double>(bytes) / elapsed_s);
+  }
+}
+
+}  // namespace
 
 const WiScanFile* Collection::find(const std::string& location) const {
   const auto it = std::find_if(
@@ -92,9 +133,14 @@ std::vector<WiScanFile> parse_work_list_quarantined(
 Collection load_collection(const Archive& archive,
                            concurrency::ThreadPool* pool,
                            LoadReport* report) {
+  metrics::ScopedTimer timer(load_seconds_histogram());
   std::vector<const std::pair<const std::string, std::string>*> work;
+  std::uint64_t total_bytes = 0;
   for (const auto& entry : archive.entries()) {
-    if (has_wiscan_extension(entry.first)) work.push_back(&entry);
+    if (has_wiscan_extension(entry.first)) {
+      work.push_back(&entry);
+      total_bytes += entry.second.size();
+    }
   }
   const auto parse = [&](std::size_t i) {
     const auto& [name, bytes] = *work[i];
@@ -121,6 +167,7 @@ Collection load_collection(const Archive& archive,
     c.files = parse_work_list(work.size(), pool, parse);
   }
   sort_collection(c);
+  record_load(work.size(), c.files.size(), total_bytes, timer.elapsed_s());
   return c;
 }
 
@@ -128,12 +175,17 @@ Collection load_collection(const std::filesystem::path& source,
                            concurrency::ThreadPool* pool,
                            LoadReport* report) {
   if (std::filesystem::is_directory(source)) {
+    metrics::ScopedTimer timer(load_seconds_histogram());
     std::vector<std::filesystem::path> work;
+    std::uint64_t bytes = 0;
     for (const auto& entry :
          std::filesystem::recursive_directory_iterator(source)) {
       if (!entry.is_regular_file()) continue;
       if (!has_wiscan_extension(entry.path().filename().string())) continue;
       work.push_back(entry.path());
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(entry.path(), ec);
+      if (!ec) bytes += size;
     }
     // Directory iteration order is filesystem-dependent; sort so the
     // work list (and therefore the loaded collection) is stable.
@@ -172,6 +224,7 @@ Collection load_collection(const std::filesystem::path& source,
       c.files = parse_work_list(work.size(), pool, parse);
     }
     sort_collection(c);
+    record_load(work.size(), c.files.size(), bytes, timer.elapsed_s());
     return c;
   }
   if (std::filesystem::is_regular_file(source) &&

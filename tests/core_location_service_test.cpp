@@ -3,9 +3,12 @@
 
 #include "core/location_service.hpp"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "core/probabilistic.hpp"
+#include "core/tracking.hpp"
 #include "test_fixtures.hpp"
 
 namespace loctk::core {
@@ -130,6 +133,74 @@ TEST(LocationService, NoKalmanNoCoasting) {
   LocationService svc(f.locator, cfg);
   EXPECT_TRUE(svc.on_scan(scan_at({20, 20})).valid);
   EXPECT_FALSE(svc.on_scan(empty_scan()).valid);
+}
+
+// Regression companion to the Kalman dt fix: scan timestamps now feed
+// the filter, so the same scan contents arriving at a different cadence
+// propagate the motion model differently.
+TEST(LocationService, ScanTimestampsDriveKalmanDt) {
+  Fixture f;
+  LocationServiceConfig cfg;
+  cfg.window_scans = 1;
+  cfg.min_scans = 1;
+  cfg.kalman.dt_s = 1.0;
+
+  LocationService fast(f.locator, cfg);   // scans 0.1 s apart
+  LocationService slow(f.locator, cfg);   // scans 10 s apart
+  ServiceFix fix_fast, fix_slow;
+  for (int i = 0; i < 8; ++i) {
+    // A moving client: identical positions per step in both services.
+    const geom::Vec2 pos{5.0 + 4.0 * i, 20.0};
+    fix_fast = fast.on_scan(scan_at(pos, 0.1 * i));
+    fix_slow = slow.on_scan(scan_at(pos, 10.0 * i));
+  }
+  ASSERT_TRUE(fix_fast.valid);
+  ASSERT_TRUE(fix_slow.valid);
+  // Different dt -> different covariance growth -> different gains ->
+  // different smoothed positions. Equal positions would mean the
+  // timestamps were ignored.
+  EXPECT_NE(fix_fast.position, fix_slow.position);
+}
+
+TEST(LocationService, ZeroTimestampsKeepFallbackBehavior) {
+  // All-zero timestamps (the old tests' shape) give dt = 0, which the
+  // tracker rejects in favor of config dt — i.e. exactly the previous
+  // fixed-step behavior, bit for bit.
+  Fixture f;
+  LocationServiceConfig cfg;
+  cfg.window_scans = 1;
+  cfg.min_scans = 1;
+  cfg.kalman.dt_s = 1.0;
+  LocationService timestamped(f.locator, cfg);
+
+  KalmanTracker reference(cfg.kalman);
+  for (int i = 0; i < 6; ++i) {
+    const geom::Vec2 pos{5.0 + 4.0 * i, 20.0};
+    const ServiceFix fix = timestamped.on_scan(scan_at(pos, 0.0));
+    const Observation obs =
+        Observation::from_scans(std::vector<radio::ScanRecord>{
+            scan_at(pos, 0.0)});
+    const LocationEstimate est = f.locator.locate(obs);
+    ASSERT_TRUE(est.valid);
+    const geom::Vec2 expected = reference.update(est.position, 1.0);
+    EXPECT_EQ(fix.position, expected) << "step " << i;
+  }
+}
+
+TEST(LocationService, CountsRejectedSamples) {
+  Fixture f;
+  LocationServiceConfig cfg;
+  cfg.window_scans = 1;
+  cfg.min_scans = 1;
+  LocationService svc(f.locator, cfg);
+  radio::ScanRecord rec = scan_at({20, 20});
+  rec.samples.push_back(
+      {"ff:ff:ff:ff:ff:ff", std::numeric_limits<double>::quiet_NaN(), 1});
+  rec.samples.push_back(
+      {"ff:ff:ff:ff:ff:fe", std::numeric_limits<double>::infinity(), 1});
+  const ServiceFix fix = svc.on_scan(rec);
+  EXPECT_TRUE(fix.valid);  // the finite samples still locate
+  EXPECT_EQ(svc.rejected_samples(), 2u);
 }
 
 TEST(LocationService, ResetForgetsEverything) {

@@ -4,6 +4,7 @@
 #include "core/tracking.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -91,6 +92,117 @@ TEST(Kalman, ResetClearsState) {
   kf.reset();
   EXPECT_FALSE(kf.initialized());
   EXPECT_EQ(kf.update({1.0, 2.0}), geom::Vec2(1.0, 2.0));
+}
+
+// Regression: the filter used to hard-wire config.dt_s into every
+// predict, mis-weighting the velocity model whenever real scans did
+// not arrive on the configured cadence.
+TEST(Kalman, ExplicitDtMatchesClosedFormCovariance) {
+  KalmanConfig cfg;
+  cfg.accel_sigma = 1.5;
+  cfg.dt_s = 1.0;
+  KalmanTracker kf(cfg);
+  kf.update({3.0, 4.0});  // initialize
+  const auto p0 = kf.covariance_x();
+
+  // One predict step of dt: P' = F P F^T + Q, with
+  // F = [[1, dt], [0, 1]] and white-acceleration Q.
+  const double dt = 0.25;
+  const double q = cfg.accel_sigma * cfg.accel_sigma;
+  const double e00 = p0.p00 + 2.0 * dt * p0.p01 + dt * dt * p0.p11 +
+                     q * dt * dt * dt * dt / 4.0;
+  const double e01 = p0.p01 + dt * p0.p11 + q * dt * dt * dt / 2.0;
+  const double e11 = p0.p11 + q * dt * dt;
+
+  kf.predict(dt);
+  const auto p1 = kf.covariance_x();
+  EXPECT_NEAR(p1.p00, e00, 1e-12);
+  EXPECT_NEAR(p1.p01, e01, 1e-12);
+  EXPECT_NEAR(p1.p11, e11, 1e-12);
+}
+
+TEST(Kalman, ExplicitDtScalesPositionAdvance) {
+  KalmanConfig cfg;
+  cfg.dt_s = 1.0;
+  KalmanTracker kf(cfg);
+  // Learn a clean +1 ft/s track, then coast by two different steps.
+  for (int i = 0; i <= 30; ++i) kf.update({static_cast<double>(i), 0.0});
+  const geom::Vec2 v = kf.velocity();
+  const geom::Vec2 before = kf.position();
+  const geom::Vec2 after = kf.predict(0.5);
+  EXPECT_NEAR(after.x - before.x, 0.5 * v.x, 1e-9);
+  EXPECT_NEAR(after.y - before.y, 0.5 * v.y, 1e-9);
+}
+
+TEST(Kalman, InvalidDtFallsBackToConfig) {
+  KalmanConfig cfg;
+  cfg.dt_s = 1.0;
+  auto run = [&](auto&& step) {
+    KalmanTracker kf(cfg);
+    for (int i = 0; i <= 10; ++i) kf.update({static_cast<double>(i), 0.0});
+    return step(kf);
+  };
+  const geom::Vec2 baseline =
+      run([](KalmanTracker& kf) { return kf.predict(); });
+  for (const double bad : {0.0, -2.0,
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    const geom::Vec2 got =
+        run([&](KalmanTracker& kf) { return kf.predict(bad); });
+    EXPECT_EQ(got, baseline) << "dt=" << bad;
+  }
+}
+
+TEST(Kalman, TimestampedUpdatesUseRealSpacing) {
+  KalmanConfig cfg;
+  cfg.dt_s = 1.0;
+  // Same measurement sequence through update_at (timestamps spaced
+  // 0.5 s apart) and through update with explicit dt = 0.5: identical
+  // trajectories. The first update_at has no previous timestamp and
+  // initializes verbatim either way.
+  KalmanTracker at(cfg);
+  KalmanTracker dt(cfg);
+  for (int i = 0; i <= 20; ++i) {
+    const geom::Vec2 m{static_cast<double>(i), 2.0};
+    const geom::Vec2 pa = at.update_at(m, 100.0 + 0.5 * i);
+    const geom::Vec2 pd = dt.update(m, 0.5);
+    EXPECT_EQ(pa, pd) << "step " << i;
+  }
+  // And the 0.5 s spacing must differ from the 1 s default — i.e. the
+  // timestamps actually changed the propagation.
+  KalmanTracker fixed(cfg);
+  for (int i = 0; i <= 20; ++i) {
+    fixed.update({static_cast<double>(i), 2.0});
+  }
+  EXPECT_NE(fixed.covariance_x().p00, at.covariance_x().p00);
+}
+
+TEST(Kalman, RewoundTimestampFallsBackAndReanchors) {
+  KalmanConfig cfg;
+  cfg.dt_s = 1.0;
+  KalmanTracker kf(cfg);
+  kf.update_at({0.0, 0.0}, 10.0);
+  kf.update_at({1.0, 0.0}, 9.0);   // clock rewound: fallback dt
+  // Re-anchored at 9.0: the next step sees dt = 1.0, not 2.0.
+  KalmanTracker ref(cfg);
+  ref.update({0.0, 0.0}, 1.0);
+  ref.update({1.0, 0.0}, 1.0);
+  ref.update({2.0, 0.0}, 1.0);
+  kf.update_at({2.0, 0.0}, 10.0);
+  EXPECT_EQ(kf.position(), ref.position());
+  EXPECT_NEAR(kf.covariance_x().p00, ref.covariance_x().p00, 1e-12);
+}
+
+TEST(Kalman, LastInnovationTracksPredictionError) {
+  KalmanTracker kf;
+  kf.update({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(kf.last_innovation_ft(), 0.0);  // init, no predict
+  kf.update({3.0, 4.0});
+  // Predicted position stays at (0,0) (zero initial velocity), so the
+  // innovation is the full 3-4-5 offset.
+  EXPECT_NEAR(kf.last_innovation_ft(), 5.0, 1e-12);
+  kf.reset();
+  EXPECT_DOUBLE_EQ(kf.last_innovation_ft(), 0.0);
 }
 
 TEST(TrackedLocator, WrapsBaseAndCoastsThroughDropouts) {

@@ -3,6 +3,8 @@
 #include "stats/histogram.hpp"
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -18,6 +20,26 @@ TEST(Histogram, BinEdgesAndIndices) {
   EXPECT_EQ(h.bin_index(-100.0), 0u);
   EXPECT_EQ(h.bin_index(-98.0), 1u);
   EXPECT_EQ(h.bin_index(-20.000001), 39u);
+}
+
+// Regression: bin_index used to cast a negative quotient straight to
+// size_t for under-range x — UB that NDEBUG builds (the default) could
+// reach via probability()/count() lookups. It must clamp instead.
+TEST(Histogram, BinIndexClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bin_index(-5.0), 0u);    // under-range -> first bin
+  EXPECT_EQ(h.bin_index(0.0), 0u);     // lo edge
+  EXPECT_EQ(h.bin_index(10.0), 9u);    // hi edge clamps to last bin
+  EXPECT_EQ(h.bin_index(1e9), 9u);     // far over-range
+  EXPECT_EQ(h.bin_index(std::nan("")), 0u);
+}
+
+// Regression: a 0-bin or inverted-range histogram must be a hard error
+// in every build mode, not an assert that release strips.
+TEST(Histogram, ConstructorRejectsDegenerateGeometry) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 5.0, 4), std::invalid_argument);
 }
 
 TEST(Histogram, CountsAndOverflow) {
@@ -95,6 +117,27 @@ TEST(Quantile, ClampsOutOfRangeQ) {
   EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
   EXPECT_DOUBLE_EQ(quantile(v, 1.5), 2.0);
 }
+
+// Regression: NaN elements broke std::sort's strict-weak-ordering
+// contract (unspecified results); they must be filtered before the
+// order statistic is taken.
+TEST(Quantile, FiltersNaNElements) {
+  const double nan = std::nan("");
+  EXPECT_DOUBLE_EQ(quantile({1.0, nan, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({nan, 5.0, nan, nan}, 0.5), 5.0);
+  EXPECT_TRUE(std::isnan(quantile({nan, nan}, 0.5)));
+  EXPECT_TRUE(std::isnan(median({nan})));
+}
+
+#ifdef NDEBUG
+// Regression (release builds only — debug keeps the assert): an empty
+// input used to underflow values.size() - 1 to SIZE_MAX and index off
+// the end of the vector; it must return NaN instead.
+TEST(Quantile, EmptyInputReturnsNaN) {
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(median({})));
+}
+#endif
 
 // Property: quantile is monotone in q.
 class QuantileMonotone : public ::testing::TestWithParam<int> {};
