@@ -9,38 +9,18 @@
 #include <string>
 #include <vector>
 
-#include "core/evaluation.hpp"
-#include "core/pipeline.hpp"
-#include "radio/environment.hpp"
-#include "traindb/database.hpp"
+#include "testkit/golden.hpp"
 
 namespace loctk::bench {
 
-// The paper's §5.1 experimental constants.
-inline constexpr int kTrainScans = 90;  // ~1.5 min at 1 scan/s
-inline constexpr int kObserveScans = 90;
-inline constexpr double kGridSpacingFt = 10.0;
-inline constexpr int kTestPoints = 13;
-
-struct PaperExperiment {
-  explicit PaperExperiment(std::uint64_t seed_base = 1,
-                           radio::ChannelConfig channel = {})
-      : testbed(radio::make_paper_house(), radio::PropagationConfig{},
-                channel),
-        training_map(core::make_training_grid(
-            testbed.environment().footprint(), kGridSpacingFt)),
-        db(testbed.train(training_map, kTrainScans, seed_base * 1000 + 1)),
-        truths(core::make_scattered_test_points(
-            testbed.environment().footprint(), kTestPoints)),
-        observations(
-            testbed.observe(truths, kObserveScans, seed_base * 1000 + 2)) {}
-
-  core::Testbed testbed;
-  wiscan::LocationMap training_map;
-  traindb::TrainingDatabase db;
-  std::vector<geom::Vec2> truths;
-  std::vector<core::Observation> observations;
-};
+// The paper's §5.1 setup now lives in testkit/golden.hpp so the
+// conformance gates and the benches measure the same experiment;
+// re-exported here to keep the bench sources reading naturally.
+using testkit::PaperExperiment;
+inline constexpr int kTrainScans = testkit::kTrainScans;
+inline constexpr int kObserveScans = testkit::kObserveScans;
+inline constexpr double kGridSpacingFt = testkit::kGridSpacingFt;
+inline constexpr int kTestPoints = testkit::kTestPoints;
 
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -1,0 +1,154 @@
+// SOAK_FLEET — the scheduled-CI fleet soak driver.
+//
+// Synthesizes a fleet scenario (device count, scans per device, and
+// seed from the command line), records its scan trace, replays it
+// through per-device `LocationService` sessions on the default thread
+// pool, and checks the full metric-invariant battery. Artifacts:
+//
+//   --report PATH    deterministic run-report JSON (replay-comparable)
+//   --metrics PATH   process metrics-registry snapshot JSON
+//
+// Exit status is 0 only when every invariant holds, so the CI job
+// fails on any breach. The scheduled workflow runs this under TSan
+// with >= 64 devices (docs/TESTING.md, "soak").
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "base/metrics.hpp"
+#include "core/probabilistic.hpp"
+#include "testkit/scenario.hpp"
+#include "testkit/soak.hpp"
+#include "testkit/trace.hpp"
+
+using namespace loctk;
+
+namespace {
+
+struct Options {
+  std::size_t devices = 64;
+  int scans = 40;
+  std::uint64_t seed = 64;
+  double max_p99_s = 5.0;
+  std::string report_path;
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--devices N] [--scans M] [--seed S]\n"
+               "          [--max-p99 SECONDS] [--report PATH]\n"
+               "          [--metrics PATH] [--trace PATH]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (flag == "--devices") {
+      opt.devices = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (flag == "--scans") {
+      opt.scans = std::atoi(value());
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--max-p99") {
+      opt.max_p99_s = std::atof(value());
+    } else if (flag == "--report") {
+      opt.report_path = value();
+    } else if (flag == "--metrics") {
+      opt.metrics_path = value();
+    } else if (flag == "--trace") {
+      opt.trace_path = value();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.devices == 0 || opt.scans <= 0) usage(argv[0]);
+  return opt;
+}
+
+void write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream os(path, std::ios::binary);
+  os << body << '\n';
+  if (!os) {
+    std::fprintf(stderr, "soak_fleet: failed to write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+
+  testkit::ScenarioSpec spec =
+      testkit::ScenarioSpec::fleet(opt.devices, opt.scans, opt.seed);
+  // The standing fault schedule: NaN bursts, lost scans, and vanished
+  // strongest-AP rows spread across the fleet, so rejection and
+  // degraded coasting stay load-bearing parts of every soak.
+  for (std::uint32_t d = 0; d < opt.devices; d += 7) {
+    spec.faults.push_back({.device = d, .scan_index = (d % 13) + 3,
+                           .kind = testkit::FaultEvent::Kind::kNonFiniteRssi});
+  }
+  for (std::uint32_t d = 3; d < opt.devices; d += 11) {
+    spec.faults.push_back({.device = d, .scan_index = (d % 17) + 2,
+                           .kind = testkit::FaultEvent::Kind::kDropScan});
+  }
+  for (std::uint32_t d = 5; d < opt.devices; d += 9) {
+    spec.faults.push_back(
+        {.device = d, .scan_index = (d % 19) + 1,
+         .kind = testkit::FaultEvent::Kind::kDropStrongestAp});
+  }
+
+  std::printf("soak_fleet: %zu devices x %d scans, seed %llu\n", opt.devices,
+              opt.scans, static_cast<unsigned long long>(opt.seed));
+  const testkit::Scenario scenario(spec);
+  const testkit::ScanTrace trace = scenario.record_trace();
+  std::printf("recorded trace: %zu scans (%zu bytes encoded)\n",
+              trace.scans.size(), testkit::encode_trace(trace).size());
+  if (!opt.trace_path.empty()) {
+    testkit::write_trace(opt.trace_path, trace);
+    std::printf("wrote %s\n", opt.trace_path.c_str());
+  }
+
+  const core::ProbabilisticLocator locator(scenario.database());
+  testkit::SoakConfig config;
+  config.max_p99_on_scan_s = opt.max_p99_s;
+  const testkit::SoakResult result =
+      testkit::run_fleet_soak(trace, locator, config);
+
+  std::fputs(result.report.to_text().c_str(), stdout);
+  std::printf("  wall %.2fs   on_scan mean %.1fus   p99 %.1fus\n",
+              result.wall_s, 1e6 * result.mean_on_scan_s,
+              1e6 * result.p99_on_scan_s);
+
+  if (!opt.report_path.empty()) {
+    write_text_file(opt.report_path, result.report.to_json());
+  }
+  if (!opt.metrics_path.empty()) {
+    write_text_file(opt.metrics_path,
+                    metrics::MetricsRegistry::global().snapshot().to_json());
+  }
+
+  if (!result.ok()) {
+    for (const std::string& v : result.violations) {
+      std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", v.c_str());
+    }
+    return 1;
+  }
+  std::printf("all invariants held (%zu scans, %zu devices)\n",
+              result.report.scans_replayed,
+              static_cast<std::size_t>(result.report.device_count));
+  return 0;
+}

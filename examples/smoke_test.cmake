@@ -1,0 +1,39 @@
+# Smoke-test runner for example binaries (docs/TESTING.md, "smoke").
+#
+# usage:
+#   cmake -DTOOL=<binary> [-DARGS=<a|b|c>] -DEXPECT=<regex>
+#         [-DWORKDIR=<dir>] -P smoke_test.cmake
+#
+# Runs the tool, then fails unless BOTH the exit code is 0 AND the
+# combined stdout/stderr matches EXPECT. (A bare ctest
+# PASS_REGULAR_EXPRESSION would stop checking the exit code; the
+# examples must keep doing both.)
+
+if(NOT DEFINED TOOL OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR "smoke_test.cmake needs -DTOOL and -DEXPECT")
+endif()
+
+set(args)
+if(DEFINED ARGS AND NOT ARGS STREQUAL "")
+  string(REPLACE "|" ";" args "${ARGS}")
+endif()
+
+if(NOT DEFINED WORKDIR OR WORKDIR STREQUAL "")
+  set(WORKDIR ".")
+endif()
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+execute_process(
+  COMMAND "${TOOL}" ${args}
+  WORKING_DIRECTORY "${WORKDIR}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+
+message("${out}${err}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${TOOL} exited with ${rc}")
+endif()
+if(NOT "${out}${err}" MATCHES "${EXPECT}")
+  message(FATAL_ERROR "output of ${TOOL} did not match \"${EXPECT}\"")
+endif()

@@ -51,6 +51,16 @@ std::vector<LocationEstimate> LocationService::locate_batch(
   return locator_->locate_batch(observations, pool);
 }
 
+std::vector<ServiceFix> LocationService::replay(
+    std::span<const radio::ScanRecord> scans) {
+  std::vector<ServiceFix> fixes;
+  fixes.reserve(scans.size());
+  for (const radio::ScanRecord& scan : scans) {
+    fixes.push_back(on_scan(scan));
+  }
+  return fixes;
+}
+
 Result<LocationEstimate> LocationService::try_locate(
     const Observation& obs) const {
   return locator_->try_locate(obs);
@@ -70,6 +80,7 @@ ServiceFix LocationService::on_scan(const radio::ScanRecord& scan) {
   // once inside the window it would poison every mean the locator
   // sees until the window drains. Drop such samples at the door.
   scans_counter().increment();
+  ++scans_seen_;
   radio::ScanRecord clean = scan;
   std::erase_if(clean.samples, [this](const radio::ScanSample& s) {
     const bool bad = !std::isfinite(s.rssi_dbm);

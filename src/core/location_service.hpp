@@ -89,6 +89,17 @@ class LocationService {
   /// Non-finite samples dropped by on_scan() so far.
   std::size_t rejected_samples() const { return rejected_samples_; }
 
+  /// Scans fed through on_scan() over the service's lifetime (survives
+  /// reset(), like rejected_samples()). The soak harness checks its
+  /// fix-count invariants against this instead of trusting the caller
+  /// to have counted correctly.
+  std::size_t scans_seen() const { return scans_seen_; }
+
+  /// Replays a recorded scan stream through on_scan(), one fix per
+  /// scan in order — the testkit's per-device soak path. The returned
+  /// vector always has scans.size() entries (invalid fixes included).
+  std::vector<ServiceFix> replay(std::span<const radio::ScanRecord> scans);
+
   /// Bulk entry point: scores a batch of independent, already-windowed
   /// observations (e.g. one per connected client) through this
   /// service's locator. With `pool`, the batch is chunked across the
@@ -125,6 +136,7 @@ class LocationService {
   ServiceFix fix_;
   std::string candidate_place_;
   std::size_t rejected_samples_ = 0;
+  std::size_t scans_seen_ = 0;
   int candidate_streak_ = 0;
   std::string announced_place_;
   std::vector<PlaceChangeCallback> callbacks_;

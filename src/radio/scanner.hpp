@@ -60,6 +60,8 @@ struct ScanSample {
   std::string bssid;
   double rssi_dbm = 0.0;
   int channel = 0;
+
+  friend bool operator==(const ScanSample&, const ScanSample&) = default;
 };
 
 /// One scan: everything heard at an instant.
@@ -69,6 +71,8 @@ struct ScanRecord {
 
   /// Reading for `bssid`, or nullopt if that AP dropped out.
   std::optional<double> rssi_of(const std::string& bssid) const;
+
+  friend bool operator==(const ScanRecord&, const ScanRecord&) = default;
 };
 
 /// Simulated wireless scanner. One instance models one receiver

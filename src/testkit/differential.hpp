@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file differential.hpp
+/// Compiled-vs-reference differential oracle.
+///
+/// PR-1 gave every fingerprint locator two implementations of the same
+/// math: the dense compiled kernel `locate()` actually runs, and the
+/// readable string-keyed form (`log_likelihood`, `signal_distance`,
+/// `ssd_distance`) kept as executable documentation. The oracle feeds
+/// both sides the *same* observation batch (typically windows cut from
+/// a recorded trace) and diffs the estimates, so any kernel, interning,
+/// or ingest change that silently shifts answers fails conformance
+/// instead of shipping.
+///
+/// For the arg-max locators the check is score-based: the compiled
+/// choice must be within `score_tol` of the reference-optimal score
+/// *as scored by the reference* — a genuine near-tie between training
+/// points is not a defect, picking a reference-refutable point is.
+/// For the k-NN family the two sides share summation order bit-for-bit
+/// (the masked kernels add exact zeros), so positions and scores are
+/// compared directly under tight tolerances.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/observation.hpp"
+#include "traindb/database.hpp"
+
+namespace loctk::testkit {
+
+/// One compiled-vs-reference disagreement.
+struct EstimateDiff {
+  std::string locator;
+  std::size_t observation = 0;
+  std::string detail;
+};
+
+struct DifferentialConfig {
+  /// Max position disagreement (ft) for coordinate-valued estimates.
+  double position_tol_ft = 1e-6;
+  /// Max score disagreement (log-likelihood / negated distance units).
+  double score_tol = 1e-6;
+};
+
+struct DifferentialReport {
+  std::uint64_t observations = 0;
+  /// locator x observation pairs checked.
+  std::uint64_t comparisons = 0;
+  std::vector<EstimateDiff> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+  std::string to_text() const;
+};
+
+/// Runs every dual-implementation locator (probabilistic, NNSS, k-NN,
+/// SSD, histogram — the last only when `db` retains raw samples) over
+/// `observations`, compiled path vs reference path.
+DifferentialReport run_differential_oracle(
+    const traindb::TrainingDatabase& db,
+    const std::vector<core::Observation>& observations,
+    const DifferentialConfig& config = {});
+
+}  // namespace loctk::testkit

@@ -1,0 +1,135 @@
+#include "testkit/run_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace loctk::testkit {
+
+namespace {
+
+/// Shortest round-trip-exact decimal form, like the metrics snapshot.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == v) {
+    for (int precision = 1; precision < 17; ++precision) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+      if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == v) {
+        return shorter;
+      }
+    }
+  }
+  return buf;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+double RunReport::valid_fix_fraction() const {
+  if (scans_replayed == 0) return 0.0;
+  return static_cast<double>(valid_fixes + degraded_fixes) /
+         static_cast<double>(scans_replayed);
+}
+
+double RunReport::degraded_fix_rate() const {
+  const std::uint64_t total = valid_fixes + degraded_fixes;
+  if (total == 0) return 0.0;
+  return static_cast<double>(degraded_fixes) / static_cast<double>(total);
+}
+
+double RunReport::error_percentile(double q) const {
+  if (errors_ft.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t last = errors_ft.size() - 1;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(errors_ft.size())));
+  return errors_ft[std::min(rank == 0 ? 0 : rank - 1, last)];
+}
+
+double RunReport::mean_error_ft() const {
+  if (errors_ft.empty()) return 0.0;
+  double sum = 0.0;
+  for (double e : errors_ft) sum += e;
+  return sum / static_cast<double>(errors_ft.size());
+}
+
+double RunReport::median_error_ft() const { return error_percentile(0.5); }
+double RunReport::p90_error_ft() const { return error_percentile(0.9); }
+
+double RunReport::max_error_ft() const {
+  return errors_ft.empty() ? 0.0 : errors_ft.back();
+}
+
+std::string RunReport::to_text() const {
+  char buf[256];
+  std::string out;
+  out += "run report: " + scenario + "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  devices %u, scans %llu, valid fixes %llu "
+                "(%llu degraded), invalid %llu, rejected samples %llu\n",
+                device_count,
+                static_cast<unsigned long long>(scans_replayed),
+                static_cast<unsigned long long>(valid_fixes + degraded_fixes),
+                static_cast<unsigned long long>(degraded_fixes),
+                static_cast<unsigned long long>(invalid_fixes),
+                static_cast<unsigned long long>(rejected_samples));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  valid-fix fraction %.1f%%, degraded rate %.1f%%\n",
+                100.0 * valid_fix_fraction(), 100.0 * degraded_fix_rate());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  error (ft): mean %.1f  median %.1f  p90 %.1f  max %.1f "
+                "(n=%zu)\n",
+                mean_error_ft(), median_error_ft(), p90_error_ft(),
+                max_error_ft(), errors_ft.size());
+  out += buf;
+  return out;
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\n  \"scenario\": ";
+  append_json_string(out, scenario);
+  auto field = [&out](const char* key, const std::string& value) {
+    out += ",\n  \"";
+    out += key;
+    out += "\": ";
+    out += value;
+  };
+  field("device_count", std::to_string(device_count));
+  field("scans_replayed", std::to_string(scans_replayed));
+  field("valid_fixes", std::to_string(valid_fixes));
+  field("degraded_fixes", std::to_string(degraded_fixes));
+  field("invalid_fixes", std::to_string(invalid_fixes));
+  field("rejected_samples", std::to_string(rejected_samples));
+  field("valid_fix_fraction", format_double(valid_fix_fraction()));
+  field("degraded_fix_rate", format_double(degraded_fix_rate()));
+  field("mean_error_ft", format_double(mean_error_ft()));
+  field("median_error_ft", format_double(median_error_ft()));
+  field("p90_error_ft", format_double(p90_error_ft()));
+  field("max_error_ft", format_double(max_error_ft()));
+  out += ",\n  \"errors_ft\": [";
+  for (std::size_t i = 0; i < errors_ft.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += format_double(errors_ft[i]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace loctk::testkit

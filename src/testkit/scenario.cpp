@@ -1,0 +1,170 @@
+#include "testkit/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/evaluation.hpp"
+#include "core/path.hpp"
+#include "stats/rng.hpp"
+#include "traindb/generator.hpp"
+
+namespace loctk::testkit {
+
+namespace {
+
+/// Stable per-device scanner seed. splitmix-style mix so device 0 of
+/// seed 1 and device 1 of seed 0 do not collide.
+std::uint64_t device_seed(std::uint64_t master, std::uint32_t device) {
+  std::uint64_t z = master + 0x9E3779B97F4A7C15ULL * (device + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void apply_fault(FaultEvent::Kind kind, radio::ScanRecord& record) {
+  switch (kind) {
+    case FaultEvent::Kind::kDropScan:
+      break;  // handled by the caller (the record is never emitted)
+    case FaultEvent::Kind::kNonFiniteRssi:
+      if (!record.samples.empty()) {
+        record.samples.front().rssi_dbm =
+            std::numeric_limits<double>::quiet_NaN();
+      }
+      break;
+    case FaultEvent::Kind::kDropStrongestAp:
+      if (!record.samples.empty()) {
+        auto loudest = std::max_element(
+            record.samples.begin(), record.samples.end(),
+            [](const radio::ScanSample& a, const radio::ScanSample& b) {
+              return a.rssi_dbm < b.rssi_dbm;
+            });
+        record.samples.erase(loudest);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::fleet(std::size_t device_count,
+                                 int scans_per_device, std::uint64_t seed,
+                                 SiteModel site) {
+  ScenarioSpec spec;
+  spec.name = "fleet-" + std::to_string(device_count) + "x" +
+              std::to_string(scans_per_device);
+  spec.site = site;
+  spec.seed = seed;
+
+  const geom::Rect footprint = site == SiteModel::kPaperHouse
+                                   ? radio::make_paper_house().footprint()
+                                   : radio::make_office_floor().footprint();
+  stats::Rng rng(seed ^ 0xF1EE7000ULL);
+  spec.devices.reserve(device_count);
+  for (std::size_t d = 0; d < device_count; ++d) {
+    DeviceSpec dev;
+    dev.waypoints =
+        core::random_waypoint_path(footprint, 5, rng).waypoints();
+    dev.scans = scans_per_device;
+    // Stagger joins across one scan interval per device so the fleet
+    // does not phase-lock, while staying deterministic.
+    dev.start_time_s = 0.25 * static_cast<double>(d);
+    spec.devices.push_back(std::move(dev));
+  }
+  return spec;
+}
+
+radio::Environment Scenario::make_environment(const ScenarioSpec& spec) {
+  switch (spec.site) {
+    case SiteModel::kPaperHouse:
+      return radio::make_paper_house();
+    case SiteModel::kOfficeFloor:
+      return radio::make_office_floor(spec.ap_count);
+  }
+  throw std::invalid_argument("scenario: unknown site model");
+}
+
+Scenario::Scenario(ScenarioSpec spec)
+    : spec_(std::move(spec)),
+      testbed_(make_environment(spec_), {}, spec_.channel),
+      db_([this] {
+        traindb::GeneratorConfig config;
+        config.keep_samples = spec_.keep_samples;
+        config.site_name = spec_.name;
+        const wiscan::LocationMap map = core::make_training_grid(
+            testbed_.environment().footprint(), spec_.grid_spacing_ft);
+        return testbed_.train(map, spec_.train_scans, spec_.seed * 1000 + 1,
+                              config);
+      }()) {}
+
+ScanTrace Scenario::record_trace() const {
+  ScanTrace trace;
+  trace.scenario = spec_.name;
+  trace.device_count = static_cast<std::uint32_t>(spec_.devices.size());
+
+  for (std::uint32_t d = 0; d < trace.device_count; ++d) {
+    const DeviceSpec& dev = spec_.devices[d];
+    const core::WaypointPath path(dev.waypoints);
+    radio::Scanner scanner =
+        testbed_.make_scanner(device_seed(spec_.seed, d));
+    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(dev.scans);
+         ++i) {
+      const double t = scanner.clock_s();
+      const geom::Vec2 truth =
+          path.empty() ? geom::Vec2{0.0, 0.0}
+                       : path.position_at_time(t, dev.speed_ft_s);
+      radio::ScanRecord record = scanner.scan_at(truth);
+      record.timestamp_s += dev.start_time_s;
+
+      bool dropped = false;
+      for (const FaultEvent& fault : spec_.faults) {
+        if (fault.device != d || fault.scan_index != i) continue;
+        if (fault.kind == FaultEvent::Kind::kDropScan) {
+          dropped = true;
+        } else {
+          apply_fault(fault.kind, record);
+        }
+      }
+      if (dropped) continue;  // the scan happened, the record was lost
+
+      TraceScan ts;
+      ts.device = d;
+      ts.truth = truth;
+      ts.scan = std::move(record);
+      trace.scans.push_back(std::move(ts));
+    }
+  }
+  return trace;
+}
+
+std::vector<core::Observation> observations_from_trace(
+    const ScanTrace& trace, std::size_t window_scans) {
+  if (window_scans == 0) {
+    throw std::invalid_argument(
+        "observations_from_trace: window_scans must be positive");
+  }
+  std::vector<core::Observation> observations;
+  for (const std::vector<std::size_t>& indices : trace.scans_by_device()) {
+    std::vector<radio::ScanRecord> window;
+    auto flush = [&] {
+      if (window.empty()) return;
+      observations.push_back(core::Observation::from_scans(window));
+      window.clear();
+    };
+    for (std::size_t idx : indices) {
+      const radio::ScanRecord& record = trace.scans[idx].scan;
+      const bool finite = std::all_of(
+          record.samples.begin(), record.samples.end(),
+          [](const radio::ScanSample& s) { return std::isfinite(s.rssi_dbm); });
+      if (!finite) continue;
+      window.push_back(record);
+      if (window.size() == window_scans) flush();
+    }
+    flush();
+  }
+  return observations;
+}
+
+}  // namespace loctk::testkit

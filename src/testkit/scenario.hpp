@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file scenario.hpp
+/// Declarative replay scenarios: site + fleet + fault schedule.
+///
+/// A `ScenarioSpec` describes everything a conformance run needs in
+/// plain data — which site model to instantiate, the channel knobs,
+/// the training survey, a fleet of devices each walking a waypoint
+/// path on its own scan cadence, and a deterministic fault schedule
+/// (dropped scans, NaN readings, lost APs). Materializing the spec
+/// (`Scenario`) builds the simulated testbed and training database;
+/// `record_trace()` then drives the radio simulator once and freezes
+/// the resulting fleet scan stream into a `ScanTrace`. Everything is
+/// seeded, so the same spec always yields byte-identical traces and
+/// databases — the property the golden gates and the soak driver's
+/// determinism assertions stand on.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "geom/vec2.hpp"
+#include "radio/scanner.hpp"
+#include "testkit/trace.hpp"
+#include "traindb/database.hpp"
+
+namespace loctk::testkit {
+
+/// Which site model the scenario instantiates.
+enum class SiteModel {
+  kPaperHouse,   ///< the paper's 50x40 ft house, 4 corner APs
+  kOfficeFloor,  ///< the 120x80 ft synthetic office, `ap_count` APs
+};
+
+/// One simulated device: a motion path and a scan budget.
+struct DeviceSpec {
+  /// Waypoints walked at `speed_ft_s`; a single waypoint is a
+  /// stationary device.
+  std::vector<geom::Vec2> waypoints;
+  double speed_ft_s = 1.5;
+  /// Scans this device records (one per channel scan interval).
+  int scans = 60;
+  /// Added to every recorded timestamp (fleet devices do not all join
+  /// at t = 0).
+  double start_time_s = 0.0;
+};
+
+/// One scheduled fault on the recorded stream.
+struct FaultEvent {
+  enum class Kind {
+    kDropScan,        ///< the scan is lost entirely (NIC hiccup)
+    kNonFiniteRssi,   ///< first sample reports NaN dBm (driver glitch)
+    kDropStrongestAp, ///< the loudest AP vanishes from the scan
+  };
+  std::uint32_t device = 0;
+  std::uint32_t scan_index = 0;
+  Kind kind = Kind::kNonFiniteRssi;
+};
+
+/// The declarative scenario.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  SiteModel site = SiteModel::kPaperHouse;
+  /// AP count for kOfficeFloor (ignored by the paper house).
+  int ap_count = 6;
+  /// Master seed: derives the training survey, every device's channel
+  /// session, and the fleet factory's paths.
+  std::uint64_t seed = 1;
+  radio::ChannelConfig channel;
+  /// Training survey: grid spacing and scans per training point.
+  double grid_spacing_ft = 10.0;
+  int train_scans = 90;
+  /// Retain raw samples in the training database (the histogram
+  /// locator's differential path needs them).
+  bool keep_samples = true;
+  std::vector<DeviceSpec> devices;
+  std::vector<FaultEvent> faults;
+
+  /// A fleet of `device_count` devices random-waypoint-walking the
+  /// site, `scans_per_device` scans each, staggered start times.
+  static ScenarioSpec fleet(std::size_t device_count, int scans_per_device,
+                            std::uint64_t seed = 1,
+                            SiteModel site = SiteModel::kPaperHouse);
+};
+
+/// A materialized scenario: the simulated site plus its deterministic
+/// training database. Non-copyable (the testbed pins its environment).
+class Scenario {
+ public:
+  explicit Scenario(ScenarioSpec spec);
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  const ScenarioSpec& spec() const { return spec_; }
+  const core::Testbed& testbed() const { return testbed_; }
+  const traindb::TrainingDatabase& database() const { return db_; }
+
+  /// Drives the simulator over the fleet and fault schedule. Purely a
+  /// function of the spec: recording twice yields identical bytes.
+  ScanTrace record_trace() const;
+
+ private:
+  static radio::Environment make_environment(const ScenarioSpec& spec);
+
+  ScenarioSpec spec_;
+  core::Testbed testbed_;
+  traindb::TrainingDatabase db_;
+};
+
+/// Chunks each device's recorded scans into consecutive windows of
+/// `window_scans` (final partial window kept when at least one scan
+/// remains) and averages each window into an `Observation` — the
+/// working-phase view of a trace the differential oracle scores.
+/// Scans carrying non-finite samples are skipped (they exist to test
+/// the service's rejection path, not the locators' math).
+std::vector<core::Observation> observations_from_trace(
+    const ScanTrace& trace, std::size_t window_scans = 8);
+
+}  // namespace loctk::testkit

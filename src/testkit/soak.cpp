@@ -1,0 +1,177 @@
+#include "testkit/soak.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "base/metrics.hpp"
+#include "concurrency/parallel_for.hpp"
+
+namespace loctk::testkit {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Per-device tallies, written only by the worker that owns the slot
+/// and merged in device order afterwards — the report never sees
+/// scheduling order.
+struct DeviceSlot {
+  std::uint64_t valid = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t rejected_samples = 0;
+  std::uint64_t scans_seen = 0;
+  std::vector<double> errors_ft;     // fresh valid fixes, scan order
+  std::vector<double> on_scan_s;     // per-scan latency
+};
+
+std::string format_violation(const char* what, std::uint64_t expected,
+                             std::uint64_t actual) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s: expected %llu, got %llu", what,
+                static_cast<unsigned long long>(expected),
+                static_cast<unsigned long long>(actual));
+  return buf;
+}
+
+}  // namespace
+
+SoakResult run_fleet_soak(const ScanTrace& trace,
+                          const core::Locator& locator,
+                          const SoakConfig& config) {
+  concurrency::ThreadPool& pool =
+      config.pool ? *config.pool : concurrency::default_pool();
+
+  metrics::Counter& scans_metric = metrics::counter("service.scans");
+  metrics::Counter& rejected_metric =
+      metrics::counter("service.rejected_samples");
+  metrics::Counter& degraded_metric =
+      metrics::counter("service.degraded_fixes");
+  const std::uint64_t scans_metric_before = scans_metric.value();
+  const std::uint64_t rejected_metric_before = rejected_metric.value();
+  const std::uint64_t degraded_metric_before = degraded_metric.value();
+  const std::size_t pool_errors_before = pool.uncaught_task_errors();
+
+  const std::vector<std::vector<std::size_t>> by_device =
+      trace.scans_by_device();
+  std::vector<DeviceSlot> slots(by_device.size());
+
+  const Clock::time_point start = Clock::now();
+  concurrency::parallel_for(pool, 0, by_device.size(), [&](std::size_t d) {
+    DeviceSlot& slot = slots[d];
+    core::LocationService service(locator, config.service);
+    slot.errors_ft.reserve(by_device[d].size());
+    slot.on_scan_s.reserve(by_device[d].size());
+    for (std::size_t idx : by_device[d]) {
+      const TraceScan& ts = trace.scans[idx];
+      const Clock::time_point scan_start = Clock::now();
+      const core::ServiceFix fix = service.on_scan(ts.scan);
+      slot.on_scan_s.push_back(seconds_since(scan_start));
+      if (!fix.valid) {
+        ++slot.invalid;
+      } else if (fix.degraded()) {
+        ++slot.degraded;
+      } else {
+        ++slot.valid;
+        slot.errors_ft.push_back(geom::distance(fix.position, ts.truth));
+      }
+    }
+    slot.rejected_samples = service.rejected_samples();
+    slot.scans_seen = service.scans_seen();
+  });
+
+  SoakResult result;
+  result.wall_s = seconds_since(start);
+  RunReport& report = result.report;
+  report.scenario = trace.scenario;
+  report.device_count = trace.device_count;
+  report.scans_replayed = trace.scans.size();
+
+  std::uint64_t scans_seen_total = 0;
+  std::vector<double> latencies;
+  latencies.reserve(trace.scans.size());
+  for (const DeviceSlot& slot : slots) {
+    report.valid_fixes += slot.valid;
+    report.degraded_fixes += slot.degraded;
+    report.invalid_fixes += slot.invalid;
+    report.rejected_samples += slot.rejected_samples;
+    scans_seen_total += slot.scans_seen;
+    report.errors_ft.insert(report.errors_ft.end(), slot.errors_ft.begin(),
+                            slot.errors_ft.end());
+    latencies.insert(latencies.end(), slot.on_scan_s.begin(),
+                     slot.on_scan_s.end());
+  }
+  std::sort(report.errors_ft.begin(), report.errors_ft.end());
+
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    double sum = 0.0;
+    for (double s : latencies) sum += s;
+    result.mean_on_scan_s = sum / static_cast<double>(latencies.size());
+    result.p99_on_scan_s =
+        latencies[std::min(latencies.size() - 1,
+                           static_cast<std::size_t>(std::ceil(
+                               0.99 * static_cast<double>(latencies.size()))) -
+                               1)];
+  }
+
+  // --- Invariants -------------------------------------------------
+  auto check = [&result](bool ok, std::string message) {
+    if (!ok) result.violations.push_back(std::move(message));
+  };
+
+  const std::uint64_t fixes_total =
+      report.valid_fixes + report.degraded_fixes + report.invalid_fixes;
+  check(fixes_total == report.scans_replayed,
+        format_violation("fix partition must sum to scan count",
+                         report.scans_replayed, fixes_total));
+  check(scans_seen_total == report.scans_replayed,
+        format_violation("services saw every replayed scan",
+                         report.scans_replayed, scans_seen_total));
+
+  std::uint64_t non_finite_samples = 0;
+  for (const TraceScan& ts : trace.scans) {
+    for (const radio::ScanSample& s : ts.scan.samples) {
+      if (!std::isfinite(s.rssi_dbm)) ++non_finite_samples;
+    }
+  }
+  check(report.rejected_samples == non_finite_samples,
+        format_violation("every non-finite sample must be rejected",
+                         non_finite_samples, report.rejected_samples));
+
+  check(scans_metric.value() - scans_metric_before == report.scans_replayed,
+        format_violation("metric service.scans delta", report.scans_replayed,
+                         scans_metric.value() - scans_metric_before));
+  check(rejected_metric.value() - rejected_metric_before ==
+            report.rejected_samples,
+        format_violation("metric service.rejected_samples delta",
+                         report.rejected_samples,
+                         rejected_metric.value() - rejected_metric_before));
+  check(degraded_metric.value() - degraded_metric_before ==
+            report.degraded_fixes,
+        format_violation("metric service.degraded_fixes delta",
+                         report.degraded_fixes,
+                         degraded_metric.value() - degraded_metric_before));
+  check(pool.uncaught_task_errors() == pool_errors_before,
+        format_violation("uncaught pool errors during soak", 0,
+                         pool.uncaught_task_errors() - pool_errors_before));
+
+  if (config.max_p99_on_scan_s > 0.0 &&
+      result.p99_on_scan_s > config.max_p99_on_scan_s) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "p99 on_scan latency %.4fs exceeds bound %.4fs",
+                  result.p99_on_scan_s, config.max_p99_on_scan_s);
+    result.violations.push_back(buf);
+  }
+
+  return result;
+}
+
+}  // namespace loctk::testkit

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file soak.hpp
+/// The fleet soak driver: N devices replayed concurrently through
+/// per-device `LocationService` sessions.
+///
+/// This is the load-shaped correctness harness the ROADMAP north star
+/// asks for: every device in a recorded trace gets its own service
+/// (sharing one locator, whose locate path must be const-thread-safe),
+/// the fleet replays in parallel on a thread pool, and the run is
+/// judged twice —
+///
+///  * the **deterministic report** (`RunReport`): tallies and the
+///    accuracy CDF, assembled from per-device slots merged in device
+///    order, so it is identical for 1 thread or 64;
+///  * the **invariants** (`SoakResult::violations`): cross-checks
+///    between the report, the per-service counters, and the PR-4
+///    global metrics deltas (fix partition sums to scan count, every
+///    non-finite sample was rejected, zero uncaught pool errors,
+///    bounded p99 on_scan latency). An empty list is the pass signal;
+///    CI fails on anything else.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "concurrency/thread_pool.hpp"
+#include "core/location_service.hpp"
+#include "core/locator.hpp"
+#include "testkit/run_report.hpp"
+#include "testkit/trace.hpp"
+
+namespace loctk::testkit {
+
+struct SoakConfig {
+  /// Per-device service configuration.
+  core::LocationServiceConfig service;
+  /// Pool to replay on; nullptr uses the process default pool.
+  concurrency::ThreadPool* pool = nullptr;
+  /// Invariant bound on per-scan on_scan() p99 latency; <= 0 disables
+  /// (use when running under sanitizers on loaded CI machines).
+  double max_p99_on_scan_s = 0.25;
+};
+
+/// Everything a soak run produced. Only `report` is deterministic;
+/// the latency figures depend on the machine and are reported beside
+/// it, never inside it.
+struct SoakResult {
+  RunReport report;
+  /// Human-readable invariant breaches; empty means the run passed.
+  std::vector<std::string> violations;
+  double wall_s = 0.0;
+  double mean_on_scan_s = 0.0;
+  double p99_on_scan_s = 0.0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Replays `trace` through per-device services over `locator`,
+/// checking the soak invariants. `locator` is shared by all devices
+/// concurrently — its locate path must be const-thread-safe (every
+/// toolkit locator is).
+SoakResult run_fleet_soak(const ScanTrace& trace,
+                          const core::Locator& locator,
+                          const SoakConfig& config = {});
+
+}  // namespace loctk::testkit

@@ -1,0 +1,190 @@
+#include "testkit/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "traindb/codec.hpp"
+#include "wiscan/scan_buffer.hpp"
+
+namespace loctk::testkit {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'T', 'R', 'C'};
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+double get_f64(std::string_view in, std::size_t& pos) {
+  if (in.size() - pos < 8) {
+    throw traindb::CodecError("trace: truncated double");
+  }
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(in[pos + static_cast<std::size_t>(i)]))
+            << (8 * i);
+  }
+  pos += 8;
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void put_string(std::string& out, std::string_view s) {
+  traindb::put_varint(out, s.size());
+  out.append(s);
+}
+
+std::string get_string(std::string_view in, std::size_t& pos) {
+  const std::uint64_t len = traindb::get_varint(in, pos);
+  if (in.size() - pos < len) {
+    throw traindb::CodecError("trace: truncated string");
+  }
+  std::string s(in.substr(pos, len));
+  pos += len;
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> ScanTrace::scans_by_device() const {
+  std::vector<std::vector<std::size_t>> by_device(device_count);
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    by_device.at(scans[i].device).push_back(i);
+  }
+  return by_device;
+}
+
+std::string encode_trace(const ScanTrace& trace) {
+  // Intern the BSSID table in first-appearance order so the byte
+  // stream depends only on the scan content, not on map iteration.
+  std::vector<std::string> table;
+  std::map<std::string, std::uint64_t> index;
+  for (const TraceScan& ts : trace.scans) {
+    for (const radio::ScanSample& s : ts.scan.samples) {
+      if (index.emplace(s.bssid, table.size()).second) {
+        table.push_back(s.bssid);
+      }
+    }
+  }
+
+  std::string out;
+  out.append(kMagic, 4);
+  traindb::put_varint(out, kTraceVersion);
+  put_string(out, trace.scenario);
+  traindb::put_varint(out, trace.device_count);
+  traindb::put_varint(out, table.size());
+  for (const std::string& bssid : table) put_string(out, bssid);
+  traindb::put_varint(out, trace.scans.size());
+  for (const TraceScan& ts : trace.scans) {
+    traindb::put_varint(out, ts.device);
+    put_f64(out, ts.truth.x);
+    put_f64(out, ts.truth.y);
+    put_f64(out, ts.scan.timestamp_s);
+    traindb::put_varint(out, ts.scan.samples.size());
+    for (const radio::ScanSample& s : ts.scan.samples) {
+      traindb::put_varint(out, index.at(s.bssid));
+      put_f64(out, s.rssi_dbm);
+      traindb::put_varint(
+          out, traindb::zigzag_encode(static_cast<std::int64_t>(s.channel)));
+    }
+  }
+  return out;
+}
+
+Result<ScanTrace> try_decode_trace(std::string_view bytes) {
+  try {
+    if (bytes.size() < 4 || !std::equal(kMagic, kMagic + 4, bytes.begin())) {
+      return Error(ErrorCode::kCorrupt, "trace: bad magic");
+    }
+    std::size_t pos = 4;
+    const std::uint64_t version = traindb::get_varint(bytes, pos);
+    if (version != kTraceVersion) {
+      return Error(ErrorCode::kCorrupt,
+                   "trace: unsupported version " + std::to_string(version));
+    }
+    ScanTrace trace;
+    trace.scenario = get_string(bytes, pos);
+    trace.device_count =
+        static_cast<std::uint32_t>(traindb::get_varint(bytes, pos));
+    const std::uint64_t n_bssids = traindb::get_varint(bytes, pos);
+    if (n_bssids > bytes.size()) {
+      return Error(ErrorCode::kCorrupt, "trace: implausible BSSID count");
+    }
+    std::vector<std::string> table;
+    table.reserve(n_bssids);
+    for (std::uint64_t i = 0; i < n_bssids; ++i) {
+      table.push_back(get_string(bytes, pos));
+    }
+    const std::uint64_t n_scans = traindb::get_varint(bytes, pos);
+    if (n_scans > bytes.size()) {
+      return Error(ErrorCode::kCorrupt, "trace: implausible scan count");
+    }
+    trace.scans.reserve(n_scans);
+    for (std::uint64_t i = 0; i < n_scans; ++i) {
+      TraceScan ts;
+      ts.device = static_cast<std::uint32_t>(traindb::get_varint(bytes, pos));
+      if (ts.device >= trace.device_count) {
+        return Error(ErrorCode::kCorrupt,
+                     "trace: device index out of range");
+      }
+      ts.truth.x = get_f64(bytes, pos);
+      ts.truth.y = get_f64(bytes, pos);
+      ts.scan.timestamp_s = get_f64(bytes, pos);
+      const std::uint64_t n_samples = traindb::get_varint(bytes, pos);
+      if (n_samples > bytes.size()) {
+        return Error(ErrorCode::kCorrupt, "trace: implausible sample count");
+      }
+      ts.scan.samples.reserve(n_samples);
+      for (std::uint64_t j = 0; j < n_samples; ++j) {
+        const std::uint64_t idx = traindb::get_varint(bytes, pos);
+        if (idx >= table.size()) {
+          return Error(ErrorCode::kCorrupt,
+                       "trace: BSSID index out of range");
+        }
+        radio::ScanSample s;
+        s.bssid = table[idx];
+        s.rssi_dbm = get_f64(bytes, pos);
+        s.channel = static_cast<int>(
+            traindb::zigzag_decode(traindb::get_varint(bytes, pos)));
+        ts.scan.samples.push_back(std::move(s));
+      }
+      trace.scans.push_back(std::move(ts));
+    }
+    if (pos != bytes.size()) {
+      return Error(ErrorCode::kCorrupt, "trace: trailing bytes");
+    }
+    return trace;
+  } catch (const traindb::CodecError& e) {
+    return Error(ErrorCode::kCorrupt, e.what());
+  }
+}
+
+void write_trace(const std::filesystem::path& path, const ScanTrace& trace) {
+  std::ofstream os(path, std::ios::binary);
+  const std::string bytes = encode_trace(trace);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) {
+    throw std::runtime_error("trace: failed to write " + path.string());
+  }
+}
+
+Result<ScanTrace> try_read_trace(const std::filesystem::path& path) {
+  Result<std::string> bytes = wiscan::try_read_file_bytes(path);
+  if (!bytes.ok()) {
+    return std::move(bytes).error().with_context("reading trace '" +
+                                                 path.string() + "'");
+  }
+  return try_decode_trace(bytes.value())
+      .with_context("decoding trace '" + path.string() + "'");
+}
+
+}  // namespace loctk::testkit

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file trace.hpp
+/// Recorded scan traces: the replayable unit of every conformance run.
+///
+/// A scenario drives the radio simulator once and the resulting scan
+/// stream is frozen into a `ScanTrace` — every device's every scan,
+/// with its ground-truth position attached. Frozen traces are what the
+/// soak driver, the differential oracle, and the golden gates consume:
+/// replaying bytes instead of re-simulating means a failing run can be
+/// reproduced bit-for-bit on another machine, and an accuracy shift
+/// can always be attributed to the code, never to the workload.
+///
+/// The on-disk form is a versioned binary codec ("LTRC" magic) in the
+/// same style as the training-database codec: counts and string
+/// lengths are LEB128 varints, BSSIDs are interned into a table, and
+/// every double is stored as its raw IEEE-754 bits little-endian — so
+/// encode(decode(bytes)) == bytes and a trace carrying an injected
+/// NaN fault round-trips the exact NaN payload.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/error.hpp"
+#include "geom/vec2.hpp"
+#include "radio/scanner.hpp"
+
+namespace loctk::testkit {
+
+/// Current trace codec version. Decoders reject anything newer.
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// One recorded scan: which device produced it, where that device
+/// actually stood, and the raw scan record (timestamp + samples).
+struct TraceScan {
+  std::uint32_t device = 0;
+  geom::Vec2 truth;
+  radio::ScanRecord scan;
+
+  friend bool operator==(const TraceScan&, const TraceScan&) = default;
+};
+
+/// A frozen fleet scan stream. Scans are ordered device-major (all of
+/// device 0's scans in capture order, then device 1's, ...).
+struct ScanTrace {
+  std::string scenario;
+  std::uint32_t device_count = 0;
+  std::vector<TraceScan> scans;
+
+  bool empty() const { return scans.empty(); }
+
+  /// Scan indices grouped per device, preserving capture order.
+  std::vector<std::vector<std::size_t>> scans_by_device() const;
+
+  /// NOTE: an injected-fault trace can carry NaN RSSI values, and NaN
+  /// compares unequal to itself — compare `encode_trace` bytes when a
+  /// trace may contain faults.
+  friend bool operator==(const ScanTrace&, const ScanTrace&) = default;
+};
+
+/// Serializes to the versioned binary form. Deterministic: the same
+/// trace always produces the same bytes.
+std::string encode_trace(const ScanTrace& trace);
+
+/// Parses bytes produced by encode_trace. Corruption, truncation, an
+/// unknown version, or trailing garbage come back as kCorrupt.
+Result<ScanTrace> try_decode_trace(std::string_view bytes);
+
+/// File convenience; the conventional extension is `.ltrc`.
+void write_trace(const std::filesystem::path& path, const ScanTrace& trace);
+Result<ScanTrace> try_read_trace(const std::filesystem::path& path);
+
+}  // namespace loctk::testkit

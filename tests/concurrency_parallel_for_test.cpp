@@ -1,0 +1,148 @@
+// Direct unit tests for parallel_for / parallel_reduce edge behavior:
+// empty and single-element ranges, exception propagation, grain
+// handling, and re-entry from a pool worker thread (the pattern the
+// fleet soak driver relies on when a per-device body itself fans out).
+
+#include "concurrency/parallel_for.hpp"
+#include "concurrency/thread_pool.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace loctk::concurrency {
+namespace {
+
+TEST(ParallelFor, EmptyRangeNeverCallsBody) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 0, 0, [&](std::size_t) { ++calls; });
+  parallel_for(pool, 7, 7, [&](std::size_t) { ++calls; });
+  // begin > end is an empty range too, not a wraparound.
+  parallel_for(pool, 9, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleElementRange) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::atomic<std::size_t> seen{0};
+  parallel_for(pool, 41, 42, [&](std::size_t i) {
+    ++calls;
+    seen = i;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen.load(), 41u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, 0, kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ExceptionFromBodyPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("body failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionDoesNotPoisonThePool) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 10,
+                            [](std::size_t) {
+                              throw std::runtime_error("every chunk throws");
+                            }),
+               std::runtime_error);
+  // The pool still runs later work and recorded no uncaught errors
+  // (the futures captured every exception).
+  EXPECT_EQ(pool.uncaught_task_errors(), 0u);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 0, 10, [&](std::size_t) { ++calls; },
+               /*grain=*/1000);
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ParallelFor, NestedFromPoolThreadCompletes) {
+  // A body running *on* a pool worker that starts another parallel_for
+  // on the same pool must not deadlock. With a single outer chunk
+  // (large grain) on a >= 2-thread pool, one worker blocks in the
+  // inner loop's future waits while the remaining workers drain the
+  // inner chunks.
+  ThreadPool pool(4);
+  std::atomic<int> inner_calls{0};
+  parallel_for(
+      pool, 0, 1,
+      [&](std::size_t) {
+        parallel_for(pool, 0, 64, [&](std::size_t) { ++inner_calls; });
+      },
+      /*grain=*/8);
+  EXPECT_EQ(inner_calls.load(), 64);
+}
+
+TEST(ParallelFor, NestedAcrossPoolsCompletes) {
+  // Cross-pool nesting (outer bodies fan out onto a different pool)
+  // has no shared queue at all and must always complete.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> calls{0};
+  parallel_for(outer, 0, 4, [&](std::size_t) {
+    parallel_for(inner, 0, 16, [&](std::size_t) { ++calls; });
+  });
+  EXPECT_EQ(calls.load(), 4 * 16);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const int total = parallel_reduce(
+      pool, 5, 5, 17, [](int& acc, std::size_t i) { acc += static_cast<int>(i); },
+      [](int& into, int part) { into += part; });
+  EXPECT_EQ(total, 17);
+}
+
+TEST(ParallelReduce, SumMatchesSerialAndIsThreadCountInvariant) {
+  constexpr std::size_t kN = 10000;
+  long expected = 0;
+  for (std::size_t i = 0; i < kN; ++i) expected += static_cast<long>(i);
+
+  for (const std::size_t threads : {1u, 2u, 7u}) {
+    ThreadPool pool(threads);
+    const long total = parallel_reduce(
+        pool, 0, kN, 0L,
+        [](long& acc, std::size_t i) { acc += static_cast<long>(i); },
+        [](long& into, long part) { into += part; });
+    EXPECT_EQ(total, expected) << threads << " threads";
+  }
+}
+
+TEST(ParallelReduce, ExceptionFromAccumulatePropagates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_reduce(
+                   pool, 0, 100, 0,
+                   [](int& acc, std::size_t i) {
+                     if (i == 63) throw std::runtime_error("accumulate failed");
+                     acc += 1;
+                   },
+                   [](int& into, int part) { into += part; }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace loctk::concurrency

@@ -1,0 +1,177 @@
+// Tests for scenario materialization and trace recording: seed
+// determinism, fleet layout, fault application, and the trace-to-
+// observation windowing the differential oracle consumes.
+
+#include "testkit/scenario.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testkit/trace.hpp"
+
+namespace loctk::testkit {
+namespace {
+
+ScenarioSpec small_fleet() { return ScenarioSpec::fleet(3, 12, /*seed=*/7); }
+
+TEST(Scenario, FleetFactoryIsDeterministic) {
+  const ScenarioSpec a = ScenarioSpec::fleet(4, 10, 42);
+  const ScenarioSpec b = ScenarioSpec::fleet(4, 10, 42);
+  ASSERT_EQ(a.devices.size(), 4u);
+  for (std::size_t d = 0; d < a.devices.size(); ++d) {
+    EXPECT_EQ(a.devices[d].waypoints, b.devices[d].waypoints);
+    EXPECT_EQ(a.devices[d].start_time_s, b.devices[d].start_time_s);
+  }
+  // Different seeds walk different paths.
+  const ScenarioSpec c = ScenarioSpec::fleet(4, 10, 43);
+  EXPECT_NE(a.devices[0].waypoints, c.devices[0].waypoints);
+}
+
+TEST(Scenario, FleetPathsStayInsideTheSite) {
+  const ScenarioSpec spec = ScenarioSpec::fleet(8, 5, 3);
+  const geom::Rect footprint = radio::make_paper_house().footprint();
+  for (const DeviceSpec& dev : spec.devices) {
+    for (const geom::Vec2 wp : dev.waypoints) {
+      EXPECT_TRUE(footprint.contains(wp));
+    }
+  }
+}
+
+TEST(Scenario, RecordTraceIsBitForBitDeterministic) {
+  const ScenarioSpec spec = small_fleet();
+  const Scenario scenario(spec);
+  const std::string once = encode_trace(scenario.record_trace());
+  const std::string twice = encode_trace(scenario.record_trace());
+  EXPECT_EQ(once, twice);
+
+  // A freshly materialized scenario from the same spec also agrees —
+  // nothing about recording depends on construction-time state.
+  const Scenario again(spec);
+  EXPECT_EQ(encode_trace(again.record_trace()), once);
+}
+
+TEST(Scenario, TraceShapeMatchesTheSpec) {
+  const ScenarioSpec spec = small_fleet();
+  const Scenario scenario(spec);
+  const ScanTrace trace = scenario.record_trace();
+
+  EXPECT_EQ(trace.scenario, spec.name);
+  EXPECT_EQ(trace.device_count, 3u);
+  EXPECT_EQ(trace.scans.size(), 3u * 12u);
+  const auto by_device = trace.scans_by_device();
+  for (const auto& indices : by_device) {
+    EXPECT_EQ(indices.size(), 12u);
+  }
+  // Device-major order: device indices are non-decreasing.
+  for (std::size_t i = 1; i < trace.scans.size(); ++i) {
+    EXPECT_LE(trace.scans[i - 1].device, trace.scans[i].device);
+  }
+  // Truths live inside the site.
+  const geom::Rect footprint = scenario.testbed().environment().footprint();
+  for (const TraceScan& ts : trace.scans) {
+    EXPECT_TRUE(footprint.contains(ts.truth));
+  }
+}
+
+TEST(Scenario, StartTimeOffsetsTimestamps) {
+  ScenarioSpec spec = small_fleet();
+  spec.devices[1].start_time_s = 100.0;
+  const Scenario scenario(spec);
+  const ScanTrace trace = scenario.record_trace();
+  const auto by_device = trace.scans_by_device();
+  EXPECT_LT(trace.scans[by_device[0].front()].scan.timestamp_s, 100.0);
+  EXPECT_GE(trace.scans[by_device[1].front()].scan.timestamp_s, 100.0);
+}
+
+TEST(Scenario, DropScanFaultLosesExactlyThatScan) {
+  ScenarioSpec spec = small_fleet();
+  spec.faults.push_back({.device = 1, .scan_index = 4,
+                         .kind = FaultEvent::Kind::kDropScan});
+  const Scenario scenario(spec);
+  const ScanTrace trace = scenario.record_trace();
+  const auto by_device = trace.scans_by_device();
+  EXPECT_EQ(by_device[0].size(), 12u);
+  EXPECT_EQ(by_device[1].size(), 11u);
+  EXPECT_EQ(by_device[2].size(), 12u);
+
+  // The dropped scan consumed simulator time: the remaining scans of
+  // device 1 are identical to the no-fault trace minus one record.
+  ScenarioSpec clean = small_fleet();
+  const ScanTrace reference = Scenario(clean).record_trace();
+  const auto ref_by_device = reference.scans_by_device();
+  std::size_t ref_i = 0;
+  for (std::size_t idx : by_device[1]) {
+    if (ref_i == 4) ++ref_i;  // skip the dropped slot
+    EXPECT_EQ(trace.scans[idx],
+              reference.scans[ref_by_device[1][ref_i]]);
+    ++ref_i;
+  }
+}
+
+TEST(Scenario, NonFiniteFaultInjectsNaN) {
+  ScenarioSpec spec = small_fleet();
+  spec.faults.push_back({.device = 0, .scan_index = 2,
+                         .kind = FaultEvent::Kind::kNonFiniteRssi});
+  const ScanTrace trace = Scenario(spec).record_trace();
+  const auto by_device = trace.scans_by_device();
+  const radio::ScanRecord& faulted =
+      trace.scans[by_device[0][2]].scan;
+  ASSERT_FALSE(faulted.samples.empty());
+  EXPECT_TRUE(std::isnan(faulted.samples.front().rssi_dbm));
+}
+
+TEST(Scenario, DropStrongestApRemovesTheLoudestSample) {
+  ScenarioSpec spec = small_fleet();
+  spec.faults.push_back({.device = 2, .scan_index = 0,
+                         .kind = FaultEvent::Kind::kDropStrongestAp});
+  const ScanTrace faulted_trace = Scenario(spec).record_trace();
+  const ScanTrace clean_trace = Scenario(small_fleet()).record_trace();
+
+  const radio::ScanRecord& faulted =
+      faulted_trace.scans[faulted_trace.scans_by_device()[2][0]].scan;
+  const radio::ScanRecord& clean =
+      clean_trace.scans[clean_trace.scans_by_device()[2][0]].scan;
+  ASSERT_FALSE(clean.samples.empty());
+  EXPECT_EQ(faulted.samples.size(), clean.samples.size() - 1);
+  double clean_max = -1e9, faulted_max = -1e9;
+  for (const auto& s : clean.samples) clean_max = std::max(clean_max, s.rssi_dbm);
+  for (const auto& s : faulted.samples) {
+    faulted_max = std::max(faulted_max, s.rssi_dbm);
+  }
+  EXPECT_LE(faulted_max, clean_max);
+}
+
+TEST(Scenario, ObservationsFromTraceWindowsPerDevice) {
+  const ScenarioSpec spec = small_fleet();  // 12 scans per device
+  const ScanTrace trace = Scenario(spec).record_trace();
+  // 12 scans in windows of 5 -> 5 + 5 + 2 = 3 observations per device.
+  const auto observations = observations_from_trace(trace, 5);
+  EXPECT_EQ(observations.size(), 3u * 3u);
+  for (const core::Observation& obs : observations) {
+    EXPECT_FALSE(obs.empty());
+    EXPECT_TRUE(obs.is_finite());
+  }
+}
+
+TEST(Scenario, ObservationsSkipNonFiniteScans) {
+  ScenarioSpec spec = small_fleet();
+  spec.faults.push_back({.device = 0, .scan_index = 1,
+                         .kind = FaultEvent::Kind::kNonFiniteRssi});
+  const ScanTrace trace = Scenario(spec).record_trace();
+  for (const core::Observation& obs : observations_from_trace(trace, 4)) {
+    EXPECT_TRUE(obs.is_finite());
+  }
+}
+
+TEST(Scenario, OfficeFloorSiteWorks) {
+  ScenarioSpec spec = ScenarioSpec::fleet(2, 6, 9, SiteModel::kOfficeFloor);
+  spec.ap_count = 8;
+  const Scenario scenario(spec);
+  EXPECT_EQ(scenario.testbed().environment().access_points().size(), 8u);
+  EXPECT_EQ(scenario.record_trace().scans.size(), 12u);
+  EXPECT_GT(scenario.database().size(), 0u);
+}
+
+}  // namespace
+}  // namespace loctk::testkit

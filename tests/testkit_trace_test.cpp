@@ -1,0 +1,167 @@
+// Tests for the LTRC scan-trace codec: exact round-trips (including
+// NaN fault payloads), deterministic encoding, and typed corruption
+// errors for every malformed-input family.
+
+#include "testkit/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace loctk::testkit {
+namespace {
+
+ScanTrace make_sample_trace() {
+  ScanTrace trace;
+  trace.scenario = "codec-sample";
+  trace.device_count = 2;
+
+  TraceScan a;
+  a.device = 0;
+  a.truth = {12.5, 30.25};
+  a.scan.timestamp_s = 1.0;
+  a.scan.samples = {{"aa:bb:cc:00:00:01", -47.0, 6},
+                    {"aa:bb:cc:00:00:02", -63.5, 11}};
+  trace.scans.push_back(a);
+
+  TraceScan b;
+  b.device = 1;
+  b.truth = {0.0, -3.75};
+  b.scan.timestamp_s = 1.5;
+  b.scan.samples = {{"aa:bb:cc:00:00:02", -70.0, 11}};
+  trace.scans.push_back(b);
+  return trace;
+}
+
+TEST(TraceCodec, RoundTripsExactly) {
+  const ScanTrace trace = make_sample_trace();
+  const std::string bytes = encode_trace(trace);
+  const Result<ScanTrace> decoded = try_decode_trace(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value(), trace);
+}
+
+TEST(TraceCodec, EncodingIsDeterministic) {
+  const ScanTrace trace = make_sample_trace();
+  EXPECT_EQ(encode_trace(trace), encode_trace(trace));
+}
+
+TEST(TraceCodec, DecodeEncodeIsByteIdentical) {
+  const std::string bytes = encode_trace(make_sample_trace());
+  const Result<ScanTrace> decoded = try_decode_trace(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(encode_trace(decoded.value()), bytes);
+}
+
+TEST(TraceCodec, NanAndInfinityPayloadsRoundTripBitForBit) {
+  ScanTrace trace = make_sample_trace();
+  trace.scans[0].scan.samples[0].rssi_dbm =
+      std::numeric_limits<double>::quiet_NaN();
+  trace.scans[1].scan.samples[0].rssi_dbm =
+      -std::numeric_limits<double>::infinity();
+
+  const std::string bytes = encode_trace(trace);
+  const Result<ScanTrace> decoded = try_decode_trace(bytes);
+  ASSERT_TRUE(decoded.ok());
+  // NaN != NaN, so the equality check for fault traces is byte-level.
+  EXPECT_EQ(encode_trace(decoded.value()), bytes);
+  EXPECT_TRUE(std::isnan(decoded.value().scans[0].scan.samples[0].rssi_dbm));
+  EXPECT_TRUE(std::isinf(decoded.value().scans[1].scan.samples[0].rssi_dbm));
+}
+
+TEST(TraceCodec, EmptyTraceRoundTrips) {
+  ScanTrace trace;
+  trace.scenario = "empty";
+  trace.device_count = 0;
+  const Result<ScanTrace> decoded = try_decode_trace(encode_trace(trace));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), trace);
+}
+
+TEST(TraceCodec, ScansByDeviceGroupsInCaptureOrder) {
+  ScanTrace trace = make_sample_trace();
+  TraceScan extra = trace.scans[0];
+  extra.scan.timestamp_s = 2.0;
+  trace.scans.push_back(extra);
+
+  const auto by_device = trace.scans_by_device();
+  ASSERT_EQ(by_device.size(), 2u);
+  EXPECT_EQ(by_device[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(by_device[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(TraceCodec, RejectsBadMagic) {
+  std::string bytes = encode_trace(make_sample_trace());
+  bytes[0] = 'X';
+  const auto decoded = try_decode_trace(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code(), ErrorCode::kCorrupt);
+}
+
+TEST(TraceCodec, RejectsUnknownVersion) {
+  std::string bytes = encode_trace(make_sample_trace());
+  bytes[4] = static_cast<char>(kTraceVersion + 1);  // version varint
+  const auto decoded = try_decode_trace(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code(), ErrorCode::kCorrupt);
+}
+
+TEST(TraceCodec, RejectsTruncationAtEveryPrefix) {
+  const std::string bytes = encode_trace(make_sample_trace());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const auto decoded = try_decode_trace(bytes.substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix length " << len;
+    EXPECT_EQ(decoded.error().code(), ErrorCode::kCorrupt);
+  }
+}
+
+TEST(TraceCodec, RejectsTrailingGarbage) {
+  std::string bytes = encode_trace(make_sample_trace());
+  bytes += "tail";
+  const auto decoded = try_decode_trace(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code(), ErrorCode::kCorrupt);
+}
+
+TEST(TraceCodec, RejectsEveryOneByteCorruptionOrStaysConsistent) {
+  // Flipping any single byte must either fail with kCorrupt or decode
+  // to a trace that re-encodes consistently — never crash or hang.
+  const std::string bytes = encode_trace(make_sample_trace());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    const auto decoded = try_decode_trace(mutated);
+    if (decoded.ok()) {
+      // What decoded must at least re-encode/re-decode stably.
+      const std::string reencoded = encode_trace(decoded.value());
+      const auto redecoded = try_decode_trace(reencoded);
+      ASSERT_TRUE(redecoded.ok()) << "byte " << i;
+      EXPECT_EQ(encode_trace(redecoded.value()), reencoded) << "byte " << i;
+    } else {
+      EXPECT_EQ(decoded.error().code(), ErrorCode::kCorrupt) << "byte " << i;
+    }
+  }
+}
+
+TEST(TraceCodec, FileRoundTrip) {
+  const ScanTrace trace = make_sample_trace();
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "loctk_trace_test.ltrc";
+  write_trace(path, trace);
+  const Result<ScanTrace> loaded = try_read_trace(path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value(), trace);
+}
+
+TEST(TraceCodec, MissingFileReportsIoError) {
+  const auto loaded = try_read_trace("/nonexistent/trace.ltrc");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code(), ErrorCode::kIo);
+}
+
+}  // namespace
+}  // namespace loctk::testkit
