@@ -13,7 +13,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdint>
+#include <string_view>
 
+#include "base/simd.hpp"
 #include "bench_metrics.hpp"
 #include "bench_util.hpp"
 #include "concurrency/thread_pool.hpp"
@@ -213,7 +216,65 @@ void BM_Batch64_DenseParallel(benchmark::State& state) {
   state.counters["obs"] = static_cast<double>(c.batch.size());
 }
 BENCHMARK(BM_Batch64_DenseParallel)->Arg(2)->Arg(4)
-    ->Unit(benchmark::kMillisecond);
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// The v2 scoring engine: cache-blocked score_batch throughput
+// (observations/sec via items_per_second) and the coarse-to-fine
+// pruned locate path vs the exhaustive sweep. `simd` in the counters
+// records which backend the binary dispatched to ("avx2"/"neon" = 1,
+// scalar fallback = 0) so the JSON trajectory stays interpretable
+// across build configurations.
+void BM_ScoreBatch64_Blocked(benchmark::State& state) {
+  const OfficeCorpus& c = office();
+  const core::ProbabilisticLocator locator(c.db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locator.score_batch(c.batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(c.batch.size()));
+  state.counters["points"] = static_cast<double>(c.db.size());
+  state.counters["simd"] = std::string_view(simd::backend()) != "scalar";
+}
+BENCHMARK(BM_ScoreBatch64_Blocked)->Unit(benchmark::kMillisecond);
+
+void BM_ScoreBatch64_BlockedParallel(benchmark::State& state) {
+  const OfficeCorpus& c = office();
+  const core::ProbabilisticLocator locator(c.db);
+  concurrency::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locator.score_batch(c.batch, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(c.batch.size()));
+}
+BENCHMARK(BM_ScoreBatch64_BlockedParallel)->Arg(2)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_Locate_Pruned(benchmark::State& state) {
+  const OfficeCorpus& c = office();
+  core::ProbabilisticConfig config;
+  config.prune_top_k = static_cast<int>(state.range(0));
+  const core::ProbabilisticLocator locator(c.db, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locator.locate(c.observation));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["points"] = static_cast<double>(c.db.size());
+  state.counters["top_k"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Locate_Pruned)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Knn_Pruned(benchmark::State& state) {
+  const OfficeCorpus& c = office();
+  const core::KnnLocator knn(
+      c.db, core::KnnConfig{.k = 3, .prune_top_k = 32});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.locate(c.observation));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Knn_Pruned)->Unit(benchmark::kMicrosecond);
 
 // Compilation cost itself, to show it amortizes.
 void BM_CompileDatabase(benchmark::State& state) {

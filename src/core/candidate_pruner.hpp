@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file candidate_pruner.hpp
+/// Coarse-to-fine candidate selection for the scoring engine.
+///
+/// Brute-force scoring visits every training point per observation.
+/// On campus-scale maps almost all of those rows lose by a mile: a
+/// training point that never heard the observation's strongest APs is
+/// not going to win the likelihood arg-max. The pruner exploits that
+/// with the same inverted-index idea `signal_index` applies to
+/// geometric NN search, but specialized to the SoA scoring path:
+///
+///  1. At build time, a CSR postings list maps each universe slot to
+///     the training rows trained on it.
+///  2. Per query, take the `strongest_aps` loudest observed in-universe
+///     slots and walk their postings to collect candidate rows. Each
+///     touched row is then coarse-scored over ALL of the query's
+///     observed slots: the negated squared dBm gap, with untrained
+///     slots charged against `missing_dbm` — the exact k-NN distance
+///     restricted to the observed dimensions, and a penalty-aware
+///     proxy for the probabilistic likelihood. Scoring only touched
+///     rows keeps the cost O(candidates x observed APs), far below an
+///     exact full sweep.
+///  3. Keep the best `top_k` rows; the caller scores ONLY those with
+///     the exact kernel, so every returned estimate is exactly scored
+///     (pruning can change *which* rows compete, never their scores).
+///
+/// Degenerate-query contract: `select` returns an empty vector — and
+/// the caller MUST fall back to the full exact pass — when the
+/// database is small enough that pruning cannot shrink the work
+/// (point_count <= top_k), when the observation has no finite
+/// in-universe AP, or when no training row matches any strong AP.
+/// Locators additionally fall back when the pruned pass yields no
+/// valid estimate, so enabling pruning can never turn a valid answer
+/// into an invalid one.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/compiled_db.hpp"
+
+namespace loctk::core {
+
+struct PrunerConfig {
+  /// How many of the observation's loudest in-universe APs seed the
+  /// candidate set.
+  int strongest_aps = 4;
+  /// Max candidate rows returned for exact scoring.
+  int top_k = 32;
+  /// Fill level charged when a candidate row never trained an
+  /// observed slot — keeps the coarse ranking congruent with the
+  /// k-NN distance (KnnConfig::missing_dbm) and penalty-aware for
+  /// the probabilistic likelihood.
+  double missing_dbm = -100.0;
+};
+
+class CandidatePruner {
+ public:
+  CandidatePruner(std::shared_ptr<const CompiledDatabase> compiled,
+                  PrunerConfig config = {});
+
+  /// Candidate training rows for `q`, sorted ascending (database
+  /// order, so downstream scans stay deterministic and prefetchable).
+  /// Empty means "degenerate — run the full pass" (see file comment).
+  std::vector<std::uint32_t> select(const CompiledObservation& q) const;
+
+  const PrunerConfig& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const CompiledDatabase> compiled_;
+  PrunerConfig config_;
+  /// CSR postings: rows trained on slot s live at
+  /// postings_[offsets_[s] .. offsets_[s + 1]).
+  std::vector<std::uint32_t> postings_;
+  std::vector<std::uint32_t> offsets_;
+};
+
+}  // namespace loctk::core

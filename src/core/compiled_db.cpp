@@ -21,7 +21,8 @@ CompiledDatabase::CompiledDatabase(traindb::TrainingDatabase&& db)
 void CompiledDatabase::build_matrices() {
   points_ = db_->size();
   universe_ = db_->bssid_universe().size();
-  const std::size_t cells = points_ * universe_;
+  stride_ = simd::padded_stride(universe_);
+  const std::size_t cells = points_ * stride_;
   mean_.assign(cells, 0.0);
   stddev_.assign(cells, 0.0);
   mask_.assign(cells, 0.0);
@@ -31,7 +32,7 @@ void CompiledDatabase::build_matrices() {
   const auto& universe = db_->bssid_universe();
   for (std::size_t p = 0; p < points_; ++p) {
     const traindb::TrainingPoint& tp = db_->points()[p];
-    const std::size_t base = p * universe_;
+    const std::size_t base = p * stride_;
     // per_ap and the universe are both sorted by BSSID: one merge
     // interns the whole row.
     std::size_t j = 0;
@@ -62,9 +63,21 @@ std::optional<std::uint32_t> CompiledDatabase::slot_of(
 CompiledObservation CompiledDatabase::compile_observation(
     const Observation& obs) const {
   CompiledObservation q;
-  q.mean_dbm.assign(universe_, 0.0);
-  q.present.assign(universe_, 0.0);
+  compile_observation_into(obs, &q);
+  return q;
+}
+
+void CompiledDatabase::compile_observation_into(
+    const Observation& obs, CompiledObservation* out) const {
+  CompiledObservation& q = *out;
+  // Padded to the row stride so the kernels' aligned loads cover the
+  // query vectors too; pad cells stay 0.0 / not-present.
+  q.mean_dbm.assign(stride_, 0.0);
+  q.present.assign(stride_, 0.0);
+  q.outside_universe = 0;
   q.total_aps = obs.ap_count();
+  q.slots.clear();
+  q.slot_aps.clear();
   q.slots.reserve(obs.ap_count());
   q.slot_aps.reserve(obs.ap_count());
 
@@ -82,7 +95,6 @@ CompiledObservation CompiledDatabase::compile_observation(
       ++q.outside_universe;
     }
   }
-  return q;
 }
 
 std::shared_ptr<const CompiledDatabase> compile_collection(

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/simd.hpp"
 #include "core/observation.hpp"
 #include "traindb/database.hpp"
 #include "traindb/generator.hpp"
@@ -37,10 +38,13 @@ namespace loctk::core {
 struct CompiledObservation {
   /// Mean dBm per universe slot; 0.0 where the AP was not heard (the
   /// presence mask gates every use, so the fill value never leaks).
-  std::vector<double> mean_dbm;
+  /// 64-byte aligned and padded to the database's row stride so the
+  /// SIMD kernels can use unmasked aligned loads.
+  simd::AlignedDoubles mean_dbm;
   /// 1.0 where the slot was heard, 0.0 otherwise — kept as doubles so
-  /// kernels can multiply instead of branch.
-  std::vector<double> present;
+  /// kernels can multiply instead of branch. Same alignment/padding
+  /// as `mean_dbm`; pad cells are 0.0 (never present).
+  simd::AlignedDoubles present;
   /// Occupied slot ids, ascending (== BSSID order).
   std::vector<std::uint32_t> slots;
   /// Source aggregate per occupied slot, aligned with `slots`.
@@ -84,6 +88,12 @@ class CompiledDatabase {
   const traindb::TrainingDatabase& database() const { return *db_; }
   std::size_t point_count() const { return points_; }
   std::size_t universe_size() const { return universe_; }
+  /// Doubles per matrix row: `universe_size()` rounded up to a
+  /// multiple of 8 (one 64-byte cache line of doubles), so every row
+  /// starts 64-byte aligned and vector loads need no tail masking.
+  /// Cells in [universe_size(), row_stride()) are pad: mask 0, value
+  /// 0.0.
+  std::size_t row_stride() const { return stride_; }
   bool empty() const { return points_ == 0; }
 
   /// Universe slot of `bssid` (the interned id); nullopt when unknown.
@@ -92,21 +102,29 @@ class CompiledDatabase {
   /// Lowers an observation onto this universe in one sorted merge.
   CompiledObservation compile_observation(const Observation& obs) const;
 
-  /// Row-major accessors; each row has `universe_size()` doubles.
+  /// compile_observation into an existing object, reusing its buffer
+  /// capacity — the batched locate path compiles thousands of queries
+  /// through per-thread scratch without touching the allocator.
+  void compile_observation_into(const Observation& obs,
+                                CompiledObservation* out) const;
+
+  /// Row-major accessors; each row has `universe_size()` meaningful
+  /// doubles followed by zero pad up to `row_stride()`. Every row
+  /// pointer is 64-byte aligned.
   const double* mean_row(std::size_t point) const {
-    return mean_.data() + point * universe_;
+    return mean_.data() + point * stride_;
   }
   const double* stddev_row(std::size_t point) const {
-    return stddev_.data() + point * universe_;
+    return stddev_.data() + point * stride_;
   }
-  /// Presence as a 1.0/0.0 multiplicative mask.
+  /// Presence as a 1.0/0.0 multiplicative mask (exact 0.0 in pad).
   const double* mask_row(std::size_t point) const {
-    return mask_.data() + point * universe_;
+    return mask_.data() + point * stride_;
   }
   /// Sample counts as doubles (0 where absent) — pooled-variance
   /// weights.
   const double* weight_row(std::size_t point) const {
-    return weight_.data() + point * universe_;
+    return weight_.data() + point * stride_;
   }
 
   /// APs trained at `point` (row popcount).
@@ -126,10 +144,12 @@ class CompiledDatabase {
   const traindb::TrainingDatabase* db_;  // non-owning
   std::size_t points_ = 0;
   std::size_t universe_ = 0;
-  std::vector<double> mean_;
-  std::vector<double> stddev_;
-  std::vector<double> mask_;
-  std::vector<double> weight_;
+  /// Padded row stride (simd::padded_stride(universe_)).
+  std::size_t stride_ = 0;
+  simd::AlignedDoubles mean_;
+  simd::AlignedDoubles stddev_;
+  simd::AlignedDoubles mask_;
+  simd::AlignedDoubles weight_;
   std::vector<int> trained_count_;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/score_kernels.hpp"
+
 namespace loctk::core {
 
 HistogramLocator::HistogramLocator(const traindb::TrainingDatabase& db,
@@ -37,27 +39,39 @@ HistogramLocator::HistogramLocator(
     histograms_.push_back(std::move(per_ap));
   }
 
-  // Flatten every histogram into a dense log-probability row over its
-  // universe slot, so scoring is table lookups instead of per-sample
-  // smoothing arithmetic.
+  // Flatten every histogram into per-bin log-probabilities, stored
+  // points-major: one padded column of training points per
+  // <slot, bin> cell, so scoring is SIMD axpys across points instead
+  // of per-point table walks. Pad cells stay 0.0 and the transposed
+  // mask gates untrained pairs exactly as the row-major walk did.
+  const std::size_t points = compiled_->point_count();
   const std::size_t universe = compiled_->universe_size();
   const std::size_t row = bins_ + 1;
-  tables_.assign(compiled_->point_count() * universe * row, 0.0);
-  for (std::size_t p = 0; p < compiled_->point_count(); ++p) {
+  point_stride_ = simd::padded_stride(points);
+  cols_.assign(universe * row * point_stride_, 0.0);
+  mask_cols_.assign(universe * point_stride_, 0.0);
+  trained_counts_.assign(point_stride_, 0.0);
+  for (std::size_t p = 0; p < points; ++p) {
     const traindb::TrainingPoint& tp = db.points()[p];
+    trained_counts_[p] = static_cast<double>(compiled_->trained_count(p));
+    const double* mask = compiled_->mask_row(p);
+    for (std::size_t u = 0; u < universe; ++u) {
+      mask_cols_[u * point_stride_ + p] = mask[u];
+    }
     for (std::size_t a = 0; a < tp.per_ap.size(); ++a) {
       const auto slot = compiled_->slot_of(tp.per_ap[a].bssid);
       if (!slot) continue;
       const stats::Histogram& h = histograms_[p][a];
-      double* cells = tables_.data() + (p * universe + *slot) * row;
+      const std::size_t base = *slot * row;
       const double denom =
           static_cast<double>(h.total()) +
           config_.alpha * static_cast<double>(bins_);
       for (std::size_t b = 0; b < bins_; ++b) {
-        cells[b] = std::log(
+        cols_[(base + b) * point_stride_ + p] = std::log(
             (static_cast<double>(h.count(b)) + config_.alpha) / denom);
       }
-      cells[bins_] = std::log(config_.alpha / denom);
+      cols_[(base + bins_) * point_stride_ + p] =
+          std::log(config_.alpha / denom);
     }
   }
 }
@@ -136,35 +150,48 @@ LocationEstimate HistogramLocator::locate(const Observation& obs) const {
   LocationEstimate est;
   if (obs.empty() || compiled_->empty()) return est;
 
-  const std::size_t universe = compiled_->universe_size();
+  const std::size_t points = compiled_->point_count();
   const std::size_t row = bins_ + 1;
   const CompiledObservation q = compiled_->compile_observation(obs);
   const std::vector<SlotBins> query = compile_query(q);
 
+  // Vectorized across training points: each observed (slot, bin,
+  // count) is one axpy over the <slot, bin> column, then the slot's
+  // partial sums fold into the per-point totals gated by the
+  // transposed mask. Per point this reproduces the former row-major
+  // walk's accumulation order exactly (bins in sb order, one
+  // ap_sum * inv_n added per slot, masked slots contributing exact
+  // zeros instead of being skipped).
+  simd::AlignedDoubles total(point_stride_, 0.0);
+  simd::AlignedDoubles common(point_stride_, 0.0);
+  simd::AlignedDoubles slot_sum(point_stride_, 0.0);
+  for (const SlotBins& sb : query) {
+    std::fill(slot_sum.begin(), slot_sum.end(), 0.0);
+    const std::size_t base = sb.slot * row;
+    for (const auto& [bin, count] : sb.bins) {
+      kernels::axpy<simd::Vec4d>(
+          count, cols_.data() + (base + bin) * point_stride_,
+          slot_sum.data(), point_stride_);
+    }
+    kernels::hist_fold_slot<simd::Vec4d>(
+        slot_sum.data(), mask_cols_.data() + sb.slot * point_stride_,
+        sb.inv_n, total.data(), common.data(), point_stride_);
+  }
+
+  // Penalties: trained-but-unheard plus heard-but-untrained (inside
+  // or outside the trained universe). All counts are small integers,
+  // so the double arithmetic is exact.
+  const double observed =
+      static_cast<double>(q.in_universe() + q.outside_universe);
   double best = -std::numeric_limits<double>::infinity();
   std::size_t best_idx = 0;
-  for (std::size_t p = 0; p < compiled_->point_count(); ++p) {
-    const double* mask = compiled_->mask_row(p);
-    const double* point_tables = tables_.data() + p * universe * row;
-    double total = 0.0;
-    int common = 0;
-    for (const SlotBins& sb : query) {
-      if (mask[sb.slot] == 0.0) continue;
-      const double* cells = point_tables + sb.slot * row;
-      double ap_sum = 0.0;
-      for (const auto& [bin, count] : sb.bins) {
-        ap_sum += count * cells[bin];
-      }
-      total += ap_sum * sb.inv_n;
-      ++common;
-    }
-    // Penalties: trained-but-unheard plus heard-but-untrained (inside
-    // or outside the trained universe).
-    const int penalties = compiled_->trained_count(p) + q.in_universe() +
-                          q.outside_universe - 2 * common;
-    total += config_.missing_ap_log_penalty * static_cast<double>(penalties);
-    if (total > best) {
-      best = total;
+  for (std::size_t p = 0; p < points; ++p) {
+    const double penalties =
+        trained_counts_[p] + observed - 2.0 * common[p];
+    const double score =
+        total[p] + config_.missing_ap_log_penalty * penalties;
+    if (score > best) {
+      best = score;
       best_idx = p;
     }
   }

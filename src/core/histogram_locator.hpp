@@ -11,11 +11,14 @@
 /// database generated with `GeneratorConfig::keep_samples = true`.
 ///
 /// locate() scores through a compiled table: every <point, universe
-/// slot> histogram is flattened to a per-bin log-probability row and
-/// the observation's readings are reduced to per-slot bin counts, so
-/// the hot loop is integer-indexed table lookups with no string
-/// compares or per-sample log() calls. The per-index
-/// `log_likelihood()` keeps the readable string-keyed reference form.
+/// slot> histogram is flattened to per-bin log-probabilities and the
+/// observation's readings are reduced to per-slot bin counts, so the
+/// hot loop needs no string compares or per-sample log() calls. The
+/// table is stored points-major (one padded, 64-byte-aligned column
+/// of training points per <slot, bin> cell), so scoring vectorizes
+/// across training points: each observed (slot, bin, count) is one
+/// SIMD axpy over the whole column. The per-index `log_likelihood()`
+/// keeps the readable string-keyed reference form.
 
 #include <cstdint>
 #include <vector>
@@ -72,12 +75,22 @@ class HistogramLocator : public Locator {
   std::shared_ptr<const CompiledDatabase> compiled_;
   HistogramLocatorConfig config_;
   std::size_t bins_ = 0;
+  /// Training points padded up to a simd::kLanes multiple — the
+  /// column length of every transposed table below.
+  std::size_t point_stride_ = 0;
   /// histograms_[point][ap-slot] aligned with points()[i].per_ap.
   std::vector<std::vector<stats::Histogram>> histograms_;
-  /// Row-major point x universe x (bins_ + 1) log-probability table;
-  /// the trailing cell of each row is the out-of-range probability.
-  /// Rows for untrained slots are never read (presence-mask gated).
-  std::vector<double> tables_;
+  /// Points-major log-probability table: the column for <slot, bin>
+  /// starts at cols_[(slot * (bins_ + 1) + bin) * point_stride_];
+  /// bin == bins_ is the out-of-range cell. Cells for untrained
+  /// <point, slot> pairs are 0.0 and gated out by `mask_cols_`.
+  simd::AlignedDoubles cols_;
+  /// Transposed presence mask, one padded column per slot:
+  /// mask_cols_[slot * point_stride_ + point].
+  simd::AlignedDoubles mask_cols_;
+  /// trained_count(p) as doubles, padded, for the vectorized penalty
+  /// term.
+  simd::AlignedDoubles trained_counts_;
 };
 
 }  // namespace loctk::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "core/score_kernels.hpp"
+
 namespace loctk::core {
 
 KnnLocator::KnnLocator(const traindb::TrainingDatabase& db, KnnConfig config)
@@ -15,14 +17,22 @@ KnnLocator::KnnLocator(std::shared_ptr<const CompiledDatabase> compiled,
   config_.k = std::max(1, config_.k);
   const std::size_t points = compiled_->point_count();
   const std::size_t universe = compiled_->universe_size();
-  filled_.resize(points * universe);
+  const std::size_t stride = compiled_->row_stride();
+  // Pad cells stay 0.0 (zero-init) to match the query vector's pad,
+  // so padded lanes contribute exact zero to every distance.
+  filled_.assign(points * stride, 0.0);
   for (std::size_t p = 0; p < points; ++p) {
     const double* mean = compiled_->mean_row(p);
     const double* mask = compiled_->mask_row(p);
-    double* row = filled_.data() + p * universe;
+    double* row = filled_.data() + p * stride;
     for (std::size_t u = 0; u < universe; ++u) {
       row[u] = mask[u] != 0.0 ? mean[u] : config_.missing_dbm;
     }
+  }
+  if (config_.prune_top_k > 0) {
+    pruner_ = std::make_shared<const CandidatePruner>(
+        compiled_, PrunerConfig{.strongest_aps = config_.prune_strongest_aps,
+                                .top_k = config_.prune_top_k});
   }
 }
 
@@ -50,8 +60,9 @@ LocationEstimate KnnLocator::locate(const Observation& obs) const {
 
   const std::size_t points = compiled_->point_count();
   const std::size_t universe = compiled_->universe_size();
+  const std::size_t stride = compiled_->row_stride();
   const CompiledObservation cq = compiled_->compile_observation(obs);
-  std::vector<double> query(universe);
+  simd::AlignedDoubles query(stride, 0.0);
   for (std::size_t u = 0; u < universe; ++u) {
     query[u] =
         cq.present[u] != 0.0 ? cq.mean_dbm[u] : config_.missing_dbm;
@@ -62,15 +73,21 @@ LocationEstimate KnnLocator::locate(const Observation& obs) const {
     double distance;
   };
   std::vector<Neighbor> neighbors;
-  neighbors.reserve(points);
-  for (std::size_t p = 0; p < points; ++p) {
-    const double* row = filled_.data() + p * universe;
-    double sum2 = 0.0;
-    for (std::size_t u = 0; u < universe; ++u) {
-      const double d = row[u] - query[u];
-      sum2 += d * d;
-    }
+  auto rank_row = [&](std::size_t p) {
+    const double sum2 = kernels::sq_dist_row<simd::Vec4d>(
+        filled_.data() + p * stride, query.data(), stride);
     neighbors.push_back({&compiled_->point(p), std::sqrt(sum2)});
+  };
+  // Coarse-to-fine: rank only the prefiltered candidates (exact
+  // distances), or everything when pruning is off or degenerate.
+  std::vector<std::uint32_t> candidates;
+  if (pruner_) candidates = pruner_->select(cq);
+  if (!candidates.empty()) {
+    neighbors.reserve(candidates.size());
+    for (const std::uint32_t p : candidates) rank_row(p);
+  } else {
+    neighbors.reserve(points);
+    for (std::size_t p = 0; p < points; ++p) rank_row(p);
   }
   const std::size_t k =
       std::min<std::size_t>(static_cast<std::size_t>(config_.k),

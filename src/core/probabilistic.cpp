@@ -6,6 +6,7 @@
 
 #include "base/metrics.hpp"
 #include "concurrency/parallel_for.hpp"
+#include "core/score_kernels.hpp"
 #include "stats/gaussian.hpp"
 
 namespace loctk::core {
@@ -26,6 +27,57 @@ metrics::HistogramMetric& score_latency() {
       metrics::histogram("score.latency.seconds");
   return h;
 }
+metrics::Counter& prune_queries() {
+  static metrics::Counter& c = metrics::counter("score.prune.queries");
+  return c;
+}
+metrics::Counter& prune_candidates_scored() {
+  static metrics::Counter& c =
+      metrics::counter("score.prune.candidates_scored");
+  return c;
+}
+metrics::Counter& prune_fallback_full() {
+  static metrics::Counter& c =
+      metrics::counter("score.prune.fallback_full");
+  return c;
+}
+metrics::Gauge& prune_database_points() {
+  static metrics::Gauge& g = metrics::gauge("score.prune.database_points");
+  return g;
+}
+
+// The same production counters Locator::locate_batch feeds, fetched
+// by name so the quad-kernel override below stays indistinguishable
+// from the base path in every metrics invariant.
+metrics::Counter& locate_calls() {
+  static metrics::Counter& c = metrics::counter("locate.calls");
+  return c;
+}
+metrics::Counter& locate_degenerate() {
+  static metrics::Counter& c = metrics::counter("locate.degenerate");
+  return c;
+}
+metrics::HistogramMetric& locate_latency() {
+  static metrics::HistogramMetric& h =
+      metrics::histogram("locate.latency.seconds");
+  return h;
+}
+metrics::Counter& locate_batch_calls() {
+  static metrics::Counter& c = metrics::counter("locate.batch.calls");
+  return c;
+}
+metrics::Counter& locate_batch_observations() {
+  static metrics::Counter& c =
+      metrics::counter("locate.batch.observations");
+  return c;
+}
+
+/// Cache-blocking geometry for score_batch: observations are chunked
+/// into groups and the training rows into tiles, so one tile of
+/// mean/mask/log_norm/inv_two_var panels is scored against the whole
+/// group while it is L1/L2-resident.
+constexpr std::size_t kBatchGroup = 8;
+constexpr std::size_t kPointTile = 64;
 
 }  // namespace
 
@@ -38,6 +90,13 @@ ProbabilisticLocator::ProbabilisticLocator(
     ProbabilisticConfig config)
     : compiled_(std::move(compiled)), config_(config) {
   build_kernel_tables();
+  if (config_.prune_top_k > 0) {
+    pruner_ = std::make_shared<const CandidatePruner>(
+        compiled_, PrunerConfig{.strongest_aps = config_.prune_strongest_aps,
+                                .top_k = config_.prune_top_k});
+    prune_database_points().set(
+        static_cast<double>(compiled_->point_count()));
+  }
 }
 
 void ProbabilisticLocator::build_kernel_tables() {
@@ -64,14 +123,17 @@ void ProbabilisticLocator::build_kernel_tables() {
     }
   }
 
-  // Per-cell Gaussian constants. Untrained slots get exact zeros so
-  // the branchless kernel's masked terms stay finite.
-  log_norm_.assign(points * universe, 0.0);
-  inv_two_var_.assign(points * universe, 0.0);
+  // Per-cell Gaussian constants. Untrained slots (and the stride pad)
+  // get exact zeros so the branchless kernel's masked terms stay
+  // finite; the tables share the compiled matrices' aligned padded
+  // layout so score_point can run unmasked vector loads.
+  const std::size_t stride = compiled_->row_stride();
+  log_norm_.assign(points * stride, 0.0);
+  inv_two_var_.assign(points * stride, 0.0);
   for (std::size_t p = 0; p < points; ++p) {
     const double* sd = compiled_->stddev_row(p);
     const double* mask = compiled_->mask_row(p);
-    const std::size_t base = p * universe;
+    const std::size_t base = p * stride;
     for (std::size_t u = 0; u < universe; ++u) {
       if (mask[u] == 0.0) continue;
       const double sigma =
@@ -137,28 +199,55 @@ double ProbabilisticLocator::log_likelihood(
 double ProbabilisticLocator::score_point(std::size_t point,
                                          const CompiledObservation& q,
                                          int* common_aps) const {
-  const std::size_t universe = compiled_->universe_size();
-  const double* mean = compiled_->mean_row(point);
-  const double* mask = compiled_->mask_row(point);
-  const double* log_norm = log_norm_.data() + point * universe;
-  const double* inv_two_var = inv_two_var_.data() + point * universe;
-
-  double gauss = 0.0;
-  double common = 0.0;
-  for (std::size_t u = 0; u < universe; ++u) {
-    const double both = mask[u] * q.present[u];
-    const double d = q.mean_dbm[u] - mean[u];
-    gauss += both * (log_norm[u] - d * d * inv_two_var[u]);
-    common += both;
-  }
-  const int common_i = static_cast<int>(common);
+  const std::size_t stride = compiled_->row_stride();
+  const kernels::ProbRowScore s = kernels::prob_score_row<simd::Vec4d>(
+      compiled_->mean_row(point), compiled_->mask_row(point),
+      log_norm_.data() + point * stride,
+      inv_two_var_.data() + point * stride, q.mean_dbm.data(),
+      q.present.data(), stride);
+  const int common_i = static_cast<int>(s.common);
   // Penalties = trained-only + observed-only (inside or outside the
   // trained universe).
   const int penalties = compiled_->trained_count(point) + q.in_universe() +
                         q.outside_universe - 2 * common_i;
   if (common_aps) *common_aps = common_i;
-  return gauss +
+  return s.gauss +
          config_.missing_ap_log_penalty * static_cast<double>(penalties);
+}
+
+ScoredPoint ProbabilisticLocator::scored_point(
+    std::size_t point, const CompiledObservation& q) const {
+  ScoredPoint sp;
+  sp.point = &compiled_->point(point);
+  sp.log_likelihood = score_point(point, q, &sp.common_aps);
+  if (sp.common_aps < config_.min_common_aps) {
+    sp.log_likelihood = -std::numeric_limits<double>::infinity();
+  }
+  return sp;
+}
+
+LocationEstimate ProbabilisticLocator::best_of_rows(
+    std::span<const std::uint32_t> rows,
+    const CompiledObservation& q) const {
+  LocationEstimate est;
+  ScoredPoint best;
+  best.log_likelihood = -std::numeric_limits<double>::infinity();
+  for (const std::uint32_t p : rows) {
+    const ScoredPoint sp = scored_point(p, q);
+    if (best.point == nullptr || sp.log_likelihood > best.log_likelihood) {
+      best = sp;
+    }
+  }
+  if (best.point == nullptr ||
+      best.log_likelihood == -std::numeric_limits<double>::infinity()) {
+    return est;
+  }
+  est.valid = true;
+  est.position = best.point->position;
+  est.location_name = best.point->location;
+  est.score = best.log_likelihood;
+  est.aps_used = best.common_aps;
+  return est;
 }
 
 std::vector<ScoredPoint> ProbabilisticLocator::score_all(
@@ -167,13 +256,7 @@ std::vector<ScoredPoint> ProbabilisticLocator::score_all(
   std::vector<ScoredPoint> scores;
   scores.reserve(compiled_->point_count());
   for (std::size_t p = 0; p < compiled_->point_count(); ++p) {
-    ScoredPoint sp;
-    sp.point = &compiled_->point(p);
-    sp.log_likelihood = score_point(p, q, &sp.common_aps);
-    if (sp.common_aps < config_.min_common_aps) {
-      sp.log_likelihood = -std::numeric_limits<double>::infinity();
-    }
-    scores.push_back(sp);
+    scores.push_back(scored_point(p, q));
   }
   return scores;
 }
@@ -184,35 +267,213 @@ std::vector<std::vector<ScoredPoint>> ProbabilisticLocator::score_batch(
   score_batch_observations().add(obs.size());
   metrics::ScopedTimer timer(score_latency(), obs.size());
   std::vector<std::vector<ScoredPoint>> out(obs.size());
-  auto body = [&](std::size_t i) { out[i] = score_all(obs[i]); };
-  if (pool && obs.size() > 1) {
-    concurrency::parallel_for(*pool, 0, obs.size(), body);
+  const std::size_t points = compiled_->point_count();
+  // Cache-blocked sweep: each worker takes a group of observations,
+  // compiles them once, then walks the training rows in tiles scoring
+  // the whole group per tile — the tile's four table panels stay
+  // cache-resident across the group instead of being re-streamed per
+  // observation. Per-<observation, row> arithmetic is score_point
+  // verbatim, so results are identical to score_all per element.
+  const std::size_t groups = (obs.size() + kBatchGroup - 1) / kBatchGroup;
+  auto body = [&](std::size_t g) {
+    const std::size_t begin = g * kBatchGroup;
+    const std::size_t end = std::min(begin + kBatchGroup, obs.size());
+    std::vector<CompiledObservation> qs;
+    qs.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      qs.push_back(compiled_->compile_observation(obs[i]));
+      out[i].reserve(points);
+    }
+    for (std::size_t p0 = 0; p0 < points; p0 += kPointTile) {
+      const std::size_t p1 = std::min(p0 + kPointTile, points);
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t p = p0; p < p1; ++p) {
+          out[i].push_back(scored_point(p, qs[i - begin]));
+        }
+      }
+    }
+  };
+  if (pool && groups > 1) {
+    concurrency::parallel_for(*pool, 0, groups, body);
   } else {
-    for (std::size_t i = 0; i < obs.size(); ++i) body(i);
+    for (std::size_t g = 0; g < groups; ++g) body(g);
   }
   return out;
+}
+
+LocationEstimate ProbabilisticLocator::best_of_all(
+    const CompiledObservation& q) const {
+  LocationEstimate est;
+  ScoredPoint best;
+  best.log_likelihood = -std::numeric_limits<double>::infinity();
+  for (std::size_t p = 0; p < compiled_->point_count(); ++p) {
+    const ScoredPoint sp = scored_point(p, q);
+    if (best.point == nullptr || sp.log_likelihood > best.log_likelihood) {
+      best = sp;
+    }
+  }
+  if (best.point == nullptr ||
+      best.log_likelihood == -std::numeric_limits<double>::infinity()) {
+    return est;
+  }
+  est.valid = true;
+  est.position = best.point->position;
+  est.location_name = best.point->location;
+  est.score = best.log_likelihood;
+  est.aps_used = best.common_aps;
+  return est;
+}
+
+void ProbabilisticLocator::locate_quad(const CompiledObservation* qs,
+                                       LocationEstimate* out) const {
+  using V = simd::Vec4d;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const std::size_t stride = compiled_->row_stride();
+  const std::size_t points = compiled_->point_count();
+
+  // Transpose the four compiled queries into slot-major panels (one
+  // aligned vector of four observations per universe slot) and hoist
+  // each observation's constant penalty base K = in + outside. The
+  // panels are per-thread scratch: every cell is overwritten below,
+  // so only the capacity is reused across quads.
+  thread_local simd::AlignedDoubles qm_t;
+  thread_local simd::AlignedDoubles qp_t;
+  qm_t.resize(stride * simd::kLanes);
+  qp_t.resize(stride * simd::kLanes);
+  alignas(simd::kAlignment) double k_base[simd::kLanes];
+  for (std::size_t j = 0; j < simd::kLanes; ++j) {
+    for (std::size_t u = 0; u < stride; ++u) {
+      qm_t[u * simd::kLanes + j] = qs[j].mean_dbm[u];
+      qp_t[u * simd::kLanes + j] = qs[j].present[u];
+    }
+    k_base[j] =
+        static_cast<double>(qs[j].in_universe() + qs[j].outside_universe);
+  }
+
+  // Per-row epilogue, all in lanes. The scalar path computes
+  //   penalties = trained + in + outside - 2*common   (exact small ints)
+  //   ll = gauss + penalty * penalties; common < min  ->  -inf
+  // and the lane arithmetic below evaluates the same exact integer
+  // values and the same two rounding ops (penalty*pen, gauss + x), so
+  // each lane matches scored_point() bit for bit. The arg-max uses the
+  // same strictly-greater update as best_of_all: rows scanned in
+  // order, first maximum wins, -inf rows can never displace anything.
+  const V v_k = V::load(k_base);
+  const V v_penalty = V::broadcast(config_.missing_ap_log_penalty);
+  const V v_min_common =
+      V::broadcast(static_cast<double>(config_.min_common_aps));
+  const V v_ninf = V::broadcast(kNegInf);
+  const V v_two = V::broadcast(2.0);
+  V best_ll = v_ninf;
+  V best_row = V::zero();
+  V best_common = V::zero();
+  for (std::size_t p = 0; p < points; ++p) {
+    V gauss, common;
+    kernels::prob_score_row_obs4<V>(
+        compiled_->mean_row(p), compiled_->mask_row(p),
+        log_norm_.data() + p * stride, inv_two_var_.data() + p * stride,
+        qm_t.data(), qp_t.data(), stride, &gauss, &common);
+    const V v_trained =
+        V::broadcast(static_cast<double>(compiled_->trained_count(p)));
+    const V pen = (v_trained + v_k) - v_two * common;
+    V ll = gauss + v_penalty * pen;
+    ll = V::select_ge(common, v_min_common, ll, v_ninf);
+    const V v_row = V::broadcast(static_cast<double>(p));
+    best_row = V::select_gt(ll, best_ll, v_row, best_row);
+    best_common = V::select_gt(ll, best_ll, common, best_common);
+    best_ll = V::select_gt(ll, best_ll, ll, best_ll);
+  }
+
+  alignas(simd::kAlignment) double lls[simd::kLanes];
+  alignas(simd::kAlignment) double rows[simd::kLanes];
+  alignas(simd::kAlignment) double commons[simd::kLanes];
+  best_ll.store(lls);
+  best_row.store(rows);
+  best_common.store(commons);
+  for (std::size_t i = 0; i < simd::kLanes; ++i) {
+    LocationEstimate est;
+    if (points > 0 && lls[i] != kNegInf) {
+      const traindb::TrainingPoint& tp =
+          compiled_->point(static_cast<std::size_t>(rows[i]));
+      est.valid = true;
+      est.position = tp.position;
+      est.location_name = tp.location;
+      est.score = lls[i];
+      est.aps_used = static_cast<int>(commons[i]);
+    }
+    out[i] = est;
+  }
 }
 
 LocationEstimate ProbabilisticLocator::locate(const Observation& obs) const {
   LocationEstimate est;
   if (obs.empty() || compiled_->empty()) return est;
 
-  const std::vector<ScoredPoint> scores = score_all(obs);
-  const auto best = std::max_element(
-      scores.begin(), scores.end(),
-      [](const ScoredPoint& a, const ScoredPoint& b) {
-        return a.log_likelihood < b.log_likelihood;
-      });
-  if (best == scores.end() ||
-      best->log_likelihood == -std::numeric_limits<double>::infinity()) {
-    return est;
+  const CompiledObservation q = compiled_->compile_observation(obs);
+  if (pruner_) {
+    prune_queries().increment();
+    const std::vector<std::uint32_t> candidates = pruner_->select(q);
+    if (!candidates.empty()) {
+      prune_candidates_scored().add(candidates.size());
+      est = best_of_rows(candidates, q);
+      if (est.valid) return est;
+    }
+    // Degenerate prefilter or no valid candidate estimate: take the
+    // exact full pass, so pruning can never invalidate an answer.
+    prune_fallback_full().increment();
   }
-  est.valid = true;
-  est.position = best->point->position;
-  est.location_name = best->point->location;
-  est.score = best->log_likelihood;
-  est.aps_used = best->common_aps;
-  return est;
+  return best_of_all(q);
+}
+
+std::vector<LocationEstimate> ProbabilisticLocator::locate_batch(
+    std::span<const Observation> obs, concurrency::ThreadPool* pool) const {
+  // The pruned configuration is a per-observation adaptive path;
+  // the base implementation already parallelizes it correctly.
+  if (pruner_ || compiled_->empty()) {
+    return Locator::locate_batch(obs, pool);
+  }
+  locate_batch_calls().increment();
+  locate_batch_observations().add(obs.size());
+  locate_calls().add(obs.size());
+  metrics::ScopedTimer timer(locate_latency(), obs.size());
+  std::vector<LocationEstimate> out(obs.size());
+
+  // Empty observations never reach the kernels (locate() refuses them
+  // before compiling, and min_common_aps = 0 would otherwise let an
+  // all-zero query "win"); everything else rides the observation-major
+  // kernel in groups of four, remainder on the single-query scan.
+  std::vector<std::uint32_t> live;
+  live.reserve(obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    if (!obs[i].empty()) live.push_back(static_cast<std::uint32_t>(i));
+  }
+  const std::size_t quads = live.size() / 4;
+  auto quad_body = [&](std::size_t g) {
+    // Per-thread scratch: compile_observation_into reuses the buffer
+    // capacity, so steady-state batches never touch the allocator.
+    thread_local CompiledObservation qs[4];
+    LocationEstimate res[4];
+    for (std::size_t j = 0; j < 4; ++j) {
+      compiled_->compile_observation_into(obs[live[g * 4 + j]], &qs[j]);
+    }
+    locate_quad(qs, res);
+    for (std::size_t j = 0; j < 4; ++j) {
+      out[live[g * 4 + j]] = std::move(res[j]);
+    }
+  };
+  if (pool && quads > 1) {
+    concurrency::parallel_for(*pool, 0, quads, quad_body);
+  } else {
+    for (std::size_t g = 0; g < quads; ++g) quad_body(g);
+  }
+  for (std::size_t k = quads * 4; k < live.size(); ++k) {
+    out[live[k]] =
+        best_of_all(compiled_->compile_observation(obs[live[k]]));
+  }
+  for (const LocationEstimate& est : out) {
+    if (!est.valid) locate_degenerate().increment();
+  }
+  return out;
 }
 
 }  // namespace loctk::core

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "core/candidate_pruner.hpp"
 #include "core/compiled_db.hpp"
 #include "core/locator.hpp"
 
@@ -49,6 +50,16 @@ struct ProbabilisticConfig {
   /// cell happened to survey calm (a known fingerprinting pathology).
   /// Pooling removes that term from the decision.
   bool use_pooled_sigma = false;
+  /// Coarse-to-fine pruning: when > 0, locate() scores only the
+  /// `prune_top_k` candidate rows a strongest-AP prefilter selects
+  /// (each scored with the exact kernel), falling back to the full
+  /// pass whenever the prefilter is degenerate or the pruned pass
+  /// yields no valid estimate. 0 keeps the exhaustive sweep.
+  /// score_all/score_batch always score everything — pruning is a
+  /// serve-path (locate) optimization.
+  int prune_top_k = 0;
+  /// How many of the observation's loudest APs seed the prefilter.
+  int prune_strongest_aps = 4;
 };
 
 /// One scored training point (for diagnostics and the Bayes layer).
@@ -75,6 +86,19 @@ class ProbabilisticLocator : public Locator {
 
   LocationEstimate locate(const Observation& obs) const override;
   std::string name() const override { return "probabilistic-ml"; }
+
+  /// Batched locate on the observation-major kernel: four observations
+  /// occupy the vector lanes and ride one pass over the training rows,
+  /// with each row's table values broadcast once and the entire
+  /// epilogue (penalties, clamp, arg-max) kept in lanes — no
+  /// horizontal reductions anywhere on the hot path. Results are
+  /// bit-identical to locate() per element (the kernel reproduces the
+  /// slot-major kernel's per-lane partial sums and hsum tree); pruned
+  /// configurations route through the per-observation coarse-to-fine
+  /// path instead.
+  std::vector<LocationEstimate> locate_batch(
+      std::span<const Observation> obs,
+      concurrency::ThreadPool* pool = nullptr) const override;
 
   /// Log-likelihood of `obs` against every training point, in
   /// database order. Skipped points carry -infinity.
@@ -108,18 +132,38 @@ class ProbabilisticLocator : public Locator {
 
  private:
   void build_kernel_tables();
-  /// Dense likelihood of a compiled observation at one row.
+  /// Dense likelihood of a compiled observation at one row (SIMD
+  /// kernel over the padded SoA rows).
   double score_point(std::size_t point, const CompiledObservation& q,
                      int* common_aps) const;
+  /// score_point + the min_common_aps clamp, as stored in results.
+  ScoredPoint scored_point(std::size_t point,
+                           const CompiledObservation& q) const;
+  /// Best estimate among `rows` (exact scores); invalid when every
+  /// row is skipped.
+  LocationEstimate best_of_rows(std::span<const std::uint32_t> rows,
+                                const CompiledObservation& q) const;
+  /// best_of_rows over the full database without materializing a row
+  /// list (the exhaustive path locate() and the pruner fallback take).
+  LocationEstimate best_of_all(const CompiledObservation& q) const;
+  /// Four compiled observations through one pass over every training
+  /// row via the observation-major kernel (lanes = observations);
+  /// writes exactly what locate() would.
+  void locate_quad(const CompiledObservation* qs,
+                   LocationEstimate* out) const;
 
   std::shared_ptr<const CompiledDatabase> compiled_;
   ProbabilisticConfig config_;
+  /// Built when config_.prune_top_k > 0 (shared so the locator stays
+  /// copyable).
+  std::shared_ptr<const CandidatePruner> pruner_;
   /// Aligned with database().bssid_universe().
   std::vector<double> pooled_sigma_;
-  /// Row-major points x universe Gaussian constants, 0 at untrained
-  /// slots:  log_pdf(x) = log_norm - (x - mean)² · inv_two_var.
-  std::vector<double> log_norm_;
-  std::vector<double> inv_two_var_;
+  /// Row-major points x row_stride() Gaussian constants, 0 at
+  /// untrained slots (and in the stride pad):
+  ///   log_pdf(x) = log_norm - (x - mean)² · inv_two_var.
+  simd::AlignedDoubles log_norm_;
+  simd::AlignedDoubles inv_two_var_;
 };
 
 }  // namespace loctk::core

@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "core/score_kernels.hpp"
+
 namespace loctk::core {
 
 SsdLocator::SsdLocator(const traindb::TrainingDatabase& db,
@@ -57,7 +59,7 @@ LocationEstimate SsdLocator::locate(const Observation& obs) const {
   if (obs.empty() || compiled_->empty()) return est;
 
   const std::size_t points = compiled_->point_count();
-  const std::size_t universe = compiled_->universe_size();
+  const std::size_t stride = compiled_->row_stride();
   const CompiledObservation q = compiled_->compile_observation(obs);
 
   struct Neighbor {
@@ -70,23 +72,14 @@ LocationEstimate SsdLocator::locate(const Observation& obs) const {
     const double* mean = compiled_->mean_row(p);
     const double* mask = compiled_->mask_row(p);
     // Pass 1: size and per-side sums of the common subset.
-    double n = 0.0, sum_o = 0.0, sum_t = 0.0;
-    for (std::size_t u = 0; u < universe; ++u) {
-      const double m = mask[u] * q.present[u];
-      n += m;
-      sum_o += m * q.mean_dbm[u];
-      sum_t += m * mean[u];
-    }
-    if (static_cast<int>(n) < config_.min_common_aps) continue;
-    const double mo = sum_o / n;
-    const double mt = sum_t / n;
+    const kernels::SsdMoments mom = kernels::ssd_moments_row<simd::Vec4d>(
+        mean, mask, q.mean_dbm.data(), q.present.data(), stride);
+    if (static_cast<int>(mom.n) < config_.min_common_aps) continue;
+    const double mo = mom.sum_o / mom.n;
+    const double mt = mom.sum_t / mom.n;
     // Pass 2: squared distance between the mean-centered signatures.
-    double sum2 = 0.0;
-    for (std::size_t u = 0; u < universe; ++u) {
-      const double m = mask[u] * q.present[u];
-      const double d = (q.mean_dbm[u] - mo) - (mean[u] - mt);
-      sum2 += m * d * d;
-    }
+    const double sum2 = kernels::ssd_sq_dist_row<simd::Vec4d>(
+        mean, mask, q.mean_dbm.data(), q.present.data(), mo, mt, stride);
     neighbors.push_back({&compiled_->point(p), std::sqrt(sum2)});
   }
   if (neighbors.empty()) return est;

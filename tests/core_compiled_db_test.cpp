@@ -103,6 +103,41 @@ TEST(CompiledDatabase, InternsUniverseAndRows) {
   EXPECT_FALSE(cdb.slot_of("nope").has_value());
 }
 
+// v2 kernel invariant: every SoA matrix row (and every compiled
+// query vector) is 64-byte aligned with a row stride that is a
+// multiple of 8 doubles, and the stride pad carries exact zeros —
+// the SIMD kernels rely on this for unmasked aligned loads.
+TEST(CompiledDatabase, RowsAre64ByteAlignedWithPaddedStride) {
+  stats::Rng rng(7100);
+  for (const int universe_n : {1, 3, 7, 8, 9, 16}) {
+    const auto db = random_db(rng, 9, universe_n);
+    const CompiledDatabase cdb(db);
+    EXPECT_EQ(cdb.row_stride() % simd::kStrideDoubles, 0u);
+    EXPECT_GE(cdb.row_stride(), cdb.universe_size());
+    EXPECT_LT(cdb.row_stride(), cdb.universe_size() + simd::kStrideDoubles);
+    for (std::size_t p = 0; p < cdb.point_count(); ++p) {
+      EXPECT_TRUE(simd::is_aligned(cdb.mean_row(p)));
+      EXPECT_TRUE(simd::is_aligned(cdb.stddev_row(p)));
+      EXPECT_TRUE(simd::is_aligned(cdb.mask_row(p)));
+      EXPECT_TRUE(simd::is_aligned(cdb.weight_row(p)));
+      for (std::size_t u = cdb.universe_size(); u < cdb.row_stride(); ++u) {
+        EXPECT_EQ(cdb.mean_row(p)[u], 0.0);
+        EXPECT_EQ(cdb.mask_row(p)[u], 0.0);
+      }
+    }
+    const Observation obs = random_obs(rng, universe_n);
+    const CompiledObservation q = cdb.compile_observation(obs);
+    ASSERT_EQ(q.mean_dbm.size(), cdb.row_stride());
+    ASSERT_EQ(q.present.size(), cdb.row_stride());
+    EXPECT_TRUE(simd::is_aligned(q.mean_dbm.data()));
+    EXPECT_TRUE(simd::is_aligned(q.present.data()));
+    for (std::size_t u = cdb.universe_size(); u < cdb.row_stride(); ++u) {
+      EXPECT_EQ(q.present[u], 0.0);
+      EXPECT_EQ(q.mean_dbm[u], 0.0);
+    }
+  }
+}
+
 TEST(CompiledDatabase, CompileObservationSplitsUniverseAndRogues) {
   const auto db = testing::make_fixture_db();
   const CompiledDatabase cdb(db);

@@ -1,0 +1,416 @@
+// Scoring engine v2 tests.
+//
+// 1. Backend bit-compatibility: every kernel in core/score_kernels.hpp
+//    instantiated with the native backend (simd::Vec4d — AVX2/NEON
+//    when LOCTK_SIMD is on) must produce BIT-identical results to the
+//    always-compiled scalar fallback (simd::ScalarVec4d), including
+//    NaN observations, zero-mask (empty-overlap) rows, and the stride
+//    pad. This is the contract that lets CI build the fallback on its
+//    own matrix leg and trust it never rots.
+// 2. The coarse-to-fine candidate pruner: top-k bounds, deterministic
+//    ascending output, the degenerate-query fallback contract, pruned
+//    locate() agreeing with the exact pass, and the effectiveness
+//    metrics exported through the registry.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/metrics.hpp"
+#include "base/simd.hpp"
+#include "core/candidate_pruner.hpp"
+#include "core/knn.hpp"
+#include "core/probabilistic.hpp"
+#include "core/score_kernels.hpp"
+#include "stats/rng.hpp"
+#include "test_fixtures.hpp"
+#include "testkit/differential.hpp"
+#include "testkit/scenario.hpp"
+
+namespace loctk::core {
+namespace {
+
+/// Bitwise double equality (NaN-aware: identical bit patterns).
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits 0x" << std::hex
+         << std::bit_cast<std::uint64_t>(a) << " vs 0x"
+         << std::bit_cast<std::uint64_t>(b) << ")";
+}
+
+/// A randomized padded row set mimicking CompiledDatabase layout.
+struct KernelRow {
+  simd::AlignedDoubles mean, mask, log_norm, inv_two_var;
+  simd::AlignedDoubles q_mean, q_present;
+  std::size_t stride = 0;
+};
+
+KernelRow random_row(stats::Rng& rng, std::size_t universe,
+                     bool zero_mask, bool nan_query) {
+  KernelRow r;
+  r.stride = simd::padded_stride(universe);
+  for (auto* v : {&r.mean, &r.mask, &r.log_norm, &r.inv_two_var, &r.q_mean,
+                  &r.q_present}) {
+    v->assign(r.stride, 0.0);
+  }
+  for (std::size_t u = 0; u < universe; ++u) {
+    const bool trained = !zero_mask && rng.bernoulli(0.7);
+    r.mask[u] = trained ? 1.0 : 0.0;
+    if (trained) {
+      r.mean[u] = rng.uniform(-95.0, -35.0);
+      r.log_norm[u] = rng.uniform(-4.0, -1.0);
+      r.inv_two_var[u] = rng.uniform(0.01, 0.5);
+    }
+    const bool heard = rng.bernoulli(0.6);
+    r.q_present[u] = heard ? 1.0 : 0.0;
+    if (heard) {
+      r.q_mean[u] = nan_query && rng.bernoulli(0.3)
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : rng.uniform(-105.0, -25.0);
+    }
+  }
+  return r;
+}
+
+TEST(ScoringV2Kernels, NativeBackendBitIdenticalToScalarFallback) {
+  stats::Rng rng(9100);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t universe = 1 + static_cast<std::size_t>(trial) % 21;
+    const bool zero_mask = trial % 7 == 0;   // empty-overlap row
+    const bool nan_query = trial % 5 == 0;   // degenerate observation
+    const KernelRow r = random_row(rng, universe, zero_mask, nan_query);
+
+    const auto ps = kernels::prob_score_row<simd::ScalarVec4d>(
+        r.mean.data(), r.mask.data(), r.log_norm.data(),
+        r.inv_two_var.data(), r.q_mean.data(), r.q_present.data(), r.stride);
+    const auto pv = kernels::prob_score_row<simd::Vec4d>(
+        r.mean.data(), r.mask.data(), r.log_norm.data(),
+        r.inv_two_var.data(), r.q_mean.data(), r.q_present.data(), r.stride);
+    EXPECT_TRUE(bits_equal(ps.gauss, pv.gauss)) << "trial " << trial;
+    EXPECT_TRUE(bits_equal(ps.common, pv.common)) << "trial " << trial;
+
+    EXPECT_TRUE(bits_equal(
+        kernels::sq_dist_row<simd::ScalarVec4d>(r.mean.data(),
+                                                r.q_mean.data(), r.stride),
+        kernels::sq_dist_row<simd::Vec4d>(r.mean.data(), r.q_mean.data(),
+                                          r.stride)))
+        << "trial " << trial;
+
+    const auto ms = kernels::ssd_moments_row<simd::ScalarVec4d>(
+        r.mean.data(), r.mask.data(), r.q_mean.data(), r.q_present.data(),
+        r.stride);
+    const auto mv = kernels::ssd_moments_row<simd::Vec4d>(
+        r.mean.data(), r.mask.data(), r.q_mean.data(), r.q_present.data(),
+        r.stride);
+    EXPECT_TRUE(bits_equal(ms.n, mv.n));
+    EXPECT_TRUE(bits_equal(ms.sum_o, mv.sum_o));
+    EXPECT_TRUE(bits_equal(ms.sum_t, mv.sum_t));
+
+    const double mo = ms.n > 0.0 ? ms.sum_o / ms.n : 0.0;
+    const double mt = ms.n > 0.0 ? ms.sum_t / ms.n : 0.0;
+    EXPECT_TRUE(bits_equal(
+        kernels::ssd_sq_dist_row<simd::ScalarVec4d>(
+            r.mean.data(), r.mask.data(), r.q_mean.data(),
+            r.q_present.data(), mo, mt, r.stride),
+        kernels::ssd_sq_dist_row<simd::Vec4d>(
+            r.mean.data(), r.mask.data(), r.q_mean.data(),
+            r.q_present.data(), mo, mt, r.stride)))
+        << "trial " << trial;
+  }
+}
+
+TEST(ScoringV2Kernels, ObsMajorKernelBitIdenticalToSingleRow) {
+  // The batched locate path puts four observations in the vector lanes
+  // and scores them per row pass; each lane must match the single-query
+  // slot-major kernel bit for bit (and the scalar instantiation must
+  // match the native one).
+  stats::Rng rng(9103);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t universe = 1 + static_cast<std::size_t>(trial) % 21;
+    const KernelRow row = random_row(rng, universe, trial % 7 == 0, false);
+    KernelRow queries[4];
+    simd::AlignedDoubles qm_t(row.stride * simd::kLanes, 0.0);
+    simd::AlignedDoubles qp_t(row.stride * simd::kLanes, 0.0);
+    for (std::size_t i = 0; i < 4; ++i) {
+      queries[i] = random_row(rng, universe, false, i == 3 && trial % 5 == 0);
+      for (std::size_t u = 0; u < row.stride; ++u) {
+        qm_t[u * simd::kLanes + i] = queries[i].q_mean[u];
+        qp_t[u * simd::kLanes + i] = queries[i].q_present[u];
+      }
+    }
+    simd::Vec4d gauss_n, common_n;
+    simd::ScalarVec4d gauss_s, common_s;
+    kernels::prob_score_row_obs4<simd::Vec4d>(
+        row.mean.data(), row.mask.data(), row.log_norm.data(),
+        row.inv_two_var.data(), qm_t.data(), qp_t.data(), row.stride,
+        &gauss_n, &common_n);
+    kernels::prob_score_row_obs4<simd::ScalarVec4d>(
+        row.mean.data(), row.mask.data(), row.log_norm.data(),
+        row.inv_two_var.data(), qm_t.data(), qp_t.data(), row.stride,
+        &gauss_s, &common_s);
+    alignas(simd::kAlignment) double gn[4], cn[4], gs[4], cs[4];
+    gauss_n.store(gn);
+    common_n.store(cn);
+    gauss_s.store(gs);
+    common_s.store(cs);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto single = kernels::prob_score_row<simd::Vec4d>(
+          row.mean.data(), row.mask.data(), row.log_norm.data(),
+          row.inv_two_var.data(), queries[i].q_mean.data(),
+          queries[i].q_present.data(), row.stride);
+      EXPECT_TRUE(bits_equal(gn[i], single.gauss))
+          << "trial " << trial << " q" << i;
+      EXPECT_TRUE(bits_equal(cn[i], single.common))
+          << "trial " << trial << " q" << i;
+      EXPECT_TRUE(bits_equal(gs[i], gn[i])) << "trial " << trial << " q" << i;
+      EXPECT_TRUE(bits_equal(cs[i], cn[i])) << "trial " << trial << " q" << i;
+    }
+  }
+}
+
+TEST(ScoringV2Kernels, SelectOpsBitIdenticalAcrossBackends) {
+  // The batched epilogue's lane-wise selects must agree with the
+  // scalar ternary everywhere, including NaN (compares false -> y)
+  // and signed-zero operands.
+  stats::Rng rng(9104);
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  const double specials[] = {0.0, -0.0, kNan, kInf, -kInf, 1.0, -1.0};
+  for (int trial = 0; trial < 200; ++trial) {
+    alignas(simd::kAlignment) double a[4], b[4], x[4], y[4];
+    for (int i = 0; i < 4; ++i) {
+      const bool special = rng.bernoulli(0.4);
+      a[i] = special ? specials[static_cast<std::size_t>(
+                           rng.uniform(0.0, 6.999))]
+                     : rng.uniform(-10.0, 10.0);
+      b[i] = special ? specials[static_cast<std::size_t>(
+                           rng.uniform(0.0, 6.999))]
+                     : rng.uniform(-10.0, 10.0);
+      x[i] = rng.uniform(-10.0, 10.0);
+      y[i] = rng.uniform(-10.0, 10.0);
+    }
+    alignas(simd::kAlignment) double out_n[4], out_s[4];
+    const auto check = [&](auto&& native, auto&& scalar) {
+      native.store(out_n);
+      scalar.store(out_s);
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(bits_equal(out_n[i], out_s[i]))
+            << "trial " << trial << " lane " << i << " a=" << a[i]
+            << " b=" << b[i];
+      }
+    };
+    using SV = simd::ScalarVec4d;
+    using NV = simd::Vec4d;
+    check(NV::select_gt(NV::load(a), NV::load(b), NV::load(x), NV::load(y)),
+          SV::select_gt(SV::load(a), SV::load(b), SV::load(x), SV::load(y)));
+    check(NV::select_ge(NV::load(a), NV::load(b), NV::load(x), NV::load(y)),
+          SV::select_ge(SV::load(a), SV::load(b), SV::load(x), SV::load(y)));
+  }
+}
+
+TEST(ScoringV2Kernels, AxpyAndHistFoldBitIdentical) {
+  stats::Rng rng(9101);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n =
+        simd::padded_stride(1 + static_cast<std::size_t>(trial) % 40);
+    simd::AlignedDoubles col(n), mask(n), acc_s(n, 0.0), acc_v(n, 0.0);
+    simd::AlignedDoubles tot_s(n, 0.0), tot_v(n, 0.0), com_s(n, 0.0),
+        com_v(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      col[i] = rng.uniform(-8.0, 0.0);
+      mask[i] = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    }
+    const double a = rng.uniform(0.5, 4.0);
+    const double inv_n = 1.0 / rng.uniform(1.0, 9.0);
+    kernels::axpy<simd::ScalarVec4d>(a, col.data(), acc_s.data(), n);
+    kernels::axpy<simd::Vec4d>(a, col.data(), acc_v.data(), n);
+    kernels::hist_fold_slot<simd::ScalarVec4d>(
+        acc_s.data(), mask.data(), inv_n, tot_s.data(), com_s.data(), n);
+    kernels::hist_fold_slot<simd::Vec4d>(acc_v.data(), mask.data(), inv_n,
+                                         tot_v.data(), com_v.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(bits_equal(acc_s[i], acc_v[i])) << i;
+      EXPECT_TRUE(bits_equal(tot_s[i], tot_v[i])) << i;
+      EXPECT_TRUE(bits_equal(com_s[i], com_v[i])) << i;
+    }
+  }
+}
+
+TEST(ScoringV2Kernels, PaddedCellsContributeExactZero) {
+  // A row whose pad region is the only difference must score
+  // identically to a stride-sized universe: pad cells carry mask 0
+  // and value 0, so each padded term is an exact +/-0.0.
+  stats::Rng rng(9102);
+  const KernelRow r = random_row(rng, 5, false, false);
+  ASSERT_GT(r.stride, 5u);
+  double serial_gauss = 0.0, serial_common = 0.0;
+  for (std::size_t u = 0; u < r.stride; ++u) {
+    const double both = r.mask[u] * r.q_present[u];
+    const double d = r.q_mean[u] - r.mean[u];
+    serial_gauss += both * (r.log_norm[u] - d * d * r.inv_two_var[u]);
+    serial_common += both;
+  }
+  const auto got = kernels::prob_score_row<simd::Vec4d>(
+      r.mean.data(), r.mask.data(), r.log_norm.data(), r.inv_two_var.data(),
+      r.q_mean.data(), r.q_present.data(), r.stride);
+  EXPECT_NEAR(got.gauss, serial_gauss, 1e-12);
+  EXPECT_EQ(got.common, serial_common);
+}
+
+TEST(CandidatePruner, SmallDatabaseIsDegenerate) {
+  const auto db = testing::make_fixture_db();
+  const auto compiled = CompiledDatabase::compile(db);
+  // top_k >= point count: pruning cannot shrink the work.
+  const CandidatePruner pruner(compiled,
+                               {.strongest_aps = 3,
+                                .top_k = static_cast<int>(db.size())});
+  const Observation obs = testing::fixture_observation({10.0, 10.0});
+  EXPECT_TRUE(pruner.select(compiled->compile_observation(obs)).empty());
+}
+
+TEST(CandidatePruner, SelectsBoundedSortedCandidates) {
+  // The office floor's 10-ft survey grid yields ~100 training points,
+  // so top_k = 16 genuinely prunes (the paper house has too few rows).
+  const testkit::Scenario scenario(testkit::ScenarioSpec::fleet(
+      4, 16, 71, testkit::SiteModel::kOfficeFloor));
+  const auto compiled = CompiledDatabase::compile(scenario.database());
+  ASSERT_GT(compiled->point_count(), 16u);
+  const CandidatePruner pruner(compiled, {.strongest_aps = 3, .top_k = 16});
+  const auto observations = testkit::observations_from_trace(
+      scenario.record_trace(), 8);
+  ASSERT_FALSE(observations.empty());
+  for (const Observation& obs : observations) {
+    const CompiledObservation q = compiled->compile_observation(obs);
+    const auto candidates = pruner.select(q);
+    if (q.slots.empty()) {
+      EXPECT_TRUE(candidates.empty());
+      continue;
+    }
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_LE(candidates.size(), 16u);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      EXPECT_LT(candidates[i - 1], candidates[i]);
+    }
+    for (const std::uint32_t p : candidates) {
+      EXPECT_LT(p, compiled->point_count());
+    }
+    // Deterministic: same query, same candidates.
+    EXPECT_EQ(pruner.select(q), candidates);
+  }
+}
+
+TEST(CandidatePruner, DegenerateQueriesFallBackToFullPass) {
+  const testkit::Scenario scenario(testkit::ScenarioSpec::fleet(2, 8, 72));
+  const auto compiled = CompiledDatabase::compile(scenario.database());
+  const CandidatePruner pruner(compiled, {.strongest_aps = 3, .top_k = 8});
+
+  // Empty observation: no in-universe slots.
+  EXPECT_TRUE(
+      pruner.select(compiled->compile_observation(Observation{})).empty());
+
+  // Non-finite readings: the prefilter refuses to rank on NaN.
+  std::vector<radio::ScanRecord> scans(1);
+  scans[0].samples.push_back(
+      {scenario.database().bssid_universe().front(),
+       std::numeric_limits<double>::quiet_NaN(), 1});
+  const Observation nan_obs = Observation::from_scans(scans);
+  EXPECT_TRUE(
+      pruner.select(compiled->compile_observation(nan_obs)).empty());
+
+  // ...and the locator-level contract: pruning never invalidates an
+  // answer (it falls back to the exact full pass instead).
+  ProbabilisticConfig pruned_cfg;
+  pruned_cfg.prune_top_k = 8;
+  const ProbabilisticLocator pruned(compiled, pruned_cfg);
+  const ProbabilisticLocator exact(compiled);
+  const LocationEstimate a = pruned.locate(nan_obs);
+  const LocationEstimate b = exact.locate(nan_obs);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.location_name, b.location_name);
+}
+
+TEST(CandidatePruner, PrunedLocateAgreesWithExactOnFleetScenario) {
+  const testkit::Scenario scenario(testkit::ScenarioSpec::fleet(
+      6, 24, 73, testkit::SiteModel::kOfficeFloor));
+  const auto observations = testkit::observations_from_trace(
+      scenario.record_trace(), 8);
+  ASSERT_FALSE(observations.empty());
+  ProbabilisticConfig pruned_cfg;
+  pruned_cfg.prune_top_k = 24;
+  pruned_cfg.prune_strongest_aps = 4;
+  const testkit::PrunedDifferentialReport report =
+      testkit::run_pruned_differential(scenario.database(), observations,
+                                       pruned_cfg);
+  EXPECT_EQ(report.compared, observations.size() * 2);
+  EXPECT_TRUE(report.ok()) << report.to_text();
+  EXPECT_EQ(report.agreement_rate(), 1.0);
+}
+
+TEST(CandidatePruner, KnnPrunedScoresAreExact) {
+  const testkit::Scenario scenario(testkit::ScenarioSpec::fleet(
+      3, 16, 74, testkit::SiteModel::kOfficeFloor));
+  const auto compiled = CompiledDatabase::compile(scenario.database());
+  const KnnLocator exact(compiled, {.k = 1});
+  const KnnLocator pruned(compiled,
+                          {.k = 1, .prune_top_k = 24,
+                           .prune_strongest_aps = 4});
+  const auto observations = testkit::observations_from_trace(
+      scenario.record_trace(), 8);
+  for (const Observation& obs : observations) {
+    const LocationEstimate e = exact.locate(obs);
+    const LocationEstimate p = pruned.locate(obs);
+    ASSERT_EQ(e.valid, p.valid);
+    if (!e.valid) continue;
+    // The pruned winner's distance is computed by the same exact
+    // kernel, so agreement means bit-equal scores.
+    EXPECT_EQ(e.location_name, p.location_name);
+    EXPECT_EQ(e.score, p.score);
+  }
+}
+
+TEST(CandidatePruner, ExportsEffectivenessMetrics) {
+  const testkit::Scenario scenario(testkit::ScenarioSpec::fleet(
+      3, 12, 75, testkit::SiteModel::kOfficeFloor));
+  const auto compiled = CompiledDatabase::compile(scenario.database());
+  const auto observations = testkit::observations_from_trace(
+      scenario.record_trace(), 8);
+  ASSERT_FALSE(observations.empty());
+
+  metrics::Counter& queries = metrics::counter("score.prune.queries");
+  metrics::Counter& scored =
+      metrics::counter("score.prune.candidates_scored");
+  metrics::Counter& fallback =
+      metrics::counter("score.prune.fallback_full");
+  const auto q0 = queries.value();
+  const auto s0 = scored.value();
+  const auto f0 = fallback.value();
+
+  ProbabilisticConfig cfg;
+  cfg.prune_top_k = 16;
+  const ProbabilisticLocator locator(compiled, cfg);
+  EXPECT_EQ(metrics::gauge("score.prune.database_points").value(),
+            static_cast<double>(compiled->point_count()));
+
+  for (const Observation& obs : observations) locator.locate(obs);
+  const auto dq = queries.value() - q0;
+  const auto ds = scored.value() - s0;
+  const auto df = fallback.value() - f0;
+  EXPECT_EQ(dq, observations.size());
+  // Every non-fallback query scored at most top_k candidates — the
+  // whole point of pruning.
+  EXPECT_LE(ds, (dq - df) * 16);
+  EXPECT_GT(ds, 0u);
+  // Fallbacks can only come from degenerate queries here, and every
+  // query is either pruned or falls back.
+  EXPECT_LE(df, dq);
+}
+
+}  // namespace
+}  // namespace loctk::core
