@@ -10,9 +10,25 @@
 #include <fstream>
 #include <string>
 
+#include <benchmark/benchmark.h>
+
 #include "base/metrics.hpp"
 
 namespace loctk::bench {
+
+/// The build type of *this* library/bench TU, recorded into the
+/// benchmark JSON context as "loctk_build_type". google-benchmark's
+/// own "library_build_type" describes how the system libbenchmark was
+/// compiled — not our code — which is how debug-built numbers once
+/// slipped into a committed BENCH file unnoticed. CI gates on this
+/// key: committed BENCH_*.json must say "release".
+inline const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
 
 inline void write_metrics_snapshot(const std::string& bench_name) {
   const metrics::MetricsSnapshot snap =
@@ -30,13 +46,16 @@ inline void write_metrics_snapshot(const std::string& bench_name) {
 
 }  // namespace loctk::bench
 
-/// BENCHMARK_MAIN() with the snapshot epilogue appended.
+/// BENCHMARK_MAIN() with the build-type context stamp and the snapshot
+/// epilogue appended.
 #define LOCTK_BENCHMARK_MAIN_WITH_METRICS(bench_name)              \
   int main(int argc, char** argv) {                                \
     ::benchmark::Initialize(&argc, argv);                          \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {    \
       return 1;                                                    \
     }                                                              \
+    ::benchmark::AddCustomContext("loctk_build_type",              \
+                                  ::loctk::bench::build_type());   \
     ::benchmark::RunSpecifiedBenchmarks();                         \
     ::benchmark::Shutdown();                                       \
     ::loctk::bench::write_metrics_snapshot(bench_name);            \

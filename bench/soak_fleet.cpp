@@ -8,10 +8,17 @@
 //   --report PATH    deterministic run-report JSON (replay-comparable)
 //   --metrics PATH   process metrics-registry snapshot JSON
 //
+// `--server` switches to the server-level soak (testkit/server_soak):
+// the fleet is split across `--sites` venues, every scan routes
+// through a multi-tenant `LocationServer`, and snapshot swap waves
+// land throughout the replay. `--devices` stays the *total* fleet
+// size, so the nightly job can say `--server --devices 10000`.
+//
 // Exit status is 0 only when every invariant holds, so the CI job
 // fails on any breach. The scheduled workflow runs this under TSan
 // with >= 64 devices (docs/TESTING.md, "soak").
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +28,7 @@
 #include "base/metrics.hpp"
 #include "core/probabilistic.hpp"
 #include "testkit/scenario.hpp"
+#include "testkit/server_soak.hpp"
 #include "testkit/soak.hpp"
 #include "testkit/trace.hpp"
 
@@ -33,6 +41,9 @@ struct Options {
   int scans = 40;
   std::uint64_t seed = 64;
   double max_p99_s = 5.0;
+  bool server = false;
+  std::size_t sites = 8;
+  std::size_t swap_every = 0;  // 0 = derive (~16 waves)
   std::string report_path;
   std::string metrics_path;
   std::string trace_path;
@@ -42,7 +53,8 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s [--devices N] [--scans M] [--seed S]\n"
                "          [--max-p99 SECONDS] [--report PATH]\n"
-               "          [--metrics PATH] [--trace PATH]\n",
+               "          [--metrics PATH] [--trace PATH]\n"
+               "          [--server] [--sites K] [--swap-every SCANS]\n",
                argv0);
   std::exit(2);
 }
@@ -69,11 +81,18 @@ Options parse_options(int argc, char** argv) {
       opt.metrics_path = value();
     } else if (flag == "--trace") {
       opt.trace_path = value();
+    } else if (flag == "--server") {
+      opt.server = true;
+    } else if (flag == "--sites") {
+      opt.sites = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (flag == "--swap-every") {
+      opt.swap_every =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
     } else {
       usage(argv[0]);
     }
   }
-  if (opt.devices == 0 || opt.scans <= 0) usage(argv[0]);
+  if (opt.devices == 0 || opt.scans <= 0 || opt.sites == 0) usage(argv[0]);
   return opt;
 }
 
@@ -87,10 +106,63 @@ void write_text_file(const std::string& path, const std::string& body) {
   std::printf("wrote %s\n", path.c_str());
 }
 
+/// The `--server` leg: total fleet split across `--sites` shards of a
+/// LocationServer, swap waves landing under load, full invariant
+/// battery from testkit/server_soak. Same artifact flags as the
+/// classic leg; the combined (cross-site, deterministic) report is
+/// what `--report` writes.
+int run_server_mode(const Options& opt) {
+  testkit::ServerSoakConfig config;
+  config.sites = opt.sites;
+  config.devices_per_site =
+      std::max<std::size_t>(1, opt.devices / opt.sites);
+  config.scans_per_device = opt.scans;
+  config.seed = opt.seed;
+  config.swap_every_scans = opt.swap_every;
+  config.max_p99_on_scan_s = opt.max_p99_s;
+
+  std::printf(
+      "soak_fleet --server: %zu sites x %zu devices x %d scans, seed %llu\n",
+      config.sites, config.devices_per_site, config.scans_per_device,
+      static_cast<unsigned long long>(config.seed));
+  const testkit::ServerSoakResult result = testkit::run_server_soak(config);
+
+  std::fputs(result.report.to_text().c_str(), stdout);
+  std::printf(
+      "  wall %.2fs   on_scan mean %.1fus   p99 %.1fus\n"
+      "  swap waves %llu (%llu under load), max generation %llu\n",
+      result.wall_s, 1e6 * result.mean_on_scan_s,
+      1e6 * result.p99_on_scan_s,
+      static_cast<unsigned long long>(result.swap_waves),
+      static_cast<unsigned long long>(result.swap_waves_under_load),
+      static_cast<unsigned long long>(result.max_generation));
+
+  if (!opt.report_path.empty()) {
+    write_text_file(opt.report_path, result.report.to_json());
+  }
+  if (!opt.metrics_path.empty()) {
+    write_text_file(opt.metrics_path,
+                    metrics::MetricsRegistry::global().snapshot().to_json());
+  }
+
+  if (!result.ok()) {
+    for (const std::string& v : result.violations) {
+      std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", v.c_str());
+    }
+    return 1;
+  }
+  std::printf("all invariants held (%zu scans, %zu devices, %zu sites)\n",
+              result.report.scans_replayed,
+              static_cast<std::size_t>(result.report.device_count),
+              config.sites);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
+  if (opt.server) return run_server_mode(opt);
 
   testkit::ScenarioSpec spec =
       testkit::ScenarioSpec::fleet(opt.devices, opt.scans, opt.seed);

@@ -1,0 +1,116 @@
+// Serve demo: one process, two venues, a hot snapshot swap under
+// traffic — the multi-tenant serving core (docs/SERVING.md) in a
+// minute of output.
+//
+//   $ ./serve_demo
+//
+// Two simulated sites are trained and registered with a
+// `serve::LocationServer`. A handful of devices scan against each;
+// mid-stream, site A's radio map is recompiled and hot-swapped while
+// the scans keep flowing — sessions (and their Kalman tracks) carry
+// straight across the swap.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiled_db.hpp"
+#include "core/pipeline.hpp"
+#include "core/probabilistic.hpp"
+#include "serve/location_server.hpp"
+
+using namespace loctk;
+
+namespace {
+
+struct Site {
+  std::string name;
+  core::Testbed testbed;
+  traindb::TrainingDatabase db;
+
+  Site(std::string site_name, radio::Environment env, std::uint64_t seed)
+      : name(std::move(site_name)), testbed(std::move(env)) {
+    const wiscan::LocationMap grid =
+        core::make_training_grid(testbed.environment().footprint(), 10.0);
+    db = testbed.train(grid, 90, seed);
+  }
+
+  /// What a production republish installs: a locator freshly compiled
+  /// from the site's training database.
+  std::shared_ptr<const core::Locator> make_snapshot() const {
+    return std::make_shared<core::ProbabilisticLocator>(
+        core::CompiledDatabase::compile(db));
+  }
+};
+
+}  // namespace
+
+int main() {
+  Site house("paper-house", radio::make_paper_house(), /*seed=*/1);
+  Site office("office-floor", radio::make_office_floor(6), /*seed=*/2);
+
+  serve::LocationServer server;
+  const serve::SiteId house_id =
+      server.add_site(house.name, house.make_snapshot());
+  const serve::SiteId office_id =
+      server.add_site(office.name, office.make_snapshot());
+  std::printf("serving %zu sites\n", server.site_count());
+
+  // Three devices walk their venue; device ids are opaque nonzero u64s.
+  struct Client {
+    serve::SiteId site;
+    serve::DeviceId device;
+    const Site* venue;
+    geom::Vec2 position;
+  };
+  std::vector<Client> clients = {
+      {house_id, 0x1001, &house, {17.0, 26.0}},
+      {house_id, 0x1002, &house, {35.0, 12.0}},
+      {office_id, 0x2001, &office, {60.0, 40.0}},
+  };
+
+  for (int round = 0; round < 8; ++round) {
+    if (round == 4) {
+      // The resurveyed map arrives mid-traffic: hot-swap it. In-flight
+      // scans finish on the snapshot they pinned; nobody's session
+      // resets.
+      const std::uint64_t generation =
+          server.swap_site(house_id, house.make_snapshot());
+      std::printf("-- hot-swapped %s to generation %llu --\n",
+                  house.name.c_str(),
+                  static_cast<unsigned long long>(generation));
+    }
+    for (const Client& c : clients) {
+      const radio::ScanRecord scan =
+          c.venue->testbed.make_scanner(static_cast<std::uint64_t>(7 + round))
+              .collect(c.position, 1)
+              .front();
+      const core::ServiceFix fix = server.on_scan(c.site, c.device, scan);
+      if (fix.valid) {
+        std::printf("site %-12s device %#06llx -> (%5.1f, %5.1f) ft"
+                    "  error %4.1f ft\n",
+                    c.venue->name.c_str(),
+                    static_cast<unsigned long long>(c.device),
+                    fix.position.x, fix.position.y,
+                    geom::distance(fix.position, c.position));
+      } else {
+        std::printf("site %-12s device %#06llx -> warming up\n",
+                    c.venue->name.c_str(),
+                    static_cast<unsigned long long>(c.device));
+      }
+    }
+  }
+
+  const serve::SiteStats stats = server.stats(house_id);
+  std::printf("%s: %llu scans, generation %llu, %zu sessions, "
+              "%llu reader stalls\n",
+              stats.name.c_str(),
+              static_cast<unsigned long long>(stats.scans),
+              static_cast<unsigned long long>(stats.generation),
+              stats.sessions,
+              static_cast<unsigned long long>(stats.reader_stalls));
+  std::printf("served %zu clients across %zu sites with a mid-traffic "
+              "swap\n", clients.size(), server.site_count());
+  return 0;
+}

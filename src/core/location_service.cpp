@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "base/metrics.hpp"
 
@@ -30,13 +31,18 @@ metrics::Gauge& innovation_gauge() {
 
 }  // namespace
 
-LocationService::LocationService(const Locator& locator,
-                                 LocationServiceConfig config)
-    : locator_(&locator), config_(config), kalman_(config.kalman) {
+LocationService::LocationService(LocationServiceConfig config)
+    : locator_(nullptr), config_(config), kalman_(config.kalman) {
   config_.window_scans = std::max<std::size_t>(1, config_.window_scans);
   config_.min_scans =
       std::clamp<std::size_t>(config_.min_scans, 1, config_.window_scans);
   config_.place_debounce = std::max(1, config_.place_debounce);
+}
+
+LocationService::LocationService(const Locator& locator,
+                                 LocationServiceConfig config)
+    : LocationService(config) {
+  locator_ = &locator;
 }
 
 LocationService::LocationService(std::shared_ptr<const Locator> locator,
@@ -45,10 +51,19 @@ LocationService::LocationService(std::shared_ptr<const Locator> locator,
   owned_locator_ = std::move(locator);
 }
 
+const Locator& LocationService::bound_locator() const {
+  if (!locator_) {
+    throw std::logic_error(
+        "LocationService: unbound service needs the "
+        "on_scan(locator, scan) form");
+  }
+  return *locator_;
+}
+
 std::vector<LocationEstimate> LocationService::locate_batch(
     std::span<const Observation> observations,
     concurrency::ThreadPool* pool) const {
-  return locator_->locate_batch(observations, pool);
+  return bound_locator().locate_batch(observations, pool);
 }
 
 std::vector<ServiceFix> LocationService::replay(
@@ -63,7 +78,7 @@ std::vector<ServiceFix> LocationService::replay(
 
 Result<LocationEstimate> LocationService::try_locate(
     const Observation& obs) const {
-  return locator_->try_locate(obs);
+  return bound_locator().try_locate(obs);
 }
 
 void LocationService::reset() {
@@ -76,6 +91,11 @@ void LocationService::reset() {
 }
 
 ServiceFix LocationService::on_scan(const radio::ScanRecord& scan) {
+  return on_scan(bound_locator(), scan);
+}
+
+ServiceFix LocationService::on_scan(const Locator& locator,
+                                    const radio::ScanRecord& scan) {
   // A NIC driver glitch or hostile replay can hand us inf/nan dBm;
   // once inside the window it would poison every mean the locator
   // sees until the window drains. Drop such samples at the door.
@@ -104,7 +124,7 @@ ServiceFix LocationService::on_scan(const radio::ScanRecord& scan) {
   }
 
   const Observation obs = Observation::from_scans(window_);
-  const Result<LocationEstimate> result = locator_->try_locate(obs);
+  const Result<LocationEstimate> result = locator.try_locate(obs);
   const LocationEstimate est =
       result.ok() ? result.value() : LocationEstimate{};
 

@@ -73,12 +73,27 @@ class LocationService {
   LocationService(std::shared_ptr<const Locator> locator,
                   LocationServiceConfig config = {});
 
+  /// Unbound form for the snapshot-serving path: the service owns only
+  /// the per-client state (window, Kalman track, debounce) and each
+  /// scan supplies the locator via the on_scan(locator, scan) overload
+  /// — so the serving layer can hot-swap the site's snapshot between
+  /// any two scans without resetting anyone's track. The locator-less
+  /// entry points (on_scan(scan), try_locate, locate_batch) throw
+  /// std::logic_error on an unbound service.
+  explicit LocationService(LocationServiceConfig config);
+
   /// Feeds one scan; returns the updated fix. Hostile input degrades
   /// instead of corrupting state: non-finite RSSI samples are dropped
   /// before they reach the window (counted in rejected_samples()), and
   /// a window the locator cannot answer coasts on the Kalman track
   /// with `fix.degraded_reason` set.
   ServiceFix on_scan(const radio::ScanRecord& scan);
+
+  /// on_scan against an explicitly supplied locator — the snapshot
+  /// form: per-client state lives here, the immutable scoring state
+  /// arrives per call. The bound on_scan(scan) is exactly
+  /// on_scan(bound locator, scan).
+  ServiceFix on_scan(const Locator& locator, const radio::ScanRecord& scan);
 
   /// One-shot taxonomy-speaking localization of an already-windowed
   /// observation through this service's locator; degenerate inputs
@@ -126,10 +141,15 @@ class LocationService {
 
   const LocationServiceConfig& config() const { return config_; }
 
+  /// False for the unbound (snapshot-serving) form.
+  bool bound() const { return locator_ != nullptr; }
+
  private:
+  const Locator& bound_locator() const;
+
   /// Set only by the owning constructor; locator_ then points into it.
   std::shared_ptr<const Locator> owned_locator_;
-  const Locator* locator_;  // non-owning
+  const Locator* locator_;  // non-owning; nullptr when unbound
   LocationServiceConfig config_;
   std::vector<radio::ScanRecord> window_;
   KalmanTracker kalman_;

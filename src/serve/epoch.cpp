@@ -1,0 +1,120 @@
+#include "serve/epoch.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace loctk::serve {
+
+namespace {
+
+/// splitmix-style hash of the thread id, so threads start probing at
+/// different slots and the common case is one CAS on a private line.
+std::size_t thread_slot_hint(std::size_t slots) {
+  const std::size_t id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::uint64_t z = static_cast<std::uint64_t>(id) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<std::size_t>(z % slots);
+}
+
+}  // namespace
+
+EpochDomain::EpochDomain(std::size_t reader_slots)
+    : slots_(std::max<std::size_t>(1, reader_slots)) {}
+
+EpochDomain::~EpochDomain() {
+  // No reader may be pinned here (contract); everything retired is
+  // therefore reclaimable.
+  retired_.clear();
+}
+
+std::size_t EpochDomain::pin() {
+  const std::size_t n = slots_.size();
+  const std::size_t start = thread_slot_hint(n);
+  for (;;) {
+    for (std::size_t probe = 0; probe < n; ++probe) {
+      const std::size_t i = (start + probe) % n;
+      std::uint64_t expected = 0;
+      // Claim-and-stamp in one seq_cst RMW: globally visible before
+      // the caller's subsequent snapshot-pointer load (see the
+      // ordering argument in the header).
+      const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+      if (slots_[i].state.compare_exchange_strong(
+              expected, e, std::memory_order_seq_cst)) {
+        return i;
+      }
+    }
+    // Every slot busy: more simultaneous pins than slots. Back off and
+    // retry — pins last one locate, so this resolves in microseconds.
+    slot_waits_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+}
+
+std::uint64_t EpochDomain::min_active_epoch() const {
+  std::uint64_t min = 0;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t e = slot.state.load(std::memory_order_seq_cst);
+    if (e != 0 && (min == 0 || e < min)) min = e;
+  }
+  return min;
+}
+
+void EpochDomain::retire(std::shared_ptr<const void> obj) {
+  // Stamp with the epoch during which the object was still current,
+  // then advance. A reader pinned at <= this epoch may hold the object.
+  const std::uint64_t e = epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (obj) retired_.push_back({std::move(obj), e});
+  try_reclaim();
+}
+
+std::size_t EpochDomain::try_reclaim() {
+  if (retired_.empty()) return 0;
+  const std::uint64_t now = epoch_.load(std::memory_order_seq_cst);
+  // One slot scan covers every retired entry: an entry stamped E is
+  // safe once every slot is free or pinned strictly after E.
+  std::uint64_t oldest_pin = 0;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t e = slot.state.load(std::memory_order_seq_cst);
+    if (e != 0) {
+      if (oldest_pin == 0 || e < oldest_pin) oldest_pin = e;
+      if (now >= e + 2) {
+        // Pinned across two or more epoch bumps: a genuinely stalled
+        // reader (the soak gate requires this never happens).
+        reader_stalls_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  const auto safe = [&](const Retired& r) {
+    return oldest_pin == 0 || r.epoch < oldest_pin;
+  };
+  const std::size_t before = retired_.size();
+  retired_.erase(std::remove_if(retired_.begin(), retired_.end(), safe),
+                 retired_.end());
+  return before - retired_.size();
+}
+
+void EpochDomain::await_readers() const {
+  const std::uint64_t now = epoch_.load(std::memory_order_seq_cst);
+  for (const Slot& slot : slots_) {
+    // A slot stamped before `now` belongs to a reader that pinned
+    // before this call; wait it out. Slots (re)claimed from here on
+    // are stamped >= now and don't block the grace period.
+    while (true) {
+      const std::uint64_t e = slot.state.load(std::memory_order_seq_cst);
+      if (e == 0 || e >= now) break;
+      std::this_thread::yield();
+    }
+  }
+}
+
+void EpochDomain::quiesce() {
+  while (!retired_.empty()) {
+    if (try_reclaim() == 0) std::this_thread::yield();
+  }
+}
+
+std::size_t EpochDomain::retired_count() const { return retired_.size(); }
+
+}  // namespace loctk::serve

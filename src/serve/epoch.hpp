@@ -1,0 +1,161 @@
+#pragma once
+
+/// \file epoch.hpp
+/// Epoch-based reclamation for hot-swappable snapshots.
+///
+/// The serving layer publishes each site's compiled database + locator
+/// as an immutable snapshot behind a single atomic pointer. Readers on
+/// the scan path must never take a lock, yet a recompile can replace
+/// the snapshot at any moment — so the old snapshot may only be freed
+/// once no reader can still be dereferencing it. `EpochDomain` answers
+/// exactly that question with the classic epoch/RCU scheme:
+///
+///  * a monotonically increasing **epoch counter**, bumped once per
+///    snapshot retirement;
+///  * an array of cache-line-padded **reader slots**. A reader pins by
+///    CAS-claiming a free slot and stamping it with the current epoch,
+///    then loads the snapshot pointer; unpin is a single release store
+///    of 0. No locks, no reference counts on a shared cache line —
+///    concurrent readers touch disjoint lines;
+///  * a writer-side **retire list**: each retired snapshot is stamped
+///    with the epoch at which it stopped being current and freed once
+///    every slot is either quiescent or pinned at a later epoch.
+///
+/// Memory-ordering argument (all epoch/slot/pointer operations are
+/// seq_cst, so a single total order S exists): the reader claims its
+/// slot with a seq_cst RMW *before* loading the snapshot pointer; the
+/// writer swaps the pointer, bumps the epoch, and *then* scans the
+/// slots. If the writer's scan misses a reader's claim, the claim is
+/// later in S than the scan, hence the reader's pointer load is later
+/// in S than the writer's pointer swap — the reader observes the new
+/// snapshot, and the retired one is safe to free. If the scan sees the
+/// claim, the stamped epoch is <= the retire epoch and the snapshot is
+/// kept. Either way no reader can hold a freed pointer, and the reader
+/// never loops or waits: pin is wait-free while any slot is free.
+///
+/// Writers (swap + reclaim) are expected to serialize externally (the
+/// shard's swap mutex); readers need no coordination at all.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace loctk::serve {
+
+class EpochDomain {
+ public:
+  /// `reader_slots` bounds the number of *simultaneously pinned*
+  /// readers (not threads — a thread occupies a slot only while
+  /// inside a guard). Sized generously by default; a pin that finds
+  /// every slot busy spins until one frees (counted in slot_waits()).
+  explicit EpochDomain(std::size_t reader_slots = 64);
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Frees everything still retired. Callers must ensure no reader is
+  /// pinned (stop traffic before tearing down a shard).
+  ~EpochDomain();
+
+  /// RAII reader pin. While alive, no snapshot retired at or after the
+  /// pinned epoch is reclaimed, so any pointer loaded inside the guard
+  /// stays valid until the guard drops.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(EpochDomain& domain) : domain_(&domain) {
+      slot_ = domain.pin();
+    }
+    ~ReadGuard() { domain_->unpin(slot_); }
+
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    /// The epoch this reader is pinned at.
+    std::uint64_t epoch() const {
+      return domain_->slots_[slot_].state.load(std::memory_order_relaxed);
+    }
+
+   private:
+    EpochDomain* domain_;
+    std::size_t slot_;
+  };
+
+  /// Current epoch (starts at 1; bumped by every retire()).
+  std::uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Oldest epoch any pinned reader is stamped with; 0 when no reader
+  /// is pinned. Advisory (racy by nature) — used for lag metrics and
+  /// reclaim decisions, both of which tolerate staleness.
+  std::uint64_t min_active_epoch() const;
+
+  /// Writer side: takes ownership of a retired object, stamps it with
+  /// the current epoch, bumps the epoch, and opportunistically frees
+  /// whatever became safe. External serialization required (one
+  /// writer at a time per domain).
+  void retire(std::shared_ptr<const void> obj);
+
+  /// Frees every retired object no reader can still see; returns how
+  /// many were freed. Writer-side.
+  std::size_t try_reclaim();
+
+  /// Spins until the retire list drains (readers finish). Writer-side;
+  /// for tests and teardown.
+  void quiesce();
+
+  /// Writer-side grace period: returns once every reader pinned
+  /// *before* the call has unpinned (each slot is free or stamped at
+  /// the current epoch). Pacing swaps with this guarantees no reader
+  /// is ever pinned across two consecutive swaps — the zero-stall
+  /// invariant the soak gates on — while readers themselves never
+  /// wait for anything.
+  void await_readers() const;
+
+  /// Retired objects not yet freed.
+  std::size_t retired_count() const;
+
+  std::size_t reader_slot_count() const { return slots_.size(); }
+
+  /// Pins that had to wait for a free slot (all slots busy). Staying
+  /// at zero means the read path stayed wait-free.
+  std::uint64_t slot_waits() const {
+    return slot_waits_.load(std::memory_order_relaxed);
+  }
+
+  /// Readers observed pinned more than one epoch behind at reclaim
+  /// time — i.e. a reader that stayed pinned across two consecutive
+  /// swaps. The soak gate requires zero.
+  std::uint64_t reader_stalls() const {
+    return reader_stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ReadGuard;
+
+  struct alignas(64) Slot {
+    /// 0 = free/quiescent; otherwise the epoch the occupant pinned at.
+    std::atomic<std::uint64_t> state{0};
+  };
+
+  struct Retired {
+    std::shared_ptr<const void> obj;
+    std::uint64_t epoch = 0;
+  };
+
+  std::size_t pin();
+  void unpin(std::size_t slot) {
+    slots_[slot].state.store(0, std::memory_order_seq_cst);
+  }
+
+  std::atomic<std::uint64_t> epoch_{1};
+  std::vector<Slot> slots_;
+  /// Writer-side only (serialized by the caller), so a plain vector.
+  std::vector<Retired> retired_;
+  std::atomic<std::uint64_t> slot_waits_{0};
+  std::atomic<std::uint64_t> reader_stalls_{0};
+};
+
+}  // namespace loctk::serve

@@ -1,0 +1,93 @@
+#include "serve/session_table.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+namespace loctk::serve {
+
+namespace {
+
+std::size_t round_pow2(std::size_t n) {
+  return std::bit_ceil(std::max<std::size_t>(1, n));
+}
+
+}  // namespace
+
+std::uint64_t SessionTable::mix(DeviceId key) {
+  std::uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+SessionTable::SessionTable(std::size_t capacity, std::size_t stripes) {
+  const std::size_t stripe_count = round_pow2(stripes);
+  const std::size_t cells =
+      round_pow2((round_pow2(capacity) + stripe_count - 1) / stripe_count);
+  stripe_mask_ = cells - 1;
+  stripe_shift_ = static_cast<std::size_t>(std::countr_zero(cells));
+  stripes_.resize(stripe_count);
+  for (Stripe& stripe : stripes_) {
+    stripe.cells = std::make_unique<Cell[]>(cells);
+  }
+}
+
+SessionTable::~SessionTable() {
+  for (Stripe& stripe : stripes_) {
+    for (std::size_t i = 0; i <= stripe_mask_; ++i) {
+      delete stripe.cells[i].session.load(std::memory_order_acquire);
+    }
+  }
+}
+
+Session* SessionTable::find_or_create(
+    DeviceId device, const core::LocationServiceConfig& config) {
+  if (device == 0) return nullptr;
+  const std::uint64_t h = mix(device);
+  Stripe& stripe = stripes_[h & (stripes_.size() - 1)];
+  const std::size_t start =
+      static_cast<std::size_t>(h >> stripe_shift_) & stripe_mask_;
+  for (std::size_t probe = 0; probe <= stripe_mask_; ++probe) {
+    Cell& cell = stripe.cells[(start + probe) & stripe_mask_];
+    DeviceId k = cell.key.load(std::memory_order_acquire);
+    if (k == 0) {
+      // Claim the empty cell; a losing racer re-reads and either finds
+      // our key (falls through below) or keeps probing.
+      if (cell.key.compare_exchange_strong(k, device,
+                                           std::memory_order_acq_rel)) {
+        Session* created = new Session(config);
+        cell.session.store(created, std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return created;
+      }
+    }
+    if (k == device || cell.key.load(std::memory_order_acquire) == device) {
+      // Winner may still be constructing; its store is release, our
+      // loop load is acquire, so the session is fully built once seen.
+      for (;;) {
+        Session* s = cell.session.load(std::memory_order_acquire);
+        if (s) return s;
+        std::this_thread::yield();
+      }
+    }
+  }
+  return nullptr;  // stripe full
+}
+
+Session* SessionTable::find(DeviceId device) const {
+  if (device == 0) return nullptr;
+  const std::uint64_t h = mix(device);
+  const Stripe& stripe = stripes_[h & (stripes_.size() - 1)];
+  const std::size_t start =
+      static_cast<std::size_t>(h >> stripe_shift_) & stripe_mask_;
+  for (std::size_t probe = 0; probe <= stripe_mask_; ++probe) {
+    const Cell& cell = stripe.cells[(start + probe) & stripe_mask_];
+    const DeviceId k = cell.key.load(std::memory_order_acquire);
+    if (k == 0) return nullptr;
+    if (k == device) return cell.session.load(std::memory_order_acquire);
+  }
+  return nullptr;
+}
+
+}  // namespace loctk::serve

@@ -1,0 +1,340 @@
+#include "testkit/server_soak.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "base/metrics.hpp"
+#include "concurrency/parallel_for.hpp"
+#include "core/compiled_db.hpp"
+#include "core/probabilistic.hpp"
+#include "serve/location_server.hpp"
+#include "testkit/scenario.hpp"
+#include "testkit/trace.hpp"
+
+namespace loctk::testkit {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Per-(site, device) tallies, written only by the worker replaying
+/// that device and merged in (site, device) order afterwards.
+struct DeviceSlot {
+  std::uint64_t valid = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t invalid = 0;
+  std::vector<double> errors_ft;
+  std::vector<double> on_scan_s;
+};
+
+std::string format_violation(const char* what, std::uint64_t expected,
+                             std::uint64_t actual) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s: expected %llu, got %llu", what,
+                static_cast<unsigned long long>(expected),
+                static_cast<unsigned long long>(actual));
+  return buf;
+}
+
+/// The production republish: a locator freshly compiled from the
+/// site's training database. Compilation is deterministic, so every
+/// generation scores identically — which is what keeps the run report
+/// independent of swap timing.
+std::shared_ptr<const core::Locator> make_site_locator(
+    const Scenario& scenario) {
+  core::ProbabilisticConfig config;
+  config.prune_top_k = 32;
+  config.prune_strongest_aps = 4;
+  return std::make_shared<const core::ProbabilisticLocator>(
+      core::CompiledDatabase::compile(scenario.database()), config);
+}
+
+/// The fleet soak's standing fault schedule, per site.
+void add_fault_schedule(ScenarioSpec& spec) {
+  const auto devices = static_cast<std::uint32_t>(spec.devices.size());
+  for (std::uint32_t d = 0; d < devices; d += 7) {
+    spec.faults.push_back({.device = d, .scan_index = (d % 13) + 3,
+                           .kind = FaultEvent::Kind::kNonFiniteRssi});
+  }
+  for (std::uint32_t d = 3; d < devices; d += 11) {
+    spec.faults.push_back({.device = d, .scan_index = (d % 17) + 2,
+                           .kind = FaultEvent::Kind::kDropScan});
+  }
+  for (std::uint32_t d = 5; d < devices; d += 9) {
+    spec.faults.push_back({.device = d, .scan_index = (d % 19) + 1,
+                           .kind = FaultEvent::Kind::kDropStrongestAp});
+  }
+}
+
+serve::DeviceId device_id(std::size_t site, std::uint32_t device) {
+  return (static_cast<serve::DeviceId>(site + 1) << 32) |
+         (static_cast<serve::DeviceId>(device) + 1);
+}
+
+}  // namespace
+
+ServerSoakResult run_server_soak(const ServerSoakConfig& config) {
+  concurrency::ThreadPool& pool =
+      config.pool ? *config.pool : concurrency::default_pool();
+  ServerSoakResult result;
+
+  // --- Synthesize the multi-site workload -------------------------
+  std::vector<std::unique_ptr<Scenario>> scenarios;
+  std::vector<ScanTrace> traces;
+  scenarios.reserve(config.sites);
+  traces.reserve(config.sites);
+  std::size_t total_scans = 0;
+  for (std::size_t s = 0; s < config.sites; ++s) {
+    ScenarioSpec spec = ScenarioSpec::fleet(
+        config.devices_per_site, config.scans_per_device,
+        config.seed + 1000 * (s + 1));
+    spec.name = "site-" + std::to_string(s) + "-" + spec.name;
+    if (config.fault_schedule) add_fault_schedule(spec);
+    scenarios.push_back(std::make_unique<Scenario>(std::move(spec)));
+    traces.push_back(scenarios.back()->record_trace());
+    total_scans += traces.back().scans.size();
+  }
+
+  // --- Stand the server up ----------------------------------------
+  serve::LocationServerConfig server_config;
+  server_config.service = config.service;
+  server_config.max_sites = std::max<std::size_t>(1, config.sites);
+  server_config.sessions_per_site =
+      std::max<std::size_t>(64, 2 * config.devices_per_site);
+  serve::LocationServer server(server_config);
+
+  metrics::Counter& service_scans = metrics::counter("service.scans");
+  metrics::Counter& service_rejected =
+      metrics::counter("service.rejected_samples");
+  const std::uint64_t service_scans_before = service_scans.value();
+  const std::uint64_t service_rejected_before = service_rejected.value();
+  const std::size_t pool_errors_before = pool.uncaught_task_errors();
+
+  std::vector<serve::SiteId> site_ids;
+  std::vector<std::uint64_t> shard_scans_before;
+  for (std::size_t s = 0; s < config.sites; ++s) {
+    site_ids.push_back(server.add_site(scenarios[s]->spec().name,
+                                       make_site_locator(*scenarios[s])));
+    shard_scans_before.push_back(server.stats(site_ids[s]).scans);
+  }
+
+  // --- Replay with a swapper thread republishing under load -------
+  std::vector<std::vector<std::vector<std::size_t>>> by_device(config.sites);
+  std::vector<std::pair<std::size_t, std::uint32_t>> work;
+  for (std::size_t s = 0; s < config.sites; ++s) {
+    by_device[s] = traces[s].scans_by_device();
+    for (std::uint32_t d = 0; d < by_device[s].size(); ++d) {
+      work.emplace_back(s, d);
+    }
+  }
+  std::vector<DeviceSlot> slots(work.size());
+
+  const std::size_t swap_every =
+      config.swap_every_scans > 0
+          ? config.swap_every_scans
+          : std::max<std::size_t>(1, total_scans / 16);
+  const std::uint64_t planned_waves =
+      static_cast<std::uint64_t>(total_scans / swap_every);
+
+  std::atomic<std::size_t> progress{0};
+  std::atomic<std::uint64_t> waves_claimed{0};
+  std::atomic<std::uint64_t> waves{0};
+  std::atomic<std::uint64_t> waves_under_load{0};
+
+  // Swap waves are worker-driven: the replay worker whose scan pushes
+  // fleet progress across a multiple of `swap_every` claims the wave
+  // and republishes every site inline, while the rest of the fleet
+  // keeps scanning straight through the swap. That makes the wave
+  // count an exact function of progress (no scheduler luck, even on a
+  // single-CPU host) and still lands every wave under live traffic.
+  const auto drive_swap_waves = [&](std::size_t scans_done) {
+    std::uint64_t claimed = waves_claimed.load(std::memory_order_relaxed);
+    while (claimed < planned_waves &&
+           static_cast<std::uint64_t>(scans_done) >=
+               (claimed + 1) * swap_every) {
+      if (waves_claimed.compare_exchange_weak(claimed, claimed + 1,
+                                              std::memory_order_relaxed)) {
+        for (std::size_t s = 0; s < config.sites; ++s) {
+          server.swap_site(site_ids[s], make_site_locator(*scenarios[s]));
+        }
+        waves.fetch_add(1, std::memory_order_relaxed);
+        if (progress.load(std::memory_order_relaxed) < total_scans) {
+          waves_under_load.fetch_add(1, std::memory_order_relaxed);
+        }
+        claimed = waves_claimed.load(std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const Clock::time_point start = Clock::now();
+  concurrency::parallel_for(pool, 0, work.size(), [&](std::size_t w) {
+    const auto [site, device] = work[w];
+    const ScanTrace& trace = traces[site];
+    DeviceSlot& slot = slots[w];
+    const serve::DeviceId id = device_id(site, device);
+    slot.errors_ft.reserve(by_device[site][device].size());
+    slot.on_scan_s.reserve(by_device[site][device].size());
+    for (std::size_t idx : by_device[site][device]) {
+      const TraceScan& ts = trace.scans[idx];
+      const Clock::time_point scan_start = Clock::now();
+      const core::ServiceFix fix =
+          server.on_scan(site_ids[site], id, ts.scan);
+      slot.on_scan_s.push_back(seconds_since(scan_start));
+      const std::size_t done =
+          progress.fetch_add(1, std::memory_order_relaxed) + 1;
+      drive_swap_waves(done);
+      if (!fix.valid) {
+        ++slot.invalid;
+      } else if (fix.degraded()) {
+        ++slot.degraded;
+      } else {
+        ++slot.valid;
+        slot.errors_ft.push_back(geom::distance(fix.position, ts.truth));
+      }
+    }
+  });
+  result.wall_s = seconds_since(start);
+  result.swap_waves = waves.load();
+  result.swap_waves_under_load = waves_under_load.load();
+
+  // --- Assemble the deterministic reports -------------------------
+  RunReport& report = result.report;
+  report.scenario = "server-soak-" + std::to_string(config.sites) + "x" +
+                    std::to_string(config.devices_per_site) + "x" +
+                    std::to_string(config.scans_per_device) + "-seed" +
+                    std::to_string(config.seed);
+  report.device_count =
+      static_cast<std::uint32_t>(config.sites * config.devices_per_site);
+  report.scans_replayed = total_scans;
+
+  result.site_reports.resize(config.sites);
+  std::vector<double> latencies;
+  latencies.reserve(total_scans);
+  for (std::size_t w = 0; w < work.size(); ++w) {
+    const auto [site, device] = work[w];
+    const DeviceSlot& slot = slots[w];
+    RunReport& site_report = result.site_reports[site];
+    site_report.scenario = traces[site].scenario;
+    site_report.device_count = traces[site].device_count;
+    site_report.scans_replayed = traces[site].scans.size();
+    site_report.valid_fixes += slot.valid;
+    site_report.degraded_fixes += slot.degraded;
+    site_report.invalid_fixes += slot.invalid;
+    site_report.errors_ft.insert(site_report.errors_ft.end(),
+                                 slot.errors_ft.begin(),
+                                 slot.errors_ft.end());
+    latencies.insert(latencies.end(), slot.on_scan_s.begin(),
+                     slot.on_scan_s.end());
+  }
+  std::uint64_t non_finite_samples = 0;
+  for (std::size_t s = 0; s < config.sites; ++s) {
+    RunReport& site_report = result.site_reports[s];
+    // Rejected samples are deterministic properties of the trace (the
+    // session drops exactly the non-finite ones); the metric
+    // cross-check below confirms the live counters agree.
+    for (const TraceScan& ts : traces[s].scans) {
+      for (const radio::ScanSample& sample : ts.scan.samples) {
+        if (!std::isfinite(sample.rssi_dbm)) ++site_report.rejected_samples;
+      }
+    }
+    non_finite_samples += site_report.rejected_samples;
+    std::sort(site_report.errors_ft.begin(), site_report.errors_ft.end());
+    report.valid_fixes += site_report.valid_fixes;
+    report.degraded_fixes += site_report.degraded_fixes;
+    report.invalid_fixes += site_report.invalid_fixes;
+    report.rejected_samples += site_report.rejected_samples;
+    report.errors_ft.insert(report.errors_ft.end(),
+                            site_report.errors_ft.begin(),
+                            site_report.errors_ft.end());
+  }
+  std::sort(report.errors_ft.begin(), report.errors_ft.end());
+
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    double sum = 0.0;
+    for (double v : latencies) sum += v;
+    result.mean_on_scan_s = sum / static_cast<double>(latencies.size());
+    result.p99_on_scan_s =
+        latencies[std::min(latencies.size() - 1,
+                           static_cast<std::size_t>(std::ceil(
+                               0.99 * static_cast<double>(latencies.size()))) -
+                               1)];
+  }
+
+  // --- Invariants --------------------------------------------------
+  auto check = [&result](bool ok, std::string message) {
+    if (!ok) result.violations.push_back(std::move(message));
+  };
+
+  const std::uint64_t fixes_total =
+      report.valid_fixes + report.degraded_fixes + report.invalid_fixes;
+  check(fixes_total == report.scans_replayed,
+        format_violation("fix partition must sum to scan count",
+                         report.scans_replayed, fixes_total));
+  check(service_scans.value() - service_scans_before ==
+            report.scans_replayed,
+        format_violation("every scan must reach a session",
+                         report.scans_replayed,
+                         service_scans.value() - service_scans_before));
+  check(service_rejected.value() - service_rejected_before ==
+            non_finite_samples,
+        format_violation("every non-finite sample must be rejected",
+                         non_finite_samples,
+                         service_rejected.value() - service_rejected_before));
+  check(result.swap_waves == planned_waves,
+        format_violation("every planned swap wave must run",
+                         planned_waves, result.swap_waves));
+  check(pool.uncaught_task_errors() == pool_errors_before,
+        format_violation("uncaught pool errors during soak", 0,
+                         pool.uncaught_task_errors() - pool_errors_before));
+
+  for (std::size_t s = 0; s < config.sites; ++s) {
+    server.reclaim(site_ids[s]);
+    const serve::SiteStats stats = server.stats(site_ids[s]);
+    result.max_generation = std::max(result.max_generation, stats.generation);
+    const std::string prefix = "site " + std::to_string(s) + " ";
+    check(stats.scans - shard_scans_before[s] ==
+              result.site_reports[s].scans_replayed,
+          format_violation((prefix + "shard scan counter").c_str(),
+                           result.site_reports[s].scans_replayed,
+                           stats.scans - shard_scans_before[s]));
+    check(stats.generation == planned_waves + 1,
+          format_violation((prefix + "snapshot generation").c_str(),
+                           planned_waves + 1, stats.generation));
+    check(stats.sessions == config.devices_per_site,
+          format_violation((prefix + "one session per device").c_str(),
+                           config.devices_per_site, stats.sessions));
+    check(stats.retired_snapshots == 0,
+          format_violation(
+              (prefix + "all retired snapshots reclaimed").c_str(), 0,
+              stats.retired_snapshots));
+    check(stats.reader_stalls == 0,
+          format_violation(
+              (prefix + "readers never stall across two epochs").c_str(),
+              0, stats.reader_stalls));
+    check(stats.sessions_rejected == 0,
+          format_violation((prefix + "session table never fills").c_str(),
+                           0, stats.sessions_rejected));
+  }
+
+  if (config.max_p99_on_scan_s > 0.0 &&
+      result.p99_on_scan_s > config.max_p99_on_scan_s) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "p99 on_scan latency %.4fs exceeds bound %.4fs",
+                  result.p99_on_scan_s, config.max_p99_on_scan_s);
+    result.violations.push_back(buf);
+  }
+
+  return result;
+}
+
+}  // namespace loctk::testkit

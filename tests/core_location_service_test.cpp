@@ -4,6 +4,10 @@
 #include "core/location_service.hpp"
 
 #include <limits>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -227,6 +231,68 @@ TEST(LocationService, ReplayMatchesScanByScanFeed) {
   }
   EXPECT_EQ(replayed.scans_seen(), scans.size());
   EXPECT_EQ(fed.scans_seen(), scans.size());
+}
+
+// The serving layer's foundational assumption, pinned as a regression:
+// locators are immutable after construction, so any number of services
+// (or server shards) may share one instance across threads. The
+// Locator query surface is const — and must actually be thread-safe,
+// not just const-annotated. Run under TSan this test is the proof; in
+// a plain build it still checks result integrity.
+TEST(LocationService, DistinctServicesShareOneLocatorAcrossThreads) {
+  static_assert(
+      std::is_same_v<decltype(&Locator::locate),
+                     LocationEstimate (Locator::*)(const Observation&)
+                         const>,
+      "Locator::locate must stay const: services and server shards "
+      "share locators across threads");
+
+  Fixture f;
+  constexpr int kThreads = 2;
+  constexpr int kScans = 50;
+  std::vector<ServiceFix> last(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      LocationService svc(f.locator);  // distinct service, shared locator
+      ServiceFix fix;
+      for (int i = 0; i < kScans; ++i) {
+        fix = svc.on_scan(scan_at({20, 20}, 1.0 * i));
+      }
+      last[static_cast<std::size_t>(t)] = fix;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Identical inputs through independent sessions over the shared
+  // locator must give identical answers — cross-thread interference
+  // through the locator would break this (and trip TSan).
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(last[static_cast<std::size_t>(t)].valid) << t;
+    EXPECT_EQ(last[static_cast<std::size_t>(t)].position, last[0].position);
+    EXPECT_EQ(last[static_cast<std::size_t>(t)].place, last[0].place);
+  }
+}
+
+TEST(LocationService, UnboundServiceTakesPerScanLocator) {
+  // The serve-path form: a session constructed without a locator is
+  // fed one per scan (the shard's pinned snapshot). Feeding the same
+  // locator each time must match the bound service exactly.
+  Fixture f;
+  LocationService bound(f.locator);
+  LocationService unbound((LocationServiceConfig()));
+  EXPECT_TRUE(bound.bound());
+  EXPECT_FALSE(unbound.bound());
+  for (int i = 0; i < 8; ++i) {
+    const radio::ScanRecord rec = scan_at({20, 20}, 1.0 * i);
+    const ServiceFix want = bound.on_scan(rec);
+    const ServiceFix got = unbound.on_scan(f.locator, rec);
+    EXPECT_EQ(got.valid, want.valid) << i;
+    EXPECT_EQ(got.position, want.position) << i;
+    EXPECT_EQ(got.place, want.place) << i;
+  }
+  // The locator-less entry points are unusable on an unbound service.
+  EXPECT_THROW(unbound.on_scan(scan_at({20, 20})), std::logic_error);
 }
 
 TEST(LocationService, ScansSeenSurvivesReset) {

@@ -1,0 +1,157 @@
+// EpochDomain: the epoch/RCU reclamation layer under the snapshot
+// swap. These tests pin the protocol invariants the serving core
+// stands on: a pinned reader blocks reclamation of anything it could
+// still see, an unpinned domain reclaims everything, and a storm of
+// concurrent readers + a swapping writer never frees a snapshot out
+// from under a guard (ASan/TSan make that structural, the use-count
+// checks make it observable here).
+
+#include "serve/epoch.hpp"
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace loctk::serve {
+namespace {
+
+TEST(EpochDomain, StartsQuiescent) {
+  EpochDomain domain(8);
+  EXPECT_EQ(domain.current_epoch(), 1u);
+  EXPECT_EQ(domain.min_active_epoch(), 0u);
+  EXPECT_EQ(domain.retired_count(), 0u);
+  EXPECT_EQ(domain.reader_slot_count(), 8u);
+}
+
+TEST(EpochDomain, GuardPinsCurrentEpoch) {
+  EpochDomain domain(8);
+  {
+    EpochDomain::ReadGuard guard(domain);
+    EXPECT_EQ(guard.epoch(), 1u);
+    EXPECT_EQ(domain.min_active_epoch(), 1u);
+  }
+  EXPECT_EQ(domain.min_active_epoch(), 0u);
+}
+
+TEST(EpochDomain, RetireWithoutReadersReclaimsImmediately) {
+  EpochDomain domain(8);
+  auto obj = std::make_shared<int>(42);
+  std::weak_ptr<int> weak = obj;
+  domain.retire(std::move(obj));
+  EXPECT_EQ(domain.current_epoch(), 2u);
+  EXPECT_EQ(domain.retired_count(), 0u);  // retire() reclaims inline
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(EpochDomain, PinnedReaderBlocksReclamation) {
+  EpochDomain domain(8);
+  auto obj = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = obj;
+  {
+    EpochDomain::ReadGuard guard(domain);
+    domain.retire(std::move(obj));
+    // The reader pinned at epoch 1 may still hold the object retired
+    // at epoch 1: it must survive.
+    EXPECT_EQ(domain.retired_count(), 1u);
+    EXPECT_FALSE(weak.expired());
+    EXPECT_EQ(domain.try_reclaim(), 0u);
+  }
+  EXPECT_EQ(domain.try_reclaim(), 1u);
+  EXPECT_TRUE(weak.expired());
+  EXPECT_EQ(domain.retired_count(), 0u);
+}
+
+TEST(EpochDomain, LateReaderDoesNotBlockEarlierRetirement) {
+  EpochDomain domain(8);
+  auto obj = std::make_shared<int>(1);
+  domain.retire(std::move(obj));  // retired at epoch 1, epoch now 2
+  auto second = std::make_shared<int>(2);
+  std::weak_ptr<int> weak2 = second;
+  EpochDomain::ReadGuard guard(domain);  // pinned at epoch 2
+  domain.retire(std::move(second));      // retired at epoch 2
+  // The reader pinned at 2 could hold the second object but provably
+  // never saw the first (it was replaced before the reader pinned).
+  EXPECT_EQ(domain.retired_count(), 1u);
+  EXPECT_FALSE(weak2.expired());
+}
+
+TEST(EpochDomain, DoubleRetireInOneGuardKeepsBoth) {
+  // "Double-swap in one epoch": two retirements while one reader is
+  // pinned — both snapshots must survive until the guard drops.
+  EpochDomain domain(8);
+  auto a = std::make_shared<int>(1);
+  auto b = std::make_shared<int>(2);
+  std::weak_ptr<int> wa = a, wb = b;
+  {
+    EpochDomain::ReadGuard guard(domain);
+    domain.retire(std::move(a));
+    domain.retire(std::move(b));
+    EXPECT_EQ(domain.retired_count(), 2u);
+    EXPECT_FALSE(wa.expired());
+    EXPECT_FALSE(wb.expired());
+  }
+  domain.quiesce();
+  EXPECT_TRUE(wa.expired());
+  EXPECT_TRUE(wb.expired());
+}
+
+TEST(EpochDomain, SlotExhaustionWaitsInsteadOfFailing) {
+  EpochDomain domain(1);
+  std::atomic<bool> inner_done{false};
+  std::optional<EpochDomain::ReadGuard> outer;
+  outer.emplace(domain);
+  std::thread t([&] {
+    EpochDomain::ReadGuard inner(domain);  // must wait for the slot
+    inner_done.store(true);
+  });
+  // Let the thread hit the full slot array, then release the slot.
+  while (domain.slot_waits() == 0 && !inner_done.load()) {
+    std::this_thread::yield();
+  }
+  outer.reset();
+  t.join();
+  EXPECT_TRUE(inner_done.load());
+}
+
+TEST(EpochDomain, ConcurrentReadersAndWriterNeverFreePinnedObject) {
+  EpochDomain domain(32);
+  // The writer publishes a sequence of objects through `published`,
+  // retiring the previous one each time; readers pin, load, and verify
+  // the object is alive and intact.
+  auto first = std::make_shared<int>(0);
+  std::atomic<const int*> published{first.get()};
+  std::shared_ptr<int> owner = first;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochDomain::ReadGuard guard(domain);
+        const int* p = published.load(std::memory_order_seq_cst);
+        // The value must be readable (ASan would flag a freed read)
+        // and non-negative (a poisoned value would mean a torn swap).
+        EXPECT_GE(*p, 0);
+      }
+    });
+  }
+
+  for (int gen = 1; gen <= 500; ++gen) {
+    auto next = std::make_shared<int>(gen);
+    published.store(next.get(), std::memory_order_seq_cst);
+    std::shared_ptr<int> old = std::move(owner);
+    owner = std::move(next);
+    domain.retire(std::move(old));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  domain.quiesce();
+  EXPECT_EQ(domain.retired_count(), 0u);
+}
+
+}  // namespace
+}  // namespace loctk::serve

@@ -1,0 +1,150 @@
+// SessionTable: lock-free per-device session storage. The contract
+// under test: one session per device forever (find_or_create is
+// idempotent and race-free), a full stripe rejects instead of
+// blocking, and sessions persist — pointers stay stable for the
+// table's lifetime because the serving layer holds them across calls.
+
+#include "serve/session_table.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/location_service.hpp"
+
+namespace loctk::serve {
+namespace {
+
+core::LocationServiceConfig service_config() {
+  core::LocationServiceConfig config;
+  config.window_scans = 3;
+  return config;
+}
+
+TEST(SessionTable, CapacityRoundsToPowerOfTwoPerStripe) {
+  SessionTable table(/*capacity=*/100, /*stripes=*/4);
+  EXPECT_EQ(table.stripe_count(), 4u);
+  // 100/4 = 25 cells per stripe, rounded up to 32 → 128 total.
+  EXPECT_EQ(table.capacity(), 128u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(SessionTable, FindOrCreateIsIdempotent) {
+  SessionTable table(64, 4);
+  const auto config = service_config();
+  Session* first = table.find_or_create(42, config);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find_or_create(42, config), first);
+  EXPECT_EQ(table.find(42), first);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SessionTable, FindWithoutCreateReturnsNull) {
+  SessionTable table(64, 4);
+  EXPECT_EQ(table.find(7), nullptr);
+  table.find_or_create(7, service_config());
+  EXPECT_NE(table.find(7), nullptr);
+  EXPECT_EQ(table.find(8), nullptr);
+}
+
+TEST(SessionTable, DistinctDevicesGetDistinctSessions) {
+  SessionTable table(1 << 10, 8);
+  const auto config = service_config();
+  std::set<Session*> sessions;
+  for (DeviceId d = 1; d <= 200; ++d) {
+    Session* s = table.find_or_create(d, config);
+    ASSERT_NE(s, nullptr);
+    sessions.insert(s);
+  }
+  EXPECT_EQ(sessions.size(), 200u);
+  EXPECT_EQ(table.size(), 200u);
+}
+
+TEST(SessionTable, FullTableRejectsNewDevicesButServesExisting) {
+  // One stripe of minimal size: easy to fill completely.
+  SessionTable table(/*capacity=*/4, /*stripes=*/1);
+  const auto config = service_config();
+  ASSERT_EQ(table.capacity(), 4u);
+
+  std::vector<DeviceId> admitted;
+  DeviceId next = 1;
+  while (admitted.size() < table.capacity()) {
+    if (table.find_or_create(next, config) != nullptr) {
+      admitted.push_back(next);
+    }
+    ++next;
+  }
+  EXPECT_EQ(table.size(), table.capacity());
+
+  // A brand-new device must be rejected, not block or evict...
+  EXPECT_EQ(table.find_or_create(next, config), nullptr);
+  // ...while every admitted device keeps resolving to its session.
+  for (DeviceId d : admitted) {
+    EXPECT_NE(table.find(d), nullptr);
+  }
+}
+
+TEST(SessionTable, ConcurrentCreatesConvergeOnOneSession) {
+  // The claim race: many threads call find_or_create for the same
+  // fresh device simultaneously; exactly one session may exist and
+  // every caller must receive that same pointer.
+  constexpr int kThreads = 8;
+  constexpr DeviceId kDevices = 64;
+  SessionTable table(1 << 10, 8);
+  const auto config = service_config();
+
+  std::vector<std::vector<Session*>> seen(kThreads,
+                                          std::vector<Session*>(kDevices));
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (DeviceId d = 1; d <= kDevices; ++d) {
+        seen[static_cast<std::size_t>(t)][d - 1] =
+            table.find_or_create(d, config);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (DeviceId d = 1; d <= kDevices; ++d) {
+    Session* canonical = seen[0][d - 1];
+    ASSERT_NE(canonical, nullptr);
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t)][d - 1], canonical)
+          << "device " << d << " thread " << t;
+    }
+  }
+  EXPECT_EQ(table.size(), kDevices);
+}
+
+TEST(SessionTable, SessionLockSerializesSameDevice) {
+  SessionTable table(64, 4);
+  Session* s = table.find_or_create(1, service_config());
+  ASSERT_NE(s, nullptr);
+
+  int shared = 0;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        s->lock();
+        ++shared;  // data-race-free only if lock() works (TSan checks)
+        s->unlock();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(shared, 4 * kIters);
+}
+
+}  // namespace
+}  // namespace loctk::serve

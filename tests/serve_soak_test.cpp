@@ -1,0 +1,104 @@
+// Server-level soak: the load generator in testkit/server_soak.hpp
+// driven at test scale. The heavyweight gates live here under the
+// `soak` ctest label (CI's nightly leg runs the 10k-device version via
+// `soak_fleet --server`):
+//
+//  * every built-in invariant holds (scan accounting, swap waves,
+//    reclamation, session counts, zero reader stalls);
+//  * the combined RunReport is byte-identical across thread counts —
+//    concurrency and hot swaps must not leak into the answers;
+//  * swaps genuinely landed while traffic was in flight.
+
+#include "testkit/server_soak.hpp"
+
+#include <gtest/gtest.h>
+
+#include "concurrency/thread_pool.hpp"
+
+namespace loctk::testkit {
+namespace {
+
+ServerSoakConfig small_config() {
+  ServerSoakConfig config;
+  config.sites = 3;
+  config.devices_per_site = 6;
+  config.scans_per_device = 24;
+  config.seed = 7;
+  // 3*6*24 = 432 scheduled scans minus 3 drop-scan faults (device 3 of
+  // each site) = 429 replayed; a wave every 32 → 13 planned waves.
+  config.swap_every_scans = 32;
+  return config;
+}
+
+TEST(ServerSoak, InvariantsHoldAtSmallScale) {
+  concurrency::ThreadPool pool(4);
+  ServerSoakConfig config = small_config();
+  config.pool = &pool;
+  const ServerSoakResult result = run_server_soak(config);
+  for (const std::string& v : result.violations) {
+    ADD_FAILURE() << "invariant violated: " << v;
+  }
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.report.scans_replayed, 429u);
+  EXPECT_EQ(result.site_reports.size(), config.sites);
+  EXPECT_EQ(result.swap_waves, 13u);
+  EXPECT_EQ(result.max_generation, 14u);  // initial publish + 13 waves
+  EXPECT_GE(result.swap_waves_under_load, 1u);
+  EXPECT_GT(result.report.valid_fixes, 0u);
+}
+
+TEST(ServerSoak, ReportIsByteDeterministicAcrossThreadCounts) {
+  ServerSoakConfig config = small_config();
+
+  concurrency::ThreadPool serial(1);
+  config.pool = &serial;
+  const ServerSoakResult one = run_server_soak(config);
+  ASSERT_TRUE(one.ok());
+
+  concurrency::ThreadPool wide(8);
+  config.pool = &wide;
+  const ServerSoakResult eight = run_server_soak(config);
+  for (const std::string& v : eight.violations) {
+    ADD_FAILURE() << "invariant violated: " << v;
+  }
+  ASSERT_TRUE(eight.ok());
+
+  EXPECT_EQ(one.report, eight.report);
+  EXPECT_EQ(one.report.to_json(), eight.report.to_json());
+  ASSERT_EQ(one.site_reports.size(), eight.site_reports.size());
+  for (std::size_t s = 0; s < one.site_reports.size(); ++s) {
+    EXPECT_EQ(one.site_reports[s].to_json(), eight.site_reports[s].to_json())
+        << "site " << s;
+  }
+  // Identical answers even though the two runs performed the same
+  // number of swap waves at entirely different moments.
+  EXPECT_EQ(one.swap_waves, eight.swap_waves);
+}
+
+TEST(ServerSoak, SwapsLandUnderLoad) {
+  concurrency::ThreadPool pool(4);
+  ServerSoakConfig config = small_config();
+  config.pool = &pool;
+  // Swap aggressively so many waves land while replay traffic runs.
+  config.swap_every_scans = 8;
+  const ServerSoakResult result = run_server_soak(config);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.swap_waves, 53u);  // 429 / 8
+  EXPECT_GE(result.swap_waves_under_load, 1u);
+}
+
+TEST(ServerSoak, FaultScheduleRejectsSamplesDeterministically) {
+  ServerSoakConfig config = small_config();
+  config.fault_schedule = true;
+  const ServerSoakResult with_faults = run_server_soak(config);
+  ASSERT_TRUE(with_faults.ok());
+  EXPECT_GT(with_faults.report.rejected_samples, 0u);
+
+  config.fault_schedule = false;
+  const ServerSoakResult clean = run_server_soak(config);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.report.rejected_samples, 0u);
+}
+
+}  // namespace
+}  // namespace loctk::testkit
