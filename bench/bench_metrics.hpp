@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include <benchmark/benchmark.h>
 
@@ -47,7 +48,11 @@ inline void write_metrics_snapshot(const std::string& bench_name) {
 }  // namespace loctk::bench
 
 /// BENCHMARK_MAIN() with the build-type context stamp and the snapshot
-/// epilogue appended.
+/// epilogue appended. Also stamps "hardware_concurrency": the stock
+/// "num_cpus" field has been observed reporting the package count on
+/// some container runtimes, and a thread-scaling trajectory recorded
+/// on a 1-vCPU host looks like a scaling bug unless the reader can see
+/// how many threads the host could actually run.
 #define LOCTK_BENCHMARK_MAIN_WITH_METRICS(bench_name)              \
   int main(int argc, char** argv) {                                \
     ::benchmark::Initialize(&argc, argv);                          \
@@ -56,6 +61,9 @@ inline void write_metrics_snapshot(const std::string& bench_name) {
     }                                                              \
     ::benchmark::AddCustomContext("loctk_build_type",              \
                                   ::loctk::bench::build_type());   \
+    ::benchmark::AddCustomContext(                                 \
+        "hardware_concurrency",                                    \
+        std::to_string(std::thread::hardware_concurrency()));      \
     ::benchmark::RunSpecifiedBenchmarks();                         \
     ::benchmark::Shutdown();                                       \
     ::loctk::bench::write_metrics_snapshot(bench_name);            \

@@ -25,8 +25,11 @@
 #include <fstream>
 #include <string>
 
+#include <thread>
+
 #include "base/metrics.hpp"
 #include "core/probabilistic.hpp"
+#include "testkit/drift.hpp"
 #include "testkit/scenario.hpp"
 #include "testkit/server_soak.hpp"
 #include "testkit/soak.hpp"
@@ -44,6 +47,8 @@ struct Options {
   bool server = false;
   std::size_t sites = 8;
   std::size_t swap_every = 0;  // 0 = derive (~16 waves)
+  bool drift = false;
+  int drift_reruns = 4;
   std::string report_path;
   std::string metrics_path;
   std::string trace_path;
@@ -54,7 +59,8 @@ struct Options {
                "usage: %s [--devices N] [--scans M] [--seed S]\n"
                "          [--max-p99 SECONDS] [--report PATH]\n"
                "          [--metrics PATH] [--trace PATH]\n"
-               "          [--server] [--sites K] [--swap-every SCANS]\n",
+               "          [--server] [--sites K] [--swap-every SCANS]\n"
+               "          [--drift] [--drift-reruns N]\n",
                argv0);
   std::exit(2);
 }
@@ -88,6 +94,10 @@ Options parse_options(int argc, char** argv) {
     } else if (flag == "--swap-every") {
       opt.swap_every =
           static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (flag == "--drift") {
+      opt.drift = true;
+    } else if (flag == "--drift-reruns") {
+      opt.drift_reruns = std::atoi(value());
     } else {
       usage(argv[0]);
     }
@@ -158,10 +168,47 @@ int run_server_mode(const Options& opt) {
   return 0;
 }
 
+/// The `--drift` leg: full decay-and-recovery arcs through the
+/// fingerprint lifecycle (testkit/drift.hpp) — drift detection on a
+/// live server, quarantined resurvey, delta-compile bit-exact against
+/// a rebuild, and republished accuracy back inside the paper bands.
+int run_drift_mode(const Options& opt) {
+  testkit::DriftScenarioConfig config;
+  config.reruns = std::max(1, opt.drift_reruns);
+  config.seed_base = opt.seed;
+  std::printf("soak_fleet --drift: %d decay-and-recovery arcs, seed base %llu\n",
+              config.reruns, static_cast<unsigned long long>(config.seed_base));
+  const testkit::DriftSoakResult result = testkit::run_drift_soak(config);
+  std::fputs(result.to_text().c_str(), stdout);
+  if (!result.ok()) {
+    for (const std::string& v : result.violations) {
+      std::fprintf(stderr, "DRIFT GATE VIOLATION: %s\n", v.c_str());
+    }
+    return 1;
+  }
+  std::printf("drift recovery held (%d arcs, %llu republishes)\n",
+              result.reruns,
+              static_cast<unsigned long long>(result.republishes));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
+  if (opt.drift && !opt.server) return run_drift_mode(opt);
+  if (opt.server && opt.drift) {
+    // Mid-run drift schedule: the lifecycle republishes its own site
+    // (snapshot swaps under its monitoring traffic) while the server
+    // soak hammers the rest of the process — so drift recovery and
+    // the multi-site swap machinery soak concurrently, and TSan
+    // watches both.
+    int drift_rc = 1;
+    std::thread drifter([&] { drift_rc = run_drift_mode(opt); });
+    const int server_rc = run_server_mode(opt);
+    drifter.join();
+    return server_rc != 0 ? server_rc : drift_rc;
+  }
   if (opt.server) return run_server_mode(opt);
 
   testkit::ScenarioSpec spec =

@@ -1,6 +1,8 @@
 #include "core/compiled_db.hpp"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
 
 #include "traindb/codec.hpp"
 
@@ -29,28 +31,134 @@ void CompiledDatabase::build_matrices() {
   weight_.assign(cells, 0.0);
   trained_count_.assign(points_, 0);
 
-  const auto& universe = db_->bssid_universe();
   for (std::size_t p = 0; p < points_; ++p) {
-    const traindb::TrainingPoint& tp = db_->points()[p];
-    const std::size_t base = p * stride_;
-    // per_ap and the universe are both sorted by BSSID: one merge
-    // interns the whole row.
-    std::size_t j = 0;
-    for (const traindb::ApStatistics& s : tp.per_ap) {
-      while (j < universe_ && universe[j] < s.bssid) ++j;
-      if (j == universe_ || universe[j] != s.bssid) continue;
-      mean_[base + j] = s.mean_dbm;
-      stddev_[base + j] = s.stddev_db;
-      mask_[base + j] = 1.0;
-      weight_[base + j] = static_cast<double>(s.sample_count);
+    trained_count_[p] = compile_row(db_->points()[p], p * stride_);
+  }
+}
+
+int CompiledDatabase::compile_row(const traindb::TrainingPoint& tp,
+                                  std::size_t base) {
+  // per_ap and the universe are both sorted by BSSID: one merge
+  // interns the whole row.
+  const auto& universe = db_->bssid_universe();
+  std::size_t j = 0;
+  int count = 0;
+  for (const traindb::ApStatistics& s : tp.per_ap) {
+    while (j < universe_ && universe[j] < s.bssid) ++j;
+    if (j == universe_ || universe[j] != s.bssid) continue;
+    mean_[base + j] = s.mean_dbm;
+    stddev_[base + j] = s.stddev_db;
+    mask_[base + j] = 1.0;
+    weight_[base + j] = static_cast<double>(s.sample_count);
+    ++count;
+    ++j;
+  }
+  return count;
+}
+
+CompiledDatabase::CompiledDatabase(traindb::TrainingDatabase&& merged,
+                                   const CompiledDatabase& base,
+                                   const std::vector<bool>& row_changed)
+    : owned_(std::make_shared<const traindb::TrainingDatabase>(
+          std::move(merged))),
+      db_(owned_.get()) {
+  delta_build(base, row_changed);
+}
+
+void CompiledDatabase::delta_build(const CompiledDatabase& base,
+                                   const std::vector<bool>& row_changed) {
+  points_ = db_->size();
+  universe_ = db_->bssid_universe().size();
+  stride_ = simd::padded_stride(universe_);
+  const std::size_t cells = points_ * stride_;
+  mean_.assign(cells, 0.0);
+  stddev_.assign(cells, 0.0);
+  mask_.assign(cells, 0.0);
+  weight_.assign(cells, 0.0);
+  trained_count_.assign(points_, 0);
+
+  // Monotonic old-slot → new-slot remap from one two-pointer pass over
+  // the sorted universes. An old BSSID missing from the new universe
+  // (its last occurrence was replaced away) maps to kGone; unchanged
+  // rows never trained such a slot — if they had, the BSSID would
+  // still be in the merged universe — so dropping it copies nothing.
+  constexpr std::size_t kGone = static_cast<std::size_t>(-1);
+  const auto& old_universe = base.db_->bssid_universe();
+  const auto& new_universe = db_->bssid_universe();
+  std::vector<std::size_t> new_slot(old_universe.size(), kGone);
+  for (std::size_t i = 0, j = 0; i < old_universe.size(); ++i) {
+    while (j < new_universe.size() && new_universe[j] < old_universe[i]) {
       ++j;
     }
-    int count = 0;
-    for (std::size_t u = 0; u < universe_; ++u) {
-      count += mask_[base + u] != 0.0;
+    if (j < new_universe.size() && new_universe[j] == old_universe[i]) {
+      new_slot[i] = j++;
     }
-    trained_count_[p] = count;
   }
+
+  const std::size_t shared_rows = std::min(points_, base.points_);
+  for (std::size_t p = 0; p < points_; ++p) {
+    const std::size_t dst = p * stride_;
+    if (p >= shared_rows || row_changed[p]) {
+      trained_count_[p] = compile_row(db_->points()[p], dst);
+      continue;
+    }
+    // Unchanged row: move its cells under the remap in contiguous
+    // runs — a run ends where a slot disappears or the shift between
+    // old and new indices changes (an inserted slot between them).
+    const std::size_t src = p * base.stride_;
+    std::size_t u = 0;
+    while (u < old_universe.size()) {
+      if (new_slot[u] == kGone) {
+        ++u;
+        continue;
+      }
+      const std::size_t run = u;
+      const std::size_t shift = new_slot[u] - u;
+      while (u < old_universe.size() && new_slot[u] != kGone &&
+             new_slot[u] - u == shift) {
+        ++u;
+      }
+      const std::size_t len = u - run;
+      const std::size_t from = src + run;
+      const std::size_t to = dst + run + shift;
+      std::copy_n(base.mean_.data() + from, len, mean_.data() + to);
+      std::copy_n(base.stddev_.data() + from, len, stddev_.data() + to);
+      std::copy_n(base.mask_.data() + from, len, mask_.data() + to);
+      std::copy_n(base.weight_.data() + from, len, weight_.data() + to);
+    }
+    trained_count_[p] = base.trained_count_[p];
+  }
+}
+
+std::shared_ptr<const CompiledDatabase> CompiledDatabase::delta_compile(
+    const DatabaseDelta& delta) const {
+  // Merge semantics (the oracle): replacements land in place, new
+  // locations append in upsert order, later upserts for one location
+  // win. from_points re-sorts each per-AP list and rebuilds the sorted
+  // unique universe, so the merged database is bit-identical to one
+  // assembled from scratch out of the same points.
+  std::vector<traindb::TrainingPoint> merged_points = db_->points();
+  std::vector<bool> row_changed(merged_points.size(), false);
+  std::unordered_map<std::string, std::size_t> index_of;
+  index_of.reserve(merged_points.size() + delta.upserts.size());
+  for (std::size_t p = 0; p < merged_points.size(); ++p) {
+    index_of.emplace(merged_points[p].location, p);
+  }
+  for (const traindb::TrainingPoint& up : delta.upserts) {
+    const auto [it, inserted] =
+        index_of.emplace(up.location, merged_points.size());
+    if (inserted) {
+      merged_points.push_back(up);
+      row_changed.push_back(true);
+    } else {
+      merged_points[it->second] = up;
+      row_changed[it->second] = true;
+    }
+  }
+  traindb::TrainingDatabase merged = traindb::TrainingDatabase::from_points(
+      std::move(merged_points), db_->site_name());
+  return std::shared_ptr<const CompiledDatabase>(
+      new CompiledDatabase(std::move(merged), *this, row_changed));
 }
 
 std::optional<std::uint32_t> CompiledDatabase::slot_of(

@@ -61,6 +61,19 @@ struct CompiledObservation {
   bool empty() const { return total_aps == 0; }
 };
 
+/// One incremental update to a compiled radio map: training points to
+/// add or replace, keyed by `TrainingPoint::location`. An upsert whose
+/// location already exists replaces that point in place (same row
+/// index); a new location appends. Later upserts for the same location
+/// within one delta win. This is the unit the fingerprint lifecycle
+/// produces — a resurveyed dwell, a crowd-sourced fix — and feeds to
+/// `CompiledDatabase::delta_compile`.
+struct DatabaseDelta {
+  std::vector<traindb::TrainingPoint> upserts;
+
+  bool empty() const { return upserts.empty(); }
+};
+
 /// Dense structure-of-arrays form of a TrainingDatabase.
 class CompiledDatabase {
  public:
@@ -84,6 +97,23 @@ class CompiledDatabase {
       traindb::TrainingDatabase db) {
     return std::make_shared<const CompiledDatabase>(std::move(db));
   }
+
+  /// Incremental recompilation: merges `delta` into this database and
+  /// compiles the result without re-interning unchanged rows. The
+  /// returned database is owning and **oracle-equal** to a from-scratch
+  /// `compile_owned(TrainingDatabase::from_points(merged points))`:
+  /// same point order (replacements in place, appends at the end), same
+  /// sorted universe — new BSSIDs intern new slots and every row
+  /// re-pads to the new `row_stride()`; a BSSID whose last occurrence
+  /// was replaced away leaves the universe, exactly as a full rebuild
+  /// would drop it. Unchanged rows are moved by contiguous-run copies
+  /// under the monotonic old-slot → new-slot remap; only
+  /// replaced/appended rows pay the per-AP merge. Throws
+  /// traindb::DatabaseError on malformed upserts (duplicate location
+  /// names are impossible by construction; the underlying from_points
+  /// validation still runs).
+  std::shared_ptr<const CompiledDatabase> delta_compile(
+      const DatabaseDelta& delta) const;
 
   const traindb::TrainingDatabase& database() const { return *db_; }
   std::size_t point_count() const { return points_; }
@@ -137,7 +167,20 @@ class CompiledDatabase {
   }
 
  private:
+  /// Delta build: takes the merged database plus the compilation it
+  /// evolved from and the per-row changed flags (indices >= base row
+  /// count are appended). Used only by delta_compile.
+  CompiledDatabase(traindb::TrainingDatabase&& merged,
+                   const CompiledDatabase& base,
+                   const std::vector<bool>& row_changed);
+
   void build_matrices();
+  /// Interns one point's per-AP stats into the row at `base` (row
+  /// already zeroed) against db_'s universe; returns the trained-AP
+  /// count for the row.
+  int compile_row(const traindb::TrainingPoint& tp, std::size_t base);
+  void delta_build(const CompiledDatabase& base,
+                   const std::vector<bool>& row_changed);
 
   /// Set only by the owning constructor; db_ then points into it.
   std::shared_ptr<const traindb::TrainingDatabase> owned_;

@@ -1,0 +1,103 @@
+#include "lifecycle/intake.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "stats/running_stats.hpp"
+
+namespace loctk::lifecycle {
+
+SurveyIntake::SurveyIntake(IntakeConfig config)
+    : config_(config),
+      accepted_counter_(&metrics::counter("lifecycle.intake.accepted")),
+      quarantined_counter_(&metrics::counter("lifecycle.intake.quarantined")),
+      pending_gauge_(&metrics::gauge("lifecycle.intake.pending")) {}
+
+Result<traindb::TrainingPoint> SurveyIntake::submit(
+    const SurveyDwell& dwell) {
+  auto quarantine = [&](Error error) -> Result<traindb::TrainingPoint> {
+    quarantined_counter_->increment();
+    quarantined_.push_back({dwell.location, error});
+    return std::move(error).with_context("survey intake at '" +
+                                         dwell.location + "'");
+  };
+
+  if (dwell.location.empty()) {
+    return quarantine(Error(ErrorCode::kParse, "dwell has no location name"));
+  }
+  if (dwell.scans.size() < config_.min_scans) {
+    return quarantine(Error(
+        ErrorCode::kDegenerate,
+        "dwell has " + std::to_string(dwell.scans.size()) +
+            " scans, need " + std::to_string(config_.min_scans)));
+  }
+
+  // One bucket per BSSID across every scan pass; ordered map so the
+  // per-AP list comes out sorted (from_points would re-sort anyway —
+  // this just keeps the staged point canonical).
+  std::map<std::string, stats::RunningStats> buckets;
+  for (const radio::ScanRecord& scan : dwell.scans) {
+    for (const radio::ScanSample& sample : scan.samples) {
+      if (!std::isfinite(sample.rssi_dbm)) {
+        return quarantine(Error(ErrorCode::kCorrupt,
+                                "non-finite RSSI for " + sample.bssid));
+      }
+      if (sample.rssi_dbm < config_.min_plausible_dbm ||
+          sample.rssi_dbm > config_.max_plausible_dbm) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "implausible RSSI %.1f dBm for %s",
+                      sample.rssi_dbm, sample.bssid.c_str());
+        return quarantine(Error(ErrorCode::kCorrupt, buf));
+      }
+      buckets[sample.bssid].add(sample.rssi_dbm);
+    }
+  }
+
+  traindb::TrainingPoint point;
+  point.location = dwell.location;
+  point.position = dwell.position;
+  for (const auto& [bssid, rs] : buckets) {
+    if (rs.count() < config_.min_samples_per_ap) continue;
+    traindb::ApStatistics ap;
+    ap.bssid = bssid;
+    ap.mean_dbm = rs.mean();
+    ap.stddev_db = rs.stddev();
+    ap.sample_count = static_cast<std::uint32_t>(rs.count());
+    ap.scan_count = static_cast<std::uint32_t>(dwell.scans.size());
+    ap.min_dbm = rs.min();
+    ap.max_dbm = rs.max();
+    point.per_ap.push_back(std::move(ap));
+  }
+  if (point.per_ap.empty()) {
+    return quarantine(Error(ErrorCode::kDegenerate,
+                            "no AP survived the min-samples cut"));
+  }
+
+  // Later dwells for the same location replace earlier staged ones —
+  // the freshest survey wins, matching delta upsert semantics.
+  bool replaced = false;
+  for (traindb::TrainingPoint& staged : staged_) {
+    if (staged.location == point.location) {
+      staged = point;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) staged_.push_back(point);
+  accepted_counter_->increment();
+  pending_gauge_->set(static_cast<double>(staged_.size()));
+  return point;
+}
+
+core::DatabaseDelta SurveyIntake::drain() {
+  core::DatabaseDelta delta;
+  delta.upserts = std::move(staged_);
+  staged_.clear();
+  pending_gauge_->set(0.0);
+  return delta;
+}
+
+}  // namespace loctk::lifecycle

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file intake.hpp
+/// Quarantined survey intake: raw resurvey dwells → validated
+/// TrainingPoints → a `DatabaseDelta`.
+///
+/// The re-publish pipeline's front door. A surveyor (or the drift
+/// monitor's resurvey request) delivers a `SurveyDwell` — scans
+/// collected while standing at one named point — and the intake either
+/// aggregates it into a `traindb::TrainingPoint` (the same
+/// RunningStats math the offline generator uses, so a resurveyed row
+/// is statistically identical to an original one) or **quarantines**
+/// it with a typed `loctk::Error` instead of letting a hostile or
+/// degenerate dwell poison the radio map:
+///
+///  * `kParse`      — structurally unusable (empty location name);
+///  * `kCorrupt`    — non-finite or out-of-range RSSI anywhere in the
+///                    dwell (one bad sample condemns the dwell: a
+///                    surveyor's NIC that emits garbage once is not
+///                    trusted for the rest either);
+///  * `kDegenerate` — too few scans, or no AP survived the
+///                    min-samples cut (nothing worth publishing).
+///
+/// Accepted points accumulate (later dwells for the same location
+/// replace earlier ones) until the janitor drains them into a
+/// `core::DatabaseDelta` for delta-compilation. Quarantined dwells are
+/// kept for inspection, never merged. Reports through
+/// `lifecycle.intake.*`.
+///
+/// Thread-safety: none; owned by one janitor (see janitor.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/metrics.hpp"
+#include "core/compiled_db.hpp"
+#include "geom/vec2.hpp"
+#include "radio/scanner.hpp"
+#include "traindb/training_point.hpp"
+
+namespace loctk::lifecycle {
+
+struct IntakeConfig {
+  /// Minimum scan passes per dwell (the paper's training dwell was
+  /// ~1.5 min of scans; a couple of passes is not a survey).
+  std::uint32_t min_scans = 3;
+  /// Drop <point, AP> pairs heard in fewer samples (mirrors
+  /// traindb::GeneratorConfig::min_samples_per_ap).
+  std::uint32_t min_samples_per_ap = 3;
+  /// Plausible RSSI band; readings outside quarantine the dwell.
+  double min_plausible_dbm = -110.0;
+  double max_plausible_dbm = 0.0;
+};
+
+/// One resurvey visit: scans collected at a known named position.
+struct SurveyDwell {
+  std::string location;
+  geom::Vec2 position;
+  std::vector<radio::ScanRecord> scans;
+};
+
+struct QuarantinedSurvey {
+  std::string location;
+  Error error;
+};
+
+class SurveyIntake {
+ public:
+  explicit SurveyIntake(IntakeConfig config = {});
+
+  /// Validates and aggregates one dwell. On success the TrainingPoint
+  /// is staged for the next drain() and returned; on failure the dwell
+  /// is quarantined (see quarantined()) and the Error describes why.
+  Result<traindb::TrainingPoint> submit(const SurveyDwell& dwell);
+
+  /// Accepted points since the last drain, as a delta ready for
+  /// `CompiledDatabase::delta_compile`. Clears the staging area.
+  core::DatabaseDelta drain();
+
+  /// Accepted points currently staged.
+  std::size_t pending() const { return staged_.size(); }
+
+  const std::vector<QuarantinedSurvey>& quarantined() const {
+    return quarantined_;
+  }
+  void clear_quarantine() { quarantined_.clear(); }
+
+  const IntakeConfig& config() const { return config_; }
+
+ private:
+  IntakeConfig config_;
+  std::vector<traindb::TrainingPoint> staged_;
+  std::vector<QuarantinedSurvey> quarantined_;
+
+  metrics::Counter* accepted_counter_;
+  metrics::Counter* quarantined_counter_;
+  metrics::Gauge* pending_gauge_;
+};
+
+}  // namespace loctk::lifecycle

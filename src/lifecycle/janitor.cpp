@@ -1,0 +1,68 @@
+#include "lifecycle/janitor.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace loctk::lifecycle {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+LifecycleJanitor::LifecycleJanitor(
+    serve::LocationServer& server, serve::SiteId site,
+    std::shared_ptr<const core::CompiledDatabase> compiled,
+    LocatorFactory factory, JanitorConfig config)
+    : server_(server),
+      site_(site),
+      compiled_(std::move(compiled)),
+      factory_(std::move(factory)),
+      config_(config),
+      drift_(compiled_, config_.drift),
+      intake_(config_.intake),
+      republish_counter_(&metrics::counter("lifecycle.republish.count")),
+      points_counter_(&metrics::counter("lifecycle.republish.points")),
+      generation_gauge_(&metrics::gauge("lifecycle.republish.generation")),
+      republish_hist_(&metrics::histogram("lifecycle.republish.seconds")) {}
+
+void LifecycleJanitor::observe_fix(const core::ServiceFix& fix,
+                                   const core::Observation& obs) {
+  if (!fix.valid || fix.place.empty()) return;
+  drift_.observe(fix.place, obs);
+}
+
+Result<traindb::TrainingPoint> LifecycleJanitor::submit_survey(
+    const SurveyDwell& dwell) {
+  return intake_.submit(dwell);
+}
+
+std::optional<RepublishReport> LifecycleJanitor::tick() {
+  if (intake_.pending() < config_.min_republish_batch) return std::nullopt;
+  const Clock::time_point start = Clock::now();
+
+  const core::DatabaseDelta delta = intake_.drain();
+  RepublishReport report;
+  report.points_upserted = delta.upserts.size();
+  report.universe_before = compiled_->universe_size();
+
+  // Delta-compile off to the side — the published snapshot serves
+  // traffic untouched until the swap lands.
+  std::shared_ptr<const core::CompiledDatabase> next =
+      compiled_->delta_compile(delta);
+  report.universe_after = next->universe_size();
+
+  report.generation = server_.swap_site(site_, factory_(next));
+  compiled_ = std::move(next);
+  // Resurveyed rows re-earn their drift evidence against the new
+  // baseline; untouched pairs keep theirs.
+  drift_.rebase(compiled_);
+
+  republish_counter_->increment();
+  points_counter_->add(report.points_upserted);
+  generation_gauge_->set(static_cast<double>(report.generation));
+  republish_hist_->record(
+      std::chrono::duration<double>(Clock::now() - start).count());
+  return report;
+}
+
+}  // namespace loctk::lifecycle

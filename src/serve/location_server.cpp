@@ -86,6 +86,7 @@ SiteId LocationServer::add_site(
   shard->scans_counter = &metrics::counter(prefix + "scans");
   shard->swaps_counter = &metrics::counter(prefix + "swaps");
   shard->rejected_counter = &metrics::counter(prefix + "sessions_rejected");
+  shard->errors_counter = &metrics::counter(prefix + "errors");
   shard->generation_gauge = &metrics::gauge(prefix + "generation");
   shard->epoch_lag_gauge = &metrics::gauge(prefix + "epoch_lag");
   shard->sessions_gauge = &metrics::gauge(prefix + "sessions");
@@ -166,6 +167,7 @@ SiteStats LocationServer::stats(SiteId site) const {
   stats.retired_snapshots = s.epochs.retired_count();
   stats.reader_stalls = s.epochs.reader_stalls();
   stats.sessions_rejected = s.rejected_counter->value();
+  stats.errors = s.errors_counter->value();
   return stats;
 }
 
@@ -201,11 +203,22 @@ core::ServiceFix LocationServer::on_scan(SiteId site, DeviceId device,
   core::ServiceFix fix;
   try {
     fix = session->service.on_scan(*snap->locator, scan);
+    session->unlock();
+  } catch (const std::exception& e) {
+    // The data plane must not unwind on hostile input (docs/SERVING.md):
+    // a throwing locator degrades this one scan and is counted in
+    // serve.shard.<site>.errors; the session (window, Kalman track)
+    // survives for the next scan.
+    session->unlock();
+    s->errors_counter->increment();
+    fix = degraded_fix("[internal] serve: locator unwound on scan");
+    fix.degraded_reason += ": ";
+    fix.degraded_reason += e.what();
   } catch (...) {
     session->unlock();
-    throw;
+    s->errors_counter->increment();
+    fix = degraded_fix("[internal] serve: locator unwound on scan");
   }
-  session->unlock();
 
   s->scans_counter->increment();
   total_scans_counter().increment();

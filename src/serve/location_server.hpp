@@ -77,6 +77,9 @@ struct SiteStats {
   std::size_t retired_snapshots = 0;  ///< retired, not yet reclaimed
   std::uint64_t reader_stalls = 0;
   std::uint64_t sessions_rejected = 0;
+  /// Scans on which the locator unwound and the fix degraded instead
+  /// (`serve.shard.<site>.errors`).
+  std::uint64_t errors = 0;
 };
 
 class LocationServer {
@@ -126,10 +129,11 @@ class LocationServer {
   // --- data plane (lock-free; hot) --------------------------------
 
   /// Feeds one scan from `device` at `site` through the device's
-  /// session against the currently published snapshot. Unknown sites
-  /// and a full session table come back as an invalid, degraded fix
-  /// rather than an exception — the serving loop must not unwind on
-  /// hostile input.
+  /// session against the currently published snapshot. Unknown sites,
+  /// a full session table, and a locator that unwinds mid-scan all
+  /// come back as an invalid, degraded fix rather than an exception —
+  /// the serving loop must not unwind on ANY input. Locator unwinds
+  /// are counted in `serve.shard.<site>.errors` (SiteStats::errors).
   core::ServiceFix on_scan(SiteId site, DeviceId device,
                            const radio::ScanRecord& scan);
 
@@ -165,6 +169,7 @@ class LocationServer {
     metrics::Counter* scans_counter = nullptr;
     metrics::Counter* swaps_counter = nullptr;
     metrics::Counter* rejected_counter = nullptr;
+    metrics::Counter* errors_counter = nullptr;
     metrics::Gauge* generation_gauge = nullptr;
     metrics::Gauge* epoch_lag_gauge = nullptr;
     metrics::Gauge* sessions_gauge = nullptr;

@@ -85,7 +85,18 @@ Session* SessionTable::find(DeviceId device) const {
     const Cell& cell = stripe.cells[(start + probe) & stripe_mask_];
     const DeviceId k = cell.key.load(std::memory_order_acquire);
     if (k == 0) return nullptr;
-    if (k == device) return cell.session.load(std::memory_order_acquire);
+    if (k == device) {
+      // The key being visible means the device exists: the winner has
+      // CAS-claimed the cell but may not have published the session
+      // pointer yet. Wait for publication exactly like find_or_create
+      // does — returning nullptr here would violate the "nullptr when
+      // absent" contract for a device that *is* present.
+      for (;;) {
+        Session* s = cell.session.load(std::memory_order_acquire);
+        if (s) return s;
+        std::this_thread::yield();
+      }
+    }
   }
   return nullptr;
 }

@@ -82,7 +82,10 @@ class SessionTable {
   Session* find_or_create(DeviceId device,
                           const core::LocationServiceConfig& config);
 
-  /// Lookup without creation; nullptr when absent.
+  /// Lookup without creation; nullptr when absent. When the device's
+  /// key is already claimed by a racing find_or_create whose session
+  /// pointer is not yet published, this waits for publication (the
+  /// device exists — returning nullptr would break the contract).
   Session* find(DeviceId device) const;
 
   /// Live sessions across all stripes.

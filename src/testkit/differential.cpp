@@ -312,4 +312,84 @@ DifferentialReport run_differential_oracle(
   return report;
 }
 
+std::string CompiledDiffReport::to_text() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "compiled diff: %llu cells compared, %zu mismatches"
+                " (%llu truncated)\n",
+                static_cast<unsigned long long>(cells_compared),
+                mismatches.size(),
+                static_cast<unsigned long long>(truncated));
+  std::string out = buf;
+  for (const std::string& m : mismatches) {
+    out += "  " + m + "\n";
+  }
+  return out;
+}
+
+CompiledDiffReport compare_compiled_databases(
+    const core::CompiledDatabase& delta,
+    const core::CompiledDatabase& rebuild) {
+  constexpr std::size_t kMaxListed = 32;
+  CompiledDiffReport report;
+  auto note = [&](std::string text) {
+    if (report.mismatches.size() < kMaxListed) {
+      report.mismatches.push_back(std::move(text));
+    } else {
+      ++report.truncated;
+    }
+  };
+
+  if (delta.database() != rebuild.database()) {
+    note("source TrainingDatabase differs (points/universe/site name)");
+  }
+  if (delta.point_count() != rebuild.point_count()) {
+    note("point count: delta " + std::to_string(delta.point_count()) +
+         " vs rebuild " + std::to_string(rebuild.point_count()));
+  }
+  if (delta.universe_size() != rebuild.universe_size()) {
+    note("universe size: delta " + std::to_string(delta.universe_size()) +
+         " vs rebuild " + std::to_string(rebuild.universe_size()));
+  }
+  if (delta.row_stride() != rebuild.row_stride()) {
+    note("row stride: delta " + std::to_string(delta.row_stride()) +
+         " vs rebuild " + std::to_string(rebuild.row_stride()));
+  }
+  if (!report.ok()) return report;  // shapes differ; cells are meaningless
+
+  struct Matrix {
+    const char* name;
+    const double* (core::CompiledDatabase::*row)(std::size_t) const;
+  };
+  static constexpr Matrix kMatrices[] = {
+      {"mean", &core::CompiledDatabase::mean_row},
+      {"stddev", &core::CompiledDatabase::stddev_row},
+      {"mask", &core::CompiledDatabase::mask_row},
+      {"weight", &core::CompiledDatabase::weight_row},
+  };
+  const std::size_t stride = delta.row_stride();
+  for (std::size_t p = 0; p < delta.point_count(); ++p) {
+    if (delta.trained_count(p) != rebuild.trained_count(p)) {
+      note("trained_count row " + std::to_string(p) + ": delta " +
+           std::to_string(delta.trained_count(p)) + " vs rebuild " +
+           std::to_string(rebuild.trained_count(p)));
+    }
+    for (const Matrix& m : kMatrices) {
+      const double* a = (delta.*m.row)(p);
+      const double* b = (rebuild.*m.row)(p);
+      // Pad cells included: both builds promise exact 0.0 there.
+      for (std::size_t u = 0; u < stride; ++u) {
+        ++report.cells_compared;
+        if (a[u] == b[u]) continue;  // bit-exact contract, no tolerance
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s[%zu][%zu]: delta %.17g vs rebuild %.17g", m.name,
+                      p, u, a[u], b[u]);
+        note(buf);
+      }
+    }
+  }
+  return report;
+}
+
 }  // namespace loctk::testkit

@@ -39,6 +39,10 @@
 #include "core/probabilistic.hpp"
 #include "traindb/database.hpp"
 
+namespace loctk::core {
+class CompiledDatabase;
+}
+
 namespace loctk::testkit {
 
 /// One compiled-vs-reference disagreement.
@@ -105,5 +109,26 @@ PrunedDifferentialReport run_pruned_differential(
     const traindb::TrainingDatabase& db,
     std::span<const core::Observation> observations,
     const core::ProbabilisticConfig& prune_config);
+
+/// Exact structural diff of two compilations — the delta-compile
+/// oracle gate. Zero tolerance: delta compilation copies or re-interns
+/// the very same doubles a from-scratch build writes, so the source
+/// database, universe, strides, every matrix cell (pad included), and
+/// the per-row trained counts must be identical. Any difference is a
+/// defect, never rounding.
+struct CompiledDiffReport {
+  std::uint64_t cells_compared = 0;
+  /// Human-readable mismatch descriptions, capped at 32 entries
+  /// (`truncated` reports the overflow).
+  std::vector<std::string> mismatches;
+  std::uint64_t truncated = 0;
+
+  bool ok() const { return mismatches.empty() && truncated == 0; }
+  std::string to_text() const;
+};
+
+CompiledDiffReport compare_compiled_databases(
+    const core::CompiledDatabase& delta,
+    const core::CompiledDatabase& rebuild);
 
 }  // namespace loctk::testkit

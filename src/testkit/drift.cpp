@@ -1,0 +1,405 @@
+#include "testkit/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/compiled_db.hpp"
+#include "core/evaluation.hpp"
+#include "core/geometric.hpp"
+#include "core/pipeline.hpp"
+#include "radio/environment.hpp"
+#include "serve/location_server.hpp"
+#include "testkit/differential.hpp"
+#include "testkit/golden.hpp"
+#include "traindb/database.hpp"
+#include "wiscan/location_map.hpp"
+
+namespace loctk::testkit {
+
+namespace {
+
+// The baseline site: the paper house plus a fifth AP ("E", bottom
+// wall midpoint). The drift schedule swaps E for a new unit, so both
+// the baseline and the recovered site carry five deployed APs and the
+// §5.1/§5.2 golden-band judgment stays apples-to-apples.
+constexpr int kBaselineApCount = 5;
+
+/// The drift schedule applied between baseline and recovery, one
+/// event per kind the monitor knows how to flag plus the universe
+/// growth a real redeployment brings:
+///
+///  * B ({48,2}) slides ~18 ft up the east wall     -> kShifted;
+///  * C is replaced by a unit 8 dB hotter           -> kShifted;
+///  * E dies outright                               -> kVanished,
+///    and its BSSID must leave the recovered universe;
+///  * E's replacement F goes up on the same mount with a brand-new
+///    BSSID — unknown to the old map, so the republish must *grow*
+///    the universe too.
+///
+/// The magnitudes are far past the detection thresholds (B's slide is
+/// what makes the stale fingerprints rank wrong; a uniform power
+/// change alone barely moves fingerprint rankings), while the site
+/// keeps five perimeter APs so the recovered map is band-comparable
+/// to the baseline.
+radio::Environment make_drifted(const radio::Environment& base) {
+  radio::Environment drifted(base.footprint());
+  for (const radio::Wall& w : base.walls()) drifted.add_wall(w);
+  for (radio::AccessPoint ap : base.access_points()) {
+    if (ap.name == "E") continue;                    // vanished
+    if (ap.name == "B") ap.position = {48.0, 20.0};  // slid ~18 ft
+    if (ap.name == "C") ap.tx_power_dbm += 8.0;      // hotter replacement
+    drifted.add_access_point(std::move(ap));
+  }
+  radio::AccessPoint replacement;
+  replacement.bssid = radio::synthetic_bssid(5);
+  replacement.name = "F";
+  replacement.position = {25.0, 2.0};  // E's old mount point
+  drifted.add_access_point(std::move(replacement));
+  return drifted;
+}
+
+std::string rerun_tag(int rerun, const char* what) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "rerun %d: %s", rerun, what);
+  return buf;
+}
+
+/// Per-rerun outcome folded into the aggregate result.
+struct ArcOutcome {
+  double baseline_valid_rate = 0.0;
+  double baseline_mean_error_ft = 0.0;
+  double stale_valid_rate = 0.0;
+  double stale_mean_error_ft = 0.0;
+  double recovered_valid_rate = 0.0;
+  double recovered_mean_error_ft = 0.0;
+  double recovered_geometric_mean_error_ft = 0.0;
+  std::uint64_t shifted_pairs = 0;
+  std::uint64_t vanished_pairs = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t accepted_surveys = 0;
+  std::uint64_t republishes = 0;
+  std::uint64_t differential_cells = 0;
+};
+
+ArcOutcome run_arc(const DriftScenarioConfig& config, int rerun,
+                   std::vector<std::string>& violations) {
+  ArcOutcome out;
+  const std::uint64_t seed =
+      (config.seed_base + static_cast<std::uint64_t>(rerun)) * 1000;
+  auto violation = [&](const std::string& what) {
+    violations.push_back(rerun_tag(rerun, what.c_str()));
+  };
+
+  // -------- phase 1: baseline survey, publish, measure ------------
+  const core::Testbed baseline(
+      radio::make_paper_house_with_aps(kBaselineApCount));
+  const wiscan::LocationMap map = core::make_training_grid(
+      baseline.environment().footprint(), kGridSpacingFt);
+  const traindb::TrainingDatabase db =
+      baseline.train(map, config.train_scans, seed + 1);
+  const std::vector<geom::Vec2> truths = core::make_scattered_test_points(
+      baseline.environment().footprint(), kTestPoints);
+  const std::vector<core::Observation> baseline_obs =
+      baseline.observe(truths, config.observe_scans, seed + 2);
+
+  std::shared_ptr<const core::CompiledDatabase> compiled =
+      core::CompiledDatabase::compile_owned(db);
+  const lifecycle::LocatorFactory factory =
+      [prob = config.prob_config](
+          std::shared_ptr<const core::CompiledDatabase> snapshot) {
+        return std::make_shared<core::ProbabilisticLocator>(
+            std::move(snapshot), prob);
+      };
+
+  serve::LocationServerConfig server_config;
+  server_config.max_sites = 1;
+  serve::LocationServer server(server_config);
+  const serve::SiteId site = server.add_site("drift-soak", factory(compiled));
+  lifecycle::LifecycleJanitor janitor(server, site, compiled, factory,
+                                      config.janitor);
+
+  {
+    const core::ProbabilisticLocator locator(compiled, config.prob_config);
+    const core::EvaluationResult eval =
+        core::evaluate(locator, db, truths, baseline_obs);
+    out.baseline_valid_rate = eval.valid_estimation_rate();
+    out.baseline_mean_error_ft = eval.mean_error_ft();
+  }
+
+  // -------- phase 2: the world drifts; the served map goes stale ---
+  const core::Testbed drifted(make_drifted(baseline.environment()));
+  const std::vector<core::Observation> drifted_obs =
+      drifted.observe(truths, config.observe_scans, seed + 3);
+
+  {
+    const core::ProbabilisticLocator locator(compiled, config.prob_config);
+    const core::EvaluationResult eval =
+        core::evaluate(locator, db, truths, drifted_obs);
+    out.stale_valid_rate = eval.valid_estimation_rate();
+    out.stale_mean_error_ft = eval.mean_error_ft();
+  }
+
+  // The monitoring walk: live dwells at every training point through
+  // the served snapshot. A fix that wins the surveyor's true point
+  // attributes through the production path (observe_fix); otherwise
+  // the surveyor's known position attributes directly — either way
+  // every pair earns `monitor_rounds` of drift evidence.
+  radio::Scanner walker = drifted.make_scanner(seed + 4);
+  for (int round = 0; round < config.monitor_rounds; ++round) {
+    for (const wiscan::NamedLocation& loc : map.locations()) {
+      walker.reset_session();
+      const core::Observation obs = core::Observation::from_scans(
+          walker.collect(loc.position, config.monitor_scans));
+      const Result<core::LocationEstimate> est = server.try_locate(site, obs);
+      if (est.ok() && est.value().valid &&
+          est.value().location_name == loc.name) {
+        core::ServiceFix fix;
+        fix.valid = true;
+        fix.position = est.value().position;
+        fix.place = est.value().location_name;
+        janitor.observe_fix(fix, obs);
+      } else {
+        janitor.drift().observe(loc.name, obs);
+      }
+    }
+  }
+
+  const lifecycle::DriftReport drift_report = janitor.drift().report();
+  for (const lifecycle::DriftedPair& pair : drift_report.drifted) {
+    if (pair.kind == lifecycle::DriftKind::kVanished) {
+      ++out.vanished_pairs;
+    } else {
+      ++out.shifted_pairs;
+    }
+  }
+  if (out.shifted_pairs == 0) {
+    violation("drift monitor flagged no shifted pairs (AP moved and "
+              "power cut should both shift residuals)");
+  }
+  if (out.vanished_pairs == 0) {
+    violation("drift monitor flagged no vanished pairs (AP E was removed)");
+  }
+
+  // -------- phase 3: resurvey, quarantine, republish, re-measure ---
+  radio::Scanner surveyor = drifted.make_scanner(seed + 5);
+  for (const wiscan::NamedLocation& loc : map.locations()) {
+    surveyor.reset_session();
+    lifecycle::SurveyDwell dwell;
+    dwell.location = loc.name;
+    dwell.position = loc.position;
+    dwell.scans = surveyor.collect(loc.position, config.train_scans);
+    if (!janitor.submit_survey(dwell).ok()) {
+      violation("clean resurvey dwell at '" + loc.name + "' was quarantined");
+    } else {
+      ++out.accepted_surveys;
+    }
+  }
+
+  // Hostile dwells ride along with the resurvey and must be
+  // quarantined, not merged: a corrupt NIC (NaN RSSI) and a
+  // drive-by two-scan "survey".
+  {
+    const wiscan::NamedLocation& loc = map.locations().front();
+    lifecycle::SurveyDwell corrupt;
+    corrupt.location = loc.name;
+    corrupt.position = loc.position;
+    corrupt.scans = surveyor.collect(loc.position, config.train_scans);
+    corrupt.scans.front().samples.push_back(
+        {"de:ad:be:ef:00:01", std::numeric_limits<double>::quiet_NaN(), 6});
+    if (janitor.submit_survey(corrupt).ok()) {
+      violation("NaN-RSSI dwell was accepted instead of quarantined");
+    }
+    lifecycle::SurveyDwell skimpy;
+    skimpy.location = loc.name;
+    skimpy.position = loc.position;
+    skimpy.scans = surveyor.collect(loc.position, 2);
+    if (janitor.submit_survey(skimpy).ok()) {
+      violation("two-scan dwell was accepted instead of quarantined");
+    }
+  }
+  out.quarantined = janitor.intake().quarantined().size();
+  if (out.quarantined != 2) {
+    violation("expected exactly the 2 hostile dwells in quarantine");
+  }
+
+  const std::optional<lifecycle::RepublishReport> pub = janitor.tick();
+  if (!pub.has_value()) {
+    violation("janitor.tick() did not republish with a full resurvey pending");
+    return out;
+  }
+  ++out.republishes;
+  if (pub->points_upserted != map.size()) {
+    violation("republish upserted fewer points than the resurvey delivered");
+  }
+  // The republished universe swapped E out for F: shrink and growth
+  // exercised by the same delta.
+  {
+    const std::vector<std::string>& universe =
+        janitor.compiled()->database().bssid_universe();
+    const auto has = [&](const std::string& bssid) {
+      return std::find(universe.begin(), universe.end(), bssid) !=
+             universe.end();
+    };
+    if (pub->universe_after != pub->universe_before) {
+      violation("republish changed universe size (expected E out, F in)");
+    }
+    if (has(radio::synthetic_bssid(4))) {
+      violation("vanished AP E's BSSID did not leave the universe");
+    }
+    if (!has(radio::synthetic_bssid(5))) {
+      violation("replacement AP F's BSSID was not interned on republish");
+    }
+  }
+  if (server.generation(site) != pub->generation || pub->generation < 2) {
+    violation("republish generation did not advance the served snapshot");
+  }
+
+  // The delta-compiled snapshot must be bit-exact against a
+  // from-scratch rebuild of the same merged database.
+  {
+    traindb::TrainingDatabase merged = janitor.compiled()->database();
+    const std::shared_ptr<const core::CompiledDatabase> rebuild =
+        core::CompiledDatabase::compile_owned(std::move(merged));
+    const CompiledDiffReport diff =
+        compare_compiled_databases(*janitor.compiled(), *rebuild);
+    out.differential_cells = diff.cells_compared;
+    if (!diff.ok()) {
+      violation("delta-compiled snapshot diverges from rebuild:\n" +
+                diff.to_text());
+    }
+  }
+
+  // Recovery: the republished map, judged on the same drifted world.
+  const traindb::TrainingDatabase& recovered_db =
+      janitor.compiled()->database();
+  {
+    const core::ProbabilisticLocator locator(janitor.compiled(),
+                                             config.prob_config);
+    const core::EvaluationResult eval =
+        core::evaluate(locator, recovered_db, truths, drifted_obs);
+    out.recovered_valid_rate = eval.valid_estimation_rate();
+    out.recovered_mean_error_ft = eval.mean_error_ft();
+  }
+  try {
+    const core::GeometricLocator geometric(recovered_db,
+                                           drifted.environment());
+    const core::EvaluationResult eval =
+        core::evaluate(geometric, recovered_db, truths, drifted_obs);
+    out.recovered_geometric_mean_error_ft = eval.mean_error_ft();
+  } catch (const std::exception& e) {
+    violation(std::string("geometric locator unfittable on recovered map: ") +
+              e.what());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DriftSoakResult::to_text() const {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof buf,
+      "drift soak: %d reruns\n"
+      "  baseline   valid %.1f%%  mean error %.1f ft\n"
+      "  stale      valid %.1f%%  mean error %.1f ft\n"
+      "  recovered  valid %.1f%%  mean error %.1f ft  (geometric %.1f ft)\n"
+      "  evidence: %llu shifted + %llu vanished pairs, %llu quarantined,\n"
+      "            %llu surveys accepted, %llu republishes, %llu diff cells\n"
+      "  violations: %zu\n",
+      reruns, 100.0 * baseline_valid_rate, baseline_mean_error_ft,
+      100.0 * stale_valid_rate, stale_mean_error_ft,
+      100.0 * recovered_valid_rate, recovered_mean_error_ft,
+      recovered_geometric_mean_error_ft,
+      static_cast<unsigned long long>(shifted_pairs),
+      static_cast<unsigned long long>(vanished_pairs),
+      static_cast<unsigned long long>(quarantined),
+      static_cast<unsigned long long>(accepted_surveys),
+      static_cast<unsigned long long>(republishes),
+      static_cast<unsigned long long>(differential_cells),
+      violations.size());
+  return buf;
+}
+
+DriftSoakResult run_drift_soak(const DriftScenarioConfig& config) {
+  DriftSoakResult result;
+  result.reruns = config.reruns;
+  for (int rerun = 0; rerun < config.reruns; ++rerun) {
+    const ArcOutcome out = run_arc(config, rerun, result.violations);
+    result.baseline_valid_rate += out.baseline_valid_rate;
+    result.baseline_mean_error_ft += out.baseline_mean_error_ft;
+    result.stale_valid_rate += out.stale_valid_rate;
+    result.stale_mean_error_ft += out.stale_mean_error_ft;
+    result.recovered_valid_rate += out.recovered_valid_rate;
+    result.recovered_mean_error_ft += out.recovered_mean_error_ft;
+    result.recovered_geometric_mean_error_ft +=
+        out.recovered_geometric_mean_error_ft;
+    result.shifted_pairs += out.shifted_pairs;
+    result.vanished_pairs += out.vanished_pairs;
+    result.quarantined += out.quarantined;
+    result.accepted_surveys += out.accepted_surveys;
+    result.republishes += out.republishes;
+    result.differential_cells += out.differential_cells;
+  }
+  if (config.reruns > 0) {
+    const double n = config.reruns;
+    result.baseline_valid_rate /= n;
+    result.baseline_mean_error_ft /= n;
+    result.stale_valid_rate /= n;
+    result.stale_mean_error_ft /= n;
+    result.recovered_valid_rate /= n;
+    result.recovered_mean_error_ft /= n;
+    result.recovered_geometric_mean_error_ft /= n;
+  }
+
+  // The recovery gates: republished accuracy back inside the golden
+  // §5.1/§5.2 bands, and better than the stale map it replaced.
+  char buf[192];
+  if (!kSec51ValidRateBand.contains(result.recovered_valid_rate)) {
+    std::snprintf(buf, sizeof buf,
+                  "recovered valid rate %.3f outside §5.1 band [%.2f, %.2f]",
+                  result.recovered_valid_rate, kSec51ValidRateBand.lo,
+                  kSec51ValidRateBand.hi);
+    result.violations.push_back(buf);
+  }
+  // §5.2 is one-sided here: the band floor guards against
+  // suspiciously-good numbers on the paper's exact layout, but the
+  // drifted site moved an AP to a *better* lateration spot, so only
+  // the ceiling carries meaning for recovery.
+  if (result.recovered_geometric_mean_error_ft <= 0.0 ||
+      result.recovered_geometric_mean_error_ft > kSec52MeanErrorBandFt.hi) {
+    std::snprintf(
+        buf, sizeof buf,
+        "recovered geometric error %.1f ft above §5.2 ceiling %.1f ft",
+        result.recovered_geometric_mean_error_ft, kSec52MeanErrorBandFt.hi);
+    result.violations.push_back(buf);
+  }
+  // Decay and recovery, judged on both metrics: mean error carries
+  // the robust margin; valid rate must at least not move the wrong
+  // way (ties happen at this sample size).
+  if (result.stale_mean_error_ft <= result.baseline_mean_error_ft ||
+      result.stale_valid_rate > result.baseline_valid_rate) {
+    std::snprintf(buf, sizeof buf,
+                  "drift schedule did not degrade the stale map (baseline "
+                  "%.3f / %.1f ft, stale %.3f / %.1f ft)",
+                  result.baseline_valid_rate, result.baseline_mean_error_ft,
+                  result.stale_valid_rate, result.stale_mean_error_ft);
+    result.violations.push_back(buf);
+  }
+  if (result.recovered_mean_error_ft >= result.stale_mean_error_ft ||
+      result.recovered_valid_rate < result.stale_valid_rate) {
+    std::snprintf(buf, sizeof buf,
+                  "republish did not improve on the stale map (stale %.3f / "
+                  "%.1f ft, recovered %.3f / %.1f ft)",
+                  result.stale_valid_rate, result.stale_mean_error_ft,
+                  result.recovered_valid_rate, result.recovered_mean_error_ft);
+    result.violations.push_back(buf);
+  }
+  return result;
+}
+
+}  // namespace loctk::testkit

@@ -107,8 +107,14 @@ ServerSoakResult run_server_soak(const ServerSoakConfig& config) {
   serve::LocationServerConfig server_config;
   server_config.service = config.service;
   server_config.max_sites = std::max<std::size_t>(1, config.sites);
+  // The "session table never fills" invariant below demands a table
+  // that genuinely cannot fill. Capacity is split across 16 hash
+  // stripes and a stripe overflows individually, so 2x total headroom
+  // is not enough at small per-site fleets (64 devices over 16
+  // stripes of 8 cells overflows on ordinary hash imbalance); size
+  // for per-stripe slack, not just aggregate load factor.
   server_config.sessions_per_site =
-      std::max<std::size_t>(64, 2 * config.devices_per_site);
+      std::max<std::size_t>(256, 4 * config.devices_per_site);
   serve::LocationServer server(server_config);
 
   metrics::Counter& service_scans = metrics::counter("service.scans");

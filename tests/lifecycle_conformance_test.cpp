@@ -1,0 +1,46 @@
+// The drift-recovery conformance gate: the full decay-and-recovery
+// arc from testkit/drift.hpp. A five-AP paper house is surveyed and
+// served; one AP moves, one loses transmit power, one vanishes; the
+// drift monitor must flag the decay, the quarantined resurvey must
+// delta-compile bit-exactly against a from-scratch rebuild, and the
+// republished snapshot must bring accuracy back inside the §5.1/§5.2
+// golden bands. Minutes-scale (each rerun trains two full surveys),
+// so it rides the conformance label, not quick.
+
+#include "testkit/drift.hpp"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace loctk::testkit {
+namespace {
+
+TEST(DriftRecoveryConformance, AccuracyRecoversToPaperBandsAfterRepublish) {
+  DriftScenarioConfig config;
+  const DriftSoakResult result = run_drift_soak(config);
+  SCOPED_TRACE(result.to_text());
+  for (const std::string& v : result.violations) {
+    ADD_FAILURE() << "drift soak violation: " << v;
+  }
+  ASSERT_TRUE(result.ok());
+
+  // Every arc republished exactly once, with evidence on both sides:
+  // the monitor saw the decay, the intake rejected the hostile dwells,
+  // and the differential compared real cells.
+  EXPECT_EQ(result.republishes, static_cast<std::uint64_t>(result.reruns));
+  EXPECT_GT(result.shifted_pairs, 0u);
+  EXPECT_GT(result.vanished_pairs, 0u);
+  EXPECT_EQ(result.quarantined, 2u * static_cast<std::uint64_t>(result.reruns));
+  EXPECT_GT(result.differential_cells, 0u);
+
+  // The arc itself: baseline healthy, stale degraded, recovery inside
+  // the golden bands (the band checks are violations above; these
+  // document the shape).
+  EXPECT_LT(result.stale_valid_rate, result.baseline_valid_rate);
+  EXPECT_GT(result.recovered_valid_rate, result.stale_valid_rate);
+}
+
+}  // namespace
+}  // namespace loctk::testkit

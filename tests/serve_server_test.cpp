@@ -196,6 +196,78 @@ TEST(LocationServer, SwapToDegenerateDatabaseDegradesNotCrashes) {
   EXPECT_EQ(server.generation(site), 3u);
 }
 
+/// Not derived from std::exception on purpose: Locator::try_locate
+/// already converts std::exception throws into a typed kInternal
+/// Error, so only a foreign exception type reaches the serving layer —
+/// which is exactly the path the on_scan contract must survive.
+struct HostileUnwind {};
+
+class ThrowingLocator : public core::Locator {
+ public:
+  core::LocationEstimate locate(const core::Observation&) const override {
+    throw HostileUnwind{};
+  }
+  std::string name() const override { return "throwing"; }
+};
+
+class ThrowingStdLocator : public core::Locator {
+ public:
+  core::LocationEstimate locate(const core::Observation&) const override {
+    throw std::runtime_error("scoring blew up");
+  }
+  std::string name() const override { return "throwing-std"; }
+};
+
+TEST(LocationServer, OnScanNeverUnwindsOnThrowingLocator) {
+  // Regression: on_scan used to rethrow locator exceptions, violating
+  // the "data plane must not unwind on hostile input" contract. A
+  // throwing locator must degrade the scan, count it in
+  // serve.shard.<site>.errors, release the session spinlock, and leave
+  // the session serviceable after a swap to a good snapshot.
+  LocationServerConfig config = small_config();
+  config.service.kalman_smoothing = false;
+  config.service.window_scans = 1;
+  config.service.min_scans = 1;
+  LocationServer server(config);
+  const SiteId site =
+      server.add_site("hostile", std::make_shared<ThrowingLocator>());
+  const std::uint64_t errors_before = server.stats(site).errors;
+  const std::uint64_t scans_before = server.stats(site).scans;
+
+  core::ServiceFix fix;
+  ASSERT_NO_THROW(fix = server.on_scan(site, 7, scan_at({20, 20})));
+  EXPECT_FALSE(fix.valid);
+  EXPECT_NE(fix.degraded_reason.find("[internal]"), std::string::npos);
+
+  SiteStats stats = server.stats(site);
+  EXPECT_EQ(stats.errors - errors_before, 1u);
+  EXPECT_EQ(stats.scans - scans_before, 1u);
+  EXPECT_EQ(stats.sessions, 1u);
+
+  // The spinlock was released and the session survived: the same
+  // device resumes valid fixes once a good snapshot is swapped in.
+  server.swap_site(site, make_locator());
+  ASSERT_NO_THROW(fix = server.on_scan(site, 7, scan_at({20, 20}, 1.0)));
+  EXPECT_TRUE(fix.valid);
+  EXPECT_EQ(server.stats(site).errors - errors_before, 1u);
+}
+
+TEST(LocationServer, OnScanReportsStdExceptionMessage) {
+  // The std::exception flavor is absorbed earlier (try_locate maps it
+  // to a degraded fix), but a locator that throws from elsewhere on
+  // the scan path must still degrade — and carry the what() string so
+  // operators can see why.
+  LocationServerConfig config = small_config();
+  config.service.kalman_smoothing = false;
+  config.service.window_scans = 1;
+  config.service.min_scans = 1;
+  LocationServer server(config);
+  const SiteId site =
+      server.add_site("hostile-std", std::make_shared<ThrowingStdLocator>());
+  const core::ServiceFix fix = server.on_scan(site, 7, scan_at({20, 20}));
+  EXPECT_FALSE(fix.valid);
+}
+
 TEST(LocationServer, LocateBatchPinsOneSnapshotAcrossSwaps) {
   // A batch is scored by a single pinned snapshot even while swaps
   // land concurrently; with equivalent snapshots, every answer equals

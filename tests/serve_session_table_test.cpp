@@ -6,6 +6,7 @@
 
 #include "serve/session_table.hpp"
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <set>
@@ -120,6 +121,129 @@ TEST(SessionTable, ConcurrentCreatesConvergeOnOneSession) {
     for (int t = 1; t < kThreads; ++t) {
       EXPECT_EQ(seen[static_cast<std::size_t>(t)][d - 1], canonical)
           << "device " << d << " thread " << t;
+    }
+  }
+  EXPECT_EQ(table.size(), kDevices);
+}
+
+TEST(SessionTable, FindWaitsForPublicationDuringClaimRace) {
+  // Regression: find() used to return the cell's session pointer as
+  // soon as the key matched — which is nullptr in the window between
+  // the winner's key CAS and its session publication, violating the
+  // "nullptr when absent" contract for a device that exists. Race a
+  // creator against a finder on a fresh device per round: whenever the
+  // finder's probe lands inside that window it must now wait and come
+  // back with the winner's session, never nullptr-then-a-session.
+  constexpr DeviceId kRounds = 512;
+  SessionTable table(1 << 12, 2);
+  const auto config = service_config();
+
+  std::atomic<DeviceId> current{0};
+  std::array<std::atomic<Session*>, kRounds + 1> created{};
+  std::atomic<bool> stop{false};
+
+  std::thread finder([&] {
+    DeviceId last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const DeviceId d = current.load(std::memory_order_acquire);
+      if (d == 0 || d == last) continue;
+      // Hammer find() while the creator is (maybe) mid-claim. A
+      // non-null result must be the winner's session once published.
+      Session* seen = nullptr;
+      for (;;) {
+        seen = table.find(d);
+        if (seen) break;
+        Session* c = created[d].load(std::memory_order_acquire);
+        if (c) {
+          // Publication happened-before this load, so a find() issued
+          // now must observe the session. Old code could still return
+          // nullptr here if its earlier probe cached the race window.
+          seen = table.find(d);
+          EXPECT_NE(seen, nullptr) << "device " << d;
+          break;
+        }
+      }
+      if (Session* c = created[d].load(std::memory_order_acquire)) {
+        EXPECT_EQ(seen, c) << "device " << d;
+      }
+      last = d;
+    }
+  });
+
+  for (DeviceId d = 1; d <= kRounds; ++d) {
+    current.store(d, std::memory_order_release);
+    Session* s = table.find_or_create(d, config);
+    ASSERT_NE(s, nullptr);
+    created[d].store(s, std::memory_order_release);
+    // Creator-side view: the session exists, so find() may never say
+    // otherwise again.
+    EXPECT_EQ(table.find(d), s);
+  }
+  stop.store(true, std::memory_order_release);
+  finder.join();
+
+  EXPECT_EQ(table.size(), kRounds);
+  for (DeviceId d = 1; d <= kRounds; ++d) {
+    EXPECT_EQ(table.find(d), created[d].load());
+  }
+}
+
+TEST(SessionTable, ConcurrentFindAndCreateConvergeOnWinner) {
+  // The claim race with mixed traffic: half the threads create, half
+  // only look up. Every non-null answer for a device — from either
+  // path — must be the single winning session (no duplicates, no
+  // torn lookups). Runs under the TSan CI job.
+  constexpr int kCreators = 4;
+  constexpr int kFinders = 4;
+  constexpr DeviceId kDevices = 128;
+  SessionTable table(1 << 10, 8);
+  const auto config = service_config();
+
+  std::vector<std::vector<Session*>> created(
+      kCreators, std::vector<Session*>(kDevices));
+  std::atomic<int> ready{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kCreators; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kCreators + kFinders) std::this_thread::yield();
+      for (DeviceId d = 1; d <= kDevices; ++d) {
+        created[static_cast<std::size_t>(t)][d - 1] =
+            table.find_or_create(d, config);
+      }
+    });
+  }
+  std::vector<std::vector<Session*>> found(
+      kFinders, std::vector<Session*>(kDevices, nullptr));
+  for (int t = 0; t < kFinders; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kCreators + kFinders) std::this_thread::yield();
+      while (!stop.load(std::memory_order_acquire)) {
+        for (DeviceId d = 1; d <= kDevices; ++d) {
+          if (Session* s = table.find(d)) {
+            found[static_cast<std::size_t>(t)][d - 1] = s;
+          }
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kCreators; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true, std::memory_order_release);
+  for (int t = kCreators; t < kCreators + kFinders; ++t) {
+    threads[static_cast<std::size_t>(t)].join();
+  }
+
+  for (DeviceId d = 1; d <= kDevices; ++d) {
+    Session* canonical = created[0][d - 1];
+    ASSERT_NE(canonical, nullptr);
+    for (int t = 1; t < kCreators; ++t) {
+      EXPECT_EQ(created[static_cast<std::size_t>(t)][d - 1], canonical);
+    }
+    for (int t = 0; t < kFinders; ++t) {
+      Session* f = found[static_cast<std::size_t>(t)][d - 1];
+      if (f != nullptr) EXPECT_EQ(f, canonical);
     }
   }
   EXPECT_EQ(table.size(), kDevices);
