@@ -1,0 +1,115 @@
+// PERF — campus-cardinality serving costs: the compiled scoring
+// engine on a generated 2-building x 3-floor campus (1020 APs, 240
+// surveyed rooms) instead of the single-floor office corpus
+// perf_score_kernel uses. The interesting deltas live here, not
+// there: pruning only earns its keep past a few hundred rows, floor
+// selection folds six per-floor locators per fix, and compiling a
+// 1000-slot universe is the unit of work every snapshot swap pays.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "bench_metrics.hpp"
+#include "core/compiled_db.hpp"
+#include "core/floor_selector.hpp"
+#include "core/observation.hpp"
+#include "core/probabilistic.hpp"
+#include "radio/campus.hpp"
+#include "radio/scanner.hpp"
+#include "testkit/scenario.hpp"
+
+using namespace loctk;
+
+namespace {
+
+struct CampusCorpus {
+  CampusCorpus() : scenario(make_spec()) {
+    for (const auto& db : scenario.floor_databases()) floors.push_back(&db);
+    const radio::Campus& campus = scenario.campus();
+    const auto rooms = campus.room_centers(0);
+    const radio::CampusFloorView view(campus, 0, 0);
+    radio::Scanner scanner(view, radio::ChannelConfig{}, 99);
+    observation =
+        core::Observation::from_scans(scanner.collect(rooms[3], 8));
+  }
+
+  static testkit::ScenarioSpec make_spec() {
+    testkit::ScenarioSpec spec =
+        testkit::ScenarioSpec::campus_fleet(4, 2, /*seed=*/55);
+    spec.train_scans = 6;
+    return spec;
+  }
+
+  testkit::Scenario scenario;
+  std::vector<const traindb::TrainingDatabase*> floors;
+  core::Observation observation;
+};
+
+const CampusCorpus& campus() {
+  static const CampusCorpus c;
+  return c;
+}
+
+core::ProbabilisticConfig pruned_config() {
+  core::ProbabilisticConfig config;
+  config.prune_top_k = 32;
+  config.prune_strongest_aps = 4;
+  return config;
+}
+
+// The exhaustive sweep over all 240 rows x 1020-slot rows: the cost
+// pruning is measured against.
+void BM_CampusLocate_Exhaustive(benchmark::State& state) {
+  const CampusCorpus& c = campus();
+  const core::ProbabilisticLocator locator(c.scenario.database());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locator.locate(c.observation));
+  }
+  state.counters["points"] =
+      static_cast<double>(c.scenario.database().size());
+  state.counters["universe"] = static_cast<double>(
+      c.scenario.database().bssid_universe().size());
+}
+BENCHMARK(BM_CampusLocate_Exhaustive)->Unit(benchmark::kMicrosecond);
+
+// Coarse-to-fine on the ML coarse mode (exact restricted likelihood
+// over the candidate union) — top-1 identical to the exhaustive sweep
+// by construction, so this line is pure speedup.
+void BM_CampusLocate_Pruned(benchmark::State& state) {
+  const CampusCorpus& c = campus();
+  const core::ProbabilisticLocator locator(c.scenario.database(),
+                                           pruned_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locator.locate(c.observation));
+  }
+}
+BENCHMARK(BM_CampusLocate_Pruned)->Unit(benchmark::kMicrosecond);
+
+// Floor determination + in-floor fix: six per-floor pruned locates
+// plus the per-term normalized fold.
+void BM_CampusFloorSelect(benchmark::State& state) {
+  const CampusCorpus& c = campus();
+  const core::FloorSelector selector(c.floors, pruned_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.locate(c.observation));
+  }
+  state.counters["floors"] = static_cast<double>(selector.floor_count());
+}
+BENCHMARK(BM_CampusFloorSelect)->Unit(benchmark::kMicrosecond);
+
+// What every republish of a campus site pays before its snapshot can
+// swap in: one compile of the merged 1000-slot database.
+void BM_CampusCompileDatabase(benchmark::State& state) {
+  const CampusCorpus& c = campus();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::CompiledDatabase::compile(c.scenario.database()));
+  }
+}
+BENCHMARK(BM_CampusCompileDatabase)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LOCTK_BENCHMARK_MAIN_WITH_METRICS("perf_campus")

@@ -14,6 +14,12 @@
 // land throughout the replay. `--devices` stays the *total* fleet
 // size, so the nightly job can say `--server --devices 10000`.
 //
+// `--campus` runs the classic leg on a generated multi-building campus
+// (1000+ APs, per-floor attenuation, heterogeneous device offsets)
+// instead of the single-floor site; under `--server`, `--campus-sites
+// K` synthesizes the first K sites as campuses so big-universe
+// snapshots ride the swap waves.
+//
 // Exit status is 0 only when every invariant holds, so the CI job
 // fails on any breach. The scheduled workflow runs this under TSan
 // with >= 64 devices (docs/TESTING.md, "soak").
@@ -49,6 +55,8 @@ struct Options {
   std::size_t swap_every = 0;  // 0 = derive (~16 waves)
   bool drift = false;
   int drift_reruns = 4;
+  bool campus = false;
+  std::size_t campus_sites = 0;
   std::string report_path;
   std::string metrics_path;
   std::string trace_path;
@@ -60,7 +68,8 @@ struct Options {
                "          [--max-p99 SECONDS] [--report PATH]\n"
                "          [--metrics PATH] [--trace PATH]\n"
                "          [--server] [--sites K] [--swap-every SCANS]\n"
-               "          [--drift] [--drift-reruns N]\n",
+               "          [--drift] [--drift-reruns N]\n"
+               "          [--campus] [--campus-sites K]\n",
                argv0);
   std::exit(2);
 }
@@ -98,6 +107,11 @@ Options parse_options(int argc, char** argv) {
       opt.drift = true;
     } else if (flag == "--drift-reruns") {
       opt.drift_reruns = std::atoi(value());
+    } else if (flag == "--campus") {
+      opt.campus = true;
+    } else if (flag == "--campus-sites") {
+      opt.campus_sites =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
     } else {
       usage(argv[0]);
     }
@@ -130,11 +144,14 @@ int run_server_mode(const Options& opt) {
   config.seed = opt.seed;
   config.swap_every_scans = opt.swap_every;
   config.max_p99_on_scan_s = opt.max_p99_s;
+  config.campus_sites =
+      opt.campus ? config.sites : std::min(opt.campus_sites, config.sites);
 
   std::printf(
-      "soak_fleet --server: %zu sites x %zu devices x %d scans, seed %llu\n",
+      "soak_fleet --server: %zu sites x %zu devices x %d scans, seed %llu"
+      " (%zu campus)\n",
       config.sites, config.devices_per_site, config.scans_per_device,
-      static_cast<unsigned long long>(config.seed));
+      static_cast<unsigned long long>(config.seed), config.campus_sites);
   const testkit::ServerSoakResult result = testkit::run_server_soak(config);
 
   std::fputs(result.report.to_text().c_str(), stdout);
@@ -212,7 +229,16 @@ int main(int argc, char** argv) {
   if (opt.server) return run_server_mode(opt);
 
   testkit::ScenarioSpec spec =
-      testkit::ScenarioSpec::fleet(opt.devices, opt.scans, opt.seed);
+      opt.campus
+          ? testkit::ScenarioSpec::campus_fleet(opt.devices, opt.scans,
+                                                opt.seed)
+          : testkit::ScenarioSpec::fleet(opt.devices, opt.scans, opt.seed);
+  if (opt.campus) {
+    // A campus survey covers 240 rooms x 1020 APs; the single-site
+    // default of 90 scans per room would spend the soak budget on
+    // synthesis rather than replay.
+    spec.train_scans = 12;
+  }
   // The standing fault schedule: NaN bursts, lost scans, and vanished
   // strongest-AP rows spread across the fleet, so rejection and
   // degraded coasting stay load-bearing parts of every soak.

@@ -33,6 +33,23 @@
 /// Locators additionally fall back when the pruned pass yields no
 /// valid estimate, so enabling pruning can never turn a valid answer
 /// into an invalid one.
+///
+/// ML coarse mode (`PrunerConfig::ml_tables`): the gap metric above is
+/// congruent with the k-NN distance but NOT with the probabilistic
+/// likelihood at campus cardinality — the likelihood charges a flat
+/// `missing_ap_log_penalty` per visibility disagreement, so a sparsely
+/// trained row (a corner room hearing a handful of APs) can win the
+/// exact arg-max while the gap metric, charging (observed - missing)²
+/// per untrained slot, ranks it near dead last and prunes it out.
+/// When the consumer supplies its Gaussian tables, the pruner instead
+/// seeds candidates from EVERY finite observed slot's postings and
+/// coarse-ranks them with the consumer's own score gathered over the
+/// observed slots only — mathematically the exact likelihood (the
+/// dense kernel's Gaussian terms are zero off the observation, and the
+/// penalty terms are closed-form in the counts), at
+/// O(candidates x observed APs) cost. Any row sharing at least one AP
+/// with the observation is ranked by its true score, so the exact
+/// winner can only leave the top-k on a sub-rounding-noise tie.
 
 #include <cstdint>
 #include <memory>
@@ -42,6 +59,17 @@
 
 namespace loctk::core {
 
+/// Per-cell Gaussian constants of the probabilistic kernel, row-major
+/// points x row_stride() with exact zeros at untrained slots and in
+/// the stride pad:
+///   log_pdf(x) = log_norm - (x - mean)² · inv_two_var.
+/// Owned by the locator that built them and shared with its pruner
+/// (ML coarse mode), so copies of either stay valid.
+struct GaussianTables {
+  simd::AlignedDoubles log_norm;
+  simd::AlignedDoubles inv_two_var;
+};
+
 struct PrunerConfig {
   /// How many of the observation's loudest in-universe APs seed the
   /// candidate set.
@@ -50,9 +78,20 @@ struct PrunerConfig {
   int top_k = 32;
   /// Fill level charged when a candidate row never trained an
   /// observed slot — keeps the coarse ranking congruent with the
-  /// k-NN distance (KnnConfig::missing_dbm) and penalty-aware for
-  /// the probabilistic likelihood.
+  /// k-NN distance (KnnConfig::missing_dbm).
   double missing_dbm = -100.0;
+  /// When set, switches the coarse rank to ML mode (see file comment):
+  /// candidates seed from every finite observed slot and are ranked by
+  /// the consumer's own restricted score built from these tables plus
+  /// the two knobs below. `strongest_aps` and `missing_dbm` are
+  /// ignored in this mode.
+  std::shared_ptr<const GaussianTables> ml_tables;
+  /// The consumer's ProbabilisticConfig::missing_ap_log_penalty.
+  double ml_missing_penalty = -6.0;
+  /// The consumer's ProbabilisticConfig::min_common_aps: rows below it
+  /// coarse-score -infinity (the exact pass skips them, so they must
+  /// not occupy candidate slots).
+  int ml_min_common_aps = 1;
 };
 
 class CandidatePruner {
@@ -68,6 +107,11 @@ class CandidatePruner {
   const PrunerConfig& config() const { return config_; }
 
  private:
+  /// The ML-mode selection (config_.ml_tables set): all-observed-slot
+  /// candidate union, coarse rank = the consumer's restricted score.
+  std::vector<std::uint32_t> select_ml(const CompiledObservation& q,
+                                       std::size_t top_k) const;
+
   std::shared_ptr<const CompiledDatabase> compiled_;
   PrunerConfig config_;
   /// CSR postings: rows trained on slot s live at

@@ -4,38 +4,100 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "traindb/generator.hpp"
 #include "wiscan/survey.hpp"
 
 namespace loctk::core {
 
-FloorSelector::FloorSelector(
-    std::vector<const traindb::TrainingDatabase*> databases,
-    ProbabilisticConfig config) {
-  if (databases.empty()) {
-    throw std::invalid_argument("FloorSelector: no databases");
-  }
-  locators_.reserve(databases.size());
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+std::vector<std::shared_ptr<const CompiledDatabase>> compile_floors(
+    const std::vector<const traindb::TrainingDatabase*>& databases) {
+  std::vector<std::shared_ptr<const CompiledDatabase>> compiled;
+  compiled.reserve(databases.size());
   for (const traindb::TrainingDatabase* db : databases) {
     if (db == nullptr) {
       throw std::invalid_argument("FloorSelector: null database");
     }
-    locators_.push_back(
-        std::make_unique<ProbabilisticLocator>(*db, config));
+    compiled.push_back(CompiledDatabase::compile(*db));
   }
+  return compiled;
+}
+
+}  // namespace
+
+FloorSelector::FloorSelector(
+    std::vector<const traindb::TrainingDatabase*> databases,
+    ProbabilisticConfig config)
+    : FloorSelector(compile_floors(databases), config) {}
+
+FloorSelector::FloorSelector(
+    std::vector<std::shared_ptr<const CompiledDatabase>> compiled,
+    ProbabilisticConfig config) {
+  if (compiled.empty()) {
+    throw std::invalid_argument("FloorSelector: no databases");
+  }
+  locators_.reserve(compiled.size());
+  trained_counts_.reserve(compiled.size());
+  for (std::shared_ptr<const CompiledDatabase>& db : compiled) {
+    if (db == nullptr) {
+      throw std::invalid_argument("FloorSelector: null database");
+    }
+    std::unordered_map<std::string, int> counts;
+    counts.reserve(db->point_count());
+    for (std::size_t p = 0; p < db->point_count(); ++p) {
+      counts.emplace(db->point(p).location, db->trained_count(p));
+    }
+    trained_counts_.push_back(std::move(counts));
+    locators_.push_back(
+        std::make_unique<ProbabilisticLocator>(std::move(db), config));
+  }
+}
+
+double FloorSelector::scored_locate(std::size_t f, const Observation& obs,
+                                    LocationEstimate* est) const {
+  const ProbabilisticLocator& locator = *locators_[f];
+  *est = locator.locate(obs);
+  // Reject non-finite scores explicitly: one NaN mean reaching a
+  // floor's kernel must disqualify that floor, not poison the
+  // cross-floor max/softmax folds.
+  if (!est->valid || !std::isfinite(est->score)) {
+    *est = LocationEstimate{};
+    return kNegInf;
+  }
+
+  // Per-term normalization. The raw score is a sum over
+  //   common + penalties
+  // terms, where penalties = trained(winner) + in_universe +
+  // outside_universe - 2*common — a count that varies per floor with
+  // the floor's AP universe, so raw sums are not cross-floor
+  // comparable. Mean log-likelihood per scored term is.
+  const CompiledDatabase& compiled = locator.compiled();
+  int in_universe = 0;
+  for (const ObservedAp& ap : obs.aps()) {
+    in_universe += compiled.slot_of(ap.bssid).has_value();
+  }
+  const int outside = static_cast<int>(obs.ap_count()) - in_universe;
+  const auto trained = trained_counts_[f].find(est->location_name);
+  const int trained_aps =
+      trained == trained_counts_[f].end() ? 0 : trained->second;
+  const int common = est->aps_used;
+  const int terms =
+      common + (trained_aps + in_universe + outside - 2 * common);
+  return est->score / static_cast<double>(std::max(terms, 1));
 }
 
 std::vector<double> FloorSelector::floor_scores(
     const Observation& obs) const {
   std::vector<double> scores;
   scores.reserve(locators_.size());
-  for (const auto& locator : locators_) {
-    double best = -std::numeric_limits<double>::infinity();
-    for (const ScoredPoint& sp : locator->score_all(obs)) {
-      best = std::max(best, sp.log_likelihood);
-    }
-    scores.push_back(best);
+  LocationEstimate scratch;
+  for (std::size_t f = 0; f < locators_.size(); ++f) {
+    scores.push_back(scored_locate(f, obs, &scratch));
   }
   return scores;
 }
@@ -44,23 +106,28 @@ FloorEstimate FloorSelector::locate(const Observation& obs) const {
   FloorEstimate out;
   if (obs.empty()) return out;
 
-  const std::vector<double> scores = floor_scores(obs);
-  const auto best_it = std::max_element(scores.begin(), scores.end());
-  if (*best_it == -std::numeric_limits<double>::infinity()) return out;
-  const auto best =
-      static_cast<std::size_t>(std::distance(scores.begin(), best_it));
+  std::vector<double> scores(locators_.size(), kNegInf);
+  std::vector<LocationEstimate> estimates(locators_.size());
+  std::size_t best = 0;
+  bool any = false;
+  for (std::size_t f = 0; f < locators_.size(); ++f) {
+    scores[f] = scored_locate(f, obs, &estimates[f]);
+    if (scores[f] == kNegInf) continue;  // finite by construction otherwise
+    if (!any || scores[f] > scores[best]) {
+      best = f;
+      any = true;
+    }
+  }
+  if (!any) return out;
 
-  const LocationEstimate est = locators_[best]->locate(obs);
-  if (!est.valid) return out;
-
-  // Softmax confidence over the per-floor best scores.
+  // Softmax confidence over the per-term scores of the viable floors.
   double denom = 0.0;
   for (const double s : scores) {
-    if (std::isfinite(s)) denom += std::exp(s - *best_it);
+    if (s != kNegInf) denom += std::exp(s - scores[best]);
   }
   out.valid = true;
   out.floor = best;
-  out.estimate = est;
+  out.estimate = estimates[best];
   out.floor_confidence = denom > 0.0 ? 1.0 / denom : 0.0;
   return out;
 }
@@ -84,6 +151,49 @@ std::vector<traindb::TrainingDatabase> train_building(
     dbs.push_back(traindb::generate_database(collection, map, gen));
   }
   return dbs;
+}
+
+std::vector<traindb::TrainingDatabase> train_campus(
+    const radio::Campus& campus, int scans_per_point, std::uint64_t seed,
+    const radio::ChannelConfig& channel) {
+  std::vector<traindb::TrainingDatabase> dbs;
+  dbs.reserve(campus.floor_count());
+  for (std::size_t b = 0; b < campus.building_count(); ++b) {
+    const std::vector<geom::Vec2> rooms = campus.room_centers(b);
+    for (std::size_t f = 0; f < campus.floors_per_building(); ++f) {
+      const std::size_t flat = campus.flat_floor(b, f);
+      const std::string tag =
+          "B" + std::to_string(b) + "F" + std::to_string(f);
+      wiscan::LocationMap map;
+      for (std::size_t r = 0; r < rooms.size(); ++r) {
+        map.add(tag + "-R" + std::to_string(r), rooms[r]);
+      }
+      const radio::CampusFloorView view(campus, b, f);
+      radio::Scanner scanner(view, channel, seed + flat * 0x1009u + 1);
+      wiscan::SurveyConfig cfg;
+      cfg.scans_per_location = scans_per_point;
+      wiscan::SurveyCampaign campaign(scanner, cfg);
+      const wiscan::Collection collection = campaign.run(map);
+      traindb::GeneratorConfig gen;
+      gen.site_name = tag;
+      dbs.push_back(traindb::generate_database(collection, map, gen));
+    }
+  }
+  return dbs;
+}
+
+traindb::TrainingDatabase merge_floor_databases(
+    const std::vector<traindb::TrainingDatabase>& floors,
+    std::string site_name) {
+  std::vector<traindb::TrainingPoint> points;
+  std::size_t total = 0;
+  for (const traindb::TrainingDatabase& db : floors) total += db.size();
+  points.reserve(total);
+  for (const traindb::TrainingDatabase& db : floors) {
+    points.insert(points.end(), db.points().begin(), db.points().end());
+  }
+  return traindb::TrainingDatabase::from_points(std::move(points),
+                                                std::move(site_name));
 }
 
 }  // namespace loctk::core

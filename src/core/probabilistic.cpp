@@ -91,9 +91,16 @@ ProbabilisticLocator::ProbabilisticLocator(
     : compiled_(std::move(compiled)), config_(config) {
   build_kernel_tables();
   if (config_.prune_top_k > 0) {
+    // ML coarse mode: the pruner ranks candidates with this locator's
+    // own restricted score, so the exact arg-max is never pruned out
+    // (candidate_pruner.hpp, "ML coarse mode").
     pruner_ = std::make_shared<const CandidatePruner>(
-        compiled_, PrunerConfig{.strongest_aps = config_.prune_strongest_aps,
-                                .top_k = config_.prune_top_k});
+        compiled_,
+        PrunerConfig{.strongest_aps = config_.prune_strongest_aps,
+                     .top_k = config_.prune_top_k,
+                     .ml_tables = tables_,
+                     .ml_missing_penalty = config_.missing_ap_log_penalty,
+                     .ml_min_common_aps = config_.min_common_aps});
     prune_database_points().set(
         static_cast<double>(compiled_->point_count()));
   }
@@ -128,8 +135,9 @@ void ProbabilisticLocator::build_kernel_tables() {
   // finite; the tables share the compiled matrices' aligned padded
   // layout so score_point can run unmasked vector loads.
   const std::size_t stride = compiled_->row_stride();
-  log_norm_.assign(points * stride, 0.0);
-  inv_two_var_.assign(points * stride, 0.0);
+  auto tables = std::make_shared<GaussianTables>();
+  tables->log_norm.assign(points * stride, 0.0);
+  tables->inv_two_var.assign(points * stride, 0.0);
   for (std::size_t p = 0; p < points; ++p) {
     const double* sd = compiled_->stddev_row(p);
     const double* mask = compiled_->mask_row(p);
@@ -140,10 +148,12 @@ void ProbabilisticLocator::build_kernel_tables() {
           config_.use_pooled_sigma
               ? pooled_sigma_[u]
               : std::max(sd[u], config_.sigma_floor_db);
-      log_norm_[base + u] = -0.5 * std::log(stats::kTwoPi * sigma * sigma);
-      inv_two_var_[base + u] = 0.5 / (sigma * sigma);
+      tables->log_norm[base + u] =
+          -0.5 * std::log(stats::kTwoPi * sigma * sigma);
+      tables->inv_two_var[base + u] = 0.5 / (sigma * sigma);
     }
   }
+  tables_ = std::move(tables);
 }
 
 double ProbabilisticLocator::pooled_sigma_db(const std::string& bssid) const {
@@ -202,8 +212,8 @@ double ProbabilisticLocator::score_point(std::size_t point,
   const std::size_t stride = compiled_->row_stride();
   const kernels::ProbRowScore s = kernels::prob_score_row<simd::Vec4d>(
       compiled_->mean_row(point), compiled_->mask_row(point),
-      log_norm_.data() + point * stride,
-      inv_two_var_.data() + point * stride, q.mean_dbm.data(),
+      tables_->log_norm.data() + point * stride,
+      tables_->inv_two_var.data() + point * stride, q.mean_dbm.data(),
       q.present.data(), stride);
   const int common_i = static_cast<int>(s.common);
   // Penalties = trained-only + observed-only (inside or outside the
@@ -371,7 +381,8 @@ void ProbabilisticLocator::locate_quad(const CompiledObservation* qs,
     V gauss, common;
     kernels::prob_score_row_obs4<V>(
         compiled_->mean_row(p), compiled_->mask_row(p),
-        log_norm_.data() + p * stride, inv_two_var_.data() + p * stride,
+        tables_->log_norm.data() + p * stride,
+        tables_->inv_two_var.data() + p * stride,
         qm_t.data(), qp_t.data(), stride, &gauss, &common);
     const V v_trained =
         V::broadcast(static_cast<double>(compiled_->trained_count(p)));

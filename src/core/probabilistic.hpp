@@ -159,11 +159,9 @@ class ProbabilisticLocator : public Locator {
   std::shared_ptr<const CandidatePruner> pruner_;
   /// Aligned with database().bssid_universe().
   std::vector<double> pooled_sigma_;
-  /// Row-major points x row_stride() Gaussian constants, 0 at
-  /// untrained slots (and in the stride pad):
-  ///   log_pdf(x) = log_norm - (x - mean)² · inv_two_var.
-  simd::AlignedDoubles log_norm_;
-  simd::AlignedDoubles inv_two_var_;
+  /// The per-cell Gaussian constants (see GaussianTables), shared with
+  /// the pruner's ML coarse mode so copies of either stay valid.
+  std::shared_ptr<const GaussianTables> tables_;
 };
 
 }  // namespace loctk::core

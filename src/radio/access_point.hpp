@@ -32,7 +32,9 @@ struct AccessPoint {
   friend bool operator==(const AccessPoint&, const AccessPoint&) = default;
 };
 
-/// Canonical BSSID for the i-th synthetic AP: 00:17:AB:00:00:ii.
+/// Canonical BSSID for the i-th synthetic AP: 00:17:AB:00:hh:ii (two
+/// index bytes, so synthetic sites stay collision-free through 65535
+/// APs; equal to the historical one-byte form for index < 256).
 std::string synthetic_bssid(int index);
 
 }  // namespace loctk::radio

@@ -1,0 +1,181 @@
+#include "radio/campus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace loctk::radio {
+
+namespace {
+
+/// splitmix64: deterministic placement stream, site-specific.
+std::uint64_t mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double uniform(std::uint64_t& state, double lo, double hi) {
+  const double u =
+      static_cast<double>(mix64(state) >> 11) * 0x1.0p-53;  // [0, 1)
+  return lo + u * (hi - lo);
+}
+
+/// One office floor plate inside the (global-coordinate) footprint:
+/// brick perimeter plus a rooms_x x rooms_y partition grid with a
+/// door gap per shared wall, so paths between rooms cross real walls
+/// (per-room WAF) without sealing any room off.
+Environment make_floor_plate(const CampusSpec& spec, geom::Rect fp) {
+  Environment env(fp);
+  const auto c0 = fp.corner(0);
+  const auto c1 = fp.corner(1);
+  const auto c2 = fp.corner(2);
+  const auto c3 = fp.corner(3);
+  env.add_wall({{c0, c1}, 12.0, "brick"});
+  env.add_wall({{c1, c2}, 12.0, "brick"});
+  env.add_wall({{c2, c3}, 12.0, "brick"});
+  env.add_wall({{c3, c0}, 12.0, "brick"});
+
+  const double room_w = fp.width() / spec.rooms_x;
+  const double room_h = fp.height() / spec.rooms_y;
+  auto wall = [&](double x0, double y0, double x1, double y1) {
+    env.add_wall({{{x0, y0}, {x1, y1}}, 4.0, "partition"});
+  };
+  // Vertical partitions: a door gap at the far end of each room edge.
+  const double door_v = std::min(4.0, room_h * 0.25);
+  for (int i = 1; i < spec.rooms_x; ++i) {
+    const double x = fp.min.x + i * room_w;
+    for (int j = 0; j < spec.rooms_y; ++j) {
+      const double y0 = fp.min.y + j * room_h;
+      wall(x, y0, x, y0 + room_h - door_v);
+    }
+  }
+  // Horizontal partitions, same door-per-edge pattern.
+  const double door_h = std::min(4.0, room_w * 0.25);
+  for (int j = 1; j < spec.rooms_y; ++j) {
+    const double y = fp.min.y + j * room_h;
+    for (int i = 0; i < spec.rooms_x; ++i) {
+      const double x0 = fp.min.x + i * room_w;
+      wall(x0, y, x0 + room_w - door_h, y);
+    }
+  }
+  return env;
+}
+
+}  // namespace
+
+Campus::Campus(CampusSpec spec) : spec_(spec) {
+  if (spec_.buildings < 1 || spec_.floors_per_building < 1 ||
+      spec_.rooms_x < 1 || spec_.rooms_y < 1 || spec_.aps_per_floor < 1) {
+    throw std::invalid_argument(
+        "CampusSpec: buildings/floors/rooms/aps must all be >= 1");
+  }
+  if (spec_.total_aps() > 0xffff) {
+    throw std::invalid_argument(
+        "CampusSpec: total AP count exceeds the synthetic BSSID space");
+  }
+
+  int global_ap = 0;
+  for (int b = 0; b < spec_.buildings; ++b) {
+    const geom::Rect fp = spec_.building_footprint(b);
+    footprints_.push_back(fp);
+
+    // Per-building multipath seed so stacked buildings do not share
+    // bias fields even where AP indices coincide.
+    PropagationConfig pc;
+    pc.multipath_seed = spec_.seed ^ (0xB00Dull * (b + 1));
+    auto building = std::make_unique<Building>(spec_.floor_attenuation_db, pc);
+
+    for (int f = 0; f < spec_.floors_per_building; ++f) {
+      Environment floor = make_floor_plate(spec_, fp);
+      // AP placement stream is per (building, floor): inserting a
+      // floor elsewhere cannot reshuffle this one's layout.
+      std::uint64_t rng = spec_.seed ^ (0x517Eull + 8191ull * b + 131ull * f);
+      const geom::Rect inset = fp.inflated(-2.0);
+      for (int a = 0; a < spec_.aps_per_floor; ++a) {
+        AccessPoint ap;
+        ap.bssid = synthetic_bssid(global_ap);
+        ap.name = "B" + std::to_string(b) + "F" + std::to_string(f) +
+                  "-AP" + std::to_string(a);
+        ap.position = {uniform(rng, inset.min.x, inset.max.x),
+                       uniform(rng, inset.min.y, inset.max.y)};
+        ap.tx_power_dbm = -28.0;
+        ap.path_loss_exponent = 3.0;
+        ap.channel = 1 + (global_ap * 5) % 11;
+        floor.add_access_point(std::move(ap));
+        ++global_ap;
+      }
+      building->add_floor(std::move(floor));
+    }
+    buildings_.push_back(std::move(building));
+  }
+}
+
+std::size_t Campus::total_ap_count() const {
+  std::size_t total = 0;
+  for (const auto& b : buildings_) total += b->total_ap_count();
+  return total;
+}
+
+std::vector<geom::Vec2> Campus::room_centers(std::size_t building) const {
+  const geom::Rect fp = footprint(building);
+  const double room_w = fp.width() / spec_.rooms_x;
+  const double room_h = fp.height() / spec_.rooms_y;
+  std::vector<geom::Vec2> centers;
+  centers.reserve(static_cast<std::size_t>(spec_.rooms_per_floor()));
+  for (int j = 0; j < spec_.rooms_y; ++j) {
+    for (int i = 0; i < spec_.rooms_x; ++i) {
+      centers.push_back({fp.min.x + (i + 0.5) * room_w,
+                         fp.min.y + (j + 0.5) * room_h});
+    }
+  }
+  return centers;
+}
+
+CampusFloorView::CampusFloorView(const Campus& campus, std::size_t building,
+                                 std::size_t floor)
+    : campus_(&campus), building_(building), floor_(floor) {
+  if (building >= campus.building_count() ||
+      floor >= campus.floors_per_building()) {
+    throw std::out_of_range("CampusFloorView: building/floor out of range");
+  }
+  std::size_t base = 0;
+  for (std::size_t b = 0; b < campus.building_count(); ++b) {
+    building_base_.push_back(base);
+    base += campus.building(b).total_ap_count();
+    // Floor heights are assumed equal across buildings, so the
+    // receiver sits at the same level in every building's frame.
+    views_.emplace_back(campus.building(b), floor);
+  }
+  building_base_.push_back(base);
+}
+
+std::size_t CampusFloorView::ap_count() const {
+  return building_base_.back();
+}
+
+const AccessPoint& CampusFloorView::ap(std::size_t i) const {
+  const auto it = std::upper_bound(building_base_.begin(),
+                                   building_base_.end(), i);
+  const std::size_t b =
+      static_cast<std::size_t>(it - building_base_.begin()) - 1;
+  return views_.at(b).ap(i - building_base_[b]);
+}
+
+double CampusFloorView::mean_rssi_dbm(std::size_t i, geom::Vec2 rx) const {
+  const auto it = std::upper_bound(building_base_.begin(),
+                                   building_base_.end(), i);
+  const std::size_t b =
+      static_cast<std::size_t>(it - building_base_.begin()) - 1;
+  double dbm = views_.at(b).mean_rssi_dbm(i - building_base_[b], rx);
+  if (b != building_) dbm -= campus_->spec().inter_building_loss_db;
+  return dbm;
+}
+
+std::unique_ptr<Campus> make_campus(const CampusSpec& spec) {
+  return std::make_unique<Campus>(spec);
+}
+
+}  // namespace loctk::radio

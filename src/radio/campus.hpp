@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file campus.hpp
+/// Multi-building campuses: the cardinality regime production serves.
+///
+/// The paper's evaluation lives in one 50x40 ft house with 4 APs; a
+/// production deployment spans several buildings of several floors,
+/// hundreds of rooms, and a BSSID universe in the thousands. `Campus`
+/// models that: a row of `Building`s laid out in one global
+/// coordinate frame, each floor a generated office plate (perimeter +
+/// room-grid walls with door gaps, APs scattered per floor), with
+/// per-floor slab attenuation inside a building and an extra
+/// inter-building facade loss between them. `CampusFloorView` exposes
+/// what a receiver standing on one (building, floor) hears from every
+/// AP on campus as an `RssiModel`, so the ordinary `Scanner`, survey,
+/// and training machinery work unchanged — just three orders of
+/// magnitude bigger than the paper house.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "radio/multifloor.hpp"
+
+namespace loctk::radio {
+
+/// Declarative shape of a generated campus.
+struct CampusSpec {
+  int buildings = 2;
+  int floors_per_building = 3;
+  /// Per-floor footprint (feet).
+  double floor_width_ft = 240.0;
+  double floor_depth_ft = 150.0;
+  /// Interior room grid per floor (rooms_per_floor = rooms_x * rooms_y).
+  int rooms_x = 8;
+  int rooms_y = 5;
+  /// APs deployed per floor. The default sizes the stock campus past
+  /// the 1000-AP mark (2 buildings x 3 floors x 170 = 1020).
+  int aps_per_floor = 170;
+  /// Slab loss per floor crossed within a building (dB).
+  double floor_attenuation_db = 18.0;
+  /// Free-space gap between adjacent building facades (feet).
+  double building_gap_ft = 60.0;
+  /// Extra loss charged on any path crossing between buildings (two
+  /// exterior facades plus whatever sits in the gap), in dB.
+  double inter_building_loss_db = 28.0;
+  /// Seed for AP placement (site-specific, not per-run).
+  std::uint64_t seed = 0xCA4715;
+
+  int total_floors() const { return buildings * floors_per_building; }
+  int total_aps() const { return total_floors() * aps_per_floor; }
+  int rooms_per_floor() const { return rooms_x * rooms_y; }
+
+  /// Global footprint building `b` would occupy — available without
+  /// materializing the campus (fleet factories plan device paths from
+  /// the spec alone).
+  geom::Rect building_footprint(int b) const {
+    const double x0 = b * (floor_width_ft + building_gap_ft);
+    return {{x0, 0.0}, {x0 + floor_width_ft, floor_depth_ft}};
+  }
+};
+
+/// A row of multi-floor buildings sharing one global coordinate
+/// frame: building b occupies x in [b*(width+gap), ...+width), y in
+/// [0, depth]. Walls, AP positions, room centroids, and receiver
+/// positions are all global, so a training database spanning the
+/// whole campus needs no per-building coordinate translation.
+class Campus {
+ public:
+  /// Use make_campus(); public for emplace.
+  explicit Campus(CampusSpec spec);
+
+  Campus(const Campus&) = delete;
+  Campus& operator=(const Campus&) = delete;
+
+  const CampusSpec& spec() const { return spec_; }
+  std::size_t building_count() const { return buildings_.size(); }
+  std::size_t floors_per_building() const {
+    return static_cast<std::size_t>(spec_.floors_per_building);
+  }
+  const Building& building(std::size_t b) const { return *buildings_.at(b); }
+
+  /// Global footprint of building `b` (all its floors share it).
+  const geom::Rect& footprint(std::size_t b) const {
+    return footprints_.at(b);
+  }
+
+  /// Flat floor index over the whole campus, building-major.
+  std::size_t floor_count() const {
+    return building_count() * floors_per_building();
+  }
+  std::size_t flat_floor(std::size_t building, std::size_t floor) const {
+    return building * floors_per_building() + floor;
+  }
+  std::size_t building_of(std::size_t flat) const {
+    return flat / floors_per_building();
+  }
+  std::size_t floor_of(std::size_t flat) const {
+    return flat % floors_per_building();
+  }
+
+  /// Total APs across every building and floor.
+  std::size_t total_ap_count() const;
+
+  /// Room centroids of one building's floor plate (global
+  /// coordinates; identical for every floor of that building) — the
+  /// canonical survey map for place-grained training.
+  std::vector<geom::Vec2> room_centers(std::size_t building) const;
+
+ private:
+  CampusSpec spec_;
+  std::vector<std::unique_ptr<Building>> buildings_;
+  std::vector<geom::Rect> footprints_;
+};
+
+/// What a receiver on (building, floor) hears from every AP on
+/// campus: same-building APs through the `FloorView` physics (slab
+/// loss per floor crossed), other buildings' APs through their own
+/// building's propagation plus the inter-building facade loss.
+/// AP indices are campus-global, building-major then floor-major, so
+/// index i is the AP with BSSID synthetic_bssid(i).
+class CampusFloorView : public RssiModel {
+ public:
+  CampusFloorView(const Campus& campus, std::size_t building,
+                  std::size_t floor);
+
+  std::size_t ap_count() const override;
+  const AccessPoint& ap(std::size_t i) const override;
+  double mean_rssi_dbm(std::size_t i, geom::Vec2 rx) const override;
+
+  std::size_t rx_building() const { return building_; }
+  std::size_t rx_floor() const { return floor_; }
+
+ private:
+  const Campus* campus_;  // non-owning
+  std::size_t building_ = 0;
+  std::size_t floor_ = 0;
+  /// One per building, each already pinned to the receiver's floor
+  /// level (floor heights are assumed equal across buildings).
+  std::vector<FloorView> views_;
+  /// Global AP index -> first global index of each building (prefix
+  /// sums), so lookup is a small upper_bound.
+  std::vector<std::size_t> building_base_;
+};
+
+/// Generates the campus described by `spec`: per floor a perimeter of
+/// exterior walls, a rooms_x x rooms_y partition grid with door gaps,
+/// and `aps_per_floor` APs scattered deterministically from
+/// `spec.seed`. BSSIDs are campus-unique (`synthetic_bssid(global)`),
+/// names carry the building/floor ("B1F2-AP17").
+std::unique_ptr<Campus> make_campus(const CampusSpec& spec = {});
+
+}  // namespace loctk::radio

@@ -7,9 +7,13 @@
 namespace loctk::radio {
 
 std::string synthetic_bssid(int index) {
+  // Two index bytes: campus-scale sites deploy >256 APs, and a masked
+  // single byte would silently alias their BSSIDs. Byte-identical to
+  // the historical one-byte form for index < 256.
+  const unsigned u = static_cast<unsigned>(index) & 0xffffu;
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "00:17:AB:00:00:%02X",
-                static_cast<unsigned>(index) & 0xffu);
+  std::snprintf(buf, sizeof(buf), "00:17:AB:00:%02X:%02X", u >> 8,
+                u & 0xffu);
   return buf;
 }
 

@@ -12,6 +12,7 @@
 #include "core/histogram_locator.hpp"
 #include "core/knn.hpp"
 #include "core/locator.hpp"
+#include "core/place_recognition.hpp"
 #include "core/probabilistic.hpp"
 #include "core/ssd_locator.hpp"
 
@@ -253,6 +254,7 @@ DifferentialReport run_differential_oracle(
 
   const auto compiled = core::CompiledDatabase::compile(db);
   const core::ProbabilisticLocator prob(compiled);
+  const core::PlaceRecognitionLocator place(compiled);
   const core::KnnLocator nnss(compiled, {.k = 1});
   const core::KnnLocator knn3(compiled, {.k = 3});
   const core::SsdLocator ssd(compiled);
@@ -278,6 +280,15 @@ DifferentialReport run_differential_oracle(
            return common < prob.config().min_common_aps
                       ? -std::numeric_limits<double>::infinity()
                       : ll;
+         }));
+
+    note(place.name(), i,
+         check_argmax(db, place, obs, config, [&](std::size_t p) {
+           int common = 0;
+           const double score = place.reference_score(obs, p, &common);
+           return common < place.config().min_common_aps
+                      ? -std::numeric_limits<double>::infinity()
+                      : score;
          }));
 
     if (hist) {

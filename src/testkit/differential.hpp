@@ -69,9 +69,10 @@ struct DifferentialReport {
   std::string to_text() const;
 };
 
-/// Runs every dual-implementation locator (probabilistic, NNSS, k-NN,
-/// SSD, histogram — the last only when `db` retains raw samples) over
-/// `observations`, compiled path vs reference path.
+/// Runs every dual-implementation locator (probabilistic, place
+/// recognition, NNSS, k-NN, SSD, histogram — the last only when `db`
+/// retains raw samples) over `observations`, compiled path vs
+/// reference path.
 DifferentialReport run_differential_oracle(
     const traindb::TrainingDatabase& db,
     const std::vector<core::Observation>& observations,

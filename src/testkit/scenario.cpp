@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/evaluation.hpp"
+#include "core/floor_selector.hpp"
 #include "core/path.hpp"
 #include "stats/rng.hpp"
 #include "traindb/generator.hpp"
@@ -52,6 +53,10 @@ void apply_fault(FaultEvent::Kind kind, radio::ScanRecord& record) {
 ScenarioSpec ScenarioSpec::fleet(std::size_t device_count,
                                  int scans_per_device, std::uint64_t seed,
                                  SiteModel site) {
+  if (site == SiteModel::kCampus) {
+    throw std::invalid_argument(
+        "ScenarioSpec::fleet: use campus_fleet for campus sites");
+  }
   ScenarioSpec spec;
   spec.name = "fleet-" + std::to_string(device_count) + "x" +
               std::to_string(scans_per_device);
@@ -76,39 +81,130 @@ ScenarioSpec ScenarioSpec::fleet(std::size_t device_count,
   return spec;
 }
 
+ScenarioSpec ScenarioSpec::campus_fleet(std::size_t device_count,
+                                        int scans_per_device,
+                                        std::uint64_t seed,
+                                        radio::CampusSpec campus,
+                                        double offset_spread_db) {
+  ScenarioSpec spec;
+  spec.name = "campus-fleet-" + std::to_string(device_count) + "x" +
+              std::to_string(scans_per_device);
+  spec.site = SiteModel::kCampus;
+  spec.seed = seed;
+  spec.campus = campus;
+
+  stats::Rng rng(seed ^ 0xCA4F1EE7ULL);
+  const std::size_t floors =
+      static_cast<std::size_t>(campus.total_floors());
+  spec.devices.reserve(device_count);
+  for (std::size_t d = 0; d < device_count; ++d) {
+    DeviceSpec dev;
+    const std::size_t flat = d % floors;
+    dev.building = static_cast<std::uint32_t>(
+        flat / static_cast<std::size_t>(campus.floors_per_building));
+    dev.floor = static_cast<std::uint32_t>(
+        flat % static_cast<std::size_t>(campus.floors_per_building));
+    const geom::Rect fp =
+        campus.building_footprint(static_cast<int>(dev.building));
+    dev.waypoints = core::random_waypoint_path(fp, 5, rng).waypoints();
+    dev.scans = scans_per_device;
+    dev.start_time_s = 0.25 * static_cast<double>(d);
+    dev.rssi_offset_db =
+        (rng.uniform() - 0.5) * offset_spread_db;
+    spec.devices.push_back(std::move(dev));
+  }
+  return spec;
+}
+
 radio::Environment Scenario::make_environment(const ScenarioSpec& spec) {
   switch (spec.site) {
     case SiteModel::kPaperHouse:
       return radio::make_paper_house();
     case SiteModel::kOfficeFloor:
       return radio::make_office_floor(spec.ap_count);
+    case SiteModel::kCampus:
+      break;  // campuses are not single environments
   }
   throw std::invalid_argument("scenario: unknown site model");
 }
 
-Scenario::Scenario(ScenarioSpec spec)
-    : spec_(std::move(spec)),
-      testbed_(make_environment(spec_), {}, spec_.channel),
-      db_([this] {
-        traindb::GeneratorConfig config;
-        config.keep_samples = spec_.keep_samples;
-        config.site_name = spec_.name;
-        const wiscan::LocationMap map = core::make_training_grid(
-            testbed_.environment().footprint(), spec_.grid_spacing_ft);
-        return testbed_.train(map, spec_.train_scans, spec_.seed * 1000 + 1,
-                              config);
-      }()) {}
+Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)) {
+  if (spec_.site == SiteModel::kCampus) {
+    campus_ = radio::make_campus(spec_.campus);
+    floor_dbs_ = core::train_campus(*campus_, spec_.train_scans,
+                                    spec_.seed * 1000 + 1, spec_.channel);
+    db_ = core::merge_floor_databases(floor_dbs_, spec_.name);
+    return;
+  }
+  testbed_ = std::make_unique<core::Testbed>(
+      make_environment(spec_), radio::PropagationConfig{}, spec_.channel);
+  traindb::GeneratorConfig config;
+  config.keep_samples = spec_.keep_samples;
+  config.site_name = spec_.name;
+  const wiscan::LocationMap map = core::make_training_grid(
+      testbed_->environment().footprint(), spec_.grid_spacing_ft);
+  db_ = testbed_->train(map, spec_.train_scans, spec_.seed * 1000 + 1,
+                        config);
+}
+
+const core::Testbed& Scenario::testbed() const {
+  if (testbed_ == nullptr) {
+    throw std::logic_error(
+        "Scenario::testbed: campus scenarios have no single environment");
+  }
+  return *testbed_;
+}
+
+const radio::Campus& Scenario::campus() const {
+  if (campus_ == nullptr) {
+    throw std::logic_error(
+        "Scenario::campus: not a campus scenario");
+  }
+  return *campus_;
+}
 
 ScanTrace Scenario::record_trace() const {
   ScanTrace trace;
   trace.scenario = spec_.name;
   trace.device_count = static_cast<std::uint32_t>(spec_.devices.size());
 
+  // Resolve churned AP indices to BSSIDs once, up front (and fail
+  // fast on out-of-range indices).
+  std::vector<std::pair<std::string, double>> churned;
+  churned.reserve(spec_.ap_churn.size());
+  for (const ApChurnEvent& ev : spec_.ap_churn) {
+    if (campus_ != nullptr) {
+      if (ev.ap_index >= campus_->total_ap_count()) {
+        throw std::out_of_range("scenario: churned AP index out of range");
+      }
+      churned.emplace_back(
+          radio::synthetic_bssid(static_cast<int>(ev.ap_index)),
+          ev.off_time_s);
+    } else {
+      churned.emplace_back(
+          testbed_->environment().access_points().at(ev.ap_index).bssid,
+          ev.off_time_s);
+    }
+  }
+
   for (std::uint32_t d = 0; d < trace.device_count; ++d) {
     const DeviceSpec& dev = spec_.devices[d];
     const core::WaypointPath path(dev.waypoints);
-    radio::Scanner scanner =
-        testbed_.make_scanner(device_seed(spec_.seed, d));
+    // Per-device channel: the fleet's NIC offsets differ.
+    radio::ChannelConfig channel = spec_.channel;
+    channel.device_offset_db += dev.rssi_offset_db;
+    // Campus devices hear their own (building, floor); everyone else
+    // shares the testbed environment.
+    std::unique_ptr<radio::CampusFloorView> view;
+    if (campus_ != nullptr) {
+      view = std::make_unique<radio::CampusFloorView>(*campus_, dev.building,
+                                                      dev.floor);
+    }
+    radio::Scanner scanner(
+        campus_ != nullptr
+            ? static_cast<const radio::RssiModel&>(*view)
+            : static_cast<const radio::RssiModel&>(testbed_->propagation()),
+        channel, device_seed(spec_.seed, d));
     for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(dev.scans);
          ++i) {
       const double t = scanner.clock_s();
@@ -117,6 +213,16 @@ ScanTrace Scenario::record_trace() const {
                        : path.position_at_time(t, dev.speed_ft_s);
       radio::ScanRecord record = scanner.scan_at(truth);
       record.timestamp_s += dev.start_time_s;
+
+      // Site-level churn first: a decommissioned AP is simply not on
+      // the air, whatever else happens to this scan.
+      for (const auto& [bssid, off_time] : churned) {
+        if (record.timestamp_s < off_time) continue;
+        std::erase_if(record.samples,
+                      [&bssid = bssid](const radio::ScanSample& s) {
+                        return s.bssid == bssid;
+                      });
+      }
 
       bool dropped = false;
       for (const FaultEvent& fault : spec_.faults) {

@@ -16,11 +16,13 @@
 /// determinism assertions stand on.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "geom/vec2.hpp"
+#include "radio/campus.hpp"
 #include "radio/scanner.hpp"
 #include "testkit/trace.hpp"
 #include "traindb/database.hpp"
@@ -31,6 +33,7 @@ namespace loctk::testkit {
 enum class SiteModel {
   kPaperHouse,   ///< the paper's 50x40 ft house, 4 corner APs
   kOfficeFloor,  ///< the 120x80 ft synthetic office, `ap_count` APs
+  kCampus,       ///< a generated multi-building campus (`campus` spec)
 };
 
 /// One simulated device: a motion path and a scan budget.
@@ -44,6 +47,13 @@ struct DeviceSpec {
   /// Added to every recorded timestamp (fleet devices do not all join
   /// at t = 0).
   double start_time_s = 0.0;
+  /// Campus scenarios only: the (building, floor) this device walks.
+  std::uint32_t building = 0;
+  std::uint32_t floor = 0;
+  /// This device's NIC reporting bias, added on top of the channel's
+  /// `device_offset_db`. Campus fleets draw heterogeneous offsets so
+  /// traces carry the cross-device spread real deployments see.
+  double rssi_offset_db = 0.0;
 };
 
 /// One scheduled fault on the recorded stream.
@@ -56,6 +66,16 @@ struct FaultEvent {
   std::uint32_t device = 0;
   std::uint32_t scan_index = 0;
   Kind kind = Kind::kNonFiniteRssi;
+};
+
+/// One decommissioned AP: from `off_time_s` on (recorded timestamps,
+/// device start offsets included) the AP vanishes from every scan —
+/// the churn a long-lived fingerprint database must survive.
+struct ApChurnEvent {
+  /// Site AP index: campus-global for kCampus, environment order
+  /// otherwise.
+  std::uint32_t ap_index = 0;
+  double off_time_s = 0.0;
 };
 
 /// The declarative scenario.
@@ -74,18 +94,36 @@ struct ScenarioSpec {
   /// Retain raw samples in the training database (the histogram
   /// locator's differential path needs them).
   bool keep_samples = true;
+  /// Campus shape (used when site == kCampus; ignored otherwise).
+  radio::CampusSpec campus;
   std::vector<DeviceSpec> devices;
   std::vector<FaultEvent> faults;
+  std::vector<ApChurnEvent> ap_churn;
 
   /// A fleet of `device_count` devices random-waypoint-walking the
   /// site, `scans_per_device` scans each, staggered start times.
   static ScenarioSpec fleet(std::size_t device_count, int scans_per_device,
                             std::uint64_t seed = 1,
                             SiteModel site = SiteModel::kPaperHouse);
+
+  /// A campus fleet: devices assigned round-robin over the flat
+  /// floors (so every floor carries traffic), each walking a random
+  /// waypoint path inside its own building with a heterogeneous NIC
+  /// offset drawn uniformly from ±`offset_spread_db`/2.
+  static ScenarioSpec campus_fleet(std::size_t device_count,
+                                   int scans_per_device,
+                                   std::uint64_t seed = 1,
+                                   radio::CampusSpec campus = {},
+                                   double offset_spread_db = 12.0);
 };
 
 /// A materialized scenario: the simulated site plus its deterministic
 /// training database. Non-copyable (the testbed pins its environment).
+///
+/// Campus scenarios hold a `radio::Campus` instead of a single-floor
+/// testbed; their training runs one survey per (building, floor)
+/// (`floor_databases()`, for the floor selector) and `database()` is
+/// the campus-wide merge the flat locators race on.
 class Scenario {
  public:
   explicit Scenario(ScenarioSpec spec);
@@ -94,18 +132,31 @@ class Scenario {
   Scenario& operator=(const Scenario&) = delete;
 
   const ScenarioSpec& spec() const { return spec_; }
-  const core::Testbed& testbed() const { return testbed_; }
+  /// The single-environment testbed. Throws std::logic_error for
+  /// campus scenarios, which have no single environment — use
+  /// `campus()`.
+  const core::Testbed& testbed() const;
+  /// The generated campus (kCampus only; throws otherwise).
+  const radio::Campus& campus() const;
   const traindb::TrainingDatabase& database() const { return db_; }
+  /// Per-flat-floor training databases (kCampus only; empty
+  /// otherwise) — the `FloorSelector` input.
+  const std::vector<traindb::TrainingDatabase>& floor_databases() const {
+    return floor_dbs_;
+  }
 
-  /// Drives the simulator over the fleet and fault schedule. Purely a
-  /// function of the spec: recording twice yields identical bytes.
+  /// Drives the simulator over the fleet, fault schedule, and AP
+  /// churn. Purely a function of the spec: recording twice yields
+  /// identical bytes.
   ScanTrace record_trace() const;
 
  private:
   static radio::Environment make_environment(const ScenarioSpec& spec);
 
   ScenarioSpec spec_;
-  core::Testbed testbed_;
+  std::unique_ptr<radio::Campus> campus_;  // kCampus only
+  std::unique_ptr<core::Testbed> testbed_;  // every other site
+  std::vector<traindb::TrainingDatabase> floor_dbs_;  // kCampus only
   traindb::TrainingDatabase db_;
 };
 

@@ -93,9 +93,16 @@ ServerSoakResult run_server_soak(const ServerSoakConfig& config) {
   traces.reserve(config.sites);
   std::size_t total_scans = 0;
   for (std::size_t s = 0; s < config.sites; ++s) {
-    ScenarioSpec spec = ScenarioSpec::fleet(
-        config.devices_per_site, config.scans_per_device,
-        config.seed + 1000 * (s + 1));
+    const std::uint64_t site_seed = config.seed + 1000 * (s + 1);
+    ScenarioSpec spec;
+    if (s < config.campus_sites) {
+      spec = ScenarioSpec::campus_fleet(config.devices_per_site,
+                                        config.scans_per_device, site_seed);
+      spec.train_scans = config.campus_train_scans;
+    } else {
+      spec = ScenarioSpec::fleet(config.devices_per_site,
+                                 config.scans_per_device, site_seed);
+    }
     spec.name = "site-" + std::to_string(s) + "-" + spec.name;
     if (config.fault_schedule) add_fault_schedule(spec);
     scenarios.push_back(std::make_unique<Scenario>(std::move(spec)));
@@ -217,6 +224,10 @@ ServerSoakResult run_server_soak(const ServerSoakConfig& config) {
                     std::to_string(config.devices_per_site) + "x" +
                     std::to_string(config.scans_per_device) + "-seed" +
                     std::to_string(config.seed);
+  if (config.campus_sites > 0) {
+    report.scenario +=
+        "-campus" + std::to_string(std::min(config.campus_sites, config.sites));
+  }
   report.device_count =
       static_cast<std::uint32_t>(config.sites * config.devices_per_site);
   report.scans_replayed = total_scans;

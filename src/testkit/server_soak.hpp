@@ -45,6 +45,17 @@ struct ServerSoakConfig {
   std::size_t devices_per_site = 16;
   int scans_per_device = 40;
   std::uint64_t seed = 1;
+  /// The first `campus_sites` sites (clamped to `sites`) are
+  /// synthesized as multi-floor campuses (ScenarioSpec::campus_fleet:
+  /// 1000+ APs, per-floor attenuation, heterogeneous device offsets)
+  /// instead of single-floor fleets; everything after synthesis —
+  /// replay, swaps, invariants — is site-agnostic, so the campus sites
+  /// stress the server with genuinely large universes and snapshots.
+  std::size_t campus_sites = 0;
+  /// Survey scans per room for campus sites. A campus survey covers
+  /// 240 rooms, so the single-site default of 90 would dominate the
+  /// soak's wall clock on synthesis alone.
+  int campus_train_scans = 6;
   /// Per-device session behavior inside the server.
   core::LocationServiceConfig service;
   /// Pool to replay on; nullptr uses the process default pool.

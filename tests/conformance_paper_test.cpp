@@ -123,11 +123,12 @@ TEST(ConformanceDifferential, ZeroMismatchesAcrossAllLocators) {
   const auto observations =
       observations_from_trace(scenario.record_trace(), 8);
   ASSERT_FALSE(observations.empty());
-  // keep_samples is on in scenarios, so all 5 locator pairs run
-  // (probabilistic, histogram, nnss, knn-3, ssd).
+  // keep_samples is on in single-site scenarios, so all 6 locator
+  // pairs run (probabilistic, place recognition, histogram, nnss,
+  // knn-3, ssd).
   const DifferentialReport report =
       run_differential_oracle(scenario.database(), observations);
-  EXPECT_EQ(report.comparisons, observations.size() * 5);
+  EXPECT_EQ(report.comparisons, observations.size() * 6);
   EXPECT_TRUE(report.ok()) << report.to_text();
 }
 

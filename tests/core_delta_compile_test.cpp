@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "base/simd.hpp"
+#include "radio/access_point.hpp"
 #include "testkit/differential.hpp"
 #include "test_fixtures.hpp"
 #include "traindb/database.hpp"
@@ -303,6 +304,44 @@ TEST(DeltaCompile, ConcurrentDeltasOverOneBaseAreIndependent) {
   for (std::size_t t = 0; t < kThreads; ++t) {
     EXPECT_EQ(failures[t], 0) << t;
   }
+}
+
+TEST(DeltaCompile, RemapsSlotsAcrossAThousandSlotUniverse) {
+  // Campus-cardinality audit: the slot remap on grow AND shrink must
+  // stay bit-exact when slot indices run past 1000, where any
+  // narrow-index or small-table habit in the remap would corrupt
+  // rows. Base: 40 points over a 1044-AP universe, each trained on a
+  // 30-slot window (windows overlap by 4, so mid-window APs have a
+  // single owner).
+  std::vector<traindb::TrainingPoint> points(40);
+  for (int p = 0; p < 40; ++p) {
+    points[p].location = "w" + std::to_string(p);
+    points[p].position = {static_cast<double>(p) * 10.0, 0.0};
+    for (int a = p * 26; a < p * 26 + 30; ++a) {
+      points[p].per_ap.push_back(
+          ap_stat(radio::synthetic_bssid(a), -50.0 - (a % 7)));
+    }
+  }
+  const auto base =
+      traindb::TrainingDatabase::from_points(points, "wide-universe");
+  ASSERT_GT(CompiledDatabase::compile(base)->universe_size(), 1000u);
+
+  // Shrink: resurvey point 20 keeping only its first four APs — its
+  // exclusively-owned mid-window slots (524..545) leave the universe,
+  // remapping every slot above them.
+  DatabaseDelta delta;
+  traindb::TrainingPoint resurvey = points[20];
+  resurvey.per_ap.resize(4);
+  delta.upserts.push_back(std::move(resurvey));
+  // Grow: an annex whose BSSIDs sort past the whole synthetic range.
+  std::vector<traindb::ApStatistics> annex;
+  for (int i = 0; i < 9; ++i) {
+    annex.push_back(ap_stat("ff:ff:ff:00:00:0" + std::to_string(i),
+                            -64.0 - i));
+  }
+  delta.upserts.push_back(make_point("annex", {999.0, 0.0}, std::move(annex)));
+
+  expect_oracle_equal(base, delta);
 }
 
 }  // namespace

@@ -12,10 +12,12 @@
 //    locate() agreeing with the exact pass, and the effectiveness
 //    metrics exported through the registry.
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -26,6 +28,7 @@
 #include "core/knn.hpp"
 #include "core/probabilistic.hpp"
 #include "core/score_kernels.hpp"
+#include "radio/access_point.hpp"
 #include "stats/rng.hpp"
 #include "test_fixtures.hpp"
 #include "testkit/differential.hpp"
@@ -410,6 +413,197 @@ TEST(CandidatePruner, ExportsEffectivenessMetrics) {
   // Fallbacks can only come from degenerate queries here, and every
   // query is either pruned or falls back.
   EXPECT_LE(df, dq);
+}
+
+/// Campus-cardinality fixture: `points` training rows over a >1000
+/// slot universe, row p trained on the contiguous AP window
+/// [p*step, p*step + width). Two-byte synthetic BSSIDs sort in index
+/// order, so slot u is AP u.
+traindb::TrainingDatabase make_wide_universe_db(int points = 40,
+                                                int step = 26,
+                                                int width = 30) {
+  std::vector<traindb::TrainingPoint> rows(
+      static_cast<std::size_t>(points));
+  for (int p = 0; p < points; ++p) {
+    rows[p].location = "w" + std::to_string(p);
+    rows[p].position = {static_cast<double>(p) * 10.0, 0.0};
+    for (int a = p * step; a < p * step + width; ++a) {
+      traindb::ApStatistics s;
+      s.bssid = radio::synthetic_bssid(a);
+      s.mean_dbm = -50.0 - (a % 7);
+      s.stddev_db = 2.0;
+      s.sample_count = 30;
+      s.scan_count = 30;
+      s.min_dbm = s.mean_dbm - 4.0;
+      s.max_dbm = s.mean_dbm + 4.0;
+      rows[p].per_ap.push_back(std::move(s));
+    }
+  }
+  return traindb::TrainingDatabase::from_points(std::move(rows),
+                                                "wide-universe");
+}
+
+Observation wide_observation(int first_ap, int count, double dbm = -50.0) {
+  std::vector<radio::ScanRecord> scans(1);
+  for (int a = first_ap; a < first_ap + count; ++a) {
+    scans[0].samples.push_back({radio::synthetic_bssid(a), dbm, 1});
+  }
+  return Observation::from_scans(scans);
+}
+
+// Campus-cardinality audit: slot bookkeeping past the 1000-AP mark.
+// The postings walk, the coarse ranking, and the pruned locate()
+// agreement must hold when slot indices no longer fit habits formed
+// on 4-AP sites.
+TEST(CandidatePruner, HandlesAThousandSlotUniverse) {
+  const auto db = make_wide_universe_db();  // 40*26+30-26 = 1044 slots
+  const auto compiled = CompiledDatabase::compile(db);
+  ASSERT_GT(compiled->universe_size(), 1000u);
+
+  const CandidatePruner pruner(compiled, {.strongest_aps = 4, .top_k = 8});
+  for (const int first : {0, 511, 1010}) {
+    const Observation obs = wide_observation(first, 8);
+    const CompiledObservation q = compiled->compile_observation(obs);
+    ASSERT_EQ(q.in_universe(), 8);
+    const auto candidates = pruner.select(q);
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_LE(candidates.size(), 8u);
+    // The row actually trained on this window must survive pruning.
+    const std::uint32_t owner = static_cast<std::uint32_t>(first / 26);
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), owner) !=
+                candidates.end())
+        << "window at " << first;
+  }
+
+  // Pruned and exact probabilistic locates agree across the universe.
+  ProbabilisticConfig pruned_cfg;
+  pruned_cfg.prune_top_k = 8;
+  const ProbabilisticLocator exact(compiled);
+  const ProbabilisticLocator pruned(compiled, pruned_cfg);
+  for (const int first : {3, 700, 1020}) {
+    const Observation obs = wide_observation(first, 10);
+    const LocationEstimate a = exact.locate(obs);
+    const LocationEstimate b = pruned.locate(obs);
+    ASSERT_TRUE(a.valid);
+    ASSERT_TRUE(b.valid);
+    EXPECT_EQ(b.location_name, a.location_name);
+    EXPECT_EQ(b.score, a.score);
+  }
+}
+
+// The missing-fill term in the coarse ranking: a row that trained
+// every observed slot at close range must outrank a row that trained
+// only the seed slot — without the fill, the partial row's untouched
+// slots would cost nothing and it could crowd the real neighbors out
+// of the candidate set.
+TEST(CandidatePruner, CoarseRankChargesMissingSlotsAtScale) {
+  auto points = make_wide_universe_db().points();
+  // "full" trains the whole probe window 2 dB off; "partial" trains
+  // only its loudest slot, spot-on.
+  traindb::TrainingPoint full, partial;
+  full.location = "full";
+  full.position = {500.0, 50.0};
+  partial.location = "partial";
+  partial.position = {500.0, 60.0};
+  const int probe = 1030;
+  for (int a = probe; a < probe + 6; ++a) {
+    traindb::ApStatistics s;
+    s.bssid = radio::synthetic_bssid(a);
+    s.mean_dbm = -48.0;
+    s.stddev_db = 2.0;
+    s.sample_count = 30;
+    s.scan_count = 30;
+    s.min_dbm = -52.0;
+    s.max_dbm = -44.0;
+    full.per_ap.push_back(s);
+    if (a == probe) {
+      s.mean_dbm = -50.0;
+      partial.per_ap.push_back(s);
+    }
+  }
+  points.push_back(full);
+  points.push_back(partial);
+  const auto db = traindb::TrainingDatabase::from_points(std::move(points),
+                                                         "missing-fill");
+  const auto compiled = CompiledDatabase::compile(db);
+  const std::uint32_t full_row =
+      static_cast<std::uint32_t>(compiled->point_count() - 2);
+  const std::uint32_t partial_row = full_row + 1;
+
+  // Both rows are posted under the loudest observed slot; with a
+  // 1-candidate budget only the missing-fill charge separates them.
+  const CandidatePruner pruner(compiled, {.strongest_aps = 1, .top_k = 1});
+  const Observation obs = wide_observation(probe, 6, -50.0);
+  const auto candidates =
+      pruner.select(compiled->compile_observation(obs));
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.front(), full_row);
+  EXPECT_NE(candidates.front(), partial_row);
+}
+
+// Campus-scale recall regression: the likelihood charges a flat
+// penalty per visibility disagreement, so a sparsely trained row (one
+// exact AP, five cheap penalties) beats a densely trained row that
+// misfits every observed AP by 15 dB. The gap-metric union never even
+// visits that row — it is not posted under the strongest observed AP —
+// which is exactly how the pruned path lost top-1 parity on generated
+// campuses. The probabilistic locator's pruner now ranks with the
+// locator's own restricted score (ML coarse mode) and must recover
+// the sparse winner bit for bit.
+TEST(CandidatePruner, MlModeRecallsSparseWinnerTheGapMetricPrunes) {
+  auto trained = [](int ap, double mean) {
+    traindb::ApStatistics s;
+    s.bssid = radio::synthetic_bssid(ap);
+    s.mean_dbm = mean;
+    s.stddev_db = 2.0;
+    s.sample_count = 30;
+    s.scan_count = 30;
+    s.min_dbm = mean - 4.0;
+    s.max_dbm = mean + 4.0;
+    return s;
+  };
+  std::vector<traindb::TrainingPoint> rows(3);
+  for (int p = 0; p < 2; ++p) {
+    rows[p].location = "dense" + std::to_string(p);
+    rows[p].position = {10.0 * p, 0.0};
+    for (int a = 0; a < 6; ++a) {
+      rows[p].per_ap.push_back(trained(a, -60.0 - p));
+    }
+  }
+  rows[2].location = "sparse";
+  rows[2].position = {50.0, 0.0};
+  rows[2].per_ap.push_back(trained(5, -70.0));
+  const auto db =
+      traindb::TrainingDatabase::from_points(std::move(rows), "ml-recall");
+  const auto compiled = CompiledDatabase::compile(db);
+
+  std::vector<radio::ScanRecord> scans(1);
+  for (int a = 0; a < 5; ++a) {
+    scans[0].samples.push_back({radio::synthetic_bssid(a), -45.0, 1});
+  }
+  scans[0].samples.push_back({radio::synthetic_bssid(5), -70.0, 1});
+  const Observation obs = Observation::from_scans(scans);
+
+  const ProbabilisticLocator exact(compiled);
+  const LocationEstimate e = exact.locate(obs);
+  ASSERT_TRUE(e.valid);
+  ASSERT_EQ(e.location_name, "sparse");
+
+  // The gap metric's candidate union misses the exact winner.
+  const CandidatePruner gap(compiled, {.strongest_aps = 1, .top_k = 1});
+  const auto gap_candidates = gap.select(compiled->compile_observation(obs));
+  ASSERT_EQ(gap_candidates.size(), 1u);
+  EXPECT_NE(gap_candidates.front(), 2u);
+
+  // The pruned locator (ML coarse mode) must not.
+  ProbabilisticConfig pruned_cfg;
+  pruned_cfg.prune_top_k = 1;
+  pruned_cfg.prune_strongest_aps = 1;
+  const ProbabilisticLocator pruned(compiled, pruned_cfg);
+  const LocationEstimate p = pruned.locate(obs);
+  ASSERT_TRUE(p.valid);
+  EXPECT_EQ(p.location_name, e.location_name);
+  EXPECT_EQ(p.score, e.score);
 }
 
 }  // namespace

@@ -1,0 +1,164 @@
+// Campus generator: global-frame geometry, BSSID uniqueness at >256
+// APs, and the CampusFloorView physics (slab within a building,
+// facade loss between buildings).
+
+#include "radio/campus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace loctk::radio {
+namespace {
+
+CampusSpec small_spec() {
+  CampusSpec spec;
+  spec.buildings = 2;
+  spec.floors_per_building = 2;
+  spec.floor_width_ft = 120.0;
+  spec.floor_depth_ft = 80.0;
+  spec.rooms_x = 4;
+  spec.rooms_y = 2;
+  spec.aps_per_floor = 20;
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(SyntheticBssid, TwoByteFormExtendsTheOldOneCompatibly) {
+  // The historical one-byte form is preserved verbatim below 256…
+  EXPECT_EQ(synthetic_bssid(0), "00:17:AB:00:00:00");
+  EXPECT_EQ(synthetic_bssid(255), "00:17:AB:00:00:FF");
+  // …and indices past it get a distinct high byte instead of aliasing.
+  EXPECT_EQ(synthetic_bssid(256), "00:17:AB:00:01:00");
+  EXPECT_EQ(synthetic_bssid(0x1234), "00:17:AB:00:12:34");
+  std::set<std::string> seen;
+  for (int i = 0; i < 1200; ++i) seen.insert(synthetic_bssid(i));
+  EXPECT_EQ(seen.size(), 1200u);
+}
+
+TEST(Campus, LayoutMatchesSpec) {
+  const auto campus = make_campus(small_spec());
+  EXPECT_EQ(campus->building_count(), 2u);
+  EXPECT_EQ(campus->floor_count(), 4u);
+  EXPECT_EQ(campus->total_ap_count(), 80u);
+  EXPECT_EQ(campus->flat_floor(1, 1), 3u);
+  EXPECT_EQ(campus->building_of(3), 1u);
+  EXPECT_EQ(campus->floor_of(3), 1u);
+
+  // Buildings sit side by side in one global frame, gap between.
+  const auto& fp0 = campus->footprint(0);
+  const auto& fp1 = campus->footprint(1);
+  EXPECT_DOUBLE_EQ(fp0.min.x, 0.0);
+  EXPECT_DOUBLE_EQ(fp1.min.x, fp0.max.x + campus->spec().building_gap_ft);
+  EXPECT_FALSE(fp0.intersects(fp1));
+
+  // Every AP lives inside its building's footprint, and room centers
+  // tile the plate.
+  for (std::size_t b = 0; b < campus->building_count(); ++b) {
+    const Building& building = campus->building(b);
+    for (std::size_t f = 0; f < building.floor_count(); ++f) {
+      for (const AccessPoint& ap : building.floor(f).access_points()) {
+        EXPECT_TRUE(campus->footprint(b).contains(ap.position)) << ap.name;
+      }
+    }
+    const auto centers = campus->room_centers(b);
+    ASSERT_EQ(centers.size(), 8u);
+    for (const auto& c : centers) {
+      EXPECT_TRUE(campus->footprint(b).contains(c));
+    }
+  }
+}
+
+TEST(Campus, BssidsAreCampusUniqueAndNamesCarryBuildingFloor) {
+  const auto campus = make_campus(small_spec());
+  std::set<std::string> bssids;
+  for (std::size_t b = 0; b < campus->building_count(); ++b) {
+    const Building& building = campus->building(b);
+    for (std::size_t f = 0; f < building.floor_count(); ++f) {
+      for (const AccessPoint& ap : building.floor(f).access_points()) {
+        EXPECT_TRUE(bssids.insert(ap.bssid).second) << ap.bssid;
+        const std::string prefix =
+            "B" + std::to_string(b) + "F" + std::to_string(f) + "-AP";
+        EXPECT_EQ(ap.name.rfind(prefix, 0), 0u) << ap.name;
+      }
+    }
+  }
+  EXPECT_EQ(bssids.size(), campus->total_ap_count());
+}
+
+TEST(Campus, DefaultSpecClearsTheThousandApMark) {
+  const CampusSpec spec;
+  EXPECT_GE(spec.total_aps(), 1000);
+  const auto campus = make_campus(spec);
+  EXPECT_GE(campus->total_ap_count(), 1000u);
+  EXPECT_GE(campus->building_count() * campus->spec().rooms_per_floor() *
+                campus->floors_per_building(),
+            200u);  // hundreds of rooms
+}
+
+TEST(Campus, GenerationIsDeterministicInTheSpec) {
+  const auto a = make_campus(small_spec());
+  const auto b = make_campus(small_spec());
+  for (std::size_t bl = 0; bl < a->building_count(); ++bl) {
+    for (std::size_t f = 0; f < a->floors_per_building(); ++f) {
+      const auto& fa = a->building(bl).floor(f).access_points();
+      const auto& fb = b->building(bl).floor(f).access_points();
+      ASSERT_EQ(fa.size(), fb.size());
+      for (std::size_t i = 0; i < fa.size(); ++i) {
+        EXPECT_EQ(fa[i], fb[i]);
+      }
+    }
+  }
+}
+
+TEST(Campus, RejectsDegenerateAndOversizedSpecs) {
+  CampusSpec zero = small_spec();
+  zero.buildings = 0;
+  EXPECT_THROW(make_campus(zero), std::invalid_argument);
+
+  CampusSpec huge = small_spec();
+  huge.buildings = 100;
+  huge.floors_per_building = 10;
+  huge.aps_per_floor = 200;  // 200k APs: past the BSSID space
+  EXPECT_THROW(make_campus(huge), std::invalid_argument);
+}
+
+TEST(CampusFloorView, SameBuildingMatchesFloorViewPhysics) {
+  const auto campus = make_campus(small_spec());
+  const CampusFloorView view(*campus, 0, 1);
+  EXPECT_EQ(view.ap_count(), campus->total_ap_count());
+
+  const FloorView reference(campus->building(0), 1);
+  const geom::Vec2 rx = campus->footprint(0).center();
+  for (std::size_t i = 0; i < reference.ap_count(); ++i) {
+    EXPECT_DOUBLE_EQ(view.mean_rssi_dbm(i, rx),
+                     reference.mean_rssi_dbm(i, rx));
+    EXPECT_EQ(view.ap(i).bssid, reference.ap(i).bssid);
+  }
+}
+
+TEST(CampusFloorView, CrossBuildingPaysTheFacadeLoss) {
+  const auto campus = make_campus(small_spec());
+  const CampusFloorView view(*campus, 0, 0);
+
+  const std::size_t b1_base = campus->building(0).total_ap_count();
+  const FloorView b1_reference(campus->building(1), 0);
+  const geom::Vec2 rx = campus->footprint(0).center();
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(
+        view.mean_rssi_dbm(b1_base + i, rx),
+        b1_reference.mean_rssi_dbm(i, rx) -
+            campus->spec().inter_building_loss_db);
+    EXPECT_EQ(view.ap(b1_base + i).bssid, b1_reference.ap(i).bssid);
+  }
+}
+
+TEST(CampusFloorView, RejectsOutOfRangeReceiverPlacement) {
+  const auto campus = make_campus(small_spec());
+  EXPECT_THROW(CampusFloorView(*campus, 2, 0), std::out_of_range);
+  EXPECT_THROW(CampusFloorView(*campus, 0, 2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace loctk::radio

@@ -87,6 +87,37 @@ TEST(ServerSoak, SwapsLandUnderLoad) {
   EXPECT_GE(result.swap_waves_under_load, 1u);
 }
 
+TEST(ServerSoak, CampusSitesMixIntoTheFleetAndStayDeterministic) {
+  // One 1020-AP campus site next to two single-floor sites: synthesis
+  // is the only site-aware step, so every invariant (scan accounting,
+  // swap waves, reclamation, sessions, reader stalls) must hold
+  // unchanged, and the report must stay byte-deterministic across
+  // thread counts with the big-universe snapshots in the swap mix.
+  ServerSoakConfig config = small_config();
+  config.campus_sites = 1;
+  config.scans_per_device = 12;  // campus synthesis carries the cost
+  config.swap_every_scans = 32;
+
+  concurrency::ThreadPool serial(1);
+  config.pool = &serial;
+  const ServerSoakResult one = run_server_soak(config);
+  for (const std::string& v : one.violations) {
+    ADD_FAILURE() << "invariant violated: " << v;
+  }
+  ASSERT_TRUE(one.ok());
+  EXPECT_NE(one.report.scenario.find("campus1"), std::string::npos);
+  EXPECT_NE(one.site_reports[0].scenario.find("campus"), std::string::npos);
+  EXPECT_GT(one.report.valid_fixes, 0u);
+  EXPECT_GT(one.site_reports[0].valid_fixes, 0u);
+
+  concurrency::ThreadPool wide(8);
+  config.pool = &wide;
+  const ServerSoakResult eight = run_server_soak(config);
+  ASSERT_TRUE(eight.ok());
+  EXPECT_EQ(one.report, eight.report);
+  EXPECT_EQ(one.report.to_json(), eight.report.to_json());
+}
+
 TEST(ServerSoak, FaultScheduleRejectsSamplesDeterministically) {
   ServerSoakConfig config = small_config();
   config.fault_schedule = true;

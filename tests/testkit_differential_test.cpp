@@ -26,8 +26,9 @@ TEST(DifferentialOracle, ZeroMismatchesOnRecordedTrace) {
   const DifferentialReport report =
       run_differential_oracle(scenario.database(), observations);
   EXPECT_EQ(report.observations, observations.size());
-  // 5 locator pairs (probabilistic, histogram, nnss, knn-3, ssd).
-  EXPECT_EQ(report.comparisons, observations.size() * 5);
+  // 6 locator pairs (probabilistic, place recognition, histogram,
+  // nnss, knn-3, ssd).
+  EXPECT_EQ(report.comparisons, observations.size() * 6);
   EXPECT_TRUE(report.ok()) << report.to_text();
 }
 
@@ -37,7 +38,7 @@ TEST(DifferentialOracle, ZeroMismatchesOnPaperObservations) {
       run_differential_oracle(exp.db, exp.observations);
   // PaperExperiment trains without keep_samples, so the histogram
   // locator sits this one out.
-  EXPECT_EQ(report.comparisons, exp.observations.size() * 4);
+  EXPECT_EQ(report.comparisons, exp.observations.size() * 5);
   EXPECT_TRUE(report.ok()) << report.to_text();
 }
 
@@ -69,8 +70,9 @@ TEST(DifferentialOracle, DetectsAPlantedDisagreement) {
   // v2 SIMD kernels accumulate the k-NN distances in four lanes, so
   // none is bit-identical to the serial reference. Assert the report
   // machinery works rather than a specific count or locator set.
-  EXPECT_EQ(report.comparisons, observations.size() * 5);
-  const std::vector<std::string> known = {"probabilistic-ml", "histogram",
+  EXPECT_EQ(report.comparisons, observations.size() * 6);
+  const std::vector<std::string> known = {"probabilistic-ml",
+                                          "place-recognition", "histogram",
                                           "nnss", "knn-3", "ssd-knn-3"};
   for (const EstimateDiff& d : report.mismatches) {
     EXPECT_NE(std::find(known.begin(), known.end(), d.locator), known.end())

@@ -173,5 +173,127 @@ TEST(Scenario, OfficeFloorSiteWorks) {
   EXPECT_GT(scenario.database().size(), 0u);
 }
 
+/// A pocket campus the quick tier can survey in milliseconds.
+radio::CampusSpec tiny_campus() {
+  radio::CampusSpec campus;
+  campus.buildings = 2;
+  campus.floors_per_building = 2;
+  campus.floor_width_ft = 120.0;
+  campus.floor_depth_ft = 80.0;
+  campus.rooms_x = 3;
+  campus.rooms_y = 2;
+  campus.aps_per_floor = 10;
+  campus.seed = 31;
+  return campus;
+}
+
+ScenarioSpec small_campus_fleet() {
+  ScenarioSpec spec = ScenarioSpec::campus_fleet(6, 8, 11, tiny_campus());
+  spec.train_scans = 8;
+  return spec;
+}
+
+TEST(CampusScenario, FleetCoversEveryFloorWithHeterogeneousDevices) {
+  const ScenarioSpec spec = ScenarioSpec::campus_fleet(8, 5, 3, tiny_campus());
+  ASSERT_EQ(spec.devices.size(), 8u);
+  EXPECT_EQ(spec.site, SiteModel::kCampus);
+
+  std::vector<int> per_floor(4, 0);
+  bool offsets_differ = false;
+  for (const DeviceSpec& dev : spec.devices) {
+    ASSERT_LT(dev.building, 2u);
+    ASSERT_LT(dev.floor, 2u);
+    ++per_floor[dev.building * 2 + dev.floor];
+    offsets_differ |= dev.rssi_offset_db != spec.devices[0].rssi_offset_db;
+    // Paths stay inside the device's own building.
+    const geom::Rect fp = tiny_campus().building_footprint(
+        static_cast<int>(dev.building));
+    for (const geom::Vec2 wp : dev.waypoints) {
+      EXPECT_TRUE(fp.contains(wp));
+    }
+  }
+  // Round-robin assignment: every flat floor carries traffic.
+  for (const int n : per_floor) EXPECT_EQ(n, 2);
+  EXPECT_TRUE(offsets_differ);
+
+  // The factory is deterministic, and the plain fleet factory refuses
+  // campus sites.
+  const ScenarioSpec again = ScenarioSpec::campus_fleet(8, 5, 3, tiny_campus());
+  for (std::size_t d = 0; d < spec.devices.size(); ++d) {
+    EXPECT_EQ(spec.devices[d].waypoints, again.devices[d].waypoints);
+    EXPECT_EQ(spec.devices[d].rssi_offset_db,
+              again.devices[d].rssi_offset_db);
+  }
+  EXPECT_THROW(ScenarioSpec::fleet(2, 5, 1, SiteModel::kCampus),
+               std::invalid_argument);
+}
+
+TEST(CampusScenario, MaterializesFloorDatabasesAndAMergedCampus) {
+  const Scenario scenario(small_campus_fleet());
+  EXPECT_THROW(scenario.testbed(), std::logic_error);
+  EXPECT_EQ(scenario.campus().floor_count(), 4u);
+  ASSERT_EQ(scenario.floor_databases().size(), 4u);
+  std::size_t total_points = 0;
+  for (const auto& db : scenario.floor_databases()) {
+    EXPECT_EQ(db.size(), 6u);  // 3x2 rooms
+    total_points += db.size();
+  }
+  EXPECT_EQ(scenario.database().size(), total_points);
+  EXPECT_EQ(scenario.database().site_name(), scenario.spec().name);
+
+  // Non-campus scenarios expose no campus.
+  EXPECT_THROW(Scenario(small_fleet()).campus(), std::logic_error);
+}
+
+TEST(CampusScenario, TraceIsDeterministicAndDeviceOffsetsShiftReadings) {
+  const ScenarioSpec spec = small_campus_fleet();
+  const Scenario scenario(spec);
+  const std::string once = encode_trace(scenario.record_trace());
+  EXPECT_EQ(encode_trace(scenario.record_trace()), once);
+
+  // Zeroing one device's NIC offset moves its readings and only its
+  // readings.
+  ScenarioSpec flat = spec;
+  ASSERT_NE(flat.devices[2].rssi_offset_db, 0.0);
+  flat.devices[2].rssi_offset_db = 0.0;
+  const ScanTrace shifted = scenario.record_trace();
+  const ScanTrace unshifted = Scenario(flat).record_trace();
+  const auto by_dev_a = shifted.scans_by_device();
+  const auto by_dev_b = unshifted.scans_by_device();
+  EXPECT_EQ(shifted.scans[by_dev_a[1][0]].scan,
+            unshifted.scans[by_dev_b[1][0]].scan);
+  EXPECT_NE(shifted.scans[by_dev_a[2][0]].scan,
+            unshifted.scans[by_dev_b[2][0]].scan);
+}
+
+TEST(CampusScenario, ApChurnSilencesTheApFromItsOffTime) {
+  ScenarioSpec spec = small_campus_fleet();
+  // Device 0 walks B0F0; AP 3 lives on that floor. Take it off the
+  // air mid-trace.
+  const std::string victim = radio::synthetic_bssid(3);
+  spec.ap_churn.push_back({.ap_index = 3, .off_time_s = 4.0});
+  const ScanTrace churned = Scenario(spec).record_trace();
+
+  ScenarioSpec clean_spec = small_campus_fleet();
+  const ScanTrace clean = Scenario(clean_spec).record_trace();
+
+  bool heard_before = false;
+  for (const TraceScan& ts : clean.scans) {
+    heard_before |= ts.scan.rssi_of(victim).has_value() &&
+                    ts.scan.timestamp_s >= 4.0;
+  }
+  ASSERT_TRUE(heard_before);  // the churn actually removes something
+  for (const TraceScan& ts : churned.scans) {
+    if (ts.scan.timestamp_s >= 4.0) {
+      EXPECT_FALSE(ts.scan.rssi_of(victim).has_value());
+    }
+  }
+
+  // Out-of-range churn indices fail fast.
+  ScenarioSpec bad = small_campus_fleet();
+  bad.ap_churn.push_back({.ap_index = 9999, .off_time_s = 0.0});
+  EXPECT_THROW(Scenario(bad).record_trace(), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace loctk::testkit

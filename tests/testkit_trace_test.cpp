@@ -4,6 +4,8 @@
 
 #include "testkit/trace.hpp"
 
+#include "radio/access_point.hpp"
+
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -161,6 +163,38 @@ TEST(TraceCodec, MissingFileReportsIoError) {
   const auto loaded = try_read_trace("/nonexistent/trace.ltrc");
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.error().code(), ErrorCode::kIo);
+}
+
+TEST(TraceCodec, RoundTripsACampusCardinalityBssidTable) {
+  // Campus-cardinality audit: with 1200 distinct BSSIDs the interned
+  // table indices need multi-byte varints (every index past 127) and
+  // the two-byte synthetic BSSID form (every AP past 255). Encoding
+  // and decoding must agree exactly anyway.
+  ScanTrace trace;
+  trace.scenario = "campus-cardinality";
+  trace.device_count = 1;
+  constexpr int kAps = 1200;
+  constexpr int kPerScan = 40;
+  for (int base = 0; base < kAps; base += kPerScan) {
+    TraceScan ts;
+    ts.device = 0;
+    ts.truth = {static_cast<double>(base) * 0.1, 1.0};
+    ts.scan.timestamp_s = static_cast<double>(base);
+    for (int i = base; i < base + kPerScan; ++i) {
+      ts.scan.samples.push_back(
+          {radio::synthetic_bssid(i), -40.0 - (i % 50), 1 + i % 11});
+    }
+    trace.scans.push_back(std::move(ts));
+  }
+
+  const std::string bytes = encode_trace(trace);
+  const Result<ScanTrace> decoded = try_decode_trace(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value(), trace);
+  // Spot-check a high-index sample survived the table indirection.
+  const radio::ScanSample& high =
+      decoded.value().scans.back().scan.samples.front();
+  EXPECT_EQ(high.bssid, radio::synthetic_bssid(kAps - kPerScan));
 }
 
 }  // namespace
