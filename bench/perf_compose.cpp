@@ -1,0 +1,209 @@
+// PERF_COMPOSE — fleet-frame composition throughput.
+//
+// Measures the tile-parallel FleetCompositor against the serial
+// per-call primitive path on a campus-scale frame: a 2-building
+// campus plate (240 heat cells, 340 AP markers + labels) carrying
+// 10,000 device markers — the per-tick visual `soak_fleet --server
+// --campus-sites ... --frames` emits. Both paths produce byte-
+// identical frames (tests/fleet_compositor_test.cpp), so the ratio of
+// the two `pixels_per_s` counters is pure speedup: span fills and
+// prerendered marker stamps instead of per-pixel bounds-checked
+// writes, glyph-atlas blits instead of per-pixel font walks, and tile
+// parallelism on hosts that have cores to spend.
+//
+// Also times the glyph-atlas text path against legacy draw_text, the
+// one-time shared-atlas build, and the raw rect packer.
+//
+// CI smoke runs one repetition of each benchmark; the committed
+// BENCH_compose.json in the repo root records the full run (gated on
+// loctk_build_type == "release", bench_metrics.hpp).
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_metrics.hpp"
+#include "floorplan/fleet_compositor.hpp"
+#include "floorplan/heatmap.hpp"
+#include "image/font.hpp"
+#include "image/glyph_atlas.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace loctk;
+using floorplan::FleetCompositor;
+using floorplan::FleetCompositorOptions;
+using floorplan::FleetFrameSpec;
+
+constexpr int kFrameWidth = 1116;   // 2 x 240ft + 60ft gap at 2 px/ft + margins
+constexpr int kFrameHeight = 336;   // 150 ft at 2 px/ft + margins
+constexpr int kHeatCells = 240;     // 2 buildings x 8x5 rooms x 3 floors
+constexpr int kApLabels = 340;      // 2 buildings x 170 ground-floor APs
+
+/// The synthetic campus-scale frame. Deterministic (seeded), built
+/// without the scenario machinery so the bench measures composition,
+/// not radio simulation.
+FleetFrameSpec campus_frame(int device_markers) {
+  stats::Rng rng(0xC0117);
+  FleetFrameSpec spec;
+  spec.width = kFrameWidth;
+  spec.height = kFrameHeight;
+
+  // Heat cells: 60x60 px rooms over both building plates.
+  int cell = 0;
+  for (int b = 0; b < 2 && cell < kHeatCells; ++b) {
+    const int bx = 18 + b * 540;
+    for (int ry = 0; ry < 5; ++ry) {
+      for (int rx = 0; rx < 8 && cell < kHeatCells; ++rx) {
+        spec.add_fill_rect(bx + rx * 60, 18 + ry * 60, 60, 60,
+                           floorplan::heat_color(rng.uniform()));
+        ++cell;
+      }
+    }
+  }
+  for (int b = 0; b < 2; ++b) {
+    spec.add_rect(18 + b * 540, 18, 481, 301, image::colors::kBlack);
+  }
+
+  // AP markers + labels ("B1F0-AP169"-style names).
+  for (int i = 0; i < kApLabels; ++i) {
+    const int b = i < kApLabels / 2 ? 0 : 1;
+    const int x = 18 + b * 540 + static_cast<int>(rng.uniform_int(4, 476));
+    const int y = 18 + static_cast<int>(rng.uniform_int(4, 296));
+    spec.add_marker(x, y, image::MarkerShape::kTriangle,
+                    image::colors::kDarkGray, 3);
+    spec.add_text(x + 4, y - 3,
+                  "B" + std::to_string(b) + "F0-AP" +
+                      std::to_string(i % (kApLabels / 2)),
+                  image::colors::kDarkGray, 1);
+  }
+
+  // The fleet: device ground-truth dots, some past the plate edges.
+  for (int i = 0; i < device_markers; ++i) {
+    const int x = static_cast<int>(rng.uniform_int(-4, kFrameWidth + 4));
+    const int y = static_cast<int>(rng.uniform_int(-4, kFrameHeight + 4));
+    spec.add_marker(x, y, image::MarkerShape::kDot,
+                    i % 2 == 0 ? image::colors::kBlue : image::colors::kRed,
+                    2);
+  }
+  return spec;
+}
+
+void set_frame_counters(benchmark::State& state, const FleetFrameSpec& spec) {
+  const double pixels = static_cast<double>(spec.width) *
+                        static_cast<double>(spec.height);
+  state.counters["pixels_per_s"] =
+      benchmark::Counter(pixels, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["ops_per_s"] =
+      benchmark::Counter(static_cast<double>(spec.ops.size()),
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Baseline: the legacy per-call primitives, one pass, no tiles.
+void BM_ComposeFrame_PerCall(benchmark::State& state) {
+  const FleetFrameSpec spec =
+      campus_frame(static_cast<int>(state.range(0)));
+  const FleetCompositor compositor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compositor.render_serial(spec));
+  }
+  set_frame_counters(state, spec);
+}
+BENCHMARK(BM_ComposeFrame_PerCall)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+/// The tile-parallel path (optimized primitives + glyph atlas +
+/// thread-pool tiles). Byte-identical output to the baseline.
+void BM_ComposeFrame_Tiled(benchmark::State& state) {
+  const FleetFrameSpec spec =
+      campus_frame(static_cast<int>(state.range(0)));
+  FleetCompositorOptions options;
+  options.tile_px = static_cast<int>(state.range(1));
+  const FleetCompositor compositor(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compositor.render(spec));
+  }
+  set_frame_counters(state, spec);
+}
+BENCHMARK(BM_ComposeFrame_Tiled)
+    ->Args({1000, 64})
+    ->Args({10000, 32})
+    ->Args({10000, 64})
+    ->Args({10000, 128})
+    ->Unit(benchmark::kMillisecond);
+
+/// Legacy text: per-pixel glyph walk, per call, per character.
+void BM_DrawText_Legacy(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  image::Raster img(640, 480);
+  for (auto _ : state) {
+    for (int row = 0; row < 24; ++row) {
+      image::draw_text(img, 3, row * 19, "B1F2-AP17 -54.3dBm",
+                       image::colors::kBlack, scale);
+    }
+    benchmark::DoNotOptimize(img.data().data());
+  }
+  state.counters["glyphs_per_s"] = benchmark::Counter(
+      24.0 * 18.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DrawText_Legacy)->Arg(1)->Arg(2);
+
+/// Atlas text: one prerendered mask blit per character.
+void BM_DrawText_Atlas(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  image::GlyphAtlas::shared();  // build outside the timed loop
+  image::Raster img(640, 480);
+  for (auto _ : state) {
+    for (int row = 0; row < 24; ++row) {
+      image::draw_text_atlas(img, 3, row * 19, "B1F2-AP17 -54.3dBm",
+                             image::colors::kBlack, scale);
+    }
+    benchmark::DoNotOptimize(img.data().data());
+  }
+  state.counters["glyphs_per_s"] = benchmark::Counter(
+      24.0 * 18.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DrawText_Atlas)->Arg(1)->Arg(2);
+
+/// One-time cost of building the full shared atlas (384 glyph slots
+/// packed + rasterized).
+void BM_AtlasBuild_FullSet(benchmark::State& state) {
+  std::vector<image::GlyphAtlas::GlyphKey> keys;
+  for (int scale = 1; scale <= image::kAtlasMaxScale; ++scale) {
+    for (int code = 32; code <= 126; ++code) {
+      keys.push_back({static_cast<char>(code), scale});
+    }
+  }
+  for (auto _ : state) {
+    const image::GlyphAtlas atlas(keys);
+    benchmark::DoNotOptimize(atlas.glyph_count());
+  }
+  state.counters["glyphs_per_s"] = benchmark::Counter(
+      static_cast<double>(keys.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_AtlasBuild_FullSet);
+
+/// Raw node-tree packer throughput on the full glyph-set dimensions.
+void BM_RectPack_FullSet(benchmark::State& state) {
+  for (auto _ : state) {
+    image::RectPacker packer(256, 256);
+    int placed = 0;
+    for (int scale = image::kAtlasMaxScale; scale >= 1; --scale) {
+      for (int g = 0; g < 96; ++g) {
+        if (packer.insert(image::kGlyphWidth * scale,
+                          image::kGlyphHeight * scale)) {
+          ++placed;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(placed);
+  }
+}
+BENCHMARK(BM_RectPack_FullSet);
+
+}  // namespace
+
+LOCTK_BENCHMARK_MAIN_WITH_METRICS("perf_compose")

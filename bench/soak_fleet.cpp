@@ -57,6 +57,8 @@ struct Options {
   int drift_reruns = 4;
   bool campus = false;
   std::size_t campus_sites = 0;
+  std::string frames_dir;
+  std::size_t frame_every = 1;
   std::string report_path;
   std::string metrics_path;
   std::string trace_path;
@@ -69,7 +71,8 @@ struct Options {
                "          [--metrics PATH] [--trace PATH]\n"
                "          [--server] [--sites K] [--swap-every SCANS]\n"
                "          [--drift] [--drift-reruns N]\n"
-               "          [--campus] [--campus-sites K]\n",
+               "          [--campus] [--campus-sites K]\n"
+               "          [--frames DIR] [--frame-every N]\n",
                argv0);
   std::exit(2);
 }
@@ -112,6 +115,11 @@ Options parse_options(int argc, char** argv) {
     } else if (flag == "--campus-sites") {
       opt.campus_sites =
           static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (flag == "--frames") {
+      opt.frames_dir = value();
+    } else if (flag == "--frame-every") {
+      opt.frame_every =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
     } else {
       usage(argv[0]);
     }
@@ -146,6 +154,8 @@ int run_server_mode(const Options& opt) {
   config.max_p99_on_scan_s = opt.max_p99_s;
   config.campus_sites =
       opt.campus ? config.sites : std::min(opt.campus_sites, config.sites);
+  config.frames_dir = opt.frames_dir;
+  config.frame_every_ticks = std::max<std::size_t>(1, opt.frame_every);
 
   std::printf(
       "soak_fleet --server: %zu sites x %zu devices x %d scans, seed %llu"
@@ -163,6 +173,11 @@ int run_server_mode(const Options& opt) {
       static_cast<unsigned long long>(result.swap_waves),
       static_cast<unsigned long long>(result.swap_waves_under_load),
       static_cast<unsigned long long>(result.max_generation));
+  if (result.frames_written > 0) {
+    std::printf("  fleet frames: %llu written to %s\n",
+                static_cast<unsigned long long>(result.frames_written),
+                opt.frames_dir.c_str());
+  }
 
   if (!opt.report_path.empty()) {
     write_text_file(opt.report_path, result.report.to_json());

@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file fleet_compositor.hpp
+/// Tile-parallel frame composition for fleet-scale visualization.
+///
+/// The paper's Compositor (§4.2) draws a handful of marks on one
+/// floor plan; a campus soak wants a frame per tick carrying a
+/// coverage heatmap, a thousand AP labels, and ten thousand device
+/// markers. `FleetCompositor` renders such frames from a deferred
+/// draw list (`FleetFrameSpec`): the output raster is split into
+/// fixed-size tiles, every op is binned to the tiles its bounding box
+/// touches, and tiles are dispatched over the `ThreadPool` — each
+/// tile replays its ops, in global op order, writing only pixels it
+/// owns.
+///
+/// Determinism argument (docs/VISUALIZATION.md): tiles partition the
+/// raster, so every pixel is written by exactly one tile; a pixel's
+/// final color is the last op covering it in op order, which each
+/// tile preserves because bins are built in op order. Scheduling can
+/// reorder *tiles*, never the ops within a pixel — so the frame is
+/// byte-identical across thread counts AND tile sizes, and identical
+/// to the serial single-pass reference (`render_serial`, which runs
+/// the legacy per-call primitives). The quick-tier determinism test
+/// asserts all of it.
+///
+/// Speed comes from three places: tile parallelism, the packed glyph
+/// atlas (`draw_text_atlas` blits instead of per-pixel font walks),
+/// and span-based fills/marker stamps that write rows directly
+/// instead of calling bounds-checked `set_pixel` per pixel — all
+/// pinned to the legacy pixels by the golden tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "concurrency/thread_pool.hpp"
+#include "image/draw.hpp"
+#include "image/raster.hpp"
+
+namespace loctk::floorplan {
+
+/// One deferred drawing command, in pixel space. Ops are opaque
+/// (no alpha): later ops overwrite earlier ones where they overlap.
+struct FrameOp {
+  enum class Kind : std::uint8_t {
+    kFillRect,  ///< solid axis-aligned rect (heatmap cells)
+    kRect,      ///< rect outline (building footprints, legends)
+    kLine,      ///< thin Bresenham line, optionally dashed
+    kMarker,    ///< one marker glyph (device dots, AP triangles)
+    kText,      ///< multi-line label via the glyph atlas
+  };
+
+  Kind kind = Kind::kFillRect;
+  image::Color color;
+  int x = 0;  ///< top-left (rects/text), first endpoint (lines), center (markers)
+  int y = 0;
+  int w = 0;  ///< rects only
+  int h = 0;
+  int x2 = 0;  ///< lines only: second endpoint
+  int y2 = 0;
+  int radius = 4;                                      ///< markers only
+  image::MarkerShape shape = image::MarkerShape::kDot; ///< markers only
+  int scale = 1;                                       ///< text only
+  bool dashed = false;                                 ///< lines only
+  int dash_on = 4;
+  int dash_off = 4;
+  std::string text;  ///< text only
+};
+
+/// A frame to composite: canvas size, background, and the draw list.
+struct FleetFrameSpec {
+  int width = 0;
+  int height = 0;
+  image::Color background = image::colors::kWhite;
+  std::vector<FrameOp> ops;
+
+  void add_fill_rect(int x, int y, int w, int h, image::Color c);
+  void add_rect(int x, int y, int w, int h, image::Color c);
+  void add_line(int x0, int y0, int x1, int y1, image::Color c,
+                bool dashed = false, int on = 4, int off = 4);
+  void add_marker(int cx, int cy, image::MarkerShape shape, image::Color c,
+                  int radius = 4);
+  void add_text(int x, int y, std::string text, image::Color c,
+                int scale = 1);
+};
+
+struct FleetCompositorOptions {
+  /// Tile edge in pixels. Output bytes do not depend on this (see the
+  /// determinism argument); only scheduling granularity does.
+  int tile_px = 64;
+  /// Pool to dispatch tiles on; nullptr uses the process default.
+  concurrency::ThreadPool* pool = nullptr;
+};
+
+class FleetCompositor {
+ public:
+  explicit FleetCompositor(FleetCompositorOptions options = {});
+
+  /// Tile-parallel composition. Byte-identical to `render_serial`.
+  image::Raster render(const FleetFrameSpec& spec) const;
+
+  /// Single-pass reference: replays the ops through the legacy
+  /// per-call primitives (`fill_rect`, `draw_marker`, `draw_text`)
+  /// over the full raster. This is both the determinism oracle and
+  /// the baseline `bench/perf_compose` measures the tiled path
+  /// against.
+  image::Raster render_serial(const FleetFrameSpec& spec) const;
+
+  const FleetCompositorOptions& options() const { return options_; }
+
+ private:
+  FleetCompositorOptions options_;
+};
+
+}  // namespace loctk::floorplan

@@ -35,13 +35,21 @@ void draw_char(Raster& img, int x, int y, char ch, Color c, int scale = 1);
 
 /// Draws a (possibly multi-line, '\n'-separated) string; returns the
 /// width in pixels of the longest line drawn.
+///
+/// Trailing-empty-line contract (pinned by regression tests, and
+/// matched exactly by `draw_text_atlas`): a trailing '\n' starts a
+/// final empty line that contributes nothing to the returned width,
+/// while `text_height` counts it as a full line — "AB\n" measures two
+/// lines tall but returns the width of "AB".
 int draw_text(Raster& img, int x, int y, std::string_view text, Color c,
               int scale = 1);
 
-/// Pixel width the string would occupy (longest line).
+/// Pixel width the string would occupy (longest line). A trailing
+/// '\n' adds no width (its line is empty).
 int text_width(std::string_view text, int scale = 1);
 
-/// Pixel height the string would occupy (line count dependent).
+/// Pixel height the string would occupy (line count dependent). Every
+/// '\n' adds a line, so a trailing '\n' counts as a final empty line.
 int text_height(std::string_view text, int scale = 1);
 
 }  // namespace loctk::image

@@ -1,0 +1,132 @@
+#include "testkit/fleet_frame.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "floorplan/heatmap.hpp"
+#include "image/font.hpp"
+#include "radio/campus.hpp"
+#include "traindb/database.hpp"
+
+namespace loctk::testkit {
+
+namespace {
+
+/// Device-marker palette, cycled by building so the frame shows at a
+/// glance which building a cluster belongs to.
+constexpr image::Color kDevicePalette[] = {
+    image::colors::kBlue,
+    image::colors::kRed,
+    image::colors::kGreen,
+    image::Color{168, 85, 247},  // violet
+};
+
+/// Coverage heat for one room: the strongest trained mean RSSI at the
+/// nearest survey point, mapped onto [0, 1] over the plausible indoor
+/// range [-90, -30] dBm.
+double room_heat(const traindb::TrainingDatabase& db, geom::Vec2 center) {
+  const traindb::TrainingPoint* tp = db.nearest_point(center);
+  if (tp == nullptr || tp->per_ap.empty()) return 0.0;
+  double best = -1e9;
+  for (const traindb::ApStatistics& ap : tp->per_ap) {
+    best = std::max(best, ap.mean_dbm);
+  }
+  return std::clamp((best + 90.0) / 60.0, 0.0, 1.0);
+}
+
+}  // namespace
+
+FleetFrameBuilder::FleetFrameBuilder(const Scenario& scenario,
+                                     FleetFrameOptions options)
+    : scenario_(&scenario), options_(options) {
+  const radio::Campus& campus = scenario.campus();
+  const radio::CampusSpec& spec = campus.spec();
+
+  const double width_ft =
+      static_cast<double>(spec.buildings) * spec.floor_width_ft +
+      static_cast<double>(std::max(0, spec.buildings - 1)) *
+          spec.building_gap_ft;
+  base_.width = px_x(width_ft) + options_.margin_px;
+  base_.height = px_y(spec.floor_depth_ft) + options_.margin_px;
+  base_.background = image::colors::kWhite;
+
+  const double room_w_ft = spec.floor_width_ft / std::max(1, spec.rooms_x);
+  const double room_d_ft = spec.floor_depth_ft / std::max(1, spec.rooms_y);
+
+  for (std::size_t b = 0; b < campus.building_count(); ++b) {
+    // Per-room coverage heat (ground-floor survey), drawn first so
+    // walls, APs, and devices stay legible on top.
+    const traindb::TrainingDatabase& floor_db =
+        scenario.floor_databases()[campus.flat_floor(b, 0)];
+    for (const geom::Vec2 center : campus.room_centers(b)) {
+      const double t = room_heat(floor_db, center);
+      const int x0 = px_x(center.x - room_w_ft / 2);
+      const int y0 = px_y(center.y - room_d_ft / 2);
+      base_.add_fill_rect(x0, y0, px_x(center.x + room_w_ft / 2) - x0,
+                          px_y(center.y + room_d_ft / 2) - y0,
+                          floorplan::heat_color(t));
+    }
+
+    // Building footprint and title.
+    const geom::Rect& fp = campus.footprint(b);
+    const int x0 = px_x(fp.min.x);
+    const int y0 = px_y(fp.min.y);
+    base_.add_rect(x0, y0, px_x(fp.max.x) - x0 + 1, px_y(fp.max.y) - y0 + 1,
+                   image::colors::kBlack);
+    base_.add_text(x0, y0 - image::kLineAdvance - 2,
+                   "B" + std::to_string(b), image::colors::kBlack, 1);
+
+    // Ground-floor APs: triangle + name label.
+    const radio::Environment& ground = campus.building(b).floor(0);
+    int ap_index = 0;
+    for (const radio::AccessPoint& ap : ground.access_points()) {
+      const int ax = px_x(ap.position.x);
+      const int ay = px_y(ap.position.y);
+      base_.add_marker(ax, ay, image::MarkerShape::kTriangle,
+                       image::colors::kDarkGray, 3);
+      if (options_.label_every > 0 && ap_index % options_.label_every == 0) {
+        base_.add_text(ax + 4, ay - 3, ap.name, image::colors::kDarkGray, 1);
+      }
+      ++ap_index;
+    }
+  }
+}
+
+int FleetFrameBuilder::px_x(double ft_x) const {
+  return options_.margin_px +
+         static_cast<int>(std::lround(ft_x * options_.px_per_ft));
+}
+
+int FleetFrameBuilder::px_y(double ft_y) const {
+  return options_.margin_px +
+         static_cast<int>(std::lround(ft_y * options_.px_per_ft));
+}
+
+std::size_t FleetFrameBuilder::tick_count(const ScanTrace& trace) const {
+  std::size_t ticks = 0;
+  for (const std::vector<std::size_t>& scans : trace.scans_by_device()) {
+    ticks = std::max(ticks, scans.size());
+  }
+  return ticks;
+}
+
+floorplan::FleetFrameSpec FleetFrameBuilder::frame(const ScanTrace& trace,
+                                                   std::size_t tick) const {
+  floorplan::FleetFrameSpec spec = base_;
+  const std::vector<DeviceSpec>& devices = scenario_->spec().devices;
+  const auto by_device = trace.scans_by_device();
+  for (std::size_t d = 0; d < by_device.size(); ++d) {
+    if (tick >= by_device[d].size()) continue;
+    const TraceScan& ts = trace.scans[by_device[d][tick]];
+    const std::size_t building =
+        d < devices.size() ? devices[d].building : 0;
+    const image::Color c =
+        kDevicePalette[building % std::size(kDevicePalette)];
+    spec.add_marker(px_x(ts.truth.x), px_y(ts.truth.y),
+                    image::MarkerShape::kDot, c, options_.device_radius_px);
+  }
+  return spec;
+}
+
+}  // namespace loctk::testkit

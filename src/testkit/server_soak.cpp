@@ -5,13 +5,17 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 
 #include "base/metrics.hpp"
 #include "concurrency/parallel_for.hpp"
 #include "core/compiled_db.hpp"
 #include "core/probabilistic.hpp"
+#include "floorplan/fleet_compositor.hpp"
+#include "image/codec_bmp.hpp"
 #include "serve/location_server.hpp"
+#include "testkit/fleet_frame.hpp"
 #include "testkit/scenario.hpp"
 #include "testkit/trace.hpp"
 
@@ -217,6 +221,27 @@ ServerSoakResult run_server_soak(const ServerSoakConfig& config) {
   result.wall_s = seconds_since(start);
   result.swap_waves = waves.load();
   result.swap_waves_under_load = waves_under_load.load();
+
+  // --- Per-tick campus fleet frames (optional) ---------------------
+  if (!config.frames_dir.empty() && config.campus_sites > 0 &&
+      !scenarios.empty()) {
+    std::filesystem::create_directories(config.frames_dir);
+    const FleetFrameBuilder frames(*scenarios[0]);
+    floorplan::FleetCompositorOptions compositor_options;
+    compositor_options.pool = &pool;
+    const floorplan::FleetCompositor compositor(compositor_options);
+    const std::size_t every = std::max<std::size_t>(1, config.frame_every_ticks);
+    const std::size_t ticks = frames.tick_count(traces[0]);
+    for (std::size_t tick = 0; tick < ticks; tick += every) {
+      const image::Raster frame =
+          compositor.render(frames.frame(traces[0], tick));
+      char name[32];
+      std::snprintf(name, sizeof(name), "frame-%04zu.bmp", tick);
+      image::write_bmp(std::filesystem::path(config.frames_dir) / name,
+                       frame);
+      ++result.frames_written;
+    }
+  }
 
   // --- Assemble the deterministic reports -------------------------
   RunReport& report = result.report;

@@ -71,6 +71,13 @@ struct ServerSoakConfig {
   bool fault_schedule = true;
   /// Invariant bound on p99 on_scan latency; <= 0 disables.
   double max_p99_on_scan_s = 0.25;
+  /// When non-empty and the first site is a campus, render a
+  /// per-tick fleet frame of that site (coverage heat + AP labels +
+  /// device ground-truth markers) through the tile-parallel
+  /// `FleetCompositor` and write `frame-NNNN.bmp` files here.
+  std::string frames_dir;
+  /// Emit every Nth tick (1 = every tick).
+  std::size_t frame_every_ticks = 1;
 };
 
 struct ServerSoakResult {
@@ -87,6 +94,8 @@ struct ServerSoakResult {
   std::uint64_t swap_waves_under_load = 0;
   /// Largest snapshot generation reached by any site.
   std::uint64_t max_generation = 0;
+  /// Campus fleet frames written to `frames_dir`.
+  std::uint64_t frames_written = 0;
   double wall_s = 0.0;
   double mean_on_scan_s = 0.0;
   double p99_on_scan_s = 0.0;

@@ -106,6 +106,39 @@ TEST(TextMetrics, WidthAndHeight) {
   EXPECT_EQ(text_width("ab", 2), 2 * 2 * kGlyphAdvance);
 }
 
+// Pins the trailing-empty-line contract (font.hpp): a trailing '\n'
+// starts a final empty line that contributes nothing to draw_text's
+// returned width, while text_height counts it as a full extra line.
+// draw_text_atlas mirrors the same contract (asserted by the golden
+// suite), so this is the single place the behavior is allowed to
+// change.
+TEST(DrawText, TrailingNewlineAddsNoWidthButCountsAsALine) {
+  Raster img(100, 40);
+  EXPECT_EQ(draw_text(img, 0, 0, "AB\n", colors::kBlack),
+            draw_text(img, 0, 0, "AB", colors::kBlack));
+  EXPECT_EQ(text_width("AB\n"), text_width("AB"));
+  EXPECT_EQ(text_height("AB\n"), kLineAdvance + kGlyphHeight);
+  EXPECT_EQ(text_height("AB"), kGlyphHeight);
+
+  // Interior empty lines behave the same way: no width, full height.
+  EXPECT_EQ(draw_text(img, 0, 0, "AB\n\n\n", colors::kBlack),
+            2 * kGlyphAdvance);
+  EXPECT_EQ(text_width("AB\n\n\n"), 2 * kGlyphAdvance);
+  EXPECT_EQ(text_height("AB\n\n\n"), 3 * kLineAdvance + kGlyphHeight);
+
+  // A newline-only string draws nothing and has zero width, yet
+  // measures two lines tall.
+  Raster blank(30, 30);
+  EXPECT_EQ(draw_text(blank, 0, 0, "\n", colors::kBlack), 0);
+  EXPECT_EQ(blank.count_pixels(colors::kBlack), 0u);
+  EXPECT_EQ(text_width("\n"), 0);
+  EXPECT_EQ(text_height("\n"), kLineAdvance + kGlyphHeight);
+
+  // The contract scales with the glyph scale.
+  EXPECT_EQ(text_width("AB\n", 3), text_width("AB", 3));
+  EXPECT_EQ(text_height("AB\n", 3), 3 * (kLineAdvance + kGlyphHeight));
+}
+
 TEST(DrawText, ClipsAtBorders) {
   Raster img(10, 10);
   draw_text(img, 7, 7, "WWW", colors::kBlack);  // mostly off canvas

@@ -1,0 +1,241 @@
+// The packed glyph atlas: golden-image equivalence against the legacy
+// per-pixel font path, and property fuzzing of the rect packer.
+//
+// The atlas path exists purely for speed, so its whole contract is
+// "same bytes as draw_text, faster". The golden tests assert exactly
+// that — every printable glyph, every packed scale, clipping at all
+// four raster edges — and the fuzz tests pin the packer invariants
+// (in bounds, no overlaps, nothing silently dropped) that the golden
+// tests stand on.
+
+#include "image/glyph_atlas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "image/font.hpp"
+#include "stats/rng.hpp"
+
+namespace loctk::image {
+namespace {
+
+/// Byte equality with a first-differing-pixel diagnostic.
+::testing::AssertionResult same_raster(const Raster& a, const Raster& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.width() << "x" << a.height() << " vs "
+           << b.width() << "x" << b.height();
+  }
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      if (!(a.at(x, y) == b.at(x, y))) {
+        return ::testing::AssertionFailure()
+               << "first differing pixel at (" << x << ", " << y << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(GlyphAtlas, SharedAtlasCoversEveryPrintableAtEveryScale) {
+  const GlyphAtlas& atlas = GlyphAtlas::shared();
+  for (int scale = 1; scale <= kAtlasMaxScale; ++scale) {
+    for (int code = 32; code <= 126; ++code) {
+      const AtlasGlyph* glyph = atlas.find(static_cast<char>(code), scale);
+      ASSERT_NE(glyph, nullptr) << "char " << code << " scale " << scale;
+      EXPECT_EQ(glyph->w, kGlyphWidth * scale);
+      EXPECT_EQ(glyph->h, kGlyphHeight * scale);
+    }
+    // Non-printables share the replacement-box slot.
+    EXPECT_NE(atlas.find('\x01', scale), nullptr);
+    EXPECT_NE(atlas.find('\t', scale), nullptr);
+  }
+  EXPECT_EQ(atlas.find('A', kAtlasMaxScale + 1), nullptr);
+}
+
+// The tentpole golden: draw_text_atlas must be pixel-identical to
+// draw_text for every printable ASCII character at every packed scale.
+TEST(GlyphAtlas, GoldenEveryPrintableCharEveryScale) {
+  for (int scale = 1; scale <= kAtlasMaxScale; ++scale) {
+    const int w = kGlyphAdvance * scale + 4;
+    const int h = kGlyphHeight * scale + 4;
+    for (int code = 32; code <= 126; ++code) {
+      const std::string s(1, static_cast<char>(code));
+      Raster legacy(w, h);
+      Raster atlas(w, h);
+      const int rl = draw_text(legacy, 2, 2, s, colors::kBlue, scale);
+      const int ra = draw_text_atlas(atlas, 2, 2, s, colors::kBlue, scale);
+      EXPECT_EQ(rl, ra) << "char " << code << " scale " << scale;
+      EXPECT_TRUE(same_raster(legacy, atlas))
+          << "char " << code << " scale " << scale;
+    }
+  }
+}
+
+// Clipping golden: text overhanging each of the four raster edges (and
+// all four corners) must clip to the same bytes as the legacy path.
+TEST(GlyphAtlas, GoldenClippingAtAllFourEdges) {
+  const std::string text = "Wg#";
+  for (int scale = 1; scale <= kAtlasMaxScale; ++scale) {
+    const int tw = text_width(text, scale);
+    const int th = text_height(text, scale);
+    const int w = tw + 8;
+    const int h = th + 8;
+    const struct {
+      const char* where;
+      int x, y;
+    } cases[] = {
+        {"left", -tw / 2, 4},
+        {"right", w - tw / 2, 4},
+        {"top", 4, -th / 2},
+        {"bottom", 4, h - th / 2},
+        {"top-left", -tw / 2, -th / 2},
+        {"top-right", w - tw / 2, -th / 2},
+        {"bottom-left", -tw / 2, h - th / 2},
+        {"bottom-right", w - tw / 2, h - th / 2},
+        {"fully-off", -10 * tw, -10 * th},
+    };
+    for (const auto& c : cases) {
+      Raster legacy(w, h);
+      Raster atlas(w, h);
+      draw_text(legacy, c.x, c.y, text, colors::kRed, scale);
+      draw_text_atlas(atlas, c.x, c.y, text, colors::kRed, scale);
+      EXPECT_TRUE(same_raster(legacy, atlas))
+          << c.where << " scale " << scale;
+    }
+  }
+}
+
+TEST(GlyphAtlas, GoldenMultilineAndUnknownChars) {
+  const std::string text = "AP-17\nB1F2\t\x7f!";
+  Raster legacy(120, 60);
+  Raster atlas(120, 60);
+  const int rl = draw_text(legacy, 3, 5, text, colors::kBlack, 2);
+  const int ra = draw_text_atlas(atlas, 3, 5, text, colors::kBlack, 2);
+  EXPECT_EQ(rl, ra);
+  EXPECT_TRUE(same_raster(legacy, atlas));
+}
+
+// Scales past kAtlasMaxScale fall back to the legacy path — still
+// byte-identical, just unaccelerated.
+TEST(GlyphAtlas, OversizeScaleFallsBackIdentically) {
+  Raster legacy(200, 80);
+  Raster atlas(200, 80);
+  draw_text(legacy, 1, 1, "Zq", colors::kGreen, kAtlasMaxScale + 2);
+  draw_text_atlas(atlas, 1, 1, "Zq", colors::kGreen, kAtlasMaxScale + 2);
+  EXPECT_TRUE(same_raster(legacy, atlas));
+}
+
+TEST(GlyphAtlas, RejectsScalesPastMax) {
+  EXPECT_THROW(GlyphAtlas({{'A', kAtlasMaxScale + 1}}), std::invalid_argument);
+}
+
+// --- Rect packer properties ---------------------------------------
+
+TEST(RectPacker, RejectsOversizeAndDegenerate) {
+  RectPacker packer(32, 32);
+  EXPECT_FALSE(packer.insert(0, 5).has_value());
+  EXPECT_FALSE(packer.insert(5, -1).has_value());
+  EXPECT_FALSE(packer.insert(40, 5).has_value());
+  EXPECT_TRUE(packer.insert(5, 5).has_value());
+}
+
+// Property fuzz: random rect batches into random pages. Every
+// accepted placement must be in bounds and claim cells no other
+// placement claims (checked with an occupancy grid).
+TEST(RectPacker, FuzzNoOverlapsInBounds) {
+  stats::Rng seeds(0xA71A5);
+  for (int iter = 0; iter < 1000; ++iter) {
+    stats::Rng rng = seeds.fork(static_cast<std::uint64_t>(iter));
+    const int page_w = static_cast<int>(rng.uniform_int(16, 160));
+    const int page_h = static_cast<int>(rng.uniform_int(16, 160));
+    RectPacker packer(page_w, page_h);
+    std::vector<std::uint8_t> occupied(
+        static_cast<std::size_t>(page_w) * static_cast<std::size_t>(page_h),
+        0);
+    const int attempts = static_cast<int>(rng.uniform_int(1, 80));
+    for (int a = 0; a < attempts; ++a) {
+      const int w = static_cast<int>(rng.uniform_int(1, 40));
+      const int h = static_cast<int>(rng.uniform_int(1, 40));
+      const std::optional<PackedRect> rect = packer.insert(w, h);
+      if (!rect) continue;
+      ASSERT_EQ(rect->w, w);
+      ASSERT_EQ(rect->h, h);
+      ASSERT_GE(rect->x, 0);
+      ASSERT_GE(rect->y, 0);
+      ASSERT_LE(rect->x + rect->w, page_w) << "iter " << iter;
+      ASSERT_LE(rect->y + rect->h, page_h) << "iter " << iter;
+      for (int y = rect->y; y < rect->y + rect->h; ++y) {
+        for (int x = rect->x; x < rect->x + rect->w; ++x) {
+          std::uint8_t& cell =
+              occupied[static_cast<std::size_t>(y) *
+                           static_cast<std::size_t>(page_w) +
+                       static_cast<std::size_t>(x)];
+          ASSERT_EQ(cell, 0) << "overlap at (" << x << ", " << y
+                             << ") iter " << iter;
+          cell = 1;
+        }
+      }
+    }
+  }
+}
+
+// Property fuzz: atlases built from random glyph subsets. Every
+// requested glyph must be present (no silent drops), placed in
+// bounds, and disjoint from every other slot's placement.
+TEST(GlyphAtlas, FuzzRandomSubsetsPackCompletely) {
+  stats::Rng seeds(0x617A5);
+  for (int iter = 0; iter < 1000; ++iter) {
+    stats::Rng rng = seeds.fork(static_cast<std::uint64_t>(iter));
+    std::vector<GlyphAtlas::GlyphKey> keys;
+    const int count = static_cast<int>(rng.uniform_int(1, 64));
+    for (int i = 0; i < count; ++i) {
+      // Full byte range: non-printables alias to the replacement slot.
+      keys.push_back({static_cast<char>(rng.uniform_int(0, 255)),
+                      static_cast<int>(rng.uniform_int(1, kAtlasMaxScale))});
+    }
+    const GlyphAtlas atlas(keys);
+    EXPECT_LE(atlas.glyph_count(), keys.size());
+
+    // Present, in bounds.
+    for (const GlyphAtlas::GlyphKey& key : keys) {
+      const AtlasGlyph* glyph = atlas.find(key.ch, key.scale);
+      ASSERT_NE(glyph, nullptr)
+          << "dropped glyph " << static_cast<int>(key.ch) << " scale "
+          << key.scale << " iter " << iter;
+      ASSERT_LE(glyph->x + glyph->w, atlas.page_width()) << "iter " << iter;
+      ASSERT_LE(glyph->y + glyph->h, atlas.page_height()) << "iter " << iter;
+    }
+
+    // Disjoint across distinct slots (occupancy grid over the page).
+    std::vector<std::uint8_t> occupied(
+        static_cast<std::size_t>(atlas.page_width()) *
+            static_cast<std::size_t>(atlas.page_height()),
+        0);
+    std::vector<bool> seen(96 * kAtlasMaxScale, false);
+    for (const GlyphAtlas::GlyphKey& key : keys) {
+      const auto code = static_cast<unsigned char>(key.ch);
+      const std::size_t slot =
+          static_cast<std::size_t>(key.scale - 1) * 96 +
+          ((code >= 32 && code <= 126) ? static_cast<std::size_t>(code - 32)
+                                       : 95);
+      if (seen[slot]) continue;
+      seen[slot] = true;
+      const AtlasGlyph* glyph = atlas.find(key.ch, key.scale);
+      for (int y = glyph->y; y < glyph->y + glyph->h; ++y) {
+        for (int x = glyph->x; x < glyph->x + glyph->w; ++x) {
+          std::uint8_t& cell =
+              occupied[static_cast<std::size_t>(y) *
+                           static_cast<std::size_t>(atlas.page_width()) +
+                       static_cast<std::size_t>(x)];
+          ASSERT_EQ(cell, 0) << "slot overlap iter " << iter;
+          cell = 1;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace loctk::image
